@@ -1,0 +1,29 @@
+// Command p2pdir runs the directory server of the live streaming overlay
+// (the Napster-style lookup service of Section 4.2, footnote 4).
+//
+//	p2pdir -listen 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2pstream/internal/directory"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
+	seed := flag.Int64("seed", 1, "random seed for candidate sampling")
+	flag.Parse()
+
+	srv := directory.NewServer(*seed)
+	ready := make(chan string, 1)
+	go func() {
+		fmt.Printf("p2pdir: serving on %s\n", <-ready)
+	}()
+	if err := srv.ListenAndServe(*listen, ready); err != nil {
+		fmt.Fprintf(os.Stderr, "p2pdir: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command p2pnode runs one live peer of the streaming overlay.
+//
+// A seed peer (possesses the media, supplies immediately):
+//
+//	p2pnode -id seed1 -class 1 -seed-peer -dir 127.0.0.1:7000
+//
+// A requesting peer (requests the stream, plays it back, then supplies):
+//
+//	p2pnode -id peer1 -class 2 -dir 127.0.0.1:7000
+//
+// The media item is synthetic (deterministic content, CBR) and scaled so a
+// session finishes in seconds; -segments and -dt control the size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/media"
+	"p2pstream/internal/node"
+)
+
+func main() {
+	id := flag.String("id", "", "unique peer name (required)")
+	class := flag.Int("class", 2, "bandwidth class (1 = R0/2, 2 = R0/4, ...)")
+	numClasses := flag.Int("classes", 4, "number of classes K")
+	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address")
+	seedPeer := flag.Bool("seed-peer", false, "start with the complete file and supply immediately")
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	segments := flag.Int("segments", 120, "number of media segments")
+	dt := flag.Duration("dt", 50*time.Millisecond, "segment playback time (delta t)")
+	m := flag.Int("m", 8, "candidates probed per request")
+	tout := flag.Duration("tout", 2*time.Second, "idle elevation timeout")
+	attempts := flag.Int("attempts", 10, "max admission attempts before giving up")
+	ndac := flag.Bool("ndac", false, "use the NDAC_p2p baseline when supplying")
+	rngSeed := flag.Int64("rng", time.Now().UnixNano(), "admission randomness seed")
+	flag.Parse()
+
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "p2pnode: -id is required")
+		os.Exit(2)
+	}
+	policy := dac.DAC
+	if *ndac {
+		policy = dac.NDAC
+	}
+	cfg := node.Config{
+		ID:            *id,
+		Class:         bandwidth.Class(*class),
+		NumClasses:    bandwidth.Class(*numClasses),
+		Policy:        policy,
+		DirectoryAddr: *dirAddr,
+		File: &media.File{
+			Name:         "popular-video",
+			Segments:     *segments,
+			SegmentBytes: 4096,
+			SegmentTime:  *dt,
+		},
+		M:          *m,
+		TOut:       *tout,
+		Backoff:    dac.BackoffConfig{Base: 500 * time.Millisecond, Factor: 2},
+		ListenAddr: *listen,
+		Seed:       *rngSeed,
+	}
+
+	var n *node.Node
+	var err error
+	if *seedPeer {
+		n, err = node.NewSeed(cfg)
+	} else {
+		n, err = node.NewRequester(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		fatal(err)
+	}
+	defer n.Close()
+	fmt.Printf("p2pnode %s: class-%d, listening on %s\n", *id, *class, n.Addr())
+
+	if !*seedPeer {
+		report, err := n.RequestUntilAdmitted(*attempts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("admitted after %d rejection(s); %d suppliers:", report.Rejections, len(report.Suppliers))
+		for _, s := range report.Suppliers {
+			fmt.Printf(" %s(%v)", s.ID, s.Class)
+		}
+		fmt.Println()
+		fmt.Printf("received %d bytes in %v\n", report.Bytes, report.Duration.Round(time.Millisecond))
+		fmt.Printf("buffering delay: theoretical %v (n*dt), measured %v; playback %s\n",
+			report.TheoreticalDelay, report.MeasuredDelay.Round(time.Millisecond), playbackStatus(report))
+		fmt.Println("now supplying")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("p2pnode: shutting down")
+}
+
+func playbackStatus(r *node.SessionReport) string {
+	if r.Report.Continuous() {
+		return "continuous (no stalls)"
+	}
+	return fmt.Sprintf("%d stalls", r.Report.Stalls)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "p2pnode: %v\n", err)
+	os.Exit(1)
+}

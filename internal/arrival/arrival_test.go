@@ -1,0 +1,176 @@
+package arrival
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+const window = 72 * time.Hour
+
+func genTimes(t *testing.T, p Pattern, n int) []time.Duration {
+	t.Helper()
+	times, err := p.Times(n, window, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return times
+}
+
+func TestAllPatternsBasicProperties(t *testing.T) {
+	for _, p := range []Pattern{Pattern1Constant, Pattern2RampUpDown, Pattern3BurstThenConstant, Pattern4PeriodicBursts} {
+		t.Run(p.String(), func(t *testing.T) {
+			const n = 20000
+			times := genTimes(t, p, n)
+			if len(times) != n {
+				t.Fatalf("got %d times", len(times))
+			}
+			for i, tm := range times {
+				if tm < 0 || tm >= window {
+					t.Fatalf("time %v outside window", tm)
+				}
+				if i > 0 && tm < times[i-1] {
+					t.Fatal("times not sorted")
+				}
+			}
+		})
+	}
+}
+
+func TestPatternValidAndString(t *testing.T) {
+	for _, p := range []Pattern{Pattern1Constant, Pattern2RampUpDown, Pattern3BurstThenConstant, Pattern4PeriodicBursts} {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	for _, p := range []Pattern{0, 5, -1} {
+		if p.Valid() {
+			t.Errorf("pattern %d should be invalid", int(p))
+		}
+		if p.String() == "" {
+			t.Error("invalid pattern should still print")
+		}
+	}
+}
+
+func TestTimesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Pattern1Constant.Times(-1, window, rng); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := Pattern1Constant.Times(10, 0, rng); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := Pattern(9).Times(10, window, rng); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	if times, err := Pattern1Constant.Times(0, window, rng); err != nil || len(times) != 0 {
+		t.Error("n=0 should give empty times")
+	}
+}
+
+func TestPattern1Uniform(t *testing.T) {
+	times := genTimes(t, Pattern1Constant, 72000)
+	counts, err := Histogram(times, window, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6000.0
+	for i, c := range counts {
+		if f := float64(c); f < want*0.9 || f > want*1.1 {
+			t.Errorf("bin %d count %d, want ~%g", i, c, want)
+		}
+	}
+}
+
+func TestPattern2RampShape(t *testing.T) {
+	times := genTimes(t, Pattern2RampUpDown, 100000)
+	counts, err := Histogram(times, window, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangular peak in the middle: bins must rise then fall.
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("rising half broken: %v", counts)
+	}
+	if !(counts[3] > counts[4] && counts[4] > counts[5]) {
+		t.Errorf("falling half broken: %v", counts)
+	}
+	// Symmetry: first and last bins within 10%.
+	if f, l := float64(counts[0]), float64(counts[5]); f/l > 1.1 || l/f > 1.1 {
+		t.Errorf("asymmetric ends: %v", counts)
+	}
+}
+
+func TestPattern3BurstShape(t *testing.T) {
+	times := genTimes(t, Pattern3BurstThenConstant, 100000)
+	// ~40% of peers in the first 6 hours.
+	burst := 0
+	for _, tm := range times {
+		if tm < 6*time.Hour {
+			burst++
+		}
+	}
+	if f := float64(burst) / 100000; f < 0.38 || f > 0.42 {
+		t.Errorf("burst share %g, want ~0.4", f)
+	}
+	// The tail is flat: compare two late bins.
+	counts, err := Histogram(times, window, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := float64(counts[6]), float64(counts[10]); a/b > 1.15 || b/a > 1.15 {
+		t.Errorf("tail not constant: %v", counts)
+	}
+}
+
+func TestPattern4PeriodicShape(t *testing.T) {
+	times := genTimes(t, Pattern4PeriodicBursts, 120000)
+	// Bins of 2h: bursts live in bins 0, 6, 12, 18, 24, 30 of 36.
+	counts, err := Histogram(times, window, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 36; b++ {
+		inBurst := b%6 == 0
+		// Expected: burst bins carry 60%/6 = 12000; gap bins carry
+		// 40%·2h/60h ≈ 1600 each.
+		if inBurst && counts[b] < 8000 {
+			t.Errorf("burst bin %d count %d, want > 8000", b, counts[b])
+		}
+		if !inBurst && counts[b] > 4000 {
+			t.Errorf("gap bin %d count %d, want < 4000", b, counts[b])
+		}
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := Histogram(nil, window, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := Histogram(nil, 0, 4); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := Histogram([]time.Duration{-1}, window, 4); err == nil {
+		t.Error("out-of-range time should fail")
+	}
+	if _, err := Histogram([]time.Duration{window}, window, 4); err == nil {
+		t.Error("time == window should fail")
+	}
+}
+
+func TestTimesDeterministic(t *testing.T) {
+	a, err := Pattern4PeriodicBursts.Times(1000, window, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pattern4PeriodicBursts.Times(1000, window, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give identical arrivals")
+		}
+	}
+}

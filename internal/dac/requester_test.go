@@ -1,0 +1,298 @@
+package dac
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+)
+
+func TestProbeOrder(t *testing.T) {
+	classes := []bandwidth.Class{3, 1, 4, 1, 2}
+	got := ProbeOrder(classes)
+	want := []int{1, 3, 4, 0, 2} // both class-1 peers first (stable), then 2, 3, 4
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ProbeOrder = %v, want %v", got, want)
+	}
+	if got := ProbeOrder(nil); len(got) != 0 {
+		t.Errorf("ProbeOrder(nil) = %v", got)
+	}
+}
+
+func outcome(idx int, c bandwidth.Class, d Decision, favors bool) ProbeOutcome {
+	return ProbeOutcome{Index: idx, Class: c, Decision: d, FavorsUs: favors}
+}
+
+func TestSelectSuppliersExactSum(t *testing.T) {
+	outcomes := []ProbeOutcome{
+		outcome(0, 1, Granted, true),
+		outcome(1, 2, Granted, true),
+		outcome(2, 3, Granted, true),
+		outcome(3, 3, Granted, true),
+	}
+	chosen, admitted := SelectSuppliers(outcomes)
+	if !admitted {
+		t.Fatal("should be admitted: 1/2+1/4+1/8+1/8 = R0")
+	}
+	if !reflect.DeepEqual(chosen, []int{0, 1, 2, 3}) {
+		t.Errorf("chosen = %v", chosen)
+	}
+}
+
+func TestSelectSuppliersSkipsOvershoot(t *testing.T) {
+	// Grants: 1/2, 1/2, 1/2 — the third would overshoot and is skipped; the
+	// first two reach exactly R0.
+	outcomes := []ProbeOutcome{
+		outcome(0, 1, Granted, true),
+		outcome(1, 1, Granted, true),
+		outcome(2, 1, Granted, true),
+	}
+	chosen, admitted := SelectSuppliers(outcomes)
+	if !admitted || len(chosen) != 2 {
+		t.Fatalf("chosen = %v admitted = %v, want first two", chosen, admitted)
+	}
+}
+
+func TestSelectSuppliersIgnoresNonGrants(t *testing.T) {
+	outcomes := []ProbeOutcome{
+		outcome(0, 1, DeniedBusy, true),
+		outcome(1, 1, Granted, true),
+		outcome(2, 2, DeniedProbability, false),
+		outcome(3, 2, Granted, true),
+		outcome(4, 2, Granted, true),
+	}
+	chosen, admitted := SelectSuppliers(outcomes)
+	if !admitted {
+		t.Fatal("1/2 + 1/4 + 1/4 = R0: should be admitted")
+	}
+	want := []int{1, 3, 4}
+	if !reflect.DeepEqual(chosen, want) {
+		t.Errorf("chosen = %v, want %v", chosen, want)
+	}
+}
+
+func TestSelectSuppliersInsufficient(t *testing.T) {
+	outcomes := []ProbeOutcome{
+		outcome(0, 2, Granted, true),
+		outcome(1, 3, Granted, true),
+	}
+	chosen, admitted := SelectSuppliers(outcomes)
+	if admitted || chosen != nil {
+		t.Errorf("should be rejected, got chosen=%v admitted=%v", chosen, admitted)
+	}
+	if _, admitted := SelectSuppliers(nil); admitted {
+		t.Error("no outcomes should reject")
+	}
+}
+
+func TestSelectSuppliersHighClassFirst(t *testing.T) {
+	// Out-of-order outcomes: selection must scan high class first, so with
+	// grants 1/8, 1/2, 1/4, 1/8 all four are needed and order is by class.
+	outcomes := []ProbeOutcome{
+		outcome(0, 3, Granted, true),
+		outcome(1, 1, Granted, true),
+		outcome(2, 2, Granted, true),
+		outcome(3, 3, Granted, true),
+	}
+	chosen, admitted := SelectSuppliers(outcomes)
+	if !admitted {
+		t.Fatal("should be admitted")
+	}
+	want := []int{1, 2, 0, 3}
+	if !reflect.DeepEqual(chosen, want) {
+		t.Errorf("chosen = %v, want %v", chosen, want)
+	}
+}
+
+func TestReminderTargets(t *testing.T) {
+	// Busy candidates favoring us accumulate to exactly R0; the non-favoring
+	// one is skipped; idle candidates are not reminded.
+	outcomes := []ProbeOutcome{
+		outcome(0, 1, DeniedBusy, true),
+		outcome(1, 1, DeniedBusy, false), // busy but does not favor us
+		outcome(2, 1, DeniedBusy, true),
+		outcome(3, 1, DeniedBusy, true), // would overshoot R0
+		outcome(4, 2, DeniedProbability, true),
+	}
+	got := ReminderTargets(outcomes)
+	want := []int{0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReminderTargets = %v, want %v", got, want)
+	}
+}
+
+func TestReminderTargetsPartialPrefix(t *testing.T) {
+	// If the favoring busy candidates cannot reach R0, the accumulated
+	// prefix is still reminded (documented substitution).
+	outcomes := []ProbeOutcome{
+		outcome(0, 3, DeniedBusy, true),
+		outcome(1, 4, DeniedBusy, true),
+	}
+	got := ReminderTargets(outcomes)
+	want := []int{0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReminderTargets = %v, want %v", got, want)
+	}
+	if got := ReminderTargets(nil); got != nil {
+		t.Errorf("ReminderTargets(nil) = %v", got)
+	}
+}
+
+func TestReminderTargetsHighClassFirst(t *testing.T) {
+	outcomes := []ProbeOutcome{
+		outcome(0, 4, DeniedBusy, true),
+		outcome(1, 1, DeniedBusy, true),
+		outcome(2, 1, DeniedBusy, true),
+	}
+	got := ReminderTargets(outcomes)
+	// 1/2 + 1/2 = R0: the two class-1 candidates, scanned first.
+	want := []int{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReminderTargets = %v, want %v", got, want)
+	}
+}
+
+func TestBackoffValidate(t *testing.T) {
+	valid := BackoffConfig{Base: 10 * time.Minute, Factor: 2}
+	if err := valid.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, c := range []BackoffConfig{
+		{Base: 0, Factor: 2},
+		{Base: -time.Second, Factor: 2},
+		{Base: time.Second, Factor: 0},
+		{Base: time.Second, Factor: -1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+}
+
+func TestBackoffAfter(t *testing.T) {
+	// Paper Section 5.1: T_bkf = 10 min, E_bkf = 2 — after the i-th
+	// rejection wait 10·2^(i-1) minutes.
+	c := BackoffConfig{Base: 10 * time.Minute, Factor: 2}
+	tests := []struct {
+		rejections int
+		want       time.Duration
+	}{
+		{1, 10 * time.Minute},
+		{2, 20 * time.Minute},
+		{3, 40 * time.Minute},
+		{5, 160 * time.Minute},
+	}
+	for _, tt := range tests {
+		got, err := c.After(tt.rejections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("After(%d) = %v, want %v", tt.rejections, got, tt.want)
+		}
+	}
+	if _, err := c.After(0); err == nil {
+		t.Error("After(0) should fail")
+	}
+	if _, err := (BackoffConfig{}).After(1); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestBackoffConstantFactor(t *testing.T) {
+	c := BackoffConfig{Base: 10 * time.Minute, Factor: 1}
+	for i := 1; i <= 10; i++ {
+		got, err := c.After(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 10*time.Minute {
+			t.Errorf("After(%d) = %v, want constant 10m", i, got)
+		}
+	}
+}
+
+func TestBackoffOverflowCapped(t *testing.T) {
+	c := BackoffConfig{Base: time.Hour, Factor: 4}
+	got, err := c.After(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 7*24*time.Hour {
+		t.Errorf("After(60) = %v, want capped positive", got)
+	}
+}
+
+func TestBackoffTotalWait(t *testing.T) {
+	c := BackoffConfig{Base: 10 * time.Minute, Factor: 2}
+	got, err := c.TotalWait(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 70 * time.Minute; got != want { // 10+20+40
+		t.Errorf("TotalWait(3) = %v, want %v", got, want)
+	}
+	got, err = c.TotalWait(0)
+	if err != nil || got != 0 {
+		t.Errorf("TotalWait(0) = %v, %v", got, err)
+	}
+	if _, err := c.TotalWait(-1); err == nil {
+		t.Error("TotalWait(-1) should fail")
+	}
+	if _, err := (BackoffConfig{}).TotalWait(1); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+// TestSelectSuppliersGreedyComplete: with class offers (binary fractions),
+// the selection admits whenever ANY subset of the grants reaches exactly R0.
+func TestSelectSuppliersGreedyComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(9)
+		outcomes := make([]ProbeOutcome, n)
+		offers := make([]bandwidth.Fraction, 0, n)
+		for i := range outcomes {
+			c := bandwidth.Class(1 + rng.Intn(5))
+			d := Granted
+			if rng.Intn(4) == 0 {
+				d = DeniedBusy
+			}
+			outcomes[i] = outcome(i, c, d, true)
+			if d == Granted {
+				offers = append(offers, c.Offer())
+			}
+		}
+		_, admitted := SelectSuppliers(outcomes)
+		exists := bandwidth.ExactSubsetExists(offers, bandwidth.R0)
+		if admitted != exists {
+			t.Fatalf("trial %d: admitted=%v but exact subset exists=%v (outcomes %+v)", trial, admitted, exists, outcomes)
+		}
+	}
+}
+
+// TestChosenSuppliersSumExactly: whenever admitted, the chosen offers sum to
+// exactly R0 (precondition of OTS_p2p).
+func TestChosenSuppliersSumExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(12)
+		outcomes := make([]ProbeOutcome, n)
+		for i := range outcomes {
+			outcomes[i] = outcome(i, bandwidth.Class(1+rng.Intn(5)), Granted, true)
+		}
+		chosen, admitted := SelectSuppliers(outcomes)
+		if !admitted {
+			continue
+		}
+		var sum bandwidth.Fraction
+		for _, i := range chosen {
+			sum += outcomes[i].Class.Offer()
+		}
+		if sum != bandwidth.R0 {
+			t.Fatalf("trial %d: chosen sum %v != R0", trial, sum)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package dac
+
+import (
+	"fmt"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// Policy selects between the paper's differentiated protocol and the
+// non-differentiated baseline it is evaluated against.
+type Policy int
+
+const (
+	// DAC is the differentiated admission control protocol DAC_p2p.
+	DAC Policy = iota
+	// NDAC is the baseline NDAC_p2p: every supplier's probability vector is
+	// pinned at all-ones and never changes; reminders have no effect.
+	NDAC
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case DAC:
+		return "DAC_p2p"
+	case NDAC:
+		return "NDAC_p2p"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Decision is a supplier's response to a streaming-service probe.
+type Decision int
+
+const (
+	// Granted: the supplier is idle and passed the probabilistic test; it
+	// is willing to participate if the requester selects it.
+	Granted Decision = iota
+	// DeniedBusy: the supplier is serving another session.
+	DeniedBusy
+	// DeniedProbability: the supplier is idle but the probabilistic
+	// admission test failed for the requester's class.
+	DeniedProbability
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Granted:
+		return "granted"
+	case DeniedBusy:
+		return "denied-busy"
+	case DeniedProbability:
+		return "denied-probability"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Supplier is the supplying-peer side of the admission protocol: the
+// probability vector plus the per-session state that drives its relax and
+// tighten transitions. It is a passive state machine — the caller (simulator
+// or live node) supplies randomness and invokes the timeout hook, which
+// keeps the logic deterministic and testable.
+//
+// Supplier is not safe for concurrent use; callers serialize access (the
+// simulator is single-threaded, the live node guards it with its own mutex).
+type Supplier struct {
+	class  bandwidth.Class
+	policy Policy
+	vec    Vector
+
+	busy bool
+	// sawFavoredRequest records whether any favored-class request arrived
+	// while busy in the current session (Section 4.1(c), first bullet).
+	sawFavoredRequest bool
+	// bestReminder is the highest (numerically smallest) class that left a
+	// reminder during the current busy session; 0 means none.
+	bestReminder bandwidth.Class
+}
+
+// NewSupplier returns the admission state of a class-own supplying peer in a
+// system with numClasses classes under the given policy.
+func NewSupplier(own bandwidth.Class, numClasses bandwidth.Class, policy Policy) (*Supplier, error) {
+	var vec Vector
+	var err error
+	switch policy {
+	case DAC:
+		vec, err = NewVector(own, numClasses)
+	case NDAC:
+		vec, err = NewOpenVector(numClasses)
+	default:
+		return nil, fmt.Errorf("dac: unknown policy %d", int(policy))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Supplier{class: own, policy: policy, vec: vec}, nil
+}
+
+// Class returns the supplier's bandwidth class.
+func (s *Supplier) Class() bandwidth.Class { return s.class }
+
+// Offer returns the supplier's out-bound bandwidth offer.
+func (s *Supplier) Offer() bandwidth.Fraction { return s.class.Offer() }
+
+// Busy reports whether the supplier is currently serving a session.
+func (s *Supplier) Busy() bool { return s.busy }
+
+// Vector returns a copy of the current probability vector (for metrics).
+func (s *Supplier) Vector() Vector { return s.vec.Clone() }
+
+// LowestFavored returns the lowest class the supplier currently favors
+// (the paper's Figure 7 metric).
+func (s *Supplier) LowestFavored() bandwidth.Class { return s.vec.LowestFavored() }
+
+// Favors reports whether the supplier currently favors class j.
+func (s *Supplier) Favors(j bandwidth.Class) bool { return s.vec.Favors(j) }
+
+// AllOpen reports whether every class is currently favored (no further
+// elevation can change the vector, so idle timers may stop).
+func (s *Supplier) AllOpen() bool { return s.vec.AllOpen() }
+
+// HandleProbe processes a streaming-service probe from a class-reqClass
+// requesting peer. u must be a uniform random value in [0, 1) drawn by the
+// caller. A grant is a permission, not a commitment: the requester triggers
+// the suppliers it selects via StartSession.
+func (s *Supplier) HandleProbe(reqClass bandwidth.Class, u float64) Decision {
+	if reqClass < 1 || int(reqClass) > len(s.vec) {
+		return DeniedProbability
+	}
+	if s.busy {
+		if s.vec.Favors(reqClass) {
+			s.sawFavoredRequest = true
+		}
+		return DeniedBusy
+	}
+	if u < s.vec.Prob(reqClass) {
+		return Granted
+	}
+	return DeniedProbability
+}
+
+// LeaveReminder records a reminder from a rejected class-reqClass requester
+// (Section 4.2). Reminders are only accepted while busy and only from
+// classes the supplier currently favors — the requester checks the same
+// condition, but the supplier enforces it too. It reports whether the
+// reminder was kept.
+func (s *Supplier) LeaveReminder(reqClass bandwidth.Class) bool {
+	if !s.busy || !s.vec.Favors(reqClass) {
+		return false
+	}
+	if s.policy == NDAC {
+		// The baseline keeps its vector pinned; reminders are ignored.
+		return false
+	}
+	if s.bestReminder == 0 || reqClass < s.bestReminder {
+		s.bestReminder = reqClass
+	}
+	return true
+}
+
+// StartSession marks the supplier busy. It fails if the supplier is already
+// serving (the paper's model: at most one session per supplying peer).
+func (s *Supplier) StartSession() error {
+	if s.busy {
+		return fmt.Errorf("dac: %v supplier already busy", s.class)
+	}
+	s.busy = true
+	s.sawFavoredRequest = false
+	s.bestReminder = 0
+	return nil
+}
+
+// EndSession marks the supplier idle and applies the post-session vector
+// update of Section 4.1(c):
+//   - reminders were left → tighten, anchored at the highest reminder class;
+//   - no favored-class request arrived during the whole session → elevate;
+//   - favored requests arrived but none left a reminder → unchanged.
+func (s *Supplier) EndSession() error {
+	if !s.busy {
+		return fmt.Errorf("dac: %v supplier not busy", s.class)
+	}
+	s.busy = false
+	if s.policy == NDAC {
+		return nil
+	}
+	switch {
+	case s.bestReminder != 0:
+		if err := s.vec.Tighten(s.bestReminder); err != nil {
+			return err
+		}
+	case !s.sawFavoredRequest:
+		s.vec.Elevate()
+	}
+	s.sawFavoredRequest = false
+	s.bestReminder = 0
+	return nil
+}
+
+// OnIdleTimeout applies the elevate-after-timeout rule of Section 4.1(b).
+// It returns true if the vector changed; once it returns false the vector
+// is all-open and the caller may stop scheduling timeouts until the next
+// session ends. Timeouts while busy are ignored (the timer is defined over
+// idle periods only).
+func (s *Supplier) OnIdleTimeout() bool {
+	if s.busy || s.policy == NDAC {
+		return false
+	}
+	return s.vec.Elevate()
+}

@@ -1,0 +1,165 @@
+// Package dac implements DAC_p2p, the paper's distributed differentiated
+// admission control protocol (Section 4), plus the non-differentiated
+// baseline NDAC_p2p used in the evaluation.
+//
+// Supplying-peer side (Section 4.1): each supplying peer keeps an admission
+// probability vector Pb[1..K]. A class-j request reaching an idle supplier
+// is granted with probability Pb[j]. A class-x supplier initializes
+// Pb[j] = 1 for j <= x and Pb[j] = 1/2^(j-x) for j > x; classes with
+// Pb[j] = 1 are its "favored" classes. The vector relaxes (doubles, capped
+// at 1) after every idle timeout T_out and after a served session during
+// which no favored-class request arrived; it tightens (re-anchors at the
+// highest reminder class) when reminders were left during a busy session.
+//
+// Requesting-peer side (Section 4.2): a class-j requester probes M random
+// candidates from high class to low class, accumulates grants until the
+// aggregate offer is exactly R0, and on failure leaves reminders on the
+// busy candidates that currently favor class j (again accumulating offers
+// up to R0), then backs off T_bkf · E_bkf^(i-1) after its i-th rejection.
+package dac
+
+import (
+	"fmt"
+	"math"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// Vector is an admission probability vector. Vector[j-1] is the probability
+// of granting a class-j request. Invariants (checked by Validate): values
+// are in (0, 1], non-increasing in j, and the favored set {j : Pb[j] == 1}
+// is a non-empty prefix of the classes.
+type Vector []float64
+
+// NewVector returns the initial vector of a class-own supplier in a system
+// with numClasses classes: 1.0 up to the supplier's own class, then halving
+// (paper Section 4.1(a): a class-2 supplier with K = 4 starts with
+// [1.0, 1.0, 0.5, 0.25]).
+func NewVector(own bandwidth.Class, numClasses bandwidth.Class) (Vector, error) {
+	if numClasses < 1 || numClasses > bandwidth.MaxClass {
+		return nil, fmt.Errorf("dac: numClasses %d outside [1, %d]", numClasses, bandwidth.MaxClass)
+	}
+	if !own.Valid(numClasses) {
+		return nil, fmt.Errorf("dac: own class %d invalid for K=%d", own, numClasses)
+	}
+	v := make(Vector, numClasses)
+	for j := bandwidth.Class(1); j <= numClasses; j++ {
+		if j <= own {
+			v[j-1] = 1.0
+		} else {
+			v[j-1] = 1.0 / float64(int64(1)<<uint(j-own))
+		}
+	}
+	return v, nil
+}
+
+// NewOpenVector returns the all-ones vector used by every supplier under
+// NDAC_p2p (and reached by DAC_p2p suppliers after enough relaxation).
+func NewOpenVector(numClasses bandwidth.Class) (Vector, error) {
+	if numClasses < 1 || numClasses > bandwidth.MaxClass {
+		return nil, fmt.Errorf("dac: numClasses %d outside [1, %d]", numClasses, bandwidth.MaxClass)
+	}
+	v := make(Vector, numClasses)
+	for i := range v {
+		v[i] = 1.0
+	}
+	return v, nil
+}
+
+// Prob returns the admission probability applied to class-j requests.
+func (v Vector) Prob(j bandwidth.Class) float64 {
+	if j < 1 || int(j) > len(v) {
+		return 0
+	}
+	return v[j-1]
+}
+
+// Favors reports whether class j is currently favored (Pb[j] == 1.0).
+func (v Vector) Favors(j bandwidth.Class) bool {
+	return j >= 1 && int(j) <= len(v) && v[j-1] == 1.0
+}
+
+// LowestFavored returns the largest class number j with Pb[j] == 1.0, i.e.
+// the lowest favored class (this is the quantity plotted in the paper's
+// Figure 7). Every well-formed vector favors at least class 1.
+func (v Vector) LowestFavored() bandwidth.Class {
+	lowest := bandwidth.Class(0)
+	for j := bandwidth.Class(1); int(j) <= len(v); j++ {
+		if v[j-1] == 1.0 {
+			lowest = j
+		}
+	}
+	return lowest
+}
+
+// AllOpen reports whether every class is favored.
+func (v Vector) AllOpen() bool {
+	for _, p := range v {
+		if p != 1.0 {
+			return false
+		}
+	}
+	return len(v) > 0
+}
+
+// Elevate relaxes the admission preference by doubling every probability,
+// capped at 1.0 (paper Section 4.1(b): applied after an idle timeout, and
+// after a session that saw no favored-class request). It reports whether
+// anything changed (false once the vector is all-open, letting callers stop
+// scheduling further timeouts).
+func (v Vector) Elevate() bool {
+	changed := false
+	for i, p := range v {
+		if p < 1.0 {
+			p *= 2
+			if p > 1.0 {
+				p = 1.0
+			}
+			v[i] = p
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Tighten re-anchors the vector at the given class (paper Section 4.1(c):
+// anchor is the highest class among reminders left during the last busy
+// session): Pb[j] = 1 for j <= anchor, Pb[j] = 1/2^(j-anchor) for
+// j > anchor.
+func (v Vector) Tighten(anchor bandwidth.Class) error {
+	if anchor < 1 || int(anchor) > len(v) {
+		return fmt.Errorf("dac: tighten anchor %d outside [1, %d]", anchor, len(v))
+	}
+	for j := bandwidth.Class(1); int(j) <= len(v); j++ {
+		if j <= anchor {
+			v[j-1] = 1.0
+		} else {
+			v[j-1] = 1.0 / float64(int64(1)<<uint(j-anchor))
+		}
+	}
+	return nil
+}
+
+// Validate checks the vector invariants.
+func (v Vector) Validate() error {
+	if len(v) == 0 {
+		return fmt.Errorf("dac: empty vector")
+	}
+	if v[0] != 1.0 {
+		return fmt.Errorf("dac: class 1 probability %g, want 1.0", v[0])
+	}
+	for i, p := range v {
+		if p <= 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("dac: probability %g for class %d outside (0,1]", p, i+1)
+		}
+		if i > 0 && p > v[i-1] {
+			return fmt.Errorf("dac: probabilities increase from class %d to %d (%g > %g)", i, i+1, p, v[i-1])
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the vector.
+func (v Vector) Clone() Vector {
+	return append(Vector(nil), v...)
+}

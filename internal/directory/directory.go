@@ -1,0 +1,222 @@
+// Package directory implements the Napster-style centralized lookup service
+// of the live overlay (paper Section 4.2, footnote 4): supplying peers
+// register their address and bandwidth class; requesting peers obtain M
+// randomly selected candidates. One request/response exchange per
+// connection keeps the server trivially robust to misbehaving peers.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"p2pstream/internal/lookup"
+	"p2pstream/internal/transport"
+)
+
+// Server is a directory server. Create with NewServer, then Serve on a
+// listener; Close stops it.
+type Server struct {
+	mu    sync.Mutex
+	dir   *lookup.Directory[string]
+	addrs map[string]string // peer ID -> dial address
+	rng   *rand.Rand
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns an empty directory server. The seed fixes candidate
+// sampling for reproducible tests.
+func NewServer(seed int64) *Server {
+	return &Server{
+		dir:   lookup.NewDirectory[string](),
+		addrs: make(map[string]string),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of registered suppliers.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir.Len()
+}
+
+// Serve accepts connections until the listener is closed. It always
+// returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("directory: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. It returns the bound address
+// via the ready channel before blocking in Accept.
+func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return s.Serve(l)
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+// handle serves one request/response exchange.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	env, err := transport.Read(conn)
+	if err != nil {
+		return // hangup or garbage; nothing to answer
+	}
+	switch env.Kind {
+	case transport.KindRegister:
+		var req transport.Register
+		if err := env.Decode(&req); err != nil {
+			s.replyError(conn, err)
+			return
+		}
+		if err := s.register(req); err != nil {
+			s.replyError(conn, err)
+			return
+		}
+		transport.Write(conn, transport.KindRegisterOK, struct{}{})
+	case transport.KindUnregister:
+		var req transport.Unregister
+		if err := env.Decode(&req); err != nil {
+			s.replyError(conn, err)
+			return
+		}
+		s.unregister(req.ID)
+		transport.Write(conn, transport.KindUnregisterOK, struct{}{})
+	case transport.KindLookup:
+		var req transport.Lookup
+		if err := env.Decode(&req); err != nil {
+			s.replyError(conn, err)
+			return
+		}
+		transport.Write(conn, transport.KindCandidates, s.lookup(req))
+	default:
+		s.replyError(conn, fmt.Errorf("directory: unexpected %s", env.Kind))
+	}
+}
+
+func (s *Server) replyError(conn net.Conn, err error) {
+	transport.Write(conn, transport.KindError, transport.Error{Message: err.Error()})
+}
+
+func (s *Server) register(req transport.Register) error {
+	if req.ID == "" || req.Addr == "" {
+		return errors.New("directory: register needs id and addr")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
+		return err
+	}
+	s.addrs[req.ID] = req.Addr
+	return nil
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir.Unregister(id) {
+		delete(s.addrs, id)
+	}
+}
+
+func (s *Server) lookup(req transport.Lookup) transport.Candidates {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := req.M
+	if req.Exclude != "" {
+		m++ // oversample so the exclusion still leaves M candidates
+	}
+	entries := s.dir.Sample(m, s.rng)
+	out := transport.Candidates{}
+	for _, e := range entries {
+		if e.ID == req.Exclude {
+			continue
+		}
+		if len(out.Peers) == req.M {
+			break
+		}
+		out.Peers = append(out.Peers, transport.Candidate{ID: e.ID, Addr: s.addrs[e.ID], Class: e.Class})
+	}
+	return out
+}
+
+// Client calls a directory server. The zero value is unusable; use
+// NewClient.
+type Client struct {
+	addr string
+}
+
+// NewClient returns a client for the directory at addr.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Register announces a supplying peer.
+func (c *Client) Register(reg transport.Register) error {
+	return c.call(transport.KindRegister, reg, transport.KindRegisterOK, nil)
+}
+
+// Unregister removes a supplying peer.
+func (c *Client) Unregister(id string) error {
+	return c.call(transport.KindUnregister, transport.Unregister{ID: id}, transport.KindUnregisterOK, nil)
+}
+
+// Lookup fetches up to m random candidates, excluding the given peer ID.
+func (c *Client) Lookup(m int, exclude string) ([]transport.Candidate, error) {
+	var resp transport.Candidates
+	err := c.call(transport.KindLookup, transport.Lookup{M: m, Exclude: exclude}, transport.KindCandidates, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Peers, nil
+}
+
+func (c *Client) call(kind transport.Kind, req any, wantKind transport.Kind, resp any) error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("directory: dialing %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	if err := transport.Write(conn, kind, req); err != nil {
+		return err
+	}
+	return transport.ReadExpect(conn, wantKind, resp)
+}

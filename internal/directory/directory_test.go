@@ -1,0 +1,177 @@
+package directory
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/transport"
+)
+
+// startServer runs a directory server on a loopback listener and returns
+// its address plus a cleanup function.
+func startServer(t *testing.T) (string, *Server) {
+	t.Helper()
+	srv := NewServer(1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String(), srv
+}
+
+func TestRegisterLookupUnregister(t *testing.T) {
+	addr, srv := startServer(t)
+	c := NewClient(addr)
+	for i, class := range []int{1, 2, 3, 4} {
+		err := c.Register(transport.Register{
+			ID:    string(rune('a' + i)),
+			Addr:  "127.0.0.1:1000",
+			Class: bandwidth.Class(class),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Len() != 4 {
+		t.Fatalf("Len = %d", srv.Len())
+	}
+	cands, err := c.Lookup(10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 {
+		t.Fatalf("Lookup returned %d", len(cands))
+	}
+	if err := c.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Len() != 3 {
+		t.Fatalf("Len after unregister = %d", srv.Len())
+	}
+	// Unregistering twice is idempotent at the protocol level.
+	if err := c.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterDuplicateRejected(t *testing.T) {
+	addr, _ := startServer(t)
+	c := NewClient(addr)
+	reg := transport.Register{ID: "x", Addr: "127.0.0.1:1", Class: 1}
+	if err := c.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Register(reg)
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	addr, _ := startServer(t)
+	c := NewClient(addr)
+	if err := c.Register(transport.Register{ID: "", Addr: "a", Class: 1}); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := c.Register(transport.Register{ID: "x", Addr: "", Class: 1}); err == nil {
+		t.Error("empty addr should fail")
+	}
+	if err := c.Register(transport.Register{ID: "x", Addr: "a", Class: 0}); err == nil {
+		t.Error("invalid class should fail")
+	}
+}
+
+func TestLookupExcludesSelf(t *testing.T) {
+	addr, _ := startServer(t)
+	c := NewClient(addr)
+	for _, id := range []string{"me", "other1", "other2"} {
+		if err := c.Register(transport.Register{ID: id, Addr: "127.0.0.1:1", Class: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		cands, err := c.Lookup(2, "me")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != 2 {
+			t.Fatalf("got %d candidates, want 2", len(cands))
+		}
+		for _, cand := range cands {
+			if cand.ID == "me" {
+				t.Fatal("lookup returned the excluded peer")
+			}
+		}
+	}
+}
+
+func TestLookupEmptyDirectory(t *testing.T) {
+	addr, _ := startServer(t)
+	cands, err := NewClient(addr).Lookup(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("got %d candidates from empty directory", len(cands))
+	}
+}
+
+func TestLookupReturnsAddresses(t *testing.T) {
+	addr, _ := startServer(t)
+	c := NewClient(addr)
+	if err := c.Register(transport.Register{ID: "x", Addr: "10.0.0.1:42", Class: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := c.Lookup(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Addr != "10.0.0.1:42" || cands[0].Class != 3 {
+		t.Errorf("candidate = %+v", cands)
+	}
+}
+
+func TestServerRejectsUnexpectedKind(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := transport.Write(conn, transport.KindProbe, transport.Probe{}); err != nil {
+		t.Fatal(err)
+	}
+	err = transport.ReadExpect(conn, transport.KindRegisterOK, nil)
+	if err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0, 0, 0, 3, 'x'})
+	conn.Close()
+	// The server must still answer a well-formed request.
+	c := NewClient(addr)
+	if err := c.Register(transport.Register{ID: "ok", Addr: "a:1", Class: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens here
+	if err := c.Register(transport.Register{ID: "x", Addr: "a", Class: 1}); err == nil {
+		t.Error("dial failure should surface")
+	}
+	if _, err := c.Lookup(1, ""); err == nil {
+		t.Error("dial failure should surface")
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"p2pstream/internal/arrival"
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/core"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/metrics"
+	"p2pstream/internal/stats"
+	"p2pstream/internal/system"
+)
+
+// The extension experiments go beyond the paper's artifacts: ablations of
+// the design choices DESIGN.md calls out, plus a replication harness that
+// reruns the headline results under several seeds and reports confidence
+// intervals.
+
+// ExtensionIDs lists the experiments beyond the paper's figures/tables.
+func ExtensionIDs() []string {
+	return []string{"ablation-assign", "ablation-down", "ablation-lookup", "replication"}
+}
+
+// runExtension dispatches an extension experiment.
+func (r *Runner) runExtension(id string) (*Report, error) {
+	switch id {
+	case "ablation-assign":
+		return r.AblationAssign()
+	case "ablation-down":
+		return r.AblationDown()
+	case "ablation-lookup":
+		return r.AblationLookup()
+	case "replication":
+		return r.Replication()
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s)",
+			id, strings.Join(append(IDs(), ExtensionIDs()...), ", "))
+	}
+}
+
+// AblationAssign quantifies how much the optimal assignment matters:
+// across random supplier mixes it compares OTS_p2p against the contiguous
+// baseline, the literal Figure 2 round-robin, and the ascending variant —
+// average delay, worst-case delay, and the fraction of mixes where each
+// strategy is optimal.
+func (r *Runner) AblationAssign() (*Report, error) {
+	rng := rand.New(rand.NewSource(r.Scale.Seed))
+	const trials = 2000
+	type agg struct {
+		name    string
+		fn      func([]core.Supplier) (*core.Assignment, error)
+		sum     int64
+		worstEx int64 // worst delay minus n (excess over Theorem 1)
+		optimal int
+	}
+	strategies := []*agg{
+		{name: "OTS_p2p (optimal)", fn: core.Assign},
+		{name: "Figure 2 literal round-robin", fn: core.RoundRobinAssign},
+		{name: "contiguous blocks (Assignment I)", fn: core.BlockAssign},
+		{name: "ascending round-robin", fn: core.AscendingAssign},
+	}
+	var totalN int64
+	for trial := 0; trial < trials; trial++ {
+		suppliers := randomMix(rng, 6, 24)
+		n := int64(len(suppliers))
+		totalN += n
+		for _, s := range strategies {
+			a, err := s.fn(suppliers)
+			if err != nil {
+				return nil, fmt.Errorf("trial %d %s: %w", trial, s.name, err)
+			}
+			d := a.DelaySlots()
+			s.sum += d
+			if ex := d - n; ex > s.worstEx {
+				s.worstEx = ex
+			}
+			if d == n {
+				s.optimal++
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d random supplier mixes (classes 1-6, up to 24 suppliers); Theorem 1 optimum is n*dt.\n\n", trials)
+	fmt.Fprintf(&b, "%-34s %-12s %-14s %-12s\n", "strategy", "avg delay", "worst excess", "optimal")
+	fmt.Fprintf(&b, "%-34s %-12s %-14s %-12s\n", "", "(x dt)", "over n (x dt)", "(% of mixes)")
+	for _, s := range strategies {
+		fmt.Fprintf(&b, "%-34s %-12.2f %-14d %-12.1f\n",
+			s.name, float64(s.sum)/trials, s.worstEx, 100*float64(s.optimal)/trials)
+	}
+	fmt.Fprintf(&b, "\n(avg n = %.2f suppliers per mix; OTS_p2p is optimal on every mix by construction,\n", float64(totalN)/trials)
+	b.WriteString("verified in internal/core tests against exhaustive search)\n")
+	return &Report{
+		ID:    "ablation-assign",
+		Title: "Ablation: assignment strategy vs buffering delay",
+		Text:  b.String(),
+	}, nil
+}
+
+// randomMix builds a random class multiset with exact R0 sum by recursive
+// splitting (same construction as the core property tests).
+func randomMix(rng *rand.Rand, maxClass bandwidth.Class, maxPeers int) []core.Supplier {
+	classes := []bandwidth.Class{0}
+	for {
+		splittable := make([]int, 0, len(classes))
+		mustSplit := false
+		for i, c := range classes {
+			if c < maxClass {
+				splittable = append(splittable, i)
+			}
+			if c == 0 {
+				mustSplit = true
+			}
+		}
+		if len(splittable) == 0 || (!mustSplit && (len(classes) >= maxPeers || rng.Intn(3) == 0)) {
+			break
+		}
+		i := splittable[rng.Intn(len(splittable))]
+		classes[i]++
+		classes = append(classes, classes[i])
+	}
+	suppliers := make([]core.Supplier, len(classes))
+	for i, c := range classes {
+		suppliers[i] = core.Supplier{ID: fmt.Sprint(i), Class: c}
+	}
+	return suppliers
+}
+
+// AblationDown injects transient supplier unavailability and measures how
+// capacity amplification and overall admission degrade — the paper assumes
+// candidates may be "down" but never quantifies it.
+func (r *Runner) AblationDown() (*Report, error) {
+	var capSeries, admSeries []*metrics.Series
+	var b strings.Builder
+	for _, down := range []float64{0, 0.1, 0.3, 0.5} {
+		down := down
+		res, err := r.run(dac.DAC, arrival.Pattern2RampUpDown, func(c *system.Config) { c.DownProb = down })
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("down=%.0f%%", 100*down)
+		capSeries = append(capSeries, renameSeries(res.Capacity, name))
+		admSeries = append(admSeries, renameSeries(res.OverallAdmissionRate, name))
+	}
+	b.WriteString(metrics.Chart("Capacity vs transient supplier unavailability (Pattern 2, DAC)", 64, 14, capSeries...))
+	b.WriteString(sweepMidpointTable("down prob", capSeries, r.Scale.ArrivalWindow/2))
+	b.WriteString("\n")
+	b.WriteString(metrics.Chart("Overall admission rate vs unavailability", 64, 12, admSeries...))
+	csvCap, err := seriesCSV(capSeries...)
+	if err != nil {
+		return nil, err
+	}
+	csvAdm, err := seriesCSV(admSeries...)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-down",
+		Title: "Ablation: robustness to transiently-down suppliers",
+		Text:  b.String(),
+		CSV: map[string]string{
+			"ablation_down_capacity.csv":  csvCap,
+			"ablation_down_admission.csv": csvAdm,
+		},
+	}, nil
+}
+
+// AblationLookup swaps the candidate-discovery substrate: centralized
+// directory vs Chord-style distributed lookup. The admission dynamics
+// should be indistinguishable (both sample supplying peers ~uniformly);
+// Chord adds only routing cost, which the live benchmarks quantify.
+func (r *Runner) AblationLookup() (*Report, error) {
+	// Chord rebuilds are O(n log n); keep this ablation at a bounded size
+	// so it stays fast even when the runner is at full scale.
+	scale := r.Scale
+	if scale.Requesters > ReducedScale.Requesters {
+		scale = ReducedScale
+	}
+	var series []*metrics.Series
+	var b strings.Builder
+	var finals []float64
+	for _, kind := range []system.LookupKind{system.LookupDirectory, system.LookupChord} {
+		cfg := scale.Config(dac.DAC, arrival.Pattern2RampUpDown)
+		cfg.Lookup = kind
+		res, err := system.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, renameSeries(res.Capacity, kind.String()))
+		last, _ := res.Capacity.Last()
+		finals = append(finals, last)
+		adm, _ := res.OverallAdmissionRate.Last()
+		fmt.Fprintf(&b, "%-10s final capacity %.0f of %d, overall admission %.1f%%\n",
+			kind, last, res.MaxCapacity, adm)
+	}
+	b.WriteString("\n")
+	b.WriteString(metrics.Chart(fmt.Sprintf("Capacity: directory vs chord lookup (%d peers)", scale.Requesters), 64, 14, series...))
+	rel := 0.0
+	if finals[0] > 0 {
+		rel = 100 * (finals[1] - finals[0]) / finals[0]
+	}
+	fmt.Fprintf(&b, "\nfinal-capacity difference (chord vs directory): %+.1f%%\n", rel)
+	b.WriteString("(the protocol is lookup-agnostic up to the ring's stabilization lag: newly\n" +
+		"promoted suppliers only become discoverable at the next periodic stabilization,\n" +
+		"so the chord run trails slightly during fast growth)\n")
+	csv, err := seriesCSV(series...)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-lookup",
+		Title: "Ablation: candidate discovery substrate (directory vs Chord)",
+		Text:  b.String(),
+		CSV:   map[string]string{"ablation_lookup.csv": csv},
+	}, nil
+}
+
+// Replication reruns the headline comparison (DAC vs NDAC, Pattern 2)
+// under several seeds and reports mean ± 95% CI for final capacity and
+// per-class rejections — establishing that the paper's orderings are not
+// seed artifacts.
+func (r *Runner) Replication() (*Report, error) {
+	const replicas = 5
+	type sample struct {
+		capacity   []float64
+		rejections [4][]float64
+	}
+	collect := func(policy dac.Policy) (*sample, error) {
+		var out sample
+		for i := 0; i < replicas; i++ {
+			cfg := r.Scale.Config(policy, arrival.Pattern2RampUpDown)
+			cfg.Seed = r.Scale.Seed + int64(100*i)
+			res, err := system.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			last, _ := res.Capacity.Last()
+			out.capacity = append(out.capacity, last)
+			for c := 0; c < 4; c++ {
+				out.rejections[c] = append(out.rejections[c], res.AvgRejections[c])
+			}
+		}
+		return &out, nil
+	}
+	dacS, err := collect(dac.DAC)
+	if err != nil {
+		return nil, err
+	}
+	ndacS, err := collect(dac.NDAC)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d replicas per policy, Pattern 2, seeds %d..%d\n\n",
+		replicas, r.Scale.Seed, r.Scale.Seed+int64(100*(replicas-1)))
+	dCap, err := stats.Summarize(dacS.capacity)
+	if err != nil {
+		return nil, err
+	}
+	nCap, err := stats.Summarize(ndacS.capacity)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "final capacity: DAC %s vs NDAC %s\n\n", dCap, nCap)
+	fmt.Fprintf(&b, "%-8s %-24s %-24s\n", "class", "DAC avg rejections", "NDAC avg rejections")
+	ordered := true
+	var prevMean float64
+	for c := 0; c < 4; c++ {
+		d, err := stats.Summarize(dacS.rejections[c])
+		if err != nil {
+			return nil, err
+		}
+		n, err := stats.Summarize(ndacS.rejections[c])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%-8d %-24s %-24s\n", c+1, d, n)
+		if c > 0 && d.Mean < prevMean {
+			ordered = false
+		}
+		prevMean = d.Mean
+	}
+	fmt.Fprintf(&b, "\nDAC class ordering (1 <= 2 <= 3 <= 4) across replicas: %v\n", ordered)
+	return &Report{
+		ID:    "replication",
+		Title: "Replication: headline results under multiple seeds (mean ± 95% CI)",
+		Text:  b.String(),
+	}, nil
+}

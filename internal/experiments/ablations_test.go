@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionIDs(t *testing.T) {
+	want := []string{"ablation-assign", "ablation-down", "ablation-lookup", "replication"}
+	got := ExtensionIDs()
+	if len(got) != len(want) {
+		t.Fatalf("ExtensionIDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExtensionIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAblationAssign(t *testing.T) {
+	rep, err := NewRunner(tinyScale).AblationAssign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OTS_p2p (optimal)", "Figure 2 literal round-robin", "contiguous blocks", "100.0"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Text)
+		}
+	}
+	// The optimal strategy's average row must be listed first and its
+	// optimal share must be 100%.
+	lines := strings.Split(rep.Text, "\n")
+	var otsLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "OTS_p2p") {
+			otsLine = l
+		}
+	}
+	if !strings.Contains(otsLine, "100.0") || !strings.Contains(otsLine, " 0 ") {
+		t.Errorf("OTS row should show zero worst excess and 100%% optimal: %q", otsLine)
+	}
+}
+
+func TestAblationDown(t *testing.T) {
+	rep, err := NewRunner(tinyScale).AblationDown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"down=0%", "down=50%", "Capacity"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(rep.CSV) != 2 {
+		t.Errorf("CSV count = %d, want 2", len(rep.CSV))
+	}
+	// The sweep must actually vary: the healthy and the 50%-down capacity
+	// columns of the CSV must differ (this caught a cache-key bug that
+	// returned the same run for every down probability).
+	csv := rep.CSV["ablation_down_capacity.csv"]
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	last := strings.Split(lines[len(lines)-1], ",")
+	if len(last) < 5 {
+		t.Fatalf("unexpected CSV row %q", lines[len(lines)-1])
+	}
+	if last[1] == last[4] {
+		t.Errorf("down=0%% and down=50%% final capacity identical (%s): sweep not applied", last[1])
+	}
+}
+
+func TestAblationLookup(t *testing.T) {
+	rep, err := NewRunner(tinyScale).AblationLookup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"directory", "chord", "lookup-agnostic"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestReplication(t *testing.T) {
+	rep, err := NewRunner(tinyScale).Replication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"final capacity", "±", "class ordering"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestRunDispatchesExtensions(t *testing.T) {
+	r := NewRunner(tinyScale)
+	rep, err := r.Run("ablation-assign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "ablation-assign" {
+		t.Errorf("ID = %s", rep.ID)
+	}
+	if _, err := r.Run("nonsense"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestAllWithExtensions(t *testing.T) {
+	reports, err := NewRunner(tinyScale).AllWithExtensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(IDs()) + len(ExtensionIDs()); len(reports) != want {
+		t.Fatalf("got %d reports, want %d", len(reports), want)
+	}
+}

@@ -1,0 +1,97 @@
+// Package lookup provides the peer discovery substrate: a Napster-style
+// directory from which a requesting peer obtains M randomly selected
+// candidate supplying peers together with their bandwidth classes
+// (paper Section 4.2, footnote 4). The same interface is served by the
+// Chord-like ring in internal/chord for fully decentralized deployments.
+package lookup
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// Entry describes one supplying peer known to the directory.
+type Entry[ID comparable] struct {
+	ID    ID
+	Class bandwidth.Class
+}
+
+// Directory is an in-memory registry of supplying peers supporting uniform
+// random candidate sampling. It is not safe for concurrent use; the
+// simulator is single-threaded and the live directory server serializes
+// access with its own lock.
+type Directory[ID comparable] struct {
+	entries []Entry[ID]
+	index   map[ID]int
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory[ID comparable]() *Directory[ID] {
+	return &Directory[ID]{index: make(map[ID]int)}
+}
+
+// Register adds a supplying peer. Registering the same ID twice is an error
+// (a peer becomes a supplier exactly once per media item).
+func (d *Directory[ID]) Register(e Entry[ID]) error {
+	if _, dup := d.index[e.ID]; dup {
+		return fmt.Errorf("lookup: %v already registered", e.ID)
+	}
+	if !e.Class.Valid(bandwidth.MaxClass) {
+		return fmt.Errorf("lookup: %v has invalid %v", e.ID, e.Class)
+	}
+	d.index[e.ID] = len(d.entries)
+	d.entries = append(d.entries, e)
+	return nil
+}
+
+// Unregister removes a peer (e.g. a live node that departed). It reports
+// whether the peer was present.
+func (d *Directory[ID]) Unregister(id ID) bool {
+	i, ok := d.index[id]
+	if !ok {
+		return false
+	}
+	last := len(d.entries) - 1
+	if i != last {
+		d.entries[i] = d.entries[last]
+		d.index[d.entries[i].ID] = i
+	}
+	d.entries = d.entries[:last]
+	delete(d.index, id)
+	return true
+}
+
+// Len returns the number of registered peers.
+func (d *Directory[ID]) Len() int { return len(d.entries) }
+
+// Contains reports whether the peer is registered.
+func (d *Directory[ID]) Contains(id ID) bool {
+	_, ok := d.index[id]
+	return ok
+}
+
+// Sample returns min(m, Len) distinct peers chosen uniformly at random
+// using Floyd's algorithm (O(m) regardless of directory size). The caller's
+// random source keeps runs deterministic.
+func (d *Directory[ID]) Sample(m int, rng *rand.Rand) []Entry[ID] {
+	n := len(d.entries)
+	if m <= 0 || n == 0 {
+		return nil
+	}
+	if m >= n {
+		return append([]Entry[ID](nil), d.entries...)
+	}
+	chosen := make(map[int]struct{}, m)
+	out := make([]Entry[ID], 0, m)
+	for i := n - m; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if _, taken := chosen[j]; taken {
+			j = i
+		}
+		chosen[j] = struct{}{}
+		out = append(out, d.entries[j])
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package lookup
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2pstream/internal/bandwidth"
+)
+
+func TestRegisterAndContains(t *testing.T) {
+	d := NewDirectory[string]()
+	if d.Len() != 0 {
+		t.Error("new directory not empty")
+	}
+	if err := d.Register(Entry[string]{ID: "a", Class: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Entry[string]{ID: "a", Class: 2}); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := d.Register(Entry[string]{ID: "b", Class: 0}); err == nil {
+		t.Error("invalid class should fail")
+	}
+	if !d.Contains("a") || d.Contains("b") {
+		t.Error("Contains wrong")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	d := NewDirectory[int]()
+	for i := 0; i < 5; i++ {
+		if err := d.Register(Entry[int]{ID: i, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Unregister(2) {
+		t.Error("Unregister existing should return true")
+	}
+	if d.Unregister(2) {
+		t.Error("Unregister twice should return false")
+	}
+	if d.Len() != 4 || d.Contains(2) {
+		t.Error("directory state wrong after Unregister")
+	}
+	// The remaining entries stay reachable via Sample.
+	rng := rand.New(rand.NewSource(1))
+	got := d.Sample(10, rng)
+	if len(got) != 4 {
+		t.Fatalf("Sample after removal = %d entries", len(got))
+	}
+	seen := map[int]bool{}
+	for _, e := range got {
+		seen[e.ID] = true
+	}
+	for _, id := range []int{0, 1, 3, 4} {
+		if !seen[id] {
+			t.Errorf("entry %d lost after Unregister", id)
+		}
+	}
+}
+
+func TestSampleDistinctAndComplete(t *testing.T) {
+	d := NewDirectory[int]()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := d.Register(Entry[int]{ID: i, Class: bandwidth.Class(1 + i%4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(12)
+		got := d.Sample(m, rng)
+		if len(got) != m {
+			t.Fatalf("Sample(%d) returned %d", m, len(got))
+		}
+		seen := map[int]bool{}
+		for _, e := range got {
+			if seen[e.ID] {
+				t.Fatalf("duplicate %d in sample", e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	d := NewDirectory[int]()
+	rng := rand.New(rand.NewSource(1))
+	if got := d.Sample(5, rng); got != nil {
+		t.Error("sample of empty directory should be nil")
+	}
+	d.Register(Entry[int]{ID: 1, Class: 1})
+	d.Register(Entry[int]{ID: 2, Class: 2})
+	if got := d.Sample(0, rng); got != nil {
+		t.Error("Sample(0) should be nil")
+	}
+	if got := d.Sample(-1, rng); got != nil {
+		t.Error("Sample(-1) should be nil")
+	}
+	got := d.Sample(10, rng)
+	if len(got) != 2 {
+		t.Errorf("Sample(10) of 2 entries = %d", len(got))
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	d := NewDirectory[int]()
+	const n = 50
+	for i := 0; i < n; i++ {
+		d.Register(Entry[int]{ID: i, Class: 1})
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, n)
+	const trials = 20000
+	for trial := 0; trial < trials; trial++ {
+		for _, e := range d.Sample(5, rng) {
+			counts[e.ID]++
+		}
+	}
+	want := float64(trials*5) / n // 2000 per entry
+	for id, c := range counts {
+		if f := float64(c); f < want*0.85 || f > want*1.15 {
+			t.Errorf("entry %d sampled %d times, want ~%.0f", id, c, want)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	build := func() *Directory[int] {
+		d := NewDirectory[int]()
+		for i := 0; i < 30; i++ {
+			d.Register(Entry[int]{ID: i, Class: 2})
+		}
+		return d
+	}
+	a := build().Sample(8, rand.New(rand.NewSource(9)))
+	b := build().Sample(8, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different samples")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package media
+
+import (
+	"fmt"
+	"time"
+)
+
+// PlaybackBuffer is the receiver-side playback engine: segments are pushed
+// as they arrive (in any order, from multiple suppliers), and Consume pulls
+// them in playback order against their deadlines. It implements the
+// 'play-while-downloading' behavior the paper contrasts with file sharing,
+// and reports stalls the moment they happen instead of post-hoc.
+//
+// The buffer works on a virtual clock (durations since transmission start),
+// so it is equally usable by the deterministic simulator and by live nodes
+// feeding it wall-clock offsets. It is not safe for concurrent use; the
+// live node serializes pushes with its receive loop.
+type PlaybackBuffer struct {
+	file    *File
+	delay   time.Duration
+	arrived []bool
+	next    SegmentID
+	stalls  int
+	// stallUntil tracks cumulative re-buffering: if a segment misses its
+	// deadline, playback resumes only once it arrives, shifting every later
+	// deadline (the standard stall model).
+	shift time.Duration
+}
+
+// NewPlaybackBuffer returns a buffer that starts playback after the given
+// buffering delay (Theorem 1: n·δt for an n-supplier OTS session).
+func NewPlaybackBuffer(f *File, delay time.Duration) (*PlaybackBuffer, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("media: negative buffering delay %v", delay)
+	}
+	return &PlaybackBuffer{
+		file:    f,
+		delay:   delay,
+		arrived: make([]bool, f.Segments),
+	}, nil
+}
+
+// Push records that a segment has fully arrived at the given time (measured
+// from transmission start). Duplicate or out-of-range pushes are errors.
+func (b *PlaybackBuffer) Push(id SegmentID, at time.Duration) error {
+	if id < 0 || int(id) >= b.file.Segments {
+		return fmt.Errorf("media: segment %d out of range [0,%d)", id, b.file.Segments)
+	}
+	if b.arrived[id] {
+		return fmt.Errorf("media: segment %d pushed twice", id)
+	}
+	if at < 0 {
+		return fmt.Errorf("media: segment %d arrival %v before transmission start", id, at)
+	}
+	b.arrived[id] = true
+	// A push can only clear a stall for the segment playback is waiting on;
+	// Consume accounts for the induced shift.
+	return nil
+}
+
+// Deadline returns the time at which segment id must be present for
+// uninterrupted playback, including any shift accumulated from earlier
+// stalls.
+func (b *PlaybackBuffer) Deadline(id SegmentID) time.Duration {
+	return b.delay + b.shift + time.Duration(id)*b.file.SegmentTime
+}
+
+// Consume advances playback to the given segment: it reports whether the
+// segment was ready by its deadline, charging a stall (and shifting later
+// deadlines by the wait) when it was not. arrivedAt is the push time of the
+// segment; callers consume segments strictly in order.
+func (b *PlaybackBuffer) Consume(id SegmentID, arrivedAt time.Duration) (onTime bool, err error) {
+	if id != b.next {
+		return false, fmt.Errorf("media: consuming segment %d, want %d (in-order playback)", id, b.next)
+	}
+	if !b.arrived[id] {
+		return false, fmt.Errorf("media: consuming segment %d before it was pushed", id)
+	}
+	b.next++
+	deadline := b.Deadline(id)
+	if arrivedAt <= deadline {
+		return true, nil
+	}
+	// Stall: playback waits for the segment; all later deadlines shift.
+	b.stalls++
+	b.shift += arrivedAt - deadline
+	return false, nil
+}
+
+// Stalls returns the number of stalls charged so far.
+func (b *PlaybackBuffer) Stalls() int { return b.stalls }
+
+// Rebuffered returns the total extra waiting time accumulated by stalls.
+func (b *PlaybackBuffer) Rebuffered() time.Duration { return b.shift }
+
+// Finished reports whether every segment has been consumed.
+func (b *PlaybackBuffer) Finished() bool { return int(b.next) == b.file.Segments }
+
+// PlayAll pushes all arrivals and consumes the whole file, returning the
+// final report. It is the streaming-order equivalent of VerifyPlayback and
+// agrees with it whenever playback never stalls.
+func PlayAll(f *File, arrivals []time.Duration, delay time.Duration) (PlaybackReport, error) {
+	b, err := NewPlaybackBuffer(f, delay)
+	if err != nil {
+		return PlaybackReport{}, err
+	}
+	if len(arrivals) != f.Segments {
+		return PlaybackReport{}, fmt.Errorf("media: %d arrival times for %d segments", len(arrivals), f.Segments)
+	}
+	report := PlaybackReport{Delay: delay, FirstStall: -1}
+	for id := 0; id < f.Segments; id++ {
+		if err := b.Push(SegmentID(id), arrivals[id]); err != nil {
+			return PlaybackReport{}, err
+		}
+	}
+	for id := 0; id < f.Segments; id++ {
+		onTime, err := b.Consume(SegmentID(id), arrivals[id])
+		if err != nil {
+			return PlaybackReport{}, err
+		}
+		if !onTime {
+			report.Stalls++
+			if report.FirstStall < 0 {
+				report.FirstStall = SegmentID(id)
+			}
+		}
+	}
+	return report, nil
+}

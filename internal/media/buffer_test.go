@@ -1,0 +1,186 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPlaybackBufferSmooth(t *testing.T) {
+	f := testFile() // 8 segments, δt = 1s
+	b, err := NewPlaybackBuffer(f, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < f.Segments; id++ {
+		at := time.Duration(id+1) * time.Second // one segment per second
+		if err := b.Push(SegmentID(id), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < f.Segments; id++ {
+		onTime, err := b.Consume(SegmentID(id), time.Duration(id+1)*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !onTime {
+			t.Errorf("segment %d late", id)
+		}
+	}
+	if b.Stalls() != 0 || b.Rebuffered() != 0 {
+		t.Errorf("Stalls=%d Rebuffered=%v", b.Stalls(), b.Rebuffered())
+	}
+	if !b.Finished() {
+		t.Error("not finished")
+	}
+}
+
+func TestPlaybackBufferStallShiftsDeadlines(t *testing.T) {
+	f := testFile()
+	b, err := NewPlaybackBuffer(f, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment 0 arrives 3s late (at 4s vs deadline 1s): one stall, shift 3s.
+	arrivals := []time.Duration{4 * time.Second}
+	for id := 1; id < f.Segments; id++ {
+		arrivals = append(arrivals, time.Duration(id+1)*time.Second)
+	}
+	for id, at := range arrivals {
+		if err := b.Push(SegmentID(id), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	onTime, err := b.Consume(0, arrivals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onTime {
+		t.Fatal("segment 0 should stall")
+	}
+	if b.Rebuffered() != 3*time.Second {
+		t.Errorf("Rebuffered = %v, want 3s", b.Rebuffered())
+	}
+	// After the shift, segment 1's deadline is 1s + 3s + 1s = 5s; it
+	// arrived at 2s, so the rest of playback is smooth.
+	for id := 1; id < f.Segments; id++ {
+		onTime, err := b.Consume(SegmentID(id), arrivals[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !onTime {
+			t.Errorf("segment %d late after shift", id)
+		}
+	}
+	if b.Stalls() != 1 {
+		t.Errorf("Stalls = %d, want 1", b.Stalls())
+	}
+}
+
+func TestPlaybackBufferErrors(t *testing.T) {
+	f := testFile()
+	if _, err := NewPlaybackBuffer(&File{}, 0); err == nil {
+		t.Error("invalid file should fail")
+	}
+	if _, err := NewPlaybackBuffer(f, -time.Second); err == nil {
+		t.Error("negative delay should fail")
+	}
+	b, _ := NewPlaybackBuffer(f, 0)
+	if err := b.Push(-1, 0); err == nil {
+		t.Error("negative id should fail")
+	}
+	if err := b.Push(99, 0); err == nil {
+		t.Error("out of range id should fail")
+	}
+	if err := b.Push(0, -time.Second); err == nil {
+		t.Error("negative arrival should fail")
+	}
+	if err := b.Push(0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Push(0, time.Second); err == nil {
+		t.Error("duplicate push should fail")
+	}
+	if _, err := b.Consume(1, 0); err == nil {
+		t.Error("out-of-order consume should fail")
+	}
+	if _, err := b.Consume(0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Consume(1, 0); err == nil {
+		t.Error("consuming an un-pushed segment should fail")
+	}
+}
+
+// TestPlayAllAgreesWithVerifyPlayback: when the delay is sufficient for
+// continuity, the streaming-order player and the post-hoc verifier agree;
+// the player's first stall also matches.
+func TestPlayAllAgreesWithVerifyPlayback(t *testing.T) {
+	f := &File{Name: "t", Segments: 64, SegmentBytes: 1, SegmentTime: time.Second}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		arrivals := make([]time.Duration, f.Segments)
+		for id := range arrivals {
+			arrivals[id] = time.Duration(id)*f.SegmentTime + time.Duration(rng.Intn(5000))*time.Millisecond
+		}
+		delay := time.Duration(rng.Intn(6)) * f.SegmentTime
+		post, err := VerifyPlayback(f, arrivals, delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := PlayAll(f, arrivals, delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Continuity agreement in both directions.
+		if post.Continuous() != live.Continuous() {
+			t.Fatalf("trial %d: post-hoc continuous=%v, streaming continuous=%v",
+				trial, post.Continuous(), live.Continuous())
+		}
+		if !post.Continuous() && post.FirstStall != live.FirstStall {
+			t.Fatalf("trial %d: first stall post=%d live=%d", trial, post.FirstStall, live.FirstStall)
+		}
+		// Stall shifting means the live player never reports MORE stalls
+		// than the post-hoc verifier (later deadlines relax after a stall).
+		if live.Stalls > post.Stalls {
+			t.Fatalf("trial %d: live stalls %d > post-hoc %d", trial, live.Stalls, post.Stalls)
+		}
+	}
+}
+
+func TestPlayAllOTSSchedule(t *testing.T) {
+	// The OTS arrival pattern (one segment per supplier-period) plays back
+	// with zero stalls at exactly the Theorem 1 delay and stalls below it.
+	f := &File{Name: "t", Segments: 16, SegmentBytes: 1, SegmentTime: time.Second}
+	arrivals := make([]time.Duration, f.Segments)
+	for id := range arrivals {
+		arrivals[id] = time.Duration(id+1) * f.SegmentTime
+	}
+	report, err := PlayAll(f, arrivals, f.SegmentTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Continuous() {
+		t.Error("should be continuous at the exact delay")
+	}
+	report, err = PlayAll(f, arrivals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Continuous() {
+		t.Error("should stall below the minimal delay")
+	}
+	if report.FirstStall != 0 {
+		t.Errorf("FirstStall = %d, want 0", report.FirstStall)
+	}
+}
+
+func TestPlayAllErrors(t *testing.T) {
+	f := testFile()
+	if _, err := PlayAll(f, make([]time.Duration, 3), 0); err == nil {
+		t.Error("wrong arrival count should fail")
+	}
+	if _, err := PlayAll(&File{}, nil, 0); err == nil {
+		t.Error("invalid file should fail")
+	}
+}

@@ -1,0 +1,178 @@
+// Package media models the constant-bit-rate (CBR) media file shared by the
+// peer-to-peer streaming system.
+//
+// Following Section 2 of the paper, the media file is partitioned into small
+// sequential segments of equal size; the stream is CBR, so every segment has
+// the same playback time δt (typically on the order of seconds). A peer that
+// plays the file consumes segment s during the interval
+// [start + s·δt, start + (s+1)·δt), where start is the playback start time.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// SegmentID identifies a segment by its position in the file (0-based).
+type SegmentID int
+
+// File describes a CBR media file.
+type File struct {
+	// Name identifies the media item (e.g. "popular-video").
+	Name string
+	// Segments is the total number of equal-size segments.
+	Segments int
+	// SegmentBytes is the size of each segment in bytes.
+	SegmentBytes int
+	// SegmentTime is δt: the playback duration of one segment.
+	SegmentTime time.Duration
+}
+
+// Validate returns an error if the file description is unusable.
+func (f *File) Validate() error {
+	switch {
+	case f.Name == "":
+		return errors.New("media: file needs a name")
+	case f.Segments <= 0:
+		return fmt.Errorf("media: %q has %d segments, want > 0", f.Name, f.Segments)
+	case f.SegmentBytes <= 0:
+		return fmt.Errorf("media: %q segment size %d, want > 0", f.Name, f.SegmentBytes)
+	case f.SegmentTime <= 0:
+		return fmt.Errorf("media: %q segment time %v, want > 0", f.Name, f.SegmentTime)
+	}
+	return nil
+}
+
+// Duration is the total playback time of the file ("show time").
+func (f *File) Duration() time.Duration {
+	return time.Duration(f.Segments) * f.SegmentTime
+}
+
+// TotalBytes is the size of the whole file.
+func (f *File) TotalBytes() int64 {
+	return int64(f.Segments) * int64(f.SegmentBytes)
+}
+
+// PlaybackRateBps is R0 expressed in bytes per second.
+func (f *File) PlaybackRateBps() float64 {
+	return float64(f.SegmentBytes) / f.SegmentTime.Seconds()
+}
+
+// StandardFile builds the paper's simulation media item: a 60-minute video
+// with 1-second segments. The byte size is arbitrary in the simulator (only
+// timing matters) but is set so the live stack can stream real data.
+func StandardFile() *File {
+	return &File{
+		Name:         "popular-video",
+		Segments:     3600,
+		SegmentBytes: 4096,
+		SegmentTime:  time.Second,
+	}
+}
+
+// Segment is one unit of media data.
+type Segment struct {
+	ID   SegmentID
+	Data []byte
+}
+
+// Store holds the segments of one file that a peer possesses. A requesting
+// peer fills its store during a session; a supplying peer serves from a
+// complete store. The zero value is an empty store for a nil file; use
+// NewStore.
+type Store struct {
+	file *File
+	data [][]byte // indexed by SegmentID; nil means missing
+	have int
+}
+
+// NewStore returns an empty store for the given file.
+func NewStore(f *File) (*Store, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{file: f, data: make([][]byte, f.Segments)}, nil
+}
+
+// NewSeededStore returns a store pre-filled with deterministic synthetic
+// content for every segment, as held by a "seed" supplying peer. Segment s
+// is filled with the repeated byte pattern derived from s so that transfers
+// can be verified end to end.
+func NewSeededStore(f *File) (*Store, error) {
+	s, err := NewStore(f)
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < f.Segments; id++ {
+		if err := s.Put(SegmentContent(f, SegmentID(id))); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SegmentContent generates the canonical synthetic content of a segment.
+// Both ends of a transfer can regenerate it, which lets tests verify
+// byte-exact delivery without shipping a real media file.
+func SegmentContent(f *File, id SegmentID) Segment {
+	data := make([]byte, f.SegmentBytes)
+	for i := range data {
+		data[i] = byte((int(id)*131 + i*31) % 251)
+	}
+	return Segment{ID: id, Data: data}
+}
+
+// File returns the file description the store belongs to.
+func (s *Store) File() *File { return s.file }
+
+// Put stores a segment. It rejects out-of-range IDs and size mismatches;
+// re-putting an existing segment is an error (it indicates a protocol bug:
+// no supplier should send a segment twice).
+func (s *Store) Put(seg Segment) error {
+	if seg.ID < 0 || int(seg.ID) >= s.file.Segments {
+		return fmt.Errorf("media: segment %d out of range [0,%d)", seg.ID, s.file.Segments)
+	}
+	if len(seg.Data) != s.file.SegmentBytes {
+		return fmt.Errorf("media: segment %d has %d bytes, want %d", seg.ID, len(seg.Data), s.file.SegmentBytes)
+	}
+	if s.data[seg.ID] != nil {
+		return fmt.Errorf("media: segment %d already stored", seg.ID)
+	}
+	s.data[seg.ID] = seg.Data
+	s.have++
+	return nil
+}
+
+// Get returns the segment with the given ID, or false if it is missing.
+func (s *Store) Get(id SegmentID) (Segment, bool) {
+	if id < 0 || int(id) >= s.file.Segments || s.data[id] == nil {
+		return Segment{}, false
+	}
+	return Segment{ID: id, Data: s.data[id]}, true
+}
+
+// Has reports whether the segment is present.
+func (s *Store) Has(id SegmentID) bool {
+	return id >= 0 && int(id) < s.file.Segments && s.data[id] != nil
+}
+
+// Count returns how many segments are present.
+func (s *Store) Count() int { return s.have }
+
+// Complete reports whether every segment of the file is present.
+func (s *Store) Complete() bool { return s.have == s.file.Segments }
+
+// MissingBefore returns the first missing segment ID below limit, or -1 if
+// all segments in [0, limit) are present.
+func (s *Store) MissingBefore(limit SegmentID) SegmentID {
+	if int(limit) > s.file.Segments {
+		limit = SegmentID(s.file.Segments)
+	}
+	for id := SegmentID(0); id < limit; id++ {
+		if s.data[id] == nil {
+			return id
+		}
+	}
+	return -1
+}

@@ -1,0 +1,253 @@
+package media
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func testFile() *File {
+	return &File{Name: "t", Segments: 8, SegmentBytes: 16, SegmentTime: time.Second}
+}
+
+func TestFileValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*File)
+		wantErr bool
+	}{
+		{"valid", func(f *File) {}, false},
+		{"no name", func(f *File) { f.Name = "" }, true},
+		{"zero segments", func(f *File) { f.Segments = 0 }, true},
+		{"negative segments", func(f *File) { f.Segments = -1 }, true},
+		{"zero bytes", func(f *File) { f.SegmentBytes = 0 }, true},
+		{"zero time", func(f *File) { f.SegmentTime = 0 }, true},
+		{"negative time", func(f *File) { f.SegmentTime = -time.Second }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := testFile()
+			tt.mutate(f)
+			if err := f.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFileDerivedQuantities(t *testing.T) {
+	f := testFile()
+	if got := f.Duration(); got != 8*time.Second {
+		t.Errorf("Duration = %v, want 8s", got)
+	}
+	if got := f.TotalBytes(); got != 128 {
+		t.Errorf("TotalBytes = %d, want 128", got)
+	}
+	if got := f.PlaybackRateBps(); got != 16 {
+		t.Errorf("PlaybackRateBps = %g, want 16", got)
+	}
+}
+
+func TestStandardFile(t *testing.T) {
+	f := StandardFile()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("StandardFile invalid: %v", err)
+	}
+	if got := f.Duration(); got != time.Hour {
+		t.Errorf("StandardFile duration = %v, want 1h (the paper's 60-minute video)", got)
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	f := testFile()
+	s, err := NewStore(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Complete() {
+		t.Error("empty store reports Complete")
+	}
+	seg := SegmentContent(f, 3)
+	if err := s.Put(seg); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(3)
+	if !ok {
+		t.Fatal("Get(3) missing after Put")
+	}
+	if !bytes.Equal(got.Data, seg.Data) {
+		t.Error("Get(3) returned different data")
+	}
+	if !s.Has(3) || s.Has(2) {
+		t.Error("Has() wrong")
+	}
+	if s.Count() != 1 {
+		t.Errorf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestStorePutErrors(t *testing.T) {
+	f := testFile()
+	s, _ := NewStore(f)
+	if err := s.Put(Segment{ID: -1, Data: make([]byte, 16)}); err == nil {
+		t.Error("Put(-1) should fail")
+	}
+	if err := s.Put(Segment{ID: 8, Data: make([]byte, 16)}); err == nil {
+		t.Error("Put(8) out of range should fail")
+	}
+	if err := s.Put(Segment{ID: 0, Data: make([]byte, 15)}); err == nil {
+		t.Error("Put with wrong size should fail")
+	}
+	if err := s.Put(SegmentContent(f, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(SegmentContent(f, 0)); err == nil {
+		t.Error("double Put should fail")
+	}
+}
+
+func TestStoreGetOutOfRange(t *testing.T) {
+	s, _ := NewStore(testFile())
+	if _, ok := s.Get(-1); ok {
+		t.Error("Get(-1) should be missing")
+	}
+	if _, ok := s.Get(100); ok {
+		t.Error("Get(100) should be missing")
+	}
+}
+
+func TestNewStoreInvalidFile(t *testing.T) {
+	if _, err := NewStore(&File{}); err == nil {
+		t.Error("NewStore with invalid file should fail")
+	}
+	if _, err := NewSeededStore(&File{}); err == nil {
+		t.Error("NewSeededStore with invalid file should fail")
+	}
+}
+
+func TestSeededStoreComplete(t *testing.T) {
+	f := testFile()
+	s, err := NewSeededStore(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete() {
+		t.Error("seeded store not complete")
+	}
+	if s.Count() != f.Segments {
+		t.Errorf("Count = %d, want %d", s.Count(), f.Segments)
+	}
+	// Content must be deterministic and distinct between segments.
+	a, _ := s.Get(0)
+	b, _ := s.Get(1)
+	if bytes.Equal(a.Data, b.Data) {
+		t.Error("segments 0 and 1 have identical content")
+	}
+	again := SegmentContent(f, 0)
+	if !bytes.Equal(a.Data, again.Data) {
+		t.Error("SegmentContent not deterministic")
+	}
+}
+
+func TestStoreMissingBefore(t *testing.T) {
+	f := testFile()
+	s, _ := NewStore(f)
+	if got := s.MissingBefore(4); got != 0 {
+		t.Errorf("MissingBefore(4) = %d, want 0", got)
+	}
+	for _, id := range []SegmentID{0, 1, 3} {
+		if err := s.Put(SegmentContent(f, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.MissingBefore(4); got != 2 {
+		t.Errorf("MissingBefore(4) = %d, want 2", got)
+	}
+	if got := s.MissingBefore(2); got != -1 {
+		t.Errorf("MissingBefore(2) = %d, want -1", got)
+	}
+	if got := s.MissingBefore(100); got != 2 {
+		t.Errorf("MissingBefore(100) = %d, want 2 (clamped)", got)
+	}
+}
+
+func TestVerifyPlaybackContinuous(t *testing.T) {
+	f := testFile()
+	// Segment s arrives at (s+1)·δt: continuous with delay 1·δt.
+	arrivals := make([]time.Duration, f.Segments)
+	for s := range arrivals {
+		arrivals[s] = time.Duration(s+1) * f.SegmentTime
+	}
+	report, err := VerifyPlayback(f, arrivals, f.SegmentTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Continuous() {
+		t.Errorf("expected continuous playback, got %d stalls (first %d)", report.Stalls, report.FirstStall)
+	}
+	// With zero delay, every segment arrives exactly δt late.
+	report, err = VerifyPlayback(f, arrivals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stalls != f.Segments {
+		t.Errorf("Stalls = %d, want %d", report.Stalls, f.Segments)
+	}
+	if report.FirstStall != 0 {
+		t.Errorf("FirstStall = %d, want 0", report.FirstStall)
+	}
+}
+
+func TestVerifyPlaybackErrors(t *testing.T) {
+	f := testFile()
+	if _, err := VerifyPlayback(f, make([]time.Duration, 3), 0); err == nil {
+		t.Error("wrong arrival count should fail")
+	}
+	if _, err := VerifyPlayback(&File{}, nil, 0); err == nil {
+		t.Error("invalid file should fail")
+	}
+}
+
+func TestMinimalDelay(t *testing.T) {
+	f := testFile()
+	arrivals := make([]time.Duration, f.Segments)
+	for s := range arrivals {
+		arrivals[s] = time.Duration(s+1) * f.SegmentTime
+	}
+	// Worst slack is exactly 1·δt for every segment.
+	got, err := MinimalDelay(f, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f.SegmentTime {
+		t.Errorf("MinimalDelay = %v, want %v", got, f.SegmentTime)
+	}
+	// The minimal delay must verify as continuous, and one nanosecond less
+	// must stall.
+	report, _ := VerifyPlayback(f, arrivals, got)
+	if !report.Continuous() {
+		t.Error("minimal delay is not continuous")
+	}
+	report, _ = VerifyPlayback(f, arrivals, got-time.Nanosecond)
+	if report.Continuous() {
+		t.Error("delay below minimal should stall")
+	}
+}
+
+func TestMinimalDelayAllEarly(t *testing.T) {
+	f := testFile()
+	arrivals := make([]time.Duration, f.Segments)
+	got, err := MinimalDelay(f, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("MinimalDelay with instant arrivals = %v, want 0", got)
+	}
+	if _, err := MinimalDelay(f, nil); err == nil {
+		t.Error("nil arrivals should fail")
+	}
+	if _, err := MinimalDelay(&File{}, nil); err == nil {
+		t.Error("invalid file should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package media
+
+import (
+	"fmt"
+	"time"
+)
+
+// PlaybackReport summarizes a playback verification run.
+type PlaybackReport struct {
+	// Delay is the buffering delay: the interval between the start of
+	// segment transmission and the start of playback.
+	Delay time.Duration
+	// Stalls counts segments that were not present at their playback
+	// deadline. Zero stalls means continuous playback.
+	Stalls int
+	// FirstStall is the segment where the first stall occurred (-1 if none).
+	FirstStall SegmentID
+}
+
+// Continuous reports whether playback never stalled.
+func (r PlaybackReport) Continuous() bool { return r.Stalls == 0 }
+
+// VerifyPlayback checks that a set of segment arrival times supports
+// continuous playback starting after the given buffering delay. arrivals[s]
+// is the time (measured from transmission start) at which segment s is fully
+// received. Playback of segment s begins at delay + s·δt; the segment must
+// have arrived by then.
+//
+// This is the executable form of the paper's continuity requirement and is
+// used to validate assignment schedules (Theorem 1) end to end.
+func VerifyPlayback(f *File, arrivals []time.Duration, delay time.Duration) (PlaybackReport, error) {
+	if err := f.Validate(); err != nil {
+		return PlaybackReport{}, err
+	}
+	if len(arrivals) != f.Segments {
+		return PlaybackReport{}, fmt.Errorf("media: %d arrival times for %d segments", len(arrivals), f.Segments)
+	}
+	report := PlaybackReport{Delay: delay, FirstStall: -1}
+	for s := 0; s < f.Segments; s++ {
+		deadline := delay + time.Duration(s)*f.SegmentTime
+		if arrivals[s] > deadline {
+			report.Stalls++
+			if report.FirstStall < 0 {
+				report.FirstStall = SegmentID(s)
+			}
+		}
+	}
+	return report, nil
+}
+
+// MinimalDelay returns the smallest buffering delay that yields continuous
+// playback for the given arrival times: max over s of arrival(s) - s·δt
+// (clamped at zero).
+func MinimalDelay(f *File, arrivals []time.Duration) (time.Duration, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if len(arrivals) != f.Segments {
+		return 0, fmt.Errorf("media: %d arrival times for %d segments", len(arrivals), f.Segments)
+	}
+	var delay time.Duration
+	for s, arr := range arrivals {
+		if d := arr - time.Duration(s)*f.SegmentTime; d > delay {
+			delay = d
+		}
+	}
+	return delay, nil
+}

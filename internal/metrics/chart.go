@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Chart renders one or more series as an ASCII line chart sized width x
+// height characters (plus axes). Each series is drawn with its own marker
+// rune; a legend follows the plot. It is intentionally simple — enough for
+// experiment binaries to show every figure's shape in a terminal, mirroring
+// the gnuplot figures in the paper.
+func Chart(title string, width, height int, series ...*Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	markers := []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	var tMax time.Duration
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if n := s.Len(); n > 0 && s.Times[n-1] > tMax {
+			tMax = s.Times[n-1]
+		}
+		if v, ok := s.Min(); ok && v < vMin {
+			vMin = v
+		}
+		if v, ok := s.Max(); ok && v > vMax {
+			vMax = v
+		}
+	}
+	if math.IsInf(vMin, 1) { // no data at all
+		vMin, vMax = 0, 1
+	}
+	if vMin > 0 && vMin < vMax/4 {
+		vMin = 0 // anchor at zero like the paper's plots when near it
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for i := 0; i < s.Len(); i++ {
+			if s.Missing(i) {
+				continue
+			}
+			var col int
+			if tMax > 0 {
+				col = int(float64(s.Times[i]) / float64(tMax) * float64(width-1))
+			}
+			row := height - 1 - int((s.Values[i]-vMin)/(vMax-vMin)*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, rowRunes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.1f", vMax)
+		case height - 1:
+			label = fmt.Sprintf("%10.1f", vMin)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(rowRunes))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  0h%*s\n", strings.Repeat(" ", 10), width-3, fmt.Sprintf("%.0fh", tMax.Hours()))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+// Package metrics provides the measurement plumbing for the evaluation:
+// time series sampled on the simulator clock, per-class accumulators, CSV
+// emission, and a small ASCII chart renderer so experiment binaries can show
+// every figure's shape directly in a terminal.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series is a time-ordered sequence of (time, value) samples.
+type Series struct {
+	Name    string
+	Times   []time.Duration
+	Values  []float64
+	missing []bool
+}
+
+// Add appends a sample. Samples must be appended in non-decreasing time
+// order; Add panics otherwise (it indicates a simulator bug).
+func (s *Series) Add(t time.Duration, v float64) {
+	if n := len(s.Times); n > 0 && t < s.Times[n-1] {
+		panic(fmt.Sprintf("metrics: sample at %v after %v", t, s.Times[n-1]))
+	}
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+	s.missing = append(s.missing, false)
+}
+
+// AddMissing appends a placeholder for a time where the metric was
+// undefined (e.g. an average over an empty population). Missing samples are
+// skipped by Min/Max/At and rendered as blanks in CSV.
+func (s *Series) AddMissing(t time.Duration) {
+	if n := len(s.Times); n > 0 && t < s.Times[n-1] {
+		panic(fmt.Sprintf("metrics: sample at %v after %v", t, s.Times[n-1]))
+	}
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, math.NaN())
+	s.missing = append(s.missing, true)
+}
+
+// Len returns the number of samples (including missing placeholders).
+func (s *Series) Len() int { return len(s.Times) }
+
+// Missing reports whether sample i is a placeholder.
+func (s *Series) Missing(i int) bool { return s.missing[i] }
+
+// At returns the last defined value at or before t, and false if there is
+// none.
+func (s *Series) At(t time.Duration) (float64, bool) {
+	idx := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t }) - 1
+	for ; idx >= 0; idx-- {
+		if !s.missing[idx] {
+			return s.Values[idx], true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the final defined value, and false if the series has none.
+func (s *Series) Last() (float64, bool) {
+	for i := len(s.Values) - 1; i >= 0; i-- {
+		if !s.missing[i] {
+			return s.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Min and Max return the smallest and largest defined values; ok is false
+// for an all-missing series.
+func (s *Series) Min() (float64, bool) { return s.extreme(func(a, b float64) bool { return a < b }) }
+
+// Max returns the largest defined value.
+func (s *Series) Max() (float64, bool) { return s.extreme(func(a, b float64) bool { return a > b }) }
+
+func (s *Series) extreme(better func(a, b float64) bool) (float64, bool) {
+	found := false
+	var best float64
+	for i, v := range s.Values {
+		if s.missing[i] {
+			continue
+		}
+		if !found || better(v, best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// WriteCSV emits one or more series sharing a time axis as CSV with the
+// time in hours in the first column. All series must have identical sample
+// times; it returns an error otherwise.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series")
+	}
+	n := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != n {
+			return fmt.Errorf("metrics: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "hours")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.3f", series[0].Times[i].Hours()))
+		for _, s := range series {
+			if s.Times[i] != series[0].Times[i] {
+				return fmt.Errorf("metrics: series %q sample %d at %v, want %v", s.Name, i, s.Times[i], series[0].Times[i])
+			}
+			if s.missing[i] {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", s.Values[i]))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PerClass accumulates per-class counters and sums indexed by class number
+// (1-based). It backs the paper's per-class metrics: admissions, rejections,
+// buffering delay.
+type PerClass struct {
+	k      int
+	counts []int64
+	sums   []float64
+}
+
+// NewPerClass returns accumulators for classes 1..k.
+func NewPerClass(k int) *PerClass {
+	return &PerClass{k: k, counts: make([]int64, k+1), sums: make([]float64, k+1)}
+}
+
+// Observe adds a value for the given class. Out-of-range classes panic (a
+// simulator bug, not an input condition).
+func (p *PerClass) Observe(class int, v float64) {
+	if class < 1 || class > p.k {
+		panic(fmt.Sprintf("metrics: class %d outside [1,%d]", class, p.k))
+	}
+	p.counts[class]++
+	p.sums[class] += v
+}
+
+// Count returns how many observations class has.
+func (p *PerClass) Count(class int) int64 { return p.counts[class] }
+
+// Sum returns the observation total for class.
+func (p *PerClass) Sum(class int) float64 { return p.sums[class] }
+
+// Mean returns the class average and false if the class has no samples.
+func (p *PerClass) Mean(class int) (float64, bool) {
+	if p.counts[class] == 0 {
+		return 0, false
+	}
+	return p.sums[class] / float64(p.counts[class]), true
+}
+
+// TotalCount returns observations across every class.
+func (p *PerClass) TotalCount() int64 {
+	var t int64
+	for c := 1; c <= p.k; c++ {
+		t += p.counts[c]
+	}
+	return t
+}
+
+// TotalMean returns the mean across every class (false if empty).
+func (p *PerClass) TotalMean() (float64, bool) {
+	n := p.TotalCount()
+	if n == 0 {
+		return 0, false
+	}
+	var s float64
+	for c := 1; c <= p.k; c++ {
+		s += p.sums[c]
+	}
+	return s / float64(n), true
+}

@@ -1,0 +1,225 @@
+package node
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pstream/internal/media"
+	"p2pstream/internal/transport"
+)
+
+// TestSupplierCrashMidSession: one supplier dies while streaming; the
+// requester surfaces an error, keeps a partial store, and does not become
+// a supplying peer.
+func TestSupplierCrashMidSession(t *testing.T) {
+	c := newCluster(t)
+	s1 := c.seed("seed1", 1)
+	c.seed("seed2", 1)
+	req := c.requester("r", 1)
+
+	// Kill seed1's listener shortly after the session starts: its write
+	// loop keeps running, but the TCP connection dies with the process's
+	// listener teardown below (Close also stops in-flight handlers'
+	// connections by closing the listener only; to cut the stream we close
+	// the whole node).
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		s1.Close()
+	}()
+	_, err := req.Request()
+	if err == nil {
+		// Timing race: the session may have finished before the crash on a
+		// very fast machine; treat completion as a skip rather than a fail.
+		if req.Store().Complete() {
+			t.Skip("session completed before the crash could land")
+		}
+		t.Fatal("expected an error after supplier crash")
+	}
+	if req.Supplying() {
+		t.Error("peer must not supply after a failed session")
+	}
+	if req.Store().Complete() {
+		t.Error("store should be incomplete after crash")
+	}
+}
+
+// TestRequesterAbortCancelsSuppliers: when the requester hangs up
+// mid-session, suppliers detect the broken pipe, end their sessions and
+// return to idle, ready to serve again.
+func TestRequesterAbortCancelsSuppliers(t *testing.T) {
+	c := newCluster(t)
+	s1 := c.seed("seed1", 1)
+	s2 := c.seed("seed2", 1)
+
+	// Speak the protocol manually so we can abort mid-stream.
+	trigger := func(n *Node, segs []int) *abortableSession {
+		t.Helper()
+		sess, err := dialStart(n.Addr(), transport.Start{
+			RequesterID: "aborter", FileName: "video", Segments: segs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	a := trigger(s1, []int{0, 2, 4, 6})
+	b := trigger(s2, []int{1, 3, 5, 7})
+	// Receive one segment from each, then hang up.
+	if err := a.readOne(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.readOne(); err != nil {
+		t.Fatal(err)
+	}
+	a.close()
+	b.close()
+
+	// Both suppliers must become idle again (EndSession ran).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, done1, _ := s1.Stats()
+		_, done2, _ := s2.Stats()
+		if done1 == 1 && done2 == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("suppliers never returned to idle (sessions done: %d, %d)", done1, done2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And they can serve a full session afterwards.
+	req := c.requester("r2", 1)
+	if _, err := req.RequestUntilAdmitted(5); err != nil {
+		t.Fatalf("suppliers unusable after aborted session: %v", err)
+	}
+}
+
+// TestConcurrentRequesters: several class-1 requesters race for two seeds;
+// with retries everyone is eventually served and every store is complete.
+func TestConcurrentRequesters(t *testing.T) {
+	c := newCluster(t)
+	c.seed("seed1", 1)
+	c.seed("seed2", 1)
+
+	const n = 3
+	reqs := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		reqs[i] = c.requester("r"+string(rune('0'+i)), 1)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = reqs[i].RequestUntilAdmitted(30)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("requester %d: %v", i, err)
+		}
+		if !reqs[i].Store().Complete() {
+			t.Errorf("requester %d store incomplete", i)
+		}
+		if !reqs[i].Supplying() {
+			t.Errorf("requester %d not supplying", i)
+		}
+	}
+}
+
+// TestSupplierMissingSegment: a supplier asked for a segment it does not
+// hold reports an error instead of streaming garbage.
+func TestSupplierMissingSegment(t *testing.T) {
+	c := newCluster(t)
+	// A "seed" built from a requester store with only a few segments: use
+	// a requester node and manually mark it supplying via becomeSupplier
+	// after a partial fill.
+	partial := c.requester("partial", 1)
+	f := testFile()
+	for id := 0; id < 4; id++ {
+		if err := partial.Store().Put(media.SegmentContent(f, media.SegmentID(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := partial.becomeSupplier(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := dialStart(partial.Addr(), transport.Start{
+		RequesterID: "x", FileName: "video", Segments: []int{0, 1, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.close()
+	// Segments 0 and 1 arrive, then an error for 9.
+	if err := sess.readOne(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.readOne(); err != nil {
+		t.Fatal(err)
+	}
+	err = sess.readOne()
+	if err == nil || !strings.Contains(err.Error(), "not held") {
+		t.Errorf("err = %v, want 'not held'", err)
+	}
+}
+
+// abortableSession is a hand-rolled requester side of one Start exchange.
+type abortableSession struct {
+	conn net.Conn
+}
+
+func dialStart(addr string, start transport.Start) (*abortableSession, error) {
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.Write(conn, transport.KindStart, start); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var reply transport.StartReply
+	if err := transport.ReadExpect(conn, transport.KindStartReply, &reply); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !reply.OK {
+		conn.Close()
+		return nil, errors.New("start refused: " + reply.Reason)
+	}
+	return &abortableSession{conn: conn}, nil
+}
+
+// readOne reads the next segment frame, surfacing protocol errors.
+func (s *abortableSession) readOne() error {
+	env, err := transport.Read(s.conn)
+	if err != nil {
+		return err
+	}
+	if env.Kind == transport.KindError {
+		var e transport.Error
+		if derr := env.Decode(&e); derr != nil {
+			return derr
+		}
+		return errors.New(e.Message)
+	}
+	if env.Kind != transport.KindSegment {
+		return errors.New("unexpected " + string(env.Kind))
+	}
+	return nil
+}
+
+func (s *abortableSession) close() { s.conn.Close() }
+
+// dial opens a TCP connection to a node.
+func dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

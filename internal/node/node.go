@@ -1,0 +1,436 @@
+// Package node implements a live peer of the streaming overlay: a single
+// process-level object that can act as a requesting peer (probe candidates,
+// run the DAC_p2p admission protocol, receive a multi-supplier OTS_p2p
+// streaming session, verify continuous playback) and then as a supplying
+// peer (serve admission probes, accept reminders, and stream its assigned
+// segments at its class's out-bound rate).
+//
+// Nodes speak the internal/transport wire protocol over TCP (or any
+// net.Listener) and discover each other through an internal/directory
+// server, mirroring the paper's architecture end to end. Time-sensitive
+// parameters (segment time δt, idle timeout, backoff) are configurable so
+// tests and examples run in milliseconds while preserving the protocol's
+// structure.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/directory"
+	"p2pstream/internal/media"
+	"p2pstream/internal/transport"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// ID is the node's unique name.
+	ID string
+	// Class is the node's bandwidth class (its out-bound offer is R0/2^Class).
+	Class bandwidth.Class
+	// NumClasses is K, the number of classes in the system.
+	NumClasses bandwidth.Class
+	// Policy selects DAC_p2p or NDAC_p2p admission behavior when supplying.
+	Policy dac.Policy
+	// DirectoryAddr is the address of the directory server.
+	DirectoryAddr string
+	// File describes the media item being streamed.
+	File *media.File
+	// M is the number of candidates probed per admission attempt.
+	M int
+	// TOut is the idle elevation timeout of the supplier role.
+	TOut time.Duration
+	// Backoff holds the requester retry parameters.
+	Backoff dac.BackoffConfig
+	// ListenAddr is the address to listen on (default "127.0.0.1:0").
+	ListenAddr string
+	// Seed drives the node's admission randomness.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.ID == "":
+		return errors.New("node: ID required")
+	case !c.Class.Valid(c.NumClasses):
+		return fmt.Errorf("node: class %d invalid for K=%d", c.Class, c.NumClasses)
+	case c.DirectoryAddr == "":
+		return errors.New("node: directory address required")
+	case c.M < 1:
+		return fmt.Errorf("node: M=%d, want >= 1", c.M)
+	case c.TOut <= 0:
+		return errors.New("node: TOut must be > 0")
+	}
+	if c.File == nil {
+		return errors.New("node: file required")
+	}
+	if err := c.File.Validate(); err != nil {
+		return err
+	}
+	return c.Backoff.Validate()
+}
+
+// Node is a live peer. Create with NewSeed or NewRequester, then Start.
+type Node struct {
+	cfg Config
+	dir *directory.Client
+
+	mu        sync.Mutex
+	adm       *dac.Supplier // nil until the node becomes a supplier
+	store     *media.Store
+	rng       *rand.Rand
+	idleTimer *time.Timer
+	closed    bool
+
+	listener net.Listener
+	conns    map[net.Conn]struct{} // active peer connections (closed on Close)
+	wg       sync.WaitGroup
+
+	// stats
+	probesServed  int
+	sessionsDone  int
+	remindersKept int
+}
+
+// NewSeed creates a node that already possesses the complete media file and
+// immediately acts as a supplying peer once started.
+func NewSeed(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	store, err := media.NewSeededStore(cfg.File)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(cfg, store), nil
+}
+
+// NewRequester creates a node with an empty store; it becomes a supplier
+// after a successful streaming session.
+func NewRequester(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	store, err := media.NewStore(cfg.File)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(cfg, store), nil
+}
+
+func newNode(cfg Config, store *media.Store) *Node {
+	return &Node{
+		cfg:   cfg,
+		dir:   directory.NewClient(cfg.DirectoryAddr),
+		store: store,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Start begins listening for peer connections. Seeds also register with the
+// directory as supplying peers.
+func (n *Node) Start() error {
+	addr := n.cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("node %s: listen: %w", n.cfg.ID, err)
+	}
+	n.mu.Lock()
+	n.listener = l
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop(l)
+
+	if n.store.Complete() {
+		return n.becomeSupplier()
+	}
+	return nil
+}
+
+// Addr returns the node's listen address (valid after Start).
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// ID returns the node's name.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Class returns the node's bandwidth class.
+func (n *Node) Class() bandwidth.Class { return n.cfg.Class }
+
+// Supplying reports whether the node currently acts as a supplying peer.
+func (n *Node) Supplying() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.adm != nil
+}
+
+// Stats returns protocol counters: probes served, sessions supplied,
+// reminders kept.
+func (n *Node) Stats() (probes, sessions, reminders int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.probesServed, n.sessionsDone, n.remindersKept
+}
+
+// Store exposes the node's segment store (read-only use).
+func (n *Node) Store() *media.Store { return n.store }
+
+// Close stops the node: it unregisters from the directory (if supplying),
+// stops timers and the listener, and waits for connection handlers.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	l := n.listener
+	timer := n.idleTimer
+	supplying := n.adm != nil
+	conns := make([]net.Conn, 0, len(n.conns))
+	for conn := range n.conns {
+		conns = append(conns, conn)
+	}
+	n.mu.Unlock()
+
+	if timer != nil {
+		timer.Stop()
+	}
+	var err error
+	if supplying {
+		// Best effort; the directory may already be gone.
+		_ = n.dir.Unregister(n.cfg.ID)
+	}
+	if l != nil {
+		err = l.Close()
+	}
+	// Abort in-flight sessions: a closed node behaves like a crashed peer,
+	// which is exactly what the failure tests simulate.
+	for _, conn := range conns {
+		conn.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// becomeSupplier registers the node as a supplying peer and arms its idle
+// elevation timer.
+func (n *Node) becomeSupplier() error {
+	adm, err := dac.NewSupplier(n.cfg.Class, n.cfg.NumClasses, n.cfg.Policy)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.adm != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("node %s: already supplying", n.cfg.ID)
+	}
+	n.adm = adm
+	n.mu.Unlock()
+	if err := n.dir.Register(transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
+		return fmt.Errorf("node %s: registering: %w", n.cfg.ID, err)
+	}
+	n.armIdleTimer()
+	return nil
+}
+
+// armIdleTimer schedules the next elevate-after-timeout step.
+func (n *Node) armIdleTimer() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.armIdleTimerLocked()
+}
+
+func (n *Node) armIdleTimerLocked() {
+	if n.closed || n.adm == nil || n.cfg.Policy == dac.NDAC || n.adm.AllOpen() {
+		return
+	}
+	if n.idleTimer != nil {
+		n.idleTimer.Stop()
+	}
+	n.idleTimer = time.AfterFunc(n.cfg.TOut, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.closed || n.adm == nil || n.adm.Busy() {
+			return
+		}
+		if n.adm.OnIdleTimeout() {
+			n.armIdleTimerLocked()
+		}
+	})
+}
+
+// acceptLoop serves incoming peer connections.
+func (n *Node) acceptLoop(l net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				conn.Close()
+				n.mu.Lock()
+				delete(n.conns, conn)
+				n.mu.Unlock()
+			}()
+			n.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn dispatches one peer connection by its first message.
+func (n *Node) handleConn(conn net.Conn) {
+	env, err := transport.Read(conn)
+	if err != nil {
+		return
+	}
+	switch env.Kind {
+	case transport.KindProbe:
+		var req transport.Probe
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		n.handleProbe(conn, req)
+	case transport.KindReminder:
+		var req transport.Reminder
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		n.handleReminder(conn, req)
+	case transport.KindStart:
+		var req transport.Start
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		n.handleStart(conn, req)
+	default:
+		transport.Write(conn, transport.KindError,
+			transport.Error{Message: fmt.Sprintf("node %s: unexpected %s", n.cfg.ID, env.Kind)})
+	}
+}
+
+func (n *Node) handleProbe(conn net.Conn, req transport.Probe) {
+	n.mu.Lock()
+	if n.adm == nil {
+		n.mu.Unlock()
+		transport.Write(conn, transport.KindError, transport.Error{Message: "not a supplying peer"})
+		return
+	}
+	n.probesServed++
+	favors := n.adm.Favors(req.Class)
+	dec := n.adm.HandleProbe(req.Class, n.rng.Float64())
+	n.mu.Unlock()
+	transport.Write(conn, transport.KindProbeReply, transport.ProbeReply{Decision: dec, Favors: favors})
+}
+
+func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
+	n.mu.Lock()
+	kept := false
+	if n.adm != nil {
+		kept = n.adm.LeaveReminder(req.Class)
+		if kept {
+			n.remindersKept++
+		}
+	}
+	n.mu.Unlock()
+	transport.Write(conn, transport.KindReminderOK, transport.ReminderReply{Kept: kept})
+}
+
+// handleStart runs the supplier side of a streaming session: it claims the
+// busy state, then transmits its assigned segments paced at its class rate
+// (one segment every 2^class segment-times), and finally applies the
+// post-session vector update.
+func (n *Node) handleStart(conn net.Conn, req transport.Start) {
+	n.mu.Lock()
+	if n.adm == nil {
+		n.mu.Unlock()
+		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "not supplying"})
+		return
+	}
+	if req.FileName != n.cfg.File.Name {
+		n.mu.Unlock()
+		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "unknown file"})
+		return
+	}
+	if err := n.adm.StartSession(); err != nil {
+		n.mu.Unlock()
+		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "busy"})
+		return
+	}
+	if n.idleTimer != nil {
+		n.idleTimer.Stop()
+	}
+	n.mu.Unlock()
+
+	defer func() {
+		n.mu.Lock()
+		if err := n.adm.EndSession(); err == nil {
+			n.sessionsDone++
+		}
+		n.armIdleTimerLocked()
+		n.mu.Unlock()
+	}()
+
+	if err := transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: true}); err != nil {
+		return
+	}
+	period := n.cfg.File.SegmentTime << uint(n.cfg.Class)
+	start := time.Now()
+	sent := 0
+	for i, segID := range req.Segments {
+		// Pace against the absolute schedule to avoid drift: transmission
+		// of the i-th assigned segment completes at (i+1)·period.
+		deadline := start.Add(time.Duration(i+1) * period)
+		if d := time.Until(deadline); d > 0 {
+			time.Sleep(d)
+		}
+		seg, ok := n.store.Get(media.SegmentID(segID))
+		if !ok {
+			transport.Write(conn, transport.KindError,
+				transport.Error{Message: fmt.Sprintf("segment %d not held", segID)})
+			return
+		}
+		if err := transport.Write(conn, transport.KindSegment,
+			transport.Segment{ID: segID, Data: seg.Data}); err != nil {
+			return // requester hung up (session aborted)
+		}
+		sent++
+	}
+	transport.Write(conn, transport.KindSessionDone, transport.SessionDone{Sent: sent})
+}
+
+// sortCandidates orders lookup results high class first, stable.
+func sortCandidates(cands []transport.Candidate) []transport.Candidate {
+	out := append([]transport.Candidate(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

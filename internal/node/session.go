@@ -1,0 +1,310 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/core"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/media"
+	"p2pstream/internal/transport"
+)
+
+// ErrRejected is returned by Request when the admission attempt failed:
+// the probed candidates could not supply an aggregate offer of exactly R0.
+var ErrRejected = errors.New("node: streaming request rejected")
+
+// SessionReport describes a completed streaming session from the
+// requester's perspective.
+type SessionReport struct {
+	// Suppliers lists the participating supplying peers, high class first.
+	Suppliers []transport.Candidate
+	// TheoreticalDelay is Theorem 1's buffering delay: n·δt.
+	TheoreticalDelay time.Duration
+	// MeasuredDelay is the minimal buffering delay supported by the actual
+	// arrival times (wall clock, includes network and scheduling jitter).
+	MeasuredDelay time.Duration
+	// Report is the playback continuity verification at TheoreticalDelay
+	// plus one segment-time of jitter allowance.
+	Report media.PlaybackReport
+	// Bytes is the total payload received.
+	Bytes int64
+	// Duration is the wall-clock session length.
+	Duration time.Duration
+	// Rejections counts failed attempts before this session (set by
+	// RequestUntilAdmitted).
+	Rejections int
+}
+
+// Request performs one admission attempt (paper Section 4.2): look up M
+// candidates, probe them high class first, and — if permissions reaching
+// exactly R0 are obtained — run the OTS_p2p session. On rejection it leaves
+// reminders on busy favoring candidates and returns ErrRejected.
+func (n *Node) Request() (*SessionReport, error) {
+	if n.store.Complete() {
+		return nil, fmt.Errorf("node %s: already holds the file", n.cfg.ID)
+	}
+	cands, err := n.dir.Lookup(n.cfg.M, n.cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: lookup: %w", n.cfg.ID, err)
+	}
+	ordered := sortCandidates(cands)
+
+	var (
+		outcomes []transport.Candidate // busy candidates that favor us
+		chosen   []transport.Candidate
+		sum      bandwidth.Fraction
+	)
+	for _, cand := range ordered {
+		reply, err := n.probe(cand)
+		if err != nil {
+			continue // unreachable candidate: treat as down (paper: "down or busy")
+		}
+		switch reply.Decision {
+		case dac.Granted:
+			if sum+cand.Class.Offer() <= bandwidth.R0 {
+				sum += cand.Class.Offer()
+				chosen = append(chosen, cand)
+			}
+		case dac.DeniedBusy:
+			if reply.Favors {
+				outcomes = append(outcomes, cand)
+			}
+		}
+		if sum == bandwidth.R0 {
+			break
+		}
+	}
+	if sum != bandwidth.R0 {
+		n.leaveReminders(outcomes)
+		return nil, ErrRejected
+	}
+	report, err := n.runSession(chosen)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.becomeSupplier(); err != nil {
+		return report, fmt.Errorf("node %s: promoting to supplier: %w", n.cfg.ID, err)
+	}
+	return report, nil
+}
+
+// RequestUntilAdmitted retries Request with the configured backoff until
+// admitted or maxAttempts attempts have failed.
+func (n *Node) RequestUntilAdmitted(maxAttempts int) (*SessionReport, error) {
+	if maxAttempts < 1 {
+		return nil, fmt.Errorf("node %s: maxAttempts %d, want >= 1", n.cfg.ID, maxAttempts)
+	}
+	rejections := 0
+	for attempt := 1; ; attempt++ {
+		report, err := n.Request()
+		if err == nil {
+			report.Rejections = rejections
+			return report, nil
+		}
+		if !errors.Is(err, ErrRejected) {
+			return nil, err
+		}
+		rejections++
+		if attempt == maxAttempts {
+			return nil, fmt.Errorf("node %s: %w after %d attempts", n.cfg.ID, ErrRejected, rejections)
+		}
+		wait, err := n.cfg.Backoff.After(rejections)
+		if err != nil {
+			return nil, err
+		}
+		time.Sleep(wait)
+	}
+}
+
+// probe asks one candidate for permission.
+func (n *Node) probe(cand transport.Candidate) (*transport.ProbeReply, error) {
+	conn, err := net.Dial("tcp", cand.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := transport.Write(conn, transport.KindProbe,
+		transport.Probe{RequesterID: n.cfg.ID, Class: n.cfg.Class}); err != nil {
+		return nil, err
+	}
+	var reply transport.ProbeReply
+	if err := transport.ReadExpect(conn, transport.KindProbeReply, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// leaveReminders deposits reminders on the busy favoring candidates, high
+// class first, accumulating offers up to R0 (Section 4.2).
+func (n *Node) leaveReminders(busyFavoring []transport.Candidate) {
+	var sum bandwidth.Fraction
+	for _, cand := range busyFavoring {
+		if sum+cand.Class.Offer() > bandwidth.R0 {
+			continue
+		}
+		sum += cand.Class.Offer()
+		conn, err := net.Dial("tcp", cand.Addr)
+		if err != nil {
+			continue
+		}
+		transport.Write(conn, transport.KindReminder,
+			transport.Reminder{RequesterID: n.cfg.ID, Class: n.cfg.Class})
+		var reply transport.ReminderReply
+		transport.ReadExpect(conn, transport.KindReminderOK, &reply)
+		conn.Close()
+		if sum == bandwidth.R0 {
+			return
+		}
+	}
+}
+
+// runSession computes the OTS_p2p assignment, triggers every chosen
+// supplier, and receives the whole file concurrently, recording arrival
+// times for playback verification.
+func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) {
+	suppliers := make([]core.Supplier, len(chosen))
+	byID := make(map[string]transport.Candidate, len(chosen))
+	for i, c := range chosen {
+		suppliers[i] = core.Supplier{ID: c.ID, Class: c.Class}
+		byID[c.ID] = c
+	}
+	assignment, err := core.Assign(suppliers)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: OTS_p2p: %w", n.cfg.ID, err)
+	}
+
+	// Trigger phase: open a connection per supplier and send its segment
+	// list; all must accept before any data is consumed.
+	conns := make([]net.Conn, len(assignment.Suppliers))
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i, s := range assignment.Suppliers {
+		cand := byID[s.ID]
+		conn, err := net.Dial("tcp", cand.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: dialing supplier %s: %w", n.cfg.ID, s.ID, err)
+		}
+		conns[i] = conn
+		segs := assignment.TransmissionList(i, n.cfg.File.Segments)
+		if err := transport.Write(conn, transport.KindStart, transport.Start{
+			RequesterID: n.cfg.ID,
+			FileName:    n.cfg.File.Name,
+			Segments:    segs,
+		}); err != nil {
+			return nil, err
+		}
+		var reply transport.StartReply
+		if err := transport.ReadExpect(conn, transport.KindStartReply, &reply); err != nil {
+			return nil, err
+		}
+		if !reply.OK {
+			// A race took this supplier (granted, then claimed by another
+			// requester before our trigger). Abort: closing the other
+			// connections cancels their sessions.
+			return nil, fmt.Errorf("node %s: supplier %s refused: %s: %w", n.cfg.ID, s.ID, reply.Reason, ErrRejected)
+		}
+	}
+
+	// Receive phase.
+	start := time.Now()
+	arrivals := make([]time.Duration, n.cfg.File.Segments)
+	var (
+		arrivalsMu sync.Mutex
+		bytes      int64
+		wg         sync.WaitGroup
+		errsMu     sync.Mutex
+		errs       []error
+	)
+	var storeMu sync.Mutex
+	for i := range conns {
+		conn := conns[i]
+		want := len(assignment.TransmissionList(i, n.cfg.File.Segments))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			received := 0
+			for {
+				env, err := transport.Read(conn)
+				if err != nil {
+					errsMu.Lock()
+					errs = append(errs, fmt.Errorf("node %s: receiving: %w", n.cfg.ID, err))
+					errsMu.Unlock()
+					return
+				}
+				switch env.Kind {
+				case transport.KindSegment:
+					var seg transport.Segment
+					if err := env.Decode(&seg); err != nil {
+						errsMu.Lock()
+						errs = append(errs, err)
+						errsMu.Unlock()
+						return
+					}
+					at := time.Since(start)
+					storeMu.Lock()
+					err := n.store.Put(media.Segment{ID: media.SegmentID(seg.ID), Data: seg.Data})
+					storeMu.Unlock()
+					if err != nil {
+						errsMu.Lock()
+						errs = append(errs, err)
+						errsMu.Unlock()
+						return
+					}
+					arrivalsMu.Lock()
+					arrivals[seg.ID] = at
+					bytes += int64(len(seg.Data))
+					arrivalsMu.Unlock()
+					received++
+				case transport.KindSessionDone:
+					if received != want {
+						errsMu.Lock()
+						errs = append(errs, fmt.Errorf("node %s: supplier sent %d segments, want %d", n.cfg.ID, received, want))
+						errsMu.Unlock()
+					}
+					return
+				default:
+					errsMu.Lock()
+					errs = append(errs, fmt.Errorf("node %s: unexpected %s mid-session", n.cfg.ID, env.Kind))
+					errsMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	if !n.store.Complete() {
+		return nil, fmt.Errorf("node %s: session ended with %d/%d segments", n.cfg.ID, n.store.Count(), n.cfg.File.Segments)
+	}
+
+	theoretical := time.Duration(len(chosen)) * n.cfg.File.SegmentTime
+	measured, err := media.MinimalDelay(n.cfg.File, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	// Allow one segment-time of scheduling jitter when verifying.
+	playback, err := media.VerifyPlayback(n.cfg.File, arrivals, theoretical+n.cfg.File.SegmentTime)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionReport{
+		Suppliers:        chosen,
+		TheoreticalDelay: theoretical,
+		MeasuredDelay:    measured,
+		Report:           playback,
+		Bytes:            bytes,
+		Duration:         time.Since(start),
+	}, nil
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	var e Engine
+	var fired []int
+	e.After(3*time.Second, func() { fired = append(fired, 3) })
+	e.After(1*time.Second, func() { fired = append(fired, 1) })
+	e.After(2*time.Second, func() { fired = append(fired, 2) })
+	e.Run()
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("fired order = %v", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	var e Engine
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { fired = append(fired, i) })
+	}
+	e.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("equal-time events out of order: %v", fired)
+		}
+	}
+}
+
+func TestEngineSchedulingFromCallback(t *testing.T) {
+	var e Engine
+	var times []time.Duration
+	e.After(time.Second, func() {
+		times = append(times, e.Now())
+		e.After(time.Second, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEngineRejectsPastAndNil(t *testing.T) {
+	var e Engine
+	e.After(time.Second, func() {})
+	e.Run()
+	if err := e.At(0, func() {}); err == nil {
+		t.Error("At(past) should fail")
+	}
+	if err := e.After(-time.Second, func() {}); err == nil {
+		t.Error("After(negative) should fail")
+	}
+	if err := e.After(time.Second, nil); err == nil {
+		t.Error("nil callback should fail")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 5, 10, 15} {
+		d := d * time.Second
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want events at 1s,5s,10s", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want clamped to horizon", e.Now())
+	}
+	// Resume past the horizon.
+	e.RunUntil(20 * time.Second)
+	if len(fired) != 4 {
+		t.Errorf("fired %v after extended horizon", fired)
+	}
+}
+
+func TestEngineRunUntilEmptyAdvancesClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(time.Hour)
+	if e.Now() != time.Hour {
+		t.Errorf("Now = %v, want horizon", e.Now())
+	}
+}
+
+func TestEngineStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Int63() == NewRNG(2).Int63() {
+		t.Error("different seeds gave same first value (suspicious)")
+	}
+}
+
+func TestChildSeed(t *testing.T) {
+	if ChildSeed(1, "arrivals") == ChildSeed(1, "classes") {
+		t.Error("different labels should give different seeds")
+	}
+	if ChildSeed(1, "arrivals") == ChildSeed(2, "arrivals") {
+		t.Error("different masters should give different seeds")
+	}
+	if ChildSeed(1, "arrivals") != ChildSeed(1, "arrivals") {
+		t.Error("ChildSeed must be deterministic")
+	}
+}
+
+func TestEngineManyEvents(t *testing.T) {
+	var e Engine
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(time.Duration(n-i)*time.Millisecond, func() { count++ })
+	}
+	e.Run()
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+	if e.Now() != n*time.Millisecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+}

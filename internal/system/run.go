@@ -1,0 +1,438 @@
+package system
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/core"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/metrics"
+	"p2pstream/internal/sim"
+)
+
+// Result carries everything the paper's figures and tables report about one
+// run. Per-class slices are indexed by class-1 (class c at index c-1).
+type Result struct {
+	Config Config
+
+	// Capacity is the total system capacity sampled every SampleEvery
+	// (Figures 4 and 8): floor of the aggregate supplier offer over R0.
+	Capacity *metrics.Series
+	// MaxCapacity is the capacity if every peer becomes a supplier.
+	MaxCapacity int
+
+	// AdmissionRate is the per-class accumulative admission rate in percent
+	// (Figure 5): admitted peers over peers that made their first request.
+	AdmissionRate []*metrics.Series
+	// OverallAdmissionRate aggregates all classes (Figure 9).
+	OverallAdmissionRate *metrics.Series
+	// BufferingDelay is the per-class accumulative average buffering delay
+	// in δt units (Figure 6): by Theorem 1, the number of suppliers serving
+	// each admitted peer.
+	BufferingDelay []*metrics.Series
+	// LowestFavored is, per supplier class, the mean lowest favored class
+	// over that class's suppliers, snapshotted every FavoredSampleEvery
+	// (Figure 7).
+	LowestFavored []*metrics.Series
+
+	// Admitted and Arrived count peers per class at the horizon.
+	Admitted, Arrived []int64
+	// AvgRejections is the per-class mean number of rejections an admitted
+	// peer suffered before admission (Table 1); NaN-free: classes with no
+	// admissions report 0 and Admitted tells the caller.
+	AvgRejections []float64
+	// AvgDelaySlots is the per-class mean buffering delay in δt units at
+	// the horizon.
+	AvgDelaySlots []float64
+	// AvgWait is the per-class mean waiting time implied by the backoff
+	// schedule and the observed rejections (paper: waiting time is the
+	// interval between the first request and admission).
+	AvgWait []time.Duration
+
+	// TotalProbes counts candidate probes (protocol overhead).
+	TotalProbes int64
+	// TotalReminders counts reminders left on busy suppliers.
+	TotalReminders int64
+	// TotalRequests counts streaming requests including retries.
+	TotalRequests int64
+	// TotalDown counts probes lost to transiently-down candidates
+	// (non-zero only when Config.DownProb is set).
+	TotalDown int64
+	// Events is the number of simulation events processed.
+	Events uint64
+}
+
+// peer is the simulator's per-peer state.
+type peer struct {
+	id      int
+	class   bandwidth.Class
+	arrival time.Duration
+	sup     *dac.Supplier // nil until the peer becomes a supplier
+
+	rejections int
+	admitted   bool
+	// idleEpoch invalidates scheduled idle timeouts when the supplier's
+	// idle period ends.
+	idleEpoch int
+	// waited is the time between first request and admission.
+	waited time.Duration
+}
+
+type simulation struct {
+	cfg Config
+	eng sim.Engine
+	rng *rand.Rand // protocol randomness (probes, sampling)
+
+	peers    []*peer
+	src      candidateSource
+	byClass  [][]int // supplier peer ids per class (for Figure 7 snapshots)
+	aggOffer bandwidth.Fraction
+
+	arrived       []int64
+	admitted      []int64
+	delaySum      []float64
+	rejectionsSum []int64
+	waitSum       []time.Duration
+
+	res *Result
+}
+
+// Run executes one complete simulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := int(cfg.NumClasses())
+	s := &simulation{
+		cfg:           cfg,
+		rng:           sim.NewRNG(sim.ChildSeed(cfg.Seed, "protocol")),
+		byClass:       make([][]int, k+1),
+		arrived:       make([]int64, k+1),
+		admitted:      make([]int64, k+1),
+		delaySum:      make([]float64, k+1),
+		rejectionsSum: make([]int64, k+1),
+		waitSum:       make([]time.Duration, k+1),
+		res: &Result{
+			Config:               cfg,
+			Capacity:             &metrics.Series{Name: "capacity"},
+			OverallAdmissionRate: &metrics.Series{Name: "overall-admission-%"},
+		},
+	}
+	switch cfg.Lookup {
+	case LookupChord:
+		s.src = newChordSource(s.eng.Now, cfg.ChordStabilizeEvery)
+	default:
+		s.src = newDirectorySource()
+	}
+	for c := 1; c <= k; c++ {
+		s.res.AdmissionRate = append(s.res.AdmissionRate, &metrics.Series{Name: fmt.Sprintf("class%d-admission-%%", c)})
+		s.res.BufferingDelay = append(s.res.BufferingDelay, &metrics.Series{Name: fmt.Sprintf("class%d-delay-slots", c)})
+		s.res.LowestFavored = append(s.res.LowestFavored, &metrics.Series{Name: fmt.Sprintf("class%d-lowest-favored", c)})
+	}
+
+	if err := s.populate(); err != nil {
+		return nil, err
+	}
+	if err := s.scheduleProbes(); err != nil {
+		return nil, err
+	}
+	s.eng.RunUntil(cfg.Horizon)
+	s.finalize()
+	return s.res, nil
+}
+
+// populate creates seed suppliers and requesting peers, and schedules every
+// first request.
+func (s *simulation) populate() error {
+	classRng := sim.NewRNG(sim.ChildSeed(s.cfg.Seed, "classes"))
+	arrivalRng := sim.NewRNG(sim.ChildSeed(s.cfg.Seed, "arrivals"))
+
+	for i := 0; i < s.cfg.NumSeeds; i++ {
+		p := &peer{id: i, class: s.cfg.SeedClass}
+		s.peers = append(s.peers, p)
+		if err := s.becomeSupplier(p); err != nil {
+			return err
+		}
+	}
+	times, err := s.cfg.Pattern.Times(s.cfg.NumRequesters, s.cfg.ArrivalWindow, arrivalRng)
+	if err != nil {
+		return err
+	}
+	var maxOffer bandwidth.Fraction
+	maxOffer = bandwidth.Fraction(s.cfg.NumSeeds) * s.cfg.SeedClass.Offer()
+	for i := 0; i < s.cfg.NumRequesters; i++ {
+		p := &peer{
+			id:      s.cfg.NumSeeds + i,
+			class:   s.cfg.ClassDist.Pick(classRng.Float64()),
+			arrival: times[i],
+		}
+		s.peers = append(s.peers, p)
+		maxOffer += p.class.Offer()
+		if err := s.eng.At(p.arrival, func() { s.handleRequest(p, true) }); err != nil {
+			return err
+		}
+	}
+	s.res.MaxCapacity = bandwidth.Sessions(maxOffer)
+	return nil
+}
+
+// scheduleProbes installs the periodic metric sampling events.
+func (s *simulation) scheduleProbes() error {
+	for t := time.Duration(0); t <= s.cfg.Horizon; t += s.cfg.SampleEvery {
+		t := t
+		if err := s.eng.At(t, func() { s.sampleAccumulative(t) }); err != nil {
+			return err
+		}
+	}
+	for t := time.Duration(0); t <= s.cfg.Horizon; t += s.cfg.FavoredSampleEvery {
+		t := t
+		if err := s.eng.At(t, func() { s.sampleFavored(t) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// becomeSupplier converts a peer into a supplying peer and registers it
+// with the directory.
+func (s *simulation) becomeSupplier(p *peer) error {
+	sup, err := dac.NewSupplier(p.class, s.cfg.NumClasses(), s.cfg.Policy)
+	if err != nil {
+		return err
+	}
+	p.sup = sup
+	if err := s.src.register(p.id, p.class); err != nil {
+		return err
+	}
+	s.byClass[p.class] = append(s.byClass[p.class], p.id)
+	s.aggOffer += p.class.Offer()
+	s.armIdleTimer(p)
+	return nil
+}
+
+// armIdleTimer schedules the next elevate-after-timeout event for an idle
+// supplier. The peer's idleEpoch invalidates the timer if the supplier
+// becomes busy first.
+func (s *simulation) armIdleTimer(p *peer) {
+	if s.cfg.Policy == dac.NDAC || p.sup.AllOpen() {
+		return
+	}
+	epoch := p.idleEpoch
+	// Timers beyond the horizon would never fire; skip them.
+	if s.eng.Now()+s.cfg.TOut > s.cfg.Horizon {
+		return
+	}
+	err := s.eng.After(s.cfg.TOut, func() {
+		if p.idleEpoch != epoch || p.sup.Busy() {
+			return
+		}
+		if p.sup.OnIdleTimeout() {
+			s.armIdleTimer(p)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("system: arming idle timer: %v", err))
+	}
+}
+
+// handleRequest performs one admission attempt of peer p (Section 4.2).
+func (s *simulation) handleRequest(p *peer, first bool) {
+	if first {
+		s.arrived[p.class]++
+	}
+	s.res.TotalRequests++
+
+	candidates := s.src.sample(s.cfg.M, s.rng)
+	classes := make([]bandwidth.Class, len(candidates))
+	for i, c := range candidates {
+		classes[i] = c.Class
+	}
+	order := dac.ProbeOrder(classes)
+
+	outcomes := make([]dac.ProbeOutcome, 0, len(candidates))
+	var chosen []*peer
+	var sum bandwidth.Fraction
+	for _, idx := range order {
+		cand := s.peers[candidates[idx].ID]
+		if s.cfg.DownProb > 0 && s.rng.Float64() < s.cfg.DownProb {
+			// Transiently unreachable: neither a grant nor a reminder
+			// target (the paper's "down" case).
+			s.res.TotalDown++
+			continue
+		}
+		favors := cand.sup.Favors(p.class)
+		dec := cand.sup.HandleProbe(p.class, s.rng.Float64())
+		s.res.TotalProbes++
+		outcomes = append(outcomes, dac.ProbeOutcome{
+			Index:    cand.id,
+			Class:    cand.class,
+			Decision: dec,
+			FavorsUs: favors,
+		})
+		if dec == dac.Granted && sum+cand.class.Offer() <= bandwidth.R0 {
+			sum += cand.class.Offer()
+			chosen = append(chosen, cand)
+			if sum == bandwidth.R0 {
+				// Enough permissions: stop contacting further candidates.
+				break
+			}
+		}
+	}
+
+	if sum == bandwidth.R0 {
+		s.admit(p, chosen)
+		return
+	}
+	s.reject(p, outcomes)
+}
+
+// admit triggers the chosen suppliers and starts the streaming session.
+func (s *simulation) admit(p *peer, chosen []*peer) {
+	if s.cfg.ValidateAssignments {
+		suppliers := make([]core.Supplier, len(chosen))
+		for i, c := range chosen {
+			suppliers[i] = core.Supplier{ID: fmt.Sprint(c.id), Class: c.class}
+		}
+		a, err := core.Assign(suppliers)
+		if err != nil {
+			panic(fmt.Sprintf("system: OTS_p2p on admission: %v", err))
+		}
+		if got, want := a.DelaySlots(), core.OptimalDelaySlots(len(chosen)); got != want {
+			panic(fmt.Sprintf("system: Theorem 1 violated: delay %d, want %d", got, want))
+		}
+	}
+	for _, c := range chosen {
+		if err := c.sup.StartSession(); err != nil {
+			panic(fmt.Sprintf("system: triggering supplier %d: %v", c.id, err))
+		}
+		c.idleEpoch++ // cancel pending idle timers
+	}
+	p.admitted = true
+	p.waited = s.eng.Now() - p.arrival
+	if s.cfg.ValidateAssignments {
+		// The waiting time must equal the exact sum of the backoffs served
+		// (retries fire exactly when their backoff expires).
+		want, err := s.cfg.Backoff.TotalWait(p.rejections)
+		if err != nil {
+			panic(fmt.Sprintf("system: backoff total: %v", err))
+		}
+		if p.waited != want {
+			panic(fmt.Sprintf("system: peer %d waited %v, backoff schedule implies %v (%d rejections)",
+				p.id, p.waited, want, p.rejections))
+		}
+	}
+	s.admitted[p.class]++
+	s.delaySum[p.class] += float64(len(chosen))
+	s.rejectionsSum[p.class] += int64(p.rejections)
+	s.waitSum[p.class] += p.waited
+
+	chosen = append([]*peer(nil), chosen...)
+	err := s.eng.After(s.cfg.SessionDuration, func() { s.endSession(p, chosen) })
+	if err != nil {
+		panic(fmt.Sprintf("system: scheduling session end: %v", err))
+	}
+}
+
+// endSession releases the suppliers (applying their post-session vector
+// updates) and turns the requester into a supplying peer.
+func (s *simulation) endSession(p *peer, chosen []*peer) {
+	for _, c := range chosen {
+		if err := c.sup.EndSession(); err != nil {
+			panic(fmt.Sprintf("system: releasing supplier %d: %v", c.id, err))
+		}
+		c.idleEpoch++
+		s.armIdleTimer(c)
+	}
+	if err := s.becomeSupplier(p); err != nil {
+		panic(fmt.Sprintf("system: promoting peer %d: %v", p.id, err))
+	}
+}
+
+// reject leaves reminders on busy favoring candidates and schedules the
+// retry after the exponential backoff.
+func (s *simulation) reject(p *peer, outcomes []dac.ProbeOutcome) {
+	p.rejections++
+	for _, t := range dac.ReminderTargets(outcomes) {
+		target := s.peers[outcomes[t].Index]
+		if target.sup.LeaveReminder(p.class) {
+			s.res.TotalReminders++
+		}
+	}
+	wait, err := s.cfg.Backoff.After(p.rejections)
+	if err != nil {
+		panic(fmt.Sprintf("system: backoff: %v", err))
+	}
+	if s.eng.Now()+wait > s.cfg.Horizon {
+		return // retry would fall beyond the simulated period
+	}
+	if err := s.eng.After(wait, func() { s.handleRequest(p, false) }); err != nil {
+		panic(fmt.Sprintf("system: scheduling retry: %v", err))
+	}
+}
+
+// sampleAccumulative records capacity, per-class admission rate, overall
+// admission rate and per-class average buffering delay at time t.
+func (s *simulation) sampleAccumulative(t time.Duration) {
+	s.res.Capacity.Add(t, float64(bandwidth.Sessions(s.aggOffer)))
+	var arrivedAll, admittedAll int64
+	k := int(s.cfg.NumClasses())
+	for c := 1; c <= k; c++ {
+		arrivedAll += s.arrived[c]
+		admittedAll += s.admitted[c]
+		if s.arrived[c] == 0 {
+			s.res.AdmissionRate[c-1].AddMissing(t)
+		} else {
+			s.res.AdmissionRate[c-1].Add(t, 100*float64(s.admitted[c])/float64(s.arrived[c]))
+		}
+		if s.admitted[c] == 0 {
+			s.res.BufferingDelay[c-1].AddMissing(t)
+		} else {
+			s.res.BufferingDelay[c-1].Add(t, s.delaySum[c]/float64(s.admitted[c]))
+		}
+	}
+	if arrivedAll == 0 {
+		s.res.OverallAdmissionRate.AddMissing(t)
+	} else {
+		s.res.OverallAdmissionRate.Add(t, 100*float64(admittedAll)/float64(arrivedAll))
+	}
+}
+
+// sampleFavored records, per supplier class, the mean lowest favored class
+// across that class's current suppliers (Figure 7).
+func (s *simulation) sampleFavored(t time.Duration) {
+	k := int(s.cfg.NumClasses())
+	for c := 1; c <= k; c++ {
+		ids := s.byClass[c]
+		if len(ids) == 0 {
+			s.res.LowestFavored[c-1].AddMissing(t)
+			continue
+		}
+		var sum int64
+		for _, id := range ids {
+			sum += int64(s.peers[id].sup.LowestFavored())
+		}
+		s.res.LowestFavored[c-1].Add(t, float64(sum)/float64(len(ids)))
+	}
+}
+
+// finalize fills the end-of-run aggregates.
+func (s *simulation) finalize() {
+	k := int(s.cfg.NumClasses())
+	s.res.Arrived = append([]int64(nil), s.arrived[1:]...)
+	s.res.Admitted = append([]int64(nil), s.admitted[1:]...)
+	s.res.AvgRejections = make([]float64, k)
+	s.res.AvgDelaySlots = make([]float64, k)
+	s.res.AvgWait = make([]time.Duration, k)
+	for c := 1; c <= k; c++ {
+		if s.admitted[c] == 0 {
+			continue
+		}
+		n := float64(s.admitted[c])
+		s.res.AvgRejections[c-1] = float64(s.rejectionsSum[c]) / n
+		s.res.AvgDelaySlots[c-1] = s.delaySum[c] / n
+		s.res.AvgWait[c-1] = time.Duration(float64(s.waitSum[c]) / n)
+	}
+	s.res.Events = s.eng.Processed()
+}

@@ -1,0 +1,154 @@
+package system
+
+import (
+	"testing"
+	"time"
+
+	"p2pstream/internal/dac"
+)
+
+func TestChordLookupRunMatchesDirectoryShape(t *testing.T) {
+	run := func(kind LookupKind) *Result {
+		cfg := smallConfig()
+		cfg.NumRequesters = 800
+		cfg.Lookup = kind
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dir := run(LookupDirectory)
+	ch := run(LookupChord)
+
+	dLast, _ := dir.Capacity.Last()
+	cLast, _ := ch.Capacity.Last()
+	if dLast == 0 || cLast == 0 {
+		t.Fatal("no capacity growth")
+	}
+	// Both substrates sample supplying peers roughly uniformly; final
+	// capacity must agree within 15%.
+	ratio := cLast / dLast
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("chord/directory final capacity ratio %.2f, want ~1", ratio)
+	}
+	// Differentiation ordering survives the substrate swap.
+	if ch.AvgRejections[0] >= ch.AvgRejections[3] {
+		t.Errorf("chord run lost class ordering: %.2f vs %.2f", ch.AvgRejections[0], ch.AvgRejections[3])
+	}
+}
+
+func TestChordLookupDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumRequesters = 300
+	cfg.Lookup = LookupChord
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.TotalRequests != b.TotalRequests {
+		t.Error("chord-backed run not deterministic")
+	}
+}
+
+func TestDownProbDegradesAdmission(t *testing.T) {
+	run := func(down float64) *Result {
+		cfg := smallConfig()
+		cfg.NumRequesters = 1000
+		cfg.DownProb = down
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(0)
+	degraded := run(0.5)
+	if healthy.TotalDown != 0 {
+		t.Errorf("TotalDown = %d with DownProb 0", healthy.TotalDown)
+	}
+	if degraded.TotalDown == 0 {
+		t.Error("no down encounters with DownProb 0.5")
+	}
+	// Half the probes vanishing must cost admissions at the midpoint.
+	mid := smallConfig().ArrivalWindow
+	h, _ := healthy.OverallAdmissionRate.At(mid)
+	d, _ := degraded.OverallAdmissionRate.At(mid)
+	if d >= h {
+		t.Errorf("admission with 50%% down (%.1f%%) >= healthy (%.1f%%)", d, h)
+	}
+	hc, _ := healthy.Capacity.At(mid)
+	dc, _ := degraded.Capacity.At(mid)
+	if dc >= hc {
+		t.Errorf("capacity with 50%% down (%.0f) >= healthy (%.0f)", dc, hc)
+	}
+}
+
+func TestNewConfigFieldsValidated(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad lookup kind", func(c *Config) { c.Lookup = LookupKind(9) }},
+		{"chord without stabilize period", func(c *Config) { c.Lookup = LookupChord; c.ChordStabilizeEvery = 0 }},
+		{"negative down prob", func(c *Config) { c.DownProb = -0.1 }},
+		{"down prob one", func(c *Config) { c.DownProb = 1.0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+	if LookupDirectory.String() != "directory" || LookupChord.String() != "chord" {
+		t.Error("LookupKind strings wrong")
+	}
+	if LookupKind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestChordStabilizationBatching(t *testing.T) {
+	// A chord-backed run with a long stabilization period still admits
+	// peers: pending suppliers are flushed on the first post-period lookup.
+	cfg := smallConfig()
+	cfg.NumRequesters = 300
+	cfg.Lookup = LookupChord
+	cfg.ChordStabilizeEvery = 6 * time.Hour
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted int64
+	for _, a := range res.Admitted {
+		admitted += a
+	}
+	if admitted == 0 {
+		t.Error("no admissions with batched stabilization")
+	}
+	last, _ := res.Capacity.Last()
+	if last <= 10 {
+		t.Errorf("capacity never grew: %.0f", last)
+	}
+}
+
+func TestDownProbWithNDAC(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumRequesters = 500
+	cfg.Policy = dac.NDAC
+	cfg.DownProb = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDown == 0 {
+		t.Error("down injection inactive under NDAC")
+	}
+}

@@ -1,0 +1,224 @@
+// Package transport defines the wire protocol of the live peer-to-peer
+// streaming overlay: length-prefixed JSON messages over any stream
+// connection (TCP between real peers, net.Pipe in tests).
+//
+// The message set mirrors the paper's protocol steps: peers register with
+// and query a directory (Section 4.2 footnote 4), probe candidate suppliers
+// for admission, leave reminders on busy favoring candidates, trigger the
+// chosen suppliers with their OTS_p2p segment assignments, and receive the
+// media segments of the session.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/dac"
+)
+
+// MaxMessageSize bounds a single frame; segments dominate and are small,
+// so anything bigger indicates a corrupted or hostile stream.
+const MaxMessageSize = 1 << 20
+
+// Kind discriminates message payloads.
+type Kind string
+
+// The protocol message kinds.
+const (
+	KindRegister     Kind = "register"      // supplier -> directory
+	KindRegisterOK   Kind = "register-ok"   // directory -> supplier
+	KindLookup       Kind = "lookup"        // requester -> directory
+	KindCandidates   Kind = "candidates"    // directory -> requester
+	KindProbe        Kind = "probe"         // requester -> supplier
+	KindProbeReply   Kind = "probe-reply"   // supplier -> requester
+	KindReminder     Kind = "reminder"      // requester -> busy supplier
+	KindReminderOK   Kind = "reminder-ok"   // supplier -> requester
+	KindStart        Kind = "start"         // requester -> chosen supplier
+	KindStartReply   Kind = "start-reply"   // supplier -> requester
+	KindSegment      Kind = "segment"       // supplier -> requester
+	KindSessionDone  Kind = "session-done"  // supplier -> requester
+	KindError        Kind = "error"         // any -> any
+	KindUnregister   Kind = "unregister"    // supplier -> directory
+	KindUnregisterOK Kind = "unregister-ok" // directory -> supplier
+)
+
+// Register announces a supplying peer to the directory.
+type Register struct {
+	ID    string          `json:"id"`
+	Addr  string          `json:"addr"`
+	Class bandwidth.Class `json:"class"`
+}
+
+// Unregister removes a supplying peer from the directory.
+type Unregister struct {
+	ID string `json:"id"`
+}
+
+// Lookup asks the directory for M random candidate suppliers.
+type Lookup struct {
+	M int `json:"m"`
+	// Exclude names a peer to omit (a requester never probes itself).
+	Exclude string `json:"exclude,omitempty"`
+}
+
+// Candidate describes one supplier returned by a lookup.
+type Candidate struct {
+	ID    string          `json:"id"`
+	Addr  string          `json:"addr"`
+	Class bandwidth.Class `json:"class"`
+}
+
+// Candidates is the lookup response.
+type Candidates struct {
+	Peers []Candidate `json:"peers"`
+}
+
+// Probe asks a supplier for streaming-service permission.
+type Probe struct {
+	RequesterID string          `json:"requester_id"`
+	Class       bandwidth.Class `json:"class"`
+}
+
+// ProbeReply is the supplier's admission decision.
+type ProbeReply struct {
+	Decision dac.Decision `json:"decision"`
+	// Favors reports whether the supplier currently favors the requester's
+	// class (used for reminder targeting when Decision is DeniedBusy).
+	Favors bool `json:"favors"`
+}
+
+// Reminder is left on a busy supplier by a rejected requester.
+type Reminder struct {
+	RequesterID string          `json:"requester_id"`
+	Class       bandwidth.Class `json:"class"`
+}
+
+// ReminderReply acknowledges a reminder.
+type ReminderReply struct {
+	Kept bool `json:"kept"`
+}
+
+// Start triggers a chosen supplier with its OTS_p2p assignment: the
+// absolute segment IDs it must transmit, in ascending order.
+type Start struct {
+	RequesterID string `json:"requester_id"`
+	FileName    string `json:"file_name"`
+	Segments    []int  `json:"segments"`
+}
+
+// StartReply confirms (or refuses) session participation.
+type StartReply struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Segment carries one media segment.
+type Segment struct {
+	ID   int    `json:"id"`
+	Data []byte `json:"data"`
+}
+
+// SessionDone marks the end of a supplier's transmissions.
+type SessionDone struct {
+	Sent int `json:"sent"`
+}
+
+// Error reports a protocol failure.
+type Error struct {
+	Message string `json:"message"`
+}
+
+// Envelope is the frame payload: a kind tag plus the JSON-encoded body.
+type Envelope struct {
+	Kind Kind            `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// ErrMessageTooLarge is returned for frames beyond MaxMessageSize.
+var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
+
+// Write frames and sends one message.
+func Write(w io.Writer, kind Kind, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s body: %w", kind, err)
+	}
+	env, err := json.Marshal(Envelope{Kind: kind, Body: raw})
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s envelope: %w", kind, err)
+	}
+	if len(env) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(env)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("transport: writing %s length: %w", kind, err)
+	}
+	if _, err := w.Write(env); err != nil {
+		return fmt.Errorf("transport: writing %s: %w", kind, err)
+	}
+	return nil
+}
+
+// Read receives one framed message envelope.
+func Read(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: reading length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("transport: reading body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return nil, fmt.Errorf("transport: decoding envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// ReadExpect receives one message and requires it to be of the given kind,
+// decoding its body into out. A received KindError is surfaced as an error.
+func ReadExpect(r io.Reader, kind Kind, out any) error {
+	env, err := Read(r)
+	if err != nil {
+		return err
+	}
+	if env.Kind == KindError {
+		var e Error
+		if err := json.Unmarshal(env.Body, &e); err != nil {
+			return fmt.Errorf("transport: malformed error message: %w", err)
+		}
+		return fmt.Errorf("transport: remote error: %s", e.Message)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("transport: got %s, want %s", env.Kind, kind)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("transport: decoding %s: %w", kind, err)
+	}
+	return nil
+}
+
+// Decode unmarshals an envelope body into out.
+func (e *Envelope) Decode(out any) error {
+	if err := json.Unmarshal(e.Body, out); err != nil {
+		return fmt.Errorf("transport: decoding %s: %w", e.Kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package p2pstream is a Go implementation of the peer-to-peer media
+// streaming system of "On Peer-to-Peer Media Streaming" (Dongyan Xu,
+// Mohamed Hefeeda, Susanne Hambrusch, Bharat Bhargava; ICDCS 2002).
+//
+// The paper studies on-demand streaming of a CBR media file where every
+// session is served by multiple supplying peers and every served peer
+// becomes a supplier, and contributes two mechanisms, both implemented
+// here:
+//
+//   - OTS_p2p (Section 3): the optimal assignment of media segments to a
+//     session's heterogeneous suppliers, minimizing buffering delay
+//     (Theorem 1: the minimum is n·δt for n suppliers). See Assign.
+//
+//   - DAC_p2p (Section 4): a fully distributed, differentiated admission
+//     control protocol in which suppliers probabilistically favor
+//     requesting peers that pledge more out-bound bandwidth, relax when
+//     idle and tighten on "reminders" — amplifying total system capacity
+//     faster than the non-differentiated baseline NDAC_p2p. See Supplier
+//     (state machine) and Simulate (whole-system evaluation).
+//
+// The package re-exports the stable core of the internal implementation:
+//
+//   - bandwidth classes and exact offer arithmetic (Class, Fraction, R0);
+//   - the assignment algorithms and schedule analysis (Assign, BlockAssign,
+//     Assignment);
+//   - the admission protocol building blocks (Vector, Supplier, Policy);
+//   - the discrete-event whole-system simulator behind the paper's
+//     evaluation (Simulate, SimConfig, SimResult);
+//   - a live, network-transparent overlay (internal/node) demonstrated by
+//     the examples and cmd/p2pnode.
+//
+// A minimal session:
+//
+//	suppliers := []p2pstream.Supplier{
+//		{ID: "a", Class: 1}, {ID: "b", Class: 2},
+//		{ID: "c", Class: 3}, {ID: "d", Class: 3},
+//	}
+//	a, err := p2pstream.Assign(suppliers)
+//	// a.Segments[i] is what suppliers[i] transmits; delay = 4·δt.
+//
+// And the paper's headline experiment:
+//
+//	cfg := p2pstream.DefaultSimConfig() // 100 seeds, 50,000 peers, 144 h
+//	res, err := p2pstream.Simulate(cfg)
+//	// res.Capacity is Figure 4's curve; res.AvgRejections is Table 1.
+package p2pstream
+
+import (
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/core"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/system"
+)
+
+// Class identifies a peer bandwidth class; a class-c peer offers out-bound
+// bandwidth R0/2^c. Lower numbers are higher classes.
+type Class = bandwidth.Class
+
+// Fraction is an exact bandwidth amount in binary fractions of the
+// playback rate R0.
+type Fraction = bandwidth.Fraction
+
+// R0 is the media playback rate in Fraction units.
+const R0 = bandwidth.R0
+
+// Distribution describes the population share of each class.
+type Distribution = bandwidth.Distribution
+
+// Supplier is one supplying peer in a streaming session.
+type Supplier = core.Supplier
+
+// Assignment maps media segments to the session's suppliers.
+type Assignment = core.Assignment
+
+// Assign computes the optimal OTS_p2p media data assignment. The suppliers'
+// offers must sum to exactly R0; the resulting buffering delay is
+// len(suppliers)·δt (Theorem 1).
+func Assign(suppliers []Supplier) (*Assignment, error) { return core.Assign(suppliers) }
+
+// BlockAssign computes the naive contiguous-block assignment the paper uses
+// as "Assignment I" in Figure 1 — correct but suboptimal.
+func BlockAssign(suppliers []Supplier) (*Assignment, error) { return core.BlockAssign(suppliers) }
+
+// OptimalDelaySlots returns Theorem 1's minimum buffering delay, in δt
+// slots, for a session with n suppliers.
+func OptimalDelaySlots(n int) int64 { return core.OptimalDelaySlots(n) }
+
+// Policy selects the admission protocol.
+type Policy = dac.Policy
+
+// Admission control policies.
+const (
+	// DAC is the paper's differentiated admission control protocol.
+	DAC = dac.DAC
+	// NDAC is the non-differentiated baseline.
+	NDAC = dac.NDAC
+)
+
+// Vector is a supplying peer's per-class admission probability vector.
+type Vector = dac.Vector
+
+// AdmissionSupplier is the supplying-peer side of the admission protocol: a
+// deterministic state machine over probes, reminders, sessions and idle
+// timeouts.
+type AdmissionSupplier = dac.Supplier
+
+// NewAdmissionSupplier returns the admission state of a class-own supplier
+// in a system with numClasses classes.
+func NewAdmissionSupplier(own, numClasses Class, policy Policy) (*AdmissionSupplier, error) {
+	return dac.NewSupplier(own, numClasses, policy)
+}
+
+// BackoffConfig holds the requester retry parameters T_bkf and E_bkf.
+type BackoffConfig = dac.BackoffConfig
+
+// SimConfig parameterizes a whole-system simulation run.
+type SimConfig = system.Config
+
+// SimResult carries the metrics behind every figure and table of the
+// paper's evaluation.
+type SimResult = system.Result
+
+// DefaultSimConfig returns the paper's Section 5.1 setup.
+func DefaultSimConfig() SimConfig { return system.DefaultConfig() }
+
+// Simulate executes one whole-system simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) { return system.Run(cfg) }

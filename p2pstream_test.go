@@ -1,0 +1,90 @@
+package p2pstream_test
+
+import (
+	"testing"
+	"time"
+
+	"p2pstream"
+)
+
+// TestPublicAssign exercises the facade exactly as the package doc shows.
+func TestPublicAssign(t *testing.T) {
+	suppliers := []p2pstream.Supplier{
+		{ID: "a", Class: 1}, {ID: "b", Class: 2},
+		{ID: "c", Class: 3}, {ID: "d", Class: 3},
+	}
+	a, err := p2pstream.Assign(suppliers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DelaySlots(); got != p2pstream.OptimalDelaySlots(4) {
+		t.Errorf("delay = %d, want 4", got)
+	}
+	blk, err := p2pstream.BlockAssign(suppliers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.DelaySlots() <= a.DelaySlots() {
+		t.Error("block assignment should be strictly worse here")
+	}
+}
+
+func TestPublicAdmissionSupplier(t *testing.T) {
+	s, err := p2pstream.NewAdmissionSupplier(2, 4, p2pstream.DAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Favors(1) || s.Favors(3) {
+		t.Error("initial favored set wrong")
+	}
+	if s.Offer() != p2pstream.R0/4 {
+		t.Errorf("Offer = %v", s.Offer())
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	cfg := p2pstream.DefaultSimConfig()
+	cfg.NumRequesters = 500
+	cfg.NumSeeds = 10
+	cfg.ArrivalWindow = 6 * time.Hour
+	cfg.Horizon = 12 * time.Hour
+	res, err := p2pstream.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted int64
+	for _, a := range res.Admitted {
+		admitted += a
+	}
+	if admitted == 0 {
+		t.Error("no peers admitted")
+	}
+	if _, ok := res.Capacity.Last(); !ok {
+		t.Error("no capacity samples")
+	}
+}
+
+func TestDefaultSimConfigIsPaperSetup(t *testing.T) {
+	cfg := p2pstream.DefaultSimConfig()
+	if cfg.NumSeeds != 100 || cfg.NumRequesters != 50000 {
+		t.Error("population wrong")
+	}
+	if cfg.M != 8 || cfg.TOut != 20*time.Minute {
+		t.Error("protocol parameters wrong")
+	}
+	if cfg.Backoff != (p2pstream.BackoffConfig{Base: 10 * time.Minute, Factor: 2}) {
+		t.Error("backoff wrong")
+	}
+	if cfg.SessionDuration != time.Hour || cfg.Horizon != 144*time.Hour {
+		t.Error("timing wrong")
+	}
+	want := p2pstream.Distribution{0.1, 0.1, 0.4, 0.4}
+	if len(cfg.ClassDist) != len(want) {
+		t.Fatal("distribution length wrong")
+	}
+	for i := range want {
+		if cfg.ClassDist[i] != want[i] {
+			t.Error("distribution wrong")
+		}
+	}
+}
