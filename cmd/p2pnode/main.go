@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/dac"
 	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
 )
 
@@ -67,6 +69,10 @@ func main() {
 		Backoff:    dac.BackoffConfig{Base: 500 * time.Millisecond, Factor: 2},
 		ListenAddr: *listen,
 		Seed:       *rngSeed,
+		// A live peer runs the shared session layer on the wall clock over
+		// real TCP; tests run the same node on a virtual clock and network.
+		Clock:   clock.System(),
+		Network: netx.System,
 	}
 
 	var n *node.Node

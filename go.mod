@@ -1,0 +1,3 @@
+module p2pstream
+
+go 1.24

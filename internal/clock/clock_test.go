@@ -1,0 +1,188 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2pstream/internal/sim"
+)
+
+func TestSystemClockBasics(t *testing.T) {
+	c := System()
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Error("Since not positive after Sleep")
+	}
+	done := make(chan struct{})
+	timer := c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+	if timer.Stop() {
+		t.Error("Stop after firing reported true")
+	}
+}
+
+func TestOrDefaults(t *testing.T) {
+	if Or(nil) == nil {
+		t.Fatal("Or(nil) returned nil")
+	}
+	v := NewVirtual()
+	if Or(v) != Clock(v) {
+		t.Error("Or did not pass through a non-nil clock")
+	}
+}
+
+func TestForEngineFiresInline(t *testing.T) {
+	var eng sim.Engine
+	c := ForEngine(&eng)
+	epoch := c.Now()
+
+	var fired []time.Duration
+	c.AfterFunc(3*time.Second, func() { fired = append(fired, c.Since(epoch)) })
+	c.AfterFunc(time.Second, func() { fired = append(fired, c.Since(epoch)) })
+	stopped := c.AfterFunc(2*time.Second, func() { t.Error("stopped timer fired") })
+	if !stopped.Stop() {
+		t.Error("Stop on pending timer reported false")
+	}
+	if stopped.Stop() {
+		t.Error("second Stop reported true")
+	}
+	eng.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Errorf("fired at %v, want [1s 3s]", fired)
+	}
+}
+
+func TestForEngineSleepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sleep on engine clock did not panic")
+		}
+	}()
+	var eng sim.Engine
+	ForEngine(&eng).Sleep(time.Second)
+}
+
+func TestVirtualManualAdvance(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	stopped := v.AfterFunc(15*time.Millisecond, func() { order = append(order, 99) })
+	stopped.Stop()
+
+	v.Advance(5 * time.Millisecond)
+	if len(order) != 0 {
+		t.Fatalf("events fired early: %v", order)
+	}
+	v.Advance(25 * time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v, want [1 2]", order)
+	}
+	if got := v.Elapsed(); got != 30*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 30ms", got)
+	}
+}
+
+// TestVirtualAutoRunSleep: goroutines sleeping on the virtual clock make
+// progress under the auto-driver, and virtual time tracks the sleeps.
+func TestVirtualAutoRunSleep(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AutoRun()
+	defer stop()
+
+	const sleepers = 4
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for i := 1; i <= sleepers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := time.Duration(i) * 10 * time.Millisecond
+			t0 := v.Now()
+			v.Sleep(d)
+			got := v.Since(t0)
+			if got < d {
+				t.Errorf("sleeper %d woke after %v, want >= %v", i, got, d)
+			}
+			total.Add(int64(got))
+		}()
+	}
+	wg.Wait()
+	if v.Elapsed() < 40*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= 40ms", v.Elapsed())
+	}
+}
+
+// TestVirtualAutoRunChain: an AfterFunc chain (each callback scheduling
+// the next) runs to completion — the pattern of idle elevation timers.
+func TestVirtualAutoRunChain(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AutoRun()
+	defer stop()
+
+	done := make(chan time.Duration, 1)
+	var step func(n int)
+	step = func(n int) {
+		if n == 0 {
+			done <- v.Since(Epoch)
+			return
+		}
+		v.AfterFunc(50*time.Millisecond, func() { step(n - 1) })
+	}
+	step(5)
+	select {
+	case at := <-done:
+		if at != 250*time.Millisecond {
+			t.Errorf("chain finished at %v, want 250ms", at)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timer chain never completed")
+	}
+}
+
+// TestVirtualWakeGating: NoteWake holds advances until WakeDone (or an
+// external clock operation) retires the gate.
+func TestVirtualWakeGating(t *testing.T) {
+	v := NewVirtual()
+	fired := make(chan struct{})
+	v.AfterFunc(time.Millisecond, func() { close(fired) })
+	v.NoteWake()
+
+	stop := v.AutoRun()
+	defer stop()
+	select {
+	case <-fired:
+		t.Fatal("advance happened while a wake was pending")
+	case <-time.After(3 * time.Millisecond):
+	}
+	v.WakeDone()
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("advance never resumed after WakeDone")
+	}
+}
+
+// TestVirtualWakeStallFallback: a wake gate that is never retired cannot
+// hang the driver forever.
+func TestVirtualWakeStallFallback(t *testing.T) {
+	v := NewVirtual()
+	fired := make(chan struct{})
+	v.AfterFunc(time.Millisecond, func() { close(fired) })
+	v.NoteWake() // never retired
+	stop := v.AutoRun()
+	defer stop()
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stall fallback never released the driver")
+	}
+}

@@ -1,0 +1,269 @@
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"p2pstream/internal/sim"
+)
+
+// Virtual is a concurrency-safe virtual clock: real, multi-goroutine code
+// (the live node, the virtual network) runs unmodified against it, while
+// virtual time advances only when the system is quiescent — so a scenario
+// spanning minutes of protocol time executes in milliseconds of wall time
+// and never depends on wall-clock pacing.
+//
+// Time is kept by an internal sim.Engine. Advance it either manually
+// (Advance, from a single driving goroutine) or with AutoRun, which starts
+// a background driver that repeatedly waits for the system to go idle and
+// then jumps to the next scheduled event. Quiescence is detected two ways:
+//
+//   - activity: every public call bumps a generation counter; the driver
+//     only advances after the counter has been stable for a grace period
+//     of wall time (every goroutine still doing work at the current
+//     virtual instant keeps touching the clock or the virtual network);
+//   - wakes: waking a sleeper (or, via NoteWake, delivering to a blocked
+//     virtual-network reader) blocks further advances until the woken
+//     goroutine performs its next clock operation (or WakeDone is called),
+//     closing the race between "time fired" and "the woken code reacted".
+//
+// The grace period trades wall-clock speed against robustness to goroutine
+// scheduling hiccups; the defaults keep whole-cluster tests deterministic
+// under -race while finishing in well under a second.
+type Virtual struct {
+	mu  sync.Mutex
+	eng sim.Engine
+
+	gen        uint64    // bumped on every external call (activity signal)
+	wakes      int       // woken goroutines that have not yet acted
+	lastChange time.Time // wall time of the last gen change (driver state)
+	lastGen    uint64
+
+	due []func() // callbacks collected during a step, run outside mu
+
+	grace    time.Duration // wall-time quiet window required before advancing
+	poll     time.Duration // wall-time driver poll interval
+	coalesce time.Duration // virtual window of events fired per advance
+	stall    time.Duration // wall-time cap on waiting for a woken goroutine
+}
+
+// NewVirtual returns a virtual clock positioned at Epoch.
+func NewVirtual() *Virtual {
+	return &Virtual{
+		grace:    500 * time.Microsecond,
+		poll:     50 * time.Microsecond,
+		coalesce: 100 * time.Microsecond,
+		stall:    20 * time.Millisecond,
+	}
+}
+
+// Now returns Epoch plus the elapsed virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.touchLocked()
+	return Epoch.Add(v.eng.Now())
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Elapsed returns the virtual time elapsed since Epoch.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.eng.Now()
+}
+
+// Sleep blocks the calling goroutine for d of virtual time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	v.mu.Lock()
+	v.touchLocked()
+	err := v.eng.After(d, func() {
+		// Fired under v.mu by an advance: gate further advances until the
+		// sleeper has acted on its wake-up.
+		v.wakes++
+		close(ch)
+	})
+	v.mu.Unlock()
+	if err != nil {
+		panic("clock: scheduling sleep: " + err.Error())
+	}
+	<-ch
+}
+
+// AfterFunc schedules fn to run once, d of virtual time from now. fn runs
+// on the advancing goroutine with no clock lock held, so it may freely call
+// back into the clock; it must not block indefinitely, or it stalls every
+// other timer.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.touchLocked()
+	t := &virtualTimer{v: v}
+	err := v.eng.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		v.due = append(v.due, fn)
+	})
+	if err != nil {
+		panic("clock: scheduling timer: " + err.Error())
+	}
+	return t
+}
+
+type virtualTimer struct {
+	v       *Virtual
+	stopped bool
+	fired   bool
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// NoteWake registers an out-of-band wake-up: the virtual network calls it
+// when a scheduled delivery unblocks a waiting reader, so the driver holds
+// further advances until that reader consumed the data (WakeDone) or acted
+// on the clock.
+func (v *Virtual) NoteWake() {
+	v.mu.Lock()
+	v.wakes++
+	v.gen++ // restart the grace window too
+	v.mu.Unlock()
+}
+
+// WakeDone retires one NoteWake gate.
+func (v *Virtual) WakeDone() {
+	v.mu.Lock()
+	v.touchLocked()
+	v.mu.Unlock()
+}
+
+// touchLocked records external activity: it restarts the driver's grace
+// window and retires one pending wake gate (the woken goroutine's first
+// action proves it has resumed).
+func (v *Virtual) touchLocked() {
+	v.gen++
+	if v.wakes > 0 {
+		v.wakes--
+	}
+}
+
+// Advance moves virtual time forward by d, firing every event scheduled in
+// the window, in time order, on the calling goroutine. It is the manual
+// driving mode for single-goroutine tests; do not mix it with AutoRun.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.eng.Now() + d
+	for {
+		at, ok := v.eng.NextAt()
+		if !ok || at > target {
+			break
+		}
+		v.eng.Step()
+		v.runDueLocked()
+	}
+	v.eng.RunUntil(target)
+	v.mu.Unlock()
+}
+
+// runDueLocked runs collected callbacks with the lock released, repeating
+// until none remain (a callback may schedule and a concurrent step may
+// collect more). Callers must hold v.mu; it is held again on return.
+func (v *Virtual) runDueLocked() {
+	for len(v.due) > 0 {
+		due := v.due
+		v.due = nil
+		v.mu.Unlock()
+		for _, fn := range due {
+			fn()
+		}
+		v.mu.Lock()
+	}
+}
+
+// AutoRun starts the background driver and returns its stop function. The
+// driver advances to the next scheduled event whenever the clock has seen
+// no activity for the grace window and no freshly-woken goroutine is still
+// pending; each advance fires every event within the coalescing window of
+// the earliest one. Stop the driver only after the goroutines using the
+// clock have finished (stopping it strands any goroutine still sleeping).
+func (v *Virtual) AutoRun() (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go v.drive(done)
+	return func() { once.Do(func() { close(done) }) }
+}
+
+func (v *Virtual) drive(done chan struct{}) {
+	v.mu.Lock()
+	v.lastGen = v.gen
+	v.lastChange = time.Now()
+	v.mu.Unlock()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		time.Sleep(v.poll)
+		v.mu.Lock()
+		if v.gen != v.lastGen {
+			v.lastGen = v.gen
+			v.lastChange = time.Now()
+			v.mu.Unlock()
+			continue
+		}
+		quiet := time.Since(v.lastChange)
+		if v.wakes > 0 {
+			if quiet > v.stall {
+				// A woken goroutine never acted (it exited, or blocked on
+				// something outside the clock's view). Do not hang forever.
+				v.wakes = 0
+			} else {
+				v.mu.Unlock()
+				continue
+			}
+		}
+		if quiet < v.grace {
+			v.mu.Unlock()
+			continue
+		}
+		next, ok := v.eng.NextAt()
+		if !ok {
+			v.mu.Unlock()
+			continue
+		}
+		// Jump to the next event and fire everything in its coalescing
+		// window. Events scheduled by those callbacks for later instants
+		// wait for the next quiescent advance.
+		batchEnd := next + v.coalesce
+		for {
+			at, ok := v.eng.NextAt()
+			if !ok || at > batchEnd {
+				break
+			}
+			v.eng.Step()
+			v.runDueLocked()
+		}
+		v.lastGen = v.gen
+		v.lastChange = time.Now()
+		v.mu.Unlock()
+	}
+}

@@ -102,6 +102,9 @@ func NewSupplier(own bandwidth.Class, numClasses bandwidth.Class, policy Policy)
 // Class returns the supplier's bandwidth class.
 func (s *Supplier) Class() bandwidth.Class { return s.class }
 
+// Policy returns the admission policy the supplier runs.
+func (s *Supplier) Policy() Policy { return s.policy }
+
 // Offer returns the supplier's out-bound bandwidth offer.
 func (s *Supplier) Offer() bandwidth.Fraction { return s.class.Offer() }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"p2pstream/internal/lookup"
+	"p2pstream/internal/netx"
 	"p2pstream/internal/transport"
 )
 
@@ -181,13 +182,20 @@ func (s *Server) lookup(req transport.Lookup) transport.Candidates {
 }
 
 // Client calls a directory server. The zero value is unusable; use
-// NewClient.
+// NewClient or NewClientOn.
 type Client struct {
+	net  netx.Network
 	addr string
 }
 
-// NewClient returns a client for the directory at addr.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
+// NewClient returns a client for the directory at addr, dialing over TCP.
+func NewClient(addr string) *Client { return NewClientOn(nil, addr) }
+
+// NewClientOn returns a client that dials the directory at addr over the
+// given network (nil means real TCP).
+func NewClientOn(network netx.Network, addr string) *Client {
+	return &Client{net: netx.Or(network), addr: addr}
+}
 
 // Register announces a supplying peer.
 func (c *Client) Register(reg transport.Register) error {
@@ -210,7 +218,7 @@ func (c *Client) Lookup(m int, exclude string) ([]transport.Candidate, error) {
 }
 
 func (c *Client) call(kind transport.Kind, req any, wantKind transport.Kind, resp any) error {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := c.net.Dial(c.addr)
 	if err != nil {
 		return fmt.Errorf("directory: dialing %s: %w", c.addr, err)
 	}

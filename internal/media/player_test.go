@@ -1,0 +1,116 @@
+package media
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func playerFile() *File {
+	return &File{Name: "v", Segments: 4, SegmentBytes: 8, SegmentTime: 10 * time.Millisecond}
+}
+
+func TestVerifyPlaybackContinuousSchedule(t *testing.T) {
+	f := playerFile()
+	// Segment s fully received at (s+1)·δt: continuous from delay δt on.
+	arrivals := []time.Duration{10, 20, 30, 40}
+	for i := range arrivals {
+		arrivals[i] *= time.Millisecond
+	}
+	report, err := VerifyPlayback(f, arrivals, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Continuous() {
+		t.Errorf("stalled %d times, first at %d", report.Stalls, report.FirstStall)
+	}
+	if report.Delay != 10*time.Millisecond {
+		t.Errorf("Delay = %v", report.Delay)
+	}
+	if report.FirstStall != -1 {
+		t.Errorf("FirstStall = %d, want -1", report.FirstStall)
+	}
+}
+
+func TestVerifyPlaybackCountsStalls(t *testing.T) {
+	f := playerFile()
+	// With zero buffering delay, segment 0 (arriving at 10ms, deadline 0)
+	// and segment 2 (arriving late) stall; segment 1 and 3 make it.
+	arrivals := []time.Duration{
+		10 * time.Millisecond, // deadline 0ms: stall
+		9 * time.Millisecond,  // deadline 10ms: ok
+		21 * time.Millisecond, // deadline 20ms: stall
+		30 * time.Millisecond, // deadline 30ms: ok
+	}
+	report, err := VerifyPlayback(f, arrivals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stalls != 2 {
+		t.Errorf("Stalls = %d, want 2", report.Stalls)
+	}
+	if report.FirstStall != 0 {
+		t.Errorf("FirstStall = %d, want 0", report.FirstStall)
+	}
+	if report.Continuous() {
+		t.Error("Continuous with stalls")
+	}
+}
+
+func TestVerifyPlaybackValidation(t *testing.T) {
+	f := playerFile()
+	if _, err := VerifyPlayback(f, make([]time.Duration, 3), 0); err == nil {
+		t.Error("wrong arrival count accepted")
+	}
+	if _, err := VerifyPlayback(&File{}, nil, 0); err == nil {
+		t.Error("invalid file accepted")
+	}
+}
+
+func TestMinimalDelayMatchesVerify(t *testing.T) {
+	f := playerFile()
+	arrivals := []time.Duration{
+		25 * time.Millisecond,
+		12 * time.Millisecond,
+		45 * time.Millisecond, // worst: 45 - 2·10 = 25ms
+		41 * time.Millisecond,
+	}
+	delay, err := MinimalDelay(f, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 25 * time.Millisecond; delay != want {
+		t.Errorf("MinimalDelay = %v, want %v", delay, want)
+	}
+	// The minimal delay is exactly sufficient…
+	report, err := VerifyPlayback(f, arrivals, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Continuous() {
+		t.Error("playback stalls at the minimal delay")
+	}
+	// …and one nanosecond less is not.
+	report, err = VerifyPlayback(f, arrivals, delay-time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Continuous() {
+		t.Error("delay below minimal still continuous")
+	}
+}
+
+func TestMinimalDelayClampsAtZero(t *testing.T) {
+	f := playerFile()
+	// Everything arrives instantly: no buffering needed.
+	delay, err := MinimalDelay(f, make([]time.Duration, f.Segments))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay != 0 {
+		t.Errorf("MinimalDelay = %v, want 0", delay)
+	}
+	if _, err := MinimalDelay(f, nil); err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Errorf("nil arrivals: err = %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChartRendersSeriesAndLegend(t *testing.T) {
+	a := &Series{Name: "capacity"}
+	b := &Series{Name: "admission"}
+	for h := 0; h <= 10; h++ {
+		at := time.Duration(h) * time.Hour
+		a.Add(at, float64(h*h))
+		b.Add(at, 100-float64(h))
+	}
+	out := Chart("Figure 4", 40, 10, a, b)
+
+	if !strings.HasPrefix(out, "Figure 4\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"capacity", "admission", "10h", "0h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart lacks %q:\n%s", want, out)
+		}
+	}
+	// Each series draws with its own marker.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("series markers missing:\n%s", out)
+	}
+	// Axis labels carry the value range (max 100 from series b).
+	if !strings.Contains(out, "100.0") {
+		t.Errorf("max label missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + time labels + one legend row per series.
+	if want := 1 + 10 + 1 + 1 + 2; len(lines) != want {
+		t.Errorf("chart has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(0, 1)
+	s.Add(time.Hour, 2)
+	out := Chart("t", 1, 1, s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Width clamps to 10, height to 4.
+	if want := 1 + 4 + 1 + 1 + 1; len(lines) != want {
+		t.Errorf("clamped chart has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	for _, row := range lines[1:5] {
+		if got := len(row); got != len("    9999.0 |")+10 {
+			t.Errorf("row %q width %d", row, got)
+		}
+	}
+}
+
+func TestChartEmptyAndMissingSeries(t *testing.T) {
+	empty := &Series{Name: "empty"}
+	out := Chart("nothing", 20, 5, empty)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("legend missing for empty series:\n%s", out)
+	}
+	// No data: the value range defaults to [0, 1] without panicking.
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "0.0") {
+		t.Errorf("default range labels missing:\n%s", out)
+	}
+
+	gaps := &Series{Name: "gaps"}
+	gaps.AddMissing(0)
+	gaps.Add(time.Hour, 5)
+	gaps.AddMissing(2 * time.Hour)
+	out = Chart("gaps", 20, 5, gaps)
+	grid := strings.Join(strings.Split(out, "\n")[1:6], "\n") // plot rows only
+	if strings.Count(grid, "*") != 1 {
+		t.Errorf("missing samples must not be plotted:\n%s", out)
+	}
+}
+
+func TestChartFlatSeriesDoesNotDivideByZero(t *testing.T) {
+	s := &Series{Name: "flat"}
+	s.Add(0, 7)
+	s.Add(time.Hour, 7)
+	out := Chart("flat", 20, 5, s)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}

@@ -1,0 +1,193 @@
+package netx
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// vConn is one end of a virtual stream connection. Writes copy the chunk
+// and schedule its delivery into the peer's inbox after the link delay;
+// per-connection FIFO order is preserved even under jitter. Streams are
+// reliable, like TCP: loss is injected at dial time or by crashing a host.
+type vConn struct {
+	v             *Virtual
+	local, remote vAddr
+	inbox         *inbox
+	peer          *vConn
+
+	mu         sync.Mutex
+	closed     bool
+	peerClosed bool // peer ended the connection: writes fail like EPIPE
+}
+
+func newConn(v *Virtual, local, remote vAddr) *vConn {
+	c := &vConn{v: v, local: local, remote: remote, inbox: newInbox(v.waker)}
+	return c
+}
+
+func (c *vConn) Read(p []byte) (int, error) { return c.inbox.read(p) }
+
+func (c *vConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	closed, peerClosed := c.closed, c.peerClosed
+	c.mu.Unlock()
+	if closed {
+		return 0, &net.OpError{Op: "write", Net: "virtual", Addr: c.remote, Err: net.ErrClosed}
+	}
+	if peerClosed {
+		// The peer hung up: like a TCP stream after FIN/RST, further
+		// writes fail instead of streaming into the void (the supplier
+		// relies on this to abort cancelled sessions).
+		return 0, &net.OpError{Op: "write", Net: "virtual", Addr: c.remote, Err: errConnReset}
+	}
+	if c.inbox.failed() {
+		// The connection was torn down (peer crash): writing into it fails
+		// like a reset TCP stream.
+		return 0, &net.OpError{Op: "write", Net: "virtual", Addr: c.remote, Err: errConnReset}
+	}
+	data := append([]byte(nil), p...)
+	c.schedule(data, false)
+	return len(p), nil
+}
+
+// schedule queues one chunk (or, with eof, a graceful end-of-stream mark)
+// for delivery into the peer's inbox after the link delay.
+func (c *vConn) schedule(data []byte, eof bool) {
+	v := c.v
+	v.mu.Lock()
+	link := v.linkLocked(c.local.host, c.remote.host)
+	delay := v.delayLocked(link)
+	v.mu.Unlock()
+
+	in := c.peer.inbox
+	now := v.clk.Now()
+	at := now.Add(delay)
+	in.mu.Lock()
+	if at.Before(in.lastAt) {
+		at = in.lastAt // FIFO: never overtake an earlier chunk
+	}
+	in.lastAt = at
+	in.mu.Unlock()
+	v.clk.AfterFunc(at.Sub(now), func() { in.deliver(data, eof) })
+}
+
+// Close closes this end: local reads fail immediately, the peer's reads —
+// like a TCP FIN — see io.EOF after every in-flight chunk has been
+// delivered, and the peer's writes fail from now on.
+func (c *vConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.peer.mu.Lock()
+	c.peer.peerClosed = true
+	c.peer.mu.Unlock()
+	c.inbox.fail(net.ErrClosed)
+	c.schedule(nil, true)
+	c.v.drop(c)
+	return nil
+}
+
+func (c *vConn) LocalAddr() net.Addr  { return c.local }
+func (c *vConn) RemoteAddr() net.Addr { return c.remote }
+
+// Deadlines are accepted and ignored: the overlay's wire protocol does not
+// use them, and virtual time makes real-time deadlines meaningless.
+func (c *vConn) SetDeadline(time.Time) error      { return nil }
+func (c *vConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *vConn) SetWriteDeadline(time.Time) error { return nil }
+
+// inbox is the receive side of one connection end.
+type inbox struct {
+	waker waker
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	// lastAt orders scheduled deliveries (guarded by mu; virtual instants).
+	lastAt time.Time
+	eof    bool  // graceful peer close, surfaced after buffered data
+	dead   error // hard failure (local close, peer crash): immediate
+	// waiting counts blocked readers; wakes counts deliveries that
+	// unblocked one and have not yet been consumed (advance gating).
+	waiting int
+	wakes   int
+}
+
+func newInbox(w waker) *inbox {
+	in := &inbox{waker: w}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// deliver lands one chunk (or the end-of-stream mark) in the buffer. It
+// runs on the clock's advancing goroutine.
+func (in *inbox) deliver(data []byte, eof bool) {
+	in.mu.Lock()
+	if in.dead != nil {
+		in.mu.Unlock()
+		return
+	}
+	if eof {
+		in.eof = true
+	} else {
+		in.buf = append(in.buf, data...)
+	}
+	if in.waiting > 0 && in.waker != nil {
+		// Hold further advances until the reader consumed this.
+		in.wakes++
+		in.waker.NoteWake()
+	}
+	in.cond.Broadcast()
+	in.mu.Unlock()
+}
+
+// fail kills the inbox immediately: blocked and future reads return err.
+func (in *inbox) fail(err error) {
+	in.mu.Lock()
+	if in.dead == nil {
+		in.dead = err
+	}
+	in.cond.Broadcast()
+	in.mu.Unlock()
+}
+
+func (in *inbox) failed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead != nil && in.dead != net.ErrClosed
+}
+
+func (in *inbox) read(p []byte) (int, error) {
+	in.mu.Lock()
+	for len(in.buf) == 0 && !in.eof && in.dead == nil {
+		in.waiting++
+		in.cond.Wait()
+		in.waiting--
+	}
+	retire := false
+	if in.wakes > 0 {
+		in.wakes--
+		retire = true
+	}
+	var n int
+	var err error
+	switch {
+	case in.dead != nil:
+		err = in.dead
+	case len(in.buf) > 0:
+		n = copy(p, in.buf)
+		in.buf = in.buf[n:]
+	default:
+		err = errEOF
+	}
+	in.mu.Unlock()
+	if retire && in.waker != nil {
+		in.waker.WakeDone()
+	}
+	return n, err
+}

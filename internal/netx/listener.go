@@ -1,0 +1,100 @@
+package netx
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+var errEOF = io.EOF
+
+// vListener is a virtual listener: dials enqueue the acceptee end of the
+// connection after one link latency.
+type vListener struct {
+	v    *Virtual
+	addr vAddr
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*vConn
+	closed  bool
+	waiting int
+	wakes   int
+}
+
+// enqueue surfaces one accepted connection. It runs on the clock's
+// advancing goroutine.
+func (l *vListener) enqueue(c *vConn) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		// The listener went away while the dial was in flight: the dialer
+		// sees a reset, as with a refused half-open TCP connection.
+		c.inbox.fail(errConnReset)
+		c.peer.inbox.fail(errConnReset)
+		return
+	}
+	l.queue = append(l.queue, c)
+	if l.waiting > 0 && l.v.waker != nil {
+		l.wakes++
+		l.v.waker.NoteWake()
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *vListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	for len(l.queue) == 0 && !l.closed {
+		l.waiting++
+		l.cond.Wait()
+		l.waiting--
+	}
+	retire := false
+	if l.wakes > 0 {
+		l.wakes--
+		retire = true
+	}
+	var c *vConn
+	var err error
+	if len(l.queue) > 0 {
+		c = l.queue[0]
+		l.queue = l.queue[1:]
+	} else {
+		err = net.ErrClosed
+	}
+	l.mu.Unlock()
+	if retire && l.v.waker != nil {
+		l.v.waker.WakeDone()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (l *vListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	pending := l.queue
+	l.queue = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	l.v.mu.Lock()
+	if l.v.listeners[l.addr.String()] == l {
+		delete(l.v.listeners, l.addr.String())
+	}
+	l.v.mu.Unlock()
+	for _, c := range pending {
+		c.inbox.fail(errConnReset)
+		c.peer.inbox.fail(errConnReset)
+	}
+	return nil
+}
+
+func (l *vListener) Addr() net.Addr { return l.addr }

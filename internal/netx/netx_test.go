@@ -1,0 +1,254 @@
+package netx
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := System.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(conn, conn)
+		conn.Close()
+	}()
+	conn, err := System.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestOrDefaults(t *testing.T) {
+	if Or(nil) != System {
+		t.Error("Or(nil) is not the system network")
+	}
+	v := NewVirtual(clock.NewVirtual(), 1)
+	h := v.Host("a")
+	if Or(h) != h {
+		t.Error("Or did not pass through a non-nil network")
+	}
+}
+
+// virtualPair builds a connected a→b stream over a virtual network driven
+// by an auto-running virtual clock.
+func virtualPair(t *testing.T, cfg LinkConfig) (dialer, acceptee net.Conn, clk *clock.Virtual) {
+	t.Helper()
+	clk = clock.NewVirtual()
+	stop := clk.AutoRun()
+	t.Cleanup(stop)
+	v := NewVirtual(clk, 7)
+	v.SetDefaultLink(cfg)
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	a, err := v.Host("a").Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-accepted:
+		return a, b, clk
+	case <-time.After(10 * time.Second):
+		t.Fatal("accept never surfaced")
+		return nil, nil, nil
+	}
+}
+
+func TestVirtualRoundTripWithLatency(t *testing.T) {
+	a, b, clk := virtualPair(t, LinkConfig{Latency: 5 * time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+
+	t0 := clk.Now()
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("got %q", buf)
+	}
+	if d := clk.Since(t0); d < 5*time.Millisecond {
+		t.Errorf("delivery took %v of virtual time, want >= 5ms", d)
+	}
+}
+
+// TestVirtualFIFOUnderJitter: chunks never overtake each other even when
+// jitter randomizes per-chunk delay.
+func TestVirtualFIFOUnderJitter(t *testing.T) {
+	a, b, _ := virtualPair(t, LinkConfig{Latency: time.Millisecond, Jitter: 5 * time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+
+	var wrote strings.Builder
+	go func() {
+		for i := 0; i < 20; i++ {
+			a.Write([]byte{byte('a' + i)})
+		}
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		wrote.WriteByte(byte('a' + i))
+	}
+	if string(got) != wrote.String() {
+		t.Errorf("reordered stream: got %q want %q", got, wrote.String())
+	}
+}
+
+// TestVirtualGracefulClose: the peer of a closed end drains buffered data
+// and then sees io.EOF, like a TCP FIN.
+func TestVirtualGracefulClose(t *testing.T) {
+	a, b, _ := virtualPair(t, LinkConfig{Latency: time.Millisecond})
+	defer b.Close()
+	a.Write([]byte("tail"))
+	a.Close()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("ReadAll after peer close: %v", err)
+	}
+	if string(got) != "tail" {
+		t.Errorf("drained %q, want %q", got, "tail")
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("write on closed conn succeeded")
+	}
+	// And the surviving end cannot keep streaming into the void: like a
+	// TCP stream after the peer hung up, writes fail (the supplier's
+	// session-abort path depends on this).
+	if _, err := b.Write([]byte("y")); err == nil {
+		t.Error("write to a peer-closed conn succeeded")
+	}
+}
+
+func TestVirtualDialRefused(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	if _, err := v.Host("a").Dial("nobody:9"); err == nil {
+		t.Error("dial to unbound address succeeded")
+	}
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	if _, err := v.Host("a").Dial(addr); err == nil {
+		t.Error("dial to closed listener succeeded")
+	}
+}
+
+func TestVirtualDialDrop(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	v.SetLink("a", "b", LinkConfig{DropDial: 1})
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Host("a").Dial(l.Addr().String()); err == nil {
+		t.Error("dial over a DropDial=1 link succeeded")
+	}
+	// The reverse direction from an unconfigured host uses the default.
+	if _, err := v.Host("c").Dial(l.Addr().String()); err != nil {
+		t.Errorf("dial from unaffected host failed: %v", err)
+	}
+}
+
+// TestVirtualHostCrash: SetDown fails established connections on both
+// ends, closes the host's listeners, and refuses new dials.
+func TestVirtualHostCrash(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	a, err := v.Host("a").Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b net.Conn
+	select {
+	case b = <-accepted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("accept never surfaced")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	readErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 1)
+		_, err := a.Read(buf)
+		readErr <- err
+	}()
+	v.SetDown("b")
+	wg.Wait()
+	if err := <-readErr; err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("read on crashed peer returned %v, want a hard error", err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Error("write from crashed host succeeded")
+	}
+	if _, err := v.Host("a").Dial(addr); err == nil {
+		t.Error("dial to crashed host succeeded")
+	}
+	if _, err := v.Host("b").Listen(":0"); err == nil {
+		t.Error("listen on crashed host succeeded")
+	}
+}

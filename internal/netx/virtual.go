@@ -1,0 +1,244 @@
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+// LinkConfig describes one directed link of the virtual network.
+type LinkConfig struct {
+	// Latency is the one-way delivery delay of every chunk.
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per chunk
+	// (FIFO order per connection is always preserved).
+	Jitter time.Duration
+	// DropDial is the probability that a Dial over this link fails — the
+	// paper's transiently "down" candidate, injected at connection setup
+	// (established streams stay reliable, like TCP).
+	DropDial float64
+}
+
+// waker is the optional clock interface the virtual network uses to gate
+// auto-advancing while a delivery it just made is still being consumed.
+type waker interface {
+	NoteWake()
+	WakeDone()
+}
+
+// Virtual is an in-memory network of named hosts. All delays run on the
+// supplied Clock, so a cluster driven by a clock.Virtual executes hours of
+// traffic in milliseconds of wall time, deterministically. Create per-host
+// views with Host; configure delays with SetDefaultLink/SetLink; inject
+// churn with SetDown.
+type Virtual struct {
+	clk   clock.Clock
+	waker waker // non-nil when clk supports advance gating
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	listeners map[string]*vListener
+	conns     map[*vConn]struct{}
+	down      map[string]bool
+	links     map[[2]string]LinkConfig
+	def       LinkConfig
+	nextPort  int
+}
+
+// NewVirtual returns an empty virtual network whose delays run on clk. The
+// seed fixes jitter and drop randomness.
+func NewVirtual(clk clock.Clock, seed int64) *Virtual {
+	v := &Virtual{
+		clk:       clk,
+		rng:       rand.New(rand.NewSource(seed)),
+		listeners: make(map[string]*vListener),
+		conns:     make(map[*vConn]struct{}),
+		down:      make(map[string]bool),
+		links:     make(map[[2]string]LinkConfig),
+		nextPort:  1,
+	}
+	if w, ok := clk.(waker); ok {
+		v.waker = w
+	}
+	return v
+}
+
+// SetDefaultLink sets the link configuration used by host pairs without a
+// specific SetLink entry.
+func (v *Virtual) SetDefaultLink(cfg LinkConfig) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.def = cfg
+}
+
+// SetLink configures the links between hosts a and b (both directions).
+func (v *Virtual) SetLink(a, b string, cfg LinkConfig) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.links[[2]string{a, b}] = cfg
+	v.links[[2]string{b, a}] = cfg
+}
+
+// SetDown crashes a host: its listeners stop accepting, every established
+// connection touching it fails on both ends, and new dials from or to it
+// are refused. A crashed host stays down (model a rejoin as a new host).
+func (v *Virtual) SetDown(host string) {
+	v.mu.Lock()
+	v.down[host] = true
+	var closing []io.Closer
+	for addr, l := range v.listeners {
+		if l.addr.host == host {
+			closing = append(closing, l)
+			delete(v.listeners, addr)
+		}
+	}
+	var dying []*vConn
+	for c := range v.conns {
+		if c.local.host == host || c.remote.host == host {
+			dying = append(dying, c)
+			delete(v.conns, c)
+		}
+	}
+	v.mu.Unlock()
+	for _, l := range closing {
+		l.Close()
+	}
+	for _, c := range dying {
+		c.inbox.fail(errConnReset)
+		c.peer.inbox.fail(errConnReset)
+	}
+}
+
+// Host returns this host's view of the network: listeners bind under the
+// host's name and dials originate from it (so per-link configuration and
+// churn apply).
+func (v *Virtual) Host(name string) Network { return &host{v: v, name: name} }
+
+var (
+	errRefused   = errors.New("netx: connection refused")
+	errConnReset = errors.New("netx: connection reset by peer")
+)
+
+type host struct {
+	v    *Virtual
+	name string
+}
+
+// Listen binds a listener on this host. Only the port of addr is honored
+// (0 or an empty address picks a fresh port); the host part is the host's
+// own name.
+func (h *host) Listen(addr string) (net.Listener, error) {
+	port := 0
+	if addr != "" {
+		if i := strings.LastIndex(addr, ":"); i >= 0 {
+			p, err := strconv.Atoi(addr[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("netx: bad listen address %q", addr)
+			}
+			port = p
+		}
+	}
+	v := h.v
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.down[h.name] {
+		return nil, fmt.Errorf("netx: host %s is down", h.name)
+	}
+	if port == 0 {
+		port = v.nextPort
+		v.nextPort++
+	}
+	l := &vListener{v: v, addr: vAddr{host: h.name, port: port}}
+	l.cond = sync.NewCond(&l.mu)
+	key := l.addr.String()
+	if _, taken := v.listeners[key]; taken {
+		return nil, fmt.Errorf("netx: address %s already in use", key)
+	}
+	v.listeners[key] = l
+	return l, nil
+}
+
+// Dial connects from this host to addr, applying the link's dial-drop
+// probability and delaying the accept by the link latency.
+func (h *host) Dial(addr string) (net.Conn, error) {
+	v := h.v
+	v.mu.Lock()
+	dstHost := addr
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		dstHost = addr[:i]
+	}
+	if v.down[h.name] || v.down[dstHost] {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
+	}
+	l, ok := v.listeners[addr]
+	if !ok {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
+	}
+	link := v.linkLocked(h.name, dstHost)
+	if link.DropDial > 0 && v.rng.Float64() < link.DropDial {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("netx: dial %s: dropped: %w", addr, errRefused)
+	}
+	delay := v.delayLocked(link)
+	localPort := v.nextPort
+	v.nextPort++
+	local := vAddr{host: h.name, port: localPort}
+	a := newConn(v, local, l.addr) // dialer's end
+	b := newConn(v, l.addr, local) // acceptee's end
+	a.peer, b.peer = b, a
+	v.conns[a] = struct{}{}
+	v.conns[b] = struct{}{}
+	v.mu.Unlock()
+
+	// The acceptee surfaces after one link latency; no data scheduled on
+	// either inbox may be delivered before that instant.
+	now := v.clk.Now()
+	acceptAt := now.Add(delay)
+	a.inbox.lastAt = acceptAt
+	b.inbox.lastAt = acceptAt
+	v.clk.AfterFunc(delay, func() { l.enqueue(b) })
+	return a, nil
+}
+
+// linkLocked resolves the configuration of the src→dst link.
+func (v *Virtual) linkLocked(src, dst string) LinkConfig {
+	if cfg, ok := v.links[[2]string{src, dst}]; ok {
+		return cfg
+	}
+	return v.def
+}
+
+// delayLocked samples one delivery delay from the link.
+func (v *Virtual) delayLocked(link LinkConfig) time.Duration {
+	d := link.Latency
+	if link.Jitter > 0 {
+		d += time.Duration(v.rng.Int63n(int64(link.Jitter)))
+	}
+	return d
+}
+
+// drop removes a closed connection from the registry.
+func (v *Virtual) drop(c *vConn) {
+	v.mu.Lock()
+	delete(v.conns, c)
+	v.mu.Unlock()
+}
+
+// vAddr is a virtual network address.
+type vAddr struct {
+	host string
+	port int
+}
+
+func (a vAddr) Network() string { return "virtual" }
+func (a vAddr) String() string  { return a.host + ":" + strconv.Itoa(a.port) }

@@ -21,13 +21,11 @@ func TestSupplierCrashMidSession(t *testing.T) {
 	c.seed("seed2", 1)
 	req := c.requester("r", 1)
 
-	// Kill seed1's listener shortly after the session starts: its write
-	// loop keeps running, but the TCP connection dies with the process's
-	// listener teardown below (Close also stops in-flight handlers'
-	// connections by closing the listener only; to cut the stream we close
-	// the whole node).
+	// Crash seed1 25ms (virtual) into the session — the 2-supplier session
+	// runs ~128ms of virtual time, so the crash deterministically lands
+	// mid-stream.
 	go func() {
-		time.Sleep(25 * time.Millisecond)
+		c.clk.Sleep(25 * time.Millisecond)
 		s1.Close()
 	}()
 	_, err := req.Request()
@@ -58,7 +56,7 @@ func TestRequesterAbortCancelsSuppliers(t *testing.T) {
 	// Speak the protocol manually so we can abort mid-stream.
 	trigger := func(n *Node, segs []int) *abortableSession {
 		t.Helper()
-		sess, err := dialStart(n.Addr(), transport.Start{
+		sess, err := c.dialStart(n.Addr(), transport.Start{
 			RequesterID: "aborter", FileName: "video", Segments: segs,
 		})
 		if err != nil {
@@ -79,17 +77,17 @@ func TestRequesterAbortCancelsSuppliers(t *testing.T) {
 	b.close()
 
 	// Both suppliers must become idle again (EndSession ran).
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := c.clk.Now().Add(5 * time.Second)
 	for {
 		_, done1, _ := s1.Stats()
 		_, done2, _ := s2.Stats()
 		if done1 == 1 && done2 == 1 {
 			break
 		}
-		if time.Now().After(deadline) {
+		if c.clk.Now().After(deadline) {
 			t.Fatalf("suppliers never returned to idle (sessions done: %d, %d)", done1, done2)
 		}
-		time.Sleep(5 * time.Millisecond)
+		c.clk.Sleep(5 * time.Millisecond)
 	}
 	// And they can serve a full session afterwards.
 	req := c.requester("r2", 1)
@@ -152,7 +150,7 @@ func TestSupplierMissingSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sess, err := dialStart(partial.Addr(), transport.Start{
+	sess, err := c.dialStart(partial.Addr(), transport.Start{
 		RequesterID: "x", FileName: "video", Segments: []int{0, 1, 9},
 	})
 	if err != nil {
@@ -177,8 +175,8 @@ type abortableSession struct {
 	conn net.Conn
 }
 
-func dialStart(addr string, start transport.Start) (*abortableSession, error) {
-	conn, err := dial(addr)
+func (c *cluster) dialStart(addr string, start transport.Start) (*abortableSession, error) {
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +216,3 @@ func (s *abortableSession) readOne() error {
 }
 
 func (s *abortableSession) close() { s.conn.Close() }
-
-// dial opens a TCP connection to a node.
-func dial(addr string) (net.Conn, error) {
-	return net.Dial("tcp", addr)
-}

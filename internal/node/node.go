@@ -5,12 +5,17 @@
 // peer (serve admission probes, accept reminders, and stream its assigned
 // segments at its class's out-bound rate).
 //
-// Nodes speak the internal/transport wire protocol over TCP (or any
-// net.Listener) and discover each other through an internal/directory
-// server, mirroring the paper's architecture end to end. Time-sensitive
-// parameters (segment time δt, idle timeout, backoff) are configurable so
-// tests and examples run in milliseconds while preserving the protocol's
-// structure.
+// The node is a thin driver over the shared session layer in
+// internal/protocol: admission decisions, candidate ordering, reminder
+// targeting, the supplier lifecycle and the OTS_p2p assignment are the
+// same code the discrete-event simulator runs. All timing goes through an
+// internal/clock.Clock and all connections through an
+// internal/netx.Network, so the very same node runs over real TCP on the
+// wall clock or inside a deterministic virtual network under virtual time
+// (tests and whole-cluster scenarios in milliseconds). Peers speak the
+// internal/transport wire protocol and discover each other through an
+// internal/directory server, mirroring the paper's architecture end to
+// end.
 package node
 
 import (
@@ -18,14 +23,16 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/dac"
 	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/protocol"
 	"p2pstream/internal/transport"
 )
 
@@ -53,6 +60,12 @@ type Config struct {
 	ListenAddr string
 	// Seed drives the node's admission randomness.
 	Seed int64
+	// Clock schedules every sleep, pacing deadline and idle timeout; nil
+	// means the real wall clock.
+	Clock clock.Clock
+	// Network provides the node's listener and outbound connections; nil
+	// means real TCP.
+	Network netx.Network
 }
 
 func (c *Config) validate() error {
@@ -80,23 +93,19 @@ func (c *Config) validate() error {
 // Node is a live peer. Create with NewSeed or NewRequester, then Start.
 type Node struct {
 	cfg Config
+	clk clock.Clock
+	net netx.Network
 	dir *directory.Client
 
-	mu        sync.Mutex
-	adm       *dac.Supplier // nil until the node becomes a supplier
-	store     *media.Store
-	rng       *rand.Rand
-	idleTimer *time.Timer
-	closed    bool
+	mu     sync.Mutex
+	sup    *protocol.Supplier // nil until the node becomes a supplier
+	store  *media.Store
+	rng    *rand.Rand
+	closed bool
 
 	listener net.Listener
 	conns    map[net.Conn]struct{} // active peer connections (closed on Close)
 	wg       sync.WaitGroup
-
-	// stats
-	probesServed  int
-	sessionsDone  int
-	remindersKept int
 }
 
 // NewSeed creates a node that already possesses the complete media file and
@@ -126,9 +135,12 @@ func NewRequester(cfg Config) (*Node, error) {
 }
 
 func newNode(cfg Config, store *media.Store) *Node {
+	network := netx.Or(cfg.Network)
 	return &Node{
 		cfg:   cfg,
-		dir:   directory.NewClient(cfg.DirectoryAddr),
+		clk:   clock.Or(cfg.Clock),
+		net:   network,
+		dir:   directory.NewClientOn(network, cfg.DirectoryAddr),
 		store: store,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		conns: make(map[net.Conn]struct{}),
@@ -142,7 +154,7 @@ func (n *Node) Start() error {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	l, err := net.Listen("tcp", addr)
+	l, err := n.net.Listen(addr)
 	if err != nil {
 		return fmt.Errorf("node %s: listen: %w", n.cfg.ID, err)
 	}
@@ -178,15 +190,19 @@ func (n *Node) Class() bandwidth.Class { return n.cfg.Class }
 func (n *Node) Supplying() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.adm != nil
+	return n.sup != nil
 }
 
 // Stats returns protocol counters: probes served, sessions supplied,
 // reminders kept.
 func (n *Node) Stats() (probes, sessions, reminders int) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.probesServed, n.sessionsDone, n.remindersKept
+	sup := n.sup
+	n.mu.Unlock()
+	if sup == nil {
+		return 0, 0, 0
+	}
+	return sup.Stats()
 }
 
 // Store exposes the node's segment store (read-only use).
@@ -202,22 +218,19 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	l := n.listener
-	timer := n.idleTimer
-	supplying := n.adm != nil
+	sup := n.sup
 	conns := make([]net.Conn, 0, len(n.conns))
 	for conn := range n.conns {
 		conns = append(conns, conn)
 	}
 	n.mu.Unlock()
 
-	if timer != nil {
-		timer.Stop()
-	}
-	var err error
-	if supplying {
+	if sup != nil {
+		sup.Close()
 		// Best effort; the directory may already be gone.
 		_ = n.dir.Unregister(n.cfg.ID)
 	}
+	var err error
 	if l != nil {
 		err = l.Close()
 	}
@@ -230,51 +243,33 @@ func (n *Node) Close() error {
 	return err
 }
 
-// becomeSupplier registers the node as a supplying peer and arms its idle
-// elevation timer.
+// becomeSupplier creates the shared supplier state machine (which arms the
+// idle elevation timer on the node's clock) and registers the node as a
+// supplying peer.
 func (n *Node) becomeSupplier() error {
-	adm, err := dac.NewSupplier(n.cfg.Class, n.cfg.NumClasses, n.cfg.Policy)
+	sup, err := protocol.NewSupplier(n.cfg.Class, n.cfg.NumClasses, n.cfg.Policy, n.clk, n.cfg.TOut)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
-	if n.adm != nil {
+	if n.sup != nil {
 		n.mu.Unlock()
+		sup.Close()
 		return fmt.Errorf("node %s: already supplying", n.cfg.ID)
 	}
-	n.adm = adm
+	n.sup = sup
 	n.mu.Unlock()
 	if err := n.dir.Register(transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
 		return fmt.Errorf("node %s: registering: %w", n.cfg.ID, err)
 	}
-	n.armIdleTimer()
 	return nil
 }
 
-// armIdleTimer schedules the next elevate-after-timeout step.
-func (n *Node) armIdleTimer() {
+// supplier returns the supplier state machine, or nil when requesting.
+func (n *Node) supplier() *protocol.Supplier {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.armIdleTimerLocked()
-}
-
-func (n *Node) armIdleTimerLocked() {
-	if n.closed || n.adm == nil || n.cfg.Policy == dac.NDAC || n.adm.AllOpen() {
-		return
-	}
-	if n.idleTimer != nil {
-		n.idleTimer.Stop()
-	}
-	n.idleTimer = time.AfterFunc(n.cfg.TOut, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if n.closed || n.adm == nil || n.adm.Busy() {
-			return
-		}
-		if n.adm.OnIdleTimeout() {
-			n.armIdleTimerLocked()
-		}
-	})
+	return n.sup
 }
 
 // acceptLoop serves incoming peer connections.
@@ -339,29 +334,23 @@ func (n *Node) handleConn(conn net.Conn) {
 }
 
 func (n *Node) handleProbe(conn net.Conn, req transport.Probe) {
-	n.mu.Lock()
-	if n.adm == nil {
-		n.mu.Unlock()
+	sup := n.supplier()
+	if sup == nil {
 		transport.Write(conn, transport.KindError, transport.Error{Message: "not a supplying peer"})
 		return
 	}
-	n.probesServed++
-	favors := n.adm.Favors(req.Class)
-	dec := n.adm.HandleProbe(req.Class, n.rng.Float64())
+	n.mu.Lock()
+	u := n.rng.Float64()
 	n.mu.Unlock()
+	dec, favors := sup.HandleProbe(req.Class, u)
 	transport.Write(conn, transport.KindProbeReply, transport.ProbeReply{Decision: dec, Favors: favors})
 }
 
 func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
-	n.mu.Lock()
 	kept := false
-	if n.adm != nil {
-		kept = n.adm.LeaveReminder(req.Class)
-		if kept {
-			n.remindersKept++
-		}
+	if sup := n.supplier(); sup != nil {
+		kept = sup.LeaveReminder(req.Class)
 	}
-	n.mu.Unlock()
 	transport.Write(conn, transport.KindReminderOK, transport.ReminderReply{Kept: kept})
 }
 
@@ -370,48 +359,32 @@ func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
 // (one segment every 2^class segment-times), and finally applies the
 // post-session vector update.
 func (n *Node) handleStart(conn net.Conn, req transport.Start) {
-	n.mu.Lock()
-	if n.adm == nil {
-		n.mu.Unlock()
+	sup := n.supplier()
+	if sup == nil {
 		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "not supplying"})
 		return
 	}
 	if req.FileName != n.cfg.File.Name {
-		n.mu.Unlock()
 		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "unknown file"})
 		return
 	}
-	if err := n.adm.StartSession(); err != nil {
-		n.mu.Unlock()
+	if err := sup.StartSession(); err != nil {
 		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "busy"})
 		return
 	}
-	if n.idleTimer != nil {
-		n.idleTimer.Stop()
-	}
-	n.mu.Unlock()
-
-	defer func() {
-		n.mu.Lock()
-		if err := n.adm.EndSession(); err == nil {
-			n.sessionsDone++
-		}
-		n.armIdleTimerLocked()
-		n.mu.Unlock()
-	}()
+	defer sup.EndSession()
 
 	if err := transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: true}); err != nil {
 		return
 	}
-	period := n.cfg.File.SegmentTime << uint(n.cfg.Class)
-	start := time.Now()
+	start := n.clk.Now()
 	sent := 0
 	for i, segID := range req.Segments {
 		// Pace against the absolute schedule to avoid drift: transmission
-		// of the i-th assigned segment completes at (i+1)·period.
-		deadline := start.Add(time.Duration(i+1) * period)
-		if d := time.Until(deadline); d > 0 {
-			time.Sleep(d)
+		// of the i-th assigned segment completes at its protocol deadline.
+		deadline := start.Add(protocol.TransmissionDeadline(i, n.cfg.Class, n.cfg.File.SegmentTime))
+		if d := deadline.Sub(n.clk.Now()); d > 0 {
+			n.clk.Sleep(d)
 		}
 		seg, ok := n.store.Get(media.SegmentID(segID))
 		if !ok {
@@ -426,11 +399,4 @@ func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 		sent++
 	}
 	transport.Write(conn, transport.KindSessionDone, transport.SessionDone{Sent: sent})
-}
-
-// sortCandidates orders lookup results high class first, stable.
-func sortCandidates(cands []transport.Candidate) []transport.Candidate {
-	out := append([]transport.Candidate(nil), cands...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Class < out[j].Class })
-	return out
 }

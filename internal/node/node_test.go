@@ -9,35 +9,49 @@ import (
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/dac"
 	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
 	"p2pstream/internal/transport"
 )
 
 // testFile is small and fast: 32 segments of 256 bytes, δt = 4ms. A class-1
 // supplier sends one segment every 8ms; a full 2-supplier session takes
-// ~128ms of wall time.
+// ~128ms of virtual time — and far less wall time.
 func testFile() *media.File {
 	return &media.File{Name: "video", Segments: 32, SegmentBytes: 256, SegmentTime: 4 * time.Millisecond}
 }
 
+// cluster is a whole overlay — directory plus nodes — running over a
+// virtual network under virtual time: deterministic, independent of
+// wall-clock scheduling, and fast. Node IDs double as virtual host names.
 type cluster struct {
 	t       *testing.T
+	clk     *clock.Virtual
+	net     *netx.Virtual
 	dirAddr string
 	nodes   []*Node
 }
 
 func newCluster(t *testing.T) *cluster {
 	t.Helper()
+	clk := clock.NewVirtual()
+	// Registered before the nodes' cleanups: the clock driver must outlive
+	// every node (Close waits for goroutines sleeping on virtual time).
+	t.Cleanup(clk.AutoRun())
+	vnet := netx.NewVirtual(clk, 1)
+	vnet.SetDefaultLink(netx.LinkConfig{Latency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond})
+
 	srv := directory.NewServer(1)
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	l, err := vnet.Host("dir").Listen(":0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go srv.Serve(l)
 	t.Cleanup(func() { srv.Close() })
-	return &cluster{t: t, dirAddr: l.Addr().String()}
+	return &cluster{t: t, clk: clk, net: vnet, dirAddr: l.Addr().String()}
 }
 
 func (c *cluster) config(id string, class bandwidth.Class) Config {
@@ -52,41 +66,43 @@ func (c *cluster) config(id string, class bandwidth.Class) Config {
 		TOut:          50 * time.Millisecond,
 		Backoff:       dac.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
 		Seed:          int64(len(c.nodes) + 1),
+		Clock:         c.clk,
+		Network:       c.net.Host(id),
 	}
+}
+
+func (c *cluster) start(n *Node, err error) *Node {
+	c.t.Helper()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { n.Close() })
+	c.nodes = append(c.nodes, n)
+	return n
 }
 
 func (c *cluster) seed(id string, class bandwidth.Class) *Node {
 	c.t.Helper()
-	n, err := NewSeed(c.config(id, class))
-	if err != nil {
-		c.t.Fatal(err)
-	}
-	if err := n.Start(); err != nil {
-		c.t.Fatal(err)
-	}
-	c.t.Cleanup(func() { n.Close() })
-	c.nodes = append(c.nodes, n)
-	return n
+	return c.start(NewSeed(c.config(id, class)))
 }
 
 func (c *cluster) requester(id string, class bandwidth.Class) *Node {
 	c.t.Helper()
-	n, err := NewRequester(c.config(id, class))
-	if err != nil {
-		c.t.Fatal(err)
-	}
-	if err := n.Start(); err != nil {
-		c.t.Fatal(err)
-	}
-	c.t.Cleanup(func() { n.Close() })
-	c.nodes = append(c.nodes, n)
-	return n
+	return c.start(NewRequester(c.config(id, class)))
+}
+
+// dial opens a raw protocol connection from an out-of-band tester host.
+func (c *cluster) dial(addr string) (net.Conn, error) {
+	return c.net.Host("tester").Dial(addr)
 }
 
 // TestEndToEndSession is the live-stack centerpiece: two class-1 seeds
 // stream the full file to a requester; the requester verifies byte-exact
 // content, continuous playback near the Theorem 1 delay, and becomes a
-// supplying peer.
+// supplying peer. Virtual time makes the timing assertions deterministic.
 func TestEndToEndSession(t *testing.T) {
 	c := newCluster(t)
 	c.seed("seed1", 1)
@@ -103,7 +119,7 @@ func TestEndToEndSession(t *testing.T) {
 	if want := 2 * testFile().SegmentTime; report.TheoreticalDelay != want {
 		t.Errorf("TheoreticalDelay = %v, want %v", report.TheoreticalDelay, want)
 	}
-	// Scheduling jitter allowance: measured delay within 2 extra slots.
+	// Virtual-network latency allowance: measured delay within 2 extra slots.
 	if max := report.TheoreticalDelay + 2*testFile().SegmentTime; report.MeasuredDelay > max {
 		t.Errorf("MeasuredDelay = %v, want <= %v", report.MeasuredDelay, max)
 	}
@@ -131,6 +147,60 @@ func TestEndToEndSession(t *testing.T) {
 	// Requesting again after holding the file is an error.
 	if _, err := req.Request(); err == nil {
 		t.Error("second Request should fail: file already held")
+	}
+}
+
+// TestEndToEndSessionRealTCP smoke-tests the same stack over real TCP on
+// the wall clock. Timing assertions stay lenient: wall-clock scheduling
+// jitter is exactly what the virtual variant above exists to avoid.
+func TestEndToEndSessionRealTCP(t *testing.T) {
+	srv := directory.NewServer(1)
+	l, err := netx.System.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	file := &media.File{Name: "video", Segments: 8, SegmentBytes: 256, SegmentTime: 5 * time.Millisecond}
+	cfg := func(id string, class bandwidth.Class) Config {
+		return Config{
+			ID: id, Class: class, NumClasses: 4, Policy: dac.DAC,
+			DirectoryAddr: l.Addr().String(), File: file, M: 8,
+			TOut:    time.Second,
+			Backoff: dac.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
+			Seed:    1,
+			// Clock and Network left nil: wall clock over real TCP.
+		}
+	}
+	for _, id := range []string{"s1", "s2"} {
+		s, err := NewSeed(cfg(id, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+	}
+	req, err := NewRequester(cfg("r", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { req.Close() })
+
+	report, err := req.RequestUntilAdmitted(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Store().Complete() {
+		t.Error("store incomplete")
+	}
+	if report.Bytes != int64(file.Segments*file.SegmentBytes) {
+		t.Errorf("Bytes = %d", report.Bytes)
 	}
 }
 
@@ -211,14 +281,14 @@ func TestRequestUntilAdmittedGivesUp(t *testing.T) {
 	c := newCluster(t)
 	c.seed("onlyseed", 2)
 	req := c.requester("r", 4)
-	start := time.Now()
+	start := c.clk.Now()
 	_, err := req.RequestUntilAdmitted(3)
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
-	// Backoff 20ms + 40ms between the three attempts.
-	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
-		t.Errorf("elapsed %v, want >= 60ms of backoff", elapsed)
+	// Backoff 20ms + 40ms of virtual time between the three attempts.
+	if elapsed := c.clk.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("elapsed %v of virtual time, want >= 60ms of backoff", elapsed)
 	}
 	if _, err := req.RequestUntilAdmitted(0); err == nil {
 		t.Error("maxAttempts 0 should fail")
@@ -238,9 +308,11 @@ func TestBusySupplierRefusesSecondSession(t *testing.T) {
 		_, err := p1.Request()
 		done <- err
 	}()
-	// Give the session a moment to start, then hit seed1 with a Start.
-	time.Sleep(20 * time.Millisecond)
-	conn, err := net.Dial("tcp", s1.Addr())
+	// Give the session a moment of virtual time to start, then hit seed1
+	// with a Start. The session runs ~128ms of virtual time, so at 20ms it
+	// is deterministically still busy.
+	c.clk.Sleep(20 * time.Millisecond)
+	conn, err := c.dial(s1.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +337,7 @@ func TestBusySupplierRefusesSecondSession(t *testing.T) {
 func TestStartUnknownFileRefused(t *testing.T) {
 	c := newCluster(t)
 	s := c.seed("seed", 1)
-	conn, err := net.Dial("tcp", s.Addr())
+	conn, err := c.dial(s.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +356,7 @@ func TestProbeNonSupplierFails(t *testing.T) {
 	c := newCluster(t)
 	c.seed("seed1", 1)
 	r := c.requester("r", 1)
-	conn, err := net.Dial("tcp", r.Addr())
+	conn, err := c.dial(r.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,14 +402,14 @@ func TestIdleElevationOverWire(t *testing.T) {
 	c := newCluster(t)
 	s := c.seed("seed", 1) // favors only class 1 initially
 	// Probe as class 4 repeatedly: initially p = 1/8, but after enough
-	// idle timeouts (TOut = 50ms) the seed must favor class 4 and grant
-	// deterministically.
-	deadline := time.Now().Add(2 * time.Second)
+	// idle timeouts (TOut = 50ms of virtual time) the seed must favor
+	// class 4 and grant deterministically.
+	deadline := c.clk.Now().Add(5 * time.Second)
 	for {
-		if time.Now().After(deadline) {
+		if c.clk.Now().After(deadline) {
 			t.Fatal("seed never relaxed to favoring class 4")
 		}
-		conn, err := net.Dial("tcp", s.Addr())
+		conn, err := c.dial(s.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -354,7 +426,7 @@ func TestIdleElevationOverWire(t *testing.T) {
 			}
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		c.clk.Sleep(20 * time.Millisecond)
 	}
 }
 

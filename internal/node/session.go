@@ -9,8 +9,8 @@ import (
 
 	"p2pstream/internal/bandwidth"
 	"p2pstream/internal/core"
-	"p2pstream/internal/dac"
 	"p2pstream/internal/media"
+	"p2pstream/internal/protocol"
 	"p2pstream/internal/transport"
 )
 
@@ -26,14 +26,14 @@ type SessionReport struct {
 	// TheoreticalDelay is Theorem 1's buffering delay: n·δt.
 	TheoreticalDelay time.Duration
 	// MeasuredDelay is the minimal buffering delay supported by the actual
-	// arrival times (wall clock, includes network and scheduling jitter).
+	// arrival times (includes network and scheduling jitter).
 	MeasuredDelay time.Duration
 	// Report is the playback continuity verification at TheoreticalDelay
 	// plus one segment-time of jitter allowance.
 	Report media.PlaybackReport
 	// Bytes is the total payload received.
 	Bytes int64
-	// Duration is the wall-clock session length.
+	// Duration is the session length on the node's clock.
 	Duration time.Duration
 	// Rejections counts failed attempts before this session (set by
 	// RequestUntilAdmitted).
@@ -41,9 +41,10 @@ type SessionReport struct {
 }
 
 // Request performs one admission attempt (paper Section 4.2): look up M
-// candidates, probe them high class first, and — if permissions reaching
-// exactly R0 are obtained — run the OTS_p2p session. On rejection it leaves
-// reminders on busy favoring candidates and returns ErrRejected.
+// candidates and drive the shared protocol.Attempt sweep over the wire —
+// probing high class first until permissions reach exactly R0 — then run
+// the OTS_p2p session. On rejection it leaves reminders on the busy
+// favoring candidates the sweep selected and returns ErrRejected.
 func (n *Node) Request() (*SessionReport, error) {
 	if n.store.Complete() {
 		return nil, fmt.Errorf("node %s: already holds the file", n.cfg.ID)
@@ -52,38 +53,29 @@ func (n *Node) Request() (*SessionReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node %s: lookup: %w", n.cfg.ID, err)
 	}
-	ordered := sortCandidates(cands)
-
-	var (
-		outcomes []transport.Candidate // busy candidates that favor us
-		chosen   []transport.Candidate
-		sum      bandwidth.Fraction
-	)
-	for _, cand := range ordered {
-		reply, err := n.probe(cand)
-		if err != nil {
-			continue // unreachable candidate: treat as down (paper: "down or busy")
-		}
-		switch reply.Decision {
-		case dac.Granted:
-			if sum+cand.Class.Offer() <= bandwidth.R0 {
-				sum += cand.Class.Offer()
-				chosen = append(chosen, cand)
-			}
-		case dac.DeniedBusy:
-			if reply.Favors {
-				outcomes = append(outcomes, cand)
-			}
-		}
-		if sum == bandwidth.R0 {
+	classes := make([]bandwidth.Class, len(cands))
+	for i, c := range cands {
+		classes[i] = c.Class
+	}
+	att := protocol.NewAttempt(classes)
+	for {
+		idx, ok := att.Next()
+		if !ok {
 			break
 		}
+		reply, err := n.probe(cands[idx])
+		if err != nil {
+			// Unreachable candidate: treat as down (paper: "down or busy").
+			att.Down(idx)
+			continue
+		}
+		att.Record(idx, reply.Decision, reply.Favors)
 	}
-	if sum != bandwidth.R0 {
-		n.leaveReminders(outcomes)
+	if !att.Admitted() {
+		n.leaveReminders(pick(cands, att.ReminderTargets()))
 		return nil, ErrRejected
 	}
-	report, err := n.runSession(chosen)
+	report, err := n.runSession(pick(cands, att.Chosen()))
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +83,15 @@ func (n *Node) Request() (*SessionReport, error) {
 		return report, fmt.Errorf("node %s: promoting to supplier: %w", n.cfg.ID, err)
 	}
 	return report, nil
+}
+
+// pick maps candidate indices back to candidates, preserving order.
+func pick(cands []transport.Candidate, idxs []int) []transport.Candidate {
+	out := make([]transport.Candidate, len(idxs))
+	for i, idx := range idxs {
+		out[i] = cands[idx]
+	}
+	return out
 }
 
 // RequestUntilAdmitted retries Request with the configured backoff until
@@ -117,13 +118,13 @@ func (n *Node) RequestUntilAdmitted(maxAttempts int) (*SessionReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		time.Sleep(wait)
+		n.clk.Sleep(wait)
 	}
 }
 
 // probe asks one candidate for permission.
 func (n *Node) probe(cand transport.Candidate) (*transport.ProbeReply, error) {
-	conn, err := net.Dial("tcp", cand.Addr)
+	conn, err := n.net.Dial(cand.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -139,16 +140,11 @@ func (n *Node) probe(cand transport.Candidate) (*transport.ProbeReply, error) {
 	return &reply, nil
 }
 
-// leaveReminders deposits reminders on the busy favoring candidates, high
-// class first, accumulating offers up to R0 (Section 4.2).
-func (n *Node) leaveReminders(busyFavoring []transport.Candidate) {
-	var sum bandwidth.Fraction
-	for _, cand := range busyFavoring {
-		if sum+cand.Class.Offer() > bandwidth.R0 {
-			continue
-		}
-		sum += cand.Class.Offer()
-		conn, err := net.Dial("tcp", cand.Addr)
+// leaveReminders deposits reminders on the candidates the shared sweep
+// selected (busy favoring candidates, high class first, up to R0).
+func (n *Node) leaveReminders(targets []transport.Candidate) {
+	for _, cand := range targets {
+		conn, err := n.net.Dial(cand.Addr)
 		if err != nil {
 			continue
 		}
@@ -157,15 +153,12 @@ func (n *Node) leaveReminders(busyFavoring []transport.Candidate) {
 		var reply transport.ReminderReply
 		transport.ReadExpect(conn, transport.KindReminderOK, &reply)
 		conn.Close()
-		if sum == bandwidth.R0 {
-			return
-		}
 	}
 }
 
-// runSession computes the OTS_p2p assignment, triggers every chosen
-// supplier, and receives the whole file concurrently, recording arrival
-// times for playback verification.
+// runSession computes the OTS_p2p assignment (checking the Theorem 1
+// bound), triggers every chosen supplier, and receives the whole file
+// concurrently, recording arrival times for playback verification.
 func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) {
 	suppliers := make([]core.Supplier, len(chosen))
 	byID := make(map[string]transport.Candidate, len(chosen))
@@ -173,9 +166,9 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 		suppliers[i] = core.Supplier{ID: c.ID, Class: c.Class}
 		byID[c.ID] = c
 	}
-	assignment, err := core.Assign(suppliers)
+	assignment, err := protocol.AssignSession(suppliers)
 	if err != nil {
-		return nil, fmt.Errorf("node %s: OTS_p2p: %w", n.cfg.ID, err)
+		return nil, fmt.Errorf("node %s: %w", n.cfg.ID, err)
 	}
 
 	// Trigger phase: open a connection per supplier and send its segment
@@ -190,7 +183,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 	}()
 	for i, s := range assignment.Suppliers {
 		cand := byID[s.ID]
-		conn, err := net.Dial("tcp", cand.Addr)
+		conn, err := n.net.Dial(cand.Addr)
 		if err != nil {
 			return nil, fmt.Errorf("node %s: dialing supplier %s: %w", n.cfg.ID, s.ID, err)
 		}
@@ -216,7 +209,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 	}
 
 	// Receive phase.
-	start := time.Now()
+	start := n.clk.Now()
 	arrivals := make([]time.Duration, n.cfg.File.Segments)
 	var (
 		arrivalsMu sync.Mutex
@@ -250,9 +243,15 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 						errsMu.Unlock()
 						return
 					}
-					at := time.Since(start)
+					at := n.clk.Since(start)
 					storeMu.Lock()
-					err := n.store.Put(media.Segment{ID: media.SegmentID(seg.ID), Data: seg.Data})
+					var err error
+					if !n.store.Has(media.SegmentID(seg.ID)) {
+						// Idempotent under retries: a session after a failed
+						// one re-receives segments the partial store already
+						// holds (content is deterministic per segment ID).
+						err = n.store.Put(media.Segment{ID: media.SegmentID(seg.ID), Data: seg.Data})
+					}
 					storeMu.Unlock()
 					if err != nil {
 						errsMu.Lock()
@@ -289,7 +288,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 		return nil, fmt.Errorf("node %s: session ended with %d/%d segments", n.cfg.ID, n.store.Count(), n.cfg.File.Segments)
 	}
 
-	theoretical := time.Duration(len(chosen)) * n.cfg.File.SegmentTime
+	theoretical := protocol.TheoreticalDelay(len(chosen), n.cfg.File.SegmentTime)
 	measured, err := media.MinimalDelay(n.cfg.File, arrivals)
 	if err != nil {
 		return nil, err
@@ -305,6 +304,6 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 		MeasuredDelay:    measured,
 		Report:           playback,
 		Bytes:            bytes,
-		Duration:         time.Since(start),
+		Duration:         n.clk.Since(start),
 	}, nil
 }

@@ -1,0 +1,260 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
+	"p2pstream/internal/core"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/sim"
+)
+
+// sweep drives an Attempt against in-memory suppliers, granting per the
+// given decisions (indexed like classes).
+func sweep(t *testing.T, classes []bandwidth.Class, decide func(idx int) (dac.Decision, bool)) *Attempt {
+	t.Helper()
+	att := NewAttempt(classes)
+	for {
+		idx, ok := att.Next()
+		if !ok {
+			return att
+		}
+		dec, favors := decide(idx)
+		att.Record(idx, dec, favors)
+	}
+}
+
+func TestAttemptAdmitsAtExactlyR0(t *testing.T) {
+	// Classes 3, 1, 2: probed high class first (1, 2, 3); 1/2 + 1/4 + 1/8
+	// overshoots after 3 candidates? No: 1/2+1/4 = 3/4, +1/8 = 7/8 < R0 —
+	// use the Figure 1 mix instead: 1, 2, 3, 3 sums to exactly R0.
+	classes := []bandwidth.Class{3, 1, 2, 3}
+	att := sweep(t, classes, func(int) (dac.Decision, bool) { return dac.Granted, true })
+	if !att.Admitted() {
+		t.Fatal("not admitted with offers summing to R0")
+	}
+	// Probe order is high class first: indices 1 (class 1), 2 (class 2),
+	// then the class-3 candidates in positional order.
+	want := []int{1, 2, 0, 3}
+	got := att.Chosen()
+	if len(got) != len(want) {
+		t.Fatalf("chosen %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chosen %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAttemptStopsProbingAtR0(t *testing.T) {
+	classes := []bandwidth.Class{1, 1, 1, 1}
+	probed := 0
+	att := sweep(t, classes, func(int) (dac.Decision, bool) { probed++; return dac.Granted, true })
+	if !att.Admitted() {
+		t.Fatal("not admitted")
+	}
+	if probed != 2 {
+		t.Errorf("probed %d candidates, want 2 (sweep must stop at R0)", probed)
+	}
+}
+
+func TestAttemptSkipsOvershootingGrant(t *testing.T) {
+	// Class 1 (1/2) granted, class 1 granted, class 1 granted: the third
+	// grant would overshoot; with only two needed the attempt stops. Now
+	// force overshoot-skipping: 1/2 granted, then 1/2 denied, then 1/4+1/4.
+	classes := []bandwidth.Class{1, 1, 2, 2}
+	att := sweep(t, classes, func(idx int) (dac.Decision, bool) {
+		if idx == 1 {
+			return dac.DeniedProbability, false
+		}
+		return dac.Granted, true
+	})
+	if !att.Admitted() {
+		t.Fatal("not admitted: 1/2 + 1/4 + 1/4 = R0")
+	}
+	if n := len(att.Chosen()); n != 3 {
+		t.Errorf("chosen %d suppliers, want 3", n)
+	}
+}
+
+func TestAttemptRejectionAndReminderTargets(t *testing.T) {
+	// All busy; only some favor the requester. Reminder targets are the
+	// busy favoring candidates, high class first, accumulated to R0.
+	classes := []bandwidth.Class{1, 1, 2, 4}
+	att := sweep(t, classes, func(idx int) (dac.Decision, bool) {
+		return dac.DeniedBusy, idx != 2 // the class-2 candidate does not favor us
+	})
+	if att.Admitted() {
+		t.Fatal("admitted with zero grants")
+	}
+	targets := att.ReminderTargets()
+	// 1/2 (idx 0) + 1/2 (idx 1) = R0; idx 3 would overshoot, idx 2 is not
+	// favoring.
+	if len(targets) != 2 || targets[0] != 0 || targets[1] != 1 {
+		t.Errorf("targets = %v, want [0 1]", targets)
+	}
+}
+
+func TestAttemptDownYieldsNothing(t *testing.T) {
+	classes := []bandwidth.Class{1, 1}
+	att := NewAttempt(classes)
+	for {
+		idx, ok := att.Next()
+		if !ok {
+			break
+		}
+		att.Down(idx)
+	}
+	if att.Admitted() {
+		t.Error("admitted with every candidate down")
+	}
+	if len(att.ReminderTargets()) != 0 {
+		t.Error("down candidates produced reminder targets")
+	}
+}
+
+func TestAssignSessionChecksTheorem1(t *testing.T) {
+	a, err := AssignSession([]core.Supplier{{ID: "a", Class: 1}, {ID: "b", Class: 2}, {ID: "c", Class: 3}, {ID: "d", Class: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DelaySlots(); got != 4 {
+		t.Errorf("delay = %d slots, want 4", got)
+	}
+	if _, err := AssignSession([]core.Supplier{{ID: "a", Class: 2}}); err == nil {
+		t.Error("offers below R0 accepted")
+	}
+}
+
+func TestSessionTiming(t *testing.T) {
+	dt := 4 * time.Millisecond
+	if got := TheoreticalDelay(3, dt); got != 12*time.Millisecond {
+		t.Errorf("TheoreticalDelay = %v", got)
+	}
+	// A class-2 supplier sends one segment every 4·δt.
+	if got := TransmissionDeadline(0, 2, dt); got != 16*time.Millisecond {
+		t.Errorf("first deadline = %v, want 16ms", got)
+	}
+	if got := TransmissionDeadline(2, 1, dt); got != 24*time.Millisecond {
+		t.Errorf("third class-1 deadline = %v, want 24ms", got)
+	}
+}
+
+// TestSupplierIdleElevation: under an engine clock, idle timeouts elevate
+// the vector step by step until all classes are favored, then stop.
+func TestSupplierIdleElevation(t *testing.T) {
+	var eng sim.Engine
+	clk := clock.ForEngine(&eng)
+	sup, err := NewSupplier(1, 4, dac.DAC, clk, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A class-1 supplier in K=4 favors classes down to its own and must
+	// elevate (4-1) = 3 times to favor everyone.
+	eng.Run()
+	if got := sup.LowestFavored(); got != 4 {
+		t.Errorf("LowestFavored = %d after all elevations, want 4", got)
+	}
+	if eng.Processed() != 3 {
+		t.Errorf("processed %d idle timeouts, want 3 (timer must stop when all-open)", eng.Processed())
+	}
+}
+
+// TestSupplierSessionSuspendsTimer: a session stops the pending idle
+// timeout; EndSession re-arms it.
+func TestSupplierSessionSuspendsTimer(t *testing.T) {
+	var eng sim.Engine
+	clk := clock.ForEngine(&eng)
+	sup, err := NewSupplier(1, 4, dac.DAC, clk, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.StartSession(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Minute)
+	if got := sup.LowestFavored(); got != 1 {
+		t.Errorf("vector elevated during a session: LowestFavored = %d", got)
+	}
+	if err := sup.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	// No reminders and no favored request: end-of-session elevates once,
+	// then idle timeouts (re-armed) elevate the rest.
+	eng.Run()
+	if got := sup.LowestFavored(); got != 4 {
+		t.Errorf("LowestFavored = %d, want 4", got)
+	}
+	probes, sessions, reminders := sup.Stats()
+	if probes != 0 || sessions != 1 || reminders != 0 {
+		t.Errorf("stats = (%d, %d, %d), want (0, 1, 0)", probes, sessions, reminders)
+	}
+}
+
+// TestSupplierBusyReminderTighten: a favored-class reminder during a
+// session tightens the vector at end of session (Section 4.1(c)).
+func TestSupplierBusyReminderTighten(t *testing.T) {
+	var eng sim.Engine
+	clk := clock.ForEngine(&eng)
+	sup, err := NewSupplier(1, 4, dac.DAC, clk, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.StartSession(); err != nil {
+		t.Fatal(err)
+	}
+	dec, favors := sup.HandleProbe(1, 0)
+	if dec != dac.DeniedBusy || !favors {
+		t.Fatalf("busy probe = (%v, %v)", dec, favors)
+	}
+	if !sup.LeaveReminder(1) {
+		t.Fatal("favored reminder not kept")
+	}
+	if sup.LeaveReminder(4) {
+		t.Error("unfavored reminder kept")
+	}
+	if err := sup.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, reminders := sup.Stats()
+	if reminders != 1 {
+		t.Errorf("reminders = %d, want 1", reminders)
+	}
+}
+
+// TestSupplierNDACNeverArms: the baseline never schedules idle timeouts
+// and ignores reminders.
+func TestSupplierNDACNeverArms(t *testing.T) {
+	var eng sim.Engine
+	clk := clock.ForEngine(&eng)
+	sup, err := NewSupplier(2, 4, dac.NDAC, clk, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("NDAC supplier scheduled %d timers", eng.Pending())
+	}
+	dec, favors := sup.HandleProbe(4, 0)
+	if dec != dac.Granted || !favors {
+		t.Errorf("NDAC probe = (%v, %v), want granted to everyone", dec, favors)
+	}
+	sup.Close()
+}
+
+// TestSupplierCloseStopsTimer: Close cancels the pending elevation.
+func TestSupplierCloseStopsTimer(t *testing.T) {
+	var eng sim.Engine
+	clk := clock.ForEngine(&eng)
+	sup, err := NewSupplier(1, 4, dac.DAC, clk, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Close()
+	eng.Run()
+	if got := sup.LowestFavored(); got != 1 {
+		t.Errorf("closed supplier elevated to %d", got)
+	}
+}

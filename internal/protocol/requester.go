@@ -1,0 +1,120 @@
+// Package protocol is the transport- and clock-agnostic core of the
+// paper's two mechanisms: the DAC_p2p admission protocol (Section 4) and
+// the OTS_p2p media data assignment (Section 3), expressed as passive
+// session state machines. The discrete-event simulator
+// (internal/system) and the live overlay node (internal/node) are thin
+// drivers over this package: the simulator feeds it in-memory probe
+// results under virtual time, the node feeds it wire messages — the
+// admission decisions, candidate ordering, reminder targeting, supplier
+// lifecycle and assignment checks are implemented exactly once.
+package protocol
+
+import (
+	"fmt"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/core"
+	"p2pstream/internal/dac"
+)
+
+// Attempt is one admission attempt of a requesting peer (Section 4.2): it
+// walks the looked-up candidates high class first, accumulates granted
+// offers up to exactly R0 — skipping grants that would overshoot — and
+// stops as soon as permissions reach R0. The driver owns all I/O: it asks
+// Next which candidate to contact, performs the probe however it likes
+// (wire message, in-memory state machine call), and reports the result
+// with Record or Down.
+type Attempt struct {
+	classes []bandwidth.Class
+	order   []int // probe order: high class first, stable
+	pos     int
+
+	sum      bandwidth.Fraction
+	chosen   []int
+	outcomes []dac.ProbeOutcome // every answered probe, for reminder targeting
+	admitted bool
+}
+
+// NewAttempt starts an admission attempt over candidates with the given
+// bandwidth classes (indices into this slice identify candidates in every
+// other method).
+func NewAttempt(classes []bandwidth.Class) *Attempt {
+	return &Attempt{
+		classes: classes,
+		order:   dac.ProbeOrder(classes),
+	}
+}
+
+// Next returns the index of the next candidate to probe. ok is false when
+// the sweep is over: either permissions reached exactly R0 (Admitted) or
+// every candidate has been contacted.
+func (a *Attempt) Next() (idx int, ok bool) {
+	if a.admitted || a.pos >= len(a.order) {
+		return 0, false
+	}
+	return a.order[a.pos], true
+}
+
+// Down records that the candidate returned by Next was unreachable — the
+// paper's transiently "down" case: it yields neither a permission nor a
+// reminder target.
+func (a *Attempt) Down(idx int) { a.pos++ }
+
+// Record feeds the probe response of the candidate returned by Next. A
+// grant is accumulated unless it would push the aggregate beyond R0; the
+// attempt is admitted the moment the aggregate hits R0 exactly.
+func (a *Attempt) Record(idx int, decision dac.Decision, favorsUs bool) {
+	a.pos++
+	a.outcomes = append(a.outcomes, dac.ProbeOutcome{
+		Index:    idx,
+		Class:    a.classes[idx],
+		Decision: decision,
+		FavorsUs: favorsUs,
+	})
+	if decision != dac.Granted {
+		return
+	}
+	offer := a.classes[idx].Offer()
+	if a.sum+offer > bandwidth.R0 {
+		return
+	}
+	a.sum += offer
+	a.chosen = append(a.chosen, idx)
+	if a.sum == bandwidth.R0 {
+		a.admitted = true
+	}
+}
+
+// Admitted reports whether the accumulated permissions reached exactly R0.
+func (a *Attempt) Admitted() bool { return a.admitted }
+
+// Chosen returns the candidate indices to trigger as session suppliers, in
+// probe order (high class first). Valid only when Admitted.
+func (a *Attempt) Chosen() []int { return a.chosen }
+
+// ReminderTargets returns the candidate indices on which the rejected
+// requester leaves reminders (Section 4.2): busy candidates that favor the
+// requester's class, high class first, accumulated up to R0.
+func (a *Attempt) ReminderTargets() []int {
+	targets := dac.ReminderTargets(a.outcomes)
+	idxs := make([]int, len(targets))
+	for i, t := range targets {
+		idxs[i] = a.outcomes[t].Index
+	}
+	return idxs
+}
+
+// AssignSession computes the OTS_p2p assignment for a session's chosen
+// suppliers and checks the Theorem 1 bound (delay = n·δt) before anything
+// is triggered — the shared admission-to-streaming handoff of both
+// runtimes.
+func AssignSession(suppliers []core.Supplier) (*core.Assignment, error) {
+	a, err := core.Assign(suppliers)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: OTS_p2p: %w", err)
+	}
+	if got, want := a.DelaySlots(), core.OptimalDelaySlots(len(suppliers)); got != want {
+		return nil, fmt.Errorf("protocol: Theorem 1 violated: delay %d slots, want %d", got, want)
+	}
+	return a, nil
+}

@@ -1,0 +1,23 @@
+package protocol
+
+import (
+	"time"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// TransmissionDeadline returns when a class-c supplier finishes sending
+// its i-th assigned segment, measured from the session start: one segment
+// every 2^c segment-times, so the i-th completes at (i+1)·2^c·δt. The live
+// supplier paces its stream against these absolute deadlines (pacing
+// against an absolute schedule avoids drift); the schedule analyzer in
+// internal/core uses the same slot arithmetic.
+func TransmissionDeadline(i int, class bandwidth.Class, dt time.Duration) time.Duration {
+	return time.Duration(i+1) * (dt << uint(class))
+}
+
+// TheoreticalDelay returns Theorem 1's buffering delay for a session with
+// n suppliers: n·δt.
+func TheoreticalDelay(n int, dt time.Duration) time.Duration {
+	return time.Duration(n) * dt
+}

@@ -1,0 +1,176 @@
+package protocol
+
+import (
+	"sync"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
+	"p2pstream/internal/dac"
+)
+
+// Supplier is the supplying-peer side of the session layer: the DAC_p2p
+// admission state machine (internal/dac) combined with the clock-driven
+// idle elevation timer of Section 4.1(b) and the session lifecycle. The
+// simulator runs it on an engine-backed clock, the live node on the wall
+// clock or a virtual one; the elevation and post-session vector rules live
+// here exactly once.
+//
+// Supplier is safe for concurrent use (the live node serves probes,
+// reminders and sessions from independent connection goroutines; the
+// single-threaded simulator pays one uncontended lock).
+type Supplier struct {
+	clk  clock.Clock
+	tout time.Duration
+
+	mu     sync.Mutex
+	adm    *dac.Supplier
+	timer  clock.Timer
+	closed bool
+
+	probes    int
+	sessions  int
+	reminders int
+}
+
+// NewSupplier returns a supplying peer of the given class in a system with
+// numClasses classes, with its idle elevation timer armed on clk.
+func NewSupplier(class, numClasses bandwidth.Class, policy dac.Policy, clk clock.Clock, tout time.Duration) (*Supplier, error) {
+	adm, err := dac.NewSupplier(class, numClasses, policy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supplier{clk: clk, tout: tout, adm: adm}
+	s.mu.Lock()
+	s.armLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Class returns the supplier's bandwidth class.
+func (s *Supplier) Class() bandwidth.Class {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adm.Class()
+}
+
+// Busy reports whether a session is in progress.
+func (s *Supplier) Busy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adm.Busy()
+}
+
+// LowestFavored returns the lowest class currently favored (Figure 7).
+func (s *Supplier) LowestFavored() bandwidth.Class {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adm.LowestFavored()
+}
+
+// Stats returns protocol counters: probes served, sessions completed,
+// reminders kept.
+func (s *Supplier) Stats() (probes, sessions, reminders int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.probes, s.sessions, s.reminders
+}
+
+// HandleProbe serves one admission probe: it reports the decision together
+// with whether the supplier currently favors the requester's class (busy
+// deny replies carry it so the requester can target reminders). u must be
+// uniform in [0, 1), drawn by the caller — randomness stays outside the
+// state machine.
+func (s *Supplier) HandleProbe(reqClass bandwidth.Class, u float64) (dec dac.Decision, favors bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes++
+	favors = s.adm.Favors(reqClass)
+	return s.adm.HandleProbe(reqClass, u), favors
+}
+
+// LeaveReminder records a rejected requester's reminder; it reports
+// whether the reminder was kept.
+func (s *Supplier) LeaveReminder(reqClass bandwidth.Class) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.adm.LeaveReminder(reqClass)
+	if kept {
+		s.reminders++
+	}
+	return kept
+}
+
+// StartSession claims the supplier for one streaming session and suspends
+// the idle elevation timer.
+func (s *Supplier) StartSession() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.adm.StartSession(); err != nil {
+		return err
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	return nil
+}
+
+// EndSession releases the supplier: the post-session vector update of
+// Section 4.1(c) is applied and the idle elevation timer re-armed.
+func (s *Supplier) EndSession() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.adm.EndSession(); err != nil {
+		return err
+	}
+	s.sessions++
+	s.armLocked()
+	return nil
+}
+
+// Close stops the idle timer; further timeouts are ignored.
+func (s *Supplier) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+// armLocked schedules the next elevate-after-timeout step (Section 4.1(b)).
+// NDAC suppliers never elevate, and an all-open vector cannot change, so
+// neither schedules a timer.
+func (s *Supplier) armLocked() {
+	if s.closed || s.adm.Busy() || s.adm.AllOpen() {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timer = nil
+	if !s.elevates() {
+		return
+	}
+	s.timer = s.clk.AfterFunc(s.tout, s.onIdleTimeout)
+}
+
+// elevates reports whether idle timeouts can still change the vector.
+func (s *Supplier) elevates() bool {
+	// OnIdleTimeout on an NDAC supplier is a no-op; probing that via a
+	// dry-run would mutate DAC state, so consult the policy directly.
+	return s.adm.Policy() == dac.DAC
+}
+
+func (s *Supplier) onIdleTimeout() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.adm.Busy() {
+		return
+	}
+	if s.adm.OnIdleTimeout() {
+		s.armLocked()
+	}
+}

@@ -56,6 +56,15 @@ func (e *Engine) After(delay time.Duration, fn func()) error {
 	return e.At(e.now+delay, fn)
 }
 
+// NextAt returns the time of the earliest scheduled event, or false when
+// the queue is empty.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Step fires the next event, advancing the clock to its time. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {

@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
-	"p2pstream/internal/dac"
+	"p2pstream/internal/lookup"
 	"p2pstream/internal/metrics"
+	"p2pstream/internal/protocol"
 	"p2pstream/internal/sim"
 )
 
@@ -64,18 +66,17 @@ type Result struct {
 	Events uint64
 }
 
-// peer is the simulator's per-peer state.
+// peer is the simulator's per-peer state. The admission state machine and
+// idle elevation timer live in the shared protocol layer; the simulator
+// only keeps the bookkeeping behind the paper's metrics.
 type peer struct {
 	id      int
 	class   bandwidth.Class
 	arrival time.Duration
-	sup     *dac.Supplier // nil until the peer becomes a supplier
+	sup     *protocol.Supplier // nil until the peer becomes a supplier
 
 	rejections int
 	admitted   bool
-	// idleEpoch invalidates scheduled idle timeouts when the supplier's
-	// idle period ends.
-	idleEpoch int
 	// waited is the time between first request and admission.
 	waited time.Duration
 }
@@ -83,7 +84,8 @@ type peer struct {
 type simulation struct {
 	cfg Config
 	eng sim.Engine
-	rng *rand.Rand // protocol randomness (probes, sampling)
+	clk clock.Clock // engine-backed; drives the shared protocol timers
+	rng *rand.Rand  // protocol randomness (probes, sampling)
 
 	peers    []*peer
 	src      candidateSource
@@ -120,6 +122,7 @@ func Run(cfg Config) (*Result, error) {
 			OverallAdmissionRate: &metrics.Series{Name: "overall-admission-%"},
 		},
 	}
+	s.clk = clock.ForEngine(&s.eng)
 	switch cfg.Lookup {
 	case LookupChord:
 		s.src = newChordSource(s.eng.Now, cfg.ChordStabilizeEvery)
@@ -196,9 +199,10 @@ func (s *simulation) scheduleProbes() error {
 }
 
 // becomeSupplier converts a peer into a supplying peer and registers it
-// with the directory.
+// with the directory. The shared protocol layer arms the idle elevation
+// timer on the engine-backed clock.
 func (s *simulation) becomeSupplier(p *peer) error {
-	sup, err := dac.NewSupplier(p.class, s.cfg.NumClasses(), s.cfg.Policy)
+	sup, err := protocol.NewSupplier(p.class, s.cfg.NumClasses(), s.cfg.Policy, s.clk, s.cfg.TOut)
 	if err != nil {
 		return err
 	}
@@ -208,36 +212,11 @@ func (s *simulation) becomeSupplier(p *peer) error {
 	}
 	s.byClass[p.class] = append(s.byClass[p.class], p.id)
 	s.aggOffer += p.class.Offer()
-	s.armIdleTimer(p)
 	return nil
 }
 
-// armIdleTimer schedules the next elevate-after-timeout event for an idle
-// supplier. The peer's idleEpoch invalidates the timer if the supplier
-// becomes busy first.
-func (s *simulation) armIdleTimer(p *peer) {
-	if s.cfg.Policy == dac.NDAC || p.sup.AllOpen() {
-		return
-	}
-	epoch := p.idleEpoch
-	// Timers beyond the horizon would never fire; skip them.
-	if s.eng.Now()+s.cfg.TOut > s.cfg.Horizon {
-		return
-	}
-	err := s.eng.After(s.cfg.TOut, func() {
-		if p.idleEpoch != epoch || p.sup.Busy() {
-			return
-		}
-		if p.sup.OnIdleTimeout() {
-			s.armIdleTimer(p)
-		}
-	})
-	if err != nil {
-		panic(fmt.Sprintf("system: arming idle timer: %v", err))
-	}
-}
-
-// handleRequest performs one admission attempt of peer p (Section 4.2).
+// handleRequest performs one admission attempt of peer p (Section 4.2),
+// driving the shared protocol.Attempt sweep with in-memory probes.
 func (s *simulation) handleRequest(p *peer, first bool) {
 	if first {
 		s.arrived[p.class]++
@@ -249,43 +228,34 @@ func (s *simulation) handleRequest(p *peer, first bool) {
 	for i, c := range candidates {
 		classes[i] = c.Class
 	}
-	order := dac.ProbeOrder(classes)
-
-	outcomes := make([]dac.ProbeOutcome, 0, len(candidates))
-	var chosen []*peer
-	var sum bandwidth.Fraction
-	for _, idx := range order {
+	att := protocol.NewAttempt(classes)
+	for {
+		idx, ok := att.Next()
+		if !ok {
+			break
+		}
 		cand := s.peers[candidates[idx].ID]
 		if s.cfg.DownProb > 0 && s.rng.Float64() < s.cfg.DownProb {
 			// Transiently unreachable: neither a grant nor a reminder
 			// target (the paper's "down" case).
 			s.res.TotalDown++
+			att.Down(idx)
 			continue
 		}
-		favors := cand.sup.Favors(p.class)
-		dec := cand.sup.HandleProbe(p.class, s.rng.Float64())
+		dec, favors := cand.sup.HandleProbe(p.class, s.rng.Float64())
 		s.res.TotalProbes++
-		outcomes = append(outcomes, dac.ProbeOutcome{
-			Index:    cand.id,
-			Class:    cand.class,
-			Decision: dec,
-			FavorsUs: favors,
-		})
-		if dec == dac.Granted && sum+cand.class.Offer() <= bandwidth.R0 {
-			sum += cand.class.Offer()
-			chosen = append(chosen, cand)
-			if sum == bandwidth.R0 {
-				// Enough permissions: stop contacting further candidates.
-				break
-			}
-		}
+		att.Record(idx, dec, favors)
 	}
 
-	if sum == bandwidth.R0 {
-		s.admit(p, chosen)
+	if !att.Admitted() {
+		s.reject(p, att, candidates)
 		return
 	}
-	s.reject(p, outcomes)
+	chosen := make([]*peer, len(att.Chosen()))
+	for i, idx := range att.Chosen() {
+		chosen[i] = s.peers[candidates[idx].ID]
+	}
+	s.admit(p, chosen)
 }
 
 // admit triggers the chosen suppliers and starts the streaming session.
@@ -295,19 +265,14 @@ func (s *simulation) admit(p *peer, chosen []*peer) {
 		for i, c := range chosen {
 			suppliers[i] = core.Supplier{ID: fmt.Sprint(c.id), Class: c.class}
 		}
-		a, err := core.Assign(suppliers)
-		if err != nil {
+		if _, err := protocol.AssignSession(suppliers); err != nil {
 			panic(fmt.Sprintf("system: OTS_p2p on admission: %v", err))
-		}
-		if got, want := a.DelaySlots(), core.OptimalDelaySlots(len(chosen)); got != want {
-			panic(fmt.Sprintf("system: Theorem 1 violated: delay %d, want %d", got, want))
 		}
 	}
 	for _, c := range chosen {
 		if err := c.sup.StartSession(); err != nil {
 			panic(fmt.Sprintf("system: triggering supplier %d: %v", c.id, err))
 		}
-		c.idleEpoch++ // cancel pending idle timers
 	}
 	p.admitted = true
 	p.waited = s.eng.Now() - p.arrival
@@ -335,27 +300,26 @@ func (s *simulation) admit(p *peer, chosen []*peer) {
 	}
 }
 
-// endSession releases the suppliers (applying their post-session vector
-// updates) and turns the requester into a supplying peer.
+// endSession releases the suppliers (the shared protocol layer applies
+// their post-session vector updates and re-arms their idle timers) and
+// turns the requester into a supplying peer.
 func (s *simulation) endSession(p *peer, chosen []*peer) {
 	for _, c := range chosen {
 		if err := c.sup.EndSession(); err != nil {
 			panic(fmt.Sprintf("system: releasing supplier %d: %v", c.id, err))
 		}
-		c.idleEpoch++
-		s.armIdleTimer(c)
 	}
 	if err := s.becomeSupplier(p); err != nil {
 		panic(fmt.Sprintf("system: promoting peer %d: %v", p.id, err))
 	}
 }
 
-// reject leaves reminders on busy favoring candidates and schedules the
-// retry after the exponential backoff.
-func (s *simulation) reject(p *peer, outcomes []dac.ProbeOutcome) {
+// reject leaves reminders on the busy favoring candidates the shared sweep
+// selected and schedules the retry after the exponential backoff.
+func (s *simulation) reject(p *peer, att *protocol.Attempt, candidates []lookup.Entry[int]) {
 	p.rejections++
-	for _, t := range dac.ReminderTargets(outcomes) {
-		target := s.peers[outcomes[t].Index]
+	for _, idx := range att.ReminderTargets() {
+		target := s.peers[candidates[idx].ID]
 		if target.sup.LeaveReminder(p.class) {
 			s.res.TotalReminders++
 		}

@@ -26,8 +26,12 @@
 //   - the admission protocol building blocks (Vector, Supplier, Policy);
 //   - the discrete-event whole-system simulator behind the paper's
 //     evaluation (Simulate, SimConfig, SimResult);
-//   - a live, network-transparent overlay (internal/node) demonstrated by
-//     the examples and cmd/p2pnode.
+//   - a live, network-transparent overlay node (Node, NodeConfig) that
+//     runs over real TCP on the wall clock or — for deterministic,
+//     millisecond-fast cluster scenarios — over an in-memory virtual
+//     network (NewVirtualNetwork, LinkConfig) under a virtual clock
+//     (NewVirtualClock). Both runtimes share one protocol core
+//     (internal/protocol).
 //
 // A minimal session:
 //
@@ -47,8 +51,13 @@ package p2pstream
 
 import (
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
 	"p2pstream/internal/dac"
+	"p2pstream/internal/directory"
+	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/node"
 	"p2pstream/internal/system"
 )
 
@@ -125,3 +134,72 @@ func DefaultSimConfig() SimConfig { return system.DefaultConfig() }
 
 // Simulate executes one whole-system simulation.
 func Simulate(cfg SimConfig) (*SimResult, error) { return system.Run(cfg) }
+
+// Scenario surface: the live overlay node plus the pluggable clock and
+// network substrates that let the same node run over real TCP or inside a
+// deterministic virtual cluster.
+
+// Clock is the time source and scheduler of the session layer: the wall
+// clock (SystemClock) or a virtual clock (NewVirtualClock).
+type Clock = clock.Clock
+
+// VirtualClock is a concurrency-safe virtual clock; drive it with Advance
+// or AutoRun.
+type VirtualClock = clock.Virtual
+
+// SystemClock returns the real wall clock.
+func SystemClock() Clock { return clock.System() }
+
+// NewVirtualClock returns a virtual clock for deterministic scenarios.
+func NewVirtualClock() *VirtualClock { return clock.NewVirtual() }
+
+// Network provides the overlay's listeners and connections: real TCP
+// (SystemNetwork) or an in-memory virtual network (NewVirtualNetwork).
+type Network = netx.Network
+
+// VirtualNetwork is an in-memory network of named hosts with per-link
+// latency, jitter, dial-drop probability and host churn.
+type VirtualNetwork = netx.Virtual
+
+// LinkConfig describes one virtual-network link.
+type LinkConfig = netx.LinkConfig
+
+// SystemNetwork returns the real TCP network.
+func SystemNetwork() Network { return netx.System }
+
+// NewVirtualNetwork returns an empty virtual network whose delays run on
+// clk; the seed fixes jitter and drop randomness.
+func NewVirtualNetwork(clk Clock, seed int64) *VirtualNetwork { return netx.NewVirtual(clk, seed) }
+
+// Node is a live peer of the streaming overlay.
+type Node = node.Node
+
+// NodeConfig parameterizes a live node; its Clock and Network fields
+// select the runtime substrate (nil means wall clock over real TCP).
+type NodeConfig = node.Config
+
+// SessionReport describes a completed streaming session from the
+// requester's perspective.
+type SessionReport = node.SessionReport
+
+// ErrRejected is returned by Node.Request when admission failed.
+var ErrRejected = node.ErrRejected
+
+// NewSeedNode creates a live peer that already holds the media file and
+// supplies immediately once started.
+func NewSeedNode(cfg NodeConfig) (*Node, error) { return node.NewSeed(cfg) }
+
+// NewRequesterNode creates a live peer that requests the stream and then
+// supplies.
+func NewRequesterNode(cfg NodeConfig) (*Node, error) { return node.NewRequester(cfg) }
+
+// DirectoryServer is the overlay's Napster-style lookup service; serve it
+// on any listener of the chosen Network.
+type DirectoryServer = directory.Server
+
+// NewDirectoryServer returns an empty directory server; the seed fixes
+// candidate sampling.
+func NewDirectoryServer(seed int64) *DirectoryServer { return directory.NewServer(seed) }
+
+// MediaFile describes the streamed media item.
+type MediaFile = media.File

@@ -88,3 +88,61 @@ func TestDefaultSimConfigIsPaperSetup(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicVirtualScenario assembles a complete live overlay — directory,
+// two seeds, one requester — through the facade alone, running over a
+// virtual network under virtual time.
+func TestPublicVirtualScenario(t *testing.T) {
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond, Jitter: 100 * time.Microsecond})
+
+	dir := p2pstream.NewDirectoryServer(1)
+	l, err := vnet.Host("dir").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dir.Serve(l)
+	t.Cleanup(func() { dir.Close() })
+
+	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
+	cfg := func(id string, class p2pstream.Class) p2pstream.NodeConfig {
+		return p2pstream.NodeConfig{
+			ID: id, Class: class, NumClasses: 4, Policy: p2pstream.DAC,
+			DirectoryAddr: l.Addr().String(), File: file, M: 8,
+			TOut:    50 * time.Millisecond,
+			Backoff: p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
+			Seed:    1, Clock: clk, Network: vnet.Host(id),
+		}
+	}
+	for _, id := range []string{"s1", "s2"} {
+		seed, err := p2pstream.NewSeedNode(cfg(id, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { seed.Close() })
+	}
+	req, err := p2pstream.NewRequesterNode(cfg("r", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { req.Close() })
+
+	report, err := req.RequestUntilAdmitted(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Report.Continuous() {
+		t.Errorf("playback stalled %d times", report.Report.Stalls)
+	}
+	if !req.Store().Complete() || !req.Supplying() {
+		t.Error("requester did not finish as a supplying peer")
+	}
+}
