@@ -1,0 +1,94 @@
+// Command p2pscen runs cataloged cluster scenarios — declarative
+// RFC 8867-style network/churn stresses of the live overlay — on the
+// deterministic virtual substrate, prints each run's summary and invariant
+// verdict, and optionally emits the sampled series as CSV.
+//
+// Examples:
+//
+//	p2pscen -list
+//	p2pscen flash-crowd churn-storm
+//	p2pscen -all
+//	p2pscen -csv flash-crowd.csv -seed 7 flash-crowd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p2pstream/internal/scenario"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the scenario catalog and exit")
+	all := flag.Bool("all", false, "run every cataloged scenario")
+	csvPath := flag.String("csv", "", "write the (last) run's series to this CSV file")
+	seed := flag.Int64("seed", 0, "override the scenario's random seed (0 keeps it)")
+	flag.Parse()
+
+	if *list {
+		for _, spec := range scenario.Catalog() {
+			fmt.Printf("%-22s %s\n", spec.Name, spec.Stresses)
+		}
+		return
+	}
+	names := flag.Args()
+	if *all {
+		if len(names) > 0 {
+			fatal(fmt.Errorf("-all runs the whole catalog; drop the named scenarios %v", names))
+		}
+		for _, spec := range scenario.Catalog() {
+			names = append(names, spec.Name)
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no scenario named; try -list, -all, or: p2pscen <name>..."))
+	}
+
+	failed := 0
+	var last *scenario.Report
+	for _, name := range names {
+		spec, ok := scenario.ByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q; -list shows the catalog", name))
+		}
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		start := time.Now()
+		report, err := scenario.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		last = report
+		fmt.Printf("%s (wall %v)\n", report.Summary(), time.Since(start).Round(time.Millisecond))
+		if err := report.Check(); err != nil {
+			fmt.Printf("  INVARIANT VIOLATION: %v\n", err)
+			failed++
+		} else {
+			fmt.Println("  invariants ok")
+		}
+	}
+	if *csvPath != "" && last != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := last.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2pscen:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// fuzzMaxClass caps the classes the fuzzer generates: class 8 keeps the
+// assignment window at 2^8 = 256 segments, so each case stays cheap while
+// still covering deeply heterogeneous mixes.
+const fuzzMaxClass = 8
+
+// FuzzAssign feeds random supplier mixes (one byte per supplier, mapped to
+// classes 1..8) into the OTS_p2p assignment. Whatever the mix:
+//
+//   - Assign must never panic;
+//   - a mix whose offers do not sum to exactly R0 must be rejected;
+//   - an exact-R0 mix must yield a structurally valid assignment whose
+//     buffering delay is exactly Theorem 1's n·δt bound — the property the
+//     whole algorithm exists for.
+//
+// The committed seed corpus (testdata/fuzz/FuzzAssign) covers the paper's
+// Figure 1 mix, the homogeneous window extremes, and the class mix for
+// which the literal Figure 2 transcription is suboptimal.
+func FuzzAssign(f *testing.F) {
+	f.Add([]byte{0, 0})                                           // two class-1 peers: the minimal session
+	f.Add([]byte{0, 1, 2, 2})                                     // the paper's Figure 1 mix (classes 1,2,3,3)
+	f.Add([]byte{1, 2, 2, 2, 2, 3, 3, 3, 4, 4})                   // mix where round-robin is suboptimal
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}) // 16 homogeneous class-4 peers
+	f.Add([]byte{0})                                              // R0/2 alone: must be rejected
+	f.Add([]byte{})                                               // no suppliers: must be rejected
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			t.Skip("mix larger than any real session")
+		}
+		suppliers := make([]Supplier, len(data))
+		var sum bandwidth.Fraction
+		for i, b := range data {
+			c := bandwidth.Class(1 + int(b)%fuzzMaxClass)
+			suppliers[i] = Supplier{ID: fmt.Sprintf("p%d", i), Class: c}
+			sum += c.Offer()
+		}
+		a, err := Assign(suppliers)
+		if sum != bandwidth.R0 {
+			if err == nil {
+				t.Fatalf("Assign accepted a mix summing to %v, not R0", sum)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Assign rejected an exact-R0 mix: %v", err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("invalid assignment: %v", err)
+		}
+		if got, want := a.DelaySlots(), OptimalDelaySlots(len(suppliers)); got != want {
+			t.Fatalf("Theorem 1 violated: delay %d slots for %d suppliers, want %d", got, want, want)
+		}
+	})
+}

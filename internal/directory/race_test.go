@@ -1,0 +1,137 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/transport"
+)
+
+// TestServerConcurrentClients hammers one directory server with
+// interleaved Register / Lookup / Unregister traffic from eight client
+// hosts over the virtual network. Run under -race; the assertions are that
+// every operation succeeds, lookups only ever return live candidates with
+// addresses, and the final registration count is exact.
+func TestServerConcurrentClients(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	vnet := netx.NewVirtual(clk, 11)
+	vnet.SetDefaultLink(netx.LinkConfig{Latency: 100 * time.Microsecond, Jitter: 50 * time.Microsecond})
+
+	srv := NewServer(1)
+	l, err := vnet.Host("dir").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	const workers = 8
+	const ops = 24
+	errs := make(chan error, workers*ops*3)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := NewClientOn(vnet.Host(fmt.Sprintf("h%d", w)), l.Addr().String())
+			for i := 0; i < ops; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if err := cl.Register(transport.Register{
+					ID: id, Addr: id + ":1", Class: bandwidth.Class(1 + i%4),
+				}); err != nil {
+					errs <- fmt.Errorf("register %s: %w", id, err)
+					return
+				}
+				cands, err := cl.Lookup(4, id)
+				if err != nil {
+					errs <- fmt.Errorf("lookup by %s: %w", id, err)
+					return
+				}
+				for _, c := range cands {
+					if c.ID == id {
+						errs <- fmt.Errorf("lookup by %s returned the excluded peer", id)
+					}
+					if c.Addr == "" {
+						errs <- fmt.Errorf("candidate %s has no address", c.ID)
+					}
+				}
+				// Unregister every other registration so the directory
+				// shrinks and grows while lookups sample it.
+				if i%2 == 0 {
+					if err := cl.Unregister(id); err != nil {
+						errs <- fmt.Errorf("unregister %s: %w", id, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Each worker kept its odd-i registrations: ops/2 of them.
+	if got, want := srv.Len(), workers*ops/2; got != want {
+		t.Errorf("final directory size %d, want %d", got, want)
+	}
+}
+
+// TestServerConcurrentSameID: concurrent clients racing to register and
+// unregister the same ID never corrupt the directory — at the end, one
+// final registration wins and a lookup can return it.
+func TestServerConcurrentSameID(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	vnet := netx.NewVirtual(clk, 5)
+	vnet.SetDefaultLink(netx.LinkConfig{Latency: 100 * time.Microsecond})
+
+	srv := NewServer(1)
+	l, err := vnet.Host("dir").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := NewClientOn(vnet.Host(fmt.Sprintf("h%d", w)), l.Addr().String())
+			for i := 0; i < 10; i++ {
+				// Duplicate registrations are errors by contract; the
+				// point is that the server survives the race unscathed.
+				cl.Register(transport.Register{ID: "contested", Addr: "contested:1", Class: 1})
+				cl.Unregister("contested")
+			}
+		}()
+	}
+	wg.Wait()
+
+	cl := NewClientOn(vnet.Host("final"), l.Addr().String())
+	if err := cl.Register(transport.Register{ID: "contested", Addr: "contested:1", Class: 2}); err != nil {
+		t.Fatalf("final register after the race: %v", err)
+	}
+	cands, err := cl.Lookup(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].ID != "contested" || cands[0].Class != 2 {
+		t.Errorf("lookup after the race = %+v", cands)
+	}
+	if srv.Len() != 1 {
+		t.Errorf("directory size %d, want 1", srv.Len())
+	}
+}

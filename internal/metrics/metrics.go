@@ -97,8 +97,19 @@ func (s *Series) extreme(better func(a, b float64) bool) (float64, bool) {
 // time in hours in the first column. All series must have identical sample
 // times; it returns an error otherwise.
 func WriteCSV(w io.Writer, series ...*Series) error {
+	return WriteCSVIn(w, "hours", time.Hour, series...)
+}
+
+// WriteCSVIn is WriteCSV with a caller-chosen time column: the first
+// column is named col and holds each sample time divided by unit. The
+// multi-hour simulator traces use hours; millisecond-scale scenario runs
+// use milliseconds.
+func WriteCSVIn(w io.Writer, col string, unit time.Duration, series ...*Series) error {
 	if len(series) == 0 {
 		return fmt.Errorf("metrics: no series")
+	}
+	if unit <= 0 {
+		return fmt.Errorf("metrics: non-positive time unit %v", unit)
 	}
 	n := series[0].Len()
 	for _, s := range series[1:] {
@@ -107,7 +118,7 @@ func WriteCSV(w io.Writer, series ...*Series) error {
 		}
 	}
 	header := make([]string, 0, len(series)+1)
-	header = append(header, "hours")
+	header = append(header, col)
 	for _, s := range series {
 		header = append(header, s.Name)
 	}
@@ -116,7 +127,7 @@ func WriteCSV(w io.Writer, series ...*Series) error {
 	}
 	for i := 0; i < n; i++ {
 		row := make([]string, 0, len(series)+1)
-		row = append(row, fmt.Sprintf("%.3f", series[0].Times[i].Hours()))
+		row = append(row, fmt.Sprintf("%.3f", float64(series[0].Times[i])/float64(unit)))
 		for _, s := range series {
 			if s.Times[i] != series[0].Times[i] {
 				return fmt.Errorf("metrics: series %q sample %d at %v, want %v", s.Name, i, s.Times[i], series[0].Times[i])

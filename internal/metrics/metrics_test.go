@@ -114,6 +114,26 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVIn: the caller-chosen time column scales millisecond-range
+// scenario samples that the hour column would flatten to zero.
+func TestWriteCSVIn(t *testing.T) {
+	a := &Series{Name: "lat"}
+	a.Add(1500*time.Microsecond, 3)
+	a.Add(2*time.Second, 4)
+	var sb strings.Builder
+	if err := WriteCSVIn(&sb, "ms", time.Millisecond, a); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "ms,lat\n1.500,3.0000\n2000.000,4.0000\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	if err := WriteCSVIn(&sb, "x", 0, a); err == nil {
+		t.Error("non-positive unit should fail")
+	}
+}
+
 func TestWriteCSVErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := WriteCSV(&sb); err == nil {

@@ -9,7 +9,9 @@ import (
 // vConn is one end of a virtual stream connection. Writes copy the chunk
 // and schedule its delivery into the peer's inbox after the link delay;
 // per-connection FIFO order is preserved even under jitter. Streams are
-// reliable, like TCP: loss is injected at dial time or by crashing a host.
+// reliable, like TCP: dial drops and host crashes fail connections, while
+// per-chunk loss (LinkConfig.Loss) surfaces as retransmission delay, never
+// as corruption.
 type vConn struct {
 	v             *Virtual
 	local, remote vAddr

@@ -1,0 +1,303 @@
+package netx
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+// TestVirtualLossDelaysDelivery: chunk loss on a reliable stream shows up
+// as retransmission delay, never as corruption — a Loss=0.5 link delivers
+// the same bytes as a clean one, measurably later.
+func TestVirtualLossDelaysDelivery(t *testing.T) {
+	elapsed := func(cfg LinkConfig) time.Duration {
+		a, b, clk := virtualPair(t, cfg)
+		defer a.Close()
+		defer b.Close()
+		t0 := clk.Now()
+		go func() {
+			for i := 0; i < 32; i++ {
+				a.Write([]byte{byte(i)})
+			}
+			a.Close()
+		}()
+		got, err := io.ReadAll(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 32 {
+			t.Fatalf("lossy stream delivered %d bytes, want 32", len(got))
+		}
+		for i, by := range got {
+			if by != byte(i) {
+				t.Fatalf("byte %d corrupted: %d", i, by)
+			}
+		}
+		return clk.Since(t0)
+	}
+	clean := elapsed(LinkConfig{Latency: time.Millisecond})
+	lossy := elapsed(LinkConfig{Latency: time.Millisecond, Loss: 0.5})
+	if lossy <= clean {
+		t.Errorf("lossy stream took %v, clean %v; want lossy > clean", lossy, clean)
+	}
+}
+
+// TestVirtualBlockedLink: a Blocked link refuses new dials but leaves the
+// established connection streaming; re-configuring the link heals it.
+func TestVirtualBlockedLink(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	a, err := v.Host("a").Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	v.SetLink("a", "b", LinkConfig{Latency: time.Millisecond, Blocked: true})
+	if _, err := v.Host("a").Dial(addr); err == nil {
+		t.Error("dial over a blocked link succeeded")
+	}
+	// The pre-partition connection still works.
+	if _, err := a.Write([]byte("ok")); err != nil {
+		t.Fatalf("write on pre-partition conn: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatalf("echo through pre-partition conn: %v", err)
+	}
+	// Heal.
+	v.SetLink("a", "b", LinkConfig{Latency: time.Millisecond})
+	c2, err := v.Host("a").Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Close()
+}
+
+// TestVirtualScheduledLinkMutation: ScheduleLink and ScheduleDefaultLink
+// fire at their virtual instants — a dial before the scheduled block
+// succeeds, a dial after it is refused, and the healed default applies.
+func TestVirtualScheduledLinkMutation(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	v.SetDefaultLink(LinkConfig{Latency: time.Millisecond})
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	v.ScheduleLink(50*time.Millisecond, "a", "b", LinkConfig{Blocked: true})
+	v.ScheduleDefaultLink(100*time.Millisecond, LinkConfig{Latency: 9 * time.Millisecond})
+
+	if _, err := v.Host("a").Dial(addr); err != nil {
+		t.Fatalf("dial before scheduled block: %v", err)
+	}
+	clk.Sleep(60 * time.Millisecond)
+	if _, err := v.Host("a").Dial(addr); err == nil {
+		t.Error("dial after scheduled block succeeded")
+	}
+	clk.Sleep(60 * time.Millisecond)
+	// The a-b override still blocks; an unconfigured pair uses the new
+	// 9ms default.
+	if _, err := v.Host("a").Dial(addr); err == nil {
+		t.Error("scheduled default overrode the per-link block")
+	}
+	t0 := clk.Now()
+	conn, err := v.Host("c").Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != io.EOF {
+		t.Fatalf("read = %v, want EOF from accept-and-close server", err)
+	}
+	if d := clk.Since(t0); d < 9*time.Millisecond {
+		t.Errorf("post-schedule dial+close round took %v, want >= 9ms", d)
+	}
+}
+
+// TestVirtualSetUpRevivesHost: after a crash, SetUp lets the host listen
+// and be dialed again — the rejoin half of a churn schedule.
+func TestVirtualSetUpRevivesHost(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	v.SetDown("b")
+	if _, err := v.Host("b").Listen(":0"); err == nil {
+		t.Fatal("listen on crashed host succeeded")
+	}
+	v.SetUp("b")
+	l2, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatalf("listen after SetUp: %v", err)
+	}
+	accepted := make(chan struct{})
+	go func() {
+		if c, err := l2.Accept(); err == nil {
+			c.Close()
+			close(accepted)
+		}
+	}()
+	if _, err := v.Host("a").Dial(l2.Addr().String()); err != nil {
+		t.Fatalf("dial after SetUp: %v", err)
+	}
+	select {
+	case <-accepted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("revived host never accepted")
+	}
+}
+
+// TestVirtualLinkMutationWhileActive is the race-focused stress for the
+// scenario harness's scheduled link mutation: four clients stream echoes
+// through the network while a mutator rewrites per-link and default
+// configurations (latency, jitter, loss, dial drop, block/heal)
+// concurrently. Run under -race; the assertion is byte-exact delivery on
+// every connection that got through, with progress on every host.
+func TestVirtualLinkMutationWhileActive(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 42)
+	v.SetDefaultLink(LinkConfig{Latency: 200 * time.Microsecond})
+
+	l, err := v.Host("srv").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	addr := l.Addr().String()
+
+	const clients = 4
+	const rounds = 12
+	done := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		host := fmt.Sprintf("h%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for attempt := 0; attempt < 200; attempt++ {
+					conn, err := v.Host(host).Dial(addr)
+					if err != nil {
+						// Blocked or dropped; back off and retry.
+						clk.Sleep(time.Millisecond)
+						continue
+					}
+					msg := []byte(fmt.Sprintf("%s-%02d", host, r))
+					if _, err := conn.Write(msg); err != nil {
+						conn.Close()
+						clk.Sleep(time.Millisecond)
+						continue
+					}
+					buf := make([]byte, len(msg))
+					if _, err := io.ReadFull(conn, buf); err != nil {
+						conn.Close()
+						clk.Sleep(time.Millisecond)
+						continue
+					}
+					if string(buf) != string(msg) {
+						t.Errorf("client %s round %d: echo %q, want %q", host, r, buf, msg)
+					}
+					conn.Close()
+					done[i]++
+					break
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		configs := []LinkConfig{
+			{Latency: time.Millisecond, Jitter: 500 * time.Microsecond},
+			{Latency: 100 * time.Microsecond, Loss: 0.3},
+			{Latency: 300 * time.Microsecond, DropDial: 0.5},
+			{Latency: 200 * time.Microsecond, Blocked: true},
+			{Latency: 200 * time.Microsecond},
+		}
+		for r := 0; r < 40; r++ {
+			host := fmt.Sprintf("h%d", r%clients)
+			v.SetLink(host, "srv", configs[r%len(configs)])
+			if r%5 == 4 {
+				v.SetDefaultLink(configs[r%len(configs)])
+			}
+			v.ScheduleLink(time.Millisecond, host, "srv", configs[(r+1)%len(configs)])
+			clk.Sleep(time.Millisecond)
+		}
+		// Leave every link healthy so the clients can finish.
+		for i := 0; i < clients; i++ {
+			v.SetLink(fmt.Sprintf("h%d", i), "srv", LinkConfig{Latency: 200 * time.Microsecond})
+		}
+		v.SetDefaultLink(LinkConfig{Latency: 200 * time.Microsecond})
+	}()
+	wg.Wait()
+	for i, n := range done {
+		if n == 0 {
+			t.Errorf("client h%d completed no echo rounds", i)
+		}
+	}
+}

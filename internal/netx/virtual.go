@@ -25,6 +25,15 @@ type LinkConfig struct {
 	// paper's transiently "down" candidate, injected at connection setup
 	// (established streams stay reliable, like TCP).
 	DropDial float64
+	// Loss is the per-chunk probability that a chunk is lost in transit
+	// and must be retransmitted. Streams stay reliable (the TCP model):
+	// every loss adds one retransmission round — 2×Latency — to the
+	// chunk's delivery delay instead of corrupting the byte stream.
+	Loss float64
+	// Blocked refuses new dials over this link while leaving established
+	// connections untouched — the building block for network partitions
+	// (heal by re-configuring the link with Blocked unset).
+	Blocked bool
 }
 
 // waker is the optional clock interface the virtual network uses to gate
@@ -87,9 +96,22 @@ func (v *Virtual) SetLink(a, b string, cfg LinkConfig) {
 	v.links[[2]string{b, a}] = cfg
 }
 
+// ScheduleLink applies cfg to the a<->b links after d of virtual time —
+// the primitive behind declarative link schedules (RFC 8867-style variable
+// capacity) that change while the cluster runs, with no driving goroutine.
+func (v *Virtual) ScheduleLink(d time.Duration, a, b string, cfg LinkConfig) {
+	v.clk.AfterFunc(d, func() { v.SetLink(a, b, cfg) })
+}
+
+// ScheduleDefaultLink applies cfg as the default link after d of virtual
+// time.
+func (v *Virtual) ScheduleDefaultLink(d time.Duration, cfg LinkConfig) {
+	v.clk.AfterFunc(d, func() { v.SetDefaultLink(cfg) })
+}
+
 // SetDown crashes a host: its listeners stop accepting, every established
 // connection touching it fails on both ends, and new dials from or to it
-// are refused. A crashed host stays down (model a rejoin as a new host).
+// are refused. A crashed host stays down until SetUp revives it.
 func (v *Virtual) SetDown(host string) {
 	v.mu.Lock()
 	v.down[host] = true
@@ -115,6 +137,16 @@ func (v *Virtual) SetDown(host string) {
 		c.inbox.fail(errConnReset)
 		c.peer.inbox.fail(errConnReset)
 	}
+}
+
+// SetUp revives a crashed host: new listeners bind and new dials succeed
+// again. Everything from before the crash is gone (listeners closed,
+// connections reset), so a revived host must re-listen and re-join the
+// overlay — the "rejoin at t" half of a churn schedule.
+func (v *Virtual) SetUp(host string) {
+	v.mu.Lock()
+	delete(v.down, host)
+	v.mu.Unlock()
 }
 
 // Host returns this host's view of the network: listeners bind under the
@@ -185,6 +217,10 @@ func (h *host) Dial(addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
 	}
 	link := v.linkLocked(h.name, dstHost)
+	if link.Blocked {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("netx: dial %s: link blocked: %w", addr, errRefused)
+	}
 	if link.DropDial > 0 && v.rng.Float64() < link.DropDial {
 		v.mu.Unlock()
 		return nil, fmt.Errorf("netx: dial %s: dropped: %w", addr, errRefused)
@@ -218,11 +254,23 @@ func (v *Virtual) linkLocked(src, dst string) LinkConfig {
 	return v.def
 }
 
-// delayLocked samples one delivery delay from the link.
+// delayLocked samples one delivery delay from the link: latency, jitter,
+// and — per lost transmission — one retransmission round.
 func (v *Virtual) delayLocked(link LinkConfig) time.Duration {
 	d := link.Latency
 	if link.Jitter > 0 {
 		d += time.Duration(v.rng.Int63n(int64(link.Jitter)))
+	}
+	if link.Loss > 0 {
+		rto := 2 * link.Latency
+		if rto <= 0 {
+			rto = time.Millisecond
+		}
+		// Geometric retransmission count, capped so a misconfigured
+		// Loss ~ 1.0 cannot spin forever.
+		for tries := 0; tries < 16 && v.rng.Float64() < link.Loss; tries++ {
+			d += rto
+		}
 	}
 	return d
 }

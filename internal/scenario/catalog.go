@@ -1,0 +1,254 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/netx"
+)
+
+// lan is the healthy link most scenarios start from.
+var lan = netx.LinkConfig{Latency: 300 * time.Microsecond, Jitter: 200 * time.Microsecond}
+
+// far is a high-RTT access link: well within the one-segment-time playback
+// allowance, but an order of magnitude slower than the LAN default.
+var far = netx.LinkConfig{Latency: 2 * time.Millisecond, Jitter: 500 * time.Microsecond}
+
+// Catalog returns the named scenarios of the conformance suite, each an
+// RFC 8867-style stress expressed as data. Every entry is asserted by the
+// tests in this package and runnable standalone via cmd/p2pscen.
+func Catalog() []Spec {
+	return []Spec{
+		variableCapacity(),
+		multipleBottlenecks(),
+		rttFairness(),
+		flashCrowd(),
+		churnStorm(),
+		pauseResume(),
+		partitionHeal(),
+		seedStarvation(),
+		lossyLinks(),
+	}
+}
+
+// ByName returns the catalog scenario with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// variableCapacity degrades every link mid-run — 300µs LAN to a 2.5ms,
+// 20%-loss WAN and back — while staggered sessions span all three phases.
+func variableCapacity() Spec {
+	bad := netx.LinkConfig{Latency: 2500 * time.Microsecond, Jitter: 500 * time.Microsecond, Loss: 0.2}
+	return Spec{
+		Name:     "variable-capacity",
+		Stresses: "sessions and admission sweeps surviving a network-wide capacity dip (degrade at 80ms, recover at 240ms)",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 50 * time.Millisecond},
+			{ID: "n2", Class: 1, Start: 100 * time.Millisecond},
+			{ID: "n3", Class: 1, Start: 150 * time.Millisecond},
+			{ID: "n4", Class: 1, Start: 200 * time.Millisecond},
+		},
+		Events: []LinkEvent{
+			{At: 80 * time.Millisecond, Link: Link{Config: bad}},
+			{At: 240 * time.Millisecond, Link: Link{Config: lan}},
+		},
+		Expect: Expect{AllowStalls: true}, // loss retransmission spikes may stall playback
+	}
+}
+
+// multipleBottlenecks puts two requester groups behind distinct slow
+// access links while a near group competes over the fast core.
+func multipleBottlenecks() Spec {
+	bottleneck1 := netx.LinkConfig{Latency: 1200 * time.Microsecond, Jitter: 300 * time.Microsecond}
+	bottleneck2 := netx.LinkConfig{Latency: 2500 * time.Microsecond, Jitter: 500 * time.Microsecond}
+	return Spec{
+		Name:     "multiple-bottlenecks",
+		Stresses: "admission and streaming across heterogeneous access links (two distinct bottlenecks plus a fast core)",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "a1", Class: 1, Start: 0},
+			{ID: "a2", Class: 1, Start: 60 * time.Millisecond},
+			{ID: "b1", Class: 2, Start: 120 * time.Millisecond},
+			{ID: "b2", Class: 1, Start: 180 * time.Millisecond},
+			{ID: "c1", Class: 2, Start: 240 * time.Millisecond},
+		},
+		Links: []Link{
+			{A: "b1", B: Wildcard, Config: bottleneck1},
+			{A: "b2", B: Wildcard, Config: bottleneck1},
+			{A: "c1", B: Wildcard, Config: bottleneck2},
+		},
+	}
+}
+
+// rttFairness interleaves a near cluster and a far cluster (2ms access
+// links) of identical classes: distance must cost latency, not service.
+func rttFairness() Spec {
+	return Spec{
+		Name:     "rtt-fairness",
+		Stresses: "far-cluster peers competing with near peers for the same suppliers (RTT bias must not starve them)",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "near1", Class: 1, Start: 0},
+			{ID: "far1", Class: 1, Start: 20 * time.Millisecond},
+			{ID: "near2", Class: 1, Start: 40 * time.Millisecond},
+			{ID: "far2", Class: 1, Start: 60 * time.Millisecond},
+			{ID: "near3", Class: 1, Start: 80 * time.Millisecond},
+			{ID: "far3", Class: 1, Start: 100 * time.Millisecond},
+		},
+		Links: []Link{
+			{A: "far1", B: Wildcard, Config: far},
+			{A: "far2", B: Wildcard, Config: far},
+			{A: "far3", B: Wildcard, Config: far},
+		},
+	}
+}
+
+// flashCrowd has eight requesters arrive in the same instant against three
+// seeds: initial capacity serves one session, so most of the crowd must
+// retry while served peers turn into suppliers.
+func flashCrowd() Spec {
+	return Spec{
+		Name:     "flash-crowd",
+		Stresses: "simultaneous arrivals racing for grants; capacity amplification absorbing the backlog",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}, {ID: "s3", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1}, {ID: "n1", Class: 1}, {ID: "n2", Class: 2},
+			{ID: "n3", Class: 1}, {ID: "n4", Class: 2}, {ID: "n5", Class: 1},
+			{ID: "n6", Class: 1}, {ID: "n7", Class: 2},
+		},
+		MaxAttempts: 80,
+		Expect:      Expect{MinAttempts: 2},
+	}
+}
+
+// churnStorm is the harness port of the original hand-built acceptance
+// scenario, extended with a rejoin: staggered mixed-class arrivals, three
+// far hosts, a seed crashing hard mid-run (staying in the directory, so
+// sweeps exercise the "down" path), a grown supplier leaving gracefully, a
+// fresh late joiner after the storm — and finally the crashed seed's host
+// rejoining as a requester with an empty store.
+func churnStorm() Spec {
+	classes := []int{1, 1, 2, 1, 2, 1, 2, 1, 1, 2}
+	reqs := make([]Peer, len(classes))
+	for i, c := range classes {
+		reqs[i] = Peer{
+			ID:    fmt.Sprintf("n%d", i),
+			Class: bandwidth.Class(c),
+			Start: time.Duration(i) * 80 * time.Millisecond,
+		}
+	}
+	return Spec{
+		Name:       "churn-storm",
+		Stresses:   "crash + graceful leave + rejoin under staggered mixed-class load with far hosts",
+		Seeds:      []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}, {ID: "s3", Class: 1}},
+		Requesters: reqs,
+		Links: []Link{
+			{A: "n7", B: Wildcard, Config: far},
+			{A: "n8", B: Wildcard, Config: far},
+			{A: "n9", B: Wildcard, Config: far},
+		},
+		Churn: []ChurnEvent{
+			{At: 200 * time.Millisecond, Action: Crash, Node: "s3"},
+			{At: 500 * time.Millisecond, Action: Leave, Node: "n0"},
+			{At: 900 * time.Millisecond, Action: Join, Node: "n10", Class: 1},
+			{At: 1000 * time.Millisecond, Action: Join, Node: "s3", Class: 1},
+		},
+	}
+}
+
+// pauseResume runs a class-1 wave, lets demand pause long enough for idle
+// elevation to relax every supplier, then resumes with class-4 requesters
+// that only the relaxed vectors admit deterministically.
+func pauseResume() Spec {
+	return Spec{
+		Name:     "pause-resume",
+		Stresses: "idle elevation across a demand pause: lowest-class requesters admitted after suppliers relax",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "w1", Class: 1, Start: 0},
+			{ID: "w2", Class: 1, Start: 15 * time.Millisecond},
+			{ID: "w3", Class: 1, Start: 30 * time.Millisecond},
+			{ID: "p1", Class: 4, Start: 400 * time.Millisecond},
+			{ID: "p2", Class: 4, Start: 420 * time.Millisecond},
+		},
+	}
+}
+
+// partitionHeal isolates two requesters behind blocked links; until the
+// heal event they can reach nothing (not even the directory), afterwards
+// they must catch up completely.
+func partitionHeal() Spec {
+	blocked := lan
+	blocked.Blocked = true
+	return Spec{
+		Name:     "partition-heal",
+		Stresses: "requesters cut off from the entire overlay (directory included) recovering after the partition heals at 300ms",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n1", Class: 1, Start: 0},
+			{ID: "n2", Class: 1, Start: 40 * time.Millisecond},
+			{ID: "p1", Class: 1, Start: 60 * time.Millisecond},
+			{ID: "p2", Class: 1, Start: 80 * time.Millisecond},
+		},
+		Links: []Link{
+			{A: "p1", B: Wildcard, Config: blocked},
+			{A: "p2", B: Wildcard, Config: blocked},
+		},
+		Events: []LinkEvent{
+			{At: 300 * time.Millisecond, Link: Link{A: "p1", B: Wildcard, Config: lan}},
+			{At: 300 * time.Millisecond, Link: Link{A: "p2", B: Wildcard, Config: lan}},
+		},
+	}
+}
+
+// seedStarvation floods two lone seeds with eight class-2 requesters: the
+// overlay starts with capacity for a single session, so service crawls
+// until served peers amplify capacity — the paper's growth story under
+// maximal scarcity.
+func seedStarvation() Spec {
+	reqs := make([]Peer, 8)
+	for i := range reqs {
+		reqs[i] = Peer{
+			ID:    fmt.Sprintf("q%d", i),
+			Class: 2,
+			Start: time.Duration(i) * 5 * time.Millisecond,
+		}
+	}
+	return Spec{
+		Name:        "seed-starvation",
+		Stresses:    "deep admission contention on minimal seed capacity; growth through served peers re-supplying",
+		Seeds:       []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters:  reqs,
+		MaxAttempts: 80,
+		Expect:      Expect{MinAttempts: 3},
+	}
+}
+
+// lossyLinks puts one requester behind a link that drops 30% of dials and
+// loses 15% of chunks: admission treats failed dials as down candidates,
+// retransmission keeps the store byte-exact.
+func lossyLinks() Spec {
+	flaky := netx.LinkConfig{Latency: 300 * time.Microsecond, DropDial: 0.3, Loss: 0.15}
+	return Spec{
+		Name:     "lossy-links",
+		Stresses: "dial drops absorbed by the admission sweep's down path; chunk loss absorbed by retransmission delay",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "flaky", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 30 * time.Millisecond},
+		},
+		Links: []Link{
+			{A: "flaky", B: Wildcard, Config: flaky},
+		},
+		Expect: Expect{AllowStalls: true},
+	}
+}

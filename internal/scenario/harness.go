@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pstream/internal/clock"
+	"p2pstream/internal/directory"
+	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/node"
+)
+
+// RequestUntilHeld keeps attempting until the node holds the file, with a
+// fixed retry delay, tolerating both protocol rejections and transport
+// failures such as a supplier crashing mid-session — the client loop a
+// churn-prone overlay needs. It returns the successful session
+// report and the number of Request calls made. A session whose only
+// failure was the post-session directory registration (possible behind a
+// lossy link) counts as served: the node holds the file and supplies
+// locally.
+func RequestUntilHeld(clk clock.Clock, n *node.Node, maxAttempts int, retry time.Duration) (*node.SessionReport, int, error) {
+	if maxAttempts < 1 {
+		return nil, 0, fmt.Errorf("scenario: maxAttempts %d, want >= 1", maxAttempts)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		report, err := n.Request()
+		if err == nil || report != nil {
+			return report, attempt, nil
+		}
+		lastErr = err
+		if attempt < maxAttempts {
+			clk.Sleep(retry)
+		}
+	}
+	return nil, maxAttempts, fmt.Errorf("node %s: gave up after %d attempts: %w", n.ID(), maxAttempts, lastErr)
+}
+
+// workItem is one requester of the workload: a declared requester or a
+// churn joiner (which revives its host name before starting).
+type workItem struct {
+	Peer
+	seed   int64
+	revive bool
+}
+
+// harness is the running state of one scenario execution.
+type harness struct {
+	spec    *Spec
+	clk     *clock.Virtual
+	net     *netx.Virtual
+	dir     *directory.Server
+	dirAddr string
+
+	mu    sync.Mutex
+	nodes map[string]*node.Node
+}
+
+// Run executes the scenario on a fresh virtual substrate and returns its
+// Report. The run is wall-clock fast (seconds of virtual protocol time
+// execute in milliseconds) and — for jitter-free specs with a sequential
+// workload — deterministic.
+func Run(spec Spec) (*Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	clk := clock.NewVirtual()
+	stopClock := clk.AutoRun()
+	defer stopClock()
+
+	vnet := netx.NewVirtual(clk, spec.Seed)
+	vnet.SetDefaultLink(spec.DefaultLink)
+	hosts := spec.hosts()
+	for _, l := range spec.Links {
+		for _, pair := range expandLink(l, hosts) {
+			vnet.SetLink(pair[0], pair[1], l.Config)
+		}
+	}
+
+	dirSrv := directory.NewServer(spec.Seed)
+	dl, err := vnet.Host(DirectoryHost).Listen(":0")
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: directory listen: %w", spec.Name, err)
+	}
+	go dirSrv.Serve(dl)
+	defer dirSrv.Close()
+
+	h := &harness{
+		spec: &spec, clk: clk, net: vnet, dir: dirSrv,
+		dirAddr: dl.Addr().String(),
+		nodes:   make(map[string]*node.Node),
+	}
+	defer h.closeAll()
+
+	for i, p := range spec.Seeds {
+		n, err := node.NewSeed(h.config(p, int64(i+1)))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
+		}
+		if err := n.Start(); err != nil {
+			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
+		}
+		h.track(p.ID, n)
+	}
+
+	// Everything below shares one time zero: the run start, taken after
+	// the seeds have booted. Link events, churn events and workload Start
+	// offsets are all anchored here, back to back, so an event and an
+	// arrival declared at the same instant fire together.
+	base := clk.Now()
+	for _, ev := range spec.Events {
+		if ev.Link.A == "" {
+			vnet.ScheduleDefaultLink(ev.At, ev.Link.Config)
+			continue
+		}
+		for _, pair := range expandLink(ev.Link, hosts) {
+			vnet.ScheduleLink(ev.At, pair[0], pair[1], ev.Link.Config)
+		}
+	}
+
+	// The workload: declared requesters plus churn joiners. Node seeds
+	// are fixed by workload position, not goroutine scheduling, so
+	// identically-seeded runs draw identical admission randomness.
+	work := make([]workItem, 0, len(spec.Requesters)+len(spec.Churn))
+	for i, p := range spec.Requesters {
+		work = append(work, workItem{Peer: p, seed: int64(1000 + i)})
+	}
+	for _, ev := range spec.Churn {
+		ev := ev
+		switch ev.Action {
+		case Crash:
+			clk.AfterFunc(ev.At, func() { vnet.SetDown(ev.Node) })
+		case Leave:
+			// Close blocks on connection handlers; never block the
+			// clock's advancing goroutine.
+			clk.AfterFunc(ev.At, func() { go h.closeNode(ev.Node) })
+		case Join:
+			work = append(work, workItem{
+				Peer:   Peer{ID: ev.Node, Class: ev.Class, Start: ev.At},
+				seed:   int64(2000 + len(work)),
+				revive: true,
+			})
+		}
+	}
+	results := make([]NodeResult, len(work))
+	var wg sync.WaitGroup
+	for i, w := range work {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = h.runRequester(base, w)
+		}()
+	}
+	wg.Wait()
+	elapsed := clk.Since(base)
+
+	return buildReport(spec, results, elapsed, dirSrv.Len()), nil
+}
+
+// runRequester drives one requesting peer from its arrival to completion
+// (or exhaustion of its attempt budget) and records its result.
+func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
+	res := NodeResult{ID: w.ID, Class: w.Class}
+	if w.Start > 0 {
+		h.clk.Sleep(w.Start)
+	}
+	if w.revive {
+		h.net.SetUp(w.ID)
+	}
+	res.Start = h.clk.Since(base)
+	fail := func(err error) NodeResult {
+		res.Done = h.clk.Since(base)
+		res.Err = err
+		return res
+	}
+	n, err := node.NewRequester(h.config(w.Peer, w.seed))
+	if err != nil {
+		return fail(err)
+	}
+	if err := n.Start(); err != nil {
+		return fail(err)
+	}
+	h.track(w.ID, n)
+	report, attempts, err := RequestUntilHeld(h.clk, n, h.spec.MaxAttempts, h.spec.Retry)
+	res.Done = h.clk.Since(base)
+	res.Attempts = attempts
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Session = report
+	res.Suppliers = make([]string, len(report.Suppliers))
+	for i, s := range report.Suppliers {
+		res.Suppliers[i] = s.ID
+	}
+	res.Supplying = n.Supplying()
+	res.Continuous = report.Report.Continuous()
+	res.TheoremOK = report.TheoreticalDelay == time.Duration(len(report.Suppliers))*h.spec.File.SegmentTime
+	res.StoreOK = storeExact(n.Store(), h.spec.File)
+	res.SupplierLevel = h.dir.Len()
+	return res
+}
+
+// config builds the node configuration of one peer.
+func (h *harness) config(p Peer, seed int64) node.Config {
+	return node.Config{
+		ID:            p.ID,
+		Class:         p.Class,
+		NumClasses:    h.spec.NumClasses,
+		Policy:        h.spec.Policy,
+		DirectoryAddr: h.dirAddr,
+		File:          h.spec.File,
+		M:             h.spec.M,
+		TOut:          h.spec.TOut,
+		Backoff:       h.spec.Backoff,
+		Seed:          seed,
+		Clock:         h.clk,
+		Network:       h.net.Host(p.ID),
+	}
+}
+
+func (h *harness) track(id string, n *node.Node) {
+	h.mu.Lock()
+	old := h.nodes[id]
+	h.nodes[id] = n
+	h.mu.Unlock()
+	if old != nil {
+		// A rejoin displaced the crashed instance; close it so its idle
+		// timers stop (its connections are already dead). With the host
+		// revived, the close also clears the instance's stale directory
+		// entry — the staleness window is crash-to-rejoin.
+		old.Close()
+	}
+}
+
+// closeNode closes one tracked node (the graceful-leave churn action).
+func (h *harness) closeNode(id string) {
+	h.mu.Lock()
+	n := h.nodes[id]
+	h.mu.Unlock()
+	if n != nil {
+		n.Close()
+	}
+}
+
+// closeAll shuts every node down; Close is idempotent, so nodes that left
+// mid-run are fine.
+func (h *harness) closeAll() {
+	h.mu.Lock()
+	nodes := make([]*node.Node, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		nodes = append(nodes, n)
+	}
+	h.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// expandLink resolves a link rule to concrete host pairs, expanding the
+// Wildcard B side to every other declared host.
+func expandLink(l Link, hosts []string) [][2]string {
+	if l.B != Wildcard {
+		return [][2]string{{l.A, l.B}}
+	}
+	out := make([][2]string, 0, len(hosts)-1)
+	for _, h := range hosts {
+		if h != l.A {
+			out = append(out, [2]string{l.A, h})
+		}
+	}
+	return out
+}
+
+// storeExact reports whether the store holds the complete file with
+// byte-exact content.
+func storeExact(s *media.Store, f *media.File) bool {
+	if !s.Complete() {
+		return false
+	}
+	for id := 0; id < f.Segments; id++ {
+		got, ok := s.Get(media.SegmentID(id))
+		if !ok || !bytes.Equal(got.Data, media.SegmentContent(f, media.SegmentID(id)).Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortResults orders results by completion instant, ties broken by ID, so
+// series construction and report output are stable.
+func sortResults(results []NodeResult) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Done != results[j].Done {
+			return results[i].Done < results[j].Done
+		}
+		return results[i].ID < results[j].ID
+	})
+}

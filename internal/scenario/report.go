@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/metrics"
+	"p2pstream/internal/node"
+)
+
+// NodeResult is one requester's outcome.
+type NodeResult struct {
+	ID    string
+	Class bandwidth.Class
+	// Start and Done are the virtual instants (from the run start) of the
+	// peer's first request and of its completion or abandonment.
+	Start, Done time.Duration
+	// Attempts counts Request calls (1 = admitted first try).
+	Attempts int
+	// Err is nil when the peer was served.
+	Err error
+	// Session is the successful session's report (nil when unserved).
+	Session *node.SessionReport
+	// Suppliers lists the serving peers' IDs, high class first.
+	Suppliers []string
+	// Invariants, evaluated at completion: the peer supplies, playback
+	// was continuous, the buffering delay matched Theorem 1's n·δt, and
+	// the store is byte-exact and complete.
+	Supplying  bool
+	Continuous bool
+	TheoremOK  bool
+	StoreOK    bool
+	// SupplierLevel is the directory's supplier count right after this
+	// peer completed.
+	SupplierLevel int
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Spec Spec
+	// Nodes holds every requester's result in completion order (ties
+	// broken by ID).
+	Nodes []NodeResult
+	// Elapsed is the virtual time from run start to the last completion.
+	Elapsed time.Duration
+	// FinalSuppliers is the directory's supplier count at the end.
+	FinalSuppliers int
+
+	// Time series over the served requesters' completion instants, all on
+	// one shared axis (WriteCSV emits them together): admission latency
+	// and buffering delay in milliseconds, admission attempts, and the
+	// directory's supplier count.
+	Admission *metrics.Series
+	Tries     *metrics.Series
+	Buffering *metrics.Series
+	Suppliers *metrics.Series
+}
+
+// buildReport assembles the report from the per-requester results.
+func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int) *Report {
+	sortResults(results)
+	r := &Report{
+		Spec:           spec,
+		Nodes:          results,
+		Elapsed:        elapsed,
+		FinalSuppliers: finalSuppliers,
+		Admission:      &metrics.Series{Name: "admission_ms"},
+		Tries:          &metrics.Series{Name: "attempts"},
+		Buffering:      &metrics.Series{Name: "buffering_ms"},
+		Suppliers:      &metrics.Series{Name: "suppliers"},
+	}
+	for _, n := range results {
+		if n.Err != nil {
+			continue
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		r.Admission.Add(n.Done, ms(n.Done-n.Start))
+		r.Tries.Add(n.Done, float64(n.Attempts))
+		r.Buffering.Add(n.Done, ms(n.Session.MeasuredDelay))
+		r.Suppliers.Add(n.Done, float64(n.SupplierLevel))
+	}
+	return r
+}
+
+// Served returns how many requesters completed their session.
+func (r *Report) Served() int {
+	n := 0
+	for _, res := range r.Nodes {
+		if res.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Node returns the result of the named requester, or nil.
+func (r *Report) Node(id string) *NodeResult {
+	for i := range r.Nodes {
+		if r.Nodes[i].ID == id {
+			return &r.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Check verifies the scenario's invariants: every requester outside
+// Expect.MayFail was served, and every served requester ended with a
+// byte-exact store, continuous playback, the Theorem 1 buffering delay,
+// and a seat as a supplying peer. It returns the first violation.
+func (r *Report) Check() error {
+	mayFail := make(map[string]bool, len(r.Spec.Expect.MayFail))
+	for _, id := range r.Spec.Expect.MayFail {
+		mayFail[id] = true
+	}
+	served, maxAttempts := 0, 0
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		if n.Err != nil {
+			if !mayFail[n.ID] {
+				return fmt.Errorf("scenario %s: requester %s unserved after %d attempts: %w",
+					r.Spec.Name, n.ID, n.Attempts, n.Err)
+			}
+			continue
+		}
+		served++
+		// Only served peers witness contention; an exempted failure's
+		// exhausted budget must not satisfy the MinAttempts floor.
+		if n.Attempts > maxAttempts {
+			maxAttempts = n.Attempts
+		}
+		switch {
+		case !n.StoreOK:
+			return fmt.Errorf("scenario %s: requester %s store incomplete or corrupted", r.Spec.Name, n.ID)
+		case !n.Continuous && !r.Spec.Expect.AllowStalls:
+			return fmt.Errorf("scenario %s: requester %s playback stalled %d times",
+				r.Spec.Name, n.ID, n.Session.Report.Stalls)
+		case !n.TheoremOK:
+			return fmt.Errorf("scenario %s: requester %s delay %v violates Theorem 1 (n=%d, δt=%v)",
+				r.Spec.Name, n.ID, n.Session.TheoreticalDelay, len(n.Suppliers), r.Spec.File.SegmentTime)
+		case !n.Supplying:
+			return fmt.Errorf("scenario %s: requester %s served but not supplying", r.Spec.Name, n.ID)
+		}
+	}
+	if served == 0 {
+		return fmt.Errorf("scenario %s: no requester was served", r.Spec.Name)
+	}
+	if min := r.Spec.Expect.MinAttempts; min > 0 && maxAttempts < min {
+		return fmt.Errorf("scenario %s: max admission attempts %d, expected contention >= %d",
+			r.Spec.Name, maxAttempts, min)
+	}
+	return nil
+}
+
+// Summary renders a human-readable digest of the run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d/%d served, %v virtual, suppliers %d",
+		r.Spec.Name, r.Served(), len(r.Nodes), r.Elapsed.Round(time.Millisecond), r.FinalSuppliers)
+	if mean, ok := meanOf(r.Admission); ok {
+		max, _ := r.Admission.Max()
+		fmt.Fprintf(&b, "\n  admission latency: mean %.1fms, max %.1fms", mean, max)
+	}
+	if max, ok := r.Tries.Max(); ok {
+		fmt.Fprintf(&b, "\n  admission attempts: max %.0f", max)
+	}
+	if mean, ok := meanOf(r.Buffering); ok {
+		fmt.Fprintf(&b, "\n  buffering delay: mean %.2fms", mean)
+	}
+	for _, n := range r.Nodes {
+		if n.Err != nil {
+			fmt.Fprintf(&b, "\n  unserved %s: %v", n.ID, n.Err)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits the report's series (time axis in milliseconds).
+func (r *Report) WriteCSV(w io.Writer) error {
+	return metrics.WriteCSVIn(w, "ms", time.Millisecond, r.Admission, r.Tries, r.Buffering, r.Suppliers)
+}
+
+func meanOf(s *metrics.Series) (float64, bool) {
+	sum, n := 0.0, 0
+	for i := 0; i < s.Len(); i++ {
+		if !s.Missing(i) {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

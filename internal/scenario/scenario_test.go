@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCatalogConformance runs every cataloged scenario end to end on the
+// virtual substrate and enforces its invariants: requesters outside the
+// scenario's MayFail set are served with byte-exact stores, continuous
+// playback (unless the scenario injects loss), the Theorem 1 delay bound,
+// and a seat as a supplying peer. This is the protocol's conformance
+// suite; it must stay deterministic (-race -count=2 -shuffle=on).
+func TestCatalogConformance(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			report, err := Run(spec)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := report.Check(); err != nil {
+				t.Fatalf("invariants: %v\n%s", err, report.Summary())
+			}
+			if report.Served() == 0 {
+				t.Fatal("no requester served")
+			}
+			if got := report.Admission.Len(); got != report.Served() {
+				t.Errorf("admission series has %d samples, want %d", got, report.Served())
+			}
+			if report.FinalSuppliers == 0 {
+				t.Error("no suppliers registered at the end")
+			}
+		})
+	}
+}
+
+// TestCatalogWellFormed: every catalog entry validates, has a unique name,
+// documents what it stresses, and is reachable via ByName.
+func TestCatalogWellFormed(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d scenarios, want >= 8", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, spec := range cat {
+		if seen[spec.Name] {
+			t.Errorf("duplicate scenario name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if spec.Stresses == "" {
+			t.Errorf("scenario %q does not document what it stresses", spec.Name)
+		}
+		withDefaults := spec.withDefaults()
+		if err := withDefaults.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", spec.Name, err)
+		}
+		got, ok := ByName(spec.Name)
+		if !ok || got.Name != spec.Name {
+			t.Errorf("ByName(%q) = %v, %v", spec.Name, got.Name, ok)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// TestChurnStormDetails pins the scenario-specific outcomes of the richest
+// catalog entry: the crashed seed serves nobody after the crash instant,
+// the leaver was served before leaving, and the late joiner catches up.
+func TestChurnStormDetails(t *testing.T) {
+	spec, ok := ByName("churn-storm")
+	if !ok {
+		t.Fatal("churn-storm not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	joiner := report.Node("n10")
+	if joiner == nil || joiner.Err != nil {
+		t.Fatalf("late joiner n10 not served: %+v", joiner)
+	}
+	if joiner.Start < 900*time.Millisecond {
+		t.Errorf("joiner started at %v, before its churn instant", joiner.Start)
+	}
+	for _, sup := range joiner.Suppliers {
+		if sup == "n0" {
+			t.Error("joiner was served by the supplier that left at 500ms")
+		}
+	}
+	// While s3 is down (crash at 200ms, rejoin at 1000ms), no session may
+	// complete against it; sessions finishing before the crash could have
+	// used it legitimately, as could the revived instance afterwards.
+	for _, n := range report.Nodes {
+		if n.Err != nil || n.Done <= 250*time.Millisecond || n.Done >= 1000*time.Millisecond {
+			continue
+		}
+		for _, sup := range n.Suppliers {
+			if sup == "s3" {
+				t.Errorf("%s (done %v) was served by s3 while it was down", n.ID, n.Done)
+			}
+		}
+	}
+	leaver := report.Node("n0")
+	if leaver == nil || leaver.Err != nil {
+		t.Fatalf("leaver n0 must have been served before leaving: %+v", leaver)
+	}
+	if leaver.Done > 500*time.Millisecond {
+		t.Errorf("leaver completed at %v, after its leave instant", leaver.Done)
+	}
+	// The crashed seed's host rejoined as a requester with an empty store
+	// and must end the run fully served again.
+	rejoined := report.Node("s3")
+	if rejoined == nil || rejoined.Err != nil {
+		t.Fatalf("rejoined s3 not served: %+v", rejoined)
+	}
+	if rejoined.Start < 1000*time.Millisecond {
+		t.Errorf("s3 rejoined at %v, before its churn instant", rejoined.Start)
+	}
+	if !rejoined.StoreOK || !rejoined.Supplying {
+		t.Error("rejoined s3 did not end as a byte-exact supplying peer")
+	}
+}
+
+// TestPartitionHealDetails: the partitioned requesters complete only after
+// the heal instant; the unpartitioned ones long before it.
+func TestPartitionHealDetails(t *testing.T) {
+	spec, ok := ByName("partition-heal")
+	if !ok {
+		t.Fatal("partition-heal not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	for _, id := range []string{"p1", "p2"} {
+		n := report.Node(id)
+		if n.Done < 300*time.Millisecond {
+			t.Errorf("partitioned %s completed at %v, before the heal", id, n.Done)
+		}
+		if n.Attempts < 2 {
+			t.Errorf("partitioned %s needed %d attempts; the partition cost it nothing", id, n.Attempts)
+		}
+	}
+	if n := report.Node("n1"); n.Done > 300*time.Millisecond {
+		t.Errorf("unpartitioned n1 completed only at %v", n.Done)
+	}
+}
+
+// TestPauseResumeDetails: the post-pause class-4 requesters are served by
+// relaxed class-1 suppliers — the idle-elevation mechanism end to end.
+func TestPauseResumeDetails(t *testing.T) {
+	spec, ok := ByName("pause-resume")
+	if !ok {
+		t.Fatal("pause-resume not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	for _, id := range []string{"p1", "p2"} {
+		n := report.Node(id)
+		if len(n.Suppliers) != 2 {
+			t.Errorf("%s served by %d suppliers, want 2 class-1 grants", id, len(n.Suppliers))
+		}
+	}
+}
+
+// TestReportCSV: the report's series share one axis and render as CSV with
+// a millisecond time column.
+func TestReportCSV(t *testing.T) {
+	report, err := Run(Spec{
+		Name:       "csv",
+		Seeds:      []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{{ID: "r1", Class: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := report.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), b.String())
+	}
+	if want := "ms,admission_ms,attempts,buffering_ms,suppliers"; lines[0] != want {
+		t.Errorf("header = %q, want %q", lines[0], want)
+	}
+	if sum := report.Summary(); !strings.Contains(sum, "csv") || !strings.Contains(sum, "1/1 served") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+// TestSpecValidation rejects malformed specs.
+func TestSpecValidation(t *testing.T) {
+	valid := func() Spec {
+		return Spec{
+			Name:       "v",
+			Seeds:      []Peer{{ID: "s1", Class: 1}},
+			Requesters: []Peer{{ID: "r1", Class: 1}},
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }},
+		{"no seeds", func(s *Spec) { s.Seeds = nil }},
+		{"no requesters", func(s *Spec) { s.Requesters = nil }},
+		{"duplicate id", func(s *Spec) { s.Requesters = append(s.Requesters, Peer{ID: "s1", Class: 1}) }},
+		{"dir id", func(s *Spec) { s.Seeds[0].ID = DirectoryHost }},
+		{"wildcard id", func(s *Spec) { s.Seeds[0].ID = Wildcard }},
+		{"bad class", func(s *Spec) { s.Requesters[0].Class = 9 }},
+		{"crash unknown", func(s *Spec) { s.Churn = []ChurnEvent{{Action: Crash, Node: "ghost"}} }},
+		{"leave directory", func(s *Spec) { s.Churn = []ChurnEvent{{Action: Leave, Node: DirectoryHost}} }},
+		{"join taken id", func(s *Spec) { s.Churn = []ChurnEvent{{Action: Join, Node: "r1", Class: 1}} }},
+		{"rejoin before crash", func(s *Spec) {
+			s.Churn = []ChurnEvent{
+				{At: 200 * time.Millisecond, Action: Crash, Node: "r1"},
+				{At: 100 * time.Millisecond, Action: Join, Node: "r1", Class: 1},
+			}
+		}},
+		{"rejoin twice", func(s *Spec) {
+			s.Churn = []ChurnEvent{
+				{At: 100 * time.Millisecond, Action: Crash, Node: "r1"},
+				{At: 200 * time.Millisecond, Action: Join, Node: "r1", Class: 1},
+				{At: 300 * time.Millisecond, Action: Join, Node: "r1", Class: 1},
+			}
+		}},
+		{"rejoin bad class", func(s *Spec) {
+			s.Churn = []ChurnEvent{
+				{At: 100 * time.Millisecond, Action: Crash, Node: "r1"},
+				{At: 200 * time.Millisecond, Action: Join, Node: "r1", Class: 9},
+			}
+		}},
+		{"bad action", func(s *Spec) { s.Churn = []ChurnEvent{{Action: ChurnAction(99), Node: "r1"}} }},
+		{"link unknown host", func(s *Spec) { s.Links = []Link{{A: "ghost", B: Wildcard}} }},
+		{"event unknown host", func(s *Spec) { s.Events = []LinkEvent{{Link: Link{A: "r1", B: "ghost"}}} }},
+		{"mayfail unknown", func(s *Spec) { s.Expect.MayFail = []string{"ghost"} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := valid()
+			tt.mutate(&spec)
+			spec = spec.withDefaults()
+			if err := spec.Validate(); err == nil {
+				t.Error("Validate accepted a malformed spec")
+			}
+		})
+	}
+	good := valid().withDefaults()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	rejoin := valid()
+	rejoin.Churn = []ChurnEvent{
+		{At: 100 * time.Millisecond, Action: Crash, Node: "r1"},
+		{At: 200 * time.Millisecond, Action: Join, Node: "r1", Class: 1},
+	}
+	rejoin = rejoin.withDefaults()
+	if err := rejoin.Validate(); err != nil {
+		t.Errorf("crash-then-rejoin spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package scenario is a declarative scenario harness for the live overlay:
+// a Spec describes an entire cluster run as data — hosts, per-link
+// schedules that change over virtual time, a churn schedule (crash,
+// graceful leave, rejoin), and a workload of requesting peers — and Run
+// boots the full system (directory + seeds + requesters) on the virtual
+// substrate (internal/clock, internal/netx), drives every requester to
+// completion, and returns a Report with per-run metrics.Series and
+// invariant checks (byte-exact stores, the Theorem 1 delay bound,
+// continuous playback, supplier promotion).
+//
+// The package doubles as the protocol's conformance suite: Catalog holds
+// named scenarios in the spirit of the RFC 8867 congestion-control
+// evaluation catalog (variable capacity, multiple bottlenecks, RTT
+// fairness, flash crowd, churn storm, pause-resume, partition-heal, seed
+// starvation, lossy links), each asserted by the tests in this package and
+// runnable standalone via cmd/p2pscen. Adding a scenario is ~20 lines of
+// Spec, not a hand-built cluster.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/dac"
+	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
+)
+
+// DirectoryHost is the virtual host name the directory server listens on.
+// Link rules may reference it; peer IDs must not claim it.
+const DirectoryHost = "dir"
+
+// Wildcard, as the B side of a Link, means "every other declared host".
+const Wildcard = "*"
+
+// Peer declares one overlay peer. Its ID doubles as its virtual host name.
+type Peer struct {
+	ID    string
+	Class bandwidth.Class
+	// Start is when (in virtual time from the run start) a requesting
+	// peer issues its first request; ignored for seeds, which supply from
+	// the start.
+	Start time.Duration
+}
+
+// Link configures the links between host A and host B. B may be Wildcard,
+// which expands to every other declared host (including the directory) —
+// the idiom for "this host sits behind a slow/lossy/blocked access link".
+type Link struct {
+	A, B   string
+	Config netx.LinkConfig
+}
+
+// LinkEvent mutates link configuration at a virtual instant — the
+// RFC 8867-style "link schedule". An event whose Link.A is empty replaces
+// the network's default link instead of a specific pair.
+type LinkEvent struct {
+	At   time.Duration
+	Link Link
+}
+
+// ChurnAction is one kind of overlay churn.
+type ChurnAction int
+
+const (
+	// Crash hard-kills a host at its instant: its listeners close, its
+	// connections reset, and it stays in the directory — later admission
+	// sweeps exercise the "down candidate" path.
+	Crash ChurnAction = iota + 1
+	// Leave closes a node gracefully: in-flight work aborts and the node
+	// unregisters from the directory.
+	Leave
+	// Join starts a requesting peer at its instant — the "rejoin at t"
+	// half of a churn schedule. The joining ID is either fresh, or the ID
+	// of a peer crashed by an earlier event: the host name is revived and
+	// a new node rejoins under it with an empty store (the crash lost
+	// everything). Between crash and rejoin the peer's stale directory
+	// registration lingers, feeding the admission sweep's "down" path;
+	// the rejoin retires the crashed instance, clearing the stale entry.
+	Join
+)
+
+func (a ChurnAction) String() string {
+	switch a {
+	case Crash:
+		return "crash"
+	case Leave:
+		return "leave"
+	case Join:
+		return "join"
+	}
+	return fmt.Sprintf("ChurnAction(%d)", int(a))
+}
+
+// ChurnEvent is one entry of the churn schedule.
+type ChurnEvent struct {
+	At     time.Duration
+	Action ChurnAction
+	// Node is the peer the action applies to: an existing peer for Crash
+	// and Leave, a fresh ID for Join.
+	Node string
+	// Class is the joining peer's bandwidth class (Join only).
+	Class bandwidth.Class
+}
+
+// Expect declares a scenario's acceptance envelope, checked by
+// Report.Check on top of the universal invariants.
+type Expect struct {
+	// MayFail lists requesters allowed to end the run unserved (e.g.
+	// peers that crash or leave mid-run). Everyone else must be served.
+	MayFail []string
+	// MinAttempts, when positive, requires at least one requester to have
+	// needed that many admission attempts — the assertion that a
+	// contention scenario actually produced contention.
+	MinAttempts int
+	// AllowStalls drops the continuous-playback invariant: a link with
+	// packet loss retransmits instead of corrupting, so stores stay
+	// byte-exact, but the retransmission delay spikes can legitimately
+	// exceed the Theorem 1 buffering delay and stall playback.
+	AllowStalls bool
+}
+
+// Spec is one declarative scenario. The zero values of the tuning fields
+// select the harness defaults (see withDefaults); Seeds and Requesters are
+// mandatory.
+type Spec struct {
+	// Name identifies the scenario in the catalog and CLI.
+	Name string
+	// Stresses is one line of documentation: what the scenario stresses.
+	Stresses string
+
+	// File is the streamed media item; nil selects the 16-segment default
+	// that keeps whole-cluster runs fast.
+	File *media.File
+
+	// Seeds supply the file from the start; Requesters arrive per their
+	// Start offsets (staggered arrivals, flash crowds, pauses are all
+	// just Start patterns).
+	Seeds      []Peer
+	Requesters []Peer
+
+	// DefaultLink is the link between host pairs without a Links entry;
+	// the zero value selects a 300µs/200µs-jitter LAN-ish default.
+	DefaultLink netx.LinkConfig
+	// Links are static per-pair overrides applied before the run starts.
+	Links []Link
+	// Events is the link schedule: timed mutations of links or of the
+	// default link.
+	Events []LinkEvent
+	// Churn is the churn schedule.
+	Churn []ChurnEvent
+
+	// Protocol and workload tuning; zero values select defaults.
+	NumClasses  bandwidth.Class   // K (default 4)
+	Policy      dac.Policy        // admission policy (default DAC)
+	M           int               // candidates per lookup (default 8)
+	TOut        time.Duration     // idle elevation timeout (default 40ms)
+	Backoff     dac.BackoffConfig // rejection backoff (default 20ms, ×2)
+	MaxAttempts int               // resilient-request budget (default 60)
+	Retry       time.Duration     // delay after transport failures (default 25ms)
+	Seed        int64             // network/directory randomness (default 1)
+
+	Expect Expect
+}
+
+// defaultFile keeps whole-cluster runs quick: 16 segments, δt = 4ms.
+func defaultFile() *media.File {
+	return &media.File{Name: "video", Segments: 16, SegmentBytes: 128, SegmentTime: 4 * time.Millisecond}
+}
+
+// withDefaults returns a copy of the spec with every zero tuning field
+// replaced by its default.
+func (s Spec) withDefaults() Spec {
+	if s.File == nil {
+		s.File = defaultFile()
+	}
+	if s.DefaultLink == (netx.LinkConfig{}) {
+		s.DefaultLink = netx.LinkConfig{Latency: 300 * time.Microsecond, Jitter: 200 * time.Microsecond}
+	}
+	if s.NumClasses == 0 {
+		s.NumClasses = 4
+	}
+	if s.M == 0 {
+		s.M = 8
+	}
+	if s.TOut == 0 {
+		s.TOut = 40 * time.Millisecond
+	}
+	if s.Backoff == (dac.BackoffConfig{}) {
+		s.Backoff = dac.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}
+	}
+	if s.MaxAttempts == 0 {
+		s.MaxAttempts = 60
+	}
+	if s.Retry == 0 {
+		s.Retry = 25 * time.Millisecond
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// hosts returns every virtual host of the scenario: the directory, every
+// peer, and every joining peer (a rejoining peer reuses its old host).
+func (s *Spec) hosts() []string {
+	seen := map[string]bool{DirectoryHost: true}
+	out := []string{DirectoryHost}
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, p := range s.Seeds {
+		add(p.ID)
+	}
+	for _, p := range s.Requesters {
+		add(p.ID)
+	}
+	for _, ev := range s.Churn {
+		if ev.Action == Join {
+			add(ev.Node)
+		}
+	}
+	return out
+}
+
+// Validate reports the first structural problem of the spec. Run validates
+// automatically; the CLI validates catalog entries up front.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("scenario: spec needs a name")
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one seed", s.Name)
+	}
+	if len(s.Requesters) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one requester", s.Name)
+	}
+	ids := map[string]bool{DirectoryHost: true}
+	addPeer := func(p Peer, role string) error {
+		switch {
+		case p.ID == "" || p.ID == Wildcard:
+			return fmt.Errorf("scenario %s: %s has unusable ID %q", s.Name, role, p.ID)
+		case ids[p.ID]:
+			return fmt.Errorf("scenario %s: duplicate host %q", s.Name, p.ID)
+		case !p.Class.Valid(s.NumClasses):
+			return fmt.Errorf("scenario %s: %s %s has invalid %v for K=%d", s.Name, role, p.ID, p.Class, s.NumClasses)
+		}
+		ids[p.ID] = true
+		return nil
+	}
+	for _, p := range s.Seeds {
+		if err := addPeer(p, "seed"); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Requesters {
+		if err := addPeer(p, "requester"); err != nil {
+			return err
+		}
+	}
+	// Churn is validated in two passes so slice order never matters: the
+	// schedule's semantics come from the At instants alone.
+	crashed := make(map[string]time.Duration)
+	for _, ev := range s.Churn {
+		if ev.Action == Crash {
+			crashed[ev.Node] = ev.At
+		}
+	}
+	var joins []ChurnEvent
+	for _, ev := range s.Churn {
+		if ev.Action == Join {
+			joins = append(joins, ev)
+		}
+	}
+	sort.SliceStable(joins, func(i, j int) bool { return joins[i].At < joins[j].At })
+	rejoined := make(map[string]bool)
+	for _, ev := range joins {
+		if ids[ev.Node] {
+			// Reusing an ID is the crash-then-rejoin flow: legal only
+			// for a peer that crashed strictly earlier, once.
+			crashAt, wasCrashed := crashed[ev.Node]
+			switch {
+			case !wasCrashed || ev.Node == DirectoryHost:
+				return fmt.Errorf("scenario %s: join reuses ID %q of a peer that never crashed", s.Name, ev.Node)
+			case crashAt >= ev.At:
+				return fmt.Errorf("scenario %s: %q rejoins at %v, not after its crash at %v", s.Name, ev.Node, ev.At, crashAt)
+			case rejoined[ev.Node]:
+				return fmt.Errorf("scenario %s: %q rejoins twice", s.Name, ev.Node)
+			case !ev.Class.Valid(s.NumClasses):
+				return fmt.Errorf("scenario %s: joiner %s has invalid %v for K=%d", s.Name, ev.Node, ev.Class, s.NumClasses)
+			}
+			rejoined[ev.Node] = true
+			continue
+		}
+		if err := addPeer(Peer{ID: ev.Node, Class: ev.Class}, "joiner"); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.Churn {
+		switch ev.Action {
+		case Crash, Leave:
+			if !ids[ev.Node] || ev.Node == DirectoryHost {
+				return fmt.Errorf("scenario %s: %v of unknown peer %q", s.Name, ev.Action, ev.Node)
+			}
+		case Join: // validated above
+		default:
+			return fmt.Errorf("scenario %s: churn event with unknown action %v", s.Name, ev.Action)
+		}
+	}
+	checkLink := func(l Link, where string) error {
+		if l.A == "" || l.A == Wildcard || !ids[l.A] {
+			return fmt.Errorf("scenario %s: %s references unknown host %q", s.Name, where, l.A)
+		}
+		if l.B != Wildcard && !ids[l.B] {
+			return fmt.Errorf("scenario %s: %s references unknown host %q", s.Name, where, l.B)
+		}
+		return nil
+	}
+	for _, l := range s.Links {
+		if err := checkLink(l, "link rule"); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.Events {
+		if ev.Link.A == "" && ev.Link.B == "" {
+			continue // default-link event
+		}
+		if err := checkLink(ev.Link, "link event"); err != nil {
+			return err
+		}
+	}
+	for _, id := range s.Expect.MayFail {
+		if !ids[id] {
+			return fmt.Errorf("scenario %s: Expect.MayFail references unknown peer %q", s.Name, id)
+		}
+	}
+	return nil
+}

@@ -58,6 +58,7 @@ import (
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
+	"p2pstream/internal/scenario"
 	"p2pstream/internal/system"
 )
 
@@ -203,3 +204,53 @@ func NewDirectoryServer(seed int64) *DirectoryServer { return directory.NewServe
 
 // MediaFile describes the streamed media item.
 type MediaFile = media.File
+
+// Declarative scenarios: whole-cluster runs described as data — hosts,
+// link schedules, churn schedules, workloads — executed on the virtual
+// substrate with invariant checks (internal/scenario).
+
+// Scenario is a declarative cluster scenario: topology, link schedule,
+// churn schedule and workload as data. Run it with RunScenario.
+type Scenario = scenario.Spec
+
+// ScenarioPeer declares one overlay peer of a scenario.
+type ScenarioPeer = scenario.Peer
+
+// ScenarioLink configures the links between two hosts of a scenario; its
+// B side may be ScenarioWildcard.
+type ScenarioLink = scenario.Link
+
+// ScenarioLinkEvent mutates link configuration at a virtual instant.
+type ScenarioLinkEvent = scenario.LinkEvent
+
+// ScenarioChurnEvent schedules churn: a crash, a graceful leave, or a
+// join.
+type ScenarioChurnEvent = scenario.ChurnEvent
+
+// ScenarioExpect declares a scenario's acceptance envelope.
+type ScenarioExpect = scenario.Expect
+
+// Churn actions for ScenarioChurnEvent.
+const (
+	ScenarioCrash = scenario.Crash
+	ScenarioLeave = scenario.Leave
+	ScenarioJoin  = scenario.Join
+)
+
+// ScenarioWildcard, as a link's B side, means "every other host".
+const ScenarioWildcard = scenario.Wildcard
+
+// ScenarioReport is the outcome of a scenario run: per-requester results,
+// shared-axis metric series, and invariant checks (Check).
+type ScenarioReport = scenario.Report
+
+// RunScenario executes a scenario on a fresh virtual substrate.
+func RunScenario(spec Scenario) (*ScenarioReport, error) { return scenario.Run(spec) }
+
+// ScenarioCatalog returns the named conformance scenarios (RFC 8867-style
+// stresses: variable capacity, flash crowd, churn storm, partition-heal,
+// ...), each runnable via RunScenario or cmd/p2pscen.
+func ScenarioCatalog() []Scenario { return scenario.Catalog() }
+
+// ScenarioByName returns the cataloged scenario with the given name.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }

@@ -146,3 +146,32 @@ func TestPublicVirtualScenario(t *testing.T) {
 		t.Error("requester did not finish as a supplying peer")
 	}
 }
+
+// TestPublicDeclarativeScenario runs a declarative scenario through the
+// facade: a Spec assembled as data, executed by RunScenario, checked by
+// the report's invariants — plus catalog access by name.
+func TestPublicDeclarativeScenario(t *testing.T) {
+	report, err := p2pstream.RunScenario(p2pstream.Scenario{
+		Name:  "facade",
+		Seeds: []p2pstream.ScenarioPeer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []p2pstream.ScenarioPeer{
+			{ID: "r1", Class: 1},
+			{ID: "r2", Class: 2, Start: 80 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if report.Served() != 2 {
+		t.Errorf("served = %d, want 2", report.Served())
+	}
+	if len(p2pstream.ScenarioCatalog()) < 8 {
+		t.Errorf("catalog has %d scenarios, want >= 8", len(p2pstream.ScenarioCatalog()))
+	}
+	if _, ok := p2pstream.ScenarioByName("flash-crowd"); !ok {
+		t.Error("flash-crowd missing from the catalog")
+	}
+}
