@@ -8,6 +8,13 @@
 //
 //	p2pnode -id peer1 -class 2 -dir 127.0.0.1:7000
 //
+// With -discovery chord the overlay needs no directory server at all:
+// supplying peers form a wire-level Chord ring. The first seed founds the
+// ring; everyone else names any member's chord endpoint:
+//
+//	p2pnode -id seed1 -class 1 -seed-peer -discovery chord -chord-listen 127.0.0.1:7100
+//	p2pnode -id peer1 -class 2 -discovery chord -chord-bootstrap 127.0.0.1:7100
+//
 // The media item is synthetic (deterministic content, CBR) and scaled so a
 // session finishes in seconds; -segments and -dt control the size.
 package main
@@ -17,10 +24,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/chordnet"
 	"p2pstream/internal/clock"
 	"p2pstream/internal/dac"
 	"p2pstream/internal/media"
@@ -32,7 +41,10 @@ func main() {
 	id := flag.String("id", "", "unique peer name (required)")
 	class := flag.Int("class", 2, "bandwidth class (1 = R0/2, 2 = R0/4, ...)")
 	numClasses := flag.Int("classes", 4, "number of classes K")
-	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address")
+	discovery := flag.String("discovery", "directory", "discovery backend: directory or chord")
+	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address (directory backend)")
+	bootstrap := flag.String("chord-bootstrap", "", "comma-separated chord endpoints of ring members (chord backend; empty founds a new ring)")
+	chordListen := flag.String("chord-listen", "127.0.0.1:0", "chord endpoint to listen on (chord backend)")
 	seedPeer := flag.Bool("seed-peer", false, "start with the complete file and supply immediately")
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	segments := flag.Int("segments", 120, "number of media segments")
@@ -52,11 +64,42 @@ func main() {
 	if *ndac {
 		policy = dac.NDAC
 	}
+	var disc node.Discovery
+	switch *discovery {
+	case "directory":
+		// Leaving Discovery nil selects a directory client for -dir.
+	case "chord":
+		var boots []string
+		for _, a := range strings.Split(*bootstrap, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				boots = append(boots, a)
+			}
+		}
+		cp, err := chordnet.New(chordnet.Config{
+			ID:         *id,
+			Class:      bandwidth.Class(*class),
+			Bootstrap:  boots,
+			ListenAddr: *chordListen,
+			Seed:       *rngSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := cp.Start(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("p2pnode %s: chord endpoint %s\n", *id, cp.Addr())
+		disc = cp
+	default:
+		fmt.Fprintf(os.Stderr, "p2pnode: unknown -discovery %q (want directory or chord)\n", *discovery)
+		os.Exit(2)
+	}
 	cfg := node.Config{
 		ID:            *id,
 		Class:         bandwidth.Class(*class),
 		NumClasses:    bandwidth.Class(*numClasses),
 		Policy:        policy,
+		Discovery:     disc,
 		DirectoryAddr: *dirAddr,
 		File: &media.File{
 			Name:         "popular-video",

@@ -9,6 +9,7 @@
 //	p2pscen flash-crowd churn-storm
 //	p2pscen -all
 //	p2pscen -csv flash-crowd.csv -seed 7 flash-crowd
+//	p2pscen -backend chord flash-crowd      (re-run any scenario on chord discovery)
 package main
 
 import (
@@ -25,11 +26,12 @@ func main() {
 	all := flag.Bool("all", false, "run every cataloged scenario")
 	csvPath := flag.String("csv", "", "write the (last) run's series to this CSV file")
 	seed := flag.Int64("seed", 0, "override the scenario's random seed (0 keeps it)")
+	backend := flag.String("backend", "", "override the discovery backend for named runs: directory or chord (empty keeps each scenario's own)")
 	flag.Parse()
 
 	if *list {
 		for _, spec := range scenario.Catalog() {
-			fmt.Printf("%-22s %s\n", spec.Name, spec.Stresses)
+			fmt.Printf("%-22s [%s] %s\n", spec.Name, spec.Discovery, spec.Stresses)
 		}
 		return
 	}
@@ -55,6 +57,25 @@ func main() {
 		}
 		if *seed != 0 {
 			spec.Seed = *seed
+		}
+		if *backend != "" {
+			b, err := scenario.ParseBackend(*backend)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Discovery = b
+			if b != scenario.BackendChord {
+				// A directory-backed run cannot also crash the directory;
+				// scrub decoy-kill events a chord spec may carry.
+				spec.KeepDirectory = false
+				kept := spec.Churn[:0]
+				for _, ev := range spec.Churn {
+					if ev.Node != scenario.DirectoryHost {
+						kept = append(kept, ev)
+					}
+				}
+				spec.Churn = kept
+			}
 		}
 		start := time.Now()
 		report, err := scenario.Run(spec)

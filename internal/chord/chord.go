@@ -23,8 +23,14 @@ import (
 	"p2pstream/internal/bandwidth"
 )
 
-// fingerBits is the identifier size in bits.
-const fingerBits = 64
+// FingerBits is the identifier size in bits; a peer keeps one finger per
+// bit. Exported so wire-level ring implementations (internal/chordnet)
+// share the identifier space and finger geometry of the in-process ring.
+const FingerBits = 64
+
+// FingerTarget returns the ring position peer id's j-th finger points at:
+// id + 2^j, wrapping mod 2^64.
+func FingerTarget(id uint64, j int) uint64 { return id + 1<<uint(j) }
 
 // HashKey maps a string key onto the identifier circle. FNV-1a alone
 // clusters similar keys ("peer-1", "peer-2", ...) on a tiny arc, so a
@@ -54,7 +60,7 @@ type Peer struct {
 
 	successor   *Peer
 	predecessor *Peer
-	fingers     [fingerBits]*Peer
+	fingers     [FingerBits]*Peer
 }
 
 // Successor returns the peer's current successor.
@@ -72,7 +78,7 @@ type Ring struct {
 // New builds a ring from the given members. Unlike repeated Join calls
 // (which repair the ring eagerly after every insertion), New inserts every
 // member first and repairs once, so bootstrapping a large ring is
-// O(n·log n·fingerBits) instead of O(n²·fingerBits).
+// O(n·log n·FingerBits) instead of O(n²·FingerBits).
 func New(members []Member) (*Ring, error) {
 	r := &Ring{byName: make(map[string]*Peer)}
 	seenID := make(map[uint64]string, len(members))
@@ -172,7 +178,7 @@ func (r *Ring) rebuild() {
 	for i, p := range r.peers {
 		p.successor = r.peers[(i+1)%n]
 		p.predecessor = r.peers[(i-1+n)%n]
-		for j := 0; j < fingerBits; j++ {
+		for j := 0; j < FingerBits; j++ {
 			target := p.ID + 1<<uint(j) // wraps mod 2^64 naturally
 			p.fingers[j] = r.successorOf(target)
 		}
@@ -208,7 +214,7 @@ func (r *Ring) Lookup(from string, key string) (*Peer, int, error) {
 	target := HashKey(key)
 	cur := start
 	hops := 0
-	for !inHalfOpen(target, cur.ID, cur.successor.ID) {
+	for !InHalfOpen(target, cur.ID, cur.successor.ID) {
 		next := cur.closestPrecedingFinger(target)
 		if next == cur {
 			// Fingers degenerate (tiny ring): fall to the successor.
@@ -216,7 +222,7 @@ func (r *Ring) Lookup(from string, key string) (*Peer, int, error) {
 		}
 		cur = next
 		hops++
-		if hops > 2*fingerBits {
+		if hops > 2*FingerBits {
 			return nil, hops, errors.New("chord: routing did not converge")
 		}
 	}
@@ -226,25 +232,30 @@ func (r *Ring) Lookup(from string, key string) (*Peer, int, error) {
 // closestPrecedingFinger returns the furthest finger strictly between the
 // peer and the target.
 func (p *Peer) closestPrecedingFinger(target uint64) *Peer {
-	for j := fingerBits - 1; j >= 0; j-- {
+	for j := FingerBits - 1; j >= 0; j-- {
 		f := p.fingers[j]
-		if f != nil && inOpen(f.ID, p.ID, target) {
+		if f != nil && InOpen(f.ID, p.ID, target) {
 			return f
 		}
 	}
 	return p
 }
 
-// inHalfOpen reports whether x lies in the circular interval (lo, hi].
-func inHalfOpen(x, lo, hi uint64) bool {
+// InHalfOpen reports whether x lies in the circular interval (lo, hi] —
+// the ownership test: key k is owned by the first peer s with
+// InHalfOpen(k, pred.ID, s.ID). Exported as a routing hook for wire-level
+// ring implementations.
+func InHalfOpen(x, lo, hi uint64) bool {
 	if lo < hi {
 		return x > lo && x <= hi
 	}
 	return x > lo || x <= hi // wrapped (also covers lo == hi: whole circle)
 }
 
-// inOpen reports whether x lies in the circular interval (lo, hi).
-func inOpen(x, lo, hi uint64) bool {
+// InOpen reports whether x lies in the circular interval (lo, hi) — the
+// finger-selection test. Exported as a routing hook for wire-level ring
+// implementations.
+func InOpen(x, lo, hi uint64) bool {
 	if lo < hi {
 		return x > lo && x < hi
 	}

@@ -266,11 +266,11 @@ func TestIntervalHelpers(t *testing.T) {
 		{5, 7, 7, true, true}, // lo == hi: whole circle (exclusive of lo)
 	}
 	for _, tt := range tests {
-		if got := inHalfOpen(tt.x, tt.lo, tt.hi); got != tt.halfOpen {
-			t.Errorf("inHalfOpen(%d, %d, %d) = %v", tt.x, tt.lo, tt.hi, got)
+		if got := InHalfOpen(tt.x, tt.lo, tt.hi); got != tt.halfOpen {
+			t.Errorf("InHalfOpen(%d, %d, %d) = %v", tt.x, tt.lo, tt.hi, got)
 		}
-		if got := inOpen(tt.x, tt.lo, tt.hi); got != tt.open {
-			t.Errorf("inOpen(%d, %d, %d) = %v", tt.x, tt.lo, tt.hi, got)
+		if got := InOpen(tt.x, tt.lo, tt.hi); got != tt.open {
+			t.Errorf("InOpen(%d, %d, %d) = %v", tt.x, tt.lo, tt.hi, got)
 		}
 	}
 }

@@ -1,0 +1,820 @@
+// Package chordnet implements the wire-level Chord discovery backend of
+// the live overlay: the decentralized realization of the paper's peer
+// lookup (Section 4.2, footnote 4 — "a distributed lookup service such as
+// Chord", Stoica et al., SIGCOMM 2001). Where internal/chord models the
+// ring in-process for the simulator, chordnet runs it over the overlay's
+// real substrate: every supplying peer is a ring member with its own
+// listener on an internal/netx network, maintains a successor list,
+// predecessor and finger table through periodic stabilization driven by an
+// internal/clock, and answers the chord message kinds of
+// internal/transport (join, notify, finger-query, key-lookup).
+//
+// Candidate discovery mirrors the simulator's chordSource: a requesting
+// peer samples M candidates by routing lookups of random keys — owners are
+// hit proportionally to their arc length, so the sample is the paper's "M
+// randomly selected candidate supplying peers" with no directory server
+// anywhere. Peers that are not (yet) ring members route their lookups
+// through any bootstrap member (KindChordLookup); members walk the ring
+// themselves, one finger-query per hop.
+//
+// A Peer implements the node.Discovery interface: Register joins the ring
+// (supplying peers are exactly the members), Unregister leaves it, and
+// Candidates samples. The ring tolerates crashes: a dead member is evicted
+// from successor lists and finger tables as soon as an RPC to it fails,
+// and stabilization re-splices the ring around it — sessions keep
+// completing with zero central components.
+package chordnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/chord"
+	"p2pstream/internal/clock"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/transport"
+)
+
+const (
+	defaultStabilize  = 25 * time.Millisecond
+	defaultSuccessors = 4
+	defaultMaxHops    = 2 * chord.FingerBits
+	// fingersPerRound bounds the finger-repair work of one stabilization
+	// round; the full table refreshes every FingerBits/fingersPerRound
+	// rounds.
+	fingersPerRound = 4
+	// sampleRounds bounds Candidates' batched random-key draws: each round
+	// issues the missing lookups in parallel, so the virtual-time cost is a
+	// few round trips, not 64·M sequential walks.
+	sampleRounds = 4
+	// joinAttempts retries a join whose routed successor is unreachable
+	// (e.g. a stale entry for a crashed peer that stabilization has not yet
+	// evicted, or a concurrently launched bootstrap that is not listening
+	// yet). Retries back off exponentially from one stabilization period,
+	// capped at joinBackoffCap periods: ~1s on the default period, enough
+	// for seeds started together to find each other.
+	joinAttempts   = 8
+	joinBackoffCap = 8
+	// rpcTimeout caps one RPC exchange in wall time. It protects live TCP
+	// deployments from peers that accept and stall; virtual connections
+	// ignore deadlines (virtual time makes them meaningless) and rely on
+	// crash-reset semantics instead.
+	rpcTimeout = 10 * time.Second
+)
+
+// Config parameterizes a chord discovery peer.
+type Config struct {
+	// ID is the overlay peer's name; its hash is the ring position.
+	ID string
+	// Class is the peer's bandwidth class, carried to candidates.
+	Class bandwidth.Class
+	// Bootstrap lists chord addresses of existing ring members. An empty
+	// list founds a new ring at Register; otherwise at least one bootstrap
+	// must answer for joins and non-member lookups.
+	Bootstrap []string
+	// ListenAddr is the chord listener address (default "127.0.0.1:0" on
+	// real TCP, any port on a virtual host).
+	ListenAddr string
+	// Network provides the listener and RPC connections; nil means TCP.
+	Network netx.Network
+	// Clock schedules stabilization; nil means the wall clock.
+	Clock clock.Clock
+	// Seed drives random-key sampling.
+	Seed int64
+	// Stabilize is the stabilization period (default 25ms).
+	Stabilize time.Duration
+	// Successors is the successor-list length (default 4): the ring
+	// survives that many consecutive simultaneous crashes.
+	Successors int
+	// MaxHops bounds one lookup walk (default 2·FingerBits).
+	MaxHops int
+	// OnWriteError, when non-nil, observes reply-path write failures the
+	// request/response flow cannot surface (a peer hanging up mid-reply).
+	OnWriteError func(kind transport.Kind, err error)
+}
+
+// Peer is one chord discovery endpoint. Create with New, Start it, then
+// use it as the node's Discovery: Register joins the ring, Candidates
+// samples supplying peers, Close leaves and shuts down.
+type Peer struct {
+	cfg Config
+	clk clock.Clock
+	net netx.Network
+	id  uint64
+
+	writeFails atomic.Int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	self   transport.ChordContact
+	joined bool
+	closed bool
+	pred   *transport.ChordContact
+	predID uint64
+	// succIDs and fingerIDs cache the ring position of each stored
+	// contact (always in lockstep with succs/fingers), so the routing hot
+	// path — closestPrecedingLocked scans the whole finger table per step
+	// — never re-hashes contact names.
+	succs      []transport.ChordContact
+	succIDs    []uint64
+	fingers    [chord.FingerBits]transport.ChordContact
+	fingerIDs  [chord.FingerBits]uint64
+	nextFinger int
+	listener   net.Listener
+	conns      map[net.Conn]struct{}
+	stabTimer  clock.Timer
+	wg         sync.WaitGroup
+}
+
+// New returns an unstarted chord peer.
+func New(cfg Config) (*Peer, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("chordnet: ID required")
+	}
+	if !cfg.Class.Valid(bandwidth.MaxClass) {
+		return nil, fmt.Errorf("chordnet %s: invalid %v", cfg.ID, cfg.Class)
+	}
+	if cfg.Stabilize <= 0 {
+		cfg.Stabilize = defaultStabilize
+	}
+	if cfg.Successors <= 0 {
+		cfg.Successors = defaultSuccessors
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = defaultMaxHops
+	}
+	return &Peer{
+		cfg:   cfg,
+		clk:   clock.Or(cfg.Clock),
+		net:   netx.Or(cfg.Network),
+		id:    chord.HashKey(cfg.ID),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		self:  transport.ChordContact{Name: cfg.ID, Class: cfg.Class},
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Start opens the peer's chord listener and begins answering ring RPCs.
+// It does not join a ring; Register does.
+func (p *Peer) Start() error {
+	addr := p.cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := p.net.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("chordnet %s: listen: %w", p.cfg.ID, err)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("chordnet %s: closed", p.cfg.ID)
+	}
+	p.listener = l
+	p.self.Addr = l.Addr().String()
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the chord listener address (valid after Start).
+func (p *Peer) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.self.Addr
+}
+
+// Joined reports whether the peer is currently a ring member.
+func (p *Peer) Joined() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.joined
+}
+
+// Successors returns a copy of the successor list, nearest first.
+func (p *Peer) Successors() []transport.ChordContact {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]transport.ChordContact(nil), p.succs...)
+}
+
+// Predecessor returns a copy of the current predecessor, or nil.
+func (p *Peer) Predecessor() *transport.ChordContact {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pred == nil {
+		return nil
+	}
+	c := *p.pred
+	return &c
+}
+
+// WriteFailures counts reply writes that failed mid-exchange (the remote
+// hung up while a response was in flight).
+func (p *Peer) WriteFailures() int64 { return p.writeFails.Load() }
+
+// Register joins the ring as a supplying peer: reg.Addr is the overlay
+// (probe/session) address carried to candidates. With no bootstrap the
+// peer founds a new singleton ring; otherwise it routes a lookup of its
+// own position to find its successor and splices in, retrying briefly if
+// the routed successor is a stale entry for a crashed peer.
+func (p *Peer) Register(reg transport.Register) error {
+	if reg.ID != p.cfg.ID {
+		return fmt.Errorf("chordnet %s: register for foreign id %q", p.cfg.ID, reg.ID)
+	}
+	p.mu.Lock()
+	switch {
+	case p.closed:
+		p.mu.Unlock()
+		return fmt.Errorf("chordnet %s: closed", p.cfg.ID)
+	case p.listener == nil:
+		p.mu.Unlock()
+		return fmt.Errorf("chordnet %s: not started", p.cfg.ID)
+	case p.joined:
+		p.mu.Unlock()
+		return fmt.Errorf("chordnet %s: already joined", p.cfg.ID)
+	}
+	p.self.NodeAddr = reg.Addr
+	p.self.Class = reg.Class
+	self := p.self
+	p.mu.Unlock()
+
+	if len(p.bootstraps()) == 0 {
+		p.mu.Lock()
+		p.joined = true
+		p.pred = nil
+		p.setSuccessorsLocked(nil) // the singleton fallback: self
+		p.mu.Unlock()
+		p.armStabilize()
+		return nil
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < joinAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := p.cfg.Stabilize << (attempt - 1)
+			if cap := joinBackoffCap * p.cfg.Stabilize; backoff > cap {
+				backoff = cap
+			}
+			p.clk.Sleep(backoff)
+		}
+		succ, err := p.lookupVia(p.id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if succ.Name == p.cfg.ID {
+			// A stale entry for a previous incarnation of this peer still
+			// owns our position; wait for the ring to evict it.
+			lastErr = fmt.Errorf("chordnet %s: ring still names this peer", p.cfg.ID)
+			continue
+		}
+		var reply transport.ChordJoinReply
+		err = p.call(succ.Addr, transport.KindChordJoin, transport.ChordJoin{Peer: self},
+			transport.KindChordJoinOK, &reply)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p.mu.Lock()
+		p.joined = true
+		p.setSuccessorsLocked(append([]transport.ChordContact{succ}, reply.Successors...))
+		// Seed every finger with the successor: lookups route correctly
+		// (if slowly) from the first instant; stabilization sharpens them.
+		for j := range p.fingers {
+			p.setFingerLocked(j, succ)
+		}
+		p.mu.Unlock()
+		p.armStabilize()
+		return nil
+	}
+	return fmt.Errorf("chordnet %s: join failed: %w", p.cfg.ID, lastErr)
+}
+
+// Unregister leaves the ring. The peer stops answering ring RPCs, so
+// neighbors evict it and stabilization splices the ring closed — the same
+// healing path a crash takes, minus the lost state.
+func (p *Peer) Unregister(id string) error {
+	if id != p.cfg.ID {
+		return fmt.Errorf("chordnet %s: unregister for foreign id %q", p.cfg.ID, id)
+	}
+	p.mu.Lock()
+	p.joined = false
+	p.pred = nil
+	p.succs, p.succIDs = nil, nil
+	t := p.stabTimer
+	p.stabTimer = nil
+	p.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	return nil
+}
+
+// Candidates samples up to m distinct supplying peers by routing lookups
+// of random keys — owners are hit proportionally to arc length. Each round
+// issues the missing draws in parallel; with fewer ring members than m the
+// sample simply comes back short, and the admission sweep retries later
+// against a grown ring.
+func (p *Peer) Candidates(m int, exclude string) ([]transport.Candidate, error) {
+	if m <= 0 {
+		return nil, nil
+	}
+	seen := map[string]bool{exclude: true, p.cfg.ID: true}
+	var out []transport.Candidate
+	for round := 0; round < sampleRounds && len(out) < m; round++ {
+		need := m - len(out)
+		keys := make([]uint64, need)
+		p.mu.Lock()
+		for i := range keys {
+			keys[i] = p.rng.Uint64()
+		}
+		p.mu.Unlock()
+		owners := make([]*transport.ChordContact, need)
+		var wg sync.WaitGroup
+		for i, key := range keys {
+			i, key := i, key
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if owner, err := p.lookup(key); err == nil {
+					owners[i] = &owner
+				}
+			}()
+		}
+		wg.Wait()
+		for _, c := range owners {
+			if c == nil || c.NodeAddr == "" || seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			out = append(out, transport.Candidate{ID: c.Name, Addr: c.NodeAddr, Class: c.Class})
+		}
+	}
+	return out, nil
+}
+
+// Close leaves the ring and shuts the peer down: stabilization stops, the
+// listener closes, and in-flight handler connections are torn down.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.joined = false
+	t := p.stabTimer
+	l := p.listener
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// LookupKey routes a full lookup of an arbitrary key and returns the
+// owning contact — exported for tests and diagnostics.
+func (p *Peer) LookupKey(key uint64) (transport.ChordContact, error) {
+	return p.lookup(key)
+}
+
+// bootstraps returns the configured bootstrap addresses minus the peer's
+// own listener (a seed may receive the full seed list, itself included).
+func (p *Peer) bootstraps() []string {
+	own := p.Addr()
+	var out []string
+	for _, a := range p.cfg.Bootstrap {
+		if a != "" && a != own {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// lookup routes one key: members walk the ring themselves, non-members
+// delegate the walk to a bootstrap member.
+func (p *Peer) lookup(key uint64) (transport.ChordContact, error) {
+	p.mu.Lock()
+	joined := p.joined
+	p.mu.Unlock()
+	if joined {
+		owner, _, err := p.findOwner(key)
+		return owner, err
+	}
+	return p.lookupVia(key)
+}
+
+// lookupVia delegates a key lookup to the first answering bootstrap.
+func (p *Peer) lookupVia(key uint64) (transport.ChordContact, error) {
+	boots := p.bootstraps()
+	if len(boots) == 0 {
+		return transport.ChordContact{}, fmt.Errorf("chordnet %s: no bootstrap members", p.cfg.ID)
+	}
+	var lastErr error
+	for _, addr := range boots {
+		var reply transport.ChordLookupReply
+		err := p.call(addr, transport.KindChordLookup, transport.ChordLookup{Key: key},
+			transport.KindChordLookupOK, &reply)
+		if err == nil {
+			return reply.Owner, nil
+		}
+		lastErr = err
+	}
+	return transport.ChordContact{}, fmt.Errorf("chordnet %s: no bootstrap answered: %w", p.cfg.ID, lastErr)
+}
+
+// findOwner iteratively routes a key from this member: one finger-query
+// per hop, restarting from scratch when a hop is dead (after evicting it,
+// so the retry routes around the corpse).
+func (p *Peer) findOwner(key uint64) (transport.ChordContact, int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		owner, hops, err := p.walk(key)
+		if err == nil {
+			return owner, hops, nil
+		}
+		lastErr = err
+	}
+	return transport.ChordContact{}, 0, lastErr
+}
+
+func (p *Peer) walk(key uint64) (transport.ChordContact, int, error) {
+	done, next := p.step(key)
+	hops := 0
+	for !done {
+		hops++
+		if hops > p.cfg.MaxHops {
+			return transport.ChordContact{}, hops, fmt.Errorf("chordnet %s: routing did not converge", p.cfg.ID)
+		}
+		if next.Name == p.cfg.ID {
+			done, next = p.step(key)
+			continue
+		}
+		var reply transport.ChordFingerReply
+		err := p.call(next.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: key},
+			transport.KindChordFingerOK, &reply)
+		if err != nil {
+			p.evict(next)
+			return transport.ChordContact{}, hops, err
+		}
+		done, next = reply.Done, reply.Next
+	}
+	return next, hops, nil
+}
+
+// step performs one local routing step: done when this member's successor
+// owns the key, otherwise the closest preceding contact to continue from.
+func (p *Peer) step(key uint64) (bool, transport.ChordContact) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	succ, succID := p.self, p.id
+	if len(p.succs) > 0 {
+		succ, succID = p.succs[0], p.succIDs[0]
+	}
+	if succ.Name == p.self.Name || chord.InHalfOpen(key, p.id, succID) {
+		return true, succ
+	}
+	next := p.closestPrecedingLocked(key)
+	if next.Name == p.self.Name {
+		return true, succ
+	}
+	return false, next
+}
+
+// closestPrecedingLocked returns the furthest known contact strictly
+// between this peer and the key: fingers high to low, then the successor
+// list, then self.
+func (p *Peer) closestPrecedingLocked(key uint64) transport.ChordContact {
+	for j := chord.FingerBits - 1; j >= 0; j-- {
+		f := p.fingers[j]
+		if f.Name != "" && f.Name != p.self.Name && chord.InOpen(p.fingerIDs[j], p.id, key) {
+			return f
+		}
+	}
+	for i := len(p.succs) - 1; i >= 0; i-- {
+		s := p.succs[i]
+		if s.Name != p.self.Name && chord.InOpen(p.succIDs[i], p.id, key) {
+			return s
+		}
+	}
+	return p.self
+}
+
+// evict removes a dead contact from the successor list, finger table and
+// predecessor slot — healing starts the moment an RPC fails, not at the
+// next stabilization tick.
+func (p *Peer) evict(c transport.ChordContact) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept, keptIDs := p.succs[:0], p.succIDs[:0]
+	for i, s := range p.succs {
+		if s.Name != c.Name {
+			kept = append(kept, s)
+			keptIDs = append(keptIDs, p.succIDs[i])
+		}
+	}
+	p.succs, p.succIDs = kept, keptIDs
+	if len(p.succs) == 0 && p.joined {
+		p.succs = []transport.ChordContact{p.self}
+		p.succIDs = []uint64{p.id}
+	}
+	for j := range p.fingers {
+		if p.fingers[j].Name == c.Name {
+			p.setFingerLocked(j, transport.ChordContact{})
+		}
+	}
+	if p.pred != nil && p.pred.Name == c.Name {
+		p.pred = nil
+	}
+}
+
+// setSuccessorsLocked installs a successor list: deduplicated by name,
+// self dropped (unless the list would empty, the singleton case), and
+// truncated to the configured length.
+func (p *Peer) setSuccessorsLocked(list []transport.ChordContact) {
+	seen := make(map[string]bool, len(list))
+	out := make([]transport.ChordContact, 0, p.cfg.Successors)
+	ids := make([]uint64, 0, p.cfg.Successors)
+	for _, c := range list {
+		if c.Name == "" || c.Name == p.self.Name || seen[c.Name] {
+			continue
+		}
+		seen[c.Name] = true
+		out = append(out, c)
+		ids = append(ids, chord.HashKey(c.Name))
+		if len(out) == p.cfg.Successors {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, p.self)
+		ids = append(ids, p.id)
+	}
+	p.succs, p.succIDs = out, ids
+}
+
+// setFingerLocked installs one finger with its ring position cached; an
+// empty contact clears the slot.
+func (p *Peer) setFingerLocked(j int, c transport.ChordContact) {
+	p.fingers[j] = c
+	if c.Name == "" {
+		p.fingerIDs[j] = 0
+		return
+	}
+	p.fingerIDs[j] = chord.HashKey(c.Name)
+}
+
+func (p *Peer) setSuccessors(list []transport.ChordContact) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.setSuccessorsLocked(list)
+}
+
+// armStabilize schedules the next stabilization round. The round itself
+// runs on a fresh goroutine: clock callbacks must never block, and a round
+// blocks on RPC round trips.
+func (p *Peer) armStabilize() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || !p.joined {
+		return
+	}
+	p.stabTimer = p.clk.AfterFunc(p.cfg.Stabilize, func() {
+		p.mu.Lock()
+		if p.closed || !p.joined {
+			p.mu.Unlock()
+			return
+		}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.stabilizeOnce()
+			p.armStabilize()
+		}()
+	})
+}
+
+// stabilizeOnce runs one maintenance round: verify (or advance past) the
+// successor, exchange notifies, check the predecessor's pulse, and repair
+// a few fingers.
+func (p *Peer) stabilizeOnce() {
+	p.mu.Lock()
+	if p.closed || !p.joined {
+		p.mu.Unlock()
+		return
+	}
+	self := p.self
+	succs := append([]transport.ChordContact(nil), p.succs...)
+	var pred *transport.ChordContact
+	if p.pred != nil {
+		c := *p.pred
+		pred = &c
+	}
+	p.mu.Unlock()
+
+	advanced := false
+	for _, s := range succs {
+		if s.Name == self.Name {
+			// Singleton (or collapsed) ring: the only way to grow back is
+			// through a predecessor that has adopted us.
+			if pred != nil && pred.Name != self.Name {
+				p.setSuccessors([]transport.ChordContact{*pred})
+			}
+			advanced = true
+			break
+		}
+		var reply transport.ChordNotifyReply
+		err := p.call(s.Addr, transport.KindChordNotify, transport.ChordNotify{Peer: self},
+			transport.KindChordNotifyOK, &reply)
+		if err != nil {
+			p.evict(s)
+			continue
+		}
+		list := make([]transport.ChordContact, 0, 2+len(reply.Successors))
+		if x := reply.Predecessor; x != nil && x.Name != self.Name && x.Name != s.Name &&
+			chord.InOpen(chord.HashKey(x.Name), chord.HashKey(self.Name), chord.HashKey(s.Name)) {
+			// A closer successor surfaced between us; adopt it first (the
+			// next round notifies it and verifies its pulse).
+			list = append(list, *x)
+		}
+		list = append(list, s)
+		list = append(list, reply.Successors...)
+		p.setSuccessors(list)
+		advanced = true
+		break
+	}
+	if !advanced {
+		// Every listed successor is dead. Fall back to the predecessor if
+		// we have one, else collapse to a singleton and wait to be found.
+		if pred != nil && pred.Name != self.Name {
+			p.setSuccessors([]transport.ChordContact{*pred})
+		} else {
+			p.setSuccessors([]transport.ChordContact{self})
+		}
+	}
+
+	if pred != nil && pred.Name != self.Name {
+		var reply transport.ChordFingerReply
+		err := p.call(pred.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: p.id},
+			transport.KindChordFingerOK, &reply)
+		if err != nil {
+			p.mu.Lock()
+			if p.pred != nil && p.pred.Name == pred.Name {
+				p.pred = nil
+			}
+			p.mu.Unlock()
+		}
+	}
+
+	for k := 0; k < fingersPerRound; k++ {
+		p.mu.Lock()
+		if p.closed || !p.joined {
+			p.mu.Unlock()
+			return
+		}
+		j := p.nextFinger
+		p.nextFinger = (p.nextFinger + 1) % chord.FingerBits
+		p.mu.Unlock()
+		owner, _, err := p.findOwner(chord.FingerTarget(p.id, j))
+		p.mu.Lock()
+		if err != nil {
+			p.setFingerLocked(j, transport.ChordContact{})
+		} else {
+			p.setFingerLocked(j, owner)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// acceptLoop serves incoming chord RPC connections, one request/response
+// exchange each, tracked so Close can abort them.
+func (p *Peer) acceptLoop(l net.Listener) {
+	defer p.wg.Done()
+	netx.ServeConns(l, &p.mu, &p.closed, p.conns, &p.wg, p.handleConn)
+}
+
+// handleConn answers one ring RPC. Non-members refuse, so neighbors treat
+// a departed peer as gone and heal around it.
+func (p *Peer) handleConn(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(rpcTimeout)) // no-op on virtual conns
+	env, err := transport.Read(conn)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	joined := p.joined
+	p.mu.Unlock()
+	if !joined {
+		p.reply(conn, transport.KindError,
+			transport.Error{Message: fmt.Sprintf("chordnet %s: not a ring member", p.cfg.ID)})
+		return
+	}
+	switch env.Kind {
+	case transport.KindChordFingerQuery:
+		var req transport.ChordFingerQuery
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		done, next := p.step(req.Key)
+		p.reply(conn, transport.KindChordFingerOK, transport.ChordFingerReply{Done: done, Next: next})
+	case transport.KindChordLookup:
+		var req transport.ChordLookup
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		owner, hops, err := p.findOwner(req.Key)
+		if err != nil {
+			p.reply(conn, transport.KindError, transport.Error{Message: err.Error()})
+			return
+		}
+		p.reply(conn, transport.KindChordLookupOK, transport.ChordLookupReply{Owner: owner, Hops: hops})
+	case transport.KindChordJoin:
+		var req transport.ChordJoin
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		rep := p.adopt(req.Peer)
+		p.reply(conn, transport.KindChordJoinOK,
+			transport.ChordJoinReply{Predecessor: rep.Predecessor, Successors: rep.Successors})
+	case transport.KindChordNotify:
+		var req transport.ChordNotify
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		p.reply(conn, transport.KindChordNotifyOK, p.adopt(req.Peer))
+	default:
+		p.reply(conn, transport.KindError,
+			transport.Error{Message: fmt.Sprintf("chordnet %s: unexpected %s", p.cfg.ID, env.Kind)})
+	}
+}
+
+// adopt is the shared join/notify handling: take the sender as predecessor
+// when it lies between the current predecessor and us (or refreshes the
+// same name), and return the pre-adoption predecessor plus our successor
+// list.
+func (p *Peer) adopt(from transport.ChordContact) transport.ChordNotifyReply {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var prev *transport.ChordContact
+	if p.pred != nil {
+		c := *p.pred
+		prev = &c
+	}
+	if from.Name != "" && from.Name != p.self.Name {
+		fromID := chord.HashKey(from.Name)
+		if p.pred == nil || p.pred.Name == from.Name ||
+			chord.InOpen(fromID, p.predID, p.id) {
+			c := from
+			p.pred = &c
+			p.predID = fromID
+		}
+	}
+	return transport.ChordNotifyReply{
+		Predecessor: prev,
+		Successors:  append([]transport.ChordContact(nil), p.succs...),
+	}
+}
+
+// reply writes one response, feeding failures to the write-error hook.
+func (p *Peer) reply(conn net.Conn, kind transport.Kind, body any) {
+	transport.WriteReply(conn, kind, body, &p.writeFails, p.cfg.OnWriteError)
+}
+
+// call performs one outbound RPC exchange.
+func (p *Peer) call(addr string, kind transport.Kind, req any, want transport.Kind, out any) error {
+	if addr == "" {
+		return fmt.Errorf("chordnet %s: empty contact address", p.cfg.ID)
+	}
+	conn, err := p.net.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(rpcTimeout))
+	if err := transport.Write(conn, kind, req); err != nil {
+		return err
+	}
+	return transport.ReadExpect(conn, want, out)
+}

@@ -1,0 +1,330 @@
+package chordnet
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/chord"
+	"p2pstream/internal/clock"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/transport"
+)
+
+// fixture is one wire-level ring on a fresh virtual substrate.
+type fixture struct {
+	t     *testing.T
+	clk   *clock.Virtual
+	vnet  *netx.Virtual
+	peers map[string]*Peer
+	boot  []string // chord addresses of the founding members
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	t.Cleanup(stop)
+	vnet := netx.NewVirtual(clk, 1)
+	vnet.SetDefaultLink(netx.LinkConfig{Latency: 200 * time.Microsecond})
+	return &fixture{t: t, clk: clk, vnet: vnet, peers: make(map[string]*Peer)}
+}
+
+// addMember starts a peer on its own virtual host and joins it to the
+// ring (the first member founds it).
+func (f *fixture) addMember(name string, class bandwidth.Class) *Peer {
+	f.t.Helper()
+	p := f.newPeer(name, class)
+	if err := p.Register(transport.Register{ID: name, Addr: "overlay-" + name + ":9", Class: class}); err != nil {
+		f.t.Fatalf("register %s: %v", name, err)
+	}
+	f.boot = append(f.boot, p.Addr())
+	return p
+}
+
+// newPeer starts a non-member peer (bootstrap points at the ring).
+func (f *fixture) newPeer(name string, class bandwidth.Class) *Peer {
+	f.t.Helper()
+	p, err := New(Config{
+		ID: name, Class: class,
+		Bootstrap: append([]string(nil), f.boot...),
+		Network:   f.vnet.Host(name),
+		Clock:     f.clk,
+		Seed:      int64(len(f.peers) + 1),
+		Stabilize: 10 * time.Millisecond,
+	})
+	if err != nil {
+		f.t.Fatalf("new %s: %v", name, err)
+	}
+	if err := p.Start(); err != nil {
+		f.t.Fatalf("start %s: %v", name, err)
+	}
+	f.t.Cleanup(func() { p.Close() })
+	f.peers[name] = p
+	return p
+}
+
+// waitFor polls a condition under virtual time.
+func (f *fixture) waitFor(cond func() bool, what string) {
+	f.t.Helper()
+	for i := 0; i < 200; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Sleep(10 * time.Millisecond)
+	}
+	f.t.Fatalf("timed out waiting for %s", what)
+}
+
+// ownerOf computes the ground-truth owner of a key among the given
+// member names: the first name (by ring position) whose hash is >= key,
+// wrapping to the smallest.
+func ownerOf(members []string, key uint64) string {
+	type pos struct {
+		id   uint64
+		name string
+	}
+	ps := make([]pos, len(members))
+	for i, m := range members {
+		ps[i] = pos{chord.HashKey(m), m}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	for _, p := range ps {
+		if p.id >= key {
+			return p.name
+		}
+	}
+	return ps[0].name
+}
+
+// ringHealthy reports whether every member's first successor is the
+// ground-truth ring neighbor of the membership.
+func ringHealthy(peers map[string]*Peer, members []string) bool {
+	for _, m := range members {
+		p := peers[m]
+		succs := p.Successors()
+		if len(succs) == 0 {
+			return false
+		}
+		want := ownerOf(members, chord.HashKey(m)+1)
+		if succs[0].Name != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingletonFoundsRing(t *testing.T) {
+	f := newFixture(t)
+	p := f.addMember("solo", 1)
+	if !p.Joined() {
+		t.Fatal("founder not joined")
+	}
+	succs := p.Successors()
+	if len(succs) != 1 || succs[0].Name != "solo" {
+		t.Fatalf("singleton successors = %v", succs)
+	}
+	owner, err := p.LookupKey(12345)
+	if err != nil {
+		t.Fatalf("singleton lookup: %v", err)
+	}
+	if owner.Name != "solo" {
+		t.Fatalf("singleton owns everything; got %s", owner.Name)
+	}
+}
+
+func TestJoinAndStabilize(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"p0", "p1", "p2", "p3", "p4", "p5"}
+	for i, m := range members {
+		f.addMember(m, bandwidth.Class(1+i%3))
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) },
+		"ring to stabilize into hash order")
+
+	// Every member resolves every key to the ground-truth owner, with the
+	// owner's overlay address and class intact.
+	for _, m := range members {
+		p := f.peers[m]
+		for key := uint64(0); key < 40; key++ {
+			k := chord.HashKey(fmt.Sprintf("key-%d", key))
+			owner, err := p.LookupKey(k)
+			if err != nil {
+				t.Fatalf("%s lookup %d: %v", m, key, err)
+			}
+			if want := ownerOf(members, k); owner.Name != want {
+				t.Errorf("%s: owner of %d = %s, want %s", m, k, owner.Name, want)
+			}
+			if owner.NodeAddr != "overlay-"+owner.Name+":9" {
+				t.Errorf("owner %s carries node addr %q", owner.Name, owner.NodeAddr)
+			}
+		}
+	}
+}
+
+func TestCrashHealsRing(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"p0", "p1", "p2", "p3", "p4", "p5"}
+	for _, m := range members {
+		f.addMember(m, 1)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "initial stabilization")
+
+	f.vnet.SetDown("p2")
+	alive := []string{"p0", "p1", "p3", "p4", "p5"}
+	// Heads converge first; the corpse then washes out of the deeper
+	// successor-list entries as neighbors copy each other's lists.
+	healed := func() bool {
+		if !ringHealthy(f.peers, alive) {
+			return false
+		}
+		for _, m := range alive {
+			for _, s := range f.peers[m].Successors() {
+				if s.Name == "p2" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	f.waitFor(healed, "ring to heal around the crashed member")
+
+	// Lookups resolve against the surviving membership only.
+	for _, m := range alive {
+		for key := uint64(0); key < 25; key++ {
+			k := chord.HashKey(fmt.Sprintf("heal-%d", key))
+			owner, err := f.peers[m].LookupKey(k)
+			if err != nil {
+				t.Fatalf("%s lookup after heal: %v", m, err)
+			}
+			if want := ownerOf(alive, k); owner.Name != want {
+				t.Errorf("%s: owner of %d = %s, want %s", m, k, owner.Name, want)
+			}
+		}
+	}
+}
+
+func TestRejoinAfterCrash(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"p0", "p1", "p2", "p3"}
+	for _, m := range members {
+		f.addMember(m, 1)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "initial stabilization")
+
+	f.vnet.SetDown("p3")
+	crashed := f.peers["p3"]
+	alive := []string{"p0", "p1", "p2"}
+	f.waitFor(func() bool { return ringHealthy(f.peers, alive) }, "heal after crash")
+	crashed.Close()
+
+	// The host revives with empty state — a fresh incarnation under the
+	// same name must be able to rejoin through the surviving members.
+	f.vnet.SetUp("p3")
+	p := f.newPeer("p3", 2)
+	if err := p.Register(transport.Register{ID: "p3", Addr: "overlay-p3:9", Class: 2}); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "ring to absorb the rejoin")
+	k := chord.HashKey("rejoin-probe")
+	owner, err := f.peers["p0"].LookupKey(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ownerOf(members, k); owner.Name != want {
+		t.Errorf("owner after rejoin = %s, want %s", owner.Name, want)
+	}
+}
+
+func TestCandidatesFromNonMember(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"s0", "s1", "s2", "s3", "s4"}
+	for i, m := range members {
+		f.addMember(m, bandwidth.Class(1+i%2))
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
+
+	r := f.newPeer("req", 1) // never joins: samples via bootstrap key-lookups
+	cands, err := r.Candidates(4, "s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("sampled only %d candidates from a 5-member ring", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if c.ID == "req" || c.ID == "s0" {
+			t.Errorf("candidate %s should have been excluded", c.ID)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate candidate %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Addr == "" {
+			t.Errorf("candidate %s has no overlay address", c.ID)
+		}
+	}
+
+	// A member samples too (the requester-turned-supplier path).
+	cands, err = f.peers["s1"].Candidates(3, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.ID == "s1" {
+			t.Error("member sampled itself")
+		}
+	}
+}
+
+func TestUnregisterLeavesRing(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		f.addMember(m, 1)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
+
+	if err := f.peers["b"].Unregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if f.peers["b"].Joined() {
+		t.Fatal("still joined after Unregister")
+	}
+	rest := []string{"a", "c", "d"}
+	f.waitFor(func() bool { return ringHealthy(f.peers, rest) },
+		"ring to splice out the departed member")
+	k := chord.HashKey("post-leave")
+	owner, err := f.peers["a"].LookupKey(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ownerOf(rest, k); owner.Name != want {
+		t.Errorf("owner after leave = %s, want %s", owner.Name, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{ID: ""}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := New(Config{ID: "x", Class: 99}); err == nil {
+		t.Error("invalid class accepted")
+	}
+	p, err := New(Config{ID: "x", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(transport.Register{ID: "x", Addr: "a:1", Class: 1}); err == nil {
+		t.Error("register before Start accepted")
+	}
+	if err := p.Register(transport.Register{ID: "other", Addr: "a:1", Class: 1}); err == nil {
+		t.Error("register for a foreign ID accepted")
+	}
+	if err := p.Unregister("other"); err == nil {
+		t.Error("unregister for a foreign ID accepted")
+	}
+}

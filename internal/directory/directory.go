@@ -11,21 +11,41 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"p2pstream/internal/lookup"
 	"p2pstream/internal/netx"
 	"p2pstream/internal/transport"
 )
 
+// defaultTimeout bounds one request/response exchange: long enough for any
+// honest client on a congested WAN, short enough that a stalled one cannot
+// pin a handler goroutine for the server's lifetime.
+const defaultTimeout = 10 * time.Second
+
 // Server is a directory server. Create with NewServer, then Serve on a
 // listener; Close stops it.
 type Server struct {
+	// Timeout bounds each connection's single request/response exchange
+	// (see defaultTimeout). Set before Serve; zero disables the deadline
+	// (virtual networks ignore deadlines anyway and rely on Close).
+	Timeout time.Duration
+	// OnWriteError, when non-nil, observes reply writes that failed
+	// mid-exchange — a client hangup the request/response flow would
+	// otherwise mistake for success. Set before Serve. Counted regardless
+	// in WriteFailures.
+	OnWriteError func(kind transport.Kind, err error)
+
+	writeFails atomic.Int64
+
 	mu    sync.Mutex
 	dir   *lookup.Directory[string]
 	addrs map[string]string // peer ID -> dial address
 	rng   *rand.Rand
 
 	listener net.Listener
+	conns    map[net.Conn]struct{} // in-flight exchanges (closed on Close)
 	wg       sync.WaitGroup
 	closed   bool
 }
@@ -34,9 +54,11 @@ type Server struct {
 // sampling for reproducible tests.
 func NewServer(seed int64) *Server {
 	return &Server{
-		dir:   lookup.NewDirectory[string](),
-		addrs: make(map[string]string),
-		rng:   rand.New(rand.NewSource(seed)),
+		Timeout: defaultTimeout,
+		dir:     lookup.NewDirectory[string](),
+		addrs:   make(map[string]string),
+		rng:     rand.New(rand.NewSource(seed)),
+		conns:   make(map[net.Conn]struct{}),
 	}
 }
 
@@ -49,26 +71,22 @@ func (s *Server) Len() int {
 
 // Serve accepts connections until the listener is closed. It always
 // returns a non-nil error (net.ErrClosed after Close).
+//
+// A Serve that loses the race against Close — Close ran between the
+// caller's net.Listen and this call, when the server had no listener to
+// close — closes the listener itself instead of leaking it open forever.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		l.Close()
 		return errors.New("directory: server closed")
 	}
 	s.listener = l
 	s.mu.Unlock()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			s.wg.Wait()
-			return err
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
-		}()
-	}
+	err := netx.ServeConns(l, &s.mu, &s.closed, s.conns, &s.wg, s.handle)
+	s.wg.Wait()
+	return err
 }
 
 // ListenAndServe listens on addr and serves. It returns the bound address
@@ -84,21 +102,44 @@ func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
 	return s.Serve(l)
 }
 
-// Close stops the server.
+// Close stops the server: the listener closes (so Serve returns), and
+// in-flight connections are torn down so a stalled client cannot wedge
+// Serve's handler drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	l := s.listener
-	s.mu.Unlock()
-	if l != nil {
-		return l.Close()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
 	}
-	return nil
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	return err
 }
 
-// handle serves one request/response exchange.
+// WriteFailures counts reply writes that failed mid-exchange (the client
+// hung up while the response was in flight). See OnWriteError.
+func (s *Server) WriteFailures() int64 { return s.writeFails.Load() }
+
+// handle serves one request/response exchange. The whole exchange runs
+// under one deadline: a client that connects and never writes (or never
+// reads its reply) is cut off instead of pinning this goroutine — and
+// with it Close's shutdown — forever.
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	if s.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.Timeout)) // no-op on virtual conns
+	}
 	env, err := transport.Read(conn)
 	if err != nil {
 		return // hangup or garbage; nothing to answer
@@ -114,7 +155,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.replyError(conn, err)
 			return
 		}
-		transport.Write(conn, transport.KindRegisterOK, struct{}{})
+		s.reply(conn, transport.KindRegisterOK, struct{}{})
 	case transport.KindUnregister:
 		var req transport.Unregister
 		if err := env.Decode(&req); err != nil {
@@ -122,21 +163,27 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.unregister(req.ID)
-		transport.Write(conn, transport.KindUnregisterOK, struct{}{})
+		s.reply(conn, transport.KindUnregisterOK, struct{}{})
 	case transport.KindLookup:
 		var req transport.Lookup
 		if err := env.Decode(&req); err != nil {
 			s.replyError(conn, err)
 			return
 		}
-		transport.Write(conn, transport.KindCandidates, s.lookup(req))
+		s.reply(conn, transport.KindCandidates, s.lookup(req))
 	default:
 		s.replyError(conn, fmt.Errorf("directory: unexpected %s", env.Kind))
 	}
 }
 
+// reply writes one response, feeding failures into the per-conn
+// write-error hook.
+func (s *Server) reply(conn net.Conn, kind transport.Kind, body any) {
+	transport.WriteReply(conn, kind, body, &s.writeFails, s.OnWriteError)
+}
+
 func (s *Server) replyError(conn net.Conn, err error) {
-	transport.Write(conn, transport.KindError, transport.Error{Message: err.Error()})
+	s.reply(conn, transport.KindError, transport.Error{Message: err.Error()})
 }
 
 func (s *Server) register(req transport.Register) error {
@@ -206,6 +253,16 @@ func (c *Client) Register(reg transport.Register) error {
 func (c *Client) Unregister(id string) error {
 	return c.call(transport.KindUnregister, transport.Unregister{ID: id}, transport.KindUnregisterOK, nil)
 }
+
+// Candidates fetches up to m random candidates, excluding the given peer
+// ID — the node.Discovery spelling of Lookup.
+func (c *Client) Candidates(m int, exclude string) ([]transport.Candidate, error) {
+	return c.Lookup(m, exclude)
+}
+
+// Close releases nothing: the client is connectionless (one dial per
+// call). It exists so *Client satisfies node.Discovery.
+func (c *Client) Close() error { return nil }
 
 // Lookup fetches up to m random candidates, excluding the given peer ID.
 func (c *Client) Lookup(m int, exclude string) ([]transport.Candidate, error) {

@@ -1,0 +1,94 @@
+package node
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2pstream/internal/dac"
+	"p2pstream/internal/media"
+	"p2pstream/internal/transport"
+)
+
+// stubDiscovery is a Discovery that returns a canned candidate set.
+type stubDiscovery struct {
+	registered atomic.Int64
+	closed     atomic.Int64
+}
+
+func (s *stubDiscovery) Register(transport.Register) error { s.registered.Add(1); return nil }
+func (s *stubDiscovery) Unregister(string) error           { return nil }
+func (s *stubDiscovery) Candidates(int, string) ([]transport.Candidate, error) {
+	return nil, nil
+}
+func (s *stubDiscovery) Close() error { s.closed.Add(1); return nil }
+
+func discCfg(disc Discovery, dirAddr string) Config {
+	return Config{
+		ID: "n", Class: 1, NumClasses: 4, Policy: dac.DAC,
+		Discovery: disc, DirectoryAddr: dirAddr,
+		File:    &media.File{Name: "v", Segments: 4, SegmentBytes: 16, SegmentTime: time.Millisecond},
+		M:       4,
+		TOut:    time.Second,
+		Backoff: dac.BackoffConfig{Base: time.Millisecond, Factor: 2},
+	}
+}
+
+// TestDiscoveryReplacesDirectoryAddr: an injected Discovery makes
+// DirectoryAddr optional, is used for registration, and is owned (closed)
+// by the node.
+func TestDiscoveryReplacesDirectoryAddr(t *testing.T) {
+	if _, err := NewRequester(discCfg(nil, "")); err == nil {
+		t.Error("neither Discovery nor DirectoryAddr accepted")
+	}
+	disc := &stubDiscovery{}
+	n, err := NewSeed(discCfg(disc, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if disc.registered.Load() != 1 {
+		t.Errorf("seed registered %d times through its Discovery, want 1", disc.registered.Load())
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if disc.closed.Load() != 1 {
+		t.Errorf("Close closed the Discovery %d times, want 1", disc.closed.Load())
+	}
+}
+
+// TestReplyWriteErrorHook: a peer that hangs up while the node's reply is
+// in flight must surface through the write-failure counter and hook
+// instead of silently passing for success.
+func TestReplyWriteErrorHook(t *testing.T) {
+	var hooked atomic.Int64
+	cfg := discCfg(&stubDiscovery{}, "")
+	cfg.OnWriteError = func(kind transport.Kind, err error) {
+		if kind != transport.KindError || err == nil {
+			t.Errorf("hook got kind=%s err=%v", kind, err)
+		}
+		hooked.Add(1)
+	}
+	n, err := NewRequester(cfg) // not supplying: probes answer with KindError
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		transport.Write(client, transport.KindProbe, transport.Probe{RequesterID: "x", Class: 1})
+		client.Close() // hang up before reading the reply
+	}()
+	n.handleConn(server)
+	<-done
+	server.Close()
+	if n.WriteFailures() != 1 || hooked.Load() != 1 {
+		t.Errorf("WriteFailures = %d, hook fired %d times; want 1 and 1",
+			n.WriteFailures(), hooked.Load())
+	}
+}

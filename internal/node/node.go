@@ -13,9 +13,10 @@
 // internal/netx.Network, so the very same node runs over real TCP on the
 // wall clock or inside a deterministic virtual network under virtual time
 // (tests and whole-cluster scenarios in milliseconds). Peers speak the
-// internal/transport wire protocol and discover each other through an
-// internal/directory server, mirroring the paper's architecture end to
-// end.
+// internal/transport wire protocol and discover each other through a
+// pluggable Discovery backend — the centralized internal/directory server
+// or the decentralized internal/chordnet ring — mirroring both discovery
+// substrates the paper names (Section 4.2, footnote 4) end to end.
 package node
 
 import (
@@ -24,6 +25,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pstream/internal/bandwidth"
@@ -46,7 +48,12 @@ type Config struct {
 	NumClasses bandwidth.Class
 	// Policy selects DAC_p2p or NDAC_p2p admission behavior when supplying.
 	Policy dac.Policy
-	// DirectoryAddr is the address of the directory server.
+	// Discovery is the peer-discovery backend (directory client or chord
+	// ring peer). The node owns it and closes it on Close. When nil, a
+	// directory client for DirectoryAddr is used.
+	Discovery Discovery
+	// DirectoryAddr is the address of the directory server; required only
+	// when Discovery is nil.
 	DirectoryAddr string
 	// File describes the media item being streamed.
 	File *media.File
@@ -66,6 +73,11 @@ type Config struct {
 	// Network provides the node's listener and outbound connections; nil
 	// means real TCP.
 	Network netx.Network
+	// OnWriteError, when non-nil, observes reply-path write failures the
+	// request/response flow itself cannot surface (a peer hanging up while
+	// a reply or a session-done mark was in flight). Counted regardless in
+	// WriteFailures.
+	OnWriteError func(kind transport.Kind, err error)
 }
 
 func (c *Config) validate() error {
@@ -74,8 +86,8 @@ func (c *Config) validate() error {
 		return errors.New("node: ID required")
 	case !c.Class.Valid(c.NumClasses):
 		return fmt.Errorf("node: class %d invalid for K=%d", c.Class, c.NumClasses)
-	case c.DirectoryAddr == "":
-		return errors.New("node: directory address required")
+	case c.Discovery == nil && c.DirectoryAddr == "":
+		return errors.New("node: discovery backend or directory address required")
 	case c.M < 1:
 		return fmt.Errorf("node: M=%d, want >= 1", c.M)
 	case c.TOut <= 0:
@@ -92,10 +104,12 @@ func (c *Config) validate() error {
 
 // Node is a live peer. Create with NewSeed or NewRequester, then Start.
 type Node struct {
-	cfg Config
-	clk clock.Clock
-	net netx.Network
-	dir *directory.Client
+	cfg  Config
+	clk  clock.Clock
+	net  netx.Network
+	disc Discovery
+
+	writeFails atomic.Int64
 
 	mu     sync.Mutex
 	sup    *protocol.Supplier // nil until the node becomes a supplier
@@ -136,11 +150,15 @@ func NewRequester(cfg Config) (*Node, error) {
 
 func newNode(cfg Config, store *media.Store) *Node {
 	network := netx.Or(cfg.Network)
+	disc := cfg.Discovery
+	if disc == nil {
+		disc = directory.NewClientOn(network, cfg.DirectoryAddr)
+	}
 	return &Node{
 		cfg:   cfg,
 		clk:   clock.Or(cfg.Clock),
 		net:   network,
-		dir:   directory.NewClientOn(network, cfg.DirectoryAddr),
+		disc:  disc,
 		store: store,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		conns: make(map[net.Conn]struct{}),
@@ -187,10 +205,11 @@ func (n *Node) ID() string { return n.cfg.ID }
 func (n *Node) Class() bandwidth.Class { return n.cfg.Class }
 
 // Supplying reports whether the node currently acts as a supplying peer.
+// A closed node no longer supplies, even if it did before Close.
 func (n *Node) Supplying() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.sup != nil
+	return !n.closed && n.sup != nil
 }
 
 // Stats returns protocol counters: probes served, sessions supplied,
@@ -208,8 +227,13 @@ func (n *Node) Stats() (probes, sessions, reminders int) {
 // Store exposes the node's segment store (read-only use).
 func (n *Node) Store() *media.Store { return n.store }
 
-// Close stops the node: it unregisters from the directory (if supplying),
-// stops timers and the listener, and waits for connection handlers.
+// WriteFailures counts reply writes that failed mid-exchange (the remote
+// hung up while a reply was in flight). See Config.OnWriteError.
+func (n *Node) WriteFailures() int64 { return n.writeFails.Load() }
+
+// Close stops the node: it unregisters from discovery (if supplying),
+// stops timers, the listener and the discovery backend, and waits for
+// connection handlers.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -227,8 +251,8 @@ func (n *Node) Close() error {
 
 	if sup != nil {
 		sup.Close()
-		// Best effort; the directory may already be gone.
-		_ = n.dir.Unregister(n.cfg.ID)
+		// Best effort; the discovery backend may already be gone.
+		_ = n.disc.Unregister(n.cfg.ID)
 	}
 	var err error
 	if l != nil {
@@ -240,6 +264,12 @@ func (n *Node) Close() error {
 		conn.Close()
 	}
 	n.wg.Wait()
+	// The node owns its discovery backend (a chord peer has a listener and
+	// a stabilization loop of its own); close it last so the unregister
+	// above could still use it.
+	if cerr := n.disc.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -259,7 +289,7 @@ func (n *Node) becomeSupplier() error {
 	}
 	n.sup = sup
 	n.mu.Unlock()
-	if err := n.dir.Register(transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
+	if err := n.disc.Register(transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
 		return fmt.Errorf("node %s: registering: %w", n.cfg.ID, err)
 	}
 	return nil
@@ -275,31 +305,13 @@ func (n *Node) supplier() *protocol.Supplier {
 // acceptLoop serves incoming peer connections.
 func (n *Node) acceptLoop(l net.Listener) {
 	defer n.wg.Done()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return
-		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
-			conn.Close()
-			return
-		}
-		n.conns[conn] = struct{}{}
-		n.mu.Unlock()
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			defer func() {
-				conn.Close()
-				n.mu.Lock()
-				delete(n.conns, conn)
-				n.mu.Unlock()
-			}()
-			n.handleConn(conn)
-		}()
-	}
+	netx.ServeConns(l, &n.mu, &n.closed, n.conns, &n.wg, n.handleConn)
+}
+
+// reply writes one response frame, feeding failures into the per-conn
+// write-error hook.
+func (n *Node) reply(conn net.Conn, kind transport.Kind, body any) error {
+	return transport.WriteReply(conn, kind, body, &n.writeFails, n.cfg.OnWriteError)
 }
 
 // handleConn dispatches one peer connection by its first message.
@@ -328,7 +340,7 @@ func (n *Node) handleConn(conn net.Conn) {
 		}
 		n.handleStart(conn, req)
 	default:
-		transport.Write(conn, transport.KindError,
+		n.reply(conn, transport.KindError,
 			transport.Error{Message: fmt.Sprintf("node %s: unexpected %s", n.cfg.ID, env.Kind)})
 	}
 }
@@ -336,14 +348,14 @@ func (n *Node) handleConn(conn net.Conn) {
 func (n *Node) handleProbe(conn net.Conn, req transport.Probe) {
 	sup := n.supplier()
 	if sup == nil {
-		transport.Write(conn, transport.KindError, transport.Error{Message: "not a supplying peer"})
+		n.reply(conn, transport.KindError, transport.Error{Message: "not a supplying peer"})
 		return
 	}
 	n.mu.Lock()
 	u := n.rng.Float64()
 	n.mu.Unlock()
 	dec, favors := sup.HandleProbe(req.Class, u)
-	transport.Write(conn, transport.KindProbeReply, transport.ProbeReply{Decision: dec, Favors: favors})
+	n.reply(conn, transport.KindProbeReply, transport.ProbeReply{Decision: dec, Favors: favors})
 }
 
 func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
@@ -351,7 +363,7 @@ func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
 	if sup := n.supplier(); sup != nil {
 		kept = sup.LeaveReminder(req.Class)
 	}
-	transport.Write(conn, transport.KindReminderOK, transport.ReminderReply{Kept: kept})
+	n.reply(conn, transport.KindReminderOK, transport.ReminderReply{Kept: kept})
 }
 
 // handleStart runs the supplier side of a streaming session: it claims the
@@ -361,20 +373,20 @@ func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
 func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 	sup := n.supplier()
 	if sup == nil {
-		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "not supplying"})
+		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "not supplying"})
 		return
 	}
 	if req.FileName != n.cfg.File.Name {
-		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "unknown file"})
+		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "unknown file"})
 		return
 	}
 	if err := sup.StartSession(); err != nil {
-		transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "busy"})
+		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "busy"})
 		return
 	}
 	defer sup.EndSession()
 
-	if err := transport.Write(conn, transport.KindStartReply, transport.StartReply{OK: true}); err != nil {
+	if err := n.reply(conn, transport.KindStartReply, transport.StartReply{OK: true}); err != nil {
 		return
 	}
 	start := n.clk.Now()
@@ -388,15 +400,15 @@ func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 		}
 		seg, ok := n.store.Get(media.SegmentID(segID))
 		if !ok {
-			transport.Write(conn, transport.KindError,
+			n.reply(conn, transport.KindError,
 				transport.Error{Message: fmt.Sprintf("segment %d not held", segID)})
 			return
 		}
-		if err := transport.Write(conn, transport.KindSegment,
+		if err := n.reply(conn, transport.KindSegment,
 			transport.Segment{ID: segID, Data: seg.Data}); err != nil {
 			return // requester hung up (session aborted)
 		}
 		sent++
 	}
-	transport.Write(conn, transport.KindSessionDone, transport.SessionDone{Sent: sent})
+	n.reply(conn, transport.KindSessionDone, transport.SessionDone{Sent: sent})
 }

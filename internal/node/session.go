@@ -49,7 +49,7 @@ func (n *Node) Request() (*SessionReport, error) {
 	if n.store.Complete() {
 		return nil, fmt.Errorf("node %s: already holds the file", n.cfg.ID)
 	}
-	cands, err := n.dir.Lookup(n.cfg.M, n.cfg.ID)
+	cands, err := n.disc.Candidates(n.cfg.M, n.cfg.ID)
 	if err != nil {
 		return nil, fmt.Errorf("node %s: lookup: %w", n.cfg.ID, err)
 	}

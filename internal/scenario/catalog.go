@@ -29,6 +29,9 @@ func Catalog() []Spec {
 		partitionHeal(),
 		seedStarvation(),
 		lossyLinks(),
+		decentralizedLookup(),
+		directoryCrash(),
+		chordChurn(),
 	}
 }
 
@@ -230,6 +233,78 @@ func seedStarvation() Spec {
 		Requesters:  reqs,
 		MaxAttempts: 80,
 		Expect:      Expect{MinAttempts: 3},
+	}
+}
+
+// decentralizedLookup runs a staggered mixed-class workload with zero
+// directory servers anywhere: supplying peers form a wire-level chord
+// ring, and every candidate set comes from routed random-key lookups.
+// Every session must still complete byte-exact within the Theorem 1 n·δt
+// bound — full decentralization costs lookup hops, not correctness.
+func decentralizedLookup() Spec {
+	return Spec{
+		Name:      "decentralized-lookup",
+		Stresses:  "fully decentralized operation: chord-ring candidate discovery with no directory server running at all",
+		Discovery: BackendChord,
+		Seeds:     []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 60 * time.Millisecond},
+			{ID: "n2", Class: 2, Start: 120 * time.Millisecond},
+			{ID: "n3", Class: 1, Start: 180 * time.Millisecond},
+			{ID: "n4", Class: 2, Start: 240 * time.Millisecond},
+		},
+	}
+}
+
+// directoryCrash boots a directory server that nothing uses (chord
+// discovery carries the overlay) and kills it while sessions are in
+// flight: n0 and n1 are mid-session at the 60ms crash, n2 and n3 arrive
+// after the directory is gone. Everyone must be served — the directory is
+// a decoy, not a dependency.
+func directoryCrash() Spec {
+	return Spec{
+		Name:          "directory-crash",
+		Stresses:      "a mid-run directory kill as a non-event: chord-backed sessions in flight and arriving afterwards all complete",
+		Discovery:     BackendChord,
+		KeepDirectory: true,
+		Seeds:         []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 40 * time.Millisecond},
+			{ID: "n2", Class: 1, Start: 150 * time.Millisecond},
+			{ID: "n3", Class: 2, Start: 220 * time.Millisecond},
+		},
+		Churn: []ChurnEvent{
+			{At: 60 * time.Millisecond, Action: Crash, Node: DirectoryHost},
+		},
+	}
+}
+
+// chordChurn stresses ring healing at the wire level with the harness's
+// crash/rejoin plumbing: a seed crashes hard (stale ring entries feed the
+// admission sweep's down path until neighbors evict it), a served peer
+// leaves gracefully, a fresh peer joins late, and the crashed seed's host
+// finally rejoins as a requester with an empty store.
+func chordChurn() Spec {
+	return Spec{
+		Name:      "chord-churn",
+		Stresses:  "chord ring healing under crash + graceful leave + rejoin, with discovery-only recovery (no directory fallback)",
+		Discovery: BackendChord,
+		Seeds:     []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}, {ID: "s3", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 80 * time.Millisecond},
+			{ID: "n2", Class: 2, Start: 160 * time.Millisecond},
+			{ID: "n3", Class: 1, Start: 240 * time.Millisecond},
+			{ID: "n4", Class: 2, Start: 320 * time.Millisecond},
+		},
+		Churn: []ChurnEvent{
+			{At: 200 * time.Millisecond, Action: Crash, Node: "s3"},
+			{At: 480 * time.Millisecond, Action: Leave, Node: "n0"},
+			{At: 600 * time.Millisecond, Action: Join, Node: "n5", Class: 1},
+			{At: 700 * time.Millisecond, Action: Join, Node: "s3", Class: 1},
+		},
 	}
 }
 

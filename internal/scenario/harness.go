@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"p2pstream/internal/chordnet"
 	"p2pstream/internal/clock"
 	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
@@ -53,11 +55,79 @@ type harness struct {
 	spec    *Spec
 	clk     *clock.Virtual
 	net     *netx.Virtual
-	dir     *directory.Server
+	dir     *directory.Server // nil under pure chord discovery
 	dirAddr string
 
+	// suppliers is the chord backend's supplier census (the directory
+	// backend reads dir.Len() instead): seeds at boot plus served
+	// requesters, minus graceful leavers. Crashed peers stay counted, the
+	// same staleness the directory exhibits.
+	suppliers atomic.Int64
+
 	mu    sync.Mutex
+	boots []string // chord addresses of the seed ring members
 	nodes map[string]*node.Node
+}
+
+// chordBacked reports whether the scenario runs chord discovery.
+func (h *harness) chordBacked() bool { return h.spec.Discovery == BackendChord }
+
+// supplierLevel is the current supplier count of the discovery substrate.
+func (h *harness) supplierLevel() int {
+	if h.chordBacked() {
+		return int(h.suppliers.Load())
+	}
+	return h.dir.Len()
+}
+
+// bootstraps snapshots the seed ring addresses.
+func (h *harness) bootstraps() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.boots...)
+}
+
+// newNode builds one peer: under chord discovery it first starts the
+// peer's ring endpoint (seeds become the bootstrap members, in boot
+// order — the first seed founds the ring).
+func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, error) {
+	cfg := h.config(p, seed)
+	if h.chordBacked() {
+		cp, err := chordnet.New(chordnet.Config{
+			ID:        p.ID,
+			Class:     p.Class,
+			Bootstrap: h.bootstraps(),
+			Network:   h.net.Host(p.ID),
+			Clock:     h.clk,
+			Seed:      seed,
+			Stabilize: h.spec.ChordStabilize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cp.Start(); err != nil {
+			return nil, err
+		}
+		cfg.Discovery = cp
+		if isSeed {
+			h.mu.Lock()
+			h.boots = append(h.boots, cp.Addr())
+			h.mu.Unlock()
+		}
+	}
+	var n *node.Node
+	var err error
+	if isSeed {
+		n, err = node.NewSeed(cfg)
+	} else {
+		n, err = node.NewRequester(cfg)
+	}
+	if err != nil && cfg.Discovery != nil {
+		// The node never took ownership of the started chord peer; stop
+		// its listener and stabilization loop instead of leaking them.
+		cfg.Discovery.Close()
+	}
+	return n, err
 }
 
 // Run executes the scenario on a fresh virtual substrate and returns its
@@ -83,29 +153,37 @@ func Run(spec Spec) (*Report, error) {
 		}
 	}
 
-	dirSrv := directory.NewServer(spec.Seed)
-	dl, err := vnet.Host(DirectoryHost).Listen(":0")
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: directory listen: %w", spec.Name, err)
-	}
-	go dirSrv.Serve(dl)
-	defer dirSrv.Close()
-
 	h := &harness{
-		spec: &spec, clk: clk, net: vnet, dir: dirSrv,
-		dirAddr: dl.Addr().String(),
-		nodes:   make(map[string]*node.Node),
+		spec:  &spec,
+		clk:   clk,
+		net:   vnet,
+		nodes: make(map[string]*node.Node),
+	}
+	// Chord discovery needs no directory at all; a scenario may still ask
+	// for one (KeepDirectory) purely to crash it and prove the point.
+	if spec.Discovery != BackendChord || spec.KeepDirectory {
+		dirSrv := directory.NewServer(spec.Seed)
+		dl, err := vnet.Host(DirectoryHost).Listen(":0")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: directory listen: %w", spec.Name, err)
+		}
+		go dirSrv.Serve(dl)
+		defer dirSrv.Close()
+		h.dir = dirSrv
+		h.dirAddr = dl.Addr().String()
 	}
 	defer h.closeAll()
 
 	for i, p := range spec.Seeds {
-		n, err := node.NewSeed(h.config(p, int64(i+1)))
+		n, err := h.newNode(p, int64(i+1), true)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
 		}
 		if err := n.Start(); err != nil {
+			n.Close() // not tracked yet; closeAll would miss it
 			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
 		}
+		h.suppliers.Add(1)
 		h.track(p.ID, n)
 	}
 
@@ -161,7 +239,7 @@ func Run(spec Spec) (*Report, error) {
 	wg.Wait()
 	elapsed := clk.Since(base)
 
-	return buildReport(spec, results, elapsed, dirSrv.Len()), nil
+	return buildReport(spec, results, elapsed, h.supplierLevel()), nil
 }
 
 // runRequester drives one requesting peer from its arrival to completion
@@ -180,11 +258,12 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 		res.Err = err
 		return res
 	}
-	n, err := node.NewRequester(h.config(w.Peer, w.seed))
+	n, err := h.newNode(w.Peer, w.seed, false)
 	if err != nil {
 		return fail(err)
 	}
 	if err := n.Start(); err != nil {
+		n.Close() // not tracked yet; closeAll would miss it
 		return fail(err)
 	}
 	h.track(w.ID, n)
@@ -195,6 +274,7 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 		res.Err = err
 		return res
 	}
+	h.suppliers.Add(1)
 	res.Session = report
 	res.Suppliers = make([]string, len(report.Suppliers))
 	for i, s := range report.Suppliers {
@@ -204,7 +284,7 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	res.Continuous = report.Report.Continuous()
 	res.TheoremOK = report.TheoreticalDelay == time.Duration(len(report.Suppliers))*h.spec.File.SegmentTime
 	res.StoreOK = storeExact(n.Store(), h.spec.File)
-	res.SupplierLevel = h.dir.Len()
+	res.SupplierLevel = h.supplierLevel()
 	return res
 }
 
@@ -235,7 +315,14 @@ func (h *harness) track(id string, n *node.Node) {
 		// A rejoin displaced the crashed instance; close it so its idle
 		// timers stop (its connections are already dead). With the host
 		// revived, the close also clears the instance's stale directory
-		// entry — the staleness window is crash-to-rejoin.
+		// entry — the staleness window is crash-to-rejoin. The chord
+		// census retires the stale instance the same way, or the rejoined
+		// peer would be counted twice once served. An instance that left
+		// gracefully was already retired by closeNode and reports
+		// Supplying() false once closed, so it cannot be retired twice.
+		if h.chordBacked() && old.Supplying() {
+			h.suppliers.Add(-1)
+		}
 		old.Close()
 	}
 }
@@ -246,6 +333,9 @@ func (h *harness) closeNode(id string) {
 	n := h.nodes[id]
 	h.mu.Unlock()
 	if n != nil {
+		if h.chordBacked() && n.Supplying() {
+			h.suppliers.Add(-1)
+		}
 		n.Close()
 	}
 }

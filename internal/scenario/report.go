@@ -33,8 +33,11 @@ type NodeResult struct {
 	Continuous bool
 	TheoremOK  bool
 	StoreOK    bool
-	// SupplierLevel is the directory's supplier count right after this
-	// peer completed.
+	// SupplierLevel is the discovery substrate's supplier count right
+	// after this peer completed: the directory's registry size, or under
+	// chord discovery the harness census (seeds plus served requesters
+	// minus graceful leavers — crashed peers stay counted, the same
+	// staleness the directory exhibits).
 	SupplierLevel int
 }
 

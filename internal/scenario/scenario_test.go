@@ -177,6 +177,145 @@ func TestPauseResumeDetails(t *testing.T) {
 	}
 }
 
+// TestDecentralizedLookupDetails pins the headline property of the chord
+// backend: with zero directory servers running, every session completes
+// byte-exact within the Theorem 1 bound (Check enforces StoreOK and
+// TheoremOK for every served peer, and the spec exempts nobody).
+func TestDecentralizedLookupDetails(t *testing.T) {
+	spec, ok := ByName("decentralized-lookup")
+	if !ok {
+		t.Fatal("decentralized-lookup not in catalog")
+	}
+	if spec.Discovery != BackendChord || spec.KeepDirectory {
+		t.Fatalf("spec must run pure chord discovery: %+v", spec.Discovery)
+	}
+	if len(spec.Expect.MayFail) != 0 {
+		t.Fatal("no requester may be exempt: every session must complete")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	if got, want := report.Served(), len(spec.Requesters); got != want {
+		t.Errorf("served %d of %d requesters", got, want)
+	}
+	// Seeds plus every served requester supply at the end; nobody left.
+	if want := len(spec.Seeds) + len(spec.Requesters); report.FinalSuppliers != want {
+		t.Errorf("final suppliers = %d, want %d", report.FinalSuppliers, want)
+	}
+}
+
+// TestDirectoryCrashDetails: the decoy directory dies at 60ms with n0 and
+// n1 mid-session; both finish, and the post-crash arrivals are served in
+// a directoryless overlay.
+func TestDirectoryCrashDetails(t *testing.T) {
+	spec, ok := ByName("directory-crash")
+	if !ok {
+		t.Fatal("directory-crash not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	crash := 60 * time.Millisecond
+	for _, id := range []string{"n0", "n1"} {
+		n := report.Node(id)
+		if n == nil || n.Err != nil {
+			t.Fatalf("in-flight requester %s not served: %+v", id, n)
+		}
+		if n.Start >= crash || n.Done <= crash {
+			t.Errorf("%s ran %v..%v; the crash at %v should have caught it mid-session",
+				id, n.Start, n.Done, crash)
+		}
+	}
+	for _, id := range []string{"n2", "n3"} {
+		n := report.Node(id)
+		if n == nil || n.Err != nil {
+			t.Fatalf("post-crash requester %s not served: %+v", id, n)
+		}
+		if n.Start <= crash {
+			t.Errorf("%s started at %v, not after the directory died", id, n.Start)
+		}
+	}
+}
+
+// TestChordChurnDetails: the wire-level ring heals through the harness's
+// crash/rejoin plumbing — nobody is served by the crashed seed while it is
+// down, and both the late joiner and the revived host complete.
+func TestChordChurnDetails(t *testing.T) {
+	spec, ok := ByName("chord-churn")
+	if !ok {
+		t.Fatal("chord-churn not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	for _, n := range report.Nodes {
+		if n.Err != nil || n.Done <= 250*time.Millisecond || n.Done >= 700*time.Millisecond {
+			continue
+		}
+		for _, sup := range n.Suppliers {
+			if sup == "s3" {
+				t.Errorf("%s (done %v) was served by s3 while it was down", n.ID, n.Done)
+			}
+		}
+	}
+	joiner := report.Node("n5")
+	if joiner == nil || joiner.Err != nil {
+		t.Fatalf("late joiner n5 not served: %+v", joiner)
+	}
+	rejoined := report.Node("s3")
+	if rejoined == nil || rejoined.Err != nil {
+		t.Fatalf("rejoined s3 not served: %+v", rejoined)
+	}
+	if rejoined.Start < 700*time.Millisecond {
+		t.Errorf("s3 rejoined at %v, before its churn instant", rejoined.Start)
+	}
+	if !rejoined.StoreOK || !rejoined.Supplying {
+		t.Error("rejoined s3 did not end as a byte-exact supplying peer")
+	}
+}
+
+// TestChordCensusLeaveThenRejoin: a graceful leaver that later rejoins
+// (via the crash-rejoin plumbing) is retired from the chord supplier
+// census exactly once — closeNode retires it at the Leave, and the
+// displacing track() must not retire the closed instance a second time.
+func TestChordCensusLeaveThenRejoin(t *testing.T) {
+	spec := Spec{
+		Name:       "census-leave-rejoin",
+		Discovery:  BackendChord,
+		Seeds:      []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{{ID: "n0", Class: 2, Start: 0}},
+		Churn: []ChurnEvent{
+			{At: 300 * time.Millisecond, Action: Leave, Node: "n0"},
+			{At: 380 * time.Millisecond, Action: Crash, Node: "n0"},
+			{At: 500 * time.Millisecond, Action: Join, Node: "n0", Class: 2},
+		},
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	// Two seeds plus the rejoined n0 supply at the end: the leave retired
+	// n0's first instance, and only that instance, exactly once.
+	if want := 3; report.FinalSuppliers != want {
+		t.Errorf("final suppliers = %d, want %d", report.FinalSuppliers, want)
+	}
+}
+
 // TestReportCSV: the report's series share one axis and render as CSV with
 // a millisecond time column.
 func TestReportCSV(t *testing.T) {
@@ -273,5 +412,16 @@ func TestSpecValidation(t *testing.T) {
 	rejoin = rejoin.withDefaults()
 	if err := rejoin.Validate(); err != nil {
 		t.Errorf("crash-then-rejoin spec rejected: %v", err)
+	}
+	// Leave of the directory is rejected for the action, not the backend:
+	// the message must not send a chord+KeepDirectory user hunting for a
+	// backend misconfiguration.
+	leaveDir := valid()
+	leaveDir.Discovery = BackendChord
+	leaveDir.KeepDirectory = true
+	leaveDir.Churn = []ChurnEvent{{Action: Leave, Node: DirectoryHost}}
+	leaveDir = leaveDir.withDefaults()
+	if err := leaveDir.Validate(); err == nil || !strings.Contains(err.Error(), "only Crash") {
+		t.Errorf("leave-of-directory error should say only Crash is supported, got: %v", err)
 	}
 }

@@ -33,6 +33,39 @@ import (
 // Link rules may reference it; peer IDs must not claim it.
 const DirectoryHost = "dir"
 
+// Backend selects a scenario's peer-discovery substrate.
+type Backend int
+
+const (
+	// BackendDirectory is the default: the centralized directory server.
+	BackendDirectory Backend = iota
+	// BackendChord runs wire-level chord discovery (internal/chordnet):
+	// every supplying peer is a ring member, and no directory server runs
+	// at all unless KeepDirectory asks for a decoy.
+	BackendChord
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendDirectory:
+		return "directory"
+	case BackendChord:
+		return "chord"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend maps a CLI spelling to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "directory":
+		return BackendDirectory, nil
+	case "chord":
+		return BackendChord, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown discovery backend %q (want directory or chord)", s)
+}
+
 // Wildcard, as the B side of a Link, means "every other declared host".
 const Wildcard = "*"
 
@@ -152,6 +185,18 @@ type Spec struct {
 	Events []LinkEvent
 	// Churn is the churn schedule.
 	Churn []ChurnEvent
+
+	// Discovery selects the peer-discovery substrate. Under BackendChord
+	// no directory server runs: supplying peers form a chord ring and
+	// requesters sample candidates by routing random-key lookups.
+	Discovery Backend
+	// KeepDirectory, under BackendChord, additionally boots a directory
+	// server that nothing queries — so a churn event may crash
+	// DirectoryHost mid-run and prove no session depends on it.
+	KeepDirectory bool
+	// ChordStabilize overrides the chord stabilization period (zero
+	// selects the chordnet default).
+	ChordStabilize time.Duration
 
 	// Protocol and workload tuning; zero values select defaults.
 	NumClasses  bandwidth.Class   // K (default 4)
@@ -305,7 +350,18 @@ func (s *Spec) Validate() error {
 	for _, ev := range s.Churn {
 		switch ev.Action {
 		case Crash, Leave:
-			if !ids[ev.Node] || ev.Node == DirectoryHost {
+			if ev.Node == DirectoryHost {
+				// Killing the directory is legal exactly when it is a decoy:
+				// chord discovery with a directory running for show.
+				if ev.Action == Crash && s.Discovery == BackendChord && s.KeepDirectory {
+					continue
+				}
+				if ev.Action == Leave {
+					return fmt.Errorf("scenario %s: only Crash of the directory is supported (the decoy dies hard, it does not leave)", s.Name)
+				}
+				return fmt.Errorf("scenario %s: Crash of the directory requires chord discovery with KeepDirectory", s.Name)
+			}
+			if !ids[ev.Node] {
 				return fmt.Errorf("scenario %s: %v of unknown peer %q", s.Name, ev.Action, ev.Node)
 			}
 		case Join: // validated above

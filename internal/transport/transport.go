@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"p2pstream/internal/bandwidth"
 	"p2pstream/internal/dac"
@@ -44,6 +45,18 @@ const (
 	KindError        Kind = "error"         // any -> any
 	KindUnregister   Kind = "unregister"    // supplier -> directory
 	KindUnregisterOK Kind = "unregister-ok" // directory -> supplier
+
+	// Chord discovery kinds (decentralized lookup, paper Section 4.2
+	// footnote 4): ring members maintain successors and fingers and route
+	// key lookups over the same wire substrate the sessions use.
+	KindChordJoin        Kind = "chord-join"         // joiner -> its successor
+	KindChordJoinOK      Kind = "chord-join-ok"      // successor -> joiner
+	KindChordNotify      Kind = "chord-notify"       // member -> its successor
+	KindChordNotifyOK    Kind = "chord-notify-ok"    // successor -> member
+	KindChordFingerQuery Kind = "chord-finger-query" // member -> member (one routing step)
+	KindChordFingerOK    Kind = "chord-finger-ok"    // member -> member
+	KindChordLookup      Kind = "chord-lookup"       // any peer -> member (full lookup)
+	KindChordLookupOK    Kind = "chord-lookup-ok"    // member -> any peer
 )
 
 // Register announces a supplying peer to the directory.
@@ -127,6 +140,72 @@ type SessionDone struct {
 	Sent int `json:"sent"`
 }
 
+// ChordContact identifies one member of the wire-level Chord ring: its
+// overlay name (whose hash is its ring position), its chord endpoint for
+// ring RPCs, its overlay endpoint for probes and sessions, and its
+// bandwidth class (so key lookups double as candidate discovery).
+type ChordContact struct {
+	Name     string          `json:"name"`
+	Addr     string          `json:"addr"`
+	NodeAddr string          `json:"node_addr"`
+	Class    bandwidth.Class `json:"class"`
+}
+
+// ChordJoin is sent by a joining peer to the ring member it determined to
+// be its successor (via a key lookup of its own ring position).
+type ChordJoin struct {
+	Peer ChordContact `json:"peer"`
+}
+
+// ChordJoinReply transfers the successor's state to the joiner: the
+// predecessor it knew before (possibly) adopting the joiner, and its
+// successor list (the joiner's fault-tolerance seed).
+type ChordJoinReply struct {
+	Predecessor *ChordContact  `json:"predecessor,omitempty"`
+	Successors  []ChordContact `json:"successors"`
+}
+
+// ChordNotify is the stabilization heartbeat a member sends its successor:
+// "I believe I am your predecessor".
+type ChordNotify struct {
+	Peer ChordContact `json:"peer"`
+}
+
+// ChordNotifyReply returns the receiver's predecessor as of before this
+// notify (the sender adopts it as a closer successor if it lies between
+// them) and the receiver's successor list.
+type ChordNotifyReply struct {
+	Predecessor *ChordContact  `json:"predecessor,omitempty"`
+	Successors  []ChordContact `json:"successors"`
+}
+
+// ChordFingerQuery asks a member for one iterative routing step toward a
+// key.
+type ChordFingerQuery struct {
+	Key uint64 `json:"key"`
+}
+
+// ChordFingerReply answers a routing step: when Done, Next is the key's
+// owner (the receiver's successor); otherwise Next is the receiver's
+// closest finger preceding the key, and the querier continues from there.
+type ChordFingerReply struct {
+	Done bool         `json:"done"`
+	Next ChordContact `json:"next"`
+}
+
+// ChordLookup asks a ring member to route a full key lookup on the
+// caller's behalf — the entry point for peers that are not (yet) members,
+// such as requesting peers sampling candidates before their first session.
+type ChordLookup struct {
+	Key uint64 `json:"key"`
+}
+
+// ChordLookupReply returns the key's owner and the routing hops expended.
+type ChordLookupReply struct {
+	Owner ChordContact `json:"owner"`
+	Hops  int          `json:"hops"`
+}
+
 // Error reports a protocol failure.
 type Error struct {
 	Message string `json:"message"`
@@ -163,6 +242,22 @@ func Write(w io.Writer, kind Kind, body any) error {
 		return fmt.Errorf("transport: writing %s: %w", kind, err)
 	}
 	return nil
+}
+
+// WriteReply writes one response frame, counting a failure in fails and
+// feeding it to onErr when non-nil. A hangup mid-reply looks like
+// success to the request/response flow, so it must at least be
+// observable; the directory server, node and chord peer all reply
+// through this helper.
+func WriteReply(w io.Writer, kind Kind, body any, fails *atomic.Int64, onErr func(Kind, error)) error {
+	err := Write(w, kind, body)
+	if err != nil {
+		fails.Add(1)
+		if onErr != nil {
+			onErr(kind, err)
+		}
+	}
+	return err
 }
 
 // Read receives one framed message envelope.

@@ -31,7 +31,11 @@
 //     millisecond-fast cluster scenarios — over an in-memory virtual
 //     network (NewVirtualNetwork, LinkConfig) under a virtual clock
 //     (NewVirtualClock). Both runtimes share one protocol core
-//     (internal/protocol).
+//     (internal/protocol);
+//   - pluggable peer discovery (Discovery): the centralized directory
+//     server (NewDirectoryServer, NewDirectoryClient) or a fully
+//     decentralized wire-level Chord ring (NewChordDiscovery) — the two
+//     substrates the paper names in Section 4.2, footnote 4.
 //
 // A minimal session:
 //
@@ -51,6 +55,7 @@ package p2pstream
 
 import (
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/chordnet"
 	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
 	"p2pstream/internal/dac"
@@ -194,6 +199,16 @@ func NewSeedNode(cfg NodeConfig) (*Node, error) { return node.NewSeed(cfg) }
 // supplies.
 func NewRequesterNode(cfg NodeConfig) (*Node, error) { return node.NewRequester(cfg) }
 
+// Discovery backends: how a live peer finds the overlay (paper Section
+// 4.2, footnote 4). Two implementations ship — the Napster-style
+// centralized directory and a fully decentralized wire-level Chord ring.
+
+// Discovery abstracts peer discovery for a live node:
+// register/unregister as a supplier and sample candidate suppliers. Set
+// NodeConfig.Discovery to choose a backend; nil selects a directory
+// client for NodeConfig.DirectoryAddr.
+type Discovery = node.Discovery
+
 // DirectoryServer is the overlay's Napster-style lookup service; serve it
 // on any listener of the chosen Network.
 type DirectoryServer = directory.Server
@@ -201,6 +216,29 @@ type DirectoryServer = directory.Server
 // NewDirectoryServer returns an empty directory server; the seed fixes
 // candidate sampling.
 func NewDirectoryServer(seed int64) *DirectoryServer { return directory.NewServer(seed) }
+
+// DirectoryClient is the centralized Discovery backend: one
+// request/response dial per call against a DirectoryServer.
+type DirectoryClient = directory.Client
+
+// NewDirectoryClient returns a directory-backed Discovery for the server
+// at addr over the given network (nil means real TCP).
+func NewDirectoryClient(network Network, addr string) *DirectoryClient {
+	return directory.NewClientOn(network, addr)
+}
+
+// ChordDiscovery is the decentralized Discovery backend: a wire-level
+// Chord ring member (internal/chordnet) that joins on Register, maintains
+// successors and fingers via stabilization, and samples candidates by
+// routing random-key lookups — no directory server anywhere.
+type ChordDiscovery = chordnet.Peer
+
+// ChordDiscoveryConfig parameterizes a chord discovery peer.
+type ChordDiscoveryConfig = chordnet.Config
+
+// NewChordDiscovery returns an unstarted chord discovery peer; Start it,
+// then hand it to a node as its Discovery.
+func NewChordDiscovery(cfg ChordDiscoveryConfig) (*ChordDiscovery, error) { return chordnet.New(cfg) }
 
 // MediaFile describes the streamed media item.
 type MediaFile = media.File
@@ -239,6 +277,18 @@ const (
 
 // ScenarioWildcard, as a link's B side, means "every other host".
 const ScenarioWildcard = scenario.Wildcard
+
+// ScenarioBackend selects a scenario's discovery substrate.
+type ScenarioBackend = scenario.Backend
+
+// Scenario discovery backends.
+const (
+	// ScenarioBackendDirectory runs the centralized directory server.
+	ScenarioBackendDirectory = scenario.BackendDirectory
+	// ScenarioBackendChord runs wire-level chord discovery with no
+	// directory server at all.
+	ScenarioBackendChord = scenario.BackendChord
+)
 
 // ScenarioReport is the outcome of a scenario run: per-requester results,
 // shared-axis metric series, and invariant checks (Check).

@@ -147,6 +147,78 @@ func TestPublicVirtualScenario(t *testing.T) {
 	}
 }
 
+// TestPublicChordDiscovery assembles a fully decentralized overlay through
+// the facade alone: no directory server anywhere — seeds found a chord
+// ring, the requester samples its candidates through it, and joins the
+// ring itself after being served.
+func TestPublicChordDiscovery(t *testing.T) {
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
+
+	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
+	var boots []string
+	chord := func(id string, class p2pstream.Class) *p2pstream.ChordDiscovery {
+		cp, err := p2pstream.NewChordDiscovery(p2pstream.ChordDiscoveryConfig{
+			ID: id, Class: class,
+			Bootstrap: append([]string(nil), boots...),
+			Network:   vnet.Host(id), Clock: clk, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+	cfg := func(id string, class p2pstream.Class, disc p2pstream.Discovery) p2pstream.NodeConfig {
+		return p2pstream.NodeConfig{
+			ID: id, Class: class, NumClasses: 4, Policy: p2pstream.DAC,
+			Discovery: disc, File: file, M: 8,
+			TOut:    50 * time.Millisecond,
+			Backoff: p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
+			Seed:    1, Clock: clk, Network: vnet.Host(id),
+		}
+	}
+	for _, id := range []string{"s1", "s2"} {
+		cp := chord(id, 1)
+		seed, err := p2pstream.NewSeedNode(cfg(id, 1, cp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { seed.Close() })
+		boots = append(boots, cp.Addr())
+	}
+	rd := chord("r", 1)
+	req, err := p2pstream.NewRequesterNode(cfg("r", 1, rd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { req.Close() })
+
+	report, err := req.RequestUntilAdmitted(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suppliers) != 2 {
+		t.Errorf("served by %d suppliers, want both seeds", len(report.Suppliers))
+	}
+	if !req.Store().Complete() || !req.Supplying() {
+		t.Error("requester did not finish as a supplying peer")
+	}
+	if !rd.Joined() {
+		t.Error("served requester did not join the chord ring")
+	}
+}
+
 // TestPublicDeclarativeScenario runs a declarative scenario through the
 // facade: a Spec assembled as data, executed by RunScenario, checked by
 // the report's invariants — plus catalog access by name.
