@@ -1,28 +1,82 @@
-// Command p2pdir runs the directory server of the live streaming overlay
+// Command p2pdir runs the directory service of the live streaming overlay
 // (the Napster-style lookup service of Section 4.2, footnote 4).
 //
+// A single server:
+//
 //	p2pdir -listen 127.0.0.1:7000
+//
+// A sharded registry — one process per shard in production, or all shards
+// in one process for local work — splits the registry by consistent
+// hashing; shard i listens on the base port + i, and peers route with
+// p2pnode's -dir-addrs:
+//
+//	p2pdir -listen 127.0.0.1:7000 -shards 3
+//	p2pnode -id peer1 -class 2 -dir-addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strconv"
+	"strings"
 
 	"p2pstream/internal/directory"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
-	seed := flag.Int64("seed", 1, "random seed for candidate sampling")
+	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on (with -shards, the base: shard i adds i to the port)")
+	shards := flag.Int("shards", 1, "number of registry shards to serve from this process")
+	seed := flag.Int64("seed", 1, "random seed for candidate sampling (shard i adds i)")
 	flag.Parse()
 
-	srv := directory.NewServer(*seed)
-	ready := make(chan string, 1)
-	go func() {
-		fmt.Printf("p2pdir: serving on %s\n", <-ready)
-	}()
-	if err := srv.ListenAndServe(*listen, ready); err != nil {
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "p2pdir: -shards %d, want >= 1\n", *shards)
+		os.Exit(2)
+	}
+	// Only a multi-shard run does port arithmetic; a single server takes
+	// -listen verbatim (service names and port 0 keep working).
+	var host string
+	var port int
+	if *shards > 1 {
+		h, portStr, err := net.SplitHostPort(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pdir: bad -listen %q: %v\n", *listen, err)
+			os.Exit(2)
+		}
+		p, err := strconv.Atoi(portStr)
+		if err != nil || p == 0 {
+			fmt.Fprintf(os.Stderr, "p2pdir: -shards needs an explicit numeric base port, got %q\n", portStr)
+			os.Exit(2)
+		}
+		host, port = h, p
+	}
+
+	errc := make(chan error, *shards)
+	addrs := make([]string, *shards)
+	for i := 0; i < *shards; i++ {
+		i := i
+		srv := directory.NewServer(*seed + int64(i))
+		addr := *listen
+		if *shards > 1 {
+			addr = net.JoinHostPort(host, strconv.Itoa(port+i))
+		}
+		ready := make(chan string, 1)
+		go func() { errc <- srv.ListenAndServe(addr, ready) }()
+		select {
+		case a := <-ready:
+			addrs[i] = a
+		case err := <-errc:
+			fmt.Fprintf(os.Stderr, "p2pdir: shard %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("p2pdir: shard %d serving on %s\n", i, addrs[i])
+	}
+	if *shards > 1 {
+		fmt.Printf("p2pdir: peers route with -dir-addrs %s\n", strings.Join(addrs, ","))
+	}
+	if err := <-errc; err != nil {
 		fmt.Fprintf(os.Stderr, "p2pdir: %v\n", err)
 		os.Exit(1)
 	}

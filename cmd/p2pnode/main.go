@@ -8,6 +8,12 @@
 //
 //	p2pnode -id peer1 -class 2 -dir 127.0.0.1:7000
 //
+// Against a sharded directory (see p2pdir -shards), list every shard in
+// shard order; registrations route to the owning shard by consistent
+// hashing and candidate lookups fan out across all of them:
+//
+//	p2pnode -id peer1 -class 2 -dir-addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
 // With -discovery chord the overlay needs no directory server at all:
 // supplying peers form a wire-level Chord ring. The first seed founds the
 // ring; everyone else names any member's chord endpoint:
@@ -32,6 +38,7 @@ import (
 	"p2pstream/internal/chordnet"
 	"p2pstream/internal/clock"
 	"p2pstream/internal/dac"
+	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
@@ -43,6 +50,7 @@ func main() {
 	numClasses := flag.Int("classes", 4, "number of classes K")
 	discovery := flag.String("discovery", "directory", "discovery backend: directory or chord")
 	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address (directory backend)")
+	dirAddrs := flag.String("dir-addrs", "", "comma-separated sharded-directory addresses in shard order (directory backend; overrides -dir)")
 	bootstrap := flag.String("chord-bootstrap", "", "comma-separated chord endpoints of ring members (chord backend; empty founds a new ring)")
 	chordListen := flag.String("chord-listen", "127.0.0.1:0", "chord endpoint to listen on (chord backend)")
 	seedPeer := flag.Bool("seed-peer", false, "start with the complete file and supply immediately")
@@ -67,7 +75,27 @@ func main() {
 	var disc node.Discovery
 	switch *discovery {
 	case "directory":
-		// Leaving Discovery nil selects a directory client for -dir.
+		// Leaving Discovery nil selects a directory client for -dir; with
+		// -dir-addrs the registry is sharded by consistent hashing and the
+		// node routes through a sharded client instead. Every peer of one
+		// deployment must list the same addresses in the same order.
+		if *dirAddrs != "" {
+			var addrs []string
+			for _, a := range strings.Split(*dirAddrs, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+			sc, err := directory.NewShardedClient(directory.ShardedConfig{
+				Addrs: addrs,
+				Seed:  *rngSeed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("p2pnode %s: sharded directory, %d shards\n", *id, sc.Shards())
+			disc = sc
+		}
 	case "chord":
 		var boots []string
 		for _, a := range strings.Split(*bootstrap, ",") {
@@ -137,7 +165,14 @@ func main() {
 	if !*seedPeer {
 		report, err := n.RequestUntilAdmitted(*attempts)
 		if err != nil {
-			fatal(err)
+			if report == nil {
+				fatal(err)
+			}
+			// Served, but the post-session registration failed (e.g. the
+			// peer's registry shard is down). The node holds the file and
+			// supplies; a sharded client's lease re-registers it when the
+			// shard returns.
+			fmt.Printf("p2pnode: served, registration pending: %v\n", err)
 		}
 		fmt.Printf("admitted after %d rejection(s); %d suppliers:", report.Rejections, len(report.Suppliers))
 		for _, s := range report.Suppliers {

@@ -10,6 +10,7 @@
 //	p2pscen -all
 //	p2pscen -csv flash-crowd.csv -seed 7 flash-crowd
 //	p2pscen -backend chord flash-crowd      (re-run any scenario on chord discovery)
+//	p2pscen -shards 3 flash-crowd           (re-run any scenario on a 3-shard directory)
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the (last) run's series to this CSV file")
 	seed := flag.Int64("seed", 0, "override the scenario's random seed (0 keeps it)")
 	backend := flag.String("backend", "", "override the discovery backend for named runs: directory or chord (empty keeps each scenario's own)")
+	shards := flag.Int("shards", -1, "override DirectoryShards for named runs (-1 keeps each scenario's own; ignored under chord)")
 	flag.Parse()
 
 	if *list {
@@ -66,16 +68,42 @@ func main() {
 			spec.Discovery = b
 			if b != scenario.BackendChord {
 				// A directory-backed run cannot also crash the directory;
-				// scrub decoy-kill events a chord spec may carry.
+				// scrub decoy-kill events a chord spec may carry. (Shard
+				// churn of a natively sharded spec stays — the shards run.)
 				spec.KeepDirectory = false
 				kept := spec.Churn[:0]
 				for _, ev := range spec.Churn {
-					if ev.Node != scenario.DirectoryHost {
+					if ev.Node != scenario.DirectoryHost ||
+						scenario.ShardHostIndex(ev.Node, spec.DirectoryShards) >= 0 {
 						kept = append(kept, ev)
 					}
 				}
 				spec.Churn = kept
+			} else {
+				// A chord run has no registry shards to crash or rebirth;
+				// scrub the shard-targeted churn a sharded spec carries.
+				kept := spec.Churn[:0]
+				for _, ev := range spec.Churn {
+					if scenario.ShardHostIndex(ev.Node, spec.DirectoryShards) < 0 {
+						kept = append(kept, ev)
+					}
+				}
+				spec.Churn = kept
+				spec.DirectoryShards = 0
 			}
+		}
+		if *shards >= 0 {
+			// Shrinking the shard set may strand shard-targeted churn;
+			// scrub events naming shard hosts the new count no longer runs.
+			kept := spec.Churn[:0]
+			for _, ev := range spec.Churn {
+				if idx := scenario.ShardHostIndex(ev.Node, spec.DirectoryShards); idx >= 0 && (*shards < 2 || idx >= *shards) {
+					continue
+				}
+				kept = append(kept, ev)
+			}
+			spec.Churn = kept
+			spec.DirectoryShards = *shards
 		}
 		start := time.Now()
 		report, err := scenario.Run(spec)

@@ -7,7 +7,7 @@
 // listener on an internal/netx network, maintains a successor list,
 // predecessor and finger table through periodic stabilization driven by an
 // internal/clock, and answers the chord message kinds of
-// internal/transport (join, notify, finger-query, key-lookup).
+// internal/transport (join, notify, finger-query, key-lookup, leave).
 //
 // Candidate discovery mirrors the simulator's chordSource: a requesting
 // peer samples M candidates by routing lookups of random keys — owners are
@@ -18,7 +18,9 @@
 // themselves, one finger-query per hop.
 //
 // A Peer implements the node.Discovery interface: Register joins the ring
-// (supplying peers are exactly the members), Unregister leaves it, and
+// (supplying peers are exactly the members), Unregister leaves it
+// gracefully — a chord-leave notice hands the key range to the successor,
+// so the ring is whole the instant the leaver goes — and
 // Candidates samples. The ring tolerates crashes: a dead member is evicted
 // from successor lists and finger tables as soon as an RPC to it fails,
 // and stabilization re-splices the ring around it — sessions keep
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,6 +112,11 @@ type Peer struct {
 	id  uint64
 
 	writeFails atomic.Int64
+	// Discovery-cost counters (see LookupStats): key lookups this peer
+	// initiated, the routing hops they cost, and Candidates sample rounds.
+	lookupCount atomic.Int64
+	hopCount    atomic.Int64
+	roundCount  atomic.Int64
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -221,6 +229,16 @@ func (p *Peer) Predecessor() *transport.ChordContact {
 // hung up while a response was in flight).
 func (p *Peer) WriteFailures() int64 { return p.writeFails.Load() }
 
+// LookupStats returns the peer's cumulative discovery-cost counters: key
+// lookups it initiated (Candidates draws and explicit LookupKey calls —
+// stabilization traffic is excluded), the total routing hops they cost
+// (delegated lookups report the hops the routing member expended), and
+// the number of Candidates sample rounds executed. The scenario harness
+// charts these alongside admission latency.
+func (p *Peer) LookupStats() (lookups, hops, sampleRounds int64) {
+	return p.lookupCount.Load(), p.hopCount.Load(), p.roundCount.Load()
+}
+
 // Register joins the ring as a supplying peer: reg.Addr is the overlay
 // (probe/session) address carried to candidates. With no bootstrap the
 // peer founds a new singleton ring; otherwise it routes a lookup of its
@@ -266,7 +284,7 @@ func (p *Peer) Register(reg transport.Register) error {
 			}
 			p.clk.Sleep(backoff)
 		}
-		succ, err := p.lookupVia(p.id)
+		succ, _, err := p.lookupVia(p.id)
 		if err != nil {
 			lastErr = err
 			continue
@@ -299,14 +317,26 @@ func (p *Peer) Register(reg transport.Register) error {
 	return fmt.Errorf("chordnet %s: join failed: %w", p.cfg.ID, lastErr)
 }
 
-// Unregister leaves the ring. The peer stops answering ring RPCs, so
-// neighbors evict it and stabilization splices the ring closed — the same
-// healing path a crash takes, minus the lost state.
+// Unregister leaves the ring gracefully: the peer hands its key range to
+// its successor with a chord-leave notice (the successor adopts the
+// leaver's predecessor, the predecessor splices the leaver's successor
+// list in place of the leaver), so the ring is whole the instant the
+// notices land — no staleness window, no stabilization round, no eviction
+// churn. Neighbors that cannot be reached fall back to the crash healing
+// path as before.
 func (p *Peer) Unregister(id string) error {
 	if id != p.cfg.ID {
 		return fmt.Errorf("chordnet %s: unregister for foreign id %q", p.cfg.ID, id)
 	}
 	p.mu.Lock()
+	wasJoined := p.joined
+	self := p.self
+	var pred *transport.ChordContact
+	if p.pred != nil {
+		c := *p.pred
+		pred = &c
+	}
+	succs := append([]transport.ChordContact(nil), p.succs...)
 	p.joined = false
 	p.pred = nil
 	p.succs, p.succIDs = nil, nil
@@ -315,6 +345,25 @@ func (p *Peer) Unregister(id string) error {
 	p.mu.Unlock()
 	if t != nil {
 		t.Stop()
+	}
+	if !wasJoined {
+		return nil
+	}
+	// Hand over: the same full snapshot goes to both neighbors (each uses
+	// the halves that apply), best effort — an unreachable neighbor heals
+	// around us like a crash.
+	notice := transport.ChordLeave{Peer: self, Predecessor: pred, Successors: succs}
+	var reply transport.ChordLeaveReply
+	for _, s := range succs {
+		if s.Name == self.Name {
+			continue
+		}
+		if p.call(s.Addr, transport.KindChordLeave, notice, transport.KindChordLeaveOK, &reply) == nil {
+			break // the live successor inherits the key range
+		}
+	}
+	if pred != nil && pred.Name != self.Name && (len(succs) == 0 || pred.Name != succs[0].Name) {
+		_ = p.call(pred.Addr, transport.KindChordLeave, notice, transport.KindChordLeaveOK, &reply)
 	}
 	return nil
 }
@@ -331,6 +380,7 @@ func (p *Peer) Candidates(m int, exclude string) ([]transport.Candidate, error) 
 	seen := map[string]bool{exclude: true, p.cfg.ID: true}
 	var out []transport.Candidate
 	for round := 0; round < sampleRounds && len(out) < m; round++ {
+		p.roundCount.Add(1)
 		need := m - len(out)
 		keys := make([]uint64, need)
 		p.mu.Lock()
@@ -413,23 +463,33 @@ func (p *Peer) bootstraps() []string {
 }
 
 // lookup routes one key: members walk the ring themselves, non-members
-// delegate the walk to a bootstrap member.
+// delegate the walk to a bootstrap member. Both paths feed the
+// discovery-cost counters.
 func (p *Peer) lookup(key uint64) (transport.ChordContact, error) {
 	p.mu.Lock()
 	joined := p.joined
 	p.mu.Unlock()
+	var owner transport.ChordContact
+	var hops int
+	var err error
 	if joined {
-		owner, _, err := p.findOwner(key)
-		return owner, err
+		owner, hops, err = p.findOwner(key)
+	} else {
+		owner, hops, err = p.lookupVia(key)
 	}
-	return p.lookupVia(key)
+	if err == nil {
+		p.lookupCount.Add(1)
+		p.hopCount.Add(int64(hops))
+	}
+	return owner, err
 }
 
-// lookupVia delegates a key lookup to the first answering bootstrap.
-func (p *Peer) lookupVia(key uint64) (transport.ChordContact, error) {
+// lookupVia delegates a key lookup to the first answering bootstrap,
+// returning the owner and the hops the routing member expended.
+func (p *Peer) lookupVia(key uint64) (transport.ChordContact, int, error) {
 	boots := p.bootstraps()
 	if len(boots) == 0 {
-		return transport.ChordContact{}, fmt.Errorf("chordnet %s: no bootstrap members", p.cfg.ID)
+		return transport.ChordContact{}, 0, fmt.Errorf("chordnet %s: no bootstrap members", p.cfg.ID)
 	}
 	var lastErr error
 	for _, addr := range boots {
@@ -437,11 +497,11 @@ func (p *Peer) lookupVia(key uint64) (transport.ChordContact, error) {
 		err := p.call(addr, transport.KindChordLookup, transport.ChordLookup{Key: key},
 			transport.KindChordLookupOK, &reply)
 		if err == nil {
-			return reply.Owner, nil
+			return reply.Owner, reply.Hops, nil
 		}
 		lastErr = err
 	}
-	return transport.ChordContact{}, fmt.Errorf("chordnet %s: no bootstrap answered: %w", p.cfg.ID, lastErr)
+	return transport.ChordContact{}, 0, fmt.Errorf("chordnet %s: no bootstrap answered: %w", p.cfg.ID, lastErr)
 }
 
 // findOwner iteratively routes a key from this member: one finger-query
@@ -764,6 +824,13 @@ func (p *Peer) handleConn(conn net.Conn) {
 			return
 		}
 		p.reply(conn, transport.KindChordNotifyOK, p.adopt(req.Peer))
+	case transport.KindChordLeave:
+		var req transport.ChordLeave
+		if err := env.Decode(&req); err != nil {
+			return
+		}
+		p.spliceLeave(req)
+		p.reply(conn, transport.KindChordLeaveOK, transport.ChordLeaveReply{})
 	default:
 		p.reply(conn, transport.KindError,
 			transport.Error{Message: fmt.Sprintf("chordnet %s: unexpected %s", p.cfg.ID, env.Kind)})
@@ -794,6 +861,64 @@ func (p *Peer) adopt(from transport.ChordContact) transport.ChordNotifyReply {
 	return transport.ChordNotifyReply{
 		Predecessor: prev,
 		Successors:  append([]transport.ChordContact(nil), p.succs...),
+	}
+}
+
+// spliceLeave applies a neighbor's graceful-departure notice: adopt its
+// predecessor if the leaver was ours (the key-range handover — we own its
+// arc from this instant), splice its successor list in place of the
+// leaver in ours, and repoint fingers at its inheritor. The ring is whole
+// immediately; nothing waits for stabilization.
+func (p *Peer) spliceLeave(req transport.ChordLeave) {
+	leaver := req.Peer.Name
+	if leaver == "" || leaver == p.self.Name {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pred != nil && p.pred.Name == leaver {
+		if x := req.Predecessor; x != nil && x.Name != leaver && x.Name != p.self.Name {
+			c := *x
+			p.pred = &c
+			p.predID = chord.HashKey(x.Name)
+		} else {
+			p.pred = nil
+		}
+	}
+	inSuccs := false
+	for _, s := range p.succs {
+		if s.Name == leaver {
+			inSuccs = true
+			break
+		}
+	}
+	if inSuccs {
+		merged := make([]transport.ChordContact, 0, len(p.succs)+len(req.Successors))
+		for _, s := range p.succs {
+			if s.Name != leaver {
+				merged = append(merged, s)
+			}
+		}
+		for _, s := range req.Successors {
+			if s.Name != leaver {
+				merged = append(merged, s)
+			}
+		}
+		// Nearest-first by clockwise distance from this peer, so the head
+		// of the rebuilt list is the true next ring neighbor.
+		sort.Slice(merged, func(i, j int) bool {
+			return chord.HashKey(merged[i].Name)-p.id < chord.HashKey(merged[j].Name)-p.id
+		})
+		p.setSuccessorsLocked(merged)
+	}
+	var inheritor transport.ChordContact
+	if len(req.Successors) > 0 && req.Successors[0].Name != p.self.Name {
+		inheritor = req.Successors[0]
+	}
+	for j := range p.fingers {
+		if p.fingers[j].Name == leaver {
+			p.setFingerLocked(j, inheritor) // the empty contact clears
+		}
 	}
 }
 

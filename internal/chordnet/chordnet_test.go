@@ -15,11 +15,12 @@ import (
 
 // fixture is one wire-level ring on a fresh virtual substrate.
 type fixture struct {
-	t     *testing.T
-	clk   *clock.Virtual
-	vnet  *netx.Virtual
-	peers map[string]*Peer
-	boot  []string // chord addresses of the founding members
+	t         *testing.T
+	clk       *clock.Virtual
+	vnet      *netx.Virtual
+	peers     map[string]*Peer
+	boot      []string      // chord addresses of the founding members
+	stabilize time.Duration // stabilization period (default 10ms)
 }
 
 func newFixture(t *testing.T) *fixture {
@@ -29,7 +30,10 @@ func newFixture(t *testing.T) *fixture {
 	t.Cleanup(stop)
 	vnet := netx.NewVirtual(clk, 1)
 	vnet.SetDefaultLink(netx.LinkConfig{Latency: 200 * time.Microsecond})
-	return &fixture{t: t, clk: clk, vnet: vnet, peers: make(map[string]*Peer)}
+	return &fixture{
+		t: t, clk: clk, vnet: vnet,
+		peers: make(map[string]*Peer), stabilize: 10 * time.Millisecond,
+	}
 }
 
 // addMember starts a peer on its own virtual host and joins it to the
@@ -53,7 +57,7 @@ func (f *fixture) newPeer(name string, class bandwidth.Class) *Peer {
 		Network:   f.vnet.Host(name),
 		Clock:     f.clk,
 		Seed:      int64(len(f.peers) + 1),
-		Stabilize: 10 * time.Millisecond,
+		Stabilize: f.stabilize,
 	})
 	if err != nil {
 		f.t.Fatalf("new %s: %v", name, err)
@@ -66,14 +70,19 @@ func (f *fixture) newPeer(name string, class bandwidth.Class) *Peer {
 	return p
 }
 
-// waitFor polls a condition under virtual time.
+// waitFor polls a condition under virtual time, scaling the budget to the
+// fixture's stabilization period.
 func (f *fixture) waitFor(cond func() bool, what string) {
 	f.t.Helper()
+	step := f.stabilize / 2
+	if step < 10*time.Millisecond {
+		step = 10 * time.Millisecond
+	}
 	for i := 0; i < 200; i++ {
 		if cond() {
 			return
 		}
-		f.clk.Sleep(10 * time.Millisecond)
+		f.clk.Sleep(step)
 	}
 	f.t.Fatalf("timed out waiting for %s", what)
 }
@@ -304,6 +313,107 @@ func TestUnregisterLeavesRing(t *testing.T) {
 	}
 	if want := ownerOf(rest, k); owner.Name != want {
 		t.Errorf("owner after leave = %s, want %s", owner.Name, want)
+	}
+}
+
+// TestGracefulLeaveClosesStalenessWindow is the regression test for the
+// chord-leave handover: with stabilization far too slow to help (500ms
+// period), a graceful leave must splice the ring by itself — the successor
+// inherits the leaver's key range and predecessor, the predecessor's
+// successor head advances, and every member resolves every key against
+// the shrunken membership immediately, not one stabilization round later.
+func TestGracefulLeaveClosesStalenessWindow(t *testing.T) {
+	f2 := newFixture(t)
+	f2.stabilize = 500 * time.Millisecond
+	members := []string{"a", "b", "c", "d", "e"}
+	for _, m := range members {
+		f2.addMember(m, 1)
+	}
+	f2.waitFor(func() bool { return ringHealthy(f2.peers, members) }, "slow-ring stabilization")
+
+	leaver := "c"
+	rest := []string{"a", "b", "d", "e"}
+	succName := ownerOf(members, chord.HashKey(leaver)+1)
+	var predName string
+	for _, m := range members {
+		if ownerOf(members, chord.HashKey(m)+1) == leaver {
+			predName = m
+		}
+	}
+	left := f2.clk.Now()
+	if err := f2.peers[leaver].Unregister(leaver); err != nil {
+		t.Fatal(err)
+	}
+
+	// The splice is visible at the neighbors immediately (the leave RPCs
+	// cost two link latencies, not a 500ms stabilization round).
+	succs := f2.peers[predName].Successors()
+	if len(succs) == 0 || succs[0].Name != succName {
+		t.Fatalf("predecessor %s's successor head = %v, want %s", predName, succs, succName)
+	}
+	for _, s := range succs {
+		if s.Name == leaver {
+			t.Fatalf("leaver still in predecessor's successor list: %v", succs)
+		}
+	}
+	if pred := f2.peers[succName].Predecessor(); pred == nil || pred.Name != predName {
+		t.Fatalf("successor %s's predecessor = %v, want %s", succName, pred, predName)
+	}
+
+	// Members resolve keys against the shrunken ring, now.
+	for _, m := range []string{predName, succName} {
+		for k := 0; k < 8; k++ {
+			key := chord.HashKey(fmt.Sprintf("leave-%d", k))
+			owner, err := f2.peers[m].LookupKey(key)
+			if err != nil {
+				t.Fatalf("%s lookup right after leave: %v", m, err)
+			}
+			if want := ownerOf(rest, key); owner.Name != want {
+				t.Errorf("%s: owner of %d = %s, want %s", m, key, owner.Name, want)
+			}
+		}
+	}
+	if waited := f2.clk.Since(left); waited >= 500*time.Millisecond {
+		t.Fatalf("assertions took %v of virtual time; stabilization could have healed the ring", waited)
+	}
+}
+
+// TestLookupStats: the discovery-cost counters track candidate sampling
+// on both the member walk and the delegated non-member path.
+func TestLookupStats(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"s0", "s1", "s2", "s3"}
+	for _, m := range members {
+		f.addMember(m, 1)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
+
+	r := f.newPeer("req", 1) // non-member: delegated lookups
+	if _, err := r.Candidates(3, ""); err != nil {
+		t.Fatal(err)
+	}
+	lookups, hops, rounds := r.LookupStats()
+	if lookups == 0 {
+		t.Error("non-member sampled candidates without counting lookups")
+	}
+	if rounds == 0 {
+		t.Error("no sample rounds counted")
+	}
+	if hops < 0 {
+		t.Errorf("negative hops %d", hops)
+	}
+
+	m := f.peers["s0"]
+	before, _, beforeRounds := m.LookupStats()
+	if _, err := m.Candidates(2, "s0"); err != nil {
+		t.Fatal(err)
+	}
+	after, _, afterRounds := m.LookupStats()
+	if after <= before {
+		t.Errorf("member lookups went %d -> %d across a Candidates call", before, after)
+	}
+	if afterRounds <= beforeRounds {
+		t.Errorf("member rounds went %d -> %d", beforeRounds, afterRounds)
 	}
 }
 

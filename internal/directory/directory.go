@@ -38,6 +38,7 @@ type Server struct {
 	OnWriteError func(kind transport.Kind, err error)
 
 	writeFails atomic.Int64
+	stats      struct{ registers, refreshes, unregisters, lookups atomic.Int64 }
 
 	mu    sync.Mutex
 	dir   *lookup.Directory[string]
@@ -132,6 +133,29 @@ func (s *Server) Close() error {
 // hung up while the response was in flight). See OnWriteError.
 func (s *Server) WriteFailures() int64 { return s.writeFails.Load() }
 
+// Stats describes one directory server's request counters — with a sharded
+// registry, per-shard stats show how the consistent-hash ring spread keys
+// and load across the shard set.
+type Stats struct {
+	// Registers counts first-time registrations; Refreshes counts
+	// lease-style re-registrations of an already-known peer.
+	Registers, Refreshes int64
+	// Unregisters counts withdrawals (of registered peers only).
+	Unregisters int64
+	// Lookups counts candidate queries served.
+	Lookups int64
+}
+
+// Stats returns the server's request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Registers:   s.stats.registers.Load(),
+		Refreshes:   s.stats.refreshes.Load(),
+		Unregisters: s.stats.unregisters.Load(),
+		Lookups:     s.stats.lookups.Load(),
+	}
+}
+
 // handle serves one request/response exchange. The whole exchange runs
 // under one deadline: a client that connects and never writes (or never
 // reads its reply) is cut off instead of pinning this goroutine — and
@@ -192,10 +216,23 @@ func (s *Server) register(req transport.Register) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if req.Refresh && s.dir.Contains(req.ID) {
+		// Lease refresh of a known peer: re-registering is how a supplier
+		// survives a registry shard that crashed and came back empty, so
+		// the newest address and class simply replace the entry.
+		s.dir.Unregister(req.ID)
+		if err := s.dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
+			return err
+		}
+		s.addrs[req.ID] = req.Addr
+		s.stats.refreshes.Add(1)
+		return nil
+	}
 	if err := s.dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
 		return err
 	}
 	s.addrs[req.ID] = req.Addr
+	s.stats.registers.Add(1)
 	return nil
 }
 
@@ -204,10 +241,12 @@ func (s *Server) unregister(id string) {
 	defer s.mu.Unlock()
 	if s.dir.Unregister(id) {
 		delete(s.addrs, id)
+		s.stats.unregisters.Add(1)
 	}
 }
 
 func (s *Server) lookup(req transport.Lookup) transport.Candidates {
+	s.stats.lookups.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := req.M

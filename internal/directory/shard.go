@@ -1,0 +1,330 @@
+// Sharded directory discovery: the centralized registry split across
+// several Server instances by consistent hashing, behind the very same
+// node.Discovery interface the single server and the chord ring implement.
+//
+// A ShardRing places every shard at a set of deterministic positions on
+// the 64-bit identifier circle shared with internal/chord (chord.HashKey);
+// a supplier key is owned by the shard whose position is the key's
+// successor (chord.InHalfOpen). A ShardedClient routes Register and
+// Unregister to the owning shard and fans Candidates out across all
+// shards, merging and deduplicating down to the paper's M samples. Shards
+// fail independently: a dead shard costs candidate diversity, never the
+// lookup — and because registrations are lease-style (periodically
+// re-sent with Register.Refresh), a shard that crashed and returned with
+// an empty registry is repopulated within one refresh interval.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pstream/internal/chord"
+	"p2pstream/internal/clock"
+	"p2pstream/internal/netx"
+	"p2pstream/internal/transport"
+)
+
+// shardReplicas is the number of virtual points each shard owns on the
+// identifier circle. A single point per shard makes arc lengths — and so
+// key load — wildly uneven for small shard counts; spreading each shard
+// over many points flattens the spread (the classic consistent-hashing
+// virtual-node trick).
+const shardReplicas = 16
+
+// defaultRefresh is the lease re-registration period of a ShardedClient.
+// Live TCP deployments refresh every few seconds; scenario runs on the
+// virtual clock pass an explicit faster interval.
+const defaultRefresh = 2 * time.Second
+
+// ShardRing deterministically maps supplier keys to registry shards by
+// consistent hashing on the chord identifier circle. Every client builds
+// the same ring from the same shard count, so routing needs no
+// coordination service. The zero value is unusable; use NewShardRing.
+type ShardRing struct {
+	n      int
+	points []shardPoint // sorted by ring position
+}
+
+type shardPoint struct {
+	pos   uint64
+	shard int
+}
+
+// NewShardRing returns the canonical ring over n shards (numbered 0..n-1).
+func NewShardRing(n int) (*ShardRing, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("directory: shard ring needs >= 1 shard, got %d", n)
+	}
+	r := &ShardRing{n: n, points: make([]shardPoint, 0, n*shardReplicas)}
+	seen := make(map[uint64]bool, n*shardReplicas)
+	for shard := 0; shard < n; shard++ {
+		for rep := 0; rep < shardReplicas; rep++ {
+			pos := chord.HashKey(fmt.Sprintf("shard-%d/%d", shard, rep))
+			if seen[pos] {
+				continue // astronomically unlikely; first point keeps the arc
+			}
+			seen[pos] = true
+			r.points = append(r.points, shardPoint{pos: pos, shard: shard})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	return r, nil
+}
+
+// Shards returns the number of shards.
+func (r *ShardRing) Shards() int { return r.n }
+
+// Owner returns the shard that owns key: the shard of the first ring point
+// at or clockwise past chord.HashKey(key), exactly the successor rule of
+// the chord substrate.
+func (r *ShardRing) Owner(key string) int {
+	h := chord.HashKey(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if idx == len(r.points) {
+		idx = 0 // wrapped: the smallest point owns the top arc
+	}
+	return r.points[idx].shard
+}
+
+// Owns reports whether the ring point at index i owns identifier h — the
+// chord.InHalfOpen(h, predecessor, point] ownership test. It exists for
+// tests and diagnostics; Owner is the routing entry point.
+func (r *ShardRing) Owns(i int, h uint64) bool {
+	prev := r.points[(i-1+len(r.points))%len(r.points)].pos
+	return chord.InHalfOpen(h, prev, r.points[i].pos)
+}
+
+// ShardedConfig parameterizes a sharded directory client.
+type ShardedConfig struct {
+	// Addrs are the shard server addresses, in shard order. Every client
+	// of one deployment must list the same addresses in the same order —
+	// the ring maps keys to indices of this slice.
+	Addrs []string
+	// Network provides connections (nil means real TCP).
+	Network netx.Network
+	// Clock schedules lease refreshes (nil means the wall clock).
+	Clock clock.Clock
+	// Refresh is the lease re-registration period (default 2s). Each
+	// refresh re-sends every live registration to its owning shard with
+	// Register.Refresh set, repopulating shards that crashed and returned.
+	Refresh time.Duration
+	// Seed drives the deterministic down-sampling of merged candidates.
+	Seed int64
+}
+
+// ShardedClient is the sharded realization of node.Discovery: consistent-
+// hash routing for registrations, all-shard fan-out for candidates, and
+// per-shard failure isolation. Create with NewShardedClient; the owning
+// node Closes it.
+type ShardedClient struct {
+	ring    *ShardRing
+	shards  []*Client
+	clk     clock.Clock
+	refresh time.Duration
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	regs   map[string]transport.Register // live registrations by peer ID
+	timer  clock.Timer
+	closed bool
+	wg     sync.WaitGroup
+	// sendMu serializes lease re-sends with Unregister's withdrawal RPC:
+	// without it, a refresh that snapshotted a registration could re-send
+	// it after the withdrawal landed, re-registering the departed peer on
+	// a server that only ever forgets entries via unregister.
+	sendMu sync.Mutex
+}
+
+// NewShardedClient returns a discovery client over the given shard set.
+func NewShardedClient(cfg ShardedConfig) (*ShardedClient, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("directory: sharded client needs at least one shard address")
+	}
+	for i, a := range cfg.Addrs {
+		if a == "" {
+			return nil, fmt.Errorf("directory: shard %d has an empty address", i)
+		}
+	}
+	ring, err := NewShardRing(len(cfg.Addrs))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Refresh <= 0 {
+		cfg.Refresh = defaultRefresh
+	}
+	c := &ShardedClient{
+		ring:    ring,
+		shards:  make([]*Client, len(cfg.Addrs)),
+		clk:     clock.Or(cfg.Clock),
+		refresh: cfg.Refresh,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		regs:    make(map[string]transport.Register),
+	}
+	for i, a := range cfg.Addrs {
+		c.shards[i] = NewClientOn(cfg.Network, a)
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *ShardedClient) Shards() int { return c.ring.Shards() }
+
+// OwnerOf returns the shard index that owns the given peer ID.
+func (c *ShardedClient) OwnerOf(id string) int { return c.ring.Owner(id) }
+
+// Register announces a supplying peer to the shard owning its ID and
+// starts the lease: the registration is re-sent every refresh interval
+// until Unregister or Close, so a shard that crashes and returns empty
+// learns the peer again without any action from the node. The first send's
+// error is returned — but the lease is live regardless, and a registration
+// that failed against a momentarily dead shard lands at the next refresh.
+func (c *ShardedClient) Register(reg transport.Register) error {
+	reg.Refresh = true // lease semantics: a re-send must upsert, not collide
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("directory: sharded client closed")
+	}
+	c.regs[reg.ID] = reg
+	c.armRefreshLocked()
+	c.mu.Unlock()
+	return c.shards[c.ring.Owner(reg.ID)].Register(reg)
+}
+
+// Unregister withdraws the peer: the lease stops and the owning shard is
+// told. An unreachable shard makes the withdrawal behave like a crash —
+// the stale entry lingers until the shard itself goes.
+func (c *ShardedClient) Unregister(id string) error {
+	c.mu.Lock()
+	delete(c.regs, id)
+	if len(c.regs) == 0 && c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.mu.Unlock()
+	// Under sendMu: an in-flight lease refresh either re-sent this
+	// registration already (the withdrawal below wins) or will re-check
+	// c.regs after we release (and skip it).
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.shards[c.ring.Owner(id)].Unregister(id)
+}
+
+// Candidates samples up to m distinct candidates by fanning the lookup out
+// to every shard in parallel and merging the replies. A shard that fails
+// contributes nothing — candidate diversity degrades, the lookup still
+// answers. Only when every shard fails is the error surfaced (the sweep
+// retries). More than m merged candidates are down-sampled uniformly at
+// random, so the result remains the paper's "M randomly selected
+// candidate supplying peers".
+func (c *ShardedClient) Candidates(m int, exclude string) ([]transport.Candidate, error) {
+	if m <= 0 {
+		return nil, nil
+	}
+	replies := make([][]transport.Candidate, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replies[i], errs[i] = c.shards[i].Lookup(m, exclude)
+		}()
+	}
+	wg.Wait()
+	var merged []transport.Candidate
+	seen := make(map[string]bool)
+	failed := 0
+	var lastErr error
+	for i, peers := range replies {
+		if errs[i] != nil {
+			failed++
+			lastErr = errs[i]
+			continue
+		}
+		for _, p := range peers {
+			if p.ID == exclude || seen[p.ID] {
+				continue
+			}
+			seen[p.ID] = true
+			merged = append(merged, p)
+		}
+	}
+	if failed == len(c.shards) {
+		return nil, fmt.Errorf("directory: all %d shards failed: %w", failed, lastErr)
+	}
+	if len(merged) > m {
+		c.mu.Lock()
+		c.rng.Shuffle(len(merged), func(i, j int) { merged[i], merged[j] = merged[j], merged[i] })
+		c.mu.Unlock()
+		merged = merged[:m]
+	}
+	return merged, nil
+}
+
+// Close stops the lease timer and releases the client. In-flight refresh
+// sends are waited out; the per-shard clients are connectionless.
+func (c *ShardedClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	t := c.timer
+	c.timer = nil
+	c.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// armRefreshLocked schedules the next lease refresh (idempotent while one
+// is pending). The refresh itself runs on a fresh goroutine: clock
+// callbacks must never block, and a refresh blocks on RPC round trips.
+func (c *ShardedClient) armRefreshLocked() {
+	if c.closed || c.timer != nil || len(c.regs) == 0 {
+		return
+	}
+	c.timer = c.clk.AfterFunc(c.refresh, func() {
+		c.mu.Lock()
+		c.timer = nil
+		if c.closed || len(c.regs) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		regs := make([]transport.Register, 0, len(c.regs))
+		for _, r := range c.regs {
+			regs = append(regs, r)
+		}
+		sort.Slice(regs, func(i, j int) bool { return regs[i].ID < regs[j].ID })
+		c.wg.Add(1)
+		c.armRefreshLocked()
+		c.mu.Unlock()
+		go func() {
+			defer c.wg.Done()
+			for _, r := range regs {
+				// Re-check liveness and send under sendMu, so a concurrent
+				// Unregister cannot land between the check and the send and
+				// leave the peer permanently re-registered. Best effort
+				// beyond that: a dead shard's refresh fails silently and
+				// lands when the shard returns.
+				c.sendMu.Lock()
+				c.mu.Lock()
+				_, live := c.regs[r.ID]
+				c.mu.Unlock()
+				if live {
+					_ = c.shards[c.ring.Owner(r.ID)].Register(r)
+				}
+				c.sendMu.Unlock()
+			}
+		}()
+	})
+}

@@ -1,12 +1,14 @@
 package node
 
 import (
+	"errors"
 	"net"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"p2pstream/internal/dac"
+	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
 	"p2pstream/internal/transport"
 )
@@ -58,6 +60,50 @@ func TestDiscoveryReplacesDirectoryAddr(t *testing.T) {
 	}
 	if disc.closed.Load() != 1 {
 		t.Errorf("Close closed the Discovery %d times, want 1", disc.closed.Load())
+	}
+}
+
+// registerFailDiscovery delegates to a real discovery backend but fails
+// every Register — the world a peer sees when its own registry shard is
+// down right as it finishes a session.
+type registerFailDiscovery struct {
+	Discovery
+}
+
+func (d *registerFailDiscovery) Register(transport.Register) error {
+	return errors.New("owner shard down")
+}
+
+// TestRequestUntilAdmittedServedWithoutRegistration: a session that
+// completes with only the post-session registration failing must surface
+// its report alongside the error — the node holds the file and supplies
+// locally (a sharded client's lease re-registers it later), and dropping
+// the report would make the caller discard a served session.
+func TestRequestUntilAdmittedServedWithoutRegistration(t *testing.T) {
+	c := newCluster(t)
+	c.seed("seed1", 1)
+	c.seed("seed2", 1)
+	cfg := c.config("peer1", 1)
+	cfg.Discovery = &registerFailDiscovery{
+		Discovery: directory.NewClientOn(c.net.Host("peer1"), c.dirAddr),
+	}
+	req := c.start(NewRequester(cfg))
+
+	report, err := req.RequestUntilAdmitted(5)
+	if err == nil {
+		t.Fatal("registration failure vanished")
+	}
+	if report == nil {
+		t.Fatal("served session's report discarded because registration failed")
+	}
+	if len(report.Suppliers) != 2 {
+		t.Errorf("suppliers = %d, want 2", len(report.Suppliers))
+	}
+	if !req.Store().Complete() {
+		t.Error("store incomplete after a served session")
+	}
+	if !req.Supplying() {
+		t.Error("node should supply locally while its registration is pending")
 	}
 }
 

@@ -108,7 +108,16 @@ func (n *Node) RequestUntilAdmitted(maxAttempts int) (*SessionReport, error) {
 			return report, nil
 		}
 		if !errors.Is(err, ErrRejected) {
-			return nil, err
+			// The session may have completed with only the post-session
+			// registration failing (a sharded registry's owner shard can be
+			// down right then; the lease re-registers when it returns).
+			// Surface the report with the error: the node holds the file
+			// and supplies locally, and the caller decides how hard the
+			// missing registration is.
+			if report != nil {
+				report.Rejections = rejections
+			}
+			return report, err
 		}
 		rejections++
 		if attempt == maxAttempts {

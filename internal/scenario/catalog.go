@@ -32,6 +32,9 @@ func Catalog() []Spec {
 		decentralizedLookup(),
 		directoryCrash(),
 		chordChurn(),
+		shardedLookup(),
+		shardCrash(),
+		shardRejoin(),
 	}
 }
 
@@ -304,6 +307,81 @@ func chordChurn() Spec {
 			{At: 480 * time.Millisecond, Action: Leave, Node: "n0"},
 			{At: 600 * time.Millisecond, Action: Join, Node: "n5", Class: 1},
 			{At: 700 * time.Millisecond, Action: Join, Node: "s3", Class: 1},
+		},
+	}
+}
+
+// The sharded-directory scenarios split the registry over three shard
+// servers by consistent hashing (Spec.DirectoryShards). The peer IDs are
+// chosen so the deterministic ShardRing spreads seeds and requesters over
+// all three shards: s5 and n0 hash to shard 0, s1 and n4 to shard 1, r3
+// and n1/n2/n3 to shard 2 (asserted by the detail tests, so a hash change
+// cannot silently invalidate the designs).
+
+// shardedLookup is the sharded steady state: every Register lands on the
+// owning shard, every Candidates call fans out across all three, and
+// every session completes byte-exact within n·δt — sharding the registry
+// costs nothing when nothing fails.
+func shardedLookup() Spec {
+	return Spec{
+		Name:            "sharded-lookup",
+		Stresses:        "consistent-hash registry sharding in steady state: owner-routed registrations, fan-out lookups, three shards, zero losses",
+		DirectoryShards: 3,
+		Seeds:           []Peer{{ID: "s1", Class: 1}, {ID: "s5", Class: 1}, {ID: "r3", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 60 * time.Millisecond},
+			{ID: "n2", Class: 2, Start: 120 * time.Millisecond},
+			{ID: "n3", Class: 1, Start: 180 * time.Millisecond},
+			{ID: "n4", Class: 2, Start: 240 * time.Millisecond},
+		},
+	}
+}
+
+// shardCrash kills registry shard 2 mid-run: the seed it holds (r3) and
+// every supplier hashing there turn invisible, so candidate diversity
+// degrades — but lookups keep answering from the surviving shards and
+// every session completes. Per-shard failure isolation, end to end.
+func shardCrash() Spec {
+	return Spec{
+		Name:            "shard-crash",
+		Stresses:        "a mid-run registry shard kill: candidate diversity degrades, lookups and sessions never fail",
+		DirectoryShards: 3,
+		Seeds:           []Peer{{ID: "s1", Class: 1}, {ID: "s5", Class: 1}, {ID: "r3", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n2", Class: 1, Start: 40 * time.Millisecond}, // mid-session at the kill; owned by the dying shard
+			{ID: "n4", Class: 1, Start: 150 * time.Millisecond},
+			{ID: "n8", Class: 2, Start: 220 * time.Millisecond},
+			{ID: "n5", Class: 2, Start: 290 * time.Millisecond},
+		},
+		Churn: []ChurnEvent{
+			{At: 70 * time.Millisecond, Action: Crash, Node: ShardHost(2)},
+		},
+	}
+}
+
+// shardRejoin crashes shard 2 and brings it back: the reborn server
+// starts empty, and the clients' lease re-registrations repopulate it
+// within one refresh interval — suppliers lost to the crash (the seed r3,
+// the served requester n1) are discoverable again without any node-level
+// action, and post-rejoin arrivals see full candidate diversity.
+func shardRejoin() Spec {
+	return Spec{
+		Name:            "shard-rejoin",
+		Stresses:        "registry shard crash + rebirth: an empty reborn shard repopulated by lease re-registration, diversity recovered",
+		DirectoryShards: 3,
+		Seeds:           []Peer{{ID: "s1", Class: 1}, {ID: "s5", Class: 1}, {ID: "r3", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 60 * time.Millisecond}, // completes during the outage; its registration rides the lease
+			{ID: "n2", Class: 2, Start: 140 * time.Millisecond},
+			{ID: "n3", Class: 1, Start: 400 * time.Millisecond},
+			{ID: "n4", Class: 2, Start: 480 * time.Millisecond},
+		},
+		Churn: []ChurnEvent{
+			{At: 80 * time.Millisecond, Action: Crash, Node: ShardHost(2)},
+			{At: 320 * time.Millisecond, Action: Join, Node: ShardHost(2)},
 		},
 	}
 }

@@ -50,34 +50,136 @@ type workItem struct {
 	revive bool
 }
 
+// shardRefresh is the lease re-registration period of sharded discovery
+// clients on the virtual clock: short enough that a reborn shard is
+// repopulated within one churn beat, long enough not to dominate traffic.
+const shardRefresh = 40 * time.Millisecond
+
 // harness is the running state of one scenario execution.
 type harness struct {
 	spec    *Spec
 	clk     *clock.Virtual
 	net     *netx.Virtual
-	dir     *directory.Server // nil under pure chord discovery
-	dirAddr string
+	dirAddr string // shard 0's address (the single server's, unsharded)
 
 	// suppliers is the chord backend's supplier census (the directory
-	// backend reads dir.Len() instead): seeds at boot plus served
-	// requesters, minus graceful leavers. Crashed peers stay counted, the
-	// same staleness the directory exhibits.
+	// backend reads the shard registries instead): seeds at boot plus
+	// served requesters, minus graceful leavers. Crashed peers stay
+	// counted, the same staleness the directory exhibits.
 	suppliers atomic.Int64
 
 	mu    sync.Mutex
+	done  bool     // the run is over; late shard rebirths must not leak servers
 	boots []string // chord addresses of the seed ring members
 	nodes map[string]*node.Node
+	// shards holds the directory registry shard servers (len 1 unless
+	// DirectoryShards; nil under pure chord discovery). A crashed shard's
+	// slot keeps its fixed address and goes !shardUp until a churn Join
+	// boots a fresh, empty server on the same address.
+	shards     []*directory.Server
+	shardAddrs []string
+	shardUp    []bool
 }
 
 // chordBacked reports whether the scenario runs chord discovery.
 func (h *harness) chordBacked() bool { return h.spec.Discovery == BackendChord }
 
-// supplierLevel is the current supplier count of the discovery substrate.
+// supplierLevel is the current supplier count of the discovery substrate:
+// the chord census, or the live shard registries summed (a dead shard's
+// suppliers are invisible — exactly what its clients experience).
 func (h *harness) supplierLevel() int {
 	if h.chordBacked() {
 		return int(h.suppliers.Load())
 	}
-	return h.dir.Len()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for i, s := range h.shards {
+		if h.shardUp[i] {
+			total += s.Len()
+		}
+	}
+	return total
+}
+
+// shardSuppliers snapshots each shard's registry size (0 when down).
+func (h *harness) shardSuppliers() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, len(h.shards))
+	for i, s := range h.shards {
+		if h.shardUp[i] {
+			out[i] = s.Len()
+		}
+	}
+	return out
+}
+
+// shardSeed derives shard i's candidate-sampling seed; generation bumps it
+// when a crashed shard is reborn (a fresh server must not replay the dead
+// one's sampling stream).
+func (h *harness) shardSeed(i, generation int) int64 {
+	return h.spec.Seed + int64(i)*1009 + int64(generation)*500009
+}
+
+// bootShard starts registry shard i. The first boot listens on a fresh
+// port; a rebirth (generation > 0) re-listens on the shard's fixed
+// address, where every client's ring still routes.
+func (h *harness) bootShard(i, generation int) error {
+	srv := directory.NewServer(h.shardSeed(i, generation))
+	addr := ":0"
+	if generation > 0 {
+		h.mu.Lock()
+		addr = h.shardAddrs[i]
+		h.mu.Unlock()
+	}
+	l, err := h.net.Host(ShardHost(i)).Listen(addr)
+	if err != nil {
+		return fmt.Errorf("shard %d listen: %w", i, err)
+	}
+	go srv.Serve(l)
+	h.mu.Lock()
+	if h.done {
+		// A rebirth scheduled near the end of the run lost the race
+		// against teardown; Close is safe against a concurrent Serve.
+		h.mu.Unlock()
+		srv.Close()
+		return nil
+	}
+	h.shards[i] = srv
+	h.shardAddrs[i] = l.Addr().String()
+	h.shardUp[i] = true
+	h.mu.Unlock()
+	return nil
+}
+
+// crashShard hard-kills registry shard i: the host drops off the network
+// (listeners close, connections reset) and the registry state dies with
+// the server. Runs from a clock callback; the blocking close is deferred
+// to a fresh goroutine.
+func (h *harness) crashShard(i int) {
+	h.mu.Lock()
+	srv := h.shards[i]
+	h.shardUp[i] = false
+	h.mu.Unlock()
+	h.net.SetDown(ShardHost(i))
+	if srv != nil {
+		go srv.Close()
+	}
+}
+
+// reviveShard brings a crashed shard back: the host revives and a fresh
+// server — empty, like any process restarted after losing its in-memory
+// state — listens on the shard's fixed address. The clients' lease
+// re-registrations repopulate it within one refresh interval.
+func (h *harness) reviveShard(i int) {
+	h.net.SetUp(ShardHost(i))
+	if err := h.bootShard(i, 1); err != nil {
+		// The address is fixed and the host just revived; failure here
+		// means the harness itself is broken, and the scenario's
+		// invariant checks will surface the dead shard.
+		return
+	}
 }
 
 // bootstraps snapshots the seed ring addresses.
@@ -89,10 +191,14 @@ func (h *harness) bootstraps() []string {
 
 // newNode builds one peer: under chord discovery it first starts the
 // peer's ring endpoint (seeds become the bootstrap members, in boot
-// order — the first seed founds the ring).
-func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, error) {
+// order — the first seed founds the ring; the endpoint is also returned
+// so the caller can snapshot its discovery-cost counters), and under a
+// sharded directory it builds the peer's consistent-hash sharded client.
+func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, *chordnet.Peer, error) {
 	cfg := h.config(p, seed)
-	if h.chordBacked() {
+	var chordPeer *chordnet.Peer
+	switch {
+	case h.chordBacked():
 		cp, err := chordnet.New(chordnet.Config{
 			ID:        p.ID,
 			Class:     p.Class,
@@ -103,17 +209,35 @@ func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, error) {
 			Stabilize: h.spec.ChordStabilize,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := cp.Start(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Discovery = cp
+		chordPeer = cp
 		if isSeed {
 			h.mu.Lock()
 			h.boots = append(h.boots, cp.Addr())
 			h.mu.Unlock()
 		}
+	case len(h.shards) > 1:
+		// Snapshot the addresses under the lock: a shard rebirth rewrites
+		// its (value-identical) slot concurrently.
+		h.mu.Lock()
+		addrs := append([]string(nil), h.shardAddrs...)
+		h.mu.Unlock()
+		sc, err := directory.NewShardedClient(directory.ShardedConfig{
+			Addrs:   addrs,
+			Network: h.net.Host(p.ID),
+			Clock:   h.clk,
+			Refresh: shardRefresh,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Discovery = sc
 	}
 	var n *node.Node
 	var err error
@@ -123,11 +247,13 @@ func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, error) {
 		n, err = node.NewRequester(cfg)
 	}
 	if err != nil && cfg.Discovery != nil {
-		// The node never took ownership of the started chord peer; stop
-		// its listener and stabilization loop instead of leaking them.
+		// The node never took ownership of the started discovery backend
+		// (a chord peer has a listener and a stabilization loop, a sharded
+		// client a lease timer); stop it instead of leaking it.
 		cfg.Discovery.Close()
+		return nil, nil, err
 	}
-	return n, err
+	return n, chordPeer, err
 }
 
 // Run executes the scenario on a fresh virtual substrate and returns its
@@ -160,22 +286,27 @@ func Run(spec Spec) (*Report, error) {
 		nodes: make(map[string]*node.Node),
 	}
 	// Chord discovery needs no directory at all; a scenario may still ask
-	// for one (KeepDirectory) purely to crash it and prove the point.
+	// for one (KeepDirectory) purely to crash it and prove the point. The
+	// directory backend boots shardCount registry shards (1 = the plain
+	// centralized server).
 	if spec.Discovery != BackendChord || spec.KeepDirectory {
-		dirSrv := directory.NewServer(spec.Seed)
-		dl, err := vnet.Host(DirectoryHost).Listen(":0")
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: directory listen: %w", spec.Name, err)
+		n := spec.shardCount()
+		h.shards = make([]*directory.Server, n)
+		h.shardAddrs = make([]string, n)
+		h.shardUp = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if err := h.bootShard(i, 0); err != nil {
+				h.closeShards()
+				return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+			}
 		}
-		go dirSrv.Serve(dl)
-		defer dirSrv.Close()
-		h.dir = dirSrv
-		h.dirAddr = dl.Addr().String()
+		defer h.closeShards()
+		h.dirAddr = h.shardAddrs[0]
 	}
 	defer h.closeAll()
 
 	for i, p := range spec.Seeds {
-		n, err := h.newNode(p, int64(i+1), true)
+		n, _, err := h.newNode(p, int64(i+1), true)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
 		}
@@ -211,14 +342,28 @@ func Run(spec Spec) (*Report, error) {
 	}
 	for _, ev := range spec.Churn {
 		ev := ev
+		shard := -1
+		if spec.shardCount() > 1 {
+			shard = spec.shardIndex(ev.Node)
+		}
 		switch ev.Action {
 		case Crash:
+			if shard >= 0 {
+				clk.AfterFunc(ev.At, func() { h.crashShard(shard) })
+				continue
+			}
 			clk.AfterFunc(ev.At, func() { vnet.SetDown(ev.Node) })
 		case Leave:
 			// Close blocks on connection handlers; never block the
 			// clock's advancing goroutine.
 			clk.AfterFunc(ev.At, func() { go h.closeNode(ev.Node) })
 		case Join:
+			if shard >= 0 {
+				// Rebirth of a crashed registry shard, not a peer: a fresh
+				// empty server re-listens on the shard's fixed address.
+				clk.AfterFunc(ev.At, func() { go h.reviveShard(shard) })
+				continue
+			}
 			work = append(work, workItem{
 				Peer:   Peer{ID: ev.Node, Class: ev.Class, Start: ev.At},
 				seed:   int64(2000 + len(work)),
@@ -239,7 +384,20 @@ func Run(spec Spec) (*Report, error) {
 	wg.Wait()
 	elapsed := clk.Since(base)
 
-	return buildReport(spec, results, elapsed, h.supplierLevel()), nil
+	return buildReport(spec, results, elapsed, h.supplierLevel(), h.shardSuppliers()), nil
+}
+
+// closeShards shuts every live registry shard down.
+func (h *harness) closeShards() {
+	h.mu.Lock()
+	h.done = true
+	shards := append([]*directory.Server(nil), h.shards...)
+	h.mu.Unlock()
+	for _, s := range shards {
+		if s != nil {
+			s.Close()
+		}
+	}
 }
 
 // runRequester drives one requesting peer from its arrival to completion
@@ -258,7 +416,7 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 		res.Err = err
 		return res
 	}
-	n, err := h.newNode(w.Peer, w.seed, false)
+	n, chordPeer, err := h.newNode(w.Peer, w.seed, false)
 	if err != nil {
 		return fail(err)
 	}
@@ -270,6 +428,9 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	report, attempts, err := RequestUntilHeld(h.clk, n, h.spec.MaxAttempts, h.spec.Retry)
 	res.Done = h.clk.Since(base)
 	res.Attempts = attempts
+	if chordPeer != nil {
+		res.Lookups, res.LookupHops, res.SampleRounds = chordPeer.LookupStats()
+	}
 	if err != nil {
 		res.Err = err
 		return res

@@ -34,11 +34,17 @@ type NodeResult struct {
 	TheoremOK  bool
 	StoreOK    bool
 	// SupplierLevel is the discovery substrate's supplier count right
-	// after this peer completed: the directory's registry size, or under
-	// chord discovery the harness census (seeds plus served requesters
-	// minus graceful leavers — crashed peers stay counted, the same
-	// staleness the directory exhibits).
+	// after this peer completed: the directory's registry size (live
+	// shards summed when sharded), or under chord discovery the harness
+	// census (seeds plus served requesters minus graceful leavers —
+	// crashed peers stay counted, the same staleness the directory
+	// exhibits).
 	SupplierLevel int
+	// Lookups, LookupHops and SampleRounds snapshot the peer's chord
+	// discovery-cost counters at completion: key lookups issued, total
+	// routing hops they cost, and candidate sample rounds executed. Zero
+	// under the directory backends (one round trip per lookup, no hops).
+	Lookups, LookupHops, SampleRounds int64
 }
 
 // Report is the outcome of one scenario run.
@@ -49,32 +55,46 @@ type Report struct {
 	Nodes []NodeResult
 	// Elapsed is the virtual time from run start to the last completion.
 	Elapsed time.Duration
-	// FinalSuppliers is the directory's supplier count at the end.
+	// FinalSuppliers is the discovery substrate's supplier count at the
+	// end (live shards summed when the directory is sharded).
 	FinalSuppliers int
+	// ShardSuppliers is each registry shard's final supplier count under
+	// the directory backend (a crashed shard counts 0); nil under chord.
+	ShardSuppliers []int
 
 	// Time series over the served requesters' completion instants, all on
 	// one shared axis (WriteCSV emits them together): admission latency
-	// and buffering delay in milliseconds, admission attempts, and the
-	// directory's supplier count.
+	// and buffering delay in milliseconds, admission attempts, the
+	// supplier count — and, for chord-backed runs, the discovery cost
+	// (cumulative lookup hops and sample rounds per peer; blank samples
+	// under the directory backends, which spend one round trip instead).
 	Admission *metrics.Series
 	Tries     *metrics.Series
 	Buffering *metrics.Series
 	Suppliers *metrics.Series
+	// LookupHops and SampleRounds chart chord routing cost alongside
+	// admission latency (the ROADMAP's discovery-metrics item).
+	LookupHops   *metrics.Series
+	SampleRounds *metrics.Series
 }
 
 // buildReport assembles the report from the per-requester results.
-func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int) *Report {
+func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int) *Report {
 	sortResults(results)
 	r := &Report{
 		Spec:           spec,
 		Nodes:          results,
 		Elapsed:        elapsed,
 		FinalSuppliers: finalSuppliers,
+		ShardSuppliers: shardSuppliers,
 		Admission:      &metrics.Series{Name: "admission_ms"},
 		Tries:          &metrics.Series{Name: "attempts"},
 		Buffering:      &metrics.Series{Name: "buffering_ms"},
 		Suppliers:      &metrics.Series{Name: "suppliers"},
+		LookupHops:     &metrics.Series{Name: "lookup_hops"},
+		SampleRounds:   &metrics.Series{Name: "sample_rounds"},
 	}
+	chord := spec.Discovery == BackendChord
 	for _, n := range results {
 		if n.Err != nil {
 			continue
@@ -84,6 +104,15 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		r.Tries.Add(n.Done, float64(n.Attempts))
 		r.Buffering.Add(n.Done, ms(n.Session.MeasuredDelay))
 		r.Suppliers.Add(n.Done, float64(n.SupplierLevel))
+		if chord {
+			r.LookupHops.Add(n.Done, float64(n.LookupHops))
+			r.SampleRounds.Add(n.Done, float64(n.SampleRounds))
+		} else {
+			// Directory lookups cost one round trip, not routed hops; keep
+			// the axis shared with blanks so the CSV stays one table.
+			r.LookupHops.AddMissing(n.Done)
+			r.SampleRounds.AddMissing(n.Done)
+		}
 	}
 	return r
 }
@@ -172,6 +201,13 @@ func (r *Report) Summary() string {
 	if mean, ok := meanOf(r.Buffering); ok {
 		fmt.Fprintf(&b, "\n  buffering delay: mean %.2fms", mean)
 	}
+	if mean, ok := meanOf(r.LookupHops); ok {
+		rounds, _ := meanOf(r.SampleRounds)
+		fmt.Fprintf(&b, "\n  chord discovery cost: mean %.1f hops, %.1f sample rounds per peer", mean, rounds)
+	}
+	if len(r.ShardSuppliers) > 1 {
+		fmt.Fprintf(&b, "\n  suppliers by shard: %v", r.ShardSuppliers)
+	}
 	for _, n := range r.Nodes {
 		if n.Err != nil {
 			fmt.Fprintf(&b, "\n  unserved %s: %v", n.ID, n.Err)
@@ -180,9 +216,11 @@ func (r *Report) Summary() string {
 	return b.String()
 }
 
-// WriteCSV emits the report's series (time axis in milliseconds).
+// WriteCSV emits the report's series (time axis in milliseconds). The
+// discovery-cost columns are blank under the directory backends.
 func (r *Report) WriteCSV(w io.Writer) error {
-	return metrics.WriteCSVIn(w, "ms", time.Millisecond, r.Admission, r.Tries, r.Buffering, r.Suppliers)
+	return metrics.WriteCSVIn(w, "ms", time.Millisecond,
+		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds)
 }
 
 func meanOf(s *metrics.Series) (float64, bool) {

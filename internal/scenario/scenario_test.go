@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"p2pstream/internal/directory"
+	"p2pstream/internal/metrics"
 )
 
 // TestCatalogConformance runs every cataloged scenario end to end on the
@@ -316,6 +319,305 @@ func TestChordCensusLeaveThenRejoin(t *testing.T) {
 	}
 }
 
+// shardOwners asserts the deterministic shard placement the sharded
+// catalog entries are designed around, so a change to chord.HashKey or the
+// ring geometry cannot silently invalidate them.
+func shardOwners(t *testing.T) *directory.ShardRing {
+	t.Helper()
+	ring, err := directory.NewShardRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"s5": 0, "n0": 0, "n8": 0, "s1": 1, "n4": 1, "n5": 1, "r3": 2, "n1": 2, "n2": 2, "n3": 2}
+	for id, shard := range want {
+		if got := ring.Owner(id); got != shard {
+			t.Fatalf("ShardRing places %s on shard %d, the scenarios assume %d — redesign the sharded catalog entries", id, got, shard)
+		}
+	}
+	return ring
+}
+
+// TestShardedLookupDetails pins the steady-state tentpole property: with
+// the registry split over three shards, every session completes and every
+// shard ends holding exactly the suppliers whose IDs it owns.
+func TestShardedLookupDetails(t *testing.T) {
+	ring := shardOwners(t)
+	spec, ok := ByName("sharded-lookup")
+	if !ok {
+		t.Fatal("sharded-lookup not in catalog")
+	}
+	if spec.DirectoryShards != 3 {
+		t.Fatalf("DirectoryShards = %d, want 3", spec.DirectoryShards)
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	if got, want := report.Served(), len(spec.Requesters); got != want {
+		t.Errorf("served %d of %d requesters", got, want)
+	}
+	all := len(spec.Seeds) + len(spec.Requesters)
+	if report.FinalSuppliers != all {
+		t.Errorf("final suppliers = %d, want %d", report.FinalSuppliers, all)
+	}
+	want := make([]int, 3)
+	for _, p := range append(append([]Peer(nil), spec.Seeds...), spec.Requesters...) {
+		want[ring.Owner(p.ID)]++
+	}
+	if len(report.ShardSuppliers) != 3 {
+		t.Fatalf("ShardSuppliers = %v, want 3 shards", report.ShardSuppliers)
+	}
+	for i, n := range report.ShardSuppliers {
+		if n != want[i] {
+			t.Errorf("shard %d ends with %d suppliers, want %d (owner-routed registration)", i, n, want[i])
+		}
+		if n == 0 {
+			t.Errorf("shard %d ends empty; the scenario should spread suppliers over every shard", i)
+		}
+	}
+}
+
+// TestShardCrashDetails: the mid-run shard kill costs visibility of the
+// suppliers it owned — and nothing else. Every session completes,
+// including n2's (mid-session at the kill, its own registration owned by
+// the dead shard), and the dead shard counts zero at the end.
+func TestShardCrashDetails(t *testing.T) {
+	ring := shardOwners(t)
+	spec, ok := ByName("shard-crash")
+	if !ok {
+		t.Fatal("shard-crash not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	if got, want := report.Served(), len(spec.Requesters); got != want {
+		t.Fatalf("served %d of %d requesters despite one dead shard", got, want)
+	}
+	crash := 70 * time.Millisecond
+	n2 := report.Node("n2")
+	if n2.Start >= crash || n2.Done <= crash {
+		t.Errorf("n2 ran %v..%v; the shard kill at %v should have caught it mid-session", n2.Start, n2.Done, crash)
+	}
+	if len(report.ShardSuppliers) != 3 || report.ShardSuppliers[2] != 0 {
+		t.Errorf("dead shard should count 0 suppliers: %v", report.ShardSuppliers)
+	}
+	// The survivors hold exactly their own keys: suppliers owned by the
+	// dead shard (seed r3, requesters n2 and its shard-mates) are
+	// invisible, everyone else is registered.
+	visible := 0
+	for _, p := range append(append([]Peer(nil), spec.Seeds...), spec.Requesters...) {
+		if ring.Owner(p.ID) != 2 {
+			visible++
+		}
+	}
+	if report.FinalSuppliers != visible {
+		t.Errorf("final suppliers = %d, want the %d not owned by the dead shard", report.FinalSuppliers, visible)
+	}
+	// Post-crash arrivals were served by fan-outs over the survivors.
+	for _, id := range []string{"n4", "n8", "n5"} {
+		n := report.Node(id)
+		if n == nil || n.Err != nil {
+			t.Fatalf("post-crash requester %s not served: %+v", id, n)
+		}
+		if n.Start <= crash {
+			t.Errorf("%s started at %v, not after the shard died", id, n.Start)
+		}
+	}
+}
+
+// TestShardRejoinDetails: the reborn shard starts empty and is
+// repopulated by lease re-registration — the crashed shard's seed (r3)
+// and the requester served during the outage (n1, owned by the dead
+// shard) are discoverable again, and the registry converges to exactly
+// the steady-state placement.
+func TestShardRejoinDetails(t *testing.T) {
+	ring := shardOwners(t)
+	spec, ok := ByName("shard-rejoin")
+	if !ok {
+		t.Fatal("shard-rejoin not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	if got, want := report.Served(), len(spec.Requesters); got != want {
+		t.Fatalf("served %d of %d requesters", got, want)
+	}
+	// n1 completed during the outage: its own registration could only
+	// land via the lease after the rebirth.
+	n1 := report.Node("n1")
+	if ring.Owner("n1") != 2 {
+		t.Fatal("n1 must be owned by the crashed shard for this test to bite")
+	}
+	if n1.Done <= 80*time.Millisecond || n1.Done >= 320*time.Millisecond {
+		t.Errorf("n1 completed at %v, want inside the outage window (80ms..320ms)", n1.Done)
+	}
+	want := make([]int, 3)
+	for _, p := range append(append([]Peer(nil), spec.Seeds...), spec.Requesters...) {
+		want[ring.Owner(p.ID)]++
+	}
+	if len(report.ShardSuppliers) != 3 {
+		t.Fatalf("ShardSuppliers = %v, want 3 shards", report.ShardSuppliers)
+	}
+	for i, n := range report.ShardSuppliers {
+		if n != want[i] {
+			t.Errorf("shard %d ends with %d suppliers, want %d (diversity must fully recover)", i, n, want[i])
+		}
+	}
+	if all := len(spec.Seeds) + len(spec.Requesters); report.FinalSuppliers != all {
+		t.Errorf("final suppliers = %d, want %d", report.FinalSuppliers, all)
+	}
+}
+
+// TestCatalogRunsSharded is the tentpole's interface guarantee: any
+// catalog entry runs with DirectoryShards set and no other change —
+// node.Discovery hides the sharding entirely — with every invariant
+// intact. Chord-backed entries ignore the knob (they run no directory).
+func TestCatalogRunsSharded(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		if spec.Discovery == BackendChord || spec.DirectoryShards >= 2 {
+			// Chord entries run no directory (the knob is inert — proven
+			// once by a conformance run with the knob set below); natively
+			// sharded entries already ran sharded in TestCatalogConformance.
+			continue
+		}
+		spec.DirectoryShards = 3
+		t.Run(spec.Name, func(t *testing.T) {
+			report, err := Run(spec)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := report.Check(); err != nil {
+				t.Fatalf("invariants: %v\n%s", err, report.Summary())
+			}
+			if spec.Discovery == BackendDirectory {
+				if len(report.ShardSuppliers) != 3 {
+					t.Fatalf("ShardSuppliers = %v, want 3 shards", report.ShardSuppliers)
+				}
+				sum := 0
+				for _, n := range report.ShardSuppliers {
+					sum += n
+				}
+				if sum != report.FinalSuppliers {
+					t.Errorf("shard counts %v sum to %d, FinalSuppliers = %d",
+						report.ShardSuppliers, sum, report.FinalSuppliers)
+				}
+			}
+		})
+	}
+	// One chord entry with the knob set proves it is inert there: the run
+	// is a plain chord run, no directory anywhere.
+	spec, ok := ByName("decentralized-lookup")
+	if !ok {
+		t.Fatal("decentralized-lookup not in catalog")
+	}
+	spec.DirectoryShards = 3
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("chord run with DirectoryShards set: %v", err)
+	}
+	if len(report.ShardSuppliers) != 0 {
+		t.Errorf("chord run reports shard counts %v; the knob should be inert", report.ShardSuppliers)
+	}
+}
+
+// TestChordDiscoveryMetrics: chord-backed reports carry the discovery-cost
+// series (lookup hops, sample rounds) on the same time axis as the
+// admission series, with real samples for every served requester.
+func TestChordDiscoveryMetrics(t *testing.T) {
+	spec, ok := ByName("decentralized-lookup")
+	if !ok {
+		t.Fatal("decentralized-lookup not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	served := report.Served()
+	for _, s := range []*metrics.Series{report.LookupHops, report.SampleRounds} {
+		if s.Len() != served {
+			t.Fatalf("series %s has %d samples, want %d", s.Name, s.Len(), served)
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.Missing(i) {
+				t.Errorf("series %s sample %d is blank on a chord run", s.Name, i)
+			}
+			if s.Times[i] != report.Admission.Times[i] {
+				t.Errorf("series %s sample %d at %v, admission at %v — axis not shared",
+					s.Name, i, s.Times[i], report.Admission.Times[i])
+			}
+		}
+	}
+	if max, _ := report.SampleRounds.Max(); max < 1 {
+		t.Error("no requester recorded a candidate sample round")
+	}
+	// Every served requester drew candidates through routed lookups.
+	for _, n := range report.Nodes {
+		if n.Err == nil && n.Lookups == 0 {
+			t.Errorf("%s served with zero chord lookups recorded", n.ID)
+		}
+	}
+	// The series render into the shared CSV with values, not blanks.
+	var b strings.Builder
+	if err := report.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != served+1 {
+		t.Fatalf("CSV has %d lines, want header + %d", len(lines), served)
+	}
+	if strings.HasSuffix(lines[1], ",,") {
+		t.Errorf("chord run CSV should carry discovery-cost values: %q", lines[1])
+	}
+}
+
+// TestChordChurnLeaveStaleness: with the graceful chord-leave handover,
+// the leaver (n0, gone at 480ms) vanishes from discovery the instant it
+// leaves — no session completing after the leave (plus one sample round's
+// slack) is served by it, where a crash would leave stale ring entries
+// feeding the down path for a stabilization window.
+func TestChordChurnLeaveStaleness(t *testing.T) {
+	spec, ok := ByName("chord-churn")
+	if !ok {
+		t.Fatal("chord-churn not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	leave := 480 * time.Millisecond
+	for _, n := range report.Nodes {
+		if n.Err != nil || n.Done <= leave {
+			continue
+		}
+		for _, sup := range n.Suppliers {
+			if sup == "n0" {
+				t.Errorf("%s (done %v) was served by n0, which left gracefully at %v", n.ID, n.Done, leave)
+			}
+		}
+	}
+}
+
 // TestReportCSV: the report's series share one axis and render as CSV with
 // a millisecond time column.
 func TestReportCSV(t *testing.T) {
@@ -335,8 +637,13 @@ func TestReportCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), b.String())
 	}
-	if want := "ms,admission_ms,attempts,buffering_ms,suppliers"; lines[0] != want {
+	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds"; lines[0] != want {
 		t.Errorf("header = %q, want %q", lines[0], want)
+	}
+	// Directory-backed runs have no routed lookups: the discovery-cost
+	// columns are present but blank, keeping one shared table.
+	if !strings.HasSuffix(lines[1], ",,") {
+		t.Errorf("directory-backed sample should end with blank discovery-cost columns: %q", lines[1])
 	}
 	if sum := report.Summary(); !strings.Contains(sum, "csv") || !strings.Contains(sum, "1/1 served") {
 		t.Errorf("summary = %q", sum)
@@ -386,6 +693,37 @@ func TestSpecValidation(t *testing.T) {
 			}
 		}},
 		{"bad action", func(s *Spec) { s.Churn = []ChurnEvent{{Action: ChurnAction(99), Node: "r1"}} }},
+		{"negative shards", func(s *Spec) { s.DirectoryShards = -1 }},
+		{"peer claims shard host", func(s *Spec) {
+			s.DirectoryShards = 3
+			s.Requesters[0].ID = ShardHost(2)
+		}},
+		{"shard crash without shards", func(s *Spec) {
+			s.Churn = []ChurnEvent{{At: time.Millisecond, Action: Crash, Node: ShardHost(1)}}
+		}},
+		{"shard leave", func(s *Spec) {
+			s.DirectoryShards = 3
+			s.Churn = []ChurnEvent{{At: time.Millisecond, Action: Leave, Node: ShardHost(1)}}
+		}},
+		{"shard rejoin without crash", func(s *Spec) {
+			s.DirectoryShards = 3
+			s.Churn = []ChurnEvent{{At: time.Millisecond, Action: Join, Node: ShardHost(1)}}
+		}},
+		{"shard rejoin before crash", func(s *Spec) {
+			s.DirectoryShards = 3
+			s.Churn = []ChurnEvent{
+				{At: 200 * time.Millisecond, Action: Crash, Node: ShardHost(1)},
+				{At: 100 * time.Millisecond, Action: Join, Node: ShardHost(1)},
+			}
+		}},
+		{"shard rejoin twice", func(s *Spec) {
+			s.DirectoryShards = 3
+			s.Churn = []ChurnEvent{
+				{At: 100 * time.Millisecond, Action: Crash, Node: ShardHost(1)},
+				{At: 200 * time.Millisecond, Action: Join, Node: ShardHost(1)},
+				{At: 300 * time.Millisecond, Action: Join, Node: ShardHost(1)},
+			}
+		}},
 		{"link unknown host", func(s *Spec) { s.Links = []Link{{A: "ghost", B: Wildcard}} }},
 		{"event unknown host", func(s *Spec) { s.Events = []LinkEvent{{Link: Link{A: "r1", B: "ghost"}}} }},
 		{"mayfail unknown", func(s *Spec) { s.Expect.MayFail = []string{"ghost"} }},
@@ -412,6 +750,19 @@ func TestSpecValidation(t *testing.T) {
 	rejoin = rejoin.withDefaults()
 	if err := rejoin.Validate(); err != nil {
 		t.Errorf("crash-then-rejoin spec rejected: %v", err)
+	}
+	// The legal shard churn flow: crash any shard (host "dir" included —
+	// it is shard 0 of a sharded registry), rejoin it later.
+	shardChurn := valid()
+	shardChurn.DirectoryShards = 3
+	shardChurn.Churn = []ChurnEvent{
+		{At: 50 * time.Millisecond, Action: Crash, Node: DirectoryHost},
+		{At: 100 * time.Millisecond, Action: Crash, Node: ShardHost(2)},
+		{At: 200 * time.Millisecond, Action: Join, Node: ShardHost(2)},
+	}
+	shardChurn = shardChurn.withDefaults()
+	if err := shardChurn.Validate(); err != nil {
+		t.Errorf("shard crash/rejoin spec rejected: %v", err)
 	}
 	// Leave of the directory is rejected for the action, not the backend:
 	// the message must not send a chord+KeepDirectory user hunting for a

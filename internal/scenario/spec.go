@@ -33,6 +33,35 @@ import (
 // Link rules may reference it; peer IDs must not claim it.
 const DirectoryHost = "dir"
 
+// ShardHost returns the virtual host name of directory registry shard i:
+// shard 0 is DirectoryHost itself (a single-shard run is byte-for-byte the
+// unsharded run), further shards are "dir1", "dir2", ... Link rules and —
+// with DirectoryShards >= 2 — churn events may reference shard hosts;
+// peer IDs must not claim them.
+func ShardHost(i int) string {
+	if i == 0 {
+		return DirectoryHost
+	}
+	return fmt.Sprintf("dir%d", i)
+}
+
+// ShardHostIndex returns which of a count-shard registry's hosts the name
+// denotes, or -1 — including for count < 2, where no sharded registry
+// runs (ShardHost(0) is then just the directory host, whose churn rules
+// differ). The CLI uses it to scrub shard-targeted churn when overriding
+// a spec's shard count or backend.
+func ShardHostIndex(node string, count int) int {
+	if count < 2 {
+		return -1
+	}
+	for i := 0; i < count; i++ {
+		if ShardHost(i) == node {
+			return i
+		}
+	}
+	return -1
+}
+
 // Backend selects a scenario's peer-discovery substrate.
 type Backend int
 
@@ -190,6 +219,16 @@ type Spec struct {
 	// no directory server runs: supplying peers form a chord ring and
 	// requesters sample candidates by routing random-key lookups.
 	Discovery Backend
+	// DirectoryShards, when >= 2, splits the directory registry across
+	// that many Server instances by consistent hashing (directory.
+	// ShardRing): shard i listens on virtual host ShardHost(i), every
+	// node discovers through a directory.ShardedClient, and churn events
+	// may Crash a shard host mid-run (and Join it back: a reborn shard
+	// starts empty and is repopulated by the clients' lease
+	// re-registrations). 0 and 1 run the single centralized server.
+	// Ignored under BackendChord — a chord overlay runs no directory, and
+	// the KeepDirectory decoy stays a single server.
+	DirectoryShards int
 	// KeepDirectory, under BackendChord, additionally boots a directory
 	// server that nothing queries — so a churn event may crash
 	// DirectoryHost mid-run and prove no session depends on it.
@@ -249,11 +288,33 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-// hosts returns every virtual host of the scenario: the directory, every
-// peer, and every joining peer (a rejoining peer reuses its old host).
+// shardCount returns the effective number of directory registry shards:
+// DirectoryShards under the directory backend, 1 otherwise (the chord
+// backend runs no directory worth sharding).
+func (s *Spec) shardCount() int {
+	if s.Discovery == BackendChord || s.DirectoryShards < 2 {
+		return 1
+	}
+	return s.DirectoryShards
+}
+
+// shardIndex returns the active registry shard the host name denotes, or
+// -1 when it is not a shard host of this spec.
+func (s *Spec) shardIndex(id string) int {
+	return ShardHostIndex(id, s.shardCount())
+}
+
+// hosts returns every virtual host of the scenario: the directory shards,
+// every peer, and every joining peer (a rejoining peer reuses its old
+// host). Shard hosts are always included so wildcard link rules — "this
+// peer is partitioned from everything" — cover the whole registry.
 func (s *Spec) hosts() []string {
-	seen := map[string]bool{DirectoryHost: true}
-	out := []string{DirectoryHost}
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i < s.shardCount(); i++ {
+		seen[ShardHost(i)] = true
+		out = append(out, ShardHost(i))
+	}
 	add := func(id string) {
 		if !seen[id] {
 			seen[id] = true
@@ -286,7 +347,13 @@ func (s *Spec) Validate() error {
 	if len(s.Requesters) == 0 {
 		return fmt.Errorf("scenario %s: needs at least one requester", s.Name)
 	}
+	if s.DirectoryShards < 0 {
+		return fmt.Errorf("scenario %s: DirectoryShards %d, want >= 0", s.Name, s.DirectoryShards)
+	}
 	ids := map[string]bool{DirectoryHost: true}
+	for i := 1; i < s.shardCount(); i++ {
+		ids[ShardHost(i)] = true
+	}
 	addPeer := func(p Peer, role string) error {
 		switch {
 		case p.ID == "" || p.ID == Wildcard:
@@ -326,6 +393,23 @@ func (s *Spec) Validate() error {
 	sort.SliceStable(joins, func(i, j int) bool { return joins[i].At < joins[j].At })
 	rejoined := make(map[string]bool)
 	for _, ev := range joins {
+		if idx := s.shardIndex(ev.Node); idx >= 0 && s.shardCount() > 1 {
+			// A registry shard "joins" only by coming back from a crash:
+			// the host revives and a fresh, empty server re-listens on the
+			// shard's address; the clients' lease re-registrations
+			// repopulate it. Class does not apply to servers.
+			crashAt, wasCrashed := crashed[ev.Node]
+			switch {
+			case !wasCrashed:
+				return fmt.Errorf("scenario %s: join of shard %q that never crashed", s.Name, ev.Node)
+			case crashAt >= ev.At:
+				return fmt.Errorf("scenario %s: shard %q rejoins at %v, not after its crash at %v", s.Name, ev.Node, ev.At, crashAt)
+			case rejoined[ev.Node]:
+				return fmt.Errorf("scenario %s: shard %q rejoins twice", s.Name, ev.Node)
+			}
+			rejoined[ev.Node] = true
+			continue
+		}
 		if ids[ev.Node] {
 			// Reusing an ID is the crash-then-rejoin flow: legal only
 			// for a peer that crashed strictly earlier, once.
@@ -350,6 +434,15 @@ func (s *Spec) Validate() error {
 	for _, ev := range s.Churn {
 		switch ev.Action {
 		case Crash, Leave:
+			if idx := s.shardIndex(ev.Node); idx >= 0 && s.shardCount() > 1 {
+				// Any shard of a sharded registry may crash mid-run — the
+				// point of per-shard failure isolation. Like the single
+				// directory, a shard dies hard; it does not leave.
+				if ev.Action == Leave {
+					return fmt.Errorf("scenario %s: only Crash of shard %q is supported (registry shards die hard, they do not leave)", s.Name, ev.Node)
+				}
+				continue
+			}
 			if ev.Node == DirectoryHost {
 				// Killing the directory is legal exactly when it is a decoy:
 				// chord discovery with a directory running for show.

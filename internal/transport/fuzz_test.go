@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"p2pstream/internal/bandwidth"
+)
+
+// utf8Clean replaces each invalid UTF-8 byte with the Unicode replacement
+// character — byte for byte, exactly as encoding/json does on Marshal.
+func utf8Clean(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// FuzzChordContactCodec round-trips every ChordContact-bearing message of
+// the chord discovery wire protocol (the PR 3 kinds: join, notify,
+// finger-query, lookup, plus the graceful leave) through Write/Read/Decode
+// and requires exact equality. The committed seed corpus under testdata
+// pins representative frames so `go test` exercises them forever.
+func FuzzChordContactCodec(f *testing.F) {
+	f.Add("peer-1", "peer-1:7100", "peer-1:9000", 1, uint64(0), true, 0)
+	f.Add("", "", "", 0, uint64(1)<<63, false, 64)
+	f.Add("名前\x00\xff", "host:0", "\"quoted\"", -3, ^uint64(0), true, -1)
+	f.Fuzz(func(t *testing.T, name, addr, nodeAddr string, class int, key uint64, done bool, hops int) {
+		// JSON replaces each invalid UTF-8 byte with U+FFFD on encode;
+		// normalize the inputs identically so equality is exact.
+		contact := ChordContact{
+			Name: utf8Clean(name), Addr: utf8Clean(addr), NodeAddr: utf8Clean(nodeAddr),
+			Class: bandwidth.Class(class),
+		}
+		roundTrip := func(kind Kind, in, out any) {
+			var buf bytes.Buffer
+			if err := Write(&buf, kind, in); err != nil {
+				t.Fatalf("write %s: %v", kind, err)
+			}
+			env, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("read %s: %v", kind, err)
+			}
+			if env.Kind != kind {
+				t.Fatalf("kind = %s, want %s", env.Kind, kind)
+			}
+			if err := env.Decode(out); err != nil {
+				t.Fatalf("decode %s: %v", kind, err)
+			}
+		}
+
+		var join ChordJoin
+		roundTrip(KindChordJoin, ChordJoin{Peer: contact}, &join)
+		if join.Peer != contact {
+			t.Errorf("join peer = %+v, want %+v", join.Peer, contact)
+		}
+
+		var joinReply ChordJoinReply
+		roundTrip(KindChordJoinOK,
+			ChordJoinReply{Predecessor: &contact, Successors: []ChordContact{contact, contact}}, &joinReply)
+		if joinReply.Predecessor == nil || *joinReply.Predecessor != contact {
+			t.Errorf("join-reply predecessor = %+v, want %+v", joinReply.Predecessor, contact)
+		}
+		if len(joinReply.Successors) != 2 || joinReply.Successors[0] != contact || joinReply.Successors[1] != contact {
+			t.Errorf("join-reply successors = %+v", joinReply.Successors)
+		}
+
+		var notify ChordNotify
+		roundTrip(KindChordNotify, ChordNotify{Peer: contact}, &notify)
+		if notify.Peer != contact {
+			t.Errorf("notify peer = %+v, want %+v", notify.Peer, contact)
+		}
+
+		var notifyReply ChordNotifyReply
+		roundTrip(KindChordNotifyOK, ChordNotifyReply{Successors: []ChordContact{contact}}, &notifyReply)
+		if notifyReply.Predecessor != nil {
+			t.Errorf("nil predecessor decoded as %+v", notifyReply.Predecessor)
+		}
+		if len(notifyReply.Successors) != 1 || notifyReply.Successors[0] != contact {
+			t.Errorf("notify-reply successors = %+v", notifyReply.Successors)
+		}
+
+		var fq ChordFingerQuery
+		roundTrip(KindChordFingerQuery, ChordFingerQuery{Key: key}, &fq)
+		if fq.Key != key {
+			t.Errorf("finger-query key = %d, want %d", fq.Key, key)
+		}
+
+		var fr ChordFingerReply
+		roundTrip(KindChordFingerOK, ChordFingerReply{Done: done, Next: contact}, &fr)
+		if fr.Done != done || fr.Next != contact {
+			t.Errorf("finger-reply = %+v", fr)
+		}
+
+		var lk ChordLookup
+		roundTrip(KindChordLookup, ChordLookup{Key: key}, &lk)
+		if lk.Key != key {
+			t.Errorf("lookup key = %d, want %d", lk.Key, key)
+		}
+
+		var lr ChordLookupReply
+		roundTrip(KindChordLookupOK, ChordLookupReply{Owner: contact, Hops: hops}, &lr)
+		if lr.Owner != contact || lr.Hops != hops {
+			t.Errorf("lookup-reply = %+v", lr)
+		}
+
+		var leave ChordLeave
+		roundTrip(KindChordLeave,
+			ChordLeave{Peer: contact, Predecessor: &contact, Successors: []ChordContact{contact}}, &leave)
+		if leave.Peer != contact || leave.Predecessor == nil || *leave.Predecessor != contact ||
+			len(leave.Successors) != 1 || leave.Successors[0] != contact {
+			t.Errorf("leave = %+v", leave)
+		}
+	})
+}
+
+// FuzzReadCorruptFrame feeds arbitrary bytes to the frame reader: Read and
+// ReadExpect must never panic, and whatever Read accepts must decode into
+// an envelope that re-encodes (the parser cannot be tricked into producing
+// unserializable state). The seed corpus covers truncated frames,
+// oversized length prefixes, and valid frames with garbage JSON bodies.
+func FuzzReadCorruptFrame(f *testing.F) {
+	frame := func(kind Kind, body any) []byte {
+		var buf bytes.Buffer
+		if err := Write(&buf, kind, body); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add(frame(KindChordLookup, ChordLookup{Key: 42}))
+	f.Add(frame(KindChordLeave, ChordLeave{Peer: ChordContact{Name: "p"}}))
+	corrupt := frame(KindChordFingerOK, ChordFingerReply{Done: true})
+	f.Add(corrupt[:len(corrupt)-3])
+	garbage := append([]byte{0, 0, 0, 7}, []byte("{]}!!!!")...)
+	f.Add(garbage)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n := binary.BigEndian.Uint32(data[:4]); n > MaxMessageSize {
+			t.Fatalf("Read accepted a %d-byte frame beyond MaxMessageSize", n)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, env.Kind, env.Body); werr != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", werr)
+		}
+		// ReadExpect must never panic either, whatever the envelope holds.
+		var reply ChordLookupReply
+		_ = ReadExpect(bytes.NewReader(data), KindChordLookupOK, &reply)
+	})
+}

@@ -57,6 +57,8 @@ const (
 	KindChordFingerOK    Kind = "chord-finger-ok"    // member -> member
 	KindChordLookup      Kind = "chord-lookup"       // any peer -> member (full lookup)
 	KindChordLookupOK    Kind = "chord-lookup-ok"    // member -> any peer
+	KindChordLeave       Kind = "chord-leave"        // departing member -> its neighbors
+	KindChordLeaveOK     Kind = "chord-leave-ok"     // neighbor -> departing member
 )
 
 // Register announces a supplying peer to the directory.
@@ -64,6 +66,11 @@ type Register struct {
 	ID    string          `json:"id"`
 	Addr  string          `json:"addr"`
 	Class bandwidth.Class `json:"class"`
+	// Refresh marks a lease-style re-registration: the directory upserts
+	// (address and class replace any existing entry) instead of rejecting
+	// the duplicate. Sharded clients re-send registrations periodically so
+	// a registry shard that crashed and returned empty is repopulated.
+	Refresh bool `json:"refresh,omitempty"`
 }
 
 // Unregister removes a supplying peer from the directory.
@@ -205,6 +212,23 @@ type ChordLookupReply struct {
 	Owner ChordContact `json:"owner"`
 	Hops  int          `json:"hops"`
 }
+
+// ChordLeave is the graceful-departure notice a leaving member sends both
+// ring neighbors, handing its key range to its successor: the successor
+// adopts the leaver's predecessor (closing the ownership gap instantly,
+// with no stabilization round in between), and the predecessor splices the
+// leaver's successor list in place of the leaver.
+type ChordLeave struct {
+	Peer ChordContact `json:"peer"`
+	// Predecessor is the leaver's predecessor, for the successor to adopt.
+	Predecessor *ChordContact `json:"predecessor,omitempty"`
+	// Successors is the leaver's successor list, for the predecessor to
+	// splice in.
+	Successors []ChordContact `json:"successors,omitempty"`
+}
+
+// ChordLeaveReply acknowledges a leave notice.
+type ChordLeaveReply struct{}
 
 // Error reports a protocol failure.
 type Error struct {

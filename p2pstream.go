@@ -33,9 +33,11 @@
 //     (NewVirtualClock). Both runtimes share one protocol core
 //     (internal/protocol);
 //   - pluggable peer discovery (Discovery): the centralized directory
-//     server (NewDirectoryServer, NewDirectoryClient) or a fully
-//     decentralized wire-level Chord ring (NewChordDiscovery) — the two
-//     substrates the paper names in Section 4.2, footnote 4.
+//     server (NewDirectoryServer, NewDirectoryClient), the same registry
+//     sharded across several servers by consistent hashing
+//     (NewShardedDirectoryClient), or a fully decentralized wire-level
+//     Chord ring (NewChordDiscovery) — scaling out the two substrates the
+//     paper names in Section 4.2, footnote 4.
 //
 // A minimal session:
 //
@@ -227,6 +229,31 @@ func NewDirectoryClient(network Network, addr string) *DirectoryClient {
 	return directory.NewClientOn(network, addr)
 }
 
+// DirectoryShardRing deterministically maps supplier keys to registry
+// shards by consistent hashing on the chord identifier circle; every
+// client builds the same ring from the same shard count.
+type DirectoryShardRing = directory.ShardRing
+
+// NewDirectoryShardRing returns the canonical ring over n shards.
+func NewDirectoryShardRing(n int) (*DirectoryShardRing, error) { return directory.NewShardRing(n) }
+
+// ShardedDirectoryClient is the sharded directory Discovery backend: the
+// registry split across several DirectoryServer instances, with
+// registrations routed to the owning shard by consistent hashing,
+// candidate lookups fanned out across all shards (a dead shard degrades
+// diversity, never the lookup), and lease-style re-registration that
+// repopulates a shard returning empty from a crash.
+type ShardedDirectoryClient = directory.ShardedClient
+
+// ShardedDirectoryConfig parameterizes a sharded directory client.
+type ShardedDirectoryConfig = directory.ShardedConfig
+
+// NewShardedDirectoryClient returns a sharded-directory Discovery over
+// the given shard set; hand it to a node via NodeConfig.Discovery.
+func NewShardedDirectoryClient(cfg ShardedDirectoryConfig) (*ShardedDirectoryClient, error) {
+	return directory.NewShardedClient(cfg)
+}
+
 // ChordDiscovery is the decentralized Discovery backend: a wire-level
 // Chord ring member (internal/chordnet) that joins on Register, maintains
 // successors and fingers via stabilization, and samples candidates by
@@ -277,6 +304,12 @@ const (
 
 // ScenarioWildcard, as a link's B side, means "every other host".
 const ScenarioWildcard = scenario.Wildcard
+
+// ScenarioShardHost returns the virtual host name of directory registry
+// shard i (shard 0 is the directory host itself). With
+// Scenario.DirectoryShards >= 2, churn events may Crash a shard host and
+// Join it back.
+func ScenarioShardHost(i int) string { return scenario.ShardHost(i) }
 
 // ScenarioBackend selects a scenario's discovery substrate.
 type ScenarioBackend = scenario.Backend
