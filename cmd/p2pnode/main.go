@@ -1,4 +1,5 @@
-// Command p2pnode runs one live peer of the streaming overlay.
+// Command p2pnode runs one live peer of the streaming overlay, built on
+// the public p2pstream.Overlay entrypoint.
 //
 // A seed peer (possesses the media, supplies immediately):
 //
@@ -21,11 +22,17 @@
 //	p2pnode -id seed1 -class 1 -seed-peer -discovery chord -chord-listen 127.0.0.1:7100
 //	p2pnode -id peer1 -class 2 -discovery chord -chord-bootstrap 127.0.0.1:7100
 //
+// The whole request path is context-driven: Ctrl-C cancels an in-flight
+// request (probes, session streams and discovery RPCs abort) instead of
+// leaving the process wedged, and -timeout bounds the request end to end.
+//
 // The media item is synthetic (deterministic content, CBR) and scaled so a
 // session finishes in seconds; -segments and -dt control the size.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,14 +41,7 @@ import (
 	"syscall"
 	"time"
 
-	"p2pstream/internal/bandwidth"
-	"p2pstream/internal/chordnet"
-	"p2pstream/internal/clock"
-	"p2pstream/internal/dac"
-	"p2pstream/internal/directory"
-	"p2pstream/internal/media"
-	"p2pstream/internal/netx"
-	"p2pstream/internal/node"
+	"p2pstream"
 )
 
 func main() {
@@ -60,6 +60,7 @@ func main() {
 	m := flag.Int("m", 8, "candidates probed per request")
 	tout := flag.Duration("tout", 2*time.Second, "idle elevation timeout")
 	attempts := flag.Int("attempts", 10, "max admission attempts before giving up")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the streaming request (0 = none)")
 	ndac := flag.Bool("ndac", false, "use the NDAC_p2p baseline when supplying")
 	rngSeed := flag.Int64("rng", time.Now().UnixNano(), "admission randomness seed")
 	flag.Parse()
@@ -68,111 +69,104 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p2pnode: -id is required")
 		os.Exit(2)
 	}
-	policy := dac.DAC
+	policy := p2pstream.DAC
 	if *ndac {
-		policy = dac.NDAC
+		policy = p2pstream.NDAC
 	}
-	var disc node.Discovery
+
+	// Ctrl-C / SIGTERM cancel the context; an in-flight request aborts
+	// cleanly (probes, streams and discovery RPCs all honor it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []p2pstream.OverlayOption{
+		p2pstream.WithClasses(p2pstream.Class(*numClasses)),
+		p2pstream.WithPolicy(policy),
+		p2pstream.WithProbeFanout(*m),
+		p2pstream.WithIdleTimeout(*tout),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 500 * time.Millisecond, Factor: 2}),
+		p2pstream.WithSeed(*rngSeed),
+	}
 	switch *discovery {
 	case "directory":
-		// Leaving Discovery nil selects a directory client for -dir; with
-		// -dir-addrs the registry is sharded by consistent hashing and the
-		// node routes through a sharded client instead. Every peer of one
-		// deployment must list the same addresses in the same order.
 		if *dirAddrs != "" {
-			var addrs []string
-			for _, a := range strings.Split(*dirAddrs, ",") {
-				if a = strings.TrimSpace(a); a != "" {
-					addrs = append(addrs, a)
-				}
-			}
-			sc, err := directory.NewShardedClient(directory.ShardedConfig{
-				Addrs: addrs,
-				Seed:  *rngSeed,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("p2pnode %s: sharded directory, %d shards\n", *id, sc.Shards())
-			disc = sc
+			// Every peer of one deployment must list the same shard
+			// addresses in the same order: the consistent-hash ring maps
+			// supplier keys to indices of this list. Even a single-entry
+			// list goes through the sharded client: -dir-addrs always
+			// buys the lease-style re-registration that repopulates a
+			// crashed-and-reborn server.
+			addrs := splitList(*dirAddrs)
+			opts = append(opts, p2pstream.WithShardedDirectory(p2pstream.ShardedDirectoryConfig{Addrs: addrs}))
+			fmt.Printf("p2pnode %s: sharded directory, %d shards\n", *id, len(addrs))
+		} else {
+			opts = append(opts, p2pstream.WithDirectory(*dirAddr))
 		}
 	case "chord":
-		var boots []string
-		for _, a := range strings.Split(*bootstrap, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				boots = append(boots, a)
-			}
-		}
-		cp, err := chordnet.New(chordnet.Config{
-			ID:         *id,
-			Class:      bandwidth.Class(*class),
-			Bootstrap:  boots,
-			ListenAddr: *chordListen,
-			Seed:       *rngSeed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		if err := cp.Start(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("p2pnode %s: chord endpoint %s\n", *id, cp.Addr())
-		disc = cp
+		opts = append(opts, p2pstream.WithChord(p2pstream.ChordDiscoveryConfig{
+			Bootstrap: splitList(*bootstrap),
+		}))
 	default:
 		fmt.Fprintf(os.Stderr, "p2pnode: unknown -discovery %q (want directory or chord)\n", *discovery)
 		os.Exit(2)
 	}
-	cfg := node.Config{
-		ID:            *id,
-		Class:         bandwidth.Class(*class),
-		NumClasses:    bandwidth.Class(*numClasses),
-		Policy:        policy,
-		Discovery:     disc,
-		DirectoryAddr: *dirAddr,
-		File: &media.File{
-			Name:         "popular-video",
-			Segments:     *segments,
-			SegmentBytes: 4096,
-			SegmentTime:  *dt,
-		},
-		M:          *m,
-		TOut:       *tout,
-		Backoff:    dac.BackoffConfig{Base: 500 * time.Millisecond, Factor: 2},
-		ListenAddr: *listen,
-		Seed:       *rngSeed,
-		// A live peer runs the shared session layer on the wall clock over
-		// real TCP; tests run the same node on a virtual clock and network.
-		Clock:   clock.System(),
-		Network: netx.System,
-	}
 
-	var n *node.Node
-	var err error
+	file := &p2pstream.MediaFile{
+		Name:         "popular-video",
+		Segments:     *segments,
+		SegmentBytes: 4096,
+		SegmentTime:  *dt,
+	}
+	ov, err := p2pstream.NewOverlay(file, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer ov.Close()
+
+	peer := p2pstream.OverlayPeer{
+		ID:                  *id,
+		Class:               p2pstream.Class(*class),
+		ListenAddr:          *listen,
+		DiscoveryListenAddr: *chordListen,
+	}
+	var n *p2pstream.Node
 	if *seedPeer {
-		n, err = node.NewSeed(cfg)
+		n, err = ov.Seed(ctx, peer)
 	} else {
-		n, err = node.NewRequester(cfg)
+		n, err = ov.Requester(ctx, peer)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	if err := n.Start(); err != nil {
-		fatal(err)
+	if ep := ov.DiscoveryEndpoint(*id); ep != "" {
+		fmt.Printf("p2pnode %s: chord endpoint %s\n", *id, ep)
 	}
-	defer n.Close()
 	fmt.Printf("p2pnode %s: class-%d, listening on %s\n", *id, *class, n.Addr())
 
 	if !*seedPeer {
-		report, err := n.RequestUntilAdmitted(*attempts)
-		if err != nil {
-			if report == nil {
-				fatal(err)
-			}
-			// Served, but the post-session registration failed (e.g. the
-			// peer's registry shard is down). The node holds the file and
-			// supplies; a sharded client's lease re-registers it when the
-			// shard returns.
+		reqCtx, cancel := ctx, context.CancelFunc(func() {})
+		if *timeout > 0 {
+			reqCtx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		report, err := n.RequestUntilAdmitted(reqCtx, *attempts)
+		cancel()
+		switch {
+		case err == nil:
+		case report != nil:
+			// Served, with only the post-session registration failing —
+			// whether the owner shard refused or the cancellation/deadline
+			// landed right then. The node holds the file and supplies; a
+			// sharded client's lease re-registers it when the shard
+			// returns. Don't discard a completed session.
 			fmt.Printf("p2pnode: served, registration pending: %v\n", err)
+		case errors.Is(err, context.Canceled):
+			fmt.Println("p2pnode: request cancelled")
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Println("p2pnode: request deadline exceeded")
+			os.Exit(1)
+		default:
+			fatal(err)
 		}
 		fmt.Printf("admitted after %d rejection(s); %d suppliers:", report.Rejections, len(report.Suppliers))
 		for _, s := range report.Suppliers {
@@ -185,13 +179,21 @@ func main() {
 		fmt.Println("now supplying")
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	fmt.Println("p2pnode: shutting down")
 }
 
-func playbackStatus(r *node.SessionReport) string {
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func playbackStatus(r *p2pstream.SessionReport) string {
 	if r.Report.Continuous() {
 		return "continuous (no stalls)"
 	}

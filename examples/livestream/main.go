@@ -1,34 +1,33 @@
-// Livestream: an end-to-end run of the live overlay inside one process.
+// Livestream: an end-to-end run of the live overlay inside one process,
+// on the public Overlay API.
 //
 // It starts a directory server and four seed supplying peers with the
 // paper's Figure 1 class mix (1, 2, 3, 3), then has a requesting peer run
 // the real protocol over TCP loopback: directory lookup, class-ordered
 // probing, OTS_p2p assignment, rate-paced multi-supplier streaming, and
 // playback verification. The freshly served peer then supplies a second
-// requester — the system grows itself.
+// requester — the system grows itself. Everything is context-driven: one
+// deadline bounds each streaming request end to end.
 //
 // Run with: go run ./examples/livestream
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
-	"p2pstream/internal/bandwidth"
-	"p2pstream/internal/dac"
-	"p2pstream/internal/directory"
-	"p2pstream/internal/media"
-	"p2pstream/internal/node"
+	"p2pstream"
 )
 
 func main() {
 	// A small, fast media item: 80 segments, δt = 10ms (a class-1 supplier
 	// transmits one segment every 20ms).
-	file := &media.File{Name: "popular-video", Segments: 80, SegmentBytes: 2048, SegmentTime: 10 * time.Millisecond}
+	file := &p2pstream.MediaFile{Name: "popular-video", Segments: 80, SegmentBytes: 2048, SegmentTime: 10 * time.Millisecond}
 
-	dirSrv := directory.NewServer(1)
+	dirSrv := p2pstream.NewDirectoryServer(1)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -38,40 +37,40 @@ func main() {
 	dirAddr := l.Addr().String()
 	fmt.Printf("directory on %s\n", dirAddr)
 
-	cfg := func(id string, class bandwidth.Class, seed int64) node.Config {
-		return node.Config{
-			ID: id, Class: class, NumClasses: 4, Policy: dac.DAC,
-			DirectoryAddr: dirAddr, File: file, M: 8,
-			TOut:    500 * time.Millisecond,
-			Backoff: dac.BackoffConfig{Base: 100 * time.Millisecond, Factor: 2},
-			Seed:    seed,
-		}
+	// One Overlay wires every peer: discovery backend, node lifecycle,
+	// protocol tuning. Close tears the whole cluster down.
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(dirAddr),
+		p2pstream.WithIdleTimeout(500*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 100 * time.Millisecond, Factor: 2}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer ov.Close()
 
-	var seeds []*node.Node
-	for i, class := range []bandwidth.Class{1, 2, 3, 3} {
+	ctx := context.Background()
+	var seeds []*p2pstream.Node
+	for i, class := range []p2pstream.Class{1, 2, 3, 3} {
 		id := fmt.Sprintf("seed%d", i+1)
-		n, err := node.NewSeed(cfg(id, class, int64(i+1)))
+		n, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: class})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := n.Start(); err != nil {
-			log.Fatal(err)
-		}
-		defer n.Close()
 		seeds = append(seeds, n)
 		fmt.Printf("%s: class-%d supplier on %s\n", id, class, n.Addr())
 	}
 
-	stream := func(id string, class bandwidth.Class) *node.Node {
-		n, err := node.NewRequester(cfg(id, class, time.Now().UnixNano()))
+	stream := func(id string, class p2pstream.Class) {
+		n, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: id, Class: class, Seed: time.Now().UnixNano()})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := n.Start(); err != nil {
-			log.Fatal(err)
-		}
-		report, err := n.RequestUntilAdmitted(20)
+		// The context deadline bounds the whole request: lookup, probes,
+		// session streams, post-session registration.
+		reqCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		report, err := n.RequestUntilAdmitted(reqCtx, 20)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,22 +88,19 @@ func main() {
 		} else {
 			fmt.Printf("  playback: %d stalls\n", report.Report.Stalls)
 		}
-		return n
 	}
 
 	// First session: class-1 requester, served by all four seeds
 	// (R0/2 + R0/4 + R0/8 + R0/8 = R0), delay 4·δt.
-	p1 := stream("peer1", 1)
-	defer p1.Close()
+	stream("peer1", 1)
 
 	// The system has grown: peer1 (class-1) now supplies. A second peer
 	// streams from the enlarged supplier set.
-	p2 := stream("peer2", 1)
-	defer p2.Close()
+	stream("peer2", 1)
 
 	for _, s := range seeds {
-		probes, sessions, reminders := s.Stats()
+		st := s.Stats()
 		fmt.Printf("%s stats: %d probes served, %d sessions supplied, %d reminders kept\n",
-			s.ID(), probes, sessions, reminders)
+			s.ID(), st.Probes, st.Sessions, st.Reminders)
 	}
 }

@@ -28,6 +28,7 @@
 package chordnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -40,7 +41,9 @@ import (
 	"p2pstream/internal/bandwidth"
 	"p2pstream/internal/chord"
 	"p2pstream/internal/clock"
+	"p2pstream/internal/errs"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/transport"
 )
 
@@ -97,19 +100,24 @@ type Config struct {
 	Successors int
 	// MaxHops bounds one lookup walk (default 2·FingerBits).
 	MaxHops int
-	// OnWriteError, when non-nil, observes reply-path write failures the
-	// request/response flow cannot surface (a peer hanging up mid-reply).
-	OnWriteError func(kind transport.Kind, err error)
+	// Observer, when non-nil, receives the peer's events: reply-path write
+	// failures the request/response flow cannot surface (a peer hanging up
+	// mid-reply) and completed key lookups with their routing cost.
+	Observer observe.Observer
 }
 
 // Peer is one chord discovery endpoint. Create with New, Start it, then
 // use it as the node's Discovery: Register joins the ring, Candidates
 // samples supplying peers, Close leaves and shuts down.
 type Peer struct {
-	cfg Config
-	clk clock.Clock
-	net netx.Network
-	id  uint64
+	cfg  Config
+	clk  clock.Clock
+	net  netx.Network
+	id   uint64
+	comp string // observer component name, precomputed off the hot paths
+	// onWriteErr forwards reply-write failures to the observer; built once
+	// at construction so the reply hot path allocates no closure.
+	onWriteErr func(transport.Kind, error)
 
 	writeFails atomic.Int64
 	// Discovery-cost counters (see LookupStats): key lookups this peer
@@ -157,15 +165,25 @@ func New(cfg Config) (*Peer, error) {
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = defaultMaxHops
 	}
-	return &Peer{
+	p := &Peer{
 		cfg:   cfg,
+		comp:  "chord/" + cfg.ID,
 		clk:   clock.Or(cfg.Clock),
 		net:   netx.Or(cfg.Network),
 		id:    chord.HashKey(cfg.ID),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		self:  transport.ChordContact{Name: cfg.ID, Class: cfg.Class},
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	p.onWriteErr = func(kind transport.Kind, err error) {
+		observe.Emit(p.cfg.Observer, observe.Event{
+			Component: p.comp,
+			Type:      observe.WriteError,
+			Wire:      string(kind),
+			Err:       err,
+		})
+	}
+	return p, nil
 }
 
 // Start opens the peer's chord listener and begins answering ring RPCs.
@@ -183,7 +201,7 @@ func (p *Peer) Start() error {
 	if p.closed {
 		p.mu.Unlock()
 		l.Close()
-		return fmt.Errorf("chordnet %s: closed", p.cfg.ID)
+		return fmt.Errorf("chordnet %s: %w", p.cfg.ID, errs.ErrClosed)
 	}
 	p.listener = l
 	p.self.Addr = l.Addr().String()
@@ -244,7 +262,7 @@ func (p *Peer) LookupStats() (lookups, hops, sampleRounds int64) {
 // peer founds a new singleton ring; otherwise it routes a lookup of its
 // own position to find its successor and splices in, retrying briefly if
 // the routed successor is a stale entry for a crashed peer.
-func (p *Peer) Register(reg transport.Register) error {
+func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 	if reg.ID != p.cfg.ID {
 		return fmt.Errorf("chordnet %s: register for foreign id %q", p.cfg.ID, reg.ID)
 	}
@@ -252,7 +270,7 @@ func (p *Peer) Register(reg transport.Register) error {
 	switch {
 	case p.closed:
 		p.mu.Unlock()
-		return fmt.Errorf("chordnet %s: closed", p.cfg.ID)
+		return fmt.Errorf("chordnet %s: %w", p.cfg.ID, errs.ErrClosed)
 	case p.listener == nil:
 		p.mu.Unlock()
 		return fmt.Errorf("chordnet %s: not started", p.cfg.ID)
@@ -282,10 +300,15 @@ func (p *Peer) Register(reg transport.Register) error {
 			if cap := joinBackoffCap * p.cfg.Stabilize; backoff > cap {
 				backoff = cap
 			}
-			p.clk.Sleep(backoff)
+			if err := clock.SleepCtx(ctx, p.clk, backoff); err != nil {
+				return err
+			}
 		}
-		succ, _, err := p.lookupVia(p.id)
+		succ, _, err := p.lookupVia(ctx, p.id)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			lastErr = err
 			continue
 		}
@@ -296,9 +319,12 @@ func (p *Peer) Register(reg transport.Register) error {
 			continue
 		}
 		var reply transport.ChordJoinReply
-		err = p.call(succ.Addr, transport.KindChordJoin, transport.ChordJoin{Peer: self},
+		err = p.call(ctx, succ.Addr, transport.KindChordJoin, transport.ChordJoin{Peer: self},
 			transport.KindChordJoinOK, &reply)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			lastErr = err
 			continue
 		}
@@ -324,7 +350,7 @@ func (p *Peer) Register(reg transport.Register) error {
 // notices land — no staleness window, no stabilization round, no eviction
 // churn. Neighbors that cannot be reached fall back to the crash healing
 // path as before.
-func (p *Peer) Unregister(id string) error {
+func (p *Peer) Unregister(ctx context.Context, id string) error {
 	if id != p.cfg.ID {
 		return fmt.Errorf("chordnet %s: unregister for foreign id %q", p.cfg.ID, id)
 	}
@@ -358,14 +384,16 @@ func (p *Peer) Unregister(id string) error {
 		if s.Name == self.Name {
 			continue
 		}
-		if p.call(s.Addr, transport.KindChordLeave, notice, transport.KindChordLeaveOK, &reply) == nil {
+		if p.call(ctx, s.Addr, transport.KindChordLeave, notice, transport.KindChordLeaveOK, &reply) == nil {
 			break // the live successor inherits the key range
 		}
 	}
 	if pred != nil && pred.Name != self.Name && (len(succs) == 0 || pred.Name != succs[0].Name) {
-		_ = p.call(pred.Addr, transport.KindChordLeave, notice, transport.KindChordLeaveOK, &reply)
+		_ = p.call(ctx, pred.Addr, transport.KindChordLeave, notice, transport.KindChordLeaveOK, &reply)
 	}
-	return nil
+	// The handover itself is best effort, but a cancelled context must
+	// surface: the caller cannot assume the neighbors were notified.
+	return ctx.Err()
 }
 
 // Candidates samples up to m distinct supplying peers by routing lookups
@@ -373,7 +401,7 @@ func (p *Peer) Unregister(id string) error {
 // issues the missing draws in parallel; with fewer ring members than m the
 // sample simply comes back short, and the admission sweep retries later
 // against a grown ring.
-func (p *Peer) Candidates(m int, exclude string) ([]transport.Candidate, error) {
+func (p *Peer) Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error) {
 	if m <= 0 {
 		return nil, nil
 	}
@@ -395,7 +423,7 @@ func (p *Peer) Candidates(m int, exclude string) ([]transport.Candidate, error) 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if owner, err := p.lookup(key); err == nil {
+				if owner, err := p.lookup(ctx, key); err == nil {
 					owners[i] = &owner
 				}
 			}()
@@ -407,6 +435,9 @@ func (p *Peer) Candidates(m int, exclude string) ([]transport.Candidate, error) 
 			}
 			seen[c.Name] = true
 			out = append(out, transport.Candidate{ID: c.Name, Addr: c.NodeAddr, Class: c.Class})
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
 	}
 	return out, nil
@@ -444,9 +475,10 @@ func (p *Peer) Close() error {
 }
 
 // LookupKey routes a full lookup of an arbitrary key and returns the
-// owning contact — exported for tests and diagnostics.
-func (p *Peer) LookupKey(key uint64) (transport.ChordContact, error) {
-	return p.lookup(key)
+// owning contact — exported for tests and diagnostics. ctx cancels the
+// walk mid-hop.
+func (p *Peer) LookupKey(ctx context.Context, key uint64) (transport.ChordContact, error) {
+	return p.lookup(ctx, key)
 }
 
 // bootstraps returns the configured bootstrap addresses minus the peer's
@@ -464,29 +496,38 @@ func (p *Peer) bootstraps() []string {
 
 // lookup routes one key: members walk the ring themselves, non-members
 // delegate the walk to a bootstrap member. Both paths feed the
-// discovery-cost counters.
-func (p *Peer) lookup(key uint64) (transport.ChordContact, error) {
+// discovery-cost counters and emit a LookupDone event on the observer.
+func (p *Peer) lookup(ctx context.Context, key uint64) (transport.ChordContact, error) {
 	p.mu.Lock()
 	joined := p.joined
 	p.mu.Unlock()
+	start := p.clk.Now()
 	var owner transport.ChordContact
 	var hops int
 	var err error
 	if joined {
-		owner, hops, err = p.findOwner(key)
+		owner, hops, err = p.findOwner(ctx, key)
 	} else {
-		owner, hops, err = p.lookupVia(key)
+		owner, hops, err = p.lookupVia(ctx, key)
 	}
+	err = transport.CtxErr(ctx, err)
 	if err == nil {
 		p.lookupCount.Add(1)
 		p.hopCount.Add(int64(hops))
 	}
+	observe.Emit(p.cfg.Observer, observe.Event{
+		Component: p.comp,
+		Type:      observe.LookupDone,
+		Hops:      hops,
+		Latency:   p.clk.Since(start),
+		Err:       err,
+	})
 	return owner, err
 }
 
 // lookupVia delegates a key lookup to the first answering bootstrap,
 // returning the owner and the hops the routing member expended.
-func (p *Peer) lookupVia(key uint64) (transport.ChordContact, int, error) {
+func (p *Peer) lookupVia(ctx context.Context, key uint64) (transport.ChordContact, int, error) {
 	boots := p.bootstraps()
 	if len(boots) == 0 {
 		return transport.ChordContact{}, 0, fmt.Errorf("chordnet %s: no bootstrap members", p.cfg.ID)
@@ -494,10 +535,13 @@ func (p *Peer) lookupVia(key uint64) (transport.ChordContact, int, error) {
 	var lastErr error
 	for _, addr := range boots {
 		var reply transport.ChordLookupReply
-		err := p.call(addr, transport.KindChordLookup, transport.ChordLookup{Key: key},
+		err := p.call(ctx, addr, transport.KindChordLookup, transport.ChordLookup{Key: key},
 			transport.KindChordLookupOK, &reply)
 		if err == nil {
 			return reply.Owner, reply.Hops, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return transport.ChordContact{}, 0, cerr
 		}
 		lastErr = err
 	}
@@ -507,19 +551,22 @@ func (p *Peer) lookupVia(key uint64) (transport.ChordContact, int, error) {
 // findOwner iteratively routes a key from this member: one finger-query
 // per hop, restarting from scratch when a hop is dead (after evicting it,
 // so the retry routes around the corpse).
-func (p *Peer) findOwner(key uint64) (transport.ChordContact, int, error) {
+func (p *Peer) findOwner(ctx context.Context, key uint64) (transport.ChordContact, int, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		owner, hops, err := p.walk(key)
+		owner, hops, err := p.walk(ctx, key)
 		if err == nil {
 			return owner, hops, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return transport.ChordContact{}, 0, cerr
 		}
 		lastErr = err
 	}
 	return transport.ChordContact{}, 0, lastErr
 }
 
-func (p *Peer) walk(key uint64) (transport.ChordContact, int, error) {
+func (p *Peer) walk(ctx context.Context, key uint64) (transport.ChordContact, int, error) {
 	done, next := p.step(key)
 	hops := 0
 	for !done {
@@ -532,7 +579,7 @@ func (p *Peer) walk(key uint64) (transport.ChordContact, int, error) {
 			continue
 		}
 		var reply transport.ChordFingerReply
-		err := p.call(next.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: key},
+		err := p.call(ctx, next.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: key},
 			transport.KindChordFingerOK, &reply)
 		if err != nil {
 			p.evict(next)
@@ -706,7 +753,7 @@ func (p *Peer) stabilizeOnce() {
 			break
 		}
 		var reply transport.ChordNotifyReply
-		err := p.call(s.Addr, transport.KindChordNotify, transport.ChordNotify{Peer: self},
+		err := p.call(context.Background(), s.Addr, transport.KindChordNotify, transport.ChordNotify{Peer: self},
 			transport.KindChordNotifyOK, &reply)
 		if err != nil {
 			p.evict(s)
@@ -737,7 +784,7 @@ func (p *Peer) stabilizeOnce() {
 
 	if pred != nil && pred.Name != self.Name {
 		var reply transport.ChordFingerReply
-		err := p.call(pred.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: p.id},
+		err := p.call(context.Background(), pred.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: p.id},
 			transport.KindChordFingerOK, &reply)
 		if err != nil {
 			p.mu.Lock()
@@ -757,7 +804,7 @@ func (p *Peer) stabilizeOnce() {
 		j := p.nextFinger
 		p.nextFinger = (p.nextFinger + 1) % chord.FingerBits
 		p.mu.Unlock()
-		owner, _, err := p.findOwner(chord.FingerTarget(p.id, j))
+		owner, _, err := p.findOwner(context.Background(), chord.FingerTarget(p.id, j))
 		p.mu.Lock()
 		if err != nil {
 			p.setFingerLocked(j, transport.ChordContact{})
@@ -804,7 +851,7 @@ func (p *Peer) handleConn(conn net.Conn) {
 		if err := env.Decode(&req); err != nil {
 			return
 		}
-		owner, hops, err := p.findOwner(req.Key)
+		owner, hops, err := p.findOwner(context.Background(), req.Key)
 		if err != nil {
 			p.reply(conn, transport.KindError, transport.Error{Message: err.Error()})
 			return
@@ -922,24 +969,30 @@ func (p *Peer) spliceLeave(req transport.ChordLeave) {
 	}
 }
 
-// reply writes one response, feeding failures to the write-error hook.
+// reply writes one response, feeding failures to the peer's observer via
+// the hook built once at construction (no per-reply closure).
 func (p *Peer) reply(conn net.Conn, kind transport.Kind, body any) {
-	transport.WriteReply(conn, kind, body, &p.writeFails, p.cfg.OnWriteError)
+	transport.WriteReply(conn, kind, body, &p.writeFails, p.onWriteErr)
 }
 
-// call performs one outbound RPC exchange.
-func (p *Peer) call(addr string, kind transport.Kind, req any, want transport.Kind, out any) error {
+// call performs one outbound RPC exchange, bounded by ctx and — always,
+// even under a caller deadline — by the wall-clock rpcTimeout, so one
+// black-holed member stalls a walk for at most 10s regardless of how far
+// away the caller's own deadline is. A parent cancellation or earlier
+// parent deadline still propagates through the derived context.
+func (p *Peer) call(ctx context.Context, addr string, kind transport.Kind, req any, want transport.Kind, out any) error {
 	if addr == "" {
 		return fmt.Errorf("chordnet %s: empty contact address", p.cfg.ID)
 	}
-	conn, err := p.net.Dial(addr)
+	rctx, cancel := clock.ContextWithTimeout(ctx, clock.System(), rpcTimeout)
+	defer cancel()
+	err := transport.Call(rctx, p.net, addr, kind, req, want, out)
+	// The per-RPC cap is an internal liveness bound, not the caller's
+	// cancellation: report the caller's own error only when it fired.
 	if err != nil {
-		return err
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(rpcTimeout))
-	if err := transport.Write(conn, kind, req); err != nil {
-		return err
-	}
-	return transport.ReadExpect(conn, want, out)
+	return err
 }

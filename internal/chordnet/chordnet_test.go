@@ -1,6 +1,7 @@
 package chordnet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -12,6 +13,9 @@ import (
 	"p2pstream/internal/netx"
 	"p2pstream/internal/transport"
 )
+
+// ctx is the package-wide test context; cancellation tests derive their own.
+var ctx = context.Background()
 
 // fixture is one wire-level ring on a fresh virtual substrate.
 type fixture struct {
@@ -41,7 +45,7 @@ func newFixture(t *testing.T) *fixture {
 func (f *fixture) addMember(name string, class bandwidth.Class) *Peer {
 	f.t.Helper()
 	p := f.newPeer(name, class)
-	if err := p.Register(transport.Register{ID: name, Addr: "overlay-" + name + ":9", Class: class}); err != nil {
+	if err := p.Register(ctx, transport.Register{ID: name, Addr: "overlay-" + name + ":9", Class: class}); err != nil {
 		f.t.Fatalf("register %s: %v", name, err)
 	}
 	f.boot = append(f.boot, p.Addr())
@@ -135,7 +139,7 @@ func TestSingletonFoundsRing(t *testing.T) {
 	if len(succs) != 1 || succs[0].Name != "solo" {
 		t.Fatalf("singleton successors = %v", succs)
 	}
-	owner, err := p.LookupKey(12345)
+	owner, err := p.LookupKey(ctx, 12345)
 	if err != nil {
 		t.Fatalf("singleton lookup: %v", err)
 	}
@@ -159,7 +163,7 @@ func TestJoinAndStabilize(t *testing.T) {
 		p := f.peers[m]
 		for key := uint64(0); key < 40; key++ {
 			k := chord.HashKey(fmt.Sprintf("key-%d", key))
-			owner, err := p.LookupKey(k)
+			owner, err := p.LookupKey(ctx, k)
 			if err != nil {
 				t.Fatalf("%s lookup %d: %v", m, key, err)
 			}
@@ -204,7 +208,7 @@ func TestCrashHealsRing(t *testing.T) {
 	for _, m := range alive {
 		for key := uint64(0); key < 25; key++ {
 			k := chord.HashKey(fmt.Sprintf("heal-%d", key))
-			owner, err := f.peers[m].LookupKey(k)
+			owner, err := f.peers[m].LookupKey(ctx, k)
 			if err != nil {
 				t.Fatalf("%s lookup after heal: %v", m, err)
 			}
@@ -233,12 +237,12 @@ func TestRejoinAfterCrash(t *testing.T) {
 	// same name must be able to rejoin through the surviving members.
 	f.vnet.SetUp("p3")
 	p := f.newPeer("p3", 2)
-	if err := p.Register(transport.Register{ID: "p3", Addr: "overlay-p3:9", Class: 2}); err != nil {
+	if err := p.Register(ctx, transport.Register{ID: "p3", Addr: "overlay-p3:9", Class: 2}); err != nil {
 		t.Fatalf("rejoin: %v", err)
 	}
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "ring to absorb the rejoin")
 	k := chord.HashKey("rejoin-probe")
-	owner, err := f.peers["p0"].LookupKey(k)
+	owner, err := f.peers["p0"].LookupKey(ctx, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +260,7 @@ func TestCandidatesFromNonMember(t *testing.T) {
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
 
 	r := f.newPeer("req", 1) // never joins: samples via bootstrap key-lookups
-	cands, err := r.Candidates(4, "s0")
+	cands, err := r.Candidates(ctx, 4, "s0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +282,7 @@ func TestCandidatesFromNonMember(t *testing.T) {
 	}
 
 	// A member samples too (the requester-turned-supplier path).
-	cands, err = f.peers["s1"].Candidates(3, "s1")
+	cands, err = f.peers["s1"].Candidates(ctx, 3, "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +301,7 @@ func TestUnregisterLeavesRing(t *testing.T) {
 	}
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
 
-	if err := f.peers["b"].Unregister("b"); err != nil {
+	if err := f.peers["b"].Unregister(ctx, "b"); err != nil {
 		t.Fatal(err)
 	}
 	if f.peers["b"].Joined() {
@@ -307,7 +311,7 @@ func TestUnregisterLeavesRing(t *testing.T) {
 	f.waitFor(func() bool { return ringHealthy(f.peers, rest) },
 		"ring to splice out the departed member")
 	k := chord.HashKey("post-leave")
-	owner, err := f.peers["a"].LookupKey(k)
+	owner, err := f.peers["a"].LookupKey(ctx, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +345,7 @@ func TestGracefulLeaveClosesStalenessWindow(t *testing.T) {
 		}
 	}
 	left := f2.clk.Now()
-	if err := f2.peers[leaver].Unregister(leaver); err != nil {
+	if err := f2.peers[leaver].Unregister(ctx, leaver); err != nil {
 		t.Fatal(err)
 	}
 
@@ -364,7 +368,7 @@ func TestGracefulLeaveClosesStalenessWindow(t *testing.T) {
 	for _, m := range []string{predName, succName} {
 		for k := 0; k < 8; k++ {
 			key := chord.HashKey(fmt.Sprintf("leave-%d", k))
-			owner, err := f2.peers[m].LookupKey(key)
+			owner, err := f2.peers[m].LookupKey(ctx, key)
 			if err != nil {
 				t.Fatalf("%s lookup right after leave: %v", m, err)
 			}
@@ -389,7 +393,7 @@ func TestLookupStats(t *testing.T) {
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
 
 	r := f.newPeer("req", 1) // non-member: delegated lookups
-	if _, err := r.Candidates(3, ""); err != nil {
+	if _, err := r.Candidates(ctx, 3, ""); err != nil {
 		t.Fatal(err)
 	}
 	lookups, hops, rounds := r.LookupStats()
@@ -405,7 +409,7 @@ func TestLookupStats(t *testing.T) {
 
 	m := f.peers["s0"]
 	before, _, beforeRounds := m.LookupStats()
-	if _, err := m.Candidates(2, "s0"); err != nil {
+	if _, err := m.Candidates(ctx, 2, "s0"); err != nil {
 		t.Fatal(err)
 	}
 	after, _, afterRounds := m.LookupStats()
@@ -428,13 +432,13 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Register(transport.Register{ID: "x", Addr: "a:1", Class: 1}); err == nil {
+	if err := p.Register(ctx, transport.Register{ID: "x", Addr: "a:1", Class: 1}); err == nil {
 		t.Error("register before Start accepted")
 	}
-	if err := p.Register(transport.Register{ID: "other", Addr: "a:1", Class: 1}); err == nil {
+	if err := p.Register(ctx, transport.Register{ID: "other", Addr: "a:1", Class: 1}); err == nil {
 		t.Error("register for a foreign ID accepted")
 	}
-	if err := p.Unregister("other"); err == nil {
+	if err := p.Unregister(ctx, "other"); err == nil {
 		t.Error("unregister for a foreign ID accepted")
 	}
 }

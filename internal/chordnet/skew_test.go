@@ -72,7 +72,7 @@ func TestSamplingSkewArcProportional(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := w; i < draws; i += parallel {
-				owner, err := from.LookupKey(keys[i])
+				owner, err := from.LookupKey(ctx, keys[i])
 				if err != nil {
 					t.Errorf("draw %d: %v", i, err)
 					return

@@ -1,0 +1,111 @@
+package clock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ContextWithTimeout derives a context that is cancelled with
+// context.DeadlineExceeded after d of clock time — the clock-aware
+// equivalent of context.WithTimeout. On the system clock the two are
+// interchangeable; on a virtual clock the deadline fires deterministically
+// with virtual time, which is what lets cancellation tests prove deadline
+// behavior within one clock step instead of sleeping wall time.
+//
+// The returned CancelFunc must be called (typically deferred) to release
+// the timer and the parent watcher.
+func ContextWithTimeout(parent context.Context, clk Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	return ContextWithDeadline(parent, clk, clk.Now().Add(d))
+}
+
+// ContextWithDeadline derives a context cancelled with
+// context.DeadlineExceeded at instant deadline on clk. See
+// ContextWithTimeout.
+func ContextWithDeadline(parent context.Context, clk Clock, deadline time.Time) (context.Context, context.CancelFunc) {
+	c := &deadlineCtx{parent: parent, deadline: deadline, done: make(chan struct{})}
+	d := deadline.Sub(clk.Now())
+	if d <= 0 {
+		c.cancel(context.DeadlineExceeded)
+		return c, func() { c.cancel(context.Canceled) }
+	}
+	c.timer = clk.AfterFunc(d, func() { c.cancel(context.DeadlineExceeded) })
+	if pd := parent.Done(); pd != nil {
+		go func() {
+			select {
+			case <-pd:
+				c.cancel(parent.Err())
+			case <-c.done:
+			}
+		}()
+	}
+	return c, func() { c.cancel(context.Canceled) }
+}
+
+// deadlineCtx is a context whose deadline runs on a Clock.
+type deadlineCtx struct {
+	parent   context.Context
+	deadline time.Time
+	timer    Timer
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+func (c *deadlineCtx) cancel(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	t := c.timer
+	c.timer = nil
+	close(c.done)
+	c.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// Deadline returns the clock instant of the deadline. Note that under a
+// virtual clock this is a virtual instant; net.Conn deadlines derived from
+// it are meaningful only on the system clock (virtual connections ignore
+// deadlines anyway).
+func (c *deadlineCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func (c *deadlineCtx) Done() <-chan struct{} { return c.done }
+
+func (c *deadlineCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *deadlineCtx) Value(key any) any { return c.parent.Value(key) }
+
+// SleepCtx blocks for d of clock time or until ctx is cancelled, whichever
+// comes first, returning ctx.Err() in the latter case — the cancellable
+// spelling of Clock.Sleep used by retry/backoff loops.
+func SleepCtx(ctx context.Context, clk Clock, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if ctx.Done() == nil {
+		clk.Sleep(d)
+		return nil
+	}
+	ch := make(chan struct{})
+	t := clk.AfterFunc(d, func() { close(ch) })
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
+}

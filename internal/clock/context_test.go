@@ -1,0 +1,124 @@
+package clock
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestContextWithTimeoutVirtual: the deadline fires on virtual time,
+// deterministically, and surfaces context.DeadlineExceeded.
+func TestContextWithTimeoutVirtual(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := ContextWithTimeout(context.Background(), v, 50*time.Millisecond)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh context already errored: %v", err)
+	}
+	if d, ok := ctx.Deadline(); !ok || !d.Equal(Epoch.Add(50*time.Millisecond)) {
+		t.Errorf("Deadline = %v, %v", d, ok)
+	}
+	v.Advance(49 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before its deadline")
+	default:
+	}
+	v.Advance(2 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not done after its deadline")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+// TestContextCancelBeatsDeadline: an explicit cancel yields
+// context.Canceled and stops the timer.
+func TestContextCancelBeatsDeadline(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := ContextWithTimeout(context.Background(), v, time.Hour)
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("Err = %v, want Canceled", ctx.Err())
+	}
+	v.Advance(2 * time.Hour)
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("deadline overwrote the cancel: %v", ctx.Err())
+	}
+}
+
+// TestContextParentCancelPropagates: cancelling the parent cancels the
+// derived clock context with the parent's error.
+func TestContextParentCancelPropagates(t *testing.T) {
+	v := NewVirtual()
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := ContextWithTimeout(parent, v, time.Hour)
+	defer cancel()
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("parent cancel never propagated")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("Err = %v, want Canceled", ctx.Err())
+	}
+}
+
+// TestContextExpiredBudget: a non-positive budget is exceeded immediately.
+func TestContextExpiredBudget(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := ContextWithTimeout(context.Background(), v, -time.Second)
+	defer cancel()
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want immediate DeadlineExceeded", ctx.Err())
+	}
+}
+
+// TestContextValuePassthrough: Value delegates to the parent.
+func TestContextValuePassthrough(t *testing.T) {
+	type key struct{}
+	v := NewVirtual()
+	parent := context.WithValue(context.Background(), key{}, "x")
+	ctx, cancel := ContextWithTimeout(parent, v, time.Hour)
+	defer cancel()
+	if got := ctx.Value(key{}); got != "x" {
+		t.Errorf("Value = %v, want x", got)
+	}
+}
+
+// TestSleepCtx: completes on clock time, aborts on cancellation with
+// ctx.Err(), and is a no-op for non-positive durations.
+func TestSleepCtx(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AutoRun()
+	defer stop()
+
+	if err := SleepCtx(context.Background(), v, 10*time.Millisecond); err != nil {
+		t.Fatalf("plain sleep: %v", err)
+	}
+	if err := SleepCtx(context.Background(), v, -time.Second); err != nil {
+		t.Fatalf("negative sleep: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	v.AfterFunc(5*time.Millisecond, cancel)
+	start := v.Now()
+	err := SleepCtx(ctx, v, time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if woke := v.Since(start); woke > 10*time.Millisecond {
+		t.Errorf("cancelled sleep woke after %v of virtual time, want ~5ms", woke)
+	}
+
+	cancelled, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if err := SleepCtx(cancelled, v, time.Nanosecond); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled sleep: %v", err)
+	}
+}

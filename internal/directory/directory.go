@@ -6,6 +6,7 @@
 package directory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,8 +15,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pstream/internal/errs"
 	"p2pstream/internal/lookup"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/transport"
 )
 
@@ -31,13 +34,16 @@ type Server struct {
 	// (see defaultTimeout). Set before Serve; zero disables the deadline
 	// (virtual networks ignore deadlines anyway and rely on Close).
 	Timeout time.Duration
-	// OnWriteError, when non-nil, observes reply writes that failed
-	// mid-exchange — a client hangup the request/response flow would
-	// otherwise mistake for success. Set before Serve. Counted regardless
-	// in WriteFailures.
-	OnWriteError func(kind transport.Kind, err error)
+	// Observer, when non-nil, receives the server's events — reply writes
+	// that failed mid-exchange (a client hangup the request/response flow
+	// would otherwise mistake for success), which are counted regardless
+	// in WriteFailures. Set before Serve.
+	Observer observe.Observer
 
 	writeFails atomic.Int64
+	// onWriteErr forwards reply-write failures to Observer; built once at
+	// construction so the reply hot path allocates no closure.
+	onWriteErr func(transport.Kind, error)
 	stats      struct{ registers, refreshes, unregisters, lookups atomic.Int64 }
 
 	mu    sync.Mutex
@@ -54,13 +60,22 @@ type Server struct {
 // NewServer returns an empty directory server. The seed fixes candidate
 // sampling for reproducible tests.
 func NewServer(seed int64) *Server {
-	return &Server{
+	s := &Server{
 		Timeout: defaultTimeout,
 		dir:     lookup.NewDirectory[string](),
 		addrs:   make(map[string]string),
 		rng:     rand.New(rand.NewSource(seed)),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	s.onWriteErr = func(kind transport.Kind, err error) {
+		observe.Emit(s.Observer, observe.Event{
+			Component: "directory",
+			Type:      observe.WriteError,
+			Wire:      string(kind),
+			Err:       err,
+		})
+	}
+	return s
 }
 
 // Len returns the number of registered suppliers.
@@ -81,7 +96,7 @@ func (s *Server) Serve(l net.Listener) error {
 	if s.closed {
 		s.mu.Unlock()
 		l.Close()
-		return errors.New("directory: server closed")
+		return fmt.Errorf("directory: server %w", errs.ErrClosed)
 	}
 	s.listener = l
 	s.mu.Unlock()
@@ -130,7 +145,7 @@ func (s *Server) Close() error {
 }
 
 // WriteFailures counts reply writes that failed mid-exchange (the client
-// hung up while the response was in flight). See OnWriteError.
+// hung up while the response was in flight). See Observer.
 func (s *Server) WriteFailures() int64 { return s.writeFails.Load() }
 
 // Stats describes one directory server's request counters — with a sharded
@@ -200,10 +215,10 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// reply writes one response, feeding failures into the per-conn
-// write-error hook.
+// reply writes one response, feeding failures into the server's observer
+// via the hook built once at construction (no per-reply closure).
 func (s *Server) reply(conn net.Conn, kind transport.Kind, body any) {
-	transport.WriteReply(conn, kind, body, &s.writeFails, s.OnWriteError)
+	transport.WriteReply(conn, kind, body, &s.writeFails, s.onWriteErr)
 }
 
 func (s *Server) replyError(conn net.Conn, err error) {
@@ -254,7 +269,7 @@ func (s *Server) lookup(req transport.Lookup) transport.Candidates {
 		m++ // oversample so the exclusion still leaves M candidates
 	}
 	entries := s.dir.Sample(m, s.rng)
-	out := transport.Candidates{}
+	out := transport.Candidates{Len: s.dir.Len()}
 	for _, e := range entries {
 		if e.ID == req.Exclude {
 			continue
@@ -283,20 +298,24 @@ func NewClientOn(network netx.Network, addr string) *Client {
 	return &Client{net: netx.Or(network), addr: addr}
 }
 
-// Register announces a supplying peer.
-func (c *Client) Register(reg transport.Register) error {
-	return c.call(transport.KindRegister, reg, transport.KindRegisterOK, nil)
+// Register announces a supplying peer. ctx bounds the exchange.
+func (c *Client) Register(ctx context.Context, reg transport.Register) error {
+	return c.call(ctx, transport.KindRegister, reg, transport.KindRegisterOK, nil)
 }
 
-// Unregister removes a supplying peer.
-func (c *Client) Unregister(id string) error {
-	return c.call(transport.KindUnregister, transport.Unregister{ID: id}, transport.KindUnregisterOK, nil)
+// Unregister removes a supplying peer. ctx bounds the exchange.
+func (c *Client) Unregister(ctx context.Context, id string) error {
+	return c.call(ctx, transport.KindUnregister, transport.Unregister{ID: id}, transport.KindUnregisterOK, nil)
 }
 
 // Candidates fetches up to m random candidates, excluding the given peer
 // ID — the node.Discovery spelling of Lookup.
-func (c *Client) Candidates(m int, exclude string) ([]transport.Candidate, error) {
-	return c.Lookup(m, exclude)
+func (c *Client) Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error) {
+	reply, err := c.Lookup(ctx, m, exclude)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Peers, nil
 }
 
 // Close releases nothing: the client is connectionless (one dial per
@@ -304,23 +323,20 @@ func (c *Client) Candidates(m int, exclude string) ([]transport.Candidate, error
 func (c *Client) Close() error { return nil }
 
 // Lookup fetches up to m random candidates, excluding the given peer ID.
-func (c *Client) Lookup(m int, exclude string) ([]transport.Candidate, error) {
+// The reply carries the answering registry's total size (Len), which the
+// sharded client's merge uses as its weight.
+func (c *Client) Lookup(ctx context.Context, m int, exclude string) (transport.Candidates, error) {
 	var resp transport.Candidates
-	err := c.call(transport.KindLookup, transport.Lookup{M: m, Exclude: exclude}, transport.KindCandidates, &resp)
+	err := c.call(ctx, transport.KindLookup, transport.Lookup{M: m, Exclude: exclude}, transport.KindCandidates, &resp)
 	if err != nil {
-		return nil, err
+		return transport.Candidates{}, err
 	}
-	return resp.Peers, nil
+	return resp, nil
 }
 
-func (c *Client) call(kind transport.Kind, req any, wantKind transport.Kind, resp any) error {
-	conn, err := c.net.Dial(c.addr)
-	if err != nil {
-		return fmt.Errorf("directory: dialing %s: %w", c.addr, err)
+func (c *Client) call(ctx context.Context, kind transport.Kind, req any, wantKind transport.Kind, resp any) error {
+	if err := transport.Call(ctx, c.net, c.addr, kind, req, wantKind, resp); err != nil {
+		return fmt.Errorf("directory: calling %s: %w", c.addr, err)
 	}
-	defer conn.Close()
-	if err := transport.Write(conn, kind, req); err != nil {
-		return err
-	}
-	return transport.ReadExpect(conn, wantKind, resp)
+	return nil
 }

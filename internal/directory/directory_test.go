@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -24,10 +25,11 @@ func startServer(t *testing.T) (string, *Server) {
 }
 
 func TestRegisterLookupUnregister(t *testing.T) {
+	ctx := context.Background()
 	addr, srv := startServer(t)
 	c := NewClient(addr)
 	for i, class := range []int{1, 2, 3, 4} {
-		err := c.Register(transport.Register{
+		err := c.Register(ctx, transport.Register{
 			ID:    string(rune('a' + i)),
 			Addr:  "127.0.0.1:1000",
 			Class: bandwidth.Class(class),
@@ -39,62 +41,65 @@ func TestRegisterLookupUnregister(t *testing.T) {
 	if srv.Len() != 4 {
 		t.Fatalf("Len = %d", srv.Len())
 	}
-	cands, err := c.Lookup(10, "")
+	cands, err := c.Candidates(ctx, 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cands) != 4 {
 		t.Fatalf("Lookup returned %d", len(cands))
 	}
-	if err := c.Unregister("a"); err != nil {
+	if err := c.Unregister(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Len() != 3 {
 		t.Fatalf("Len after unregister = %d", srv.Len())
 	}
 	// Unregistering twice is idempotent at the protocol level.
-	if err := c.Unregister("a"); err != nil {
+	if err := c.Unregister(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRegisterDuplicateRejected(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startServer(t)
 	c := NewClient(addr)
 	reg := transport.Register{ID: "x", Addr: "127.0.0.1:1", Class: 1}
-	if err := c.Register(reg); err != nil {
+	if err := c.Register(ctx, reg); err != nil {
 		t.Fatal(err)
 	}
-	err := c.Register(reg)
+	err := c.Register(ctx, reg)
 	if err == nil || !strings.Contains(err.Error(), "already registered") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRegisterValidation(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startServer(t)
 	c := NewClient(addr)
-	if err := c.Register(transport.Register{ID: "", Addr: "a", Class: 1}); err == nil {
+	if err := c.Register(ctx, transport.Register{ID: "", Addr: "a", Class: 1}); err == nil {
 		t.Error("empty ID should fail")
 	}
-	if err := c.Register(transport.Register{ID: "x", Addr: "", Class: 1}); err == nil {
+	if err := c.Register(ctx, transport.Register{ID: "x", Addr: "", Class: 1}); err == nil {
 		t.Error("empty addr should fail")
 	}
-	if err := c.Register(transport.Register{ID: "x", Addr: "a", Class: 0}); err == nil {
+	if err := c.Register(ctx, transport.Register{ID: "x", Addr: "a", Class: 0}); err == nil {
 		t.Error("invalid class should fail")
 	}
 }
 
 func TestLookupExcludesSelf(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startServer(t)
 	c := NewClient(addr)
 	for _, id := range []string{"me", "other1", "other2"} {
-		if err := c.Register(transport.Register{ID: id, Addr: "127.0.0.1:1", Class: 2}); err != nil {
+		if err := c.Register(ctx, transport.Register{ID: id, Addr: "127.0.0.1:1", Class: 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for trial := 0; trial < 20; trial++ {
-		cands, err := c.Lookup(2, "me")
+		cands, err := c.Candidates(ctx, 2, "me")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,8 +115,9 @@ func TestLookupExcludesSelf(t *testing.T) {
 }
 
 func TestLookupEmptyDirectory(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startServer(t)
-	cands, err := NewClient(addr).Lookup(8, "")
+	cands, err := NewClient(addr).Candidates(ctx, 8, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,12 +127,13 @@ func TestLookupEmptyDirectory(t *testing.T) {
 }
 
 func TestLookupReturnsAddresses(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startServer(t)
 	c := NewClient(addr)
-	if err := c.Register(transport.Register{ID: "x", Addr: "10.0.0.1:42", Class: 3}); err != nil {
+	if err := c.Register(ctx, transport.Register{ID: "x", Addr: "10.0.0.1:42", Class: 3}); err != nil {
 		t.Fatal(err)
 	}
-	cands, err := c.Lookup(1, "")
+	cands, err := c.Candidates(ctx, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +159,7 @@ func TestServerRejectsUnexpectedKind(t *testing.T) {
 }
 
 func TestServerSurvivesGarbageConnection(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startServer(t)
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -161,17 +169,18 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 	conn.Close()
 	// The server must still answer a well-formed request.
 	c := NewClient(addr)
-	if err := c.Register(transport.Register{ID: "ok", Addr: "a:1", Class: 1}); err != nil {
+	if err := c.Register(ctx, transport.Register{ID: "ok", Addr: "a:1", Class: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestClientDialFailure(t *testing.T) {
+	ctx := context.Background()
 	c := NewClient("127.0.0.1:1") // nothing listens here
-	if err := c.Register(transport.Register{ID: "x", Addr: "a", Class: 1}); err == nil {
+	if err := c.Register(ctx, transport.Register{ID: "x", Addr: "a", Class: 1}); err == nil {
 		t.Error("dial failure should surface")
 	}
-	if _, err := c.Lookup(1, ""); err == nil {
+	if _, err := c.Candidates(ctx, 1, ""); err == nil {
 		t.Error("dial failure should surface")
 	}
 }

@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 // every operation succeeds, lookups only ever return live candidates with
 // addresses, and the final registration count is exact.
 func TestServerConcurrentClients(t *testing.T) {
+	ctx := context.Background()
 	clk := clock.NewVirtual()
 	stop := clk.AutoRun()
 	defer stop()
@@ -44,13 +46,13 @@ func TestServerConcurrentClients(t *testing.T) {
 			cl := NewClientOn(vnet.Host(fmt.Sprintf("h%d", w)), l.Addr().String())
 			for i := 0; i < ops; i++ {
 				id := fmt.Sprintf("w%d-%d", w, i)
-				if err := cl.Register(transport.Register{
+				if err := cl.Register(ctx, transport.Register{
 					ID: id, Addr: id + ":1", Class: bandwidth.Class(1 + i%4),
 				}); err != nil {
 					errs <- fmt.Errorf("register %s: %w", id, err)
 					return
 				}
-				cands, err := cl.Lookup(4, id)
+				cands, err := cl.Candidates(ctx, 4, id)
 				if err != nil {
 					errs <- fmt.Errorf("lookup by %s: %w", id, err)
 					return
@@ -66,7 +68,7 @@ func TestServerConcurrentClients(t *testing.T) {
 				// Unregister every other registration so the directory
 				// shrinks and grows while lookups sample it.
 				if i%2 == 0 {
-					if err := cl.Unregister(id); err != nil {
+					if err := cl.Unregister(ctx, id); err != nil {
 						errs <- fmt.Errorf("unregister %s: %w", id, err)
 						return
 					}
@@ -89,6 +91,7 @@ func TestServerConcurrentClients(t *testing.T) {
 // unregister the same ID never corrupt the directory — at the end, one
 // final registration wins and a lookup can return it.
 func TestServerConcurrentSameID(t *testing.T) {
+	ctx := context.Background()
 	clk := clock.NewVirtual()
 	stop := clk.AutoRun()
 	defer stop()
@@ -113,18 +116,18 @@ func TestServerConcurrentSameID(t *testing.T) {
 			for i := 0; i < 10; i++ {
 				// Duplicate registrations are errors by contract; the
 				// point is that the server survives the race unscathed.
-				cl.Register(transport.Register{ID: "contested", Addr: "contested:1", Class: 1})
-				cl.Unregister("contested")
+				cl.Register(ctx, transport.Register{ID: "contested", Addr: "contested:1", Class: 1})
+				cl.Unregister(ctx, "contested")
 			}
 		}()
 	}
 	wg.Wait()
 
 	cl := NewClientOn(vnet.Host("final"), l.Addr().String())
-	if err := cl.Register(transport.Register{ID: "contested", Addr: "contested:1", Class: 2}); err != nil {
+	if err := cl.Register(ctx, transport.Register{ID: "contested", Addr: "contested:1", Class: 2}); err != nil {
 		t.Fatalf("final register after the race: %v", err)
 	}
-	cands, err := cl.Lookup(1, "")
+	cands, err := cl.Candidates(ctx, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,14 +7,17 @@
 // a supplier key is owned by the shard whose position is the key's
 // successor (chord.InHalfOpen). A ShardedClient routes Register and
 // Unregister to the owning shard and fans Candidates out across all
-// shards, merging and deduplicating down to the paper's M samples. Shards
-// fail independently: a dead shard costs candidate diversity, never the
-// lookup — and because registrations are lease-style (periodically
+// shards, merging the replies weighted by each shard's registry size (the
+// Len the lookup reply carries) so the down-sample stays uniform over the
+// union of registries — a supplier on a tiny shard is not overweighted.
+// Shards fail independently: a dead shard costs candidate diversity, never
+// the lookup — and because registrations are lease-style (periodically
 // re-sent with Register.Refresh), a shard that crashed and returned with
 // an empty registry is repopulated within one refresh interval.
 package directory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -24,7 +27,9 @@ import (
 
 	"p2pstream/internal/chord"
 	"p2pstream/internal/clock"
+	"p2pstream/internal/errs"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/transport"
 )
 
@@ -106,7 +111,8 @@ type ShardedConfig struct {
 	Addrs []string
 	// Network provides connections (nil means real TCP).
 	Network netx.Network
-	// Clock schedules lease refreshes (nil means the wall clock).
+	// Clock schedules lease refreshes and times fan-out legs (nil means
+	// the wall clock).
 	Clock clock.Clock
 	// Refresh is the lease re-registration period (default 2s). Each
 	// refresh re-sends every live registration to its owning shard with
@@ -114,6 +120,10 @@ type ShardedConfig struct {
 	Refresh time.Duration
 	// Seed drives the deterministic down-sampling of merged candidates.
 	Seed int64
+	// Observer, when non-nil, receives one ShardLookup event per fan-out
+	// leg: the shard index, the leg's round-trip latency on Clock, and the
+	// per-shard failure if the leg failed.
+	Observer observe.Observer
 }
 
 // ShardedClient is the sharded realization of node.Discovery: consistent-
@@ -125,6 +135,7 @@ type ShardedClient struct {
 	shards  []*Client
 	clk     clock.Clock
 	refresh time.Duration
+	obs     observe.Observer
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -161,6 +172,7 @@ func NewShardedClient(cfg ShardedConfig) (*ShardedClient, error) {
 		shards:  make([]*Client, len(cfg.Addrs)),
 		clk:     clock.Or(cfg.Clock),
 		refresh: cfg.Refresh,
+		obs:     cfg.Observer,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		regs:    make(map[string]transport.Register),
 	}
@@ -182,23 +194,25 @@ func (c *ShardedClient) OwnerOf(id string) int { return c.ring.Owner(id) }
 // learns the peer again without any action from the node. The first send's
 // error is returned — but the lease is live regardless, and a registration
 // that failed against a momentarily dead shard lands at the next refresh.
-func (c *ShardedClient) Register(reg transport.Register) error {
+// ctx bounds the first send only; the lease refreshes run in the
+// background on the client's clock.
+func (c *ShardedClient) Register(ctx context.Context, reg transport.Register) error {
 	reg.Refresh = true // lease semantics: a re-send must upsert, not collide
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return errors.New("directory: sharded client closed")
+		return fmt.Errorf("directory: sharded client %w", errs.ErrClosed)
 	}
 	c.regs[reg.ID] = reg
 	c.armRefreshLocked()
 	c.mu.Unlock()
-	return c.shards[c.ring.Owner(reg.ID)].Register(reg)
+	return c.shards[c.ring.Owner(reg.ID)].Register(ctx, reg)
 }
 
 // Unregister withdraws the peer: the lease stops and the owning shard is
 // told. An unreachable shard makes the withdrawal behave like a crash —
 // the stale entry lingers until the shard itself goes.
-func (c *ShardedClient) Unregister(id string) error {
+func (c *ShardedClient) Unregister(ctx context.Context, id string) error {
 	c.mu.Lock()
 	delete(c.regs, id)
 	if len(c.regs) == 0 && c.timer != nil {
@@ -211,60 +225,154 @@ func (c *ShardedClient) Unregister(id string) error {
 	// c.regs after we release (and skip it).
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.shards[c.ring.Owner(id)].Unregister(id)
+	return c.shards[c.ring.Owner(id)].Unregister(ctx, id)
+}
+
+// shardReply is one fan-out leg's outcome.
+type shardReply struct {
+	peers   []transport.Candidate
+	size    int // the shard's registry size (the merge weight)
+	err     error
+	latency time.Duration
 }
 
 // Candidates samples up to m distinct candidates by fanning the lookup out
 // to every shard in parallel and merging the replies. A shard that fails
 // contributes nothing — candidate diversity degrades, the lookup still
-// answers. Only when every shard fails is the error surfaced (the sweep
-// retries). More than m merged candidates are down-sampled uniformly at
-// random, so the result remains the paper's "M randomly selected
-// candidate supplying peers".
-func (c *ShardedClient) Candidates(m int, exclude string) ([]transport.Candidate, error) {
+// answers. Only when every shard fails is the fan-out an error
+// (ErrAllShardsDown; the sweep retries), and a cancelled context surfaces
+// as ctx.Err().
+//
+// The merge is exactly uniform over the union of shard registries, not
+// over the union of replies (which would overweight suppliers on small
+// shards by the size ratio): the m slots are allocated across shards by a
+// sequential hypergeometric draw over the registry sizes the lookup
+// replies carry (transport.Candidates.Len) — the same distribution as
+// drawing m suppliers without replacement from the merged registry — and
+// each shard's allocation is filled from its reply, itself a uniform
+// sample of that registry in random order. Each leg's latency and failure
+// is emitted as a ShardLookup event on the configured Observer.
+func (c *ShardedClient) Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error) {
 	if m <= 0 {
 		return nil, nil
 	}
-	replies := make([][]transport.Candidate, len(c.shards))
-	errs := make([]error, len(c.shards))
+	replies := make([]shardReply, len(c.shards))
 	var wg sync.WaitGroup
 	for i := range c.shards {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			replies[i], errs[i] = c.shards[i].Lookup(m, exclude)
+			start := c.clk.Now()
+			reply, err := c.shards[i].Lookup(ctx, m, exclude)
+			replies[i] = shardReply{
+				peers:   reply.Peers,
+				size:    reply.Len,
+				err:     err,
+				latency: c.clk.Since(start),
+			}
+			observe.Emit(c.obs, observe.Event{
+				Component: "sharded-directory",
+				Type:      observe.ShardLookup,
+				Shard:     i,
+				Latency:   replies[i].latency,
+				Err:       err,
+			})
 		}()
 	}
 	wg.Wait()
-	var merged []transport.Candidate
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	// Per-shard entry lists (deduplicated, exclusion applied) plus the
+	// registry population each list was uniformly drawn from.
+	type pool struct {
+		entries []transport.Candidate
+		remain  int // undrawn registry entries this shard can still stand for
+		taken   int
+	}
+	pools := make([]pool, 0, len(replies))
 	seen := make(map[string]bool)
-	failed := 0
+	failed, total := 0, 0
 	var lastErr error
-	for i, peers := range replies {
-		if errs[i] != nil {
+	for _, r := range replies {
+		if r.err != nil {
 			failed++
-			lastErr = errs[i]
+			lastErr = r.err
 			continue
 		}
-		for _, p := range peers {
-			if p.ID == exclude || seen[p.ID] {
+		p := pool{}
+		for _, cand := range r.peers {
+			if cand.ID == exclude || seen[cand.ID] {
 				continue
 			}
-			seen[p.ID] = true
-			merged = append(merged, p)
+			seen[cand.ID] = true
+			p.entries = append(p.entries, cand)
 		}
+		// Guard against servers predating the Len field (and against the
+		// exclusion shrinking the reply past the reported size).
+		p.remain = r.size
+		if p.remain < len(p.entries) {
+			p.remain = len(p.entries)
+		}
+		if len(p.entries) == 0 {
+			p.remain = 0
+		}
+		total += p.remain
+		pools = append(pools, p)
 	}
 	if failed == len(c.shards) {
-		return nil, fmt.Errorf("directory: all %d shards failed: %w", failed, lastErr)
+		return nil, fmt.Errorf("directory: all %d shards failed: %w: %v", failed, errs.ErrAllShardsDown, lastErr)
 	}
-	if len(merged) > m {
-		c.mu.Lock()
-		c.rng.Shuffle(len(merged), func(i, j int) { merged[i], merged[j] = merged[j], merged[i] })
-		c.mu.Unlock()
-		merged = merged[:m]
+	merged := 0
+	for i := range pools {
+		merged += len(pools[i].entries)
 	}
-	return merged, nil
+	if merged <= m {
+		out := make([]transport.Candidate, 0, merged)
+		for i := range pools {
+			out = append(out, pools[i].entries...)
+		}
+		return out, nil
+	}
+	// Allocate the m slots by sequential hypergeometric draw: each slot
+	// picks a shard with probability proportional to its undrawn registry
+	// population, exactly as if drawing without replacement from the
+	// merged registry; the slot is filled with the shard's next reply
+	// entry (a uniform sample in random order). A shard whose reply runs
+	// dry drops out of the draw — the rare tail where the server's sample
+	// was smaller than the allocation asks for.
+	out := make([]transport.Candidate, 0, m)
+	c.mu.Lock()
+	for i := range pools {
+		// A shard's reply order is the server's; shuffle so "the next
+		// entry" is a uniform draw from the shard's sample (a server
+		// returning its whole registry would otherwise bias the head).
+		e := pools[i].entries
+		c.rng.Shuffle(len(e), func(a, b int) { e[a], e[b] = e[b], e[a] })
+	}
+	for len(out) < m && total > 0 {
+		r := c.rng.Int63n(int64(total))
+		for i := range pools {
+			p := &pools[i]
+			if r >= int64(p.remain) {
+				r -= int64(p.remain)
+				continue
+			}
+			out = append(out, p.entries[p.taken])
+			p.taken++
+			total -= p.remain // this shard's stake shrinks by one or to zero
+			if p.taken == len(p.entries) {
+				p.remain = 0
+			} else {
+				p.remain--
+			}
+			total += p.remain
+			break
+		}
+	}
+	c.mu.Unlock()
+	return out, nil
 }
 
 // Close stops the lease timer and releases the client. In-flight refresh
@@ -321,7 +429,7 @@ func (c *ShardedClient) armRefreshLocked() {
 				_, live := c.regs[r.ID]
 				c.mu.Unlock()
 				if live {
-					_ = c.shards[c.ring.Owner(r.ID)].Register(r)
+					_ = c.shards[c.ring.Owner(r.ID)].Register(context.Background(), r)
 				}
 				c.sendMu.Unlock()
 			}

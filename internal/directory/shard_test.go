@@ -1,7 +1,9 @@
 package directory
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -128,12 +130,13 @@ func TestShardRingOwnership(t *testing.T) {
 // TestShardedRegisterRoutesToOwner: registrations land on exactly the
 // shard the ring names, and the per-shard Stats see them.
 func TestShardedRegisterRoutesToOwner(t *testing.T) {
+	ctx := context.Background()
 	f := newShardFixture(t, 3)
 	c := f.client(1)
 	want := make([]int, 3)
 	for i := 0; i < 12; i++ {
 		id := fmt.Sprintf("sup-%d", i)
-		if err := c.Register(reg(id)); err != nil {
+		if err := c.Register(ctx, reg(id)); err != nil {
 			t.Fatalf("register %s: %v", id, err)
 		}
 		want[c.OwnerOf(id)]++
@@ -149,7 +152,7 @@ func TestShardedRegisterRoutesToOwner(t *testing.T) {
 	}
 
 	// Unregister routes to the same shard and stops the lease.
-	if err := c.Unregister("sup-0"); err != nil {
+	if err := c.Unregister(ctx, "sup-0"); err != nil {
 		t.Fatal(err)
 	}
 	owner := c.OwnerOf("sup-0")
@@ -161,12 +164,13 @@ func TestShardedRegisterRoutesToOwner(t *testing.T) {
 // TestShardedCandidatesFanout: the merged sample spans shards, excludes
 // the requester, holds no duplicates, and is capped at m.
 func TestShardedCandidatesFanout(t *testing.T) {
+	ctx := context.Background()
 	f := newShardFixture(t, 3)
 	c := f.client(1)
 	byShard := make([]int, 3)
 	for i := 0; i < 15; i++ {
 		id := fmt.Sprintf("sup-%d", i)
-		if err := c.Register(reg(id)); err != nil {
+		if err := c.Register(ctx, reg(id)); err != nil {
 			t.Fatal(err)
 		}
 		byShard[c.OwnerOf(id)]++
@@ -177,7 +181,7 @@ func TestShardedCandidatesFanout(t *testing.T) {
 		}
 	}
 
-	cands, err := c.Candidates(8, "sup-3")
+	cands, err := c.Candidates(ctx, 8, "sup-3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +205,7 @@ func TestShardedCandidatesFanout(t *testing.T) {
 	}
 
 	// Asking for more than exist returns everyone except the excluded.
-	all, err := c.Candidates(50, "sup-3")
+	all, err := c.Candidates(ctx, 50, "sup-3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,15 +218,16 @@ func TestShardedCandidatesFanout(t *testing.T) {
 // answers from the survivors (diversity degrades, the lookup does not
 // fail); only all shards down is an error.
 func TestShardedFailureIsolation(t *testing.T) {
+	ctx := context.Background()
 	f := newShardFixture(t, 3)
 	c := f.client(1)
 	for i := 0; i < 15; i++ {
-		if err := c.Register(reg(fmt.Sprintf("sup-%d", i))); err != nil {
+		if err := c.Register(ctx, reg(fmt.Sprintf("sup-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	f.vnet.SetDown("shard1")
-	cands, err := c.Candidates(10, "")
+	cands, err := c.Candidates(ctx, 10, "")
 	if err != nil {
 		t.Fatalf("lookup with one dead shard: %v", err)
 	}
@@ -237,7 +242,7 @@ func TestShardedFailureIsolation(t *testing.T) {
 
 	f.vnet.SetDown("shard0")
 	f.vnet.SetDown("shard2")
-	if _, err := c.Candidates(10, ""); err == nil {
+	if _, err := c.Candidates(ctx, 10, ""); err == nil {
 		t.Error("all shards dead, lookup still answered")
 	}
 }
@@ -247,12 +252,13 @@ func TestShardedFailureIsolation(t *testing.T) {
 // returns on the same address, and the client's lease re-registration
 // repopulates it within one refresh interval — no node involvement.
 func TestShardedLeaseRepopulatesRebornShard(t *testing.T) {
+	ctx := context.Background()
 	f := newShardFixture(t, 3)
 	c := f.client(1)
 	var onShard1 []string
 	for i := 0; i < 12; i++ {
 		id := fmt.Sprintf("sup-%d", i)
-		if err := c.Register(reg(id)); err != nil {
+		if err := c.Register(ctx, reg(id)); err != nil {
 			t.Fatal(err)
 		}
 		if c.OwnerOf(id) == 1 {
@@ -291,7 +297,7 @@ func TestShardedLeaseRepopulatesRebornShard(t *testing.T) {
 	for c.OwnerOf(lateID) != 1 {
 		lateID += "x"
 	}
-	if err := c.Register(reg(lateID)); err == nil {
+	if err := c.Register(ctx, reg(lateID)); err == nil {
 		t.Error("register against a dead shard reported success")
 	}
 	f.vnet.SetUp("shard1")
@@ -306,7 +312,7 @@ func TestShardedLeaseRepopulatesRebornShard(t *testing.T) {
 	}
 
 	// Unregister ends the lease: the entry stays gone across refreshes.
-	if err := c.Unregister(lateID); err != nil {
+	if err := c.Unregister(ctx, lateID); err != nil {
 		t.Fatal(err)
 	}
 	f.clk.Sleep(50 * time.Millisecond)
@@ -329,6 +335,7 @@ func has(s *Server, id string) bool {
 
 // TestShardedClientValidation rejects unusable configurations.
 func TestShardedClientValidation(t *testing.T) {
+	ctx := context.Background()
 	if _, err := NewShardedClient(ShardedConfig{}); err == nil {
 		t.Error("no addresses accepted")
 	}
@@ -348,7 +355,108 @@ func TestShardedClientValidation(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err) // idempotent
 	}
-	if err := c.Register(reg("x")); err == nil || !strings.Contains(err.Error(), "closed") {
+	if err := c.Register(ctx, reg("x")); err == nil || !strings.Contains(err.Error(), "closed") {
 		t.Errorf("register after close = %v", err)
 	}
+}
+
+// TestShardedSamplingUniformAcrossShardSizes measures the fan-out merge's
+// sampling skew, mirroring chordnet's TestSamplingSkewArcProportional: with
+// registry shards of very different sizes (60 suppliers vs 4), every
+// registered supplier must be hit by Candidates at the same rate — the
+// merge weights each shard's reply by the registry size its lookup reply
+// carries (transport.Candidates.Len), so the down-sample is uniform over
+// the union of registries. The unweighted merge this replaces oversampled
+// small shards by the size ratio (here ~7x): each shard contributed up to
+// m candidates regardless of how many suppliers stood behind them.
+func TestShardedSamplingUniformAcrossShardSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-lookup measurement")
+	}
+	f := newShardFixture(t, 2)
+	c := f.client(42)
+	ctx := context.Background()
+
+	// Craft supplier IDs routed to a chosen shard by the consistent-hash
+	// ring itself (the same ring every client builds).
+	ring, err := NewShardRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := [2]int{60, 4}
+	var ids []string
+	for shard, want := range perShard {
+		for i := 0; len(ids) < 0+want+shardCount(perShard[:shard]); i++ {
+			id := fmt.Sprintf("sup-%d-%d", shard, i)
+			if ring.Owner(id) != shard {
+				continue
+			}
+			ids = append(ids, id)
+			if err := c.Register(ctx, reg(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := perShard[0] + perShard[1]
+	if got := f.shards[0].Len() + f.shards[1].Len(); got != total {
+		t.Fatalf("registered %d suppliers, want %d", got, total)
+	}
+	if f.shards[1].Len() != perShard[1] {
+		t.Fatalf("small shard holds %d, want %d", f.shards[1].Len(), perShard[1])
+	}
+
+	const (
+		m     = 8
+		draws = 1500
+	)
+	hits := make(map[string]int, total)
+	for d := 0; d < draws; d++ {
+		cands, err := c.Candidates(ctx, m, "")
+		if err != nil {
+			t.Fatalf("draw %d: %v", d, err)
+		}
+		if len(cands) != m {
+			t.Fatalf("draw %d returned %d candidates, want %d", d, len(cands), m)
+		}
+		for _, cand := range cands {
+			hits[cand.ID]++
+		}
+	}
+
+	// Uniform expectation: every supplier at m/total per draw, within a
+	// 5-sigma binomial envelope (the hypergeometric draw is slightly
+	// tighter than binomial, so the envelope is conservative).
+	p := float64(m) / float64(total)
+	exp := draws * p
+	sigma := math.Sqrt(draws * p * (1 - p))
+	minRate, maxRate := math.Inf(1), 0.0
+	var b strings.Builder
+	for _, id := range ids {
+		got := float64(hits[id])
+		if dev := math.Abs(got - exp); dev > 5*sigma+1 {
+			t.Errorf("%s: %v hits, want %.1f±%.1f", id, got, exp, 5*sigma+1)
+		}
+		rate := got / draws
+		minRate = math.Min(minRate, rate)
+		maxRate = math.Max(maxRate, rate)
+		fmt.Fprintf(&b, "%s got=%4.0f\n", id, got)
+	}
+	t.Logf("per-supplier hit rates: min %.4f, max %.4f (%.2fx spread, uniform = %.4f)",
+		minRate, maxRate, maxRate/minRate, p)
+	// The unweighted merge put small-shard suppliers at ~7x the big
+	// shard's rate; the weighted merge must stay well under 2x.
+	if maxRate/minRate > 1.6 {
+		t.Errorf("hit-rate spread %.2fx; weighted merge should sample (near) uniformly\n%s",
+			maxRate/minRate, b.String())
+	}
+}
+
+// shardCount sums already-placed shard populations (helper for the skew
+// test's ID crafting loop).
+func shardCount(placed []int) int {
+	n := 0
+	for _, v := range placed {
+		n += v
+	}
+	return n
 }

@@ -1,26 +1,31 @@
 package directory
 
 import (
+	"context"
 	"net"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"p2pstream/internal/observe"
 	"p2pstream/internal/transport"
 )
 
 // TestReplyWriteErrorHook: a client that hangs up while the reply is in
-// flight must surface through the write-failure counter and OnWriteError
-// hook instead of silently passing for success.
+// flight must surface through the write-failure counter and the observer
+// instead of silently passing for success.
 func TestReplyWriteErrorHook(t *testing.T) {
 	s := NewServer(1)
 	var hooked atomic.Int64
-	s.OnWriteError = func(kind transport.Kind, err error) {
-		if kind != transport.KindCandidates || err == nil {
-			t.Errorf("hook got kind=%s err=%v", kind, err)
+	s.Observer = observe.Func(func(ev observe.Event) {
+		if ev.Type != observe.WriteError {
+			return
+		}
+		if ev.Wire != string(transport.KindCandidates) || ev.Err == nil {
+			t.Errorf("observer got wire=%s err=%v", ev.Wire, ev.Err)
 		}
 		hooked.Add(1)
-	}
+	})
 	server, client := net.Pipe()
 	done := make(chan struct{})
 	go func() {
@@ -141,6 +146,7 @@ func TestShutdownStalledClientClose(t *testing.T) {
 // per-connection deadline alone must cut off a silent client and keep the
 // server answering well-formed requests.
 func TestShutdownStalledClientDeadline(t *testing.T) {
+	ctx := context.Background()
 	s := NewServer(1)
 	s.Timeout = 100 * time.Millisecond
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -162,7 +168,7 @@ func TestShutdownStalledClientDeadline(t *testing.T) {
 	}
 
 	c := NewClient(l.Addr().String())
-	if err := c.Register(transport.Register{ID: "ok", Addr: "a:1", Class: 1}); err != nil {
+	if err := c.Register(ctx, transport.Register{ID: "ok", Addr: "a:1", Class: 1}); err != nil {
 		t.Fatalf("server unresponsive after cutting a stalled client: %v", err)
 	}
 }

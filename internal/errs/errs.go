@@ -1,0 +1,37 @@
+// Package errs defines the typed error sentinels of the overlay's public
+// surface. Every component of the request/discovery path (the live node,
+// the directory clients, the chord ring) wraps these with fmt.Errorf("...:
+// %w", ...) context, so callers branch with errors.Is regardless of which
+// layer produced the failure — and context.Canceled / DeadlineExceeded
+// pass through untouched from any cancelled operation.
+package errs
+
+import "errors"
+
+var (
+	// ErrRejected is returned by a streaming request whose admission
+	// attempt failed: the probed candidates could not supply an aggregate
+	// offer of exactly R0. Retryable — the paper's backoff loop retries it.
+	ErrRejected = errors.New("streaming request rejected")
+
+	// ErrNoSuppliers is returned by a streaming request whose candidate
+	// lookup came back empty: the discovery substrate knows no supplying
+	// peer to probe. Retryable — suppliers appear as the overlay grows.
+	ErrNoSuppliers = errors.New("no candidate suppliers")
+
+	// ErrClosed is returned by operations on a component (node, discovery
+	// client, ring peer, directory server) that has been closed.
+	ErrClosed = errors.New("closed")
+
+	// ErrAllShardsDown is returned by a sharded-directory lookup when every
+	// registry shard failed; a subset of dead shards only degrades
+	// candidate diversity and is not an error.
+	ErrAllShardsDown = errors.New("all directory shards down")
+)
+
+// Retryable reports whether err is a protocol-level rejection a requester
+// should retry with backoff (as opposed to a hard failure or a
+// cancellation, which must surface immediately).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRejected) || errors.Is(err, ErrNoSuppliers)
+}

@@ -1,0 +1,75 @@
+package netx
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// DialContext dials addr on nw, honoring ctx: a cancelled or expired
+// context aborts the dial and returns ctx.Err(). Network implementations
+// take no context themselves (the virtual network resolves dials in
+// virtual time, real TCP in the kernel), so the dial runs on its own
+// goroutine and a late success against a cancelled context is closed
+// instead of leaked.
+func DialContext(ctx context.Context, nw Network, addr string) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		return nw.Dial(addr)
+	}
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := nw.Dial(addr)
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-ctx.Done():
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// Guard ties an open connection to a context: the connection's deadline is
+// derived from the context's (a no-op on virtual connections, which ignore
+// deadlines), and a watcher closes the connection the moment ctx is
+// cancelled — unblocking any read or write in flight, on both the real and
+// the virtual substrate. The returned release stops the watcher and must
+// be called when the exchange is over (defer it right after Guard).
+func Guard(ctx context.Context, conn net.Conn) (release func()) {
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d)
+	}
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	released := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// A release that happened before the cancellation wins even
+			// when the select saw both channels ready: the exchange is
+			// over and the connection must not be torn down under its
+			// next owner.
+			select {
+			case <-released:
+			default:
+				conn.Close()
+			}
+		case <-released:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(released) }) }
+}

@@ -1,0 +1,158 @@
+package netx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+// blockingNetwork parks every Dial until release is closed, then hands
+// out one end of a fresh pipe — a stand-in for a TCP dial stuck in the
+// kernel.
+type blockingNetwork struct {
+	dialing chan struct{} // closed when Dial is entered
+	release chan struct{}
+	peers   chan net.Conn
+}
+
+func (b *blockingNetwork) Listen(string) (net.Listener, error) { panic("unused") }
+
+func (b *blockingNetwork) Dial(string) (net.Conn, error) {
+	close(b.dialing)
+	<-b.release
+	c1, c2 := net.Pipe()
+	b.peers <- c2
+	return c1, nil
+}
+
+// TestDialContextCancelled: a parked dial aborts with ctx.Err() the moment
+// the context is cancelled, and the late connection — when the dial
+// eventually resolves — is closed, not leaked.
+func TestDialContextCancelled(t *testing.T) {
+	nw := &blockingNetwork{
+		dialing: make(chan struct{}),
+		release: make(chan struct{}),
+		peers:   make(chan net.Conn, 1),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := DialContext(ctx, nw, "anywhere")
+		done <- err
+	}()
+	<-nw.dialing // the dial is parked; now cancel
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Let the dial resolve late; DialContext's watcher must close it.
+	close(nw.release)
+	peer := <-nw.peers
+	defer peer.Close()
+	peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := peer.Read(buf); err == nil {
+		t.Error("late-resolved dial left the connection open")
+	}
+}
+
+// TestDialContextPreCancelled: an already-cancelled context never dials.
+func TestDialContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, System, "127.0.0.1:1"); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestGuardClosesOnCancel: a blocked read on a guarded connection aborts
+// when the context is cancelled; release stops the watcher.
+func TestGuardClosesOnCancel(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	v.SetDefaultLink(LinkConfig{Latency: time.Millisecond})
+
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Never write: the client read blocks until the guard fires.
+		_ = conn
+	}()
+
+	conn, err := v.Host("a").Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	release := Guard(ctx, conn)
+	defer release()
+	clk.AfterFunc(10*time.Millisecond, cancel)
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read returned data from a silent peer")
+	}
+	if ctx.Err() == nil {
+		t.Error("read unblocked before the cancel")
+	}
+}
+
+// TestGuardReleaseDetaches: after release, cancelling the context leaves
+// the connection open.
+func TestGuardReleaseDetaches(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	v.SetDefaultLink(LinkConfig{Latency: time.Millisecond})
+
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan struct{})
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		close(accepted)
+		buf := make([]byte, 1)
+		conn.Read(buf)
+		conn.Write([]byte{'y'})
+	}()
+
+	conn, err := v.Host("a").Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	<-accepted
+	ctx, cancel := context.WithCancel(context.Background())
+	release := Guard(ctx, conn)
+	release()
+	cancel()
+	// The connection still works: write a byte, read the echo.
+	if _, err := conn.Write([]byte{'x'}); err != nil {
+		t.Fatalf("write after release+cancel: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read after release+cancel: %v", err)
+	}
+}

@@ -1,24 +1,35 @@
 package node
 
-import "p2pstream/internal/transport"
+import (
+	"context"
+
+	"p2pstream/internal/transport"
+)
 
 // Discovery abstracts how a live peer finds the overlay (paper Section
 // 4.2, footnote 4): register and unregister as a supplying peer, and
-// sample M random candidate suppliers. Two backends implement it —
-// *directory.Client (the Napster-style centralized server) and
-// *chordnet.Peer (the wire-level Chord ring, no central component).
+// sample M random candidate suppliers. Three backends implement it —
+// *directory.Client (the Napster-style centralized server),
+// *directory.ShardedClient (the same registry consistent-hash sharded
+// across several servers) and *chordnet.Peer (the wire-level Chord ring,
+// no central component).
+//
+// Every call takes a context: cancellation aborts the underlying dials and
+// RPC exchanges and surfaces ctx.Err(), and a context deadline bounds the
+// whole operation (deterministically under a virtual clock via
+// clock.ContextWithTimeout).
 //
 // A node owns its Discovery: Close tears it down with the node.
 type Discovery interface {
 	// Register announces the peer as a supplier; reg.Addr is the overlay
 	// address candidates will be probed and streamed from.
-	Register(reg transport.Register) error
+	Register(ctx context.Context, reg transport.Register) error
 	// Unregister withdraws the peer.
-	Unregister(id string) error
+	Unregister(ctx context.Context, id string) error
 	// Candidates returns up to m distinct candidate suppliers, excluding
 	// the named peer. A short (even empty) sample is not an error: the
 	// admission sweep simply fails and the requester retries.
-	Candidates(m int, exclude string) ([]transport.Candidate, error)
+	Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error)
 	// Close releases backend resources (listener, timers); idempotent.
 	Close() error
 }

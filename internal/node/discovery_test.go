@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"p2pstream/internal/dac"
 	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/transport"
 )
 
@@ -19,9 +21,12 @@ type stubDiscovery struct {
 	closed     atomic.Int64
 }
 
-func (s *stubDiscovery) Register(transport.Register) error { s.registered.Add(1); return nil }
-func (s *stubDiscovery) Unregister(string) error           { return nil }
-func (s *stubDiscovery) Candidates(int, string) ([]transport.Candidate, error) {
+func (s *stubDiscovery) Register(context.Context, transport.Register) error {
+	s.registered.Add(1)
+	return nil
+}
+func (s *stubDiscovery) Unregister(context.Context, string) error { return nil }
+func (s *stubDiscovery) Candidates(context.Context, int, string) ([]transport.Candidate, error) {
 	return nil, nil
 }
 func (s *stubDiscovery) Close() error { s.closed.Add(1); return nil }
@@ -49,7 +54,7 @@ func TestDiscoveryReplacesDirectoryAddr(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Start(); err != nil {
+	if err := n.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if disc.registered.Load() != 1 {
@@ -70,7 +75,7 @@ type registerFailDiscovery struct {
 	Discovery
 }
 
-func (d *registerFailDiscovery) Register(transport.Register) error {
+func (d *registerFailDiscovery) Register(context.Context, transport.Register) error {
 	return errors.New("owner shard down")
 }
 
@@ -89,7 +94,7 @@ func TestRequestUntilAdmittedServedWithoutRegistration(t *testing.T) {
 	}
 	req := c.start(NewRequester(cfg))
 
-	report, err := req.RequestUntilAdmitted(5)
+	report, err := req.RequestUntilAdmitted(context.Background(), 5)
 	if err == nil {
 		t.Fatal("registration failure vanished")
 	}
@@ -113,12 +118,15 @@ func TestRequestUntilAdmittedServedWithoutRegistration(t *testing.T) {
 func TestReplyWriteErrorHook(t *testing.T) {
 	var hooked atomic.Int64
 	cfg := discCfg(&stubDiscovery{}, "")
-	cfg.OnWriteError = func(kind transport.Kind, err error) {
-		if kind != transport.KindError || err == nil {
-			t.Errorf("hook got kind=%s err=%v", kind, err)
+	cfg.Observer = observe.Func(func(ev observe.Event) {
+		if ev.Type != observe.WriteError {
+			return
+		}
+		if ev.Wire != string(transport.KindError) || ev.Err == nil {
+			t.Errorf("observer got wire=%s err=%v", ev.Wire, ev.Err)
 		}
 		hooked.Add(1)
-	}
+	})
 	n, err := NewRequester(cfg) // not supplying: probes answer with KindError
 	if err != nil {
 		t.Fatal(err)

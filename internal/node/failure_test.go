@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -28,7 +29,7 @@ func TestSupplierCrashMidSession(t *testing.T) {
 		c.clk.Sleep(25 * time.Millisecond)
 		s1.Close()
 	}()
-	_, err := req.Request()
+	_, err := req.Request(context.Background())
 	if err == nil {
 		// Timing race: the session may have finished before the crash on a
 		// very fast machine; treat completion as a skip rather than a fail.
@@ -79,8 +80,8 @@ func TestRequesterAbortCancelsSuppliers(t *testing.T) {
 	// Both suppliers must become idle again (EndSession ran).
 	deadline := c.clk.Now().Add(5 * time.Second)
 	for {
-		_, done1, _ := s1.Stats()
-		_, done2, _ := s2.Stats()
+		done1 := s1.Stats().Sessions
+		done2 := s2.Stats().Sessions
 		if done1 == 1 && done2 == 1 {
 			break
 		}
@@ -91,7 +92,7 @@ func TestRequesterAbortCancelsSuppliers(t *testing.T) {
 	}
 	// And they can serve a full session afterwards.
 	req := c.requester("r2", 1)
-	if _, err := req.RequestUntilAdmitted(5); err != nil {
+	if _, err := req.RequestUntilAdmitted(context.Background(), 5); err != nil {
 		t.Fatalf("suppliers unusable after aborted session: %v", err)
 	}
 }
@@ -115,7 +116,7 @@ func TestConcurrentRequesters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = reqs[i].RequestUntilAdmitted(30)
+			_, errs[i] = reqs[i].RequestUntilAdmitted(context.Background(), 30)
 		}()
 	}
 	wg.Wait()
@@ -146,7 +147,7 @@ func TestSupplierMissingSegment(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := partial.becomeSupplier(); err != nil {
+	if err := partial.becomeSupplier(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 

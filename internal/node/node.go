@@ -17,9 +17,16 @@
 // pluggable Discovery backend — the centralized internal/directory server
 // or the decentralized internal/chordnet ring — mirroring both discovery
 // substrates the paper names (Section 4.2, footnote 4) end to end.
+//
+// The request path is context-first: Request, RequestUntilAdmitted, Start
+// and every Discovery call take a context.Context, and cancellation or
+// deadline expiry aborts dials, probes, in-flight sessions and backoff
+// waits, surfacing ctx.Err(). Failures are typed (internal/errs): branch
+// with errors.Is on ErrRejected, ErrNoSuppliers, ErrClosed.
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -32,8 +39,10 @@ import (
 	"p2pstream/internal/clock"
 	"p2pstream/internal/dac"
 	"p2pstream/internal/directory"
+	"p2pstream/internal/errs"
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/protocol"
 	"p2pstream/internal/transport"
 )
@@ -48,9 +57,9 @@ type Config struct {
 	NumClasses bandwidth.Class
 	// Policy selects DAC_p2p or NDAC_p2p admission behavior when supplying.
 	Policy dac.Policy
-	// Discovery is the peer-discovery backend (directory client or chord
-	// ring peer). The node owns it and closes it on Close. When nil, a
-	// directory client for DirectoryAddr is used.
+	// Discovery is the peer-discovery backend (directory client, sharded
+	// client or chord ring peer). The node owns it and closes it on Close.
+	// When nil, a directory client for DirectoryAddr is used.
 	Discovery Discovery
 	// DirectoryAddr is the address of the directory server; required only
 	// when Discovery is nil.
@@ -73,11 +82,10 @@ type Config struct {
 	// Network provides the node's listener and outbound connections; nil
 	// means real TCP.
 	Network netx.Network
-	// OnWriteError, when non-nil, observes reply-path write failures the
-	// request/response flow itself cannot surface (a peer hanging up while
-	// a reply or a session-done mark was in flight). Counted regardless in
-	// WriteFailures.
-	OnWriteError func(kind transport.Kind, err error)
+	// Observer, when non-nil, receives the node's events: reply-path write
+	// failures the request/response flow itself cannot surface, probes
+	// answered, sessions supplied. See internal/observe.
+	Observer observe.Observer
 }
 
 func (c *Config) validate() error {
@@ -102,12 +110,29 @@ func (c *Config) validate() error {
 	return c.Backoff.Validate()
 }
 
+// Stats is an atomic snapshot of a node's protocol counters: readers get
+// one consistent view (never torn counts), taken under the supplier's
+// state lock in a single acquisition.
+type Stats struct {
+	// Probes counts admission probes served, Sessions streaming sessions
+	// supplied, Reminders reminders kept — all zero while the node is
+	// still a requesting peer.
+	Probes, Sessions, Reminders int
+	// WriteFailures counts reply writes that failed mid-exchange (the
+	// remote hung up while a reply was in flight).
+	WriteFailures int64
+}
+
 // Node is a live peer. Create with NewSeed or NewRequester, then Start.
 type Node struct {
 	cfg  Config
 	clk  clock.Clock
 	net  netx.Network
 	disc Discovery
+	comp string // observer component name, precomputed off the hot paths
+	// onWriteErr forwards reply-write failures to the observer; built once
+	// at construction so the reply hot path allocates no closure.
+	onWriteErr func(transport.Kind, error)
 
 	writeFails atomic.Int64
 
@@ -120,6 +145,12 @@ type Node struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{} // active peer connections (closed on Close)
 	wg       sync.WaitGroup
+
+	// testHookAdmitted, when non-nil, runs after the admission sweep
+	// succeeds and before the session is triggered — the deterministic
+	// seam cancellation tests use to land a cancel exactly in the
+	// admission-to-session-start window.
+	testHookAdmitted func()
 }
 
 // NewSeed creates a node that already possesses the complete media file and
@@ -154,8 +185,9 @@ func newNode(cfg Config, store *media.Store) *Node {
 	if disc == nil {
 		disc = directory.NewClientOn(network, cfg.DirectoryAddr)
 	}
-	return &Node{
+	n := &Node{
 		cfg:   cfg,
+		comp:  "node/" + cfg.ID,
 		clk:   clock.Or(cfg.Clock),
 		net:   network,
 		disc:  disc,
@@ -163,11 +195,20 @@ func newNode(cfg Config, store *media.Store) *Node {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		conns: make(map[net.Conn]struct{}),
 	}
+	n.onWriteErr = func(kind transport.Kind, err error) {
+		observe.Emit(n.cfg.Observer, observe.Event{
+			Component: n.comp,
+			Type:      observe.WriteError,
+			Wire:      string(kind),
+			Err:       err,
+		})
+	}
+	return n
 }
 
-// Start begins listening for peer connections. Seeds also register with the
-// directory as supplying peers.
-func (n *Node) Start() error {
+// Start begins listening for peer connections. Seeds also register with
+// discovery as supplying peers; ctx bounds that registration.
+func (n *Node) Start(ctx context.Context) error {
 	addr := n.cfg.ListenAddr
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -177,13 +218,18 @@ func (n *Node) Start() error {
 		return fmt.Errorf("node %s: listen: %w", n.cfg.ID, err)
 	}
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("node %s: %w", n.cfg.ID, errs.ErrClosed)
+	}
 	n.listener = l
 	n.mu.Unlock()
 	n.wg.Add(1)
 	go n.acceptLoop(l)
 
 	if n.store.Complete() {
-		return n.becomeSupplier()
+		return n.becomeSupplier(ctx)
 	}
 	return nil
 }
@@ -212,23 +258,23 @@ func (n *Node) Supplying() bool {
 	return !n.closed && n.sup != nil
 }
 
-// Stats returns protocol counters: probes served, sessions supplied,
-// reminders kept.
-func (n *Node) Stats() (probes, sessions, reminders int) {
+// Stats returns one consistent snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	sup := n.sup
 	n.mu.Unlock()
-	if sup == nil {
-		return 0, 0, 0
+	st := Stats{WriteFailures: n.writeFails.Load()}
+	if sup != nil {
+		st.Probes, st.Sessions, st.Reminders = sup.Stats()
 	}
-	return sup.Stats()
+	return st
 }
 
 // Store exposes the node's segment store (read-only use).
 func (n *Node) Store() *media.Store { return n.store }
 
 // WriteFailures counts reply writes that failed mid-exchange (the remote
-// hung up while a reply was in flight). See Config.OnWriteError.
+// hung up while a reply was in flight). See Config.Observer.
 func (n *Node) WriteFailures() int64 { return n.writeFails.Load() }
 
 // Close stops the node: it unregisters from discovery (if supplying),
@@ -252,7 +298,7 @@ func (n *Node) Close() error {
 	if sup != nil {
 		sup.Close()
 		// Best effort; the discovery backend may already be gone.
-		_ = n.disc.Unregister(n.cfg.ID)
+		_ = n.disc.Unregister(context.Background(), n.cfg.ID)
 	}
 	var err error
 	if l != nil {
@@ -276,7 +322,7 @@ func (n *Node) Close() error {
 // becomeSupplier creates the shared supplier state machine (which arms the
 // idle elevation timer on the node's clock) and registers the node as a
 // supplying peer.
-func (n *Node) becomeSupplier() error {
+func (n *Node) becomeSupplier(ctx context.Context) error {
 	sup, err := protocol.NewSupplier(n.cfg.Class, n.cfg.NumClasses, n.cfg.Policy, n.clk, n.cfg.TOut)
 	if err != nil {
 		return err
@@ -289,7 +335,7 @@ func (n *Node) becomeSupplier() error {
 	}
 	n.sup = sup
 	n.mu.Unlock()
-	if err := n.disc.Register(transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
+	if err := n.disc.Register(ctx, transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
 		return fmt.Errorf("node %s: registering: %w", n.cfg.ID, err)
 	}
 	return nil
@@ -308,10 +354,10 @@ func (n *Node) acceptLoop(l net.Listener) {
 	netx.ServeConns(l, &n.mu, &n.closed, n.conns, &n.wg, n.handleConn)
 }
 
-// reply writes one response frame, feeding failures into the per-conn
-// write-error hook.
+// reply writes one response frame, feeding failures into the node's
+// observer via the hook built once at construction.
 func (n *Node) reply(conn net.Conn, kind transport.Kind, body any) error {
-	return transport.WriteReply(conn, kind, body, &n.writeFails, n.cfg.OnWriteError)
+	return transport.WriteReply(conn, kind, body, &n.writeFails, n.onWriteErr)
 }
 
 // handleConn dispatches one peer connection by its first message.
@@ -355,6 +401,7 @@ func (n *Node) handleProbe(conn net.Conn, req transport.Probe) {
 	u := n.rng.Float64()
 	n.mu.Unlock()
 	dec, favors := sup.HandleProbe(req.Class, u)
+	observe.Emit(n.cfg.Observer, observe.Event{Component: n.comp, Type: observe.ProbeServed})
 	n.reply(conn, transport.KindProbeReply, transport.ProbeReply{Decision: dec, Favors: favors})
 }
 
@@ -410,5 +457,6 @@ func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 		}
 		sent++
 	}
+	observe.Emit(n.cfg.Observer, observe.Event{Component: n.comp, Type: observe.SessionServed})
 	n.reply(conn, transport.KindSessionDone, transport.SessionDone{Sent: sent})
 }

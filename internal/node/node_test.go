@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -76,7 +77,7 @@ func (c *cluster) start(n *Node, err error) *Node {
 	if err != nil {
 		c.t.Fatal(err)
 	}
-	if err := n.Start(); err != nil {
+	if err := n.Start(context.Background()); err != nil {
 		c.t.Fatal(err)
 	}
 	c.t.Cleanup(func() { n.Close() })
@@ -109,7 +110,7 @@ func TestEndToEndSession(t *testing.T) {
 	c.seed("seed2", 1)
 	req := c.requester("peer1", 1) // class 1: seeds favor it, grants are deterministic
 
-	report, err := req.Request()
+	report, err := req.Request(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestEndToEndSession(t *testing.T) {
 		t.Error("requester should now be a supplying peer")
 	}
 	// Requesting again after holding the file is an error.
-	if _, err := req.Request(); err == nil {
+	if _, err := req.Request(context.Background()); err == nil {
 		t.Error("second Request should fail: file already held")
 	}
 }
@@ -178,7 +179,7 @@ func TestEndToEndSessionRealTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Start(); err != nil {
+		if err := s.Start(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { s.Close() })
@@ -187,12 +188,12 @@ func TestEndToEndSessionRealTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := req.Start(); err != nil {
+	if err := req.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { req.Close() })
 
-	report, err := req.RequestUntilAdmitted(5)
+	report, err := req.RequestUntilAdmitted(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestHeterogeneousSession(t *testing.T) {
 	c.seed("s4", 3)
 	req := c.requester("r", 1)
 
-	report, err := req.Request()
+	report, err := req.Request(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,12 +241,12 @@ func TestChainedGrowth(t *testing.T) {
 	c.seed("seed2", 1)
 
 	p1 := c.requester("p1", 1)
-	if _, err := p1.Request(); err != nil {
+	if _, err := p1.Request(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Now three class-1 suppliers exist; p2 needs two of them.
 	p2 := c.requester("p2", 1)
-	report, err := p2.RequestUntilAdmitted(5)
+	report, err := p2.RequestUntilAdmitted(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestRejectionWhenInsufficientBandwidth(t *testing.T) {
 	c := newCluster(t)
 	c.seed("onlyseed", 2) // offers R0/4 < R0: can never admit alone
 	req := c.requester("r", 4)
-	_, err := req.Request()
+	_, err := req.Request(context.Background())
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
@@ -282,7 +283,7 @@ func TestRequestUntilAdmittedGivesUp(t *testing.T) {
 	c.seed("onlyseed", 2)
 	req := c.requester("r", 4)
 	start := c.clk.Now()
-	_, err := req.RequestUntilAdmitted(3)
+	_, err := req.RequestUntilAdmitted(context.Background(), 3)
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
@@ -290,7 +291,7 @@ func TestRequestUntilAdmittedGivesUp(t *testing.T) {
 	if elapsed := c.clk.Since(start); elapsed < 60*time.Millisecond {
 		t.Errorf("elapsed %v of virtual time, want >= 60ms of backoff", elapsed)
 	}
-	if _, err := req.RequestUntilAdmitted(0); err == nil {
+	if _, err := req.RequestUntilAdmitted(context.Background(), 0); err == nil {
 		t.Error("maxAttempts 0 should fail")
 	}
 }
@@ -305,7 +306,7 @@ func TestBusySupplierRefusesSecondSession(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := p1.Request()
+		_, err := p1.Request(context.Background())
 		done <- err
 	}()
 	// Give the session a moment of virtual time to start, then hit seed1
@@ -435,15 +436,15 @@ func TestStatsCounters(t *testing.T) {
 	s1 := c.seed("seed1", 1)
 	c.seed("seed2", 1)
 	req := c.requester("p", 1)
-	if _, err := req.Request(); err != nil {
+	if _, err := req.Request(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	probes1, sessions1, _ := s1.Stats()
-	if probes1 == 0 {
+	st := s1.Stats()
+	if st.Probes == 0 {
 		t.Error("seed1 served no probes")
 	}
-	if sessions1 != 1 {
-		t.Errorf("seed1 sessions = %d, want 1", sessions1)
+	if st.Sessions != 1 {
+		t.Errorf("seed1 sessions = %d, want 1", st.Sessions)
 	}
 }
 
@@ -472,7 +473,7 @@ func TestSupplierDownTreatedAsDown(t *testing.T) {
 	l.Close()
 
 	req := c.requester("r", 1)
-	report, err := req.RequestUntilAdmitted(10)
+	report, err := req.RequestUntilAdmitted(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}

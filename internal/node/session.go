@@ -1,22 +1,30 @@
 package node
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
+	"p2pstream/internal/errs"
 	"p2pstream/internal/media"
+	"p2pstream/internal/netx"
 	"p2pstream/internal/protocol"
 	"p2pstream/internal/transport"
 )
 
 // ErrRejected is returned by Request when the admission attempt failed:
 // the probed candidates could not supply an aggregate offer of exactly R0.
-var ErrRejected = errors.New("node: streaming request rejected")
+// It is the shared sentinel errs.ErrRejected; branch with errors.Is.
+var ErrRejected = errs.ErrRejected
+
+// ErrNoSuppliers is returned by Request when the candidate lookup came
+// back empty. It is the shared sentinel errs.ErrNoSuppliers.
+var ErrNoSuppliers = errs.ErrNoSuppliers
 
 // SessionReport describes a completed streaming session from the
 // requester's perspective.
@@ -45,13 +53,32 @@ type SessionReport struct {
 // probing high class first until permissions reach exactly R0 — then run
 // the OTS_p2p session. On rejection it leaves reminders on the busy
 // favoring candidates the sweep selected and returns ErrRejected.
-func (n *Node) Request() (*SessionReport, error) {
+//
+// ctx cancels or deadlines the whole attempt: the candidate lookup, every
+// probe dial, the session streams and the post-session registration. A
+// cancellation between admission and session start aborts before any
+// supplier is triggered, so no supplier slot is claimed; mid-session it
+// closes the streams, which the suppliers observe as a requester hangup
+// and release their slots. The attempt then returns ctx.Err().
+func (n *Node) Request(ctx context.Context) (*SessionReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("node %s: %w", n.cfg.ID, errs.ErrClosed)
+	}
 	if n.store.Complete() {
 		return nil, fmt.Errorf("node %s: already holds the file", n.cfg.ID)
 	}
-	cands, err := n.disc.Candidates(n.cfg.M, n.cfg.ID)
+	cands, err := n.disc.Candidates(ctx, n.cfg.M, n.cfg.ID)
 	if err != nil {
 		return nil, fmt.Errorf("node %s: lookup: %w", n.cfg.ID, err)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("node %s: %w", n.cfg.ID, ErrNoSuppliers)
 	}
 	classes := make([]bandwidth.Class, len(cands))
 	for i, c := range cands {
@@ -63,8 +90,11 @@ func (n *Node) Request() (*SessionReport, error) {
 		if !ok {
 			break
 		}
-		reply, err := n.probe(cands[idx])
+		reply, err := n.probe(ctx, cands[idx])
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr // cancelled mid-probe
+			}
 			// Unreachable candidate: treat as down (paper: "down or busy").
 			att.Down(idx)
 			continue
@@ -72,14 +102,26 @@ func (n *Node) Request() (*SessionReport, error) {
 		att.Record(idx, reply.Decision, reply.Favors)
 	}
 	if !att.Admitted() {
-		n.leaveReminders(pick(cands, att.ReminderTargets()))
-		return nil, ErrRejected
+		n.leaveReminders(ctx, pick(cands, att.ReminderTargets()))
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("node %s: %w", n.cfg.ID, ErrRejected)
 	}
-	report, err := n.runSession(pick(cands, att.Chosen()))
+	if n.testHookAdmitted != nil {
+		n.testHookAdmitted()
+	}
+	// The gap between admission and session start: a cancellation landing
+	// here must not trigger any supplier — nothing has been claimed yet,
+	// and nothing will be.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	report, err := n.runSession(ctx, pick(cands, att.Chosen()))
 	if err != nil {
 		return nil, err
 	}
-	if err := n.becomeSupplier(); err != nil {
+	if err := n.becomeSupplier(ctx); err != nil {
 		return report, fmt.Errorf("node %s: promoting to supplier: %w", n.cfg.ID, err)
 	}
 	return report, nil
@@ -95,19 +137,21 @@ func pick(cands []transport.Candidate, idxs []int) []transport.Candidate {
 }
 
 // RequestUntilAdmitted retries Request with the configured backoff until
-// admitted or maxAttempts attempts have failed.
-func (n *Node) RequestUntilAdmitted(maxAttempts int) (*SessionReport, error) {
+// admitted, the context is cancelled, or maxAttempts attempts have failed.
+// Only protocol rejections (ErrRejected, ErrNoSuppliers) are retried;
+// cancellation and hard transport failures surface immediately.
+func (n *Node) RequestUntilAdmitted(ctx context.Context, maxAttempts int) (*SessionReport, error) {
 	if maxAttempts < 1 {
 		return nil, fmt.Errorf("node %s: maxAttempts %d, want >= 1", n.cfg.ID, maxAttempts)
 	}
 	rejections := 0
 	for attempt := 1; ; attempt++ {
-		report, err := n.Request()
+		report, err := n.Request(ctx)
 		if err == nil {
 			report.Rejections = rejections
 			return report, nil
 		}
-		if !errors.Is(err, ErrRejected) {
+		if !errs.Retryable(err) {
 			// The session may have completed with only the post-session
 			// registration failing (a sharded registry's owner shard can be
 			// down right then; the lease re-registers when it returns).
@@ -127,48 +171,46 @@ func (n *Node) RequestUntilAdmitted(maxAttempts int) (*SessionReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.clk.Sleep(wait)
+		if err := clock.SleepCtx(ctx, n.clk, wait); err != nil {
+			return nil, err
+		}
 	}
 }
 
-// probe asks one candidate for permission.
-func (n *Node) probe(cand transport.Candidate) (*transport.ProbeReply, error) {
-	conn, err := n.net.Dial(cand.Addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if err := transport.Write(conn, transport.KindProbe,
-		transport.Probe{RequesterID: n.cfg.ID, Class: n.cfg.Class}); err != nil {
-		return nil, err
-	}
+// probe asks one candidate for permission. Cancellation aborts the dial
+// and the exchange.
+func (n *Node) probe(ctx context.Context, cand transport.Candidate) (*transport.ProbeReply, error) {
 	var reply transport.ProbeReply
-	if err := transport.ReadExpect(conn, transport.KindProbeReply, &reply); err != nil {
+	err := transport.Call(ctx, n.net, cand.Addr, transport.KindProbe,
+		transport.Probe{RequesterID: n.cfg.ID, Class: n.cfg.Class},
+		transport.KindProbeReply, &reply)
+	if err != nil {
 		return nil, err
 	}
 	return &reply, nil
 }
 
 // leaveReminders deposits reminders on the candidates the shared sweep
-// selected (busy favoring candidates, high class first, up to R0).
-func (n *Node) leaveReminders(targets []transport.Candidate) {
+// selected (busy favoring candidates, high class first, up to R0). Best
+// effort; a cancelled context stops the round.
+func (n *Node) leaveReminders(ctx context.Context, targets []transport.Candidate) {
 	for _, cand := range targets {
-		conn, err := n.net.Dial(cand.Addr)
-		if err != nil {
-			continue
+		if ctx.Err() != nil {
+			return
 		}
-		transport.Write(conn, transport.KindReminder,
-			transport.Reminder{RequesterID: n.cfg.ID, Class: n.cfg.Class})
 		var reply transport.ReminderReply
-		transport.ReadExpect(conn, transport.KindReminderOK, &reply)
-		conn.Close()
+		_ = transport.Call(ctx, n.net, cand.Addr, transport.KindReminder,
+			transport.Reminder{RequesterID: n.cfg.ID, Class: n.cfg.Class},
+			transport.KindReminderOK, &reply)
 	}
 }
 
 // runSession computes the OTS_p2p assignment (checking the Theorem 1
 // bound), triggers every chosen supplier, and receives the whole file
-// concurrently, recording arrival times for playback verification.
-func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) {
+// concurrently, recording arrival times for playback verification. Every
+// session connection is guarded by ctx: cancellation closes the streams,
+// aborting the receive goroutines and releasing the suppliers.
+func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*SessionReport, error) {
 	suppliers := make([]core.Supplier, len(chosen))
 	byID := make(map[string]transport.Candidate, len(chosen))
 	for i, c := range chosen {
@@ -192,22 +234,24 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 	}()
 	for i, s := range assignment.Suppliers {
 		cand := byID[s.ID]
-		conn, err := n.net.Dial(cand.Addr)
+		conn, err := netx.DialContext(ctx, n.net, cand.Addr)
 		if err != nil {
-			return nil, fmt.Errorf("node %s: dialing supplier %s: %w", n.cfg.ID, s.ID, err)
+			return nil, transport.CtxErr(ctx, fmt.Errorf("node %s: dialing supplier %s: %w", n.cfg.ID, s.ID, err))
 		}
 		conns[i] = conn
+		release := netx.Guard(ctx, conn)
+		defer release()
 		segs := assignment.TransmissionList(i, n.cfg.File.Segments)
 		if err := transport.Write(conn, transport.KindStart, transport.Start{
 			RequesterID: n.cfg.ID,
 			FileName:    n.cfg.File.Name,
 			Segments:    segs,
 		}); err != nil {
-			return nil, err
+			return nil, transport.CtxErr(ctx, err)
 		}
 		var reply transport.StartReply
 		if err := transport.ReadExpect(conn, transport.KindStartReply, &reply); err != nil {
-			return nil, err
+			return nil, transport.CtxErr(ctx, err)
 		}
 		if !reply.OK {
 			// A race took this supplier (granted, then claimed by another
@@ -225,7 +269,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 		bytes      int64
 		wg         sync.WaitGroup
 		errsMu     sync.Mutex
-		errs       []error
+		rcvErrs    []error
 	)
 	var storeMu sync.Mutex
 	for i := range conns {
@@ -239,7 +283,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 				env, err := transport.Read(conn)
 				if err != nil {
 					errsMu.Lock()
-					errs = append(errs, fmt.Errorf("node %s: receiving: %w", n.cfg.ID, err))
+					rcvErrs = append(rcvErrs, fmt.Errorf("node %s: receiving: %w", n.cfg.ID, err))
 					errsMu.Unlock()
 					return
 				}
@@ -248,7 +292,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 					var seg transport.Segment
 					if err := env.Decode(&seg); err != nil {
 						errsMu.Lock()
-						errs = append(errs, err)
+						rcvErrs = append(rcvErrs, err)
 						errsMu.Unlock()
 						return
 					}
@@ -264,7 +308,7 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 					storeMu.Unlock()
 					if err != nil {
 						errsMu.Lock()
-						errs = append(errs, err)
+						rcvErrs = append(rcvErrs, err)
 						errsMu.Unlock()
 						return
 					}
@@ -276,13 +320,13 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 				case transport.KindSessionDone:
 					if received != want {
 						errsMu.Lock()
-						errs = append(errs, fmt.Errorf("node %s: supplier sent %d segments, want %d", n.cfg.ID, received, want))
+						rcvErrs = append(rcvErrs, fmt.Errorf("node %s: supplier sent %d segments, want %d", n.cfg.ID, received, want))
 						errsMu.Unlock()
 					}
 					return
 				default:
 					errsMu.Lock()
-					errs = append(errs, fmt.Errorf("node %s: unexpected %s mid-session", n.cfg.ID, env.Kind))
+					rcvErrs = append(rcvErrs, fmt.Errorf("node %s: unexpected %s mid-session", n.cfg.ID, env.Kind))
 					errsMu.Unlock()
 					return
 				}
@@ -290,8 +334,11 @@ func (n *Node) runSession(chosen []transport.Candidate) (*SessionReport, error) 
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	if len(rcvErrs) > 0 {
+		return nil, transport.CtxErr(ctx, rcvErrs[0])
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
 	}
 	if !n.store.Complete() {
 		return nil, fmt.Errorf("node %s: session ended with %d/%d segments", n.cfg.ID, n.store.Count(), n.cfg.File.Segments)

@@ -1,0 +1,114 @@
+// Package observe is the overlay's unified observability surface: one
+// Observer interface receiving typed Events from every component — the
+// live node, the directory server, the sharded directory client and the
+// chord ring peer — in place of the per-component hook fields
+// (OnWriteError funcs) and ad-hoc counter tuples that grew by accretion.
+//
+// Observers are optional everywhere: a nil Observer costs one branch.
+// Events fire on hot paths (reply writes, lookups), so implementations
+// must be fast and must not block; anything slow belongs behind a channel
+// the observer owns.
+package observe
+
+import "time"
+
+// Type discriminates events.
+type Type int
+
+const (
+	// WriteError: a reply write failed mid-exchange — the remote hung up
+	// while a response was in flight, which the request/response flow
+	// itself cannot surface. Wire carries the message kind, Err the cause.
+	WriteError Type = iota + 1
+	// LookupDone: a discovery candidate lookup (or chord key lookup)
+	// completed. Hops carries the routing hops expended (0 for directory
+	// round trips), Latency the elapsed time, Err the failure if any.
+	LookupDone
+	// ShardLookup: one registry shard's leg of a sharded-directory fan-out.
+	// Shard carries the shard index, Latency the leg's round-trip time,
+	// Err the per-shard failure (a dead shard; the fan-out still answers).
+	ShardLookup
+	// SessionServed: the supplier side completed streaming one session.
+	SessionServed
+	// ProbeServed: the supplier side answered one admission probe.
+	ProbeServed
+)
+
+func (t Type) String() string {
+	switch t {
+	case WriteError:
+		return "write-error"
+	case LookupDone:
+		return "lookup-done"
+	case ShardLookup:
+		return "shard-lookup"
+	case SessionServed:
+		return "session-served"
+	case ProbeServed:
+		return "probe-served"
+	}
+	return "unknown"
+}
+
+// Event is one observable occurrence. Component identifies the emitter
+// ("node/r1", "directory", "sharded-directory", "chord/s2"); the remaining
+// fields apply per Type (zero otherwise).
+type Event struct {
+	Component string
+	Type      Type
+	// Wire is the transport message kind of a failed reply write.
+	Wire string
+	// Shard is the registry shard index of a ShardLookup leg.
+	Shard int
+	// Hops counts the routing hops of a completed lookup.
+	Hops int
+	// Latency is the elapsed time of a lookup or fan-out leg.
+	Latency time.Duration
+	// Err is the failure, if any.
+	Err error
+}
+
+// Observer receives events. Implementations must be safe for concurrent
+// use and must not block.
+type Observer interface {
+	Observe(Event)
+}
+
+// Func adapts a function to the Observer interface.
+type Func func(Event)
+
+// Observe calls f.
+func (f Func) Observe(ev Event) { f(ev) }
+
+// Emit delivers ev to o when o is non-nil — the nil-safe emission idiom
+// every component uses.
+func Emit(o Observer, ev Event) {
+	if o != nil {
+		o.Observe(ev)
+	}
+}
+
+// Multi fans every event out to each non-nil observer, in order.
+func Multi(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multi(kept)
+}
+
+type multi []Observer
+
+func (m multi) Observe(ev Event) {
+	for _, o := range m {
+		o.Observe(ev)
+	}
+}

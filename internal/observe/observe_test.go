@@ -1,0 +1,50 @@
+package observe
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEmitNilSafe(t *testing.T) {
+	Emit(nil, Event{Type: WriteError}) // must not panic
+	var got []Event
+	Emit(Func(func(ev Event) { got = append(got, ev) }), Event{Type: LookupDone, Hops: 3})
+	if len(got) != 1 || got[0].Hops != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	var a, b int
+	oa := Func(func(Event) { a++ })
+	ob := Func(func(Event) { b++ })
+	if got := Multi(oa); got == nil {
+		t.Fatal("single observer dropped")
+	}
+	m := Multi(oa, nil, ob)
+	m.Observe(Event{Type: ShardLookup, Shard: 1, Err: errors.New("x")})
+	if a != 1 || b != 1 {
+		t.Errorf("fanout reached a=%d b=%d, want 1 and 1", a, b)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		WriteError:    "write-error",
+		LookupDone:    "lookup-done",
+		ShardLookup:   "shard-lookup",
+		SessionServed: "session-served",
+		ProbeServed:   "probe-served",
+		Type(99):      "unknown",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(ty), got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
+	"p2pstream/internal/observe"
 )
 
 // RequestUntilHeld keeps attempting until the node holds the file, with a
@@ -24,19 +26,24 @@ import (
 // failure was the post-session directory registration (possible behind a
 // lossy link) counts as served: the node holds the file and supplies
 // locally.
-func RequestUntilHeld(clk clock.Clock, n *node.Node, maxAttempts int, retry time.Duration) (*node.SessionReport, int, error) {
+func RequestUntilHeld(ctx context.Context, clk clock.Clock, n *node.Node, maxAttempts int, retry time.Duration) (*node.SessionReport, int, error) {
 	if maxAttempts < 1 {
 		return nil, 0, fmt.Errorf("scenario: maxAttempts %d, want >= 1", maxAttempts)
 	}
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		report, err := n.Request()
+		report, err := n.Request(ctx)
 		if err == nil || report != nil {
 			return report, attempt, nil
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, attempt, cerr
+		}
 		lastErr = err
 		if attempt < maxAttempts {
-			clk.Sleep(retry)
+			if err := clock.SleepCtx(ctx, clk, retry); err != nil {
+				return nil, attempt, err
+			}
 		}
 	}
 	return nil, maxAttempts, fmt.Errorf("node %s: gave up after %d attempts: %w", n.ID(), maxAttempts, lastErr)
@@ -68,6 +75,14 @@ type harness struct {
 	// counted, the same staleness the directory exhibits.
 	suppliers atomic.Int64
 
+	// Sharded-directory fan-out aggregates, fed by the ShardLookup events
+	// every sharded client emits on the harness observer: legs executed,
+	// legs failed, and the cumulative leg latency in virtual nanoseconds.
+	// Sampled per requester completion onto the admission axis.
+	shardLegs      atomic.Int64
+	shardLegFails  atomic.Int64
+	shardLatencyNs atomic.Int64
+
 	mu    sync.Mutex
 	done  bool     // the run is over; late shard rebirths must not leak servers
 	boots []string // chord addresses of the seed ring members
@@ -79,6 +94,41 @@ type harness struct {
 	shards     []*directory.Server
 	shardAddrs []string
 	shardUp    []bool
+}
+
+// observer returns the harness's aggregating observer for sharded
+// discovery clients (nil when the registry is not sharded).
+func (h *harness) observer() observe.Observer {
+	if len(h.shards) < 2 {
+		return nil
+	}
+	return observe.Func(func(ev observe.Event) {
+		if ev.Type != observe.ShardLookup {
+			return
+		}
+		h.shardLegs.Add(1)
+		h.shardLatencyNs.Add(int64(ev.Latency))
+		if ev.Err != nil {
+			h.shardLegFails.Add(1)
+		}
+	})
+}
+
+// shardStats snapshots each live registry shard's server counters (zero
+// for a crashed shard); nil when the registry is not sharded.
+func (h *harness) shardStats() []directory.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.shards) < 2 {
+		return nil
+	}
+	out := make([]directory.Stats, len(h.shards))
+	for i, s := range h.shards {
+		if h.shardUp[i] && s != nil {
+			out[i] = s.Stats()
+		}
+	}
+	return out
 }
 
 // chordBacked reports whether the scenario runs chord discovery.
@@ -228,11 +278,12 @@ func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, *chordne
 		addrs := append([]string(nil), h.shardAddrs...)
 		h.mu.Unlock()
 		sc, err := directory.NewShardedClient(directory.ShardedConfig{
-			Addrs:   addrs,
-			Network: h.net.Host(p.ID),
-			Clock:   h.clk,
-			Refresh: shardRefresh,
-			Seed:    seed,
+			Addrs:    addrs,
+			Network:  h.net.Host(p.ID),
+			Clock:    h.clk,
+			Refresh:  shardRefresh,
+			Seed:     seed,
+			Observer: h.observer(),
 		})
 		if err != nil {
 			return nil, nil, err
@@ -305,12 +356,13 @@ func Run(spec Spec) (*Report, error) {
 	}
 	defer h.closeAll()
 
+	ctx := context.Background()
 	for i, p := range spec.Seeds {
 		n, _, err := h.newNode(p, int64(i+1), true)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
 		}
-		if err := n.Start(); err != nil {
+		if err := n.Start(ctx); err != nil {
 			n.Close() // not tracked yet; closeAll would miss it
 			return nil, fmt.Errorf("scenario %s: seed %s: %w", spec.Name, p.ID, err)
 		}
@@ -384,7 +436,7 @@ func Run(spec Spec) (*Report, error) {
 	wg.Wait()
 	elapsed := clk.Since(base)
 
-	return buildReport(spec, results, elapsed, h.supplierLevel(), h.shardSuppliers()), nil
+	return buildReport(spec, results, elapsed, h.supplierLevel(), h.shardSuppliers(), h.shardStats()), nil
 }
 
 // closeShards shuts every live registry shard down.
@@ -420,17 +472,20 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	if err != nil {
 		return fail(err)
 	}
-	if err := n.Start(); err != nil {
+	if err := n.Start(context.Background()); err != nil {
 		n.Close() // not tracked yet; closeAll would miss it
 		return fail(err)
 	}
 	h.track(w.ID, n)
-	report, attempts, err := RequestUntilHeld(h.clk, n, h.spec.MaxAttempts, h.spec.Retry)
+	report, attempts, err := RequestUntilHeld(context.Background(), h.clk, n, h.spec.MaxAttempts, h.spec.Retry)
 	res.Done = h.clk.Since(base)
 	res.Attempts = attempts
 	if chordPeer != nil {
 		res.Lookups, res.LookupHops, res.SampleRounds = chordPeer.LookupStats()
 	}
+	res.ShardLegs = h.shardLegs.Load()
+	res.ShardLegFails = h.shardLegFails.Load()
+	res.ShardLatency = time.Duration(h.shardLatencyNs.Load())
 	if err != nil {
 		res.Err = err
 		return res

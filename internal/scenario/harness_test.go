@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -85,7 +86,7 @@ func TestRequestUntilHeldGivesUp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := seed.Start(); err != nil {
+	if err := seed.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer seed.Close()
@@ -93,19 +94,19 @@ func TestRequestUntilHeldGivesUp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := req.Start(); err != nil {
+	if err := req.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer req.Close()
 
-	_, attempts, err := RequestUntilHeld(clk, req, 3, 5*time.Millisecond)
+	_, attempts, err := RequestUntilHeld(context.Background(), clk, req, 3, 5*time.Millisecond)
 	if !errors.Is(err, node.ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
 	if attempts != 3 {
 		t.Errorf("attempts = %d, want the whole budget of 3", attempts)
 	}
-	if _, _, err := RequestUntilHeld(clk, req, 0, time.Millisecond); err == nil {
+	if _, _, err := RequestUntilHeld(context.Background(), clk, req, 0, time.Millisecond); err == nil {
 		t.Error("maxAttempts 0 accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/directory"
 	"p2pstream/internal/metrics"
 	"p2pstream/internal/node"
 )
@@ -45,6 +46,13 @@ type NodeResult struct {
 	// routing hops they cost, and candidate sample rounds executed. Zero
 	// under the directory backends (one round trip per lookup, no hops).
 	Lookups, LookupHops, SampleRounds int64
+	// ShardLegs, ShardLegFails and ShardLatency snapshot the sharded
+	// directory's cumulative fan-out aggregates (across all clients, fed
+	// by the ShardLookup observer events) at this peer's completion: legs
+	// executed, legs that failed, and total leg latency. Zero when the
+	// registry is not sharded.
+	ShardLegs, ShardLegFails int64
+	ShardLatency             time.Duration
 }
 
 // Report is the outcome of one scenario run.
@@ -61,6 +69,10 @@ type Report struct {
 	// ShardSuppliers is each registry shard's final supplier count under
 	// the directory backend (a crashed shard counts 0); nil under chord.
 	ShardSuppliers []int
+	// ShardStats is each registry shard's final server counters
+	// (registers, refreshes, unregisters, lookups; zero for a shard that
+	// ended the run crashed); nil unless the registry is sharded.
+	ShardStats []directory.Stats
 
 	// Time series over the served requesters' completion instants, all on
 	// one shared axis (WriteCSV emits them together): admission latency
@@ -76,10 +88,16 @@ type Report struct {
 	// admission latency (the ROADMAP's discovery-metrics item).
 	LookupHops   *metrics.Series
 	SampleRounds *metrics.Series
+	// ShardLookupMs and ShardFailures chart the sharded directory's
+	// fan-out cost on the same axis (the ROADMAP's sharded-metrics item):
+	// mean per-leg lookup latency so far, and cumulative failed legs —
+	// blank samples under the unsharded backends.
+	ShardLookupMs *metrics.Series
+	ShardFailures *metrics.Series
 }
 
 // buildReport assembles the report from the per-requester results.
-func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int) *Report {
+func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int, shardStats []directory.Stats) *Report {
 	sortResults(results)
 	r := &Report{
 		Spec:           spec,
@@ -87,14 +105,18 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		Elapsed:        elapsed,
 		FinalSuppliers: finalSuppliers,
 		ShardSuppliers: shardSuppliers,
+		ShardStats:     shardStats,
 		Admission:      &metrics.Series{Name: "admission_ms"},
 		Tries:          &metrics.Series{Name: "attempts"},
 		Buffering:      &metrics.Series{Name: "buffering_ms"},
 		Suppliers:      &metrics.Series{Name: "suppliers"},
 		LookupHops:     &metrics.Series{Name: "lookup_hops"},
 		SampleRounds:   &metrics.Series{Name: "sample_rounds"},
+		ShardLookupMs:  &metrics.Series{Name: "shard_lookup_ms"},
+		ShardFailures:  &metrics.Series{Name: "shard_failures"},
 	}
 	chord := spec.Discovery == BackendChord
+	sharded := len(shardStats) > 1
 	for _, n := range results {
 		if n.Err != nil {
 			continue
@@ -112,6 +134,14 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 			// the axis shared with blanks so the CSV stays one table.
 			r.LookupHops.AddMissing(n.Done)
 			r.SampleRounds.AddMissing(n.Done)
+		}
+		if sharded && n.ShardLegs > 0 {
+			mean := float64(n.ShardLatency) / float64(n.ShardLegs) / float64(time.Millisecond)
+			r.ShardLookupMs.Add(n.Done, mean)
+			r.ShardFailures.Add(n.Done, float64(n.ShardLegFails))
+		} else {
+			r.ShardLookupMs.AddMissing(n.Done)
+			r.ShardFailures.AddMissing(n.Done)
 		}
 	}
 	return r
@@ -208,6 +238,16 @@ func (r *Report) Summary() string {
 	if len(r.ShardSuppliers) > 1 {
 		fmt.Fprintf(&b, "\n  suppliers by shard: %v", r.ShardSuppliers)
 	}
+	if mean, ok := meanOf(r.ShardLookupMs); ok {
+		fails, _ := r.ShardFailures.Last()
+		fmt.Fprintf(&b, "\n  shard fan-out: mean %.2fms per leg, %.0f failed legs", mean, fails)
+	}
+	if len(r.ShardStats) > 1 {
+		for i, st := range r.ShardStats {
+			fmt.Fprintf(&b, "\n  shard %d stats: %d registers, %d refreshes, %d unregisters, %d lookups",
+				i, st.Registers, st.Refreshes, st.Unregisters, st.Lookups)
+		}
+	}
 	for _, n := range r.Nodes {
 		if n.Err != nil {
 			fmt.Fprintf(&b, "\n  unserved %s: %v", n.ID, n.Err)
@@ -220,7 +260,8 @@ func (r *Report) Summary() string {
 // discovery-cost columns are blank under the directory backends.
 func (r *Report) WriteCSV(w io.Writer) error {
 	return metrics.WriteCSVIn(w, "ms", time.Millisecond,
-		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds)
+		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds,
+		r.ShardLookupMs, r.ShardFailures)
 }
 
 func meanOf(s *metrics.Series) (float64, bool) {

@@ -378,6 +378,27 @@ func TestShardedLookupDetails(t *testing.T) {
 			t.Errorf("shard %d ends empty; the scenario should spread suppliers over every shard", i)
 		}
 	}
+	// The sharded fan-out metrics ride the admission axis: per-leg latency
+	// samples and a (zero-valued, steady-state) failure count per served
+	// requester, plus final per-shard server counters.
+	if report.ShardLookupMs.Len() != report.Served() {
+		t.Errorf("ShardLookupMs has %d samples, want one per served requester (%d)",
+			report.ShardLookupMs.Len(), report.Served())
+	}
+	if mean, ok := meanOf(report.ShardLookupMs); !ok || mean <= 0 {
+		t.Errorf("mean shard fan-out latency = %v, %v; want > 0", mean, ok)
+	}
+	if fails, ok := report.ShardFailures.Last(); !ok || fails != 0 {
+		t.Errorf("steady-state run recorded %v failed shard legs, want 0", fails)
+	}
+	if len(report.ShardStats) != 3 {
+		t.Fatalf("ShardStats = %v, want 3 shards", report.ShardStats)
+	}
+	for i, st := range report.ShardStats {
+		if st.Lookups == 0 {
+			t.Errorf("shard %d served no lookups; the fan-out should hit every shard", i)
+		}
+	}
 }
 
 // TestShardCrashDetails: the mid-run shard kill costs visibility of the
@@ -429,6 +450,11 @@ func TestShardCrashDetails(t *testing.T) {
 		if n.Start <= crash {
 			t.Errorf("%s started at %v, not after the shard died", id, n.Start)
 		}
+	}
+	// The dead shard's failed fan-out legs surface in the metrics: the
+	// cumulative failure series must end above zero.
+	if fails, ok := report.ShardFailures.Last(); !ok || fails == 0 {
+		t.Errorf("shard kill produced %v failed fan-out legs in the series, want > 0", fails)
 	}
 }
 
@@ -583,8 +609,12 @@ func TestChordDiscoveryMetrics(t *testing.T) {
 	if len(lines) != served+1 {
 		t.Fatalf("CSV has %d lines, want header + %d", len(lines), served)
 	}
-	if strings.HasSuffix(lines[1], ",,") {
+	cols := strings.Split(lines[1], ",")
+	if len(cols) != 9 || cols[5] == "" || cols[6] == "" {
 		t.Errorf("chord run CSV should carry discovery-cost values: %q", lines[1])
+	}
+	if len(cols) == 9 && (cols[7] != "" || cols[8] != "") {
+		t.Errorf("chord run CSV should leave the shard columns blank: %q", lines[1])
 	}
 }
 
@@ -637,13 +667,13 @@ func TestReportCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), b.String())
 	}
-	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds"; lines[0] != want {
+	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures"; lines[0] != want {
 		t.Errorf("header = %q, want %q", lines[0], want)
 	}
 	// Directory-backed runs have no routed lookups: the discovery-cost
 	// columns are present but blank, keeping one shared table.
-	if !strings.HasSuffix(lines[1], ",,") {
-		t.Errorf("directory-backed sample should end with blank discovery-cost columns: %q", lines[1])
+	if !strings.HasSuffix(lines[1], ",,,,") {
+		t.Errorf("unsharded directory-backed sample should end with blank discovery- and shard-cost columns: %q", lines[1])
 	}
 	if sum := report.Summary(); !strings.Contains(sum, "csv") || !strings.Contains(sum, "1/1 served") {
 		t.Errorf("summary = %q", sum)

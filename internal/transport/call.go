@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"context"
+
+	"p2pstream/internal/netx"
+)
+
+// Call performs one request/response exchange against addr over nw: dial,
+// write the request frame, read (and decode into out, when non-nil) the
+// reply of the expected kind. The whole exchange honors ctx — the dial
+// aborts on cancellation, the connection's deadline derives from the
+// context's, and a cancellation mid-read closes the connection so blocked
+// reads return — and a failure on a cancelled context surfaces as
+// ctx.Err() (context.Canceled / DeadlineExceeded pass through), never as
+// the secondary connection error the teardown produced.
+//
+// Every connectionless RPC of the overlay (directory calls, chord ring
+// RPCs) goes through this helper; session streams, which outlive a single
+// exchange, guard their connections directly with netx.Guard.
+func Call(ctx context.Context, nw netx.Network, addr string, kind Kind, req any, want Kind, out any) error {
+	conn, err := netx.DialContext(ctx, nw, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	release := netx.Guard(ctx, conn)
+	defer release()
+	if err := Write(conn, kind, req); err != nil {
+		return CtxErr(ctx, err)
+	}
+	if err := ReadExpect(conn, want, out); err != nil {
+		return CtxErr(ctx, err)
+	}
+	return nil
+}
+
+// CtxErr maps a transport failure on a cancelled context to the context's
+// own error: cancellation tears the connection down, and the caller must
+// see context.Canceled / DeadlineExceeded, not the net.ErrClosed or io.EOF
+// the teardown produced.
+func CtxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}

@@ -95,6 +95,10 @@ type Candidate struct {
 // Candidates is the lookup response.
 type Candidates struct {
 	Peers []Candidate `json:"peers"`
+	// Len is the answering registry's total supplier count — with a
+	// sharded directory, the weight a client's merge gives this shard's
+	// sample so the merged result stays exactly uniform over the union.
+	Len int `json:"len,omitempty"`
 }
 
 // Probe asks a supplier for streaming-service permission.

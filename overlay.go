@@ -1,0 +1,488 @@
+package p2pstream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pstream/internal/chordnet"
+	"p2pstream/internal/directory"
+	"p2pstream/internal/errs"
+	"p2pstream/internal/media"
+	"p2pstream/internal/node"
+	"p2pstream/internal/observe"
+)
+
+// Overlay is the single entrypoint to the live streaming overlay: one
+// builder that wires nodes, discovery and lifecycle for all three
+// discovery backends — the centralized directory (WithDirectory, one
+// address), the consistent-hash sharded directory (WithDirectory with
+// several addresses, or WithShardedDirectory for full control) and the
+// decentralized wire-level Chord ring (WithChord) — behind one type.
+//
+//	ov, err := p2pstream.NewOverlay(file,
+//		p2pstream.WithDirectory("127.0.0.1:7000"),
+//	)
+//	defer ov.Close()
+//	seed, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: "s1", Class: 1})
+//	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r1", Class: 2})
+//	report, err := req.RequestUntilAdmitted(ctx, 10)
+//
+// Every peer the overlay creates is started, tracked, and torn down by
+// Close (newest first: requesters before the seeds they stream from).
+// The request path is context-first throughout — cancellation and
+// deadlines abort dials, probes, sessions and discovery RPCs — and
+// failures are typed: branch with errors.Is on ErrRejected,
+// ErrNoSuppliers, ErrClosed, ErrAllShardsDown.
+//
+// WithClock and WithNetwork (or WithNetworkFor, for per-host virtual
+// networks) swap the substrate: the same overlay runs over real TCP on
+// the wall clock or inside a deterministic virtual cluster. WithObserver
+// installs one unified observer across every component the overlay wires.
+type Overlay struct {
+	cfg overlayConfig
+
+	// chordMu serializes chord-backend peer creation (see newPeer).
+	chordMu sync.Mutex
+
+	mu         sync.Mutex
+	nodes      []*Node
+	boots      []string          // chord endpoints of overlay-created seed peers
+	chordAddrs map[string]string // chord endpoint per created peer ID
+	seq        int64
+	closed     bool
+}
+
+// overlayBackend discriminates the configured discovery substrate.
+type overlayBackend int
+
+const (
+	backendNone overlayBackend = iota
+	backendDirectory
+	backendSharded
+	backendChord
+)
+
+type overlayConfig struct {
+	file       *media.File
+	numClasses Class
+	policy     Policy
+	m          int
+	tout       time.Duration
+	backoff    BackoffConfig
+	clk        Clock
+	network    Network
+	netFor     func(hostID string) Network
+	observer   Observer
+	seed       int64
+
+	backend overlayBackend
+	dirAddr string
+	sharded ShardedDirectoryConfig
+	chord   ChordDiscoveryConfig
+}
+
+// OverlayOption configures an Overlay.
+type OverlayOption func(*overlayConfig) error
+
+// WithDirectory selects directory discovery: one address runs the
+// centralized client, several run the consistent-hash sharded client over
+// the listed shards (every peer of one deployment must list the same
+// addresses in the same order).
+func WithDirectory(addrs ...string) OverlayOption {
+	return func(c *overlayConfig) error {
+		if c.backend != backendNone {
+			return errors.New("p2pstream: overlay discovery backend configured twice")
+		}
+		switch len(addrs) {
+		case 0:
+			return errors.New("p2pstream: WithDirectory needs at least one address")
+		case 1:
+			c.backend = backendDirectory
+			c.dirAddr = addrs[0]
+		default:
+			c.backend = backendSharded
+			c.sharded = ShardedDirectoryConfig{Addrs: append([]string(nil), addrs...)}
+		}
+		return nil
+	}
+}
+
+// WithShardedDirectory selects sharded directory discovery with explicit
+// lease tuning. The config's Network, Clock, Seed and Observer fields are
+// filled per peer from the overlay's; set Addrs (and Refresh, if the
+// default lease period does not suit the deployment).
+func WithShardedDirectory(cfg ShardedDirectoryConfig) OverlayOption {
+	return func(c *overlayConfig) error {
+		if c.backend != backendNone {
+			return errors.New("p2pstream: overlay discovery backend configured twice")
+		}
+		if len(cfg.Addrs) == 0 {
+			return errors.New("p2pstream: WithShardedDirectory needs shard addresses")
+		}
+		c.backend = backendSharded
+		c.sharded = cfg
+		return nil
+	}
+}
+
+// WithChord selects decentralized chord discovery. cfg is a template: its
+// Bootstrap, ListenAddr, Stabilize, Successors and MaxHops apply to every
+// peer, while ID, Class, Network, Clock, Seed and Observer are filled per
+// peer. Seeds created by this overlay automatically become bootstrap
+// members for later peers (the first seed with no bootstrap founds the
+// ring), so a single-process cluster needs no explicit bootstrap at all.
+func WithChord(cfg ChordDiscoveryConfig) OverlayOption {
+	return func(c *overlayConfig) error {
+		if c.backend != backendNone {
+			return errors.New("p2pstream: overlay discovery backend configured twice")
+		}
+		c.backend = backendChord
+		c.chord = cfg
+		return nil
+	}
+}
+
+// WithClock runs every overlay component on clk (default: the wall clock).
+func WithClock(clk Clock) OverlayOption {
+	return func(c *overlayConfig) error { c.clk = clk; return nil }
+}
+
+// WithNetwork provides every overlay component's listeners and dials
+// (default: real TCP).
+func WithNetwork(nw Network) OverlayOption {
+	return func(c *overlayConfig) error { c.network = nw; return nil }
+}
+
+// WithNetworkFor provides each peer's network by host ID — the idiom for
+// virtual clusters, where every peer lives on its own named virtual host:
+//
+//	p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) })
+func WithNetworkFor(f func(hostID string) Network) OverlayOption {
+	return func(c *overlayConfig) error { c.netFor = f; return nil }
+}
+
+// WithObserver installs one observer across every component the overlay
+// wires: nodes (write failures, probes, sessions), sharded directory
+// clients (per-shard fan-out legs) and chord peers (lookup cost).
+func WithObserver(o Observer) OverlayOption {
+	return func(c *overlayConfig) error { c.observer = o; return nil }
+}
+
+// WithClasses sets K, the number of bandwidth classes (default 4).
+func WithClasses(k Class) OverlayOption {
+	return func(c *overlayConfig) error { c.numClasses = k; return nil }
+}
+
+// WithPolicy selects the admission policy (default DAC).
+func WithPolicy(p Policy) OverlayOption {
+	return func(c *overlayConfig) error { c.policy = p; return nil }
+}
+
+// WithProbeFanout sets M, the candidates probed per admission attempt
+// (default 8).
+func WithProbeFanout(m int) OverlayOption {
+	return func(c *overlayConfig) error { c.m = m; return nil }
+}
+
+// WithIdleTimeout sets TOut, the supplier idle elevation timeout
+// (default 2s).
+func WithIdleTimeout(d time.Duration) OverlayOption {
+	return func(c *overlayConfig) error { c.tout = d; return nil }
+}
+
+// WithBackoff sets the requester retry parameters (default 500ms, ×2).
+func WithBackoff(b BackoffConfig) OverlayOption {
+	return func(c *overlayConfig) error { c.backoff = b; return nil }
+}
+
+// WithSeed fixes the overlay's randomness root; per-peer seeds derive from
+// it (default 1).
+func WithSeed(seed int64) OverlayOption {
+	return func(c *overlayConfig) error { c.seed = seed; return nil }
+}
+
+// NewOverlay builds an overlay for the given media item. Exactly one
+// discovery option (WithDirectory, WithShardedDirectory or WithChord) is
+// required.
+func NewOverlay(file *MediaFile, opts ...OverlayOption) (*Overlay, error) {
+	cfg := overlayConfig{
+		file:       file,
+		numClasses: 4,
+		policy:     DAC,
+		m:          8,
+		tout:       2 * time.Second,
+		backoff:    BackoffConfig{Base: 500 * time.Millisecond, Factor: 2},
+		seed:       1,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if file == nil {
+		return nil, errors.New("p2pstream: overlay needs a media file")
+	}
+	if cfg.backend == backendNone {
+		return nil, errors.New("p2pstream: overlay needs a discovery backend (WithDirectory, WithShardedDirectory or WithChord)")
+	}
+	return &Overlay{cfg: cfg}, nil
+}
+
+// OverlayPeer declares one peer of the overlay.
+type OverlayPeer struct {
+	// ID is the peer's unique overlay name (and, on a virtual network
+	// configured with WithNetworkFor, its host name).
+	ID string
+	// Class is the peer's bandwidth class.
+	Class Class
+	// ListenAddr is the peer's overlay listener (default "127.0.0.1:0").
+	ListenAddr string
+	// DiscoveryListenAddr is the peer's chord ring endpoint (chord backend
+	// only; default the WithChord template's ListenAddr, else any port).
+	DiscoveryListenAddr string
+	// Seed overrides the peer's derived randomness seed when non-zero.
+	Seed int64
+}
+
+// Seed creates, starts and tracks a seed peer: it possesses the complete
+// media file and registers as a supplying peer immediately (ctx bounds the
+// registration). Under chord discovery the peer's ring endpoint becomes a
+// bootstrap member for peers created later.
+func (o *Overlay) Seed(ctx context.Context, p OverlayPeer) (*Node, error) {
+	return o.newPeer(ctx, p, true)
+}
+
+// Requester creates, starts and tracks a requesting peer; drive it with
+// Request or RequestUntilAdmitted.
+func (o *Overlay) Requester(ctx context.Context, p OverlayPeer) (*Node, error) {
+	return o.newPeer(ctx, p, false)
+}
+
+// Nodes returns the overlay's live tracked peers, in creation order.
+func (o *Overlay) Nodes() []*Node {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Node(nil), o.nodes...)
+}
+
+// DiscoveryEndpoint returns the chord ring endpoint of the named peer —
+// the address other processes hand to WithChord as Bootstrap (or p2pnode
+// as -chord-bootstrap). Empty under the directory backends or for unknown
+// peers.
+func (o *Overlay) DiscoveryEndpoint(id string) string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.chordAddrs[id]
+}
+
+// Close tears the whole overlay down: every tracked peer is closed, newest
+// first (requesters before the seeds they stream from), each closing its
+// own discovery backend with it. Idempotent.
+func (o *Overlay) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	nodes := o.nodes
+	o.nodes = nil
+	o.mu.Unlock()
+	var err error
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if cerr := nodes[i].Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// networkFor resolves one peer's network.
+func (o *Overlay) networkFor(id string) Network {
+	if o.cfg.netFor != nil {
+		return o.cfg.netFor(id)
+	}
+	return o.cfg.network
+}
+
+// nextSeed derives a per-peer randomness seed.
+func (o *Overlay) nextSeed(p OverlayPeer) int64 {
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.seq++
+	return o.cfg.seed + o.seq*1009
+}
+
+// newPeer wires one peer: discovery backend, node, start, tracking.
+func (o *Overlay) newPeer(ctx context.Context, p OverlayPeer, isSeed bool) (*Node, error) {
+	o.mu.Lock()
+	closed := o.closed
+	o.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("p2pstream: overlay %w", errs.ErrClosed)
+	}
+	if p.ID == "" {
+		return nil, errors.New("p2pstream: overlay peer needs an ID")
+	}
+	nw := o.networkFor(p.ID)
+	seed := o.nextSeed(p)
+
+	var disc Discovery
+	var chordPeer *ChordDiscovery
+	switch o.cfg.backend {
+	case backendDirectory:
+		disc = directory.NewClientOn(nw, o.cfg.dirAddr)
+	case backendSharded:
+		scfg := o.cfg.sharded
+		scfg.Network = nw
+		scfg.Clock = o.cfg.clk
+		scfg.Seed = seed
+		scfg.Observer = o.cfg.observer
+		sc, err := directory.NewShardedClient(scfg)
+		if err != nil {
+			return nil, err
+		}
+		disc = sc
+	case backendChord:
+		// Serialized: two concurrent seeds that both snapshotted an empty
+		// bootstrap list would each found a separate singleton ring and
+		// partition the overlay. Creation is cold path; one at a time.
+		o.chordMu.Lock()
+		defer o.chordMu.Unlock()
+		ccfg := o.cfg.chord
+		ccfg.ID = p.ID
+		ccfg.Class = p.Class
+		ccfg.Network = nw
+		ccfg.Clock = o.cfg.clk
+		ccfg.Seed = seed
+		ccfg.Observer = o.cfg.observer
+		if p.DiscoveryListenAddr != "" {
+			ccfg.ListenAddr = p.DiscoveryListenAddr
+		}
+		o.mu.Lock()
+		ccfg.Bootstrap = append(append([]string(nil), o.cfg.chord.Bootstrap...), o.boots...)
+		o.mu.Unlock()
+		cp, err := chordnet.New(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cp.Start(); err != nil {
+			return nil, err
+		}
+		disc = cp
+		chordPeer = cp
+	}
+
+	ncfg := node.Config{
+		ID:         p.ID,
+		Class:      p.Class,
+		NumClasses: o.cfg.numClasses,
+		Policy:     o.cfg.policy,
+		Discovery:  disc,
+		File:       o.cfg.file,
+		M:          o.cfg.m,
+		TOut:       o.cfg.tout,
+		Backoff:    o.cfg.backoff,
+		ListenAddr: p.ListenAddr,
+		Seed:       seed,
+		Clock:      o.cfg.clk,
+		Network:    nw,
+		Observer:   o.cfg.observer,
+	}
+	var n *Node
+	var err error
+	if isSeed {
+		n, err = node.NewSeed(ncfg)
+	} else {
+		n, err = node.NewRequester(ncfg)
+	}
+	if err != nil {
+		// The node never took ownership of the discovery backend.
+		if disc != nil {
+			disc.Close()
+		}
+		return nil, err
+	}
+	if err := n.Start(ctx); err != nil {
+		n.Close()
+		return nil, err
+	}
+
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		n.Close()
+		return nil, fmt.Errorf("p2pstream: overlay %w", errs.ErrClosed)
+	}
+	o.nodes = append(o.nodes, n)
+	if chordPeer != nil {
+		if o.chordAddrs == nil {
+			o.chordAddrs = make(map[string]string)
+		}
+		o.chordAddrs[p.ID] = chordPeer.Addr()
+		if isSeed {
+			o.boots = append(o.boots, chordPeer.Addr())
+		}
+	}
+	o.mu.Unlock()
+	return n, nil
+}
+
+// The unified observability and error surface.
+
+// Observer receives typed events from every overlay component — write
+// failures, lookup cost, per-shard fan-out legs, probes and sessions
+// served. Install one with WithObserver (or per component via the internal
+// configs). See ObserverEvent.
+type Observer = observe.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = observe.Func
+
+// ObserverEvent is one observable occurrence; its Type field discriminates.
+type ObserverEvent = observe.Event
+
+// EventType discriminates observer events.
+type EventType = observe.Type
+
+// Observer event types.
+const (
+	// EventWriteError: a reply write failed mid-exchange.
+	EventWriteError = observe.WriteError
+	// EventLookupDone: a discovery lookup completed (Hops, Latency).
+	EventLookupDone = observe.LookupDone
+	// EventShardLookup: one shard's leg of a sharded fan-out (Shard,
+	// Latency, Err).
+	EventShardLookup = observe.ShardLookup
+	// EventSessionServed: the supplier side completed one session.
+	EventSessionServed = observe.SessionServed
+	// EventProbeServed: the supplier side answered one admission probe.
+	EventProbeServed = observe.ProbeServed
+)
+
+// MultiObserver fans events out to several observers (nils skipped).
+func MultiObserver(obs ...Observer) Observer { return observe.Multi(obs...) }
+
+// Typed, errors.Is-able failure sentinels of the request/discovery path.
+// Every layer wraps these with context; context.Canceled and
+// context.DeadlineExceeded pass through cancellation untouched.
+var (
+	// ErrRejected: the admission attempt failed (retryable with backoff).
+	ErrRejected = errs.ErrRejected
+	// ErrNoSuppliers: the candidate lookup came back empty (retryable).
+	ErrNoSuppliers = errs.ErrNoSuppliers
+	// ErrClosed: the component (node, overlay, discovery client, server)
+	// is closed.
+	ErrClosed = errs.ErrClosed
+	// ErrAllShardsDown: every registry shard of a sharded lookup failed.
+	ErrAllShardsDown = errs.ErrAllShardsDown
+)
+
+// NodeStats is the atomic snapshot returned by Node.Stats.
+type NodeStats = node.Stats

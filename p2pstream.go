@@ -26,20 +26,29 @@
 //   - the admission protocol building blocks (Vector, Supplier, Policy);
 //   - the discrete-event whole-system simulator behind the paper's
 //     evaluation (Simulate, SimConfig, SimResult);
-//   - a live, network-transparent overlay node (Node, NodeConfig) that
-//     runs over real TCP on the wall clock or — for deterministic,
-//     millisecond-fast cluster scenarios — over an in-memory virtual
-//     network (NewVirtualNetwork, LinkConfig) under a virtual clock
-//     (NewVirtualClock). Both runtimes share one protocol core
-//     (internal/protocol);
-//   - pluggable peer discovery (Discovery): the centralized directory
-//     server (NewDirectoryServer, NewDirectoryClient), the same registry
-//     sharded across several servers by consistent hashing
-//     (NewShardedDirectoryClient), or a fully decentralized wire-level
-//     Chord ring (NewChordDiscovery) — scaling out the two substrates the
-//     paper names in Section 4.2, footnote 4.
+//   - the live overlay behind one context-first entrypoint: an Overlay
+//     built with functional options wires nodes (Node), discovery and
+//     lifecycle for all three discovery backends — the centralized
+//     directory (WithDirectory), the consistent-hash sharded directory
+//     (WithShardedDirectory) and the fully decentralized wire-level Chord
+//     ring (WithChord) — and runs over real TCP on the wall clock or, for
+//     deterministic millisecond-fast cluster scenarios, over an in-memory
+//     virtual network (WithNetwork, WithNetworkFor) under a virtual clock
+//     (WithClock). The whole request path takes a context.Context
+//     (cancellation and deadlines abort dials, probes and sessions),
+//     failures are typed errors.Is-able sentinels (ErrRejected,
+//     ErrNoSuppliers, ErrClosed, ErrAllShardsDown), and one Observer
+//     (WithObserver) receives every component's events;
 //
-// A minimal session:
+// A live overlay session, end to end:
+//
+//	ov, _ := p2pstream.NewOverlay(file, p2pstream.WithDirectory("127.0.0.1:7000"))
+//	defer ov.Close()
+//	seed, _ := ov.Seed(ctx, p2pstream.OverlayPeer{ID: "s1", Class: 1})
+//	req, _ := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r1", Class: 2})
+//	report, _ := req.RequestUntilAdmitted(ctx, 10)
+//
+// A minimal assignment:
 //
 //	suppliers := []p2pstream.Supplier{
 //		{ID: "a", Class: 1}, {ID: "b", Class: 2},
@@ -190,15 +199,20 @@ type NodeConfig = node.Config
 // requester's perspective.
 type SessionReport = node.SessionReport
 
-// ErrRejected is returned by Node.Request when admission failed.
-var ErrRejected = node.ErrRejected
-
 // NewSeedNode creates a live peer that already holds the media file and
 // supplies immediately once started.
+//
+// Deprecated: create peers through an Overlay (NewOverlay + Overlay.Seed),
+// which wires discovery and lifecycle for all three backends behind one
+// type. NewSeedNode remains for callers assembling a NodeConfig by hand.
 func NewSeedNode(cfg NodeConfig) (*Node, error) { return node.NewSeed(cfg) }
 
 // NewRequesterNode creates a live peer that requests the stream and then
 // supplies.
+//
+// Deprecated: create peers through an Overlay (NewOverlay +
+// Overlay.Requester). NewRequesterNode remains for callers assembling a
+// NodeConfig by hand.
 func NewRequesterNode(cfg NodeConfig) (*Node, error) { return node.NewRequester(cfg) }
 
 // Discovery backends: how a live peer finds the overlay (paper Section
@@ -225,6 +239,9 @@ type DirectoryClient = directory.Client
 
 // NewDirectoryClient returns a directory-backed Discovery for the server
 // at addr over the given network (nil means real TCP).
+//
+// Deprecated: use NewOverlay with WithDirectory(addr), which wires the
+// client, the node and their lifecycle behind one type.
 func NewDirectoryClient(network Network, addr string) *DirectoryClient {
 	return directory.NewClientOn(network, addr)
 }
@@ -250,6 +267,9 @@ type ShardedDirectoryConfig = directory.ShardedConfig
 
 // NewShardedDirectoryClient returns a sharded-directory Discovery over
 // the given shard set; hand it to a node via NodeConfig.Discovery.
+//
+// Deprecated: use NewOverlay with WithDirectory(addrs...) or
+// WithShardedDirectory(cfg).
 func NewShardedDirectoryClient(cfg ShardedDirectoryConfig) (*ShardedDirectoryClient, error) {
 	return directory.NewShardedClient(cfg)
 }
@@ -265,6 +285,9 @@ type ChordDiscoveryConfig = chordnet.Config
 
 // NewChordDiscovery returns an unstarted chord discovery peer; Start it,
 // then hand it to a node as its Discovery.
+//
+// Deprecated: use NewOverlay with WithChord(cfg), which starts each
+// peer's ring endpoint and chains bootstrap membership automatically.
 func NewChordDiscovery(cfg ChordDiscoveryConfig) (*ChordDiscovery, error) { return chordnet.New(cfg) }
 
 // MediaFile describes the streamed media item.

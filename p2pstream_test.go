@@ -1,6 +1,8 @@
 package p2pstream_test
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -89,10 +91,11 @@ func TestDefaultSimConfigIsPaperSetup(t *testing.T) {
 	}
 }
 
-// TestPublicVirtualScenario assembles a complete live overlay — directory,
-// two seeds, one requester — through the facade alone, running over a
-// virtual network under virtual time.
-func TestPublicVirtualScenario(t *testing.T) {
+// TestPublicOverlayDirectory assembles a complete live overlay — directory,
+// two seeds, one requester — through the Overlay entrypoint alone, running
+// over a virtual network under virtual time.
+func TestPublicOverlayDirectory(t *testing.T) {
+	ctx := context.Background()
 	clk := p2pstream.NewVirtualClock()
 	t.Cleanup(clk.AutoRun())
 	vnet := p2pstream.NewVirtualNetwork(clk, 1)
@@ -107,35 +110,28 @@ func TestPublicVirtualScenario(t *testing.T) {
 	t.Cleanup(func() { dir.Close() })
 
 	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
-	cfg := func(id string, class p2pstream.Class) p2pstream.NodeConfig {
-		return p2pstream.NodeConfig{
-			ID: id, Class: class, NumClasses: 4, Policy: p2pstream.DAC,
-			DirectoryAddr: l.Addr().String(), File: file, M: 8,
-			TOut:    50 * time.Millisecond,
-			Backoff: p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
-			Seed:    1, Clock: clk, Network: vnet.Host(id),
-		}
-	}
-	for _, id := range []string{"s1", "s2"} {
-		seed, err := p2pstream.NewSeedNode(cfg(id, 1))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := seed.Start(); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { seed.Close() })
-	}
-	req, err := p2pstream.NewRequesterNode(cfg("r", 1))
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(l.Addr().String()),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithIdleTimeout(50*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := req.Start(); err != nil {
+	t.Cleanup(func() { ov.Close() })
+	for _, id := range []string{"s1", "s2"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r", Class: 1})
+	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { req.Close() })
 
-	report, err := req.RequestUntilAdmitted(5)
+	report, err := req.RequestUntilAdmitted(ctx, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,66 +141,54 @@ func TestPublicVirtualScenario(t *testing.T) {
 	if !req.Store().Complete() || !req.Supplying() {
 		t.Error("requester did not finish as a supplying peer")
 	}
+	if got := len(ov.Nodes()); got != 3 {
+		t.Errorf("overlay tracks %d nodes, want 3", got)
+	}
+	if err := ov.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Supplying() {
+		t.Error("Close left a node supplying")
+	}
+	if _, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "late", Class: 1}); err == nil {
+		t.Error("peer creation on a closed overlay should fail")
+	}
 }
 
-// TestPublicChordDiscovery assembles a fully decentralized overlay through
-// the facade alone: no directory server anywhere — seeds found a chord
-// ring, the requester samples its candidates through it, and joins the
-// ring itself after being served.
-func TestPublicChordDiscovery(t *testing.T) {
+// TestPublicOverlayChord assembles a fully decentralized overlay through
+// the Overlay entrypoint: no directory server anywhere — seeds found a
+// chord ring (the overlay chains bootstrap membership automatically), the
+// requester samples its candidates through it, and joins the ring itself
+// after being served.
+func TestPublicOverlayChord(t *testing.T) {
+	ctx := context.Background()
 	clk := p2pstream.NewVirtualClock()
 	t.Cleanup(clk.AutoRun())
 	vnet := p2pstream.NewVirtualNetwork(clk, 1)
 	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
 
 	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
-	var boots []string
-	chord := func(id string, class p2pstream.Class) *p2pstream.ChordDiscovery {
-		cp, err := p2pstream.NewChordDiscovery(p2pstream.ChordDiscoveryConfig{
-			ID: id, Class: class,
-			Bootstrap: append([]string(nil), boots...),
-			Network:   vnet.Host(id), Clock: clk, Seed: 1,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := cp.Start(); err != nil {
-			t.Fatal(err)
-		}
-		return cp
-	}
-	cfg := func(id string, class p2pstream.Class, disc p2pstream.Discovery) p2pstream.NodeConfig {
-		return p2pstream.NodeConfig{
-			ID: id, Class: class, NumClasses: 4, Policy: p2pstream.DAC,
-			Discovery: disc, File: file, M: 8,
-			TOut:    50 * time.Millisecond,
-			Backoff: p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
-			Seed:    1, Clock: clk, Network: vnet.Host(id),
-		}
-	}
-	for _, id := range []string{"s1", "s2"} {
-		cp := chord(id, 1)
-		seed, err := p2pstream.NewSeedNode(cfg(id, 1, cp))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := seed.Start(); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { seed.Close() })
-		boots = append(boots, cp.Addr())
-	}
-	rd := chord("r", 1)
-	req, err := p2pstream.NewRequesterNode(cfg("r", 1, rd))
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithChord(p2pstream.ChordDiscoveryConfig{}),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithIdleTimeout(50*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := req.Start(); err != nil {
+	t.Cleanup(func() { ov.Close() })
+	for _, id := range []string{"s1", "s2"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r", Class: 1})
+	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { req.Close() })
-
-	report, err := req.RequestUntilAdmitted(5)
+	report, err := req.RequestUntilAdmitted(ctx, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,17 +198,15 @@ func TestPublicChordDiscovery(t *testing.T) {
 	if !req.Store().Complete() || !req.Supplying() {
 		t.Error("requester did not finish as a supplying peer")
 	}
-	if !rd.Joined() {
-		t.Error("served requester did not join the chord ring")
-	}
 }
 
-// TestPublicShardedDirectory assembles a sharded-directory overlay
-// through the facade alone: three DirectoryServer shards, every peer
-// discovering through a ShardedDirectoryClient — registrations routed by
-// the consistent-hash ring, candidate lookups fanned out — and a
-// declarative scenario that crashes and rebirths a shard mid-run.
-func TestPublicShardedDirectory(t *testing.T) {
+// TestPublicOverlaySharded assembles a sharded-directory overlay through
+// the Overlay entrypoint: three DirectoryServer shards behind
+// WithDirectory, with the unified Observer counting per-shard fan-out
+// legs — and the same declarative scenario surface crashing and
+// rebirthing a shard mid-run.
+func TestPublicOverlaySharded(t *testing.T) {
+	ctx := context.Background()
 	clk := p2pstream.NewVirtualClock()
 	t.Cleanup(clk.AutoRun())
 	vnet := p2pstream.NewVirtualNetwork(clk, 1)
@@ -241,54 +223,43 @@ func TestPublicShardedDirectory(t *testing.T) {
 		t.Cleanup(func() { srv.Close() })
 		addrs = append(addrs, l.Addr().String())
 	}
-	ring, err := p2pstream.NewDirectoryShardRing(3)
-	if err != nil {
-		t.Fatal(err)
-	}
 
+	var shardLegs atomic.Int64
 	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
-	cfg := func(id string, class p2pstream.Class) p2pstream.NodeConfig {
-		sc, err := p2pstream.NewShardedDirectoryClient(p2pstream.ShardedDirectoryConfig{
-			Addrs: addrs, Network: vnet.Host(id), Clock: clk, Seed: 1,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return p2pstream.NodeConfig{
-			ID: id, Class: class, NumClasses: 4, Policy: p2pstream.DAC,
-			Discovery: sc, File: file, M: 8,
-			TOut:    50 * time.Millisecond,
-			Backoff: p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
-			Seed:    1, Clock: clk, Network: vnet.Host(id),
-		}
-	}
-	for _, id := range []string{"s1", "s2"} {
-		seed, err := p2pstream.NewSeedNode(cfg(id, 1))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := seed.Start(); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { seed.Close() })
-	}
-	req, err := p2pstream.NewRequesterNode(cfg("r", 1))
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(addrs...),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithObserver(p2pstream.ObserverFunc(func(ev p2pstream.ObserverEvent) {
+			if ev.Type == p2pstream.EventShardLookup {
+				shardLegs.Add(1)
+			}
+		})),
+		p2pstream.WithIdleTimeout(50*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := req.Start(); err != nil {
+	t.Cleanup(func() { ov.Close() })
+	for _, id := range []string{"s1", "s2"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r", Class: 1})
+	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { req.Close() })
-	report, err := req.RequestUntilAdmitted(5)
+	report, err := req.RequestUntilAdmitted(ctx, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(report.Suppliers) != 2 {
 		t.Errorf("served by %d suppliers, want both seeds", len(report.Suppliers))
 	}
-	if ring.Owner("s1") == ring.Owner("r") && ring.Owner("s1") == ring.Owner("s2") {
-		t.Log("all test IDs share a shard; fan-out still served the lookup")
+	if got := shardLegs.Load(); got < 3 {
+		t.Errorf("observer saw %d shard fan-out legs, want >= one 3-shard fan-out", got)
 	}
 
 	// The same surface drives a declarative sharded fault scenario.
@@ -313,6 +284,67 @@ func TestPublicShardedDirectory(t *testing.T) {
 	}
 	if len(scen.ShardSuppliers) != 3 {
 		t.Errorf("ShardSuppliers = %v, want 3 shards", scen.ShardSuppliers)
+	}
+	if len(scen.ShardStats) != 3 {
+		t.Errorf("ShardStats = %v, want 3 shards", scen.ShardStats)
+	}
+	if scen.ShardLookupMs.Len() == 0 {
+		t.Error("sharded scenario recorded no shard fan-out latency samples")
+	}
+}
+
+// TestDeprecatedConstructorsStillWork drives the deprecated per-component
+// facade (NewSeedNode, NewRequesterNode, the NodeConfig plumbing) once:
+// the aliases must keep compiling and serving until removed.
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	ctx := context.Background()
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
+
+	dir := p2pstream.NewDirectoryServer(1)
+	l, err := vnet.Host("dir").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dir.Serve(l)
+	t.Cleanup(func() { dir.Close() })
+
+	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
+	cfg := func(id string, class p2pstream.Class) p2pstream.NodeConfig {
+		return p2pstream.NodeConfig{
+			ID: id, Class: class, NumClasses: 4, Policy: p2pstream.DAC,
+			Discovery: p2pstream.NewDirectoryClient(vnet.Host(id), l.Addr().String()),
+			File:      file, M: 8,
+			TOut:    50 * time.Millisecond,
+			Backoff: p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2},
+			Seed:    1, Clock: clk, Network: vnet.Host(id),
+		}
+	}
+	for _, id := range []string{"s1", "s2"} {
+		seed, err := p2pstream.NewSeedNode(cfg(id, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { seed.Close() })
+	}
+	req, err := p2pstream.NewRequesterNode(cfg("r", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { req.Close() })
+	if _, err := req.RequestUntilAdmitted(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !req.Supplying() {
+		t.Error("requester did not finish as a supplying peer")
 	}
 }
 
