@@ -8,16 +8,21 @@ package p2pstream_test
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"runtime/debug"
+	"sync"
 	"testing"
 	"time"
 
 	"p2pstream/internal/arrival"
 	"p2pstream/internal/bandwidth"
 	"p2pstream/internal/chord"
+	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
 	"p2pstream/internal/dac"
 	"p2pstream/internal/experiments"
 	"p2pstream/internal/lookup"
+	"p2pstream/internal/netx"
 	"p2pstream/internal/scenario"
 	"p2pstream/internal/system"
 )
@@ -180,6 +185,164 @@ func BenchmarkChordLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ring.SampleCandidates("peer-0", 8, rng); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- virtual-substrate (vnet) benchmarks --------------------------------
+//
+// These are the benchmarks tools/benchrec records into BENCH_vnet.json and
+// the CI regression gate watches. They drive the virtual clock manually
+// from the benchmark goroutine (no auto-advance driver), so they measure
+// the pure CPU cost of the vnet hot path — scheduling, copying, delivery —
+// with no wall-clock quiescence waits.
+
+// vnetPair builds one connected host pair on a manually driven clock.
+func vnetPair(b *testing.B, clk *clock.Virtual, v *netx.Virtual, src, dst string) (w, r net.Conn) {
+	b.Helper()
+	l, err := v.Host(dst).Listen(":0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err = v.Host(src).Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk.Advance(10 * time.Millisecond) // surface the acceptee
+	r, err = l.Accept()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, r
+}
+
+// BenchmarkVnetChunkDelivery measures one chunk end to end through a
+// virtual link: write (copy + schedule), clock advance (delivery), read
+// (copy out). One op is one 256-byte chunk; chunks move in batches of 64
+// per advance, the shape a paced session produces under a coalescing
+// clock. The steady-state target is 0 allocs/op.
+func BenchmarkVnetChunkDelivery(b *testing.B) {
+	clk := clock.NewVirtual()
+	v := netx.NewVirtual(clk, 1)
+	v.SetDefaultLink(netx.LinkConfig{Latency: 300 * time.Microsecond})
+	w, r := vnetPair(b, clk, v, "req", "sup")
+	defer w.Close()
+	defer r.Close()
+
+	const chunk = 256
+	const batch = 64
+	payload := make([]byte, chunk)
+	buf := make([]byte, chunk*batch)
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		for j := 0; j < n; j++ {
+			if _, err := w.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clk.Advance(time.Millisecond)
+		for rest := n * chunk; rest > 0; {
+			m, err := r.Read(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rest -= m
+		}
+		done += n
+	}
+}
+
+// BenchmarkVnetConcurrentHosts measures the substrate under many-host
+// contention: 32 connected pairs streaming concurrently, the pattern a
+// flash crowd produces. One op is one chunk through one pair; every
+// advance moves one 16-chunk batch per pair, written and drained by 32
+// goroutines racing for the link/conn tables and the clock.
+func BenchmarkVnetConcurrentHosts(b *testing.B) {
+	const pairs = 32
+	const chunk = 256
+	const perRound = 16
+
+	clk := clock.NewVirtual()
+	v := netx.NewVirtual(clk, 1)
+	v.SetDefaultLink(netx.LinkConfig{Latency: 300 * time.Microsecond})
+	ws := make([]net.Conn, pairs)
+	rs := make([]net.Conn, pairs)
+	for i := 0; i < pairs; i++ {
+		ws[i], rs[i] = vnetPair(b, clk, v, fmt.Sprintf("req%d", i), fmt.Sprintf("sup%d", i))
+		defer ws[i].Close()
+		defer rs[i].Close()
+	}
+
+	payload := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := perRound
+		if rest := (b.N - done) / pairs; rest < n {
+			n = rest
+			if n == 0 {
+				n = 1
+			}
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < pairs; i++ {
+			w := ws[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < n; j++ {
+					w.Write(payload)
+				}
+			}()
+		}
+		wg.Wait()
+		clk.Advance(time.Millisecond)
+		for i := 0; i < pairs; i++ {
+			r := rs[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, chunk)
+				for rest := n * chunk; rest > 0; {
+					m, err := r.Read(buf)
+					if err != nil {
+						return
+					}
+					rest -= m
+				}
+			}()
+		}
+		wg.Wait()
+		done += n * pairs
+	}
+}
+
+// BenchmarkMegacrowd10k runs the full 10k-requester flash crowd — 10,512
+// live hosts on one virtual substrate — once per iteration, invariants
+// checked. This is the macro point of the BENCH_vnet.json trajectory: its
+// ns/op is wall-clock (quiescence waits included), so tools/benchrec
+// records it without gating it, unlike the two micro-benchmarks above.
+func BenchmarkMegacrowd10k(b *testing.B) {
+	spec, ok := scenario.ByName("megacrowd-10k")
+	if !ok {
+		b.Fatal("megacrowd-10k missing from ScaleCatalog")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got, want := rep.Served(), len(spec.Requesters); got != want {
+			b.Fatalf("served %d of %d requesters", got, want)
 		}
 	}
 }

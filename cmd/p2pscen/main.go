@@ -35,6 +35,11 @@ func main() {
 		for _, spec := range scenario.Catalog() {
 			fmt.Printf("%-22s [%s] %s\n", spec.Name, spec.Discovery, spec.Stresses)
 		}
+		// The population-scale family: runnable by name, excluded from
+		// -all (the 100k entry takes minutes, not seconds).
+		for _, spec := range scenario.ScaleCatalog() {
+			fmt.Printf("%-22s [%s] %s\n", spec.Name, spec.Discovery, spec.Stresses)
+		}
 		return
 	}
 	names := flag.Args()

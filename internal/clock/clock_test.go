@@ -186,3 +186,63 @@ func TestVirtualWakeStallFallback(t *testing.T) {
 		t.Fatal("stall fallback never released the driver")
 	}
 }
+
+// TestVirtualSetCoalesce: the coalescing window decides how much of the
+// timeline one quiescent advance drains. With the default (narrow) window a
+// single batch starting at the earliest event fires only that instant's
+// neighborhood; a widened window drains the whole spread in one batch.
+func TestVirtualSetCoalesce(t *testing.T) {
+	run := func(coalesce time.Duration) int {
+		v := NewVirtual()
+		v.SetCoalesce(coalesce)
+		var fired atomic.Int32
+		for _, d := range []time.Duration{time.Millisecond, 4 * time.Millisecond, 9 * time.Millisecond} {
+			v.AfterFunc(d, func() { fired.Add(1) })
+		}
+		v.mu.Lock()
+		next, ok := v.eng.NextAt()
+		if !ok {
+			v.mu.Unlock()
+			t.Fatal("no scheduled events")
+		}
+		v.advanceBatchLocked(next)
+		v.mu.Unlock()
+		return int(fired.Load())
+	}
+	if got := run(0); got != 1 { // 0 ignored: default 100µs window
+		t.Errorf("default window fired %d events in one batch, want 1", got)
+	}
+	if got := run(10 * time.Millisecond); got != 3 {
+		t.Errorf("10ms window fired %d events in one batch, want 3", got)
+	}
+}
+
+// TestVirtualSetCoalesceAutoRun: a widened window composes with the driver —
+// all events still fire, in order, and time lands past the last one.
+func TestVirtualSetCoalesceAutoRun(t *testing.T) {
+	v := NewVirtual()
+	v.SetCoalesce(20 * time.Millisecond)
+	const n = 8
+	fired := make(chan time.Duration, n)
+	for i := 1; i <= n; i++ {
+		d := time.Duration(i) * time.Millisecond
+		v.AfterFunc(d, func() { fired <- d })
+	}
+	stop := v.AutoRun()
+	defer stop()
+	var prev time.Duration
+	for i := 0; i < n; i++ {
+		select {
+		case d := <-fired:
+			if d < prev {
+				t.Fatalf("event at %v fired after %v", d, prev)
+			}
+			prev = d
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d events fired", i, n)
+		}
+	}
+	if e := v.Elapsed(); e < n*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= %v", e, n*time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package clock
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -45,6 +46,15 @@ type Virtual struct {
 	poll     time.Duration // wall-time driver poll interval
 	coalesce time.Duration // virtual window of events fired per advance
 	stall    time.Duration // wall-time cap on waiting for a woken goroutine
+
+	// Scale mode (SetCoalesce): the driver pins the coalescing window and,
+	// while the next event still falls inside it, advances after a single
+	// poll of quiet instead of the full grace. Causal chains — a delivery
+	// whose handler schedules the next hop a link latency later — then
+	// drain at poll speed; the full grace is paid once per window, not once
+	// per hop.
+	scale    bool
+	batchEnd time.Duration // exclusive end of the pinned window
 }
 
 // NewVirtual returns a virtual clock positioned at Epoch.
@@ -55,6 +65,22 @@ func NewVirtual() *Virtual {
 		coalesce: 100 * time.Microsecond,
 		stall:    20 * time.Millisecond,
 	}
+}
+
+// SetCoalesce widens (or narrows) the virtual window of events fired per
+// quiescent advance and switches the driver into scale mode: within one
+// window, successive advances wait only for the wake gate plus one quiet
+// poll, not the full grace. Population-scale scenarios set it so a whole
+// window of causally-chained deliveries drains at poll speed; d <= 0 is
+// ignored. Call it before AutoRun.
+func (v *Virtual) SetCoalesce(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.coalesce = d
+	v.scale = true
+	v.mu.Unlock()
 }
 
 // Now returns Epoch plus the elapsed virtual time.
@@ -198,6 +224,25 @@ func (v *Virtual) runDueLocked() {
 	}
 }
 
+// advanceBatchLocked jumps to the event at next and fires everything in its
+// coalescing window. Events scheduled by those callbacks for later instants
+// wait for the next quiescent advance. In scale mode the window is pinned:
+// an advance landing inside the previous window keeps its end, so the
+// window cannot slide forever on a dense chain. Callers hold v.mu.
+func (v *Virtual) advanceBatchLocked(next time.Duration) {
+	if !v.scale || next >= v.batchEnd {
+		v.batchEnd = next + v.coalesce
+	}
+	for {
+		at, ok := v.eng.NextAt()
+		if !ok || at > v.batchEnd {
+			break
+		}
+		v.eng.Step()
+		v.runDueLocked()
+	}
+}
+
 // AutoRun starts the background driver and returns its stop function. The
 // driver advances to the next scheduled event whenever the clock has seen
 // no activity for the grace window and no freshly-woken goroutine is still
@@ -215,6 +260,7 @@ func (v *Virtual) drive(done chan struct{}) {
 	v.mu.Lock()
 	v.lastGen = v.gen
 	v.lastChange = time.Now()
+	scale := v.scale
 	v.mu.Unlock()
 	for {
 		select {
@@ -222,7 +268,14 @@ func (v *Virtual) drive(done chan struct{}) {
 			return
 		default:
 		}
-		time.Sleep(v.poll)
+		if scale {
+			// A timed sleep costs several times its nominal duration in
+			// scheduler latency, and at population scale every causal hop
+			// waits on this loop — so burn one core yielding instead.
+			runtime.Gosched()
+		} else {
+			time.Sleep(v.poll)
+		}
 		v.mu.Lock()
 		if v.gen != v.lastGen {
 			v.lastGen = v.gen
@@ -241,27 +294,28 @@ func (v *Virtual) drive(done chan struct{}) {
 				continue
 			}
 		}
-		if quiet < v.grace {
-			v.mu.Unlock()
-			continue
-		}
 		next, ok := v.eng.NextAt()
 		if !ok {
 			v.mu.Unlock()
 			continue
 		}
-		// Jump to the next event and fire everything in its coalescing
-		// window. Events scheduled by those callbacks for later instants
-		// wait for the next quiescent advance.
-		batchEnd := next + v.coalesce
-		for {
-			at, ok := v.eng.NextAt()
-			if !ok || at > batchEnd {
-				break
+		need := v.grace
+		if v.scale {
+			// The spinning driver observes activity at sub-microsecond
+			// granularity, so a long wall grace buys no extra certainty:
+			// a window boundary needs a short quiet, an intra-window hop
+			// (wake gate already proved the woken goroutines acted) only
+			// a token beat.
+			need = 50 * time.Microsecond
+			if next < v.batchEnd {
+				need = 5 * time.Microsecond
 			}
-			v.eng.Step()
-			v.runDueLocked()
 		}
+		if quiet < need {
+			v.mu.Unlock()
+			continue
+		}
+		v.advanceBatchLocked(next)
 		v.lastGen = v.gen
 		v.lastChange = time.Now()
 		v.mu.Unlock()

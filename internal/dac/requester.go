@@ -112,6 +112,13 @@ type BackoffConfig struct {
 	Base time.Duration
 	// Factor is E_bkf, the exponential factor (1 gives constant backoff).
 	Factor int
+	// Cap, when positive, bounds the wait: the schedule grows
+	// exponentially until it reaches Cap and stays there. The paper leaves
+	// the schedule unbounded; at population scale an unbounded doubling
+	// sends late stragglers into sleeps far past the crowd's absorption,
+	// so scale scenarios cap it. Zero keeps the legacy overflow guard
+	// (one week) as the only bound.
+	Cap time.Duration
 }
 
 // Validate returns an error if the configuration is unusable.
@@ -121,6 +128,12 @@ func (c BackoffConfig) Validate() error {
 	}
 	if c.Factor < 1 {
 		return fmt.Errorf("dac: backoff factor %d, want >= 1", c.Factor)
+	}
+	if c.Cap < 0 {
+		return fmt.Errorf("dac: backoff cap %v, want >= 0", c.Cap)
+	}
+	if c.Cap > 0 && c.Cap < c.Base {
+		return fmt.Errorf("dac: backoff cap %v below base %v", c.Cap, c.Base)
 	}
 	return nil
 }
@@ -138,15 +151,19 @@ func (c BackoffConfig) After(rejections int) (time.Duration, error) {
 	if rejections < 1 {
 		return 0, fmt.Errorf("dac: rejection count %d, want >= 1", rejections)
 	}
+	cap := maxBackoff
+	if c.Cap > 0 && c.Cap < cap {
+		cap = c.Cap
+	}
 	d := c.Base
 	for i := 1; i < rejections; i++ {
 		d *= time.Duration(c.Factor)
-		if d > maxBackoff || d < 0 {
-			return maxBackoff, nil
+		if d > cap || d < 0 {
+			return cap, nil
 		}
 	}
-	if d > maxBackoff {
-		return maxBackoff, nil
+	if d > cap {
+		return cap, nil
 	}
 	return d, nil
 }

@@ -3,91 +3,137 @@ package netx
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"p2pstream/internal/clock"
 )
 
 // vConn is one end of a virtual stream connection. Writes copy the chunk
-// and schedule its delivery into the peer's inbox after the link delay;
-// per-connection FIFO order is preserved even under jitter. Streams are
-// reliable, like TCP: dial drops and host crashes fail connections, while
-// per-chunk loss (LinkConfig.Loss) surfaces as retransmission delay, never
-// as corruption.
+// once, into a pooled buffer, and schedule its delivery into the peer's
+// inbox after the link delay; per-connection FIFO order is preserved even
+// under jitter. Streams are reliable, like TCP: dial drops and host crashes
+// fail connections, while per-chunk loss (LinkConfig.Loss) surfaces as
+// retransmission delay, never as corruption.
 type vConn struct {
 	v             *Virtual
 	local, remote vAddr
 	inbox         *inbox
 	peer          *vConn
 
-	mu         sync.Mutex
-	closed     bool
-	peerClosed bool // peer ended the connection: writes fail like EPIPE
+	// Writer-side state, guarded by peer.inbox.mu (every schedule holds
+	// it): the jitter/loss stream and the resolved link config, cached
+	// behind the network's link epoch so the steady-state send path never
+	// touches a shared table.
+	rng       linkRNG
+	linkEpoch uint64
+	link      LinkConfig
+
+	closed     atomic.Bool
+	peerClosed atomic.Bool // peer ended the connection: writes fail like EPIPE
 }
 
-func newConn(v *Virtual, local, remote vAddr) *vConn {
-	c := &vConn{v: v, local: local, remote: remote, inbox: newInbox(v.waker)}
-	return c
+// connPair is both ends of one virtual connection plus their inboxes, laid
+// out as a single allocation: the dial path runs a quarter-million times in
+// a population-scale crowd, and four heap objects per dial (two conns, two
+// inboxes, plus their conds) were a double-digit share of its CPU.
+type connPair struct {
+	a, b   vConn
+	ai, bi inbox
+}
+
+func newConnPair(v *Virtual, local, remote vAddr) (*vConn, *vConn) {
+	p := new(connPair)
+	p.a = vConn{v: v, local: local, remote: remote, inbox: &p.ai, peer: &p.b}
+	p.b = vConn{v: v, local: remote, remote: local, inbox: &p.bi, peer: &p.a}
+	initInbox(&p.ai, v.clk, v.waker)
+	initInbox(&p.bi, v.clk, v.waker)
+	return &p.a, &p.b
 }
 
 func (c *vConn) Read(p []byte) (int, error) { return c.inbox.read(p) }
 
 func (c *vConn) Write(p []byte) (int, error) {
-	c.mu.Lock()
-	closed, peerClosed := c.closed, c.peerClosed
-	c.mu.Unlock()
-	if closed {
+	if c.closed.Load() {
 		return 0, &net.OpError{Op: "write", Net: "virtual", Addr: c.remote, Err: net.ErrClosed}
 	}
-	if peerClosed {
+	if c.peerClosed.Load() {
 		// The peer hung up: like a TCP stream after FIN/RST, further
 		// writes fail instead of streaming into the void (the supplier
 		// relies on this to abort cancelled sessions).
 		return 0, &net.OpError{Op: "write", Net: "virtual", Addr: c.remote, Err: errConnReset}
 	}
-	if c.inbox.failed() {
+	if c.inbox.hardFail.Load() {
 		// The connection was torn down (peer crash): writing into it fails
 		// like a reset TCP stream.
 		return 0, &net.OpError{Op: "write", Net: "virtual", Addr: c.remote, Err: errConnReset}
 	}
-	data := append([]byte(nil), p...)
-	c.schedule(data, false)
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.schedule(p, false)
 	return len(p), nil
 }
 
 // schedule queues one chunk (or, with eof, a graceful end-of-stream mark)
-// for delivery into the peer's inbox after the link delay.
+// for delivery into the peer's inbox after the link delay. It takes the
+// single pooled copy of data up front — the caller keeps ownership of data
+// and may reuse it as soon as schedule returns. Chunks whose delay has
+// already elapsed are deposited inline; later ones join the inbox's pending
+// list, covered by at most one flush timer per inbox regardless of depth.
 func (c *vConn) schedule(data []byte, eof bool) {
-	v := c.v
-	v.mu.Lock()
-	link := v.linkLocked(c.local.host, c.remote.host)
-	delay := v.delayLocked(link)
-	v.mu.Unlock()
-
+	now := c.v.clk.Now()
+	ch := newChunk(data, eof)
 	in := c.peer.inbox
-	now := v.clk.Now()
-	at := now.Add(delay)
 	in.mu.Lock()
+	if in.dead != nil {
+		in.mu.Unlock()
+		ch.recycle()
+		return
+	}
+	if e := c.v.epoch.Load(); e != c.linkEpoch {
+		c.link = c.v.linkFor(c.local.host, c.remote.host)
+		c.linkEpoch = e
+	}
+	at := now
+	if d := sampleDelay(c.link, &c.rng); d > 0 {
+		at = at.Add(d)
+	}
 	if at.Before(in.lastAt) {
 		at = in.lastAt // FIFO: never overtake an earlier chunk
 	}
 	in.lastAt = at
+	ch.at = at
+	if in.phead == nil && !at.After(now) {
+		// Due already, with nothing in flight ahead of it: deliver inline,
+		// without touching the timer heap at all.
+		in.depositLocked(ch)
+		in.cond.Broadcast()
+		in.mu.Unlock()
+		return
+	}
+	if in.ptail == nil {
+		in.phead = ch
+	} else {
+		in.ptail.next = ch
+	}
+	in.ptail = ch
+	if !in.armed {
+		in.armed = true
+		in.armedAt = at
+		in.clk.AfterFunc(at.Sub(now), in.flushFn)
+	}
 	in.mu.Unlock()
-	v.clk.AfterFunc(at.Sub(now), func() { in.deliver(data, eof) })
 }
 
 // Close closes this end: local reads fail immediately, the peer's reads —
 // like a TCP FIN — see io.EOF after every in-flight chunk has been
 // delivered, and the peer's writes fail from now on.
 func (c *vConn) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
-	c.mu.Unlock()
-	c.peer.mu.Lock()
-	c.peer.peerClosed = true
-	c.peer.mu.Unlock()
+	c.peer.peerClosed.Store(true)
 	c.inbox.fail(net.ErrClosed)
 	c.schedule(nil, true)
 	c.v.drop(c)
@@ -103,14 +149,31 @@ func (c *vConn) SetDeadline(time.Time) error      { return nil }
 func (c *vConn) SetReadDeadline(time.Time) error  { return nil }
 func (c *vConn) SetWriteDeadline(time.Time) error { return nil }
 
-// inbox is the receive side of one connection end.
+// inbox is the receive side of one connection end: a pending list of
+// in-flight chunks covered by a single flush timer, and a ready list of
+// delivered chunks consumed (and recycled) by read.
 type inbox struct {
-	waker waker
+	waker   waker
+	clk     clock.Clock
+	flushFn func() // bound once so re-arming allocates nothing per batch
+
+	// hardFail mirrors "dead with a non-Close error" so the peer's write
+	// path can check it without taking any lock.
+	hardFail atomic.Bool
 
 	mu   sync.Mutex
-	cond *sync.Cond
-	buf  []byte
-	// lastAt orders scheduled deliveries (guarded by mu; virtual instants).
+	cond sync.Cond
+	// ready list: delivered chunks, readable now (roff = read offset into
+	// rhead's data).
+	rhead, rtail *chunk
+	roff         int
+	// pending list: scheduled chunks still in flight; at is non-decreasing
+	// along the list (FIFO), so the head is always the earliest.
+	phead, ptail *chunk
+	// armed marks the one outstanding flush timer, due at armedAt.
+	armed   bool
+	armedAt time.Time
+	// lastAt orders scheduled deliveries (virtual instants).
 	lastAt time.Time
 	eof    bool  // graceful peer close, surfaced after buffered data
 	dead   error // hard failure (local close, peer crash): immediate
@@ -120,53 +183,91 @@ type inbox struct {
 	wakes   int
 }
 
-func newInbox(w waker) *inbox {
-	in := &inbox{waker: w}
-	in.cond = sync.NewCond(&in.mu)
-	return in
+func initInbox(in *inbox, clk clock.Clock, w waker) {
+	in.clk = clk
+	in.waker = w
+	in.cond.L = &in.mu
+	in.flushFn = in.flush
 }
 
-// deliver lands one chunk (or the end-of-stream mark) in the buffer. It
-// runs on the clock's advancing goroutine.
-func (in *inbox) deliver(data []byte, eof bool) {
-	in.mu.Lock()
-	if in.dead != nil {
-		in.mu.Unlock()
-		return
-	}
-	if eof {
+// depositLocked moves one chunk from in flight to readable (or records the
+// end-of-stream mark) and accounts the advance-gating wake. Callers hold
+// in.mu and broadcast once after their last deposit.
+func (in *inbox) depositLocked(ch *chunk) {
+	if ch.eof {
 		in.eof = true
+		ch.recycle()
 	} else {
-		in.buf = append(in.buf, data...)
+		ch.next = nil
+		if in.rtail == nil {
+			in.rhead = ch
+		} else {
+			in.rtail.next = ch
+		}
+		in.rtail = ch
 	}
 	if in.waiting > 0 && in.waker != nil {
 		// Hold further advances until the reader consumed this.
 		in.wakes++
 		in.waker.NoteWake()
 	}
-	in.cond.Broadcast()
+}
+
+// flush delivers every pending chunk due at the instant the flush timer
+// fired, then re-arms for the earliest remaining one. It runs on the
+// clock's advancing goroutine with no clock lock held. The fire instant is
+// carried in armedAt rather than read from the clock: Now() would count as
+// reader activity and retire a wake gate that is not ours.
+func (in *inbox) flush() {
+	in.mu.Lock()
+	now := in.armedAt
+	in.armed = false
+	if in.dead != nil {
+		in.mu.Unlock()
+		return
+	}
+	delivered := false
+	for in.phead != nil && !in.phead.at.After(now) {
+		ch := in.phead
+		in.phead = ch.next
+		if in.phead == nil {
+			in.ptail = nil
+		}
+		in.depositLocked(ch)
+		delivered = true
+	}
+	if in.phead != nil {
+		in.armed = true
+		in.armedAt = in.phead.at
+		in.clk.AfterFunc(in.phead.at.Sub(now), in.flushFn)
+	}
+	if delivered {
+		in.cond.Broadcast()
+	}
 	in.mu.Unlock()
 }
 
-// fail kills the inbox immediately: blocked and future reads return err.
+// fail kills the inbox immediately: blocked and future reads return err,
+// and every buffered or in-flight chunk is released back to the pool.
 func (in *inbox) fail(err error) {
 	in.mu.Lock()
 	if in.dead == nil {
 		in.dead = err
+		if err != net.ErrClosed {
+			in.hardFail.Store(true)
+		}
+		recycleChain(in.rhead)
+		in.rhead, in.rtail, in.roff = nil, nil, 0
+		recycleChain(in.phead)
+		in.phead, in.ptail = nil, nil
 	}
 	in.cond.Broadcast()
 	in.mu.Unlock()
 }
 
-func (in *inbox) failed() bool {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.dead != nil && in.dead != net.ErrClosed
-}
-
 func (in *inbox) read(p []byte) (int, error) {
 	in.mu.Lock()
-	for len(in.buf) == 0 && !in.eof && in.dead == nil {
+	for in.rhead == nil && !in.eof && in.dead == nil {
 		in.waiting++
 		in.cond.Wait()
 		in.waiting--
@@ -181,9 +282,21 @@ func (in *inbox) read(p []byte) (int, error) {
 	switch {
 	case in.dead != nil:
 		err = in.dead
-	case len(in.buf) > 0:
-		n = copy(p, in.buf)
-		in.buf = in.buf[n:]
+	case in.rhead != nil:
+		for n < len(p) && in.rhead != nil {
+			m := copy(p[n:], in.rhead.data[in.roff:])
+			n += m
+			in.roff += m
+			if in.roff == len(in.rhead.data) {
+				ch := in.rhead
+				in.rhead = ch.next
+				if in.rhead == nil {
+					in.rtail = nil
+				}
+				in.roff = 0
+				ch.recycle() // drained: release, do not pin burst memory
+			}
+		}
 	default:
 		err = errEOF
 	}

@@ -85,11 +85,12 @@ func (l *vListener) Close() error {
 	l.cond.Broadcast()
 	l.mu.Unlock()
 
-	l.v.mu.Lock()
-	if l.v.listeners[l.addr.String()] == l {
-		delete(l.v.listeners, l.addr.String())
+	sh := l.v.shardFor(l.addr.host)
+	sh.mu.Lock()
+	if sh.listeners[l.addr.String()] == l {
+		delete(sh.listeners, l.addr.String())
 	}
-	l.v.mu.Unlock()
+	sh.mu.Unlock()
 	for _, c := range pending {
 		c.inbox.fail(errConnReset)
 		c.peer.inbox.fail(errConnReset)

@@ -1,0 +1,249 @@
+package netx
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+// streamProperty drives one connection with nChunks randomly sized writes
+// at randomly spread virtual instants over the given link, and asserts the
+// two invariants the batched, pooled delivery path must preserve exactly:
+//
+//  1. the reader observes the byte-identical concatenation of the writes,
+//     in FIFO order, terminated by a clean EOF — jitter and loss may delay
+//     chunks but never reorder, drop, or corrupt them;
+//  2. no byte surfaces before its write instant plus the link latency (the
+//     minimum one-way delay; jitter and loss only ever add to it).
+type streamErr struct {
+	msg string
+}
+
+func (e *streamErr) Error() string { return e.msg }
+
+func streamProperty(seed int64, link LinkConfig, nChunks, maxChunk int) error {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, seed)
+	v.SetDefaultLink(link)
+
+	l, err := v.Host("sup").Listen(":0")
+	if err != nil {
+		return err
+	}
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	acceptCh := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		acceptCh <- accepted{c, err}
+	}()
+	w, err := v.Host("req").Dial(l.Addr().String())
+	if err != nil {
+		return err
+	}
+	acc := <-acceptCh
+	if acc.err != nil {
+		return acc.err
+	}
+	r := acc.c
+
+	rng := rand.New(rand.NewSource(seed))
+	var want []byte
+	// writeAt[i] is the virtual instant chunk i was written, offsets[i] its
+	// first byte's offset in the stream.
+	writeAt := make([]time.Time, 0, nChunks)
+	offsets := make([]int, 0, nChunks)
+
+	type readObs struct {
+		n  int
+		at time.Time
+	}
+	readsCh := make(chan []readObs, 1)
+	gotCh := make(chan []byte, 1)
+	go func() {
+		var got []byte
+		var obs []readObs
+		buf := make([]byte, 2048)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				obs = append(obs, readObs{n: len(got), at: clk.Now()})
+				got = append(got, buf[:n]...)
+			}
+			if err != nil {
+				break
+			}
+		}
+		readsCh <- obs
+		gotCh <- got
+	}()
+
+	for i := 0; i < nChunks; i++ {
+		size := 1 + rng.Intn(maxChunk)
+		chunk := make([]byte, size)
+		rng.Read(chunk)
+		offsets = append(offsets, len(want))
+		writeAt = append(writeAt, clk.Now())
+		want = append(want, chunk...)
+		if _, err := w.Write(chunk); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+		if rng.Intn(3) == 0 {
+			clk.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	obs := <-readsCh
+	got := <-gotCh
+	if !bytes.Equal(got, want) {
+		return &streamErr{fmt.Sprintf("stream mismatch: got %d bytes, want %d (first divergence %d)",
+			len(got), len(want), firstDiff(got, want))}
+	}
+	// Lower-bound timing: the read that surfaced offset o cannot precede
+	// the write instant of the chunk containing o plus the link latency.
+	ci := 0
+	for _, o := range obs {
+		for ci+1 < len(offsets) && offsets[ci+1] <= o.n {
+			ci++
+		}
+		if earliest := writeAt[ci].Add(link.Latency); o.at.Before(earliest) {
+			return &streamErr{fmt.Sprintf("offset %d surfaced at %v, before write+latency %v",
+				o.n, o.at, earliest)}
+		}
+	}
+	return nil
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestVnetBatchedDeliveryProperty: table-driven sweep over link shapes —
+// batched, pooled, timer-coalesced delivery must be indistinguishable from
+// the chunk-at-a-time semantics it replaced.
+func TestVnetBatchedDeliveryProperty(t *testing.T) {
+	cases := []struct {
+		name string
+		link LinkConfig
+	}{
+		{"zero-latency", LinkConfig{}},
+		{"latency-only", LinkConfig{Latency: 700 * time.Microsecond}},
+		{"jitter", LinkConfig{Latency: 500 * time.Microsecond, Jitter: 2 * time.Millisecond}},
+		{"loss", LinkConfig{Latency: 400 * time.Microsecond, Loss: 0.3}},
+		{"jitter-loss", LinkConfig{Latency: 300 * time.Microsecond, Jitter: time.Millisecond, Loss: 0.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				if err := streamProperty(seed, tc.link, 80, 1500); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestVnetConcurrentStreamsProperty: several independent connections at
+// once — per-connection FIFO byte identity must hold under concurrent
+// scheduling onto the shared clock and sharded network state.
+func TestVnetConcurrentStreamsProperty(t *testing.T) {
+	link := LinkConfig{Latency: 300 * time.Microsecond, Jitter: 500 * time.Microsecond}
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(seed int64) { errs <- streamProperty(seed, link, 40, 600) }(int64(100 + i))
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzVnetStreamFIFO fuzzes the same property over link parameters and
+// seeds. `go test` runs the seed corpus; `go test -fuzz=FuzzVnetStreamFIFO
+// ./internal/netx` explores further.
+func FuzzVnetStreamFIFO(f *testing.F) {
+	f.Add(int64(1), int64(300), int64(200), uint8(0), uint8(12))
+	f.Add(int64(7), int64(0), int64(0), uint8(0), uint8(20))
+	f.Add(int64(42), int64(1000), int64(5000), uint8(60), uint8(8))
+	f.Add(int64(99), int64(50), int64(0), uint8(95), uint8(6))
+	f.Fuzz(func(t *testing.T, seed, latUs, jitUs int64, lossPct, nChunks uint8) {
+		if latUs < 0 || jitUs < 0 {
+			t.Skip()
+		}
+		link := LinkConfig{
+			Latency: time.Duration(latUs%5000) * time.Microsecond,
+			Jitter:  time.Duration(jitUs%10000) * time.Microsecond,
+			Loss:    float64(lossPct%101) / 100,
+		}
+		if link.Loss > 0.97 {
+			link.Loss = 0.97 // keep the capped retransmission loop finite in expectation
+		}
+		n := int(nChunks%32) + 1
+		if err := streamProperty(seed, link, n, 900); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestInboxReleasesDrainedChunks: consumed chunks go back to the pool —
+// a long-idle connection must not pin its peak-burst buffer memory (the
+// old contiguous inbox kept the grown backing array alive forever).
+func TestInboxReleasesDrainedChunks(t *testing.T) {
+	clk := clock.NewVirtual()
+	v := NewVirtual(clk, 1)
+	v.SetDefaultLink(LinkConfig{Latency: time.Millisecond})
+
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := v.Host("a").Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Millisecond)
+	r, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 32<<10)
+	for i := 0; i < 8; i++ {
+		if _, err := w.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(10 * time.Millisecond)
+	if _, err := io.ReadFull(r, make([]byte, 8*len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	in := r.(*vConn).inbox
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rhead != nil || in.phead != nil {
+		t.Error("drained inbox still holds chunks")
+	}
+}

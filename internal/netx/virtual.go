@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pstream/internal/clock"
@@ -43,57 +43,96 @@ type waker interface {
 	WakeDone()
 }
 
-// Virtual is an in-memory network of named hosts. All delays run on the
-// supplied Clock, so a cluster driven by a clock.Virtual executes hours of
-// traffic in milliseconds of wall time, deterministically. Create per-host
-// views with Host; configure delays with SetDefaultLink/SetLink; inject
-// churn with SetDown.
-type Virtual struct {
-	clk   clock.Clock
-	waker waker // non-nil when clk supports advance gating
+// shardCount is a power of two comfortably above the core counts the
+// harness runs on, so host-keyed state rarely contends.
+const shardCount = 64
 
+// shard holds one slice of the network's host-keyed state. Listeners,
+// down-markers, and link rows live in the shard of their (source) host;
+// connections register in the shard of their local host. The steady-state
+// send path touches no shard at all — conns cache their resolved link
+// config behind the network's epoch counter.
+type shard struct {
 	mu        sync.Mutex
-	rng       *rand.Rand
+	rng       linkRNG // dial randomness (drop, dial-delay sampling)
 	listeners map[string]*vListener
 	conns     map[*vConn]struct{}
 	down      map[string]bool
 	links     map[[2]string]LinkConfig
-	def       LinkConfig
-	nextPort  int
+}
+
+// Virtual is an in-memory network of named hosts. All delays run on the
+// supplied Clock, so a cluster driven by a clock.Virtual executes hours of
+// traffic in milliseconds of wall time, deterministically. Create per-host
+// views with Host; configure delays with SetDefaultLink/SetLink; inject
+// churn with SetDown. State is sharded by host hash and the per-chunk send
+// path is lock-free outside its own connection, so six-digit host counts
+// do not serialize on the network object.
+type Virtual struct {
+	clk   clock.Clock
+	waker waker // non-nil when clk supports advance gating
+	seed  int64
+
+	// epoch versions the link tables: SetLink/SetDefaultLink bump it after
+	// writing, and every conn re-resolves its cached LinkConfig when the
+	// value it last saw goes stale. Starts at 1 so zero-valued conn caches
+	// always miss first.
+	epoch    atomic.Uint64
+	nextPort atomic.Int64
+	def      atomic.Pointer[LinkConfig]
+
+	shards [shardCount]shard
 }
 
 // NewVirtual returns an empty virtual network whose delays run on clk. The
 // seed fixes jitter and drop randomness.
 func NewVirtual(clk clock.Clock, seed int64) *Virtual {
-	v := &Virtual{
-		clk:       clk,
-		rng:       rand.New(rand.NewSource(seed)),
-		listeners: make(map[string]*vListener),
-		conns:     make(map[*vConn]struct{}),
-		down:      make(map[string]bool),
-		links:     make(map[[2]string]LinkConfig),
-		nextPort:  1,
-	}
+	v := &Virtual{clk: clk, seed: seed}
 	if w, ok := clk.(waker); ok {
 		v.waker = w
 	}
+	v.epoch.Store(1)
+	v.def.Store(new(LinkConfig))
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.rng = seedRNG(seed, uint64(i)+1)
+		s.listeners = make(map[string]*vListener)
+		s.conns = make(map[*vConn]struct{})
+		s.down = make(map[string]bool)
+		s.links = make(map[[2]string]LinkConfig)
+	}
 	return v
+}
+
+// shardFor hashes a host name to its shard (FNV-1a).
+func (v *Virtual) shardFor(host string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= 16777619
+	}
+	return &v.shards[h&(shardCount-1)]
 }
 
 // SetDefaultLink sets the link configuration used by host pairs without a
 // specific SetLink entry.
 func (v *Virtual) SetDefaultLink(cfg LinkConfig) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.def = cfg
+	c := cfg
+	v.def.Store(&c)
+	v.epoch.Add(1)
 }
 
 // SetLink configures the links between hosts a and b (both directions).
 func (v *Virtual) SetLink(a, b string, cfg LinkConfig) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.links[[2]string{a, b}] = cfg
-	v.links[[2]string{b, a}] = cfg
+	sa := v.shardFor(a)
+	sa.mu.Lock()
+	sa.links[[2]string{a, b}] = cfg
+	sa.mu.Unlock()
+	sb := v.shardFor(b)
+	sb.mu.Lock()
+	sb.links[[2]string{b, a}] = cfg
+	sb.mu.Unlock()
+	v.epoch.Add(1) // after the writes, so a stale cache can never stick
 }
 
 // ScheduleLink applies cfg to the a<->b links after d of virtual time —
@@ -113,23 +152,32 @@ func (v *Virtual) ScheduleDefaultLink(d time.Duration, cfg LinkConfig) {
 // connection touching it fails on both ends, and new dials from or to it
 // are refused. A crashed host stays down until SetUp revives it.
 func (v *Virtual) SetDown(host string) {
-	v.mu.Lock()
-	v.down[host] = true
+	sh := v.shardFor(host)
+	sh.mu.Lock()
+	sh.down[host] = true
 	var closing []io.Closer
-	for addr, l := range v.listeners {
+	for addr, l := range sh.listeners {
 		if l.addr.host == host {
 			closing = append(closing, l)
-			delete(v.listeners, addr)
+			delete(sh.listeners, addr)
 		}
 	}
+	sh.mu.Unlock()
+	// Connections touching the host live in the shards of their local
+	// hosts — scan them all. Crashes are rare control-plane events; the
+	// data plane never pays for this.
 	var dying []*vConn
-	for c := range v.conns {
-		if c.local.host == host || c.remote.host == host {
-			dying = append(dying, c)
-			delete(v.conns, c)
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.mu.Lock()
+		for c := range s.conns {
+			if c.local.host == host || c.remote.host == host {
+				dying = append(dying, c)
+				delete(s.conns, c)
+			}
 		}
+		s.mu.Unlock()
 	}
-	v.mu.Unlock()
 	for _, l := range closing {
 		l.Close()
 	}
@@ -144,9 +192,10 @@ func (v *Virtual) SetDown(host string) {
 // connections reset), so a revived host must re-listen and re-join the
 // overlay — the "rejoin at t" half of a churn schedule.
 func (v *Virtual) SetUp(host string) {
-	v.mu.Lock()
-	delete(v.down, host)
-	v.mu.Unlock()
+	sh := v.shardFor(host)
+	sh.mu.Lock()
+	delete(sh.down, host)
+	sh.mu.Unlock()
 }
 
 // Host returns this host's view of the network: listeners bind under the
@@ -179,22 +228,22 @@ func (h *host) Listen(addr string) (net.Listener, error) {
 		}
 	}
 	v := h.v
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.down[h.name] {
-		return nil, fmt.Errorf("netx: host %s is down", h.name)
-	}
 	if port == 0 {
-		port = v.nextPort
-		v.nextPort++
+		port = int(v.nextPort.Add(1))
+	}
+	sh := v.shardFor(h.name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down[h.name] {
+		return nil, fmt.Errorf("netx: host %s is down", h.name)
 	}
 	l := &vListener{v: v, addr: vAddr{host: h.name, port: port}}
 	l.cond = sync.NewCond(&l.mu)
 	key := l.addr.String()
-	if _, taken := v.listeners[key]; taken {
+	if _, taken := sh.listeners[key]; taken {
 		return nil, fmt.Errorf("netx: address %s already in use", key)
 	}
-	v.listeners[key] = l
+	sh.listeners[key] = l
 	return l, nil
 }
 
@@ -202,39 +251,56 @@ func (h *host) Listen(addr string) (net.Listener, error) {
 // probability and delaying the accept by the link latency.
 func (h *host) Dial(addr string) (net.Conn, error) {
 	v := h.v
-	v.mu.Lock()
 	dstHost := addr
 	if i := strings.LastIndex(addr, ":"); i >= 0 {
 		dstHost = addr[:i]
 	}
-	if v.down[h.name] || v.down[dstHost] {
-		v.mu.Unlock()
+	src := h.name
+	ssh, dsh := v.shardFor(src), v.shardFor(dstHost)
+
+	dsh.mu.Lock()
+	dstDown := dsh.down[dstHost]
+	l, ok := dsh.listeners[addr]
+	dsh.mu.Unlock()
+	if dstDown || !ok {
 		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
 	}
-	l, ok := v.listeners[addr]
-	if !ok {
-		v.mu.Unlock()
-		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
-	}
-	link := v.linkLocked(h.name, dstHost)
+
+	link := v.linkFor(src, dstHost)
 	if link.Blocked {
-		v.mu.Unlock()
 		return nil, fmt.Errorf("netx: dial %s: link blocked: %w", addr, errRefused)
 	}
-	if link.DropDial > 0 && v.rng.Float64() < link.DropDial {
-		v.mu.Unlock()
+	ssh.mu.Lock()
+	if ssh.down[src] {
+		ssh.mu.Unlock()
+		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
+	}
+	if link.DropDial > 0 && ssh.rng.Float64() < link.DropDial {
+		ssh.mu.Unlock()
 		return nil, fmt.Errorf("netx: dial %s: dropped: %w", addr, errRefused)
 	}
-	delay := v.delayLocked(link)
-	localPort := v.nextPort
-	v.nextPort++
-	local := vAddr{host: h.name, port: localPort}
-	a := newConn(v, local, l.addr) // dialer's end
-	b := newConn(v, l.addr, local) // acceptee's end
-	a.peer, b.peer = b, a
-	v.conns[a] = struct{}{}
-	v.conns[b] = struct{}{}
-	v.mu.Unlock()
+	delay := sampleDelay(link, &ssh.rng)
+
+	localPort := int(v.nextPort.Add(1))
+	local := vAddr{host: src, port: localPort}
+	a, b := newConnPair(v, local, l.addr) // dialer's / acceptee's ends
+	a.rng = seedRNG(v.seed, uint64(localPort)<<1)
+	b.rng = seedRNG(v.seed, uint64(localPort)<<1|1)
+	// Register each end in its local host's shard, re-checking the down
+	// marker under the same lock so a concurrent SetDown either sees the
+	// registration (and kills it) or refuses the dial here.
+	ssh.conns[a] = struct{}{}
+	ssh.mu.Unlock()
+	dsh.mu.Lock()
+	if dsh.down[dstHost] {
+		dsh.mu.Unlock()
+		ssh.mu.Lock()
+		delete(ssh.conns, a)
+		ssh.mu.Unlock()
+		return nil, fmt.Errorf("netx: dial %s: %w", addr, errRefused)
+	}
+	dsh.conns[b] = struct{}{}
+	dsh.mu.Unlock()
 
 	// The acceptee surfaces after one link latency; no data scheduled on
 	// either inbox may be delivered before that instant.
@@ -246,40 +312,24 @@ func (h *host) Dial(addr string) (net.Conn, error) {
 	return a, nil
 }
 
-// linkLocked resolves the configuration of the src→dst link.
-func (v *Virtual) linkLocked(src, dst string) LinkConfig {
-	if cfg, ok := v.links[[2]string{src, dst}]; ok {
+// linkFor resolves the configuration of the src→dst link.
+func (v *Virtual) linkFor(src, dst string) LinkConfig {
+	sh := v.shardFor(src)
+	sh.mu.Lock()
+	cfg, ok := sh.links[[2]string{src, dst}]
+	sh.mu.Unlock()
+	if ok {
 		return cfg
 	}
-	return v.def
+	return *v.def.Load()
 }
 
-// delayLocked samples one delivery delay from the link: latency, jitter,
-// and — per lost transmission — one retransmission round.
-func (v *Virtual) delayLocked(link LinkConfig) time.Duration {
-	d := link.Latency
-	if link.Jitter > 0 {
-		d += time.Duration(v.rng.Int63n(int64(link.Jitter)))
-	}
-	if link.Loss > 0 {
-		rto := 2 * link.Latency
-		if rto <= 0 {
-			rto = time.Millisecond
-		}
-		// Geometric retransmission count, capped so a misconfigured
-		// Loss ~ 1.0 cannot spin forever.
-		for tries := 0; tries < 16 && v.rng.Float64() < link.Loss; tries++ {
-			d += rto
-		}
-	}
-	return d
-}
-
-// drop removes a closed connection from the registry.
+// drop removes a closed connection from its shard's registry.
 func (v *Virtual) drop(c *vConn) {
-	v.mu.Lock()
-	delete(v.conns, c)
-	v.mu.Unlock()
+	sh := v.shardFor(c.local.host)
+	sh.mu.Lock()
+	delete(sh.conns, c)
+	sh.mu.Unlock()
 }
 
 // vAddr is a virtual network address.

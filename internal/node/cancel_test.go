@@ -79,7 +79,11 @@ func TestCancelMidProbe(t *testing.T) {
 // context.DeadlineExceeded deterministically.
 func TestDeadlineMidProbe(t *testing.T) {
 	c := newCluster(t)
+	// Two class-1 holes: a lone class-1 candidate cannot reach R0, and the
+	// sweep rejects without probing at all — the deadline needs an attempt
+	// that actually parks inside a probe.
 	c.blackholeSupplier("hole1")
+	c.blackholeSupplier("hole2")
 	req := c.requester("r", 1)
 
 	const budget = 25 * time.Millisecond

@@ -20,7 +20,8 @@ import (
 // Attempt is one admission attempt of a requesting peer (Section 4.2): it
 // walks the looked-up candidates high class first, accumulates granted
 // offers up to exactly R0 — skipping grants that would overshoot — and
-// stops as soon as permissions reach R0. The driver owns all I/O: it asks
+// stops as soon as permissions reach R0, or as soon as the candidates not
+// yet probed cannot reach it. The driver owns all I/O: it asks
 // Next which candidate to contact, performs the probe however it likes
 // (wire message, in-memory state machine call), and reports the result
 // with Record or Down.
@@ -30,6 +31,8 @@ type Attempt struct {
 	pos     int
 
 	sum      bandwidth.Fraction
+	rest     bandwidth.Fraction // aggregate offer of the not-yet-probed tail
+	remSum   bandwidth.Fraction // reminder accumulation: busy favoring offers up to R0
 	chosen   []int
 	outcomes []dac.ProbeOutcome // every answered probe, for reminder targeting
 	admitted bool
@@ -39,42 +42,67 @@ type Attempt struct {
 // bandwidth classes (indices into this slice identify candidates in every
 // other method).
 func NewAttempt(classes []bandwidth.Class) *Attempt {
-	return &Attempt{
+	a := &Attempt{
 		classes: classes,
 		order:   dac.ProbeOrder(classes),
 	}
+	for _, c := range classes {
+		a.rest += c.Offer()
+	}
+	return a
 }
 
 // Next returns the index of the next candidate to probe. ok is false when
-// the sweep is over: either permissions reached exactly R0 (Admitted) or
-// every candidate has been contacted.
+// the sweep is over: permissions reached exactly R0 (Admitted), every
+// candidate has been contacted, or the un-probed tail no longer matters —
+// it cannot lift the aggregate to R0 (the attempt is doomed to rejection)
+// and the reminder set has already accumulated busy favoring candidates
+// worth exactly R0 (Section 4.2's target), so further probes could change
+// neither the admission nor where reminders land. In a crowd where most
+// candidates answer busy, this cuts the doomed tail of every sweep.
 func (a *Attempt) Next() (idx int, ok bool) {
 	if a.admitted || a.pos >= len(a.order) {
+		return 0, false
+	}
+	if a.sum+a.rest < bandwidth.R0 && a.remSum == bandwidth.R0 {
 		return 0, false
 	}
 	return a.order[a.pos], true
 }
 
+// consume retires the candidate at the sweep position from the un-probed
+// tail.
+func (a *Attempt) consume() {
+	a.rest -= a.classes[a.order[a.pos]].Offer()
+	a.pos++
+}
+
 // Down records that the candidate returned by Next was unreachable — the
 // paper's transiently "down" case: it yields neither a permission nor a
 // reminder target.
-func (a *Attempt) Down(idx int) { a.pos++ }
+func (a *Attempt) Down(idx int) { a.consume() }
 
 // Record feeds the probe response of the candidate returned by Next. A
 // grant is accumulated unless it would push the aggregate beyond R0; the
 // attempt is admitted the moment the aggregate hits R0 exactly.
 func (a *Attempt) Record(idx int, decision dac.Decision, favorsUs bool) {
-	a.pos++
+	a.consume()
 	a.outcomes = append(a.outcomes, dac.ProbeOutcome{
 		Index:    idx,
 		Class:    a.classes[idx],
 		Decision: decision,
 		FavorsUs: favorsUs,
 	})
+	offer := a.classes[idx].Offer()
+	if decision == dac.DeniedBusy && favorsUs && a.remSum+offer <= bandwidth.R0 {
+		// Mirror dac.ReminderTargets' greedy accumulation (probe order is
+		// already high class first): once this hits exactly R0 the reminder
+		// set is final, whatever the rest of the sweep would answer.
+		a.remSum += offer
+	}
 	if decision != dac.Granted {
 		return
 	}
-	offer := a.classes[idx].Offer()
 	if a.sum+offer > bandwidth.R0 {
 		return
 	}

@@ -38,9 +38,15 @@ func Catalog() []Spec {
 	}
 }
 
-// ByName returns the catalog scenario with the given name.
+// ByName returns the catalog scenario with the given name, searching the
+// conformance catalog first and the population-scale family second.
 func ByName(name string) (Spec, bool) {
 	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range ScaleCatalog() {
 		if s.Name == name {
 			return s, true
 		}

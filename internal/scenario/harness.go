@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"p2pstream/internal/chordnet"
 	"p2pstream/internal/clock"
+	"p2pstream/internal/dac"
 	"p2pstream/internal/directory"
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
@@ -18,19 +20,26 @@ import (
 	"p2pstream/internal/observe"
 )
 
-// RequestUntilHeld keeps attempting until the node holds the file, with a
-// fixed retry delay, tolerating both protocol rejections and transport
-// failures such as a supplier crashing mid-session — the client loop a
-// churn-prone overlay needs. It returns the successful session
-// report and the number of Request calls made. A session whose only
-// failure was the post-session directory registration (possible behind a
-// lossy link) counts as served: the node holds the file and supplies
-// locally.
-func RequestUntilHeld(ctx context.Context, clk clock.Clock, n *node.Node, maxAttempts int, retry time.Duration) (*node.SessionReport, int, error) {
+// RequestUntilHeld keeps attempting until the node holds the file,
+// tolerating both protocol rejections and transport failures such as a
+// supplier crashing mid-session — the client loop a churn-prone overlay
+// needs. Rejections back off on the paper's T_bkf · E_bkf^(i-1) schedule
+// (Section 4.2); transport failures wait the flat retry delay instead,
+// since they say nothing about admission contention. When jitter > 0 and
+// uniform is non-nil, each rejection wait is scaled by a uniform factor in
+// [1-jitter, 1+jitter): the paper's deterministic schedule keeps a
+// same-instant flash crowd in lockstep forever (every cohort re-collides
+// at every wake), and jitter is what desynchronizes it. It returns the
+// successful session report and the number of Request calls made. A
+// session whose only failure was the post-session directory registration
+// (possible behind a lossy link) counts as served: the node holds the
+// file and supplies locally.
+func RequestUntilHeld(ctx context.Context, clk clock.Clock, n *node.Node, maxAttempts int, bkf dac.BackoffConfig, jitter float64, uniform func() float64, retry time.Duration) (*node.SessionReport, int, error) {
 	if maxAttempts < 1 {
 		return nil, 0, fmt.Errorf("scenario: maxAttempts %d, want >= 1", maxAttempts)
 	}
 	var lastErr error
+	rejections := 0
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		report, err := n.Request(ctx)
 		if err == nil || report != nil {
@@ -41,7 +50,21 @@ func RequestUntilHeld(ctx context.Context, clk clock.Clock, n *node.Node, maxAtt
 		}
 		lastErr = err
 		if attempt < maxAttempts {
-			if err := clock.SleepCtx(ctx, clk, retry); err != nil {
+			wait := retry
+			if errors.Is(err, node.ErrRejected) || errors.Is(err, node.ErrNoSuppliers) {
+				rejections++
+				if w, berr := bkf.After(rejections); berr == nil {
+					wait = w
+					if jitter > 0 && uniform != nil {
+						scale := 1 + jitter*(2*uniform()-1)
+						wait = time.Duration(float64(wait) * scale)
+						if wait < time.Microsecond {
+							wait = time.Microsecond
+						}
+					}
+				}
+			}
+			if err := clock.SleepCtx(ctx, clk, wait); err != nil {
 				return nil, attempt, err
 			}
 		}
@@ -318,6 +341,9 @@ func Run(spec Spec) (*Report, error) {
 	}
 
 	clk := clock.NewVirtual()
+	if spec.ClockCoalesce > 0 {
+		clk.SetCoalesce(spec.ClockCoalesce)
+	}
 	stopClock := clk.AutoRun()
 	defer stopClock()
 
@@ -477,7 +503,20 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 		return fail(err)
 	}
 	h.track(w.ID, n)
-	report, attempts, err := RequestUntilHeld(context.Background(), h.clk, n, h.spec.MaxAttempts, h.spec.Retry)
+	var uniform func() float64
+	if h.spec.BackoffJitter > 0 {
+		// One splitmix64 word per requester, not a math/rand table: seeding
+		// ten thousand 5KB generators showed up in the crowd profile.
+		state := uint64(w.seed)
+		uniform = func() float64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return float64((z^(z>>31))>>11) / (1 << 53)
+		}
+	}
+	report, attempts, err := RequestUntilHeld(context.Background(), h.clk, n, h.spec.MaxAttempts, h.spec.Backoff, h.spec.BackoffJitter, uniform, h.spec.Retry)
 	res.Done = h.clk.Since(base)
 	res.Attempts = attempts
 	if chordPeer != nil {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in. The
+// population-scale tests (TestMegacrowd*) skip under it: the detector's
+// 5-20x slowdown turns a seconds-long six-digit run into minutes, and the
+// conformance catalog already exercises every code path under -race.
+const raceEnabled = false

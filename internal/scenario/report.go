@@ -94,7 +94,24 @@ type Report struct {
 	// blank samples under the unsharded backends.
 	ShardLookupMs *metrics.Series
 	ShardFailures *metrics.Series
+
+	// Population-scale distributions over the served requesters (quantiles,
+	// not means — at megacrowd scale the admission story lives in the
+	// tail): admission latency in milliseconds, and the per-peer rejection
+	// rate (rejected attempts / total attempts; 0 = admitted first try).
+	AdmissionDist *metrics.Distribution
+	RejectionDist *metrics.Distribution
+	// AdmissionQuantiles and RejectionQuantiles chart the running p50, p90
+	// and p99 of those distributions over completion time, on a shared
+	// checkpoint axis of at most quantileCheckpoints samples
+	// (WriteQuantilesCSV emits them as one table).
+	AdmissionQuantiles []*metrics.Series
+	RejectionQuantiles []*metrics.Series
 }
+
+// quantileCheckpoints bounds the running-quantile axis so a 100k-requester
+// run charts its tail trajectory without a per-sample sort.
+const quantileCheckpoints = 128
 
 // buildReport assembles the report from the per-requester results.
 func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int, shardStats []directory.Stats) *Report {
@@ -114,9 +131,13 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		SampleRounds:   &metrics.Series{Name: "sample_rounds"},
 		ShardLookupMs:  &metrics.Series{Name: "shard_lookup_ms"},
 		ShardFailures:  &metrics.Series{Name: "shard_failures"},
+		AdmissionDist:  metrics.NewDistribution("admission_ms"),
+		RejectionDist:  metrics.NewDistribution("rejection_rate"),
 	}
 	chord := spec.Discovery == BackendChord
 	sharded := len(shardStats) > 1
+	var doneTimes []time.Duration
+	var admissionMs, rejectionRates []float64
 	for _, n := range results {
 		if n.Err != nil {
 			continue
@@ -124,6 +145,15 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		r.Admission.Add(n.Done, ms(n.Done-n.Start))
 		r.Tries.Add(n.Done, float64(n.Attempts))
+		r.AdmissionDist.Observe(ms(n.Done - n.Start))
+		rate := 0.0
+		if n.Attempts > 1 {
+			rate = float64(n.Attempts-1) / float64(n.Attempts)
+		}
+		r.RejectionDist.Observe(rate)
+		doneTimes = append(doneTimes, n.Done)
+		admissionMs = append(admissionMs, ms(n.Done-n.Start))
+		rejectionRates = append(rejectionRates, rate)
 		r.Buffering.Add(n.Done, ms(n.Session.MeasuredDelay))
 		r.Suppliers.Add(n.Done, float64(n.SupplierLevel))
 		if chord {
@@ -144,6 +174,9 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 			r.ShardFailures.AddMissing(n.Done)
 		}
 	}
+	qs := []float64{0.5, 0.9, 0.99}
+	r.AdmissionQuantiles = metrics.QuantileSeries("admission_ms", doneTimes, admissionMs, quantileCheckpoints, qs...)
+	r.RejectionQuantiles = metrics.QuantileSeries("rejection_rate", doneTimes, rejectionRates, quantileCheckpoints, qs...)
 	return r
 }
 
@@ -225,6 +258,10 @@ func (r *Report) Summary() string {
 		max, _ := r.Admission.Max()
 		fmt.Fprintf(&b, "\n  admission latency: mean %.1fms, max %.1fms", mean, max)
 	}
+	if r.AdmissionDist.Count() > 0 {
+		fmt.Fprintf(&b, "\n  %s", r.AdmissionDist.Summary())
+		fmt.Fprintf(&b, "\n  %s", r.RejectionDist.Summary())
+	}
 	if max, ok := r.Tries.Max(); ok {
 		fmt.Fprintf(&b, "\n  admission attempts: max %.0f", max)
 	}
@@ -262,6 +299,14 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return metrics.WriteCSVIn(w, "ms", time.Millisecond,
 		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds,
 		r.ShardLookupMs, r.ShardFailures)
+}
+
+// WriteQuantilesCSV emits the running admission-latency and rejection-rate
+// quantile trajectories (p50/p90/p99, time axis in milliseconds) — the
+// population-scale view of the flash-crowd tail.
+func (r *Report) WriteQuantilesCSV(w io.Writer) error {
+	series := append(append([]*metrics.Series{}, r.AdmissionQuantiles...), r.RejectionQuantiles...)
+	return metrics.WriteCSVIn(w, "ms", time.Millisecond, series...)
 }
 
 func meanOf(s *metrics.Series) (float64, bool) {

@@ -246,6 +246,17 @@ type Spec struct {
 	MaxAttempts int               // resilient-request budget (default 60)
 	Retry       time.Duration     // delay after transport failures (default 25ms)
 	Seed        int64             // network/directory randomness (default 1)
+	// BackoffJitter scales each rejection wait by a uniform factor in
+	// [1-j, 1+j), seeded per requester. Zero keeps the paper's exact
+	// T_bkf·E_bkf^(i-1) schedule. Same-instant flash crowds need it: a
+	// deterministic schedule keeps rejection cohorts in lockstep, so the
+	// same peers re-collide on the trigger race at every wake.
+	BackoffJitter float64
+	// ClockCoalesce widens the virtual clock's per-advance coalescing
+	// window (clock.Virtual.SetCoalesce). Population-scale specs set it so
+	// one quiescent advance drains a whole batch of deliveries instead of
+	// paying a grace wait per event instant; zero keeps the clock default.
+	ClockCoalesce time.Duration
 
 	Expect Expect
 }

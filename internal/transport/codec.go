@@ -1,0 +1,496 @@
+package transport
+
+import (
+	"encoding/base64"
+	"strconv"
+
+	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/dac"
+)
+
+// Hand-rolled canonical codec for the hot wire messages. At population
+// scale an admission wave is hundreds of thousands of probe, lookup and
+// reminder exchanges, and reflective encoding/json marshal/unmarshal of
+// their tiny bodies dominates the wire path's CPU. Every message type
+// below appends its canonical encoding directly into the outgoing frame
+// (bodyAppender) and decodes the same canonical layout with a
+// zero-reflection scanner (bodyDecoder). The layouts match what
+// encoding/json produces for these structs — exact key order, omitempty
+// behavior, no whitespace — and anything else (escaped strings, reordered
+// keys, third-party senders) falls back to encoding/json, so the wire
+// format is unchanged and fully interoperable.
+
+// bodyAppender is implemented by message bodies that append their own
+// canonical JSON; Write uses it to skip json.Marshal and the intermediate
+// allocation it returns.
+type bodyAppender interface{ appendBody([]byte) []byte }
+
+// bodyDecoder is implemented by message bodies that parse their canonical
+// JSON layout. It returns false — leaving the receiver untouched — for any
+// other layout; the caller then falls back to encoding/json.
+type bodyDecoder interface{ decodeBody([]byte) bool }
+
+// jscan is a minimal cursor over a canonical JSON body. Any mismatch
+// clears ok; callers check done() once at the end.
+type jscan struct {
+	b  []byte
+	ok bool
+}
+
+func (s *jscan) lit(l string) {
+	if s.ok && len(s.b) >= len(l) && string(s.b[:len(l)]) == l {
+		s.b = s.b[len(l):]
+		return
+	}
+	s.ok = false
+}
+
+func (s *jscan) peek(l string) bool {
+	return s.ok && len(s.b) >= len(l) && string(s.b[:len(l)]) == l
+}
+
+// str parses a plain string literal: printable ASCII, no escapes —
+// everything the overlay's IDs, addresses and file names are made of.
+// Anything else aborts to the encoding/json fallback.
+func (s *jscan) str() string {
+	if !s.ok || len(s.b) < 2 || s.b[0] != '"' {
+		s.ok = false
+		return ""
+	}
+	for i := 1; i < len(s.b); i++ {
+		c := s.b[i]
+		if c == '"' {
+			out := string(s.b[1:i])
+			s.b = s.b[i+1:]
+			return out
+		}
+		if c == '\\' || c < 0x20 || c >= 0x7f {
+			break
+		}
+	}
+	s.ok = false
+	return ""
+}
+
+func (s *jscan) num() int64 {
+	if !s.ok {
+		return 0
+	}
+	i := 0
+	neg := false
+	if i < len(s.b) && s.b[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	var n int64
+	for i < len(s.b) && s.b[i] >= '0' && s.b[i] <= '9' {
+		n = n*10 + int64(s.b[i]-'0')
+		i++
+	}
+	// 18 digits always fit an int64; longer (or empty) falls back.
+	if i == start || i-start > 18 {
+		s.ok = false
+		return 0
+	}
+	s.b = s.b[i:]
+	if neg {
+		return -n
+	}
+	return n
+}
+
+func (s *jscan) boolean() bool {
+	if s.peek("true") {
+		s.b = s.b[4:]
+		return true
+	}
+	if s.peek("false") {
+		s.b = s.b[5:]
+		return false
+	}
+	s.ok = false
+	return false
+}
+
+func (s *jscan) done() bool { return s.ok && len(s.b) == 0 }
+
+// --- Probe / Reminder (identical shape) ---
+
+func (p Probe) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"requester_id":`...)
+	dst = appendJSONString(dst, p.RequesterID)
+	dst = append(dst, `,"class":`...)
+	dst = strconv.AppendInt(dst, int64(p.Class), 10)
+	return append(dst, '}')
+}
+
+func (p *Probe) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"requester_id":`)
+	id := s.str()
+	s.lit(`,"class":`)
+	class := s.num()
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	p.RequesterID, p.Class = id, bandwidth.Class(class)
+	return true
+}
+
+func (r Reminder) appendBody(dst []byte) []byte {
+	return Probe(r).appendBody(dst)
+}
+
+func (r *Reminder) decodeBody(b []byte) bool {
+	return (*Probe)(r).decodeBody(b)
+}
+
+// --- ProbeReply / ReminderReply ---
+
+func (r ProbeReply) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"decision":`...)
+	dst = strconv.AppendInt(dst, int64(r.Decision), 10)
+	if r.Favors {
+		return append(dst, `,"favors":true}`...)
+	}
+	return append(dst, `,"favors":false}`...)
+}
+
+func (r *ProbeReply) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"decision":`)
+	dec := s.num()
+	s.lit(`,"favors":`)
+	favors := s.boolean()
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	r.Decision, r.Favors = dac.Decision(dec), favors
+	return true
+}
+
+func (r ReminderReply) appendBody(dst []byte) []byte {
+	if r.Kept {
+		return append(dst, `{"kept":true}`...)
+	}
+	return append(dst, `{"kept":false}`...)
+}
+
+func (r *ReminderReply) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"kept":`)
+	kept := s.boolean()
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	r.Kept = kept
+	return true
+}
+
+// --- Lookup / Candidates ---
+
+func (l Lookup) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"m":`...)
+	dst = strconv.AppendInt(dst, int64(l.M), 10)
+	if l.Exclude != "" {
+		dst = append(dst, `,"exclude":`...)
+		dst = appendJSONString(dst, l.Exclude)
+	}
+	return append(dst, '}')
+}
+
+func (l *Lookup) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"m":`)
+	m := s.num()
+	var exclude string
+	if s.peek(`,"exclude":`) {
+		s.lit(`,"exclude":`)
+		exclude = s.str()
+	}
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	l.M, l.Exclude = int(m), exclude
+	return true
+}
+
+func (c Candidate) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, c.ID)
+	dst = append(dst, `,"addr":`...)
+	dst = appendJSONString(dst, c.Addr)
+	dst = append(dst, `,"class":`...)
+	dst = strconv.AppendInt(dst, int64(c.Class), 10)
+	return append(dst, '}')
+}
+
+func (s *jscan) candidate(c *Candidate) {
+	s.lit(`{"id":`)
+	c.ID = s.str()
+	s.lit(`,"addr":`)
+	c.Addr = s.str()
+	s.lit(`,"class":`)
+	c.Class = bandwidth.Class(s.num())
+	s.lit(`}`)
+}
+
+func (c Candidates) appendBody(dst []byte) []byte {
+	if c.Peers == nil {
+		dst = append(dst, `{"peers":null`...)
+	} else {
+		dst = append(dst, `{"peers":[`...)
+		for i, p := range c.Peers {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = p.appendJSON(dst)
+		}
+		dst = append(dst, ']')
+	}
+	if c.Len != 0 {
+		dst = append(dst, `,"len":`...)
+		dst = strconv.AppendInt(dst, int64(c.Len), 10)
+	}
+	return append(dst, '}')
+}
+
+func (c *Candidates) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	var peers []Candidate
+	if s.peek(`{"peers":null`) {
+		s.lit(`{"peers":null`)
+	} else {
+		s.lit(`{"peers":[`)
+		if s.peek(`]`) {
+			peers = []Candidate{}
+			s.lit(`]`)
+		} else {
+			for s.ok {
+				var p Candidate
+				s.candidate(&p)
+				peers = append(peers, p)
+				if !s.peek(`,`) {
+					break
+				}
+				s.lit(`,`)
+			}
+			s.lit(`]`)
+		}
+	}
+	var n int64
+	if s.peek(`,"len":`) {
+		s.lit(`,"len":`)
+		n = s.num()
+	}
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	c.Peers, c.Len = peers, int(n)
+	return true
+}
+
+// --- Register / Unregister ---
+
+func (r Register) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, r.ID)
+	dst = append(dst, `,"addr":`...)
+	dst = appendJSONString(dst, r.Addr)
+	dst = append(dst, `,"class":`...)
+	dst = strconv.AppendInt(dst, int64(r.Class), 10)
+	if r.Refresh {
+		dst = append(dst, `,"refresh":true`...)
+	}
+	return append(dst, '}')
+}
+
+func (r *Register) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"id":`)
+	id := s.str()
+	s.lit(`,"addr":`)
+	addr := s.str()
+	s.lit(`,"class":`)
+	class := s.num()
+	refresh := false
+	if s.peek(`,"refresh":`) {
+		s.lit(`,"refresh":`)
+		refresh = s.boolean()
+	}
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	r.ID, r.Addr, r.Class, r.Refresh = id, addr, bandwidth.Class(class), refresh
+	return true
+}
+
+func (u Unregister) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, u.ID)
+	return append(dst, '}')
+}
+
+func (u *Unregister) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"id":`)
+	id := s.str()
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	u.ID = id
+	return true
+}
+
+// --- Start / StartReply / Segment / SessionDone ---
+
+func (st Start) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"requester_id":`...)
+	dst = appendJSONString(dst, st.RequesterID)
+	dst = append(dst, `,"file_name":`...)
+	dst = appendJSONString(dst, st.FileName)
+	if st.Segments == nil {
+		return append(dst, `,"segments":null}`...)
+	}
+	dst = append(dst, `,"segments":[`...)
+	for i, seg := range st.Segments {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(seg), 10)
+	}
+	return append(dst, `]}`...)
+}
+
+func (st *Start) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"requester_id":`)
+	id := s.str()
+	s.lit(`,"file_name":`)
+	name := s.str()
+	var segs []int
+	if s.peek(`,"segments":null`) {
+		s.lit(`,"segments":null`)
+	} else {
+		s.lit(`,"segments":[`)
+		if s.peek(`]`) {
+			segs = []int{}
+			s.lit(`]`)
+		} else {
+			for s.ok {
+				segs = append(segs, int(s.num()))
+				if !s.peek(`,`) {
+					break
+				}
+				s.lit(`,`)
+			}
+			s.lit(`]`)
+		}
+	}
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	st.RequesterID, st.FileName, st.Segments = id, name, segs
+	return true
+}
+
+func (r StartReply) appendBody(dst []byte) []byte {
+	if r.OK {
+		dst = append(dst, `{"ok":true`...)
+	} else {
+		dst = append(dst, `{"ok":false`...)
+	}
+	if r.Reason != "" {
+		dst = append(dst, `,"reason":`...)
+		dst = appendJSONString(dst, r.Reason)
+	}
+	return append(dst, '}')
+}
+
+func (r *StartReply) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"ok":`)
+	ok := s.boolean()
+	var reason string
+	if s.peek(`,"reason":`) {
+		s.lit(`,"reason":`)
+		reason = s.str()
+	}
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	r.OK, r.Reason = ok, reason
+	return true
+}
+
+func (sg Segment) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendInt(dst, int64(sg.ID), 10)
+	if sg.Data == nil {
+		return append(dst, `,"data":null}`...)
+	}
+	dst = append(dst, `,"data":"`...)
+	dst = base64.StdEncoding.AppendEncode(dst, sg.Data)
+	return append(dst, `"}`...)
+}
+
+func (sg *Segment) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"id":`)
+	id := s.num()
+	var data []byte
+	if s.peek(`,"data":null`) {
+		s.lit(`,"data":null`)
+	} else {
+		s.lit(`,"data":`)
+		enc := s.str()
+		if s.ok {
+			var err error
+			if data, err = base64.StdEncoding.AppendDecode(nil, []byte(enc)); err != nil {
+				s.ok = false
+			}
+		}
+	}
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	sg.ID, sg.Data = int(id), data
+	return true
+}
+
+func (d SessionDone) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"sent":`...)
+	dst = strconv.AppendInt(dst, int64(d.Sent), 10)
+	return append(dst, '}')
+}
+
+func (d *SessionDone) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"sent":`)
+	n := s.num()
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	d.Sent = int(n)
+	return true
+}
+
+// --- Error ---
+
+func (e Error) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"message":`...)
+	dst = appendJSONString(dst, e.Message)
+	return append(dst, '}')
+}

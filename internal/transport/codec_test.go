@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// codecCases lists, per message type, values covering the canonical
+// encoder's branches: omitempty fields set and unset, nil vs empty vs
+// populated slices, both booleans.
+func codecCases() []any {
+	return []any{
+		Probe{RequesterID: "r42", Class: 3},
+		Probe{RequesterID: "", Class: 0},
+		Reminder{RequesterID: "r1", Class: 1},
+		ProbeReply{Decision: 0, Favors: false},
+		ProbeReply{Decision: 2, Favors: true},
+		ReminderReply{Kept: true},
+		ReminderReply{Kept: false},
+		Lookup{M: 4},
+		Lookup{M: 4, Exclude: "me"},
+		Candidates{},
+		Candidates{Peers: []Candidate{}},
+		Candidates{Peers: []Candidate{{ID: "a", Addr: "a:1", Class: 1}}},
+		Candidates{Peers: []Candidate{{ID: "a", Addr: "a:1", Class: 1}, {ID: "b", Addr: "b:2", Class: 4}}, Len: 512},
+		Register{ID: "s1", Addr: "s1:9", Class: 2},
+		Register{ID: "s1", Addr: "s1:9", Class: 2, Refresh: true},
+		Unregister{ID: "s1"},
+		Start{RequesterID: "r", FileName: "clip"},
+		Start{RequesterID: "r", FileName: "clip", Segments: []int{}},
+		Start{RequesterID: "r", FileName: "clip", Segments: []int{0, 2, 4}},
+		StartReply{OK: true},
+		StartReply{OK: false, Reason: "claimed"},
+		Segment{ID: 7},
+		Segment{ID: 7, Data: []byte{1, 2, 3, 0xff}},
+		SessionDone{Sent: 4},
+	}
+}
+
+// TestCodecMatchesEncodingJSON pins the fast encoders to the exact bytes
+// encoding/json produces and proves both decode directions agree: the
+// canonical decoder accepts encoding/json's output, and encoding/json
+// accepts the canonical encoder's — the wire format is one format.
+func TestCodecMatchesEncodingJSON(t *testing.T) {
+	for _, v := range codecCases() {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := v.(bodyAppender).appendBody(nil)
+		if string(got) != string(want) {
+			t.Errorf("%T: appendBody = %s, json.Marshal = %s", v, got, want)
+		}
+
+		// Fast decoder over encoding/json output.
+		out := reflect.New(reflect.TypeOf(v))
+		dec, ok := out.Interface().(bodyDecoder)
+		if !ok {
+			t.Fatalf("%T: no decodeBody", v)
+		}
+		if !dec.decodeBody(want) {
+			t.Errorf("%T: decodeBody rejected canonical %s", v, want)
+		} else if g := out.Elem().Interface(); !equivalentBody(g, v) {
+			t.Errorf("%T: decodeBody(%s) = %+v, want %+v", v, want, g, v)
+		}
+
+		// encoding/json decoder over the fast encoder's output.
+		out2 := reflect.New(reflect.TypeOf(v))
+		if err := json.Unmarshal(got, out2.Interface()); err != nil {
+			t.Errorf("%T: json.Unmarshal(appendBody) failed: %v", v, err)
+		} else if g := out2.Elem().Interface(); !equivalentBody(g, v) {
+			t.Errorf("%T: json.Unmarshal(%s) = %+v, want %+v", v, got, g, v)
+		}
+	}
+}
+
+// equivalentBody compares decoded bodies, treating nil and empty byte/int
+// slices as equal: []byte{} and nil both encode meaningfully and no
+// consumer distinguishes them.
+func equivalentBody(a, b any) bool {
+	if reflect.DeepEqual(a, b) {
+		return true
+	}
+	if sa, ok := a.(Segment); ok {
+		sb := b.(Segment)
+		return sa.ID == sb.ID && len(sa.Data) == 0 && len(sb.Data) == 0
+	}
+	if sa, ok := a.(Start); ok {
+		sb := b.(Start)
+		return sa.RequesterID == sb.RequesterID && sa.FileName == sb.FileName &&
+			len(sa.Segments) == 0 && len(sb.Segments) == 0
+	}
+	return false
+}
+
+// TestCodecFallback: bodies the canonical scanner cannot handle — escaped
+// strings, non-ASCII, reordered keys, whitespace — are rejected by
+// decodeBody (leaving the receiver untouched) and still decode correctly
+// through the encoding/json path that Write/ReadExpect fall back to.
+func TestCodecFallback(t *testing.T) {
+	hard := []any{
+		Probe{RequesterID: "weird\"id", Class: 1},
+		Probe{RequesterID: "ünïcode", Class: 1},
+		Register{ID: "tab\there", Addr: "a:1", Class: 1},
+		StartReply{OK: false, Reason: "line\nbreak"},
+	}
+	for _, v := range hard {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := reflect.New(reflect.TypeOf(v))
+		if out.Interface().(bodyDecoder).decodeBody(want) {
+			t.Errorf("%T: decodeBody accepted non-canonical %s", v, want)
+		}
+		if !reflect.DeepEqual(out.Elem().Interface(), reflect.Zero(reflect.TypeOf(v)).Interface()) {
+			t.Errorf("%T: failed decodeBody mutated receiver: %+v", v, out.Elem().Interface())
+		}
+	}
+	// Reordered keys and whitespace: valid JSON, non-canonical layout.
+	var p Probe
+	if (&p).decodeBody([]byte(`{"class":1,"requester_id":"r"}`)) {
+		t.Error("decodeBody accepted reordered keys")
+	}
+	if (&p).decodeBody([]byte(`{ "requester_id": "r", "class": 1 }`)) {
+		t.Error("decodeBody accepted whitespace layout")
+	}
+	if (&p).decodeBody([]byte(`{"requester_id":"r","class":1}x`)) {
+		t.Error("decodeBody accepted trailing garbage")
+	}
+}

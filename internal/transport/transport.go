@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"p2pstream/internal/bandwidth"
@@ -248,25 +249,70 @@ type Envelope struct {
 // ErrMessageTooLarge is returned for frames beyond MaxMessageSize.
 var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
 
-// Write frames and sends one message.
+// maxPooledFrame caps the capacity a frame or read buffer may carry back
+// into its pool, so one outsized message does not pin memory forever.
+const maxPooledFrame = 64 << 10
+
+// framePool recycles whole outgoing frames (length prefix + envelope);
+// readPool recycles incoming envelope buffers. Both are safe to reuse the
+// moment the call returns: io.Writer must not retain its argument, and
+// json.RawMessage copies the bytes it keeps.
+var (
+	framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+	readPool  = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+)
+
+// appendJSONString appends s as a JSON string literal. Message kinds are
+// plain ASCII identifiers, so the fast path just quotes; anything unusual
+// falls back to the encoder.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			quoted, _ := json.Marshal(s)
+			return append(dst, quoted...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// Write frames and sends one message. The envelope is assembled directly
+// into a pooled frame buffer — one body marshal (or none, for bodies with
+// a canonical fast encoder), no second envelope marshal, no per-message
+// frame allocation.
 func Write(w io.Writer, kind Kind, body any) error {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("transport: encoding %s body: %w", kind, err)
-	}
-	env, err := json.Marshal(Envelope{Kind: kind, Body: raw})
-	if err != nil {
-		return fmt.Errorf("transport: encoding %s envelope: %w", kind, err)
-	}
-	if len(env) > MaxMessageSize {
-		return ErrMessageTooLarge
-	}
+	bp := framePool.Get().(*[]byte)
 	// One buffer, one Write: a frame hits the wire in a single syscall (or
 	// a single virtual-network delivery) instead of two.
-	frame := make([]byte, 4+len(env))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(env)))
-	copy(frame[4:], env)
-	if _, err := w.Write(frame); err != nil {
+	frame := append((*bp)[:0], 0, 0, 0, 0)
+	frame = append(frame, `{"kind":`...)
+	frame = appendJSONString(frame, string(kind))
+	frame = append(frame, `,"body":`...)
+	if a, ok := body.(bodyAppender); ok {
+		frame = a.appendBody(frame)
+	} else {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			*bp = frame[:0]
+			framePool.Put(bp)
+			return fmt.Errorf("transport: encoding %s body: %w", kind, err)
+		}
+		frame = append(frame, raw...)
+	}
+	frame = append(frame, '}')
+	n := len(frame) - 4
+	if n > MaxMessageSize {
+		framePool.Put(bp)
+		return ErrMessageTooLarge
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	_, err := w.Write(frame)
+	if cap(frame) <= maxPooledFrame {
+		*bp = frame[:0]
+		framePool.Put(bp)
+	}
+	if err != nil {
 		return fmt.Errorf("transport: writing %s: %w", kind, err)
 	}
 	return nil
@@ -288,36 +334,110 @@ func WriteReply(w io.Writer, kind Kind, body any, fails *atomic.Int64, onErr fun
 	return err
 }
 
-// Read receives one framed message envelope.
-func Read(r io.Reader) (*Envelope, error) {
+// readFrame reads one length-prefixed frame into a pooled buffer and
+// returns it with its release function. The buffer is only valid until
+// release is called.
+func readFrame(r io.Reader) (buf []byte, release func(), err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return nil, nil, io.EOF
 		}
-		return nil, fmt.Errorf("transport: reading length: %w", err)
+		return nil, nil, fmt.Errorf("transport: reading length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n == 0 || n > MaxMessageSize {
-		return nil, ErrMessageTooLarge
+		return nil, nil, ErrMessageTooLarge
 	}
-	buf := make([]byte, n)
+	bp := readPool.Get().(*[]byte)
+	if cap(*bp) >= int(n) {
+		buf = (*bp)[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	release = func() {
+		if cap(buf) <= maxPooledFrame {
+			*bp = buf[:0]
+			readPool.Put(bp)
+		}
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("transport: reading body: %w", err)
+		release()
+		return nil, nil, fmt.Errorf("transport: reading body: %w", err)
 	}
-	var env Envelope
-	if err := json.Unmarshal(buf, &env); err != nil {
-		return nil, fmt.Errorf("transport: decoding envelope: %w", err)
+	return buf, release, nil
+}
+
+// parseEnvelope decodes the canonical envelope layout — {"kind":"...",
+// "body":<value>} with no whitespace, exactly what both Write and
+// json.Marshal(Envelope{...}) emit — without running a JSON decoder over
+// the whole frame. The envelope's Body (and nothing else) aliases buf, so
+// callers that keep it past buf's lifetime must copy. It reports false,
+// leaving env untouched, for any other layout (escaped kinds, reordered
+// keys); the caller then falls back to encoding/json. The body value is
+// not validated here — the typed body decode that every consumer performs
+// surfaces malformed payloads.
+func parseEnvelope(buf []byte, env *Envelope) bool {
+	const kindPrefix = `{"kind":"`
+	const bodySep = `","body":`
+	if len(buf) < len(kindPrefix)+len(bodySep)+2 || string(buf[:len(kindPrefix)]) != kindPrefix {
+		return false
 	}
-	return &env, nil
+	i := len(kindPrefix)
+	for ; i < len(buf); i++ {
+		c := buf[i]
+		if c == '"' {
+			break
+		}
+		if c == '\\' || c < 0x20 || c >= 0x7f {
+			return false
+		}
+	}
+	if i+len(bodySep) >= len(buf) || string(buf[i:i+len(bodySep)]) != bodySep || buf[len(buf)-1] != '}' {
+		return false
+	}
+	env.Kind = Kind(buf[len(kindPrefix):i])
+	env.Body = json.RawMessage(buf[i+len(bodySep) : len(buf)-1])
+	return true
+}
+
+// Read receives one framed message envelope.
+func Read(r io.Reader) (*Envelope, error) {
+	buf, release, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	env := new(Envelope)
+	if parseEnvelope(buf, env) {
+		// The envelope outlives the pooled buffer: copy the aliased body.
+		env.Body = append(json.RawMessage(nil), env.Body...)
+		release()
+		return env, nil
+	}
+	// Non-canonical layout: full decode (json.RawMessage copies its bytes).
+	uerr := json.Unmarshal(buf, env)
+	release()
+	if uerr != nil {
+		return nil, fmt.Errorf("transport: decoding envelope: %w", uerr)
+	}
+	return env, nil
 }
 
 // ReadExpect receives one message and requires it to be of the given kind,
 // decoding its body into out. A received KindError is surfaced as an error.
+// The body is decoded straight out of the pooled frame buffer — no
+// intermediate envelope copy.
 func ReadExpect(r io.Reader, kind Kind, out any) error {
-	env, err := Read(r)
+	buf, release, err := readFrame(r)
 	if err != nil {
 		return err
+	}
+	defer release()
+	var env Envelope
+	if !parseEnvelope(buf, &env) {
+		if err := json.Unmarshal(buf, &env); err != nil {
+			return fmt.Errorf("transport: decoding envelope: %w", err)
+		}
 	}
 	if env.Kind == KindError {
 		var e Error
@@ -332,6 +452,9 @@ func ReadExpect(r io.Reader, kind Kind, out any) error {
 	if out == nil {
 		return nil
 	}
+	if d, ok := out.(bodyDecoder); ok && d.decodeBody(env.Body) {
+		return nil
+	}
 	if err := json.Unmarshal(env.Body, out); err != nil {
 		return fmt.Errorf("transport: decoding %s: %w", kind, err)
 	}
@@ -340,6 +463,9 @@ func ReadExpect(r io.Reader, kind Kind, out any) error {
 
 // Decode unmarshals an envelope body into out.
 func (e *Envelope) Decode(out any) error {
+	if d, ok := out.(bodyDecoder); ok && d.decodeBody(e.Body) {
+		return nil
+	}
 	if err := json.Unmarshal(e.Body, out); err != nil {
 		return fmt.Errorf("transport: decoding %s: %w", e.Kind, err)
 	}

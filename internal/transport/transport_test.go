@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"io"
 	"strings"
@@ -154,5 +155,74 @@ func TestDecodeMismatch(t *testing.T) {
 	var wrong []int
 	if err := env.Decode(&wrong); err == nil {
 		t.Error("decoding object into slice should fail")
+	}
+}
+
+// TestWriteEnvelopeWireFormat: the pooled, hand-assembled envelope must be
+// byte-compatible with encoding/json's rendering of Envelope — including
+// kinds that need string escaping — so old and new peers interoperate.
+func TestWriteEnvelopeWireFormat(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		body any
+	}{
+		{KindProbe, Probe{Class: 2}},
+		{KindError, Error{Message: "boom"}},
+		{KindSegment, nil},
+		{Kind(`we"ird\kind` + "\n"), Error{Message: "escape me"}},
+	}
+	for _, tc := range cases {
+		var got bytes.Buffer
+		if err := Write(&got, tc.kind, tc.body); err != nil {
+			t.Fatalf("Write(%q): %v", tc.kind, err)
+		}
+		raw, err := json.Marshal(tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := json.Marshal(Envelope{Kind: tc.kind, Body: raw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 4+len(env))
+		binary.BigEndian.PutUint32(want[:4], uint32(len(env)))
+		copy(want[4:], env)
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("kind %q: frame %q, want %q", tc.kind, got.Bytes(), want)
+		}
+		rd := bytes.NewReader(got.Bytes())
+		back, err := Read(rd)
+		if err != nil {
+			t.Fatalf("Read back %q: %v", tc.kind, err)
+		}
+		if back.Kind != tc.kind || !bytes.Equal(back.Body, raw) {
+			t.Errorf("kind %q: round-trip mismatch: %+v", tc.kind, back)
+		}
+	}
+}
+
+// TestReadBodyOutlivesPooledBuffer: the envelope body returned by Read must
+// stay intact after the pooled read buffer is reused by later reads.
+func TestReadBodyOutlivesPooledBuffer(t *testing.T) {
+	var wire bytes.Buffer
+	if err := Write(&wire, KindError, Error{Message: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := string(env.Body)
+	for i := 0; i < 64; i++ {
+		var w bytes.Buffer
+		if err := Write(&w, KindError, Error{Message: strings.Repeat("x", 100+i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(bytes.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(env.Body) != snapshot {
+		t.Errorf("body mutated after buffer reuse: %q, want %q", env.Body, snapshot)
 	}
 }

@@ -1,0 +1,251 @@
+// Command benchrec records and gates the virtual-substrate benchmark
+// trajectory. It runs the vnet benchmarks (BenchmarkVnetChunkDelivery,
+// BenchmarkVnetConcurrentHosts, BenchmarkMegacrowd10k — see
+// bench_test.go) and either:
+//
+//	-record   appends the measured point to BENCH_vnet.json (the
+//	          trajectory: one point per recorded optimization state), or
+//	-check    compares the measurement against the newest trajectory
+//	          point and exits non-zero on a >10% ns/op or allocs/op
+//	          regression of any gated benchmark — the CI regression gate.
+//
+// The micro-benchmarks run on a manually driven clock and measure pure
+// CPU, so they gate tightly; the 10k megacrowd is wall-clock (quiescence
+// waits included) and is recorded un-gated.
+//
+// Run from the repository root:
+//
+//	go run ./tools/benchrec -record -label "describe the change"
+//	go run ./tools/benchrec -check
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one benchmark's measurement at one trajectory point.
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Gated marks the benchmark as regression-gated: -check fails when it
+	// regresses beyond tolerance against the baseline. Wall-clock-bound
+	// macro benchmarks record un-gated.
+	Gated bool `json:"gated"`
+}
+
+// Point is one entry of the recorded trajectory.
+type Point struct {
+	Label   string           `json:"label"`
+	Date    string           `json:"date,omitempty"`
+	Benches map[string]Bench `json:"benches"`
+}
+
+// Trajectory is the BENCH_vnet.json layout: oldest point first; the
+// newest point is the regression baseline.
+type Trajectory struct {
+	Points []Point `json:"trajectory"`
+}
+
+const (
+	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkVnetConcurrentHosts)$"
+	macroBenches = "^BenchmarkMegacrowd10k$"
+)
+
+func main() {
+	var (
+		record    = flag.Bool("record", false, "run the benchmarks and append a trajectory point")
+		check     = flag.Bool("check", false, "run the benchmarks and gate against the newest trajectory point")
+		file      = flag.String("file", "BENCH_vnet.json", "trajectory file")
+		label     = flag.String("label", "", "label for -record (required with -record)")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression for -check")
+		skipMacro = flag.Bool("skip-macro", false, "skip the (slow, un-gated) macro benchmark")
+	)
+	flag.Parse()
+	if *record == *check {
+		fmt.Fprintln(os.Stderr, "benchrec: exactly one of -record or -check is required")
+		os.Exit(2)
+	}
+	if *record && *label == "" {
+		fmt.Fprintln(os.Stderr, "benchrec: -record requires -label")
+		os.Exit(2)
+	}
+
+	measured, err := runBenches(*skipMacro)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrec: %v\n", err)
+		os.Exit(1)
+	}
+	for name, b := range measured {
+		fmt.Printf("%-32s %12.1f ns/op %10.0f allocs/op (gated=%v)\n", name, b.NsPerOp, b.AllocsPerOp, b.Gated)
+	}
+
+	traj, err := load(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrec: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *record {
+		traj.Points = append(traj.Points, Point{
+			Label:   *label,
+			Date:    time.Now().Format("2006-01-02"),
+			Benches: measured,
+		})
+		if err := save(*file, traj); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded point %d to %s\n", len(traj.Points), *file)
+		return
+	}
+
+	if len(traj.Points) == 0 {
+		fmt.Fprintf(os.Stderr, "benchrec: %s has no trajectory points to gate against\n", *file)
+		os.Exit(1)
+	}
+	baseline := traj.Points[len(traj.Points)-1]
+	regressions := compare(baseline.Benches, measured, *tolerance)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchrec: regression against %q:\n", baseline.Label)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regression against %q (tolerance %.0f%%)\n", baseline.Label, *tolerance*100)
+}
+
+// compare gates measured benchmarks against the baseline: every gated
+// baseline benchmark must be present and within tolerance on both ns/op
+// and allocs/op. A zero-alloc baseline tolerates zero allocations — any
+// alloc on a 0 allocs/op benchmark is a regression, fractional tolerance
+// notwithstanding.
+func compare(baseline, measured map[string]Bench, tolerance float64) []string {
+	var out []string
+	for name, base := range baseline {
+		if !base.Gated {
+			continue
+		}
+		got, ok := measured[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: gated benchmark missing from measurement", name))
+			continue
+		}
+		if got.NsPerOp > base.NsPerOp*(1+tolerance) {
+			out = append(out, fmt.Sprintf("%s: %.1f ns/op, baseline %.1f (+%.0f%% > %.0f%%)",
+				name, got.NsPerOp, base.NsPerOp, (got.NsPerOp/base.NsPerOp-1)*100, tolerance*100))
+		}
+		if got.AllocsPerOp > base.AllocsPerOp*(1+tolerance) {
+			out = append(out, fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f",
+				name, got.AllocsPerOp, base.AllocsPerOp))
+		}
+	}
+	return out
+}
+
+// runBenches runs the vnet benchmarks and parses their measurements. The
+// micro-benchmarks use the default 1s benchtime for stable ns/op; the
+// macro flash crowd runs a single iteration (its one op takes seconds).
+func runBenches(skipMacro bool) (map[string]Bench, error) {
+	out := make(map[string]Bench)
+	micro, err := goBench(microBenches, "1s")
+	if err != nil {
+		return nil, err
+	}
+	for name, b := range micro {
+		b.Gated = true
+		out[name] = b
+	}
+	if !skipMacro {
+		macro, err := goBench(macroBenches, "1x")
+		if err != nil {
+			return nil, err
+		}
+		for name, b := range macro {
+			out[name] = b // wall-clock bound: recorded, not gated
+		}
+	}
+	return out, nil
+}
+
+func goBench(pattern, benchtime string) (map[string]Bench, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", ".")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench %s: %v\n%s", pattern, err, raw)
+	}
+	res := parseBenchOutput(string(raw))
+	if len(res) == 0 {
+		return nil, fmt.Errorf("go test -bench %s matched no benchmarks:\n%s", pattern, raw)
+	}
+	return res, nil
+}
+
+// parseBenchOutput extracts ns/op and allocs/op from `go test -bench`
+// output lines (`BenchmarkName-8  N  12.3 ns/op  ...  4 allocs/op`). The
+// -cpu suffix is stripped so names match across machines.
+func parseBenchOutput(out string) map[string]Bench {
+	res := make(map[string]Bench)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		var b Bench
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				seen = true
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if seen {
+			res[name] = b
+		}
+	}
+	return res
+}
+
+func load(path string) (*Trajectory, error) {
+	t := new(Trajectory)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return t, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+func save(path string, t *Trajectory) error {
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

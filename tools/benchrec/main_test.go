@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareGate is the negative test of the CI regression gate: a
+// measurement more than 10% slower — or allocating at all on a zero-alloc
+// baseline — must fail the comparison, and anything within tolerance (or
+// un-gated) must pass.
+func TestCompareGate(t *testing.T) {
+	baseline := map[string]Bench{
+		"BenchmarkVnetChunkDelivery":   {NsPerOp: 100, AllocsPerOp: 0, Gated: true},
+		"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0, Gated: true},
+		"BenchmarkMegacrowd10k":        {NsPerOp: 9e9, AllocsPerOp: 5e7, Gated: false},
+	}
+
+	cases := []struct {
+		name     string
+		measured map[string]Bench
+		wantFail []string // substrings that must appear in the regressions
+	}{
+		{
+			name: "within tolerance passes",
+			measured: map[string]Bench{
+				"BenchmarkVnetChunkDelivery":   {NsPerOp: 109, AllocsPerOp: 0},
+				"BenchmarkVnetConcurrentHosts": {NsPerOp: 219, AllocsPerOp: 0},
+				"BenchmarkMegacrowd10k":        {NsPerOp: 9.5e9, AllocsPerOp: 6e7},
+			},
+		},
+		{
+			name: "ns/op regression fails",
+			measured: map[string]Bench{
+				"BenchmarkVnetChunkDelivery":   {NsPerOp: 120, AllocsPerOp: 0},
+				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
+			},
+			wantFail: []string{"BenchmarkVnetChunkDelivery", "ns/op"},
+		},
+		{
+			name: "any alloc on a zero-alloc baseline fails",
+			measured: map[string]Bench{
+				"BenchmarkVnetChunkDelivery":   {NsPerOp: 100, AllocsPerOp: 1},
+				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
+			},
+			wantFail: []string{"BenchmarkVnetChunkDelivery", "allocs/op"},
+		},
+		{
+			name: "missing gated benchmark fails",
+			measured: map[string]Bench{
+				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
+			},
+			wantFail: []string{"BenchmarkVnetChunkDelivery", "missing"},
+		},
+		{
+			name: "un-gated macro benchmark may regress freely",
+			measured: map[string]Bench{
+				"BenchmarkVnetChunkDelivery":   {NsPerOp: 100, AllocsPerOp: 0},
+				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
+				"BenchmarkMegacrowd10k":        {NsPerOp: 9e12, AllocsPerOp: 5e9},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(baseline, tc.measured, 0.10)
+			if len(tc.wantFail) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("compare flagged %v, want pass", got)
+				}
+				return
+			}
+			if len(got) == 0 {
+				t.Fatal("compare passed, want regression failure")
+			}
+			joined := strings.Join(got, "\n")
+			for _, want := range tc.wantFail {
+				if !strings.Contains(joined, want) {
+					t.Errorf("regressions %q missing %q", joined, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseBenchOutput covers the `go test -bench -benchmem` line format,
+// -cpu suffixes included.
+func TestParseBenchOutput(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkVnetChunkDelivery-8   	 9126298	       105.6 ns/op	2421.92 MB/s	       0 B/op	       0 allocs/op
+BenchmarkVnetConcurrentHosts-8 	 6500000	       180.5 ns/op	1417.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkMegacrowd10k-8        	       1	9034000000 ns/op	52000000 B/op	  400000 allocs/op
+PASS
+ok  	p2pstream	12.3s
+`
+	res := parseBenchOutput(out)
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(res), res)
+	}
+	cd := res["BenchmarkVnetChunkDelivery"]
+	if cd.NsPerOp != 105.6 || cd.AllocsPerOp != 0 {
+		t.Errorf("chunk delivery = %+v, want 105.6 ns/op, 0 allocs/op", cd)
+	}
+	mc := res["BenchmarkMegacrowd10k"]
+	if mc.NsPerOp != 9.034e9 || mc.AllocsPerOp != 400000 {
+		t.Errorf("megacrowd = %+v", mc)
+	}
+}
