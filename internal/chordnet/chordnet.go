@@ -126,6 +126,11 @@ type Peer struct {
 	hopCount    atomic.Int64
 	roundCount  atomic.Int64
 
+	// cache pools outbound RPC connections per neighbor: stabilization
+	// pings the same successor every tick, and a dial per ping dwarfed the
+	// exchange itself at population scale.
+	cache *transport.ConnCache
+
 	mu     sync.Mutex
 	rng    *rand.Rand
 	self   transport.ChordContact
@@ -175,6 +180,7 @@ func New(cfg Config) (*Peer, error) {
 		self:  transport.ChordContact{Name: cfg.ID, Class: cfg.Class},
 		conns: make(map[net.Conn]struct{}),
 	}
+	p.cache = transport.NewConnCache(p.net)
 	p.onWriteErr = func(kind transport.Kind, err error) {
 		observe.Emit(p.cfg.Observer, observe.Event{
 			Component: p.comp,
@@ -463,6 +469,7 @@ func (p *Peer) Close() error {
 	if t != nil {
 		t.Stop()
 	}
+	p.cache.Close()
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -822,65 +829,71 @@ func (p *Peer) acceptLoop(l net.Listener) {
 	netx.ServeConns(l, &p.mu, &p.closed, p.conns, &p.wg, p.handleConn)
 }
 
-// handleConn answers one ring RPC. Non-members refuse, so neighbors treat
-// a departed peer as gone and heal around it.
+// handleConn answers ring RPC exchanges on one connection until the caller
+// hangs up or stalls past the per-exchange deadline. Non-members refuse —
+// with an error frame over the still-synchronized stream, so a neighbor's
+// pooled connection survives the refusal and they treat the departed peer
+// as gone and heal around it. Malformed frames close the connection.
 func (p *Peer) handleConn(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(rpcTimeout)) // no-op on virtual conns
-	env, err := transport.Read(conn)
-	if err != nil {
-		return
-	}
-	p.mu.Lock()
-	joined := p.joined
-	p.mu.Unlock()
-	if !joined {
-		p.reply(conn, transport.KindError,
-			transport.Error{Message: fmt.Sprintf("chordnet %s: not a ring member", p.cfg.ID)})
-		return
-	}
-	switch env.Kind {
-	case transport.KindChordFingerQuery:
-		var req transport.ChordFingerQuery
-		if err := env.Decode(&req); err != nil {
-			return
-		}
-		done, next := p.step(req.Key)
-		p.reply(conn, transport.KindChordFingerOK, transport.ChordFingerReply{Done: done, Next: next})
-	case transport.KindChordLookup:
-		var req transport.ChordLookup
-		if err := env.Decode(&req); err != nil {
-			return
-		}
-		owner, hops, err := p.findOwner(context.Background(), req.Key)
+	for {
+		conn.SetDeadline(time.Now().Add(rpcTimeout)) // no-op on virtual conns
+		env, err := transport.Read(conn)
 		if err != nil {
-			p.reply(conn, transport.KindError, transport.Error{Message: err.Error()})
 			return
 		}
-		p.reply(conn, transport.KindChordLookupOK, transport.ChordLookupReply{Owner: owner, Hops: hops})
-	case transport.KindChordJoin:
-		var req transport.ChordJoin
-		if err := env.Decode(&req); err != nil {
+		p.mu.Lock()
+		joined := p.joined
+		p.mu.Unlock()
+		if !joined {
+			p.reply(conn, transport.KindError,
+				transport.Error{Message: fmt.Sprintf("chordnet %s: not a ring member", p.cfg.ID)})
+			continue
+		}
+		switch env.Kind {
+		case transport.KindChordFingerQuery:
+			var req transport.ChordFingerQuery
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			done, next := p.step(req.Key)
+			p.reply(conn, transport.KindChordFingerOK, transport.ChordFingerReply{Done: done, Next: next})
+		case transport.KindChordLookup:
+			var req transport.ChordLookup
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			owner, hops, err := p.findOwner(context.Background(), req.Key)
+			if err != nil {
+				p.reply(conn, transport.KindError, transport.Error{Message: err.Error()})
+				continue
+			}
+			p.reply(conn, transport.KindChordLookupOK, transport.ChordLookupReply{Owner: owner, Hops: hops})
+		case transport.KindChordJoin:
+			var req transport.ChordJoin
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			rep := p.adopt(req.Peer)
+			p.reply(conn, transport.KindChordJoinOK,
+				transport.ChordJoinReply{Predecessor: rep.Predecessor, Successors: rep.Successors})
+		case transport.KindChordNotify:
+			var req transport.ChordNotify
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			p.reply(conn, transport.KindChordNotifyOK, p.adopt(req.Peer))
+		case transport.KindChordLeave:
+			var req transport.ChordLeave
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			p.spliceLeave(req)
+			p.reply(conn, transport.KindChordLeaveOK, transport.ChordLeaveReply{})
+		default:
+			p.reply(conn, transport.KindError,
+				transport.Error{Message: fmt.Sprintf("chordnet %s: unexpected %s", p.cfg.ID, env.Kind)})
 			return
 		}
-		rep := p.adopt(req.Peer)
-		p.reply(conn, transport.KindChordJoinOK,
-			transport.ChordJoinReply{Predecessor: rep.Predecessor, Successors: rep.Successors})
-	case transport.KindChordNotify:
-		var req transport.ChordNotify
-		if err := env.Decode(&req); err != nil {
-			return
-		}
-		p.reply(conn, transport.KindChordNotifyOK, p.adopt(req.Peer))
-	case transport.KindChordLeave:
-		var req transport.ChordLeave
-		if err := env.Decode(&req); err != nil {
-			return
-		}
-		p.spliceLeave(req)
-		p.reply(conn, transport.KindChordLeaveOK, transport.ChordLeaveReply{})
-	default:
-		p.reply(conn, transport.KindError,
-			transport.Error{Message: fmt.Sprintf("chordnet %s: unexpected %s", p.cfg.ID, env.Kind)})
 	}
 }
 
@@ -986,7 +999,7 @@ func (p *Peer) call(ctx context.Context, addr string, kind transport.Kind, req a
 	}
 	rctx, cancel := clock.ContextWithTimeout(ctx, clock.System(), rpcTimeout)
 	defer cancel()
-	err := transport.Call(rctx, p.net, addr, kind, req, want, out)
+	err := p.cache.Call(rctx, addr, kind, req, want, out)
 	// The per-RPC cap is an internal liveness bound, not the caller's
 	// cancellation: report the caller's own error only when it fired.
 	if err != nil {

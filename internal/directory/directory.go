@@ -1,8 +1,10 @@
 // Package directory implements the Napster-style centralized lookup service
 // of the live overlay (paper Section 4.2, footnote 4): supplying peers
 // register their address and bandwidth class; requesting peers obtain M
-// randomly selected candidates. One request/response exchange per
-// connection keeps the server trivially robust to misbehaving peers.
+// randomly selected candidates. Connections are persistent: a client keeps
+// one connection per server and runs every exchange over it (reconnecting
+// transparently), and the server answers exchanges until the client hangs
+// up or stalls past the per-exchange deadline.
 package directory
 
 import (
@@ -171,47 +173,53 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// handle serves one request/response exchange. The whole exchange runs
-// under one deadline: a client that connects and never writes (or never
-// reads its reply) is cut off instead of pinning this goroutine — and
-// with it Close's shutdown — forever.
+// handle serves request/response exchanges on one connection until the
+// client hangs up. Each exchange runs under a fresh deadline: a client
+// that stalls mid-exchange (or idles past the timeout between exchanges)
+// is cut off instead of pinning this goroutine — and with it Close's
+// shutdown — forever; its cache redials transparently on the next call.
+// Malformed frames close the connection; application-level refusals
+// (duplicate registration) answer an error frame and keep serving.
 func (s *Server) handle(conn net.Conn) {
-	if s.Timeout > 0 {
-		conn.SetDeadline(time.Now().Add(s.Timeout)) // no-op on virtual conns
-	}
-	env, err := transport.Read(conn)
-	if err != nil {
-		return // hangup or garbage; nothing to answer
-	}
-	switch env.Kind {
-	case transport.KindRegister:
-		var req transport.Register
-		if err := env.Decode(&req); err != nil {
-			s.replyError(conn, err)
+	for {
+		if s.Timeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.Timeout)) // no-op on virtual conns
+		}
+		env, err := transport.Read(conn)
+		if err != nil {
+			return // hangup, idle timeout, or garbage framing
+		}
+		switch env.Kind {
+		case transport.KindRegister:
+			var req transport.Register
+			if err := env.Decode(&req); err != nil {
+				s.replyError(conn, err)
+				return
+			}
+			if err := s.register(req); err != nil {
+				s.replyError(conn, err)
+				continue
+			}
+			s.reply(conn, transport.KindRegisterOK, struct{}{})
+		case transport.KindUnregister:
+			var req transport.Unregister
+			if err := env.Decode(&req); err != nil {
+				s.replyError(conn, err)
+				return
+			}
+			s.unregister(req.ID)
+			s.reply(conn, transport.KindUnregisterOK, struct{}{})
+		case transport.KindLookup:
+			var req transport.Lookup
+			if err := env.Decode(&req); err != nil {
+				s.replyError(conn, err)
+				return
+			}
+			s.reply(conn, transport.KindCandidates, s.lookup(req))
+		default:
+			s.replyError(conn, fmt.Errorf("directory: unexpected %s", env.Kind))
 			return
 		}
-		if err := s.register(req); err != nil {
-			s.replyError(conn, err)
-			return
-		}
-		s.reply(conn, transport.KindRegisterOK, struct{}{})
-	case transport.KindUnregister:
-		var req transport.Unregister
-		if err := env.Decode(&req); err != nil {
-			s.replyError(conn, err)
-			return
-		}
-		s.unregister(req.ID)
-		s.reply(conn, transport.KindUnregisterOK, struct{}{})
-	case transport.KindLookup:
-		var req transport.Lookup
-		if err := env.Decode(&req); err != nil {
-			s.replyError(conn, err)
-			return
-		}
-		s.reply(conn, transport.KindCandidates, s.lookup(req))
-	default:
-		s.replyError(conn, fmt.Errorf("directory: unexpected %s", env.Kind))
 	}
 }
 
@@ -282,11 +290,13 @@ func (s *Server) lookup(req transport.Lookup) transport.Candidates {
 	return out
 }
 
-// Client calls a directory server. The zero value is unusable; use
-// NewClient or NewClientOn.
+// Client calls a directory server over one persistent connection,
+// reconnecting transparently when the server idles it out. The zero value
+// is unusable; use NewClient or NewClientOn.
 type Client struct {
-	net  netx.Network
-	addr string
+	net   netx.Network
+	addr  string
+	cache *transport.ConnCache
 }
 
 // NewClient returns a client for the directory at addr, dialing over TCP.
@@ -295,7 +305,8 @@ func NewClient(addr string) *Client { return NewClientOn(nil, addr) }
 // NewClientOn returns a client that dials the directory at addr over the
 // given network (nil means real TCP).
 func NewClientOn(network netx.Network, addr string) *Client {
-	return &Client{net: netx.Or(network), addr: addr}
+	nw := netx.Or(network)
+	return &Client{net: nw, addr: addr, cache: transport.NewConnCache(nw)}
 }
 
 // Register announces a supplying peer. ctx bounds the exchange.
@@ -318,9 +329,8 @@ func (c *Client) Candidates(ctx context.Context, m int, exclude string) ([]trans
 	return reply.Peers, nil
 }
 
-// Close releases nothing: the client is connectionless (one dial per
-// call). It exists so *Client satisfies node.Discovery.
-func (c *Client) Close() error { return nil }
+// Close drops the client's persistent connection. Further calls fail.
+func (c *Client) Close() error { return c.cache.Close() }
 
 // Lookup fetches up to m random candidates, excluding the given peer ID.
 // The reply carries the answering registry's total size (Len), which the
@@ -335,7 +345,7 @@ func (c *Client) Lookup(ctx context.Context, m int, exclude string) (transport.C
 }
 
 func (c *Client) call(ctx context.Context, kind transport.Kind, req any, wantKind transport.Kind, resp any) error {
-	if err := transport.Call(ctx, c.net, c.addr, kind, req, wantKind, resp); err != nil {
+	if err := c.cache.Call(ctx, c.addr, kind, req, wantKind, resp); err != nil {
 		return fmt.Errorf("directory: calling %s: %w", c.addr, err)
 	}
 	return nil

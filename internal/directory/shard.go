@@ -376,7 +376,8 @@ func (c *ShardedClient) Candidates(ctx context.Context, m int, exclude string) (
 }
 
 // Close stops the lease timer and releases the client. In-flight refresh
-// sends are waited out; the per-shard clients are connectionless.
+// sends are waited out, then every shard's persistent connection is
+// dropped.
 func (c *ShardedClient) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -391,6 +392,9 @@ func (c *ShardedClient) Close() error {
 		t.Stop()
 	}
 	c.wg.Wait()
+	for _, sc := range c.shards {
+		sc.Close()
+	}
 	return nil
 }
 

@@ -1,0 +1,129 @@
+package media
+
+import "fmt"
+
+// Quality is a bitrate-class index for one segment's encoding: 0 is full
+// quality, and each step halves the nominal byte size — the paper's dyadic
+// R0/2^c offer ladder applied to the media itself, so a congested session
+// can downgrade one class and keep playing instead of stalling.
+type Quality int
+
+// MaxQuality bounds the downgrade ladder. Below R0/2^4 the rendition is no
+// longer watchable; sessions stall rather than degrade further.
+const MaxQuality Quality = 4
+
+// Valid reports whether q is on the ladder.
+func (q Quality) Valid() bool { return q >= 0 && q <= MaxQuality }
+
+// SizeAt returns the nominal byte size of one segment encoded at quality q:
+// the full segment size halved once per class.
+func (f *File) SizeAt(q Quality) int {
+	n := f.SegmentBytes >> uint(q)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Codec produces the rendition of a segment at a given quality class. Both
+// ends of a transfer regenerate content deterministically (nothing ships a
+// real media file), so a codec is a pure function of (file, id, quality)
+// and the receiver can verify delivery byte-exactly at any class.
+type Codec interface {
+	// Name identifies the codec in reports.
+	Name() string
+	// EncodeAt returns segment id encoded at quality q.
+	EncodeAt(f *File, id SegmentID, q Quality) Segment
+}
+
+// PerfectCodec is an idealized scalable codec: the rendition at quality q
+// is exactly the nominal dyadic size, produced by striding the canonical
+// full-quality content. Every class of every segment is reproducible from
+// (file, id, q) alone.
+type PerfectCodec struct{}
+
+// Name implements Codec.
+func (PerfectCodec) Name() string { return "perfect" }
+
+// EncodeAt implements Codec: it keeps every 2^q-th byte of the canonical
+// content, so a downgraded rendition is a strict subsample of the full one.
+func (PerfectCodec) EncodeAt(f *File, id SegmentID, q Quality) Segment {
+	full := canonicalContent(f, id)
+	if q <= 0 {
+		return Segment{ID: id, Data: full}
+	}
+	stride := 1 << uint(q)
+	out := make([]byte, 0, f.SizeAt(q))
+	for i := 0; i < len(full) && len(out) < cap(out); i += stride {
+		out = append(out, full[i])
+	}
+	return Segment{ID: id, Quality: q, Data: out}
+}
+
+// StatisticalCodec models a variable-bitrate encoder: segment sizes jitter
+// deterministically around the nominal dyadic size (up to ±25%), the way a
+// real encoder spends bits unevenly across a scene. Content remains a pure
+// function of (seed, id, q), so transfers still verify byte-exactly.
+type StatisticalCodec struct {
+	// Seed fixes the size jitter and content stream; two suppliers with
+	// the same seed hold identical renditions.
+	Seed int64
+}
+
+// Name implements Codec.
+func (c StatisticalCodec) Name() string { return "statistical" }
+
+// EncodeAt implements Codec.
+func (c StatisticalCodec) EncodeAt(f *File, id SegmentID, q Quality) Segment {
+	nominal := f.SizeAt(q)
+	h := splitmix(uint64(c.Seed) ^ uint64(id)*0x9e3779b97f4a7c15 ^ uint64(q)<<56)
+	// Jitter in [-25%, +25%] of nominal, but never past the full segment
+	// size and never empty.
+	jitter := int(h%uint64(nominal/2+1)) - nominal/4
+	n := nominal + jitter
+	if n > f.SegmentBytes {
+		n = f.SegmentBytes
+	}
+	if n < 1 {
+		n = 1
+	}
+	data := make([]byte, n)
+	x := h
+	for i := range data {
+		x = splitmix(x)
+		data[i] = byte(x)
+	}
+	return Segment{ID: id, Quality: q, Data: data}
+}
+
+// splitmix is the SplitMix64 mixing step — a tiny, allocation-free PRNG
+// good enough for synthetic media bytes.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SegmentContentAt generates the canonical rendition of a segment at
+// quality q using the default (perfect) codec. SegmentContent is the
+// full-quality special case.
+func SegmentContentAt(f *File, id SegmentID, q Quality) Segment {
+	return PerfectCodec{}.EncodeAt(f, id, q)
+}
+
+// VerifyAt checks that a received segment matches the codec's rendition at
+// the segment's declared quality.
+func VerifyAt(c Codec, f *File, seg Segment) error {
+	want := c.EncodeAt(f, seg.ID, seg.Quality)
+	if len(want.Data) != len(seg.Data) {
+		return fmt.Errorf("media: segment %d q%d has %d bytes, want %d",
+			seg.ID, seg.Quality, len(seg.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if seg.Data[i] != want.Data[i] {
+			return fmt.Errorf("media: segment %d q%d differs at byte %d", seg.ID, seg.Quality, i)
+		}
+	}
+	return nil
+}

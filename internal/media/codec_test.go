@@ -1,0 +1,161 @@
+package media
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func codecFile() *File {
+	return &File{Name: "vbr", Segments: 16, SegmentBytes: 4096, SegmentTime: time.Second}
+}
+
+func TestSizeAtHalvesPerClass(t *testing.T) {
+	f := codecFile()
+	want := f.SegmentBytes
+	for q := Quality(0); q <= MaxQuality; q++ {
+		if got := f.SizeAt(q); got != want {
+			t.Fatalf("SizeAt(%d) = %d, want %d", q, got, want)
+		}
+		want /= 2
+	}
+	tiny := &File{Name: "t", Segments: 1, SegmentBytes: 2, SegmentTime: time.Second}
+	if got := tiny.SizeAt(MaxQuality); got != 1 {
+		t.Fatalf("SizeAt on tiny segment = %d, want floor of 1", got)
+	}
+}
+
+func TestPerfectCodecDeterministicAndDyadic(t *testing.T) {
+	f := codecFile()
+	var c PerfectCodec
+	for q := Quality(0); q <= MaxQuality; q++ {
+		a := c.EncodeAt(f, 3, q)
+		b := c.EncodeAt(f, 3, q)
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("q%d: two encodes differ", q)
+		}
+		if len(a.Data) != f.SizeAt(q) {
+			t.Fatalf("q%d: size %d, want exactly %d", q, len(a.Data), f.SizeAt(q))
+		}
+		if a.Quality != q {
+			t.Fatalf("q%d: segment tagged q%d", q, a.Quality)
+		}
+	}
+	// Full quality matches the canonical content exactly.
+	if !bytes.Equal(c.EncodeAt(f, 5, 0).Data, SegmentContent(f, 5).Data) {
+		t.Fatal("q0 encode differs from canonical content")
+	}
+	// A downgraded rendition is a strict subsample of the full one.
+	full := c.EncodeAt(f, 7, 0).Data
+	down := c.EncodeAt(f, 7, 2).Data
+	for i, b := range down {
+		if b != full[i*4] {
+			t.Fatalf("q2 byte %d = %d, want full[%d] = %d", i, b, i*4, full[i*4])
+		}
+	}
+}
+
+func TestStatisticalCodecJittersWithinBounds(t *testing.T) {
+	f := codecFile()
+	c := StatisticalCodec{Seed: 11}
+	varied := false
+	for id := SegmentID(0); id < SegmentID(f.Segments); id++ {
+		for q := Quality(0); q <= MaxQuality; q++ {
+			seg := c.EncodeAt(f, id, q)
+			nominal := f.SizeAt(q)
+			lo, hi := nominal-nominal/4, nominal+nominal/4
+			if hi > f.SegmentBytes {
+				hi = f.SegmentBytes
+			}
+			if lo < 1 {
+				lo = 1
+			}
+			if len(seg.Data) < lo || len(seg.Data) > hi {
+				t.Fatalf("seg %d q%d: %d bytes, want within [%d,%d]", id, q, len(seg.Data), lo, hi)
+			}
+			if len(seg.Data) != nominal {
+				varied = true
+			}
+			again := c.EncodeAt(f, id, q)
+			if !bytes.Equal(seg.Data, again.Data) {
+				t.Fatalf("seg %d q%d: two encodes differ", id, q)
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("statistical codec never deviated from the nominal size")
+	}
+	// Different seeds are different media.
+	other := StatisticalCodec{Seed: 12}
+	if bytes.Equal(c.EncodeAt(f, 0, 0).Data, other.EncodeAt(f, 0, 0).Data) {
+		t.Fatal("two seeds produced identical content")
+	}
+}
+
+func TestVerifyAt(t *testing.T) {
+	f := codecFile()
+	for _, c := range []Codec{PerfectCodec{}, StatisticalCodec{Seed: 3}} {
+		seg := c.EncodeAt(f, 4, 1)
+		if err := VerifyAt(c, f, seg); err != nil {
+			t.Fatalf("%s: genuine segment rejected: %v", c.Name(), err)
+		}
+		seg.Data = append([]byte(nil), seg.Data...)
+		seg.Data[0] ^= 0xff
+		if err := VerifyAt(c, f, seg); err == nil {
+			t.Fatalf("%s: corrupted segment accepted", c.Name())
+		}
+		short := c.EncodeAt(f, 4, 1)
+		short.Data = short.Data[:len(short.Data)-1]
+		if err := VerifyAt(c, f, short); err == nil {
+			t.Fatalf("%s: truncated segment accepted", c.Name())
+		}
+	}
+}
+
+func TestStoreQualityTracking(t *testing.T) {
+	f := codecFile()
+	s, err := NewStore(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(SegmentContentAt(f, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(SegmentContentAt(f, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if q := s.QualityOf(0); q != 0 {
+		t.Fatalf("QualityOf(0) = %d, want 0", q)
+	}
+	if q := s.QualityOf(1); q != 2 {
+		t.Fatalf("QualityOf(1) = %d, want 2", q)
+	}
+	if q := s.QualityOf(2); q != -1 {
+		t.Fatalf("QualityOf(missing) = %d, want -1", q)
+	}
+	if got := s.Downgraded(); got != 1 {
+		t.Fatalf("Downgraded = %d, want 1", got)
+	}
+	if seg, ok := s.Get(1); !ok || seg.Quality != 2 {
+		t.Fatalf("Get(1) = %+v, %v; want quality 2", seg, ok)
+	}
+
+	// Full quality still demands the exact segment size.
+	if err := s.Put(Segment{ID: 3, Data: make([]byte, 10)}); err == nil {
+		t.Fatal("undersized q0 segment accepted")
+	}
+	// Downgraded renditions have codec-dependent sizes, but never zero and
+	// never beyond the full segment.
+	if err := s.Put(Segment{ID: 3, Quality: 1, Data: make([]byte, 100)}); err != nil {
+		t.Fatalf("valid q1 segment rejected: %v", err)
+	}
+	if err := s.Put(Segment{ID: 4, Quality: 1, Data: nil}); err == nil {
+		t.Fatal("empty q1 segment accepted")
+	}
+	if err := s.Put(Segment{ID: 4, Quality: 1, Data: make([]byte, f.SegmentBytes+1)}); err == nil {
+		t.Fatal("oversized q1 segment accepted")
+	}
+	if err := s.Put(Segment{ID: 4, Quality: MaxQuality + 1, Data: make([]byte, 8)}); err == nil {
+		t.Fatal("off-ladder quality accepted")
+	}
+}

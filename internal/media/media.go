@@ -71,10 +71,12 @@ func StandardFile() *File {
 	}
 }
 
-// Segment is one unit of media data.
+// Segment is one unit of media data, carrying the quality class it was
+// encoded at (0 = full quality; see Quality).
 type Segment struct {
-	ID   SegmentID
-	Data []byte
+	ID      SegmentID
+	Quality Quality
+	Data    []byte
 }
 
 // Store holds the segments of one file that a peer possesses. A requesting
@@ -83,8 +85,11 @@ type Segment struct {
 // NewStore.
 type Store struct {
 	file *File
-	data [][]byte // indexed by SegmentID; nil means missing
+	data [][]byte  // indexed by SegmentID; nil means missing
+	qual []Quality // quality class each stored segment arrived at
 	have int
+	// downgraded counts stored segments whose quality is below full.
+	downgraded int
 }
 
 // NewStore returns an empty store for the given file.
@@ -92,7 +97,7 @@ func NewStore(f *File) (*Store, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{file: f, data: make([][]byte, f.Segments)}, nil
+	return &Store{file: f, data: make([][]byte, f.Segments), qual: make([]Quality, f.Segments)}, nil
 }
 
 // NewSeededStore returns a store pre-filled with deterministic synthetic
@@ -112,34 +117,54 @@ func NewSeededStore(f *File) (*Store, error) {
 	return s, nil
 }
 
-// SegmentContent generates the canonical synthetic content of a segment.
-// Both ends of a transfer can regenerate it, which lets tests verify
-// byte-exact delivery without shipping a real media file.
+// SegmentContent generates the canonical synthetic content of a segment at
+// full quality. Both ends of a transfer can regenerate it, which lets tests
+// verify byte-exact delivery without shipping a real media file.
 func SegmentContent(f *File, id SegmentID) Segment {
+	return Segment{ID: id, Data: canonicalContent(f, id)}
+}
+
+// canonicalContent is the full-quality byte pattern codecs derive their
+// renditions from.
+func canonicalContent(f *File, id SegmentID) []byte {
 	data := make([]byte, f.SegmentBytes)
 	for i := range data {
 		data[i] = byte((int(id)*131 + i*31) % 251)
 	}
-	return Segment{ID: id, Data: data}
+	return data
 }
 
 // File returns the file description the store belongs to.
 func (s *Store) File() *File { return s.file }
 
-// Put stores a segment. It rejects out-of-range IDs and size mismatches;
-// re-putting an existing segment is an error (it indicates a protocol bug:
-// no supplier should send a segment twice).
+// Put stores a segment. It rejects out-of-range IDs; re-putting an
+// existing segment is an error (it indicates a protocol bug: no supplier
+// should send a segment twice). A full-quality segment must match the
+// file's segment size exactly; a downgraded rendition (Quality > 0) only
+// has to fit under it — variable-bitrate codecs make low-class sizes
+// codec-dependent, and per-quality byte verification is VerifyAt's job.
 func (s *Store) Put(seg Segment) error {
 	if seg.ID < 0 || int(seg.ID) >= s.file.Segments {
 		return fmt.Errorf("media: segment %d out of range [0,%d)", seg.ID, s.file.Segments)
 	}
-	if len(seg.Data) != s.file.SegmentBytes {
+	if !seg.Quality.Valid() {
+		return fmt.Errorf("media: segment %d quality %d out of range [0,%d]", seg.ID, seg.Quality, MaxQuality)
+	}
+	if seg.Quality == 0 && len(seg.Data) != s.file.SegmentBytes {
 		return fmt.Errorf("media: segment %d has %d bytes, want %d", seg.ID, len(seg.Data), s.file.SegmentBytes)
+	}
+	if seg.Quality > 0 && (len(seg.Data) == 0 || len(seg.Data) > s.file.SegmentBytes) {
+		return fmt.Errorf("media: segment %d q%d has %d bytes, want 1..%d",
+			seg.ID, seg.Quality, len(seg.Data), s.file.SegmentBytes)
 	}
 	if s.data[seg.ID] != nil {
 		return fmt.Errorf("media: segment %d already stored", seg.ID)
 	}
 	s.data[seg.ID] = seg.Data
+	s.qual[seg.ID] = seg.Quality
+	if seg.Quality > 0 {
+		s.downgraded++
+	}
 	s.have++
 	return nil
 }
@@ -149,8 +174,21 @@ func (s *Store) Get(id SegmentID) (Segment, bool) {
 	if id < 0 || int(id) >= s.file.Segments || s.data[id] == nil {
 		return Segment{}, false
 	}
-	return Segment{ID: id, Data: s.data[id]}, true
+	return Segment{ID: id, Quality: s.qual[id], Data: s.data[id]}, true
 }
+
+// QualityOf returns the quality class a stored segment arrived at, or -1 if
+// the segment is missing.
+func (s *Store) QualityOf(id SegmentID) Quality {
+	if id < 0 || int(id) >= s.file.Segments || s.data[id] == nil {
+		return -1
+	}
+	return s.qual[id]
+}
+
+// Downgraded returns how many stored segments arrived below full quality —
+// the store-level view of a session's ABR activity.
+func (s *Store) Downgraded() int { return s.downgraded }
 
 // Has reports whether the segment is present.
 func (s *Store) Has(id SegmentID) bool {

@@ -1,0 +1,259 @@
+package netx
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+// TestBandwidthSerializationDelay: one chunk over a Bandwidth link arrives
+// after latency + serialization time, not just latency.
+func TestBandwidthSerializationDelay(t *testing.T) {
+	// 1000 bytes at 10 kB/s = 100ms serialization, + 5ms latency.
+	a, b, clk := virtualPair(t, LinkConfig{
+		Latency:   5 * time.Millisecond,
+		Bandwidth: 10_000,
+	})
+	defer a.Close()
+	defer b.Close()
+
+	t0 := clk.Now()
+	if _, err := a.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	d := clk.Since(t0)
+	if d < 105*time.Millisecond {
+		t.Errorf("delivery took %v, want >= 105ms (serialization + latency)", d)
+	}
+	if d > 150*time.Millisecond {
+		t.Errorf("delivery took %v, want ~105ms", d)
+	}
+}
+
+// TestBandwidthSharedBottleneck: two flows into the same destination host
+// share its ingress queue — their chunks serialize one after the other, so
+// the pair takes roughly twice one flow's time.
+func TestBandwidthSharedBottleneck(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 7)
+	v.SetDefaultLink(LinkConfig{Latency: time.Millisecond, Bandwidth: 10_000})
+	l, err := v.Host("sink").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		n   int
+		err error
+	}
+	done := make(chan res, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				done <- res{0, err}
+				return
+			}
+			go func(c net.Conn) {
+				n, err := io.Copy(io.Discard, c)
+				if err == nil || err == io.EOF {
+					done <- res{int(n), nil}
+				} else {
+					done <- res{int(n), err}
+				}
+			}(c)
+		}
+	}()
+	t0 := clk.Now()
+	for _, src := range []string{"a", "b"} {
+		c, err := v.Host(src).Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(c net.Conn) {
+			c.Write(make([]byte, 1000)) // 100ms of serialization each
+			c.Close()
+		}(c)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-done:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.n != 1000 {
+				t.Errorf("flow drained %d bytes, want 1000", r.n)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("flows never drained")
+		}
+	}
+	if d := clk.Since(t0); d < 200*time.Millisecond {
+		t.Errorf("two shared flows drained in %v, want >= 200ms (serialized)", d)
+	}
+}
+
+// TestBandwidthNamedBottleneckGroup: links naming the same Bottleneck group
+// share one queue even when their destination hosts differ.
+func TestBandwidthNamedBottleneckGroup(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 7)
+	core := LinkConfig{Latency: time.Millisecond, Bandwidth: 10_000, Bottleneck: "core"}
+	v.SetLink("a", "x", core)
+	v.SetLink("b", "y", core)
+	drained := make(chan time.Time, 2)
+	for _, dst := range []string{"x", "y"} {
+		l, err := v.Host(dst).Listen(":0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(l net.Listener) {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, c)
+			drained <- clk.Now()
+		}(l)
+		src := "a"
+		if dst == "y" {
+			src = "b"
+		}
+		c, err := v.Host(src).Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(c net.Conn) {
+			c.Write(make([]byte, 1000))
+			c.Close()
+		}(c)
+	}
+	t0 := clk.Now()
+	var last time.Time
+	for i := 0; i < 2; i++ {
+		select {
+		case at := <-drained:
+			if at.After(last) {
+				last = at
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("flows never drained")
+		}
+	}
+	if d := last.Sub(t0); d < 200*time.Millisecond {
+		t.Errorf("grouped flows drained in %v, want >= 200ms (one shared queue)", d)
+	}
+}
+
+// TestBandwidthQueueTailDrop: flooding a bounded queue records drops and
+// the dropped chunks pay a retransmission round rather than vanishing (the
+// stream stays reliable).
+func TestBandwidthQueueTailDrop(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 7)
+	// 10 kB/s with a 500-byte queue: 50ms of standing queue allowed.
+	v.SetDefaultLink(LinkConfig{Latency: time.Millisecond, Bandwidth: 10_000, QueueBytes: 500})
+	l, err := v.Host("sink").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := make(chan int, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n, _ := io.Copy(io.Discard, c)
+		total <- int(n)
+	}()
+	c, err := v.Host("a").Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst 40 chunks x 100 bytes = 4000 bytes = 400ms of serialization
+	// into a 50ms queue: most of the burst must tail-drop.
+	for i := 0; i < 40; i++ {
+		if _, err := c.Write(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	select {
+	case n := <-total:
+		if n != 4000 {
+			t.Errorf("drained %d bytes, want 4000 (reliable stream)", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("burst never drained")
+	}
+	if d := v.QueueDrops(); d == 0 {
+		t.Error("flooding a bounded queue recorded no drops")
+	}
+}
+
+// TestBandwidthZeroUnchanged: Bandwidth-zero links never touch the
+// bottleneck machinery — delivery is latency-only, and no drops or queues
+// appear.
+func TestBandwidthZeroUnchanged(t *testing.T) {
+	a, b, clk := virtualPair(t, LinkConfig{Latency: 2 * time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+	t0 := clk.Now()
+	if _, err := a.Write(make([]byte, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.Since(t0); d > 3*time.Millisecond {
+		t.Errorf("64KB over a Bandwidth=0 link took %v, want ~2ms", d)
+	}
+	if v, ok := a.(*vConn); ok && v.btl != nil {
+		t.Error("Bandwidth=0 conn resolved a bottleneck")
+	}
+}
+
+// TestDialCounter: every dial attempt is counted.
+func TestDialCounter(t *testing.T) {
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	defer stop()
+	v := NewVirtual(clk, 1)
+	l, err := v.Host("b").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c, err := v.Host("a").Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	v.Host("a").Dial("nobody:9") // refused attempts count too
+	if got := v.Dials(); got != 4 {
+		t.Errorf("Dials() = %d, want 4", got)
+	}
+}

@@ -28,6 +28,7 @@ type vConn struct {
 	rng       linkRNG
 	linkEpoch uint64
 	link      LinkConfig
+	btl       *bottleneck // resolved with link; non-nil iff Bandwidth > 0
 
 	closed     atomic.Bool
 	peerClosed atomic.Bool // peer ended the connection: writes fail like EPIPE
@@ -94,8 +95,21 @@ func (c *vConn) schedule(data []byte, eof bool) {
 	if e := c.v.epoch.Load(); e != c.linkEpoch {
 		c.link = c.v.linkFor(c.local.host, c.remote.host)
 		c.linkEpoch = e
+		c.btl = nil
+		if c.link.Bandwidth > 0 {
+			c.btl = c.v.bottleneckFor(c.link.Bottleneck, c.remote.host)
+		}
 	}
 	at := now
+	if c.btl != nil && len(data) > 0 {
+		// Serialization through the shared bottleneck: queue wait behind
+		// earlier chunks, transmission time, tail-drop retransmission.
+		d, dropped := c.btl.delay(&c.link, len(data), now)
+		at = at.Add(d)
+		if dropped {
+			c.v.queueDrops.Add(1)
+		}
+	}
 	if d := sampleDelay(c.link, &c.rng); d > 0 {
 		at = at.Add(d)
 	}

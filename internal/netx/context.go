@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"sync"
+	"time"
 )
 
 // DialContext dials addr on nw, honoring ctx: a cancelled or expired
@@ -50,6 +51,10 @@ func DialContext(ctx context.Context, nw Network, addr string) (net.Conn, error)
 func Guard(ctx context.Context, conn net.Conn) (release func()) {
 	if d, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(d)
+	} else {
+		// A persistent connection may carry a deadline from an earlier
+		// exchange; this exchange has none, so clear it.
+		conn.SetDeadline(time.Time{})
 	}
 	if ctx.Done() == nil {
 		return func() {}

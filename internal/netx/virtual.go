@@ -34,7 +34,30 @@ type LinkConfig struct {
 	// connections untouched — the building block for network partitions
 	// (heal by re-configuring the link with Blocked unset).
 	Blocked bool
+	// Bandwidth, when positive, models the link's bottleneck capacity in
+	// bytes per second: every chunk pays a serialization delay and queues
+	// behind earlier chunks sharing the same bottleneck. Zero keeps the
+	// link purely latency-modeled (no bandwidth accounting at all).
+	Bandwidth int64
+	// QueueBytes bounds the bottleneck queue. A chunk arriving when the
+	// backlog already exceeds this many bytes is tail-dropped: the stream
+	// stays reliable (the TCP model), so the drop surfaces as one
+	// retransmission round of extra delay and a QueueDrops count, never as
+	// corruption. Zero means a default queue of defaultQueueDelay worth of
+	// bytes at the link bandwidth.
+	QueueBytes int
+	// Bottleneck names the shared resource this link's traffic serializes
+	// through. Links with the same non-empty name share one queue (the
+	// dumbbell topologies of RFC 8867); an empty name shares the
+	// destination host's ingress — a requester's n suppliers naturally
+	// contend for its access link.
+	Bottleneck string
 }
+
+// defaultQueueDelay is the bottleneck queue bound when QueueBytes is zero:
+// the deepest standing queue a chunk may join, expressed as waiting time at
+// the link bandwidth (a "250ms buffer", the classic access-link default).
+const defaultQueueDelay = 250 * time.Millisecond
 
 // waker is the optional clock interface the virtual network uses to gate
 // auto-advancing while a delivery it just made is still being consumed.
@@ -81,8 +104,83 @@ type Virtual struct {
 	nextPort atomic.Int64
 	def      atomic.Pointer[LinkConfig]
 
+	// dials counts every Dial attempt; queueDrops counts bottleneck
+	// tail-drops. Both are observability counters for scenarios.
+	dials      atomic.Int64
+	queueDrops atomic.Int64
+
+	// btlMu guards the bottleneck registry. Conns cache their resolved
+	// *bottleneck behind the link epoch, so the steady-state send path
+	// never takes this lock.
+	btlMu sync.Mutex
+	btls  map[string]*bottleneck
+
 	shards [shardCount]shard
 }
+
+// bottleneck is one shared transmission resource: a serialization horizon
+// (busyUntil) advanced by every chunk that passes through it. The zero
+// value is ready to use.
+type bottleneck struct {
+	mu        sync.Mutex
+	busyUntil time.Time
+}
+
+// bottleneckFor returns (creating on first use) the shared queue for a
+// link: the named group when set, else the destination host's ingress.
+func (v *Virtual) bottleneckFor(group, dstHost string) *bottleneck {
+	key := "h:" + dstHost
+	if group != "" {
+		key = "g:" + group
+	}
+	v.btlMu.Lock()
+	b := v.btls[key]
+	if b == nil {
+		b = new(bottleneck)
+		v.btls[key] = b
+	}
+	v.btlMu.Unlock()
+	return b
+}
+
+// delay charges one chunk of n bytes through the bottleneck at the given
+// instant and returns its total bottleneck delay (queue wait +
+// serialization, plus a retransmission round when tail-dropped) and whether
+// it was dropped.
+func (b *bottleneck) delay(link *LinkConfig, n int, now time.Time) (time.Duration, bool) {
+	ser := time.Duration(int64(n) * int64(time.Second) / link.Bandwidth)
+	limit := defaultQueueDelay
+	if link.QueueBytes > 0 {
+		limit = time.Duration(int64(link.QueueBytes) * int64(time.Second) / link.Bandwidth)
+	}
+	b.mu.Lock()
+	start := now
+	if b.busyUntil.After(start) {
+		start = b.busyUntil
+	}
+	dropped := false
+	if start.Sub(now) > limit {
+		// Tail-drop: the reliable stream retransmits after one RTO, and
+		// the retransmission re-queues behind the backlog it found.
+		dropped = true
+		rto := 2 * link.Latency
+		if rto <= 0 {
+			rto = time.Millisecond
+		}
+		start = start.Add(rto)
+	}
+	end := start.Add(ser)
+	b.busyUntil = end
+	b.mu.Unlock()
+	return end.Sub(now), dropped
+}
+
+// Dials reports the total number of Dial attempts made on this network —
+// the cost a persistent-connection client is meant to collapse.
+func (v *Virtual) Dials() int64 { return v.dials.Load() }
+
+// QueueDrops reports the total number of bottleneck tail-drops.
+func (v *Virtual) QueueDrops() int64 { return v.queueDrops.Load() }
 
 // NewVirtual returns an empty virtual network whose delays run on clk. The
 // seed fixes jitter and drop randomness.
@@ -93,6 +191,7 @@ func NewVirtual(clk clock.Clock, seed int64) *Virtual {
 	}
 	v.epoch.Store(1)
 	v.def.Store(new(LinkConfig))
+	v.btls = make(map[string]*bottleneck)
 	for i := range v.shards {
 		s := &v.shards[i]
 		s.rng = seedRNG(seed, uint64(i)+1)
@@ -251,6 +350,7 @@ func (h *host) Listen(addr string) (net.Listener, error) {
 // probability and delaying the accept by the link latency.
 func (h *host) Dial(addr string) (net.Conn, error) {
 	v := h.v
+	v.dials.Add(1)
 	dstHost := addr
 	if i := strings.LastIndex(addr, ":"); i >= 0 {
 		dstHost = addr[:i]

@@ -76,6 +76,30 @@ type Config struct {
 	ListenAddr string
 	// Seed drives the node's admission randomness.
 	Seed int64
+	// NoAdapt disables the congestion-aware data plane. By default a
+	// supplying session paces its segment bytes to a send-side bandwidth
+	// estimate fed by the requester's acknowledgments, and steps down the
+	// bitrate-class ladder when the estimate sustains below the committed
+	// R0/2^c offer; with NoAdapt it blasts each segment as a single burst
+	// on the fixed protocol schedule and the requesting side sends no
+	// acknowledgments (the legacy data plane, kept for control runs).
+	NoAdapt bool
+	// Priority biases the ABR downgrade decision for sessions this node
+	// requests: each step doubles how long the supplier lets the estimate
+	// sustain below the committed offer before downgrading, so under
+	// shared congestion a high-priority flow holds full quality while
+	// best-effort flows step down first. 0 is best effort.
+	Priority int
+	// Codec produces downgraded segment renditions when the data plane
+	// adapts; nil means media.PerfectCodec.
+	Codec media.Codec
+	// ExtraBuffer is additional client-side startup buffering: playback
+	// continuity is verified at Theorem 1's n·δt plus one segment-time of
+	// scheduling jitter plus this. Zero keeps the bare theoretical bound;
+	// sessions expecting congestion set a few segment-times so an ABR
+	// transient (the queue built before the ladder steps down) is absorbed
+	// by buffer instead of counted as a stall.
+	ExtraBuffer time.Duration
 	// Clock schedules every sleep, pacing deadline and idle timeout; nil
 	// means the real wall clock.
 	Clock clock.Clock
@@ -414,9 +438,9 @@ func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
 }
 
 // handleStart runs the supplier side of a streaming session: it claims the
-// busy state, then transmits its assigned segments paced at its class rate
-// (one segment every 2^class segment-times), and finally applies the
-// post-session vector update.
+// busy state, then transmits its assigned segments on the class schedule —
+// paced and bitrate-adapted by default, as fixed-rate bursts under NoAdapt
+// — and finally applies the post-session vector update.
 func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 	sup := n.supplier()
 	if sup == nil {
@@ -436,6 +460,16 @@ func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 	if err := n.reply(conn, transport.KindStartReply, transport.StartReply{OK: true}); err != nil {
 		return
 	}
+	if n.cfg.NoAdapt {
+		n.streamFixed(conn, req)
+		return
+	}
+	n.streamAdaptive(conn, req)
+}
+
+// streamFixed is the legacy data plane: each assigned segment goes out as
+// one full-quality burst at its protocol deadline, with no feedback.
+func (n *Node) streamFixed(conn net.Conn, req transport.Start) {
 	start := n.clk.Now()
 	sent := 0
 	for i, segID := range req.Segments {

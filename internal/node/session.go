@@ -46,6 +46,12 @@ type SessionReport struct {
 	// Rejections counts failed attempts before this session (set by
 	// RequestUntilAdmitted).
 	Rejections int
+	// Downgraded counts segments that arrived below full quality — the
+	// suppliers' ABR ladder stepping down under congestion.
+	Downgraded int
+	// MaxQuality is the deepest bitrate class any segment arrived at
+	// (0 = the whole file arrived at full quality).
+	MaxQuality media.Quality
 }
 
 // Request performs one admission attempt (paper Section 4.2): look up M
@@ -246,6 +252,7 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 			RequesterID: n.cfg.ID,
 			FileName:    n.cfg.File.Name,
 			Segments:    segs,
+			Priority:    n.cfg.Priority,
 		}); err != nil {
 			return nil, transport.CtxErr(ctx, err)
 		}
@@ -267,6 +274,8 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 	var (
 		arrivalsMu sync.Mutex
 		bytes      int64
+		downgraded int
+		maxQuality media.Quality
 		wg         sync.WaitGroup
 		errsMu     sync.Mutex
 		rcvErrs    []error
@@ -303,7 +312,11 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 						// Idempotent under retries: a session after a failed
 						// one re-receives segments the partial store already
 						// holds (content is deterministic per segment ID).
-						err = n.store.Put(media.Segment{ID: media.SegmentID(seg.ID), Data: seg.Data})
+						err = n.store.Put(media.Segment{
+							ID:      media.SegmentID(seg.ID),
+							Quality: media.Quality(seg.Quality),
+							Data:    seg.Data,
+						})
 					}
 					storeMu.Unlock()
 					if err != nil {
@@ -315,8 +328,20 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 					arrivalsMu.Lock()
 					arrivals[seg.ID] = at
 					bytes += int64(len(seg.Data))
+					if q := media.Quality(seg.Quality); q > 0 {
+						downgraded++
+						if q > maxQuality {
+							maxQuality = q
+						}
+					}
 					arrivalsMu.Unlock()
 					received++
+					if !n.cfg.NoAdapt {
+						// Feedback for the supplier's bandwidth estimator;
+						// best effort — a lost ack only slows adaptation.
+						_ = transport.Write(conn, transport.KindAck,
+							transport.Ack{Seq: seg.ID, Bytes: len(seg.Data)})
+					}
 				case transport.KindSessionDone:
 					if received != want {
 						errsMu.Lock()
@@ -349,8 +374,9 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 	if err != nil {
 		return nil, err
 	}
-	// Allow one segment-time of scheduling jitter when verifying.
-	playback, err := media.VerifyPlayback(n.cfg.File, arrivals, theoretical+n.cfg.File.SegmentTime)
+	// Allow one segment-time of scheduling jitter, plus any configured
+	// client-side startup buffer, when verifying.
+	playback, err := media.VerifyPlayback(n.cfg.File, arrivals, theoretical+n.cfg.File.SegmentTime+n.cfg.ExtraBuffer)
 	if err != nil {
 		return nil, err
 	}
@@ -361,5 +387,7 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 		Report:           playback,
 		Bytes:            bytes,
 		Duration:         n.clk.Since(start),
+		Downgraded:       downgraded,
+		MaxQuality:       maxQuality,
 	}, nil
 }

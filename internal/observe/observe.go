@@ -32,6 +32,10 @@ const (
 	SessionServed
 	// ProbeServed: the supplier side answered one admission probe.
 	ProbeServed
+	// BitrateDowngrade: a supplying session's bandwidth estimate sustained
+	// below its committed class offer and the session stepped one bitrate
+	// class down the ladder. Quality carries the class it moved to.
+	BitrateDowngrade
 )
 
 func (t Type) String() string {
@@ -46,6 +50,8 @@ func (t Type) String() string {
 		return "session-served"
 	case ProbeServed:
 		return "probe-served"
+	case BitrateDowngrade:
+		return "bitrate-downgrade"
 	}
 	return "unknown"
 }
@@ -62,6 +68,8 @@ type Event struct {
 	Shard int
 	// Hops counts the routing hops of a completed lookup.
 	Hops int
+	// Quality is the bitrate class a BitrateDowngrade stepped to.
+	Quality int
 	// Latency is the elapsed time of a lookup or fan-out leg.
 	Latency time.Duration
 	// Err is the failure, if any.

@@ -1,0 +1,125 @@
+// Package pacing smooths a sender's chunk emission to a target rate. A
+// supplier that blasts a whole segment schedule as fast as the wire
+// accepts it builds standing queues at the bottleneck and starves
+// competing flows; an interval-budget pacer releases bytes no faster than
+// the rate the bandwidth estimator granted, with a small burst window so
+// one segment-sized write never waits on a byte-by-byte drip.
+//
+// The pacer runs on a clock.Clock, so paced senders are exactly as
+// schedulable under virtual time as unpaced ones.
+package pacing
+
+import (
+	"context"
+	"time"
+
+	"p2pstream/internal/clock"
+)
+
+// DefaultBurst is the budget ceiling when none is configured: the largest
+// chunk a pacer will release without waiting, and therefore the window over
+// which short-term rate may exceed the long-term target.
+const DefaultBurst = 16 << 10
+
+// Pacer is an interval-budget rate limiter: budget accrues with elapsed
+// time at the configured rate (capped at the burst size), and each send
+// spends its byte count, sleeping on the clock until the budget covers it.
+// Not safe for concurrent use; each sending loop owns its own Pacer.
+type Pacer struct {
+	clk   clock.Clock
+	rate  int64 // bytes per second
+	burst int64 // budget cap, bytes
+
+	budget int64
+	last   time.Time
+}
+
+// New returns a pacer emitting at rate bytes/second with the given burst
+// budget (DefaultBurst when burst <= 0). A rate <= 0 disables pacing:
+// Pace returns immediately.
+func New(clk clock.Clock, rate int64, burst int) *Pacer {
+	b := int64(burst)
+	if b <= 0 {
+		b = DefaultBurst
+	}
+	p := &Pacer{clk: clock.Or(clk), burst: b}
+	p.SetRate(rate)
+	p.last = p.clk.Now()
+	p.budget = b // a fresh pacer may burst immediately
+	return p
+}
+
+// SetRate retargets the pacer. The accrued budget is kept, so a rate change
+// mid-stream never forfeits (or double-grants) bytes already earned.
+func (p *Pacer) SetRate(rate int64) {
+	p.accrue()
+	p.rate = rate
+}
+
+// Rate returns the current target rate in bytes per second.
+func (p *Pacer) Rate() int64 { return p.rate }
+
+// accrue folds elapsed time into the byte budget.
+func (p *Pacer) accrue() {
+	now := p.clk.Now()
+	if p.rate > 0 && now.After(p.last) {
+		earned := int64(float64(now.Sub(p.last)) / float64(time.Second) * float64(p.rate))
+		p.budget += earned
+		if p.budget > p.burst {
+			p.budget = p.burst
+		}
+	}
+	p.last = now
+}
+
+// Pace blocks until the budget covers n bytes, then spends them. Sends
+// larger than the burst window are allowed — the budget simply goes
+// negative, pushing the debt onto subsequent sends — so a single oversized
+// segment cannot deadlock the pacer.
+func (p *Pacer) Pace(n int) {
+	if p.rate <= 0 {
+		return
+	}
+	p.accrue()
+	need := int64(n)
+	if p.budget < min64(need, p.burst) {
+		short := min64(need, p.burst) - p.budget
+		wait := time.Duration(float64(short) / float64(p.rate) * float64(time.Second))
+		if wait > 0 {
+			p.clk.Sleep(wait)
+		}
+		p.accrue()
+	}
+	p.budget -= need
+}
+
+// PaceCtx is Pace with cancellation: the budget wait aborts when ctx is
+// done, returning its error without spending the budget — the form
+// long-lived background senders (traffic generators) need so they never
+// outlive their run.
+func (p *Pacer) PaceCtx(ctx context.Context, n int) error {
+	if p.rate <= 0 {
+		return ctx.Err()
+	}
+	p.accrue()
+	need := int64(n)
+	if p.budget < min64(need, p.burst) {
+		short := min64(need, p.burst) - p.budget
+		wait := time.Duration(float64(short) / float64(p.rate) * float64(time.Second))
+		if wait > 0 {
+			if err := clock.SleepCtx(ctx, p.clk, wait); err != nil {
+				return err
+			}
+		}
+		p.accrue()
+	}
+	p.budget -= need
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

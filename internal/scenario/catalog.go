@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"p2pstream/internal/bandwidth"
+	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
 )
 
@@ -35,6 +36,9 @@ func Catalog() []Spec {
 		shardedLookup(),
 		shardCrash(),
 		shardRejoin(),
+		competingMediaFlows(),
+		mediaVsTCPFlows(),
+		priorityFlows(),
 	}
 }
 
@@ -389,6 +393,123 @@ func shardRejoin() Spec {
 			{At: 80 * time.Millisecond, Action: Crash, Node: ShardHost(2)},
 			{At: 320 * time.Millisecond, Action: Join, Node: ShardHost(2)},
 		},
+	}
+}
+
+// The congestion-control flow family. All three scenarios route the
+// seeds' access links into one shared bandwidth-limited "core" resource
+// (netx.LinkConfig.Bottleneck), so every concurrent session serializes
+// into the same pipe. They stream congestionFile — 1 KiB segments so the
+// JSON framing (~40% at this size) doesn't dominate the payload the way
+// it does the default 128 B conformance file. One full-quality flow
+// (segment every δt plus acks) is ~185 KB/s on the wire; one downgrade
+// roughly halves that (~100 KB/s), the next again (~58 KB/s). A
+// supplying peer serves one session at a time, so each class-1 requester
+// binds two exclusive class-1 suppliers — concurrent flows need four
+// seeds. The second requester starts 3 ms after the first so their
+// admission sweeps don't race for the same two grants (and their
+// transmission schedules de-phase at the bottleneck).
+
+// congestionFile returns the flow family's media item: 1 KiB segments,
+// 8 ms each → R0 = 128 KiB/s payload. The longer δt both doubles the
+// playback allowance (Theorem 1 buffering scales with δt) and halves the
+// wire rate, which is what lets a transient bottleneck queue drain before
+// it eats the whole allowance.
+func congestionFile() *media.File {
+	return &media.File{Name: "stream", Segments: 16, SegmentBytes: 1024, SegmentTime: 8 * time.Millisecond}
+}
+
+// coreBottleneck is a bandwidth-limited access link serializing into the
+// shared "core" resource. No jitter: the ABR assertions want the RTT
+// signal to carry queueing, not noise.
+func coreBottleneck(bps int64) netx.LinkConfig {
+	return netx.LinkConfig{Latency: 300 * time.Microsecond, Bandwidth: bps, Bottleneck: "core"}
+}
+
+// competingMediaFlows starts two near-simultaneous media flows behind one
+// bottleneck that fits ~1.2 full-quality flows: together they
+// oversubscribe the pipe, both must step down the bitrate ladder, and
+// they converge to comparable shares — with playback continuous
+// throughout. The detail test re-runs the spec with NoAdapt as the
+// unpaced control and asserts the congestion the adaptation avoided.
+func competingMediaFlows() Spec {
+	return Spec{
+		Name:     "competing-media-flows",
+		Stresses: "two paced media flows sharing one bottleneck: both downgrade to a fair share and play continuously",
+		File:     congestionFile(),
+		Buffer:   24 * time.Millisecond, // 3·δt startup buffer absorbs the pre-downgrade queue transient
+		Seeds: []Peer{
+			{ID: "s1", Class: 1}, {ID: "s2", Class: 1},
+			{ID: "s3", Class: 1}, {ID: "s4", Class: 1},
+		},
+		Requesters: []Peer{
+			{ID: "r1", Class: 1, Start: 0},
+			{ID: "r2", Class: 1, Start: 3 * time.Millisecond},
+		},
+		Links: []Link{
+			{A: "s1", B: Wildcard, Config: coreBottleneck(280 << 10)},
+			{A: "s2", B: Wildcard, Config: coreBottleneck(280 << 10)},
+			{A: "s3", B: Wildcard, Config: coreBottleneck(280 << 10)},
+			{A: "s4", B: Wildcard, Config: coreBottleneck(280 << 10)},
+		},
+		Expect: Expect{FairShare: 1.5, MinDowngraded: 1},
+	}
+}
+
+// mediaVsTCPFlows runs one media flow against a greedy elastic cross-flow
+// (the TCP stand-in: delay-based AIMD with no committed ceiling) through
+// a bottleneck that cannot carry the full-quality flow alongside it. The
+// media session must finish with continuous playback — downgrading is how
+// it holds its share — and the cross-flow must still move bytes: neither
+// starves the other.
+func mediaVsTCPFlows() Spec {
+	return Spec{
+		Name:     "media-vs-tcp-flows",
+		Stresses: "a media flow sharing a bottleneck with a greedy long flow: ABR defends continuity without starving the elastic traffic",
+		File:     congestionFile(),
+		Buffer:   24 * time.Millisecond,
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "r1", Class: 1, Start: 0},
+		},
+		Links: []Link{
+			{A: "s1", B: Wildcard, Config: coreBottleneck(240 << 10)},
+			{A: "s2", B: Wildcard, Config: coreBottleneck(240 << 10)},
+			{A: "tcp-src", B: "tcp-sink", Config: coreBottleneck(240 << 10)},
+		},
+		Traffic: []TrafficFlow{
+			{From: "tcp-src", To: "tcp-sink", Start: 0, Chunk: 1024, Rate: 128 << 10},
+		},
+		Expect: Expect{MinDowngraded: 1},
+	}
+}
+
+// priorityFlows shares the bottleneck between a priority-3 flow and a
+// best-effort one. The priority steps multiply the supplier-side sustain
+// window before a downgrade (2·δt base, doubled per step → 64ms for hi,
+// the whole session), so the best-effort flow steps down first and frees
+// the capacity that keeps the priority flow at full quality.
+func priorityFlows() Spec {
+	return Spec{
+		Name:     "priority-flows",
+		Stresses: "a priority flow and a best-effort flow on one bottleneck: the best-effort flow yields (downgrades) and the priority flow keeps full quality",
+		File:     congestionFile(),
+		Buffer:   40 * time.Millisecond, // 5·δt: the priority flow never yields, so it rides the deepest queue on buffer alone
+		Seeds: []Peer{
+			{ID: "s1", Class: 1}, {ID: "s2", Class: 1},
+			{ID: "s3", Class: 1}, {ID: "s4", Class: 1},
+		},
+		Requesters: []Peer{
+			{ID: "hi", Class: 1, Start: 0, Priority: 3},
+			{ID: "lo", Class: 1, Start: 3 * time.Millisecond},
+		},
+		Links: []Link{
+			{A: "s1", B: Wildcard, Config: coreBottleneck(320 << 10)},
+			{A: "s2", B: Wildcard, Config: coreBottleneck(320 << 10)},
+			{A: "s3", B: Wildcard, Config: coreBottleneck(320 << 10)},
+			{A: "s4", B: Wildcard, Config: coreBottleneck(320 << 10)},
+		},
+		Expect: Expect{MinDowngraded: 1, FullQuality: []string{"hi"}},
 	}
 }
 

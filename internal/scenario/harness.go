@@ -449,6 +449,11 @@ func Run(spec Spec) (*Report, error) {
 			})
 		}
 	}
+	// Cross traffic: sinks boot now, flows start at their instants and die
+	// with the run (stopTraffic cancels them while the clock still runs).
+	traffic, stopTraffic := h.startTraffic()
+	defer stopTraffic()
+
 	results := make([]NodeResult, len(work))
 	var wg sync.WaitGroup
 	for i, w := range work {
@@ -462,7 +467,12 @@ func Run(spec Spec) (*Report, error) {
 	wg.Wait()
 	elapsed := clk.Since(base)
 
-	return buildReport(spec, results, elapsed, h.supplierLevel(), h.shardSuppliers(), h.shardStats()), nil
+	stopTraffic()
+	stats := runStats{dials: vnet.Dials(), queueDrops: vnet.QueueDrops()}
+	for _, st := range traffic {
+		stats.traffic = append(stats.traffic, st.result(elapsed))
+	}
+	return buildReport(spec, results, elapsed, h.supplierLevel(), h.shardSuppliers(), h.shardStats(), stats), nil
 }
 
 // closeShards shuts every live registry shard down.
@@ -537,6 +547,11 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	}
 	res.Supplying = n.Supplying()
 	res.Continuous = report.Report.Continuous()
+	res.Downgraded = report.Downgraded
+	res.MaxQuality = int(report.MaxQuality)
+	if report.Duration > 0 {
+		res.ThroughputBps = float64(report.Bytes) / report.Duration.Seconds()
+	}
 	res.TheoremOK = report.TheoreticalDelay == time.Duration(len(report.Suppliers))*h.spec.File.SegmentTime
 	res.StoreOK = storeExact(n.Store(), h.spec.File)
 	res.SupplierLevel = h.supplierLevel()
@@ -558,6 +573,9 @@ func (h *harness) config(p Peer, seed int64) node.Config {
 		Seed:          seed,
 		Clock:         h.clk,
 		Network:       h.net.Host(p.ID),
+		NoAdapt:       h.spec.NoAdapt,
+		Priority:      p.Priority,
+		ExtraBuffer:   h.spec.Buffer,
 	}
 }
 
@@ -625,14 +643,16 @@ func expandLink(l Link, hosts []string) [][2]string {
 }
 
 // storeExact reports whether the store holds the complete file with
-// byte-exact content.
+// byte-exact content at each segment's recorded quality: a downgraded
+// segment must match its rendition on the ladder exactly, not the
+// full-quality bytes it replaced.
 func storeExact(s *media.Store, f *media.File) bool {
 	if !s.Complete() {
 		return false
 	}
 	for id := 0; id < f.Segments; id++ {
 		got, ok := s.Get(media.SegmentID(id))
-		if !ok || !bytes.Equal(got.Data, media.SegmentContent(f, media.SegmentID(id)).Data) {
+		if !ok || !bytes.Equal(got.Data, media.SegmentContentAt(f, media.SegmentID(id), got.Quality).Data) {
 			return false
 		}
 	}

@@ -69,6 +69,11 @@ func Megacrowd(n int) Spec {
 		// One advance per millisecond of virtual time, not per event
 		// instant: the wall-clock lever that makes six digits feasible.
 		ClockCoalesce: time.Millisecond,
+		// Population-scale specs study admission, not the data plane: the
+		// legacy burst loop keeps per-segment message count (and so wall
+		// clock) at the admission-study minimum. The congestion catalog
+		// exercises adaptation.
+		NoAdapt: true,
 		// Population-scale wall-clock scheduling skew exceeds the
 		// one-segment playback allowance; byte-exact stores and the
 		// Theorem 1 delay bound remain asserted.

@@ -135,7 +135,18 @@ func TestMegacrowd10k(t *testing.T) {
 	if !ok {
 		t.Fatal("megacrowd-10k missing from ScaleCatalog")
 	}
-	runMegacrowd(t, spec, 10*time.Second)
+	// The budget is sized for a whole-repo `go test ./...`, where sibling
+	// packages compile and test in parallel with this run and steal cores:
+	// the crowd measures ~9s in isolation and up to ~11s under that load.
+	rep := runMegacrowd(t, spec, 13*time.Second)
+	// The directory client pools persistent connections per destination:
+	// one requester's registration, refreshes and candidate samples ride
+	// one connection instead of dialing fresh per exchange. With the pool
+	// the crowd measures ~300k dials; the dial-per-exchange client it
+	// replaced measured ~364k on the same spec.
+	if rep.Dials == 0 || rep.Dials > 330_000 {
+		t.Errorf("megacrowd-10k: %d dials, want (0, 330000] — connection pooling regressed", rep.Dials)
+	}
 }
 
 // TestMegacrowdFull runs the 50k and 100k entries. They take minutes, not

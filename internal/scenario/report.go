@@ -53,6 +53,31 @@ type NodeResult struct {
 	// registry is not sharded.
 	ShardLegs, ShardLegFails int64
 	ShardLatency             time.Duration
+	// Downgraded counts segments that arrived below full quality, and
+	// MaxQuality is the deepest bitrate class any of them reached — the
+	// suppliers' ABR ladder as this requester experienced it.
+	Downgraded int
+	MaxQuality int
+	// ThroughputBps is the session's goodput: payload bytes over the
+	// session's duration on the requester's clock.
+	ThroughputBps float64
+}
+
+// TrafficResult is one cross-traffic flow's outcome.
+type TrafficResult struct {
+	From, To string
+	// Bytes is what the flow wrote; Acked is what the sink confirmed.
+	Bytes, Acked int64
+	// Rate is the flow's achieved delivery rate in bytes/second over its
+	// active window (zero if the flow never got going).
+	Rate float64
+}
+
+// runStats carries the run-wide substrate counters into the report.
+type runStats struct {
+	dials      int64
+	queueDrops int64
+	traffic    []TrafficResult
 }
 
 // Report is the outcome of one scenario run.
@@ -73,6 +98,16 @@ type Report struct {
 	// (registers, refreshes, unregisters, lookups; zero for a shard that
 	// ended the run crashed); nil unless the registry is sharded.
 	ShardStats []directory.Stats
+	// Dials counts every virtual connection dialed during the run — the
+	// connection-reuse odometer (persistent transport clients keep it far
+	// below one dial per exchange).
+	Dials int64
+	// QueueDrops counts chunks tail-dropped at bandwidth-limited link
+	// queues — congestion the data plane failed to avoid.
+	QueueDrops int64
+	// Traffic is each cross-traffic flow's outcome, in spec order; nil
+	// when the scenario declares none.
+	Traffic []TrafficResult
 
 	// Time series over the served requesters' completion instants, all on
 	// one shared axis (WriteCSV emits them together): admission latency
@@ -94,6 +129,11 @@ type Report struct {
 	// blank samples under the unsharded backends.
 	ShardLookupMs *metrics.Series
 	ShardFailures *metrics.Series
+	// Downgrades and Throughput chart the congestion-aware data plane on
+	// the same axis: segments each served requester received below full
+	// quality, and its session goodput in bytes/second.
+	Downgrades *metrics.Series
+	Throughput *metrics.Series
 
 	// Population-scale distributions over the served requesters (quantiles,
 	// not means — at megacrowd scale the admission story lives in the
@@ -114,7 +154,7 @@ type Report struct {
 const quantileCheckpoints = 128
 
 // buildReport assembles the report from the per-requester results.
-func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int, shardStats []directory.Stats) *Report {
+func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int, shardStats []directory.Stats, stats runStats) *Report {
 	sortResults(results)
 	r := &Report{
 		Spec:           spec,
@@ -123,6 +163,9 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		FinalSuppliers: finalSuppliers,
 		ShardSuppliers: shardSuppliers,
 		ShardStats:     shardStats,
+		Dials:          stats.dials,
+		QueueDrops:     stats.queueDrops,
+		Traffic:        stats.traffic,
 		Admission:      &metrics.Series{Name: "admission_ms"},
 		Tries:          &metrics.Series{Name: "attempts"},
 		Buffering:      &metrics.Series{Name: "buffering_ms"},
@@ -131,6 +174,8 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		SampleRounds:   &metrics.Series{Name: "sample_rounds"},
 		ShardLookupMs:  &metrics.Series{Name: "shard_lookup_ms"},
 		ShardFailures:  &metrics.Series{Name: "shard_failures"},
+		Downgrades:     &metrics.Series{Name: "downgraded"},
+		Throughput:     &metrics.Series{Name: "throughput_bps"},
 		AdmissionDist:  metrics.NewDistribution("admission_ms"),
 		RejectionDist:  metrics.NewDistribution("rejection_rate"),
 	}
@@ -173,6 +218,8 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 			r.ShardLookupMs.AddMissing(n.Done)
 			r.ShardFailures.AddMissing(n.Done)
 		}
+		r.Downgrades.Add(n.Done, float64(n.Downgraded))
+		r.Throughput.Add(n.Done, n.ThroughputBps)
 	}
 	qs := []float64{0.5, 0.9, 0.99}
 	r.AdmissionQuantiles = metrics.QuantileSeries("admission_ms", doneTimes, admissionMs, quantileCheckpoints, qs...)
@@ -246,6 +293,71 @@ func (r *Report) Check() error {
 		return fmt.Errorf("scenario %s: max admission attempts %d, expected contention >= %d",
 			r.Spec.Name, maxAttempts, min)
 	}
+	return r.checkDataPlane()
+}
+
+// checkDataPlane verifies the congestion-control half of the acceptance
+// envelope: throughput fairness, bitrate-ladder engagement, priority
+// protection and — for control runs — that congestion actually showed.
+func (r *Report) checkDataPlane() error {
+	exp := r.Spec.Expect
+	if exp.FairShare > 0 {
+		var minBps, maxBps float64
+		var minID, maxID string
+		for i := range r.Nodes {
+			n := &r.Nodes[i]
+			if n.Err != nil || n.ThroughputBps <= 0 {
+				continue
+			}
+			if minID == "" || n.ThroughputBps < minBps {
+				minBps, minID = n.ThroughputBps, n.ID
+			}
+			if maxID == "" || n.ThroughputBps > maxBps {
+				maxBps, maxID = n.ThroughputBps, n.ID
+			}
+		}
+		if minID == "" {
+			return fmt.Errorf("scenario %s: FairShare set but no session recorded throughput", r.Spec.Name)
+		}
+		if maxBps > exp.FairShare*minBps {
+			return fmt.Errorf("scenario %s: unfair shares: %s at %.0f B/s vs %s at %.0f B/s (ratio %.2f > %.2f)",
+				r.Spec.Name, maxID, maxBps, minID, minBps, maxBps/minBps, exp.FairShare)
+		}
+	}
+	if exp.MinDowngraded > 0 {
+		downgraded := 0
+		for i := range r.Nodes {
+			if n := &r.Nodes[i]; n.Err == nil && n.Downgraded > 0 {
+				downgraded++
+			}
+		}
+		if downgraded < exp.MinDowngraded {
+			return fmt.Errorf("scenario %s: %d requesters saw downgraded segments, expected >= %d (the bitrate ladder never engaged)",
+				r.Spec.Name, downgraded, exp.MinDowngraded)
+		}
+	}
+	for _, id := range exp.FullQuality {
+		n := r.Node(id)
+		if n == nil || n.Err != nil {
+			return fmt.Errorf("scenario %s: FullQuality requester %s was not served", r.Spec.Name, id)
+		}
+		if n.Downgraded > 0 {
+			return fmt.Errorf("scenario %s: requester %s received %d downgraded segments (deepest class %d), expected full quality",
+				r.Spec.Name, id, n.Downgraded, n.MaxQuality)
+		}
+	}
+	if exp.WantCongestion {
+		stalled := false
+		for i := range r.Nodes {
+			if n := &r.Nodes[i]; n.Err == nil && !n.Continuous {
+				stalled = true
+				break
+			}
+		}
+		if !stalled && r.QueueDrops == 0 {
+			return fmt.Errorf("scenario %s: expected visible congestion, but no playback stalled and no queue dropped", r.Spec.Name)
+		}
+	}
 	return nil
 }
 
@@ -285,6 +397,15 @@ func (r *Report) Summary() string {
 				i, st.Registers, st.Refreshes, st.Unregisters, st.Lookups)
 		}
 	}
+	if mean, ok := meanOf(r.Throughput); ok {
+		downgrades, _ := meanOf(r.Downgrades)
+		fmt.Fprintf(&b, "\n  data plane: mean goodput %.0f B/s, mean %.1f downgraded segments, %d queue drops, %d dials",
+			mean, downgrades, r.QueueDrops, r.Dials)
+	}
+	for _, tf := range r.Traffic {
+		fmt.Fprintf(&b, "\n  cross traffic %s->%s: %d B sent, %d B acked, %.0f B/s",
+			tf.From, tf.To, tf.Bytes, tf.Acked, tf.Rate)
+	}
 	for _, n := range r.Nodes {
 		if n.Err != nil {
 			fmt.Fprintf(&b, "\n  unserved %s: %v", n.ID, n.Err)
@@ -298,7 +419,7 @@ func (r *Report) Summary() string {
 func (r *Report) WriteCSV(w io.Writer) error {
 	return metrics.WriteCSVIn(w, "ms", time.Millisecond,
 		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds,
-		r.ShardLookupMs, r.ShardFailures)
+		r.ShardLookupMs, r.ShardFailures, r.Downgrades, r.Throughput)
 }
 
 // WriteQuantilesCSV emits the running admission-latency and rejection-rate

@@ -610,11 +610,14 @@ func TestChordDiscoveryMetrics(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want header + %d", len(lines), served)
 	}
 	cols := strings.Split(lines[1], ",")
-	if len(cols) != 9 || cols[5] == "" || cols[6] == "" {
+	if len(cols) != 11 || cols[5] == "" || cols[6] == "" {
 		t.Errorf("chord run CSV should carry discovery-cost values: %q", lines[1])
 	}
-	if len(cols) == 9 && (cols[7] != "" || cols[8] != "") {
+	if len(cols) == 11 && (cols[7] != "" || cols[8] != "") {
 		t.Errorf("chord run CSV should leave the shard columns blank: %q", lines[1])
+	}
+	if len(cols) == 11 && (cols[9] == "" || cols[10] == "") {
+		t.Errorf("chord run CSV should carry data-plane values: %q", lines[1])
 	}
 }
 
@@ -667,13 +670,23 @@ func TestReportCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), b.String())
 	}
-	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures"; lines[0] != want {
+	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures,downgraded,throughput_bps"; lines[0] != want {
 		t.Errorf("header = %q, want %q", lines[0], want)
 	}
 	// Directory-backed runs have no routed lookups: the discovery-cost
-	// columns are present but blank, keeping one shared table.
-	if !strings.HasSuffix(lines[1], ",,,,") {
-		t.Errorf("unsharded directory-backed sample should end with blank discovery- and shard-cost columns: %q", lines[1])
+	// columns are present but blank, keeping one shared table. The
+	// data-plane columns (downgraded, throughput) always carry values.
+	cols := strings.Split(lines[1], ",")
+	if len(cols) != 11 {
+		t.Fatalf("sample has %d columns, want 11: %q", len(cols), lines[1])
+	}
+	for i := 5; i <= 8; i++ {
+		if cols[i] != "" {
+			t.Errorf("unsharded directory-backed sample should leave discovery- and shard-cost column %d blank: %q", i, lines[1])
+		}
+	}
+	if cols[9] == "" || cols[10] == "" {
+		t.Errorf("sample should carry data-plane values: %q", lines[1])
 	}
 	if sum := report.Summary(); !strings.Contains(sum, "csv") || !strings.Contains(sum, "1/1 served") {
 		t.Errorf("summary = %q", sum)
@@ -757,6 +770,19 @@ func TestSpecValidation(t *testing.T) {
 		{"link unknown host", func(s *Spec) { s.Links = []Link{{A: "ghost", B: Wildcard}} }},
 		{"event unknown host", func(s *Spec) { s.Events = []LinkEvent{{Link: Link{A: "r1", B: "ghost"}}} }},
 		{"mayfail unknown", func(s *Spec) { s.Expect.MayFail = []string{"ghost"} }},
+		{"negative priority", func(s *Spec) { s.Requesters[0].Priority = -1 }},
+		{"traffic no endpoint", func(s *Spec) { s.Traffic = []TrafficFlow{{From: "", To: "sink"}} }},
+		{"traffic wildcard", func(s *Spec) { s.Traffic = []TrafficFlow{{From: Wildcard, To: "sink"}} }},
+		{"traffic self flow", func(s *Spec) { s.Traffic = []TrafficFlow{{From: "x", To: "x"}} }},
+		{"traffic peer collision", func(s *Spec) { s.Traffic = []TrafficFlow{{From: "r1", To: "sink"}} }},
+		{"traffic negative rate", func(s *Spec) { s.Traffic = []TrafficFlow{{From: "a", To: "b", Rate: -1}} }},
+		{"traffic negative chunk", func(s *Spec) { s.Traffic = []TrafficFlow{{From: "a", To: "b", Chunk: -1}} }},
+		{"fair share below one", func(s *Spec) { s.Expect.FairShare = 0.5 }},
+		{"full quality unknown", func(s *Spec) { s.Expect.FullQuality = []string{"ghost"} }},
+		{"full quality traffic host", func(s *Spec) {
+			s.Traffic = []TrafficFlow{{From: "a", To: "b"}}
+			s.Expect.FullQuality = []string{"a"}
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -804,5 +830,141 @@ func TestSpecValidation(t *testing.T) {
 	leaveDir = leaveDir.withDefaults()
 	if err := leaveDir.Validate(); err == nil || !strings.Contains(err.Error(), "only Crash") {
 		t.Errorf("leave-of-directory error should say only Crash is supported, got: %v", err)
+	}
+}
+
+// TestCompetingMediaFlows: the congestion tentpole's headline assertion.
+// Two paced media flows share one bottleneck: both downgrade at least one
+// bitrate class, both play continuously, and their goodputs land within
+// the 1.5x fairness envelope. The same spec re-run with NoAdapt — the
+// legacy burst-on-schedule data plane — demonstrably stalls, which is the
+// problem the adaptive plane exists to solve.
+func TestCompetingMediaFlows(t *testing.T) {
+	spec, ok := ByName("competing-media-flows")
+	if !ok {
+		t.Fatal("competing-media-flows not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	var lo, hi float64
+	for _, n := range report.Nodes {
+		if n.Err != nil {
+			t.Fatalf("%s failed: %v", n.ID, n.Err)
+		}
+		if !n.Continuous {
+			t.Errorf("%s: playback not continuous under adaptation", n.ID)
+		}
+		if n.Downgraded == 0 {
+			t.Errorf("%s: oversubscribed flow never downgraded", n.ID)
+		}
+		if lo == 0 || n.ThroughputBps < lo {
+			lo = n.ThroughputBps
+		}
+		if n.ThroughputBps > hi {
+			hi = n.ThroughputBps
+		}
+	}
+	if lo <= 0 || hi > 1.5*lo {
+		t.Errorf("fairness envelope violated: goodput spread %.0f..%.0f B/s exceeds 1.5x", lo, hi)
+	}
+
+	// Control run: same flows, adaptation off. The fixed-rate bursts stand
+	// on the bottleneck queue until playback misses deadlines.
+	control := spec
+	control.NoAdapt = true
+	control.Expect = Expect{AllowStalls: true, WantCongestion: true}
+	creport, err := Run(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := creport.Check(); err != nil {
+		t.Fatalf("control run invariants: %v\n%s", err, creport.Summary())
+	}
+	stalled := false
+	for _, n := range creport.Nodes {
+		if n.Err == nil && !n.Continuous {
+			stalled = true
+		}
+		if n.Downgraded != 0 {
+			t.Errorf("control run %s downgraded %d segments with adaptation off", n.ID, n.Downgraded)
+		}
+	}
+	if !stalled && creport.QueueDrops == 0 {
+		t.Error("control run neither stalled nor dropped: the scenario does not demonstrate congestion")
+	}
+}
+
+// TestMediaVsTCPFlows: the media flow shares the bottleneck with a greedy
+// elastic cross-flow. The media session keeps continuous playback by
+// downgrading, and the cross-flow still gets bytes through — neither
+// starves the other.
+func TestMediaVsTCPFlows(t *testing.T) {
+	spec, ok := ByName("media-vs-tcp-flows")
+	if !ok {
+		t.Fatal("media-vs-tcp-flows not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	for _, n := range report.Nodes {
+		if n.Err != nil {
+			t.Fatalf("%s failed: %v", n.ID, n.Err)
+		}
+		if !n.Continuous || n.Downgraded == 0 {
+			t.Errorf("%s: want continuous playback via downgrades, got continuous=%v downgraded=%d",
+				n.ID, n.Continuous, n.Downgraded)
+		}
+	}
+	if len(report.Traffic) != 1 {
+		t.Fatalf("report carries %d traffic flows, want 1", len(report.Traffic))
+	}
+	tr := report.Traffic[0]
+	if tr.Acked == 0 || tr.Rate <= 0 {
+		t.Errorf("cross traffic starved: %d B acked, %.0f B/s", tr.Acked, tr.Rate)
+	}
+}
+
+// TestPriorityFlows: under shared congestion the best-effort flow steps
+// down the bitrate ladder while the priority flow — whose Priority
+// multiplies the downgrade sustain window past the session length —
+// finishes at full quality.
+func TestPriorityFlows(t *testing.T) {
+	spec, ok := ByName("priority-flows")
+	if !ok {
+		t.Fatal("priority-flows not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	for _, n := range report.Nodes {
+		if n.Err != nil {
+			t.Fatalf("%s failed: %v", n.ID, n.Err)
+		}
+		switch n.ID {
+		case "hi":
+			if n.Downgraded != 0 || n.MaxQuality != 0 {
+				t.Errorf("priority flow degraded: %d segments, worst quality %d", n.Downgraded, n.MaxQuality)
+			}
+		case "lo":
+			if n.Downgraded == 0 {
+				t.Error("best-effort flow never yielded")
+			}
+		}
+		if !n.Continuous {
+			t.Errorf("%s: playback not continuous", n.ID)
+		}
 	}
 }

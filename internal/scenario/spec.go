@@ -106,6 +106,11 @@ type Peer struct {
 	// peer issues its first request; ignored for seeds, which supply from
 	// the start.
 	Start time.Duration
+	// Priority is the requester's streaming priority: each step doubles
+	// the sustain window a supplier waits before stepping this peer's
+	// sessions down the bitrate ladder, so under a shared bottleneck the
+	// best-effort (priority-0) flows yield capacity first.
+	Priority int
 }
 
 // Link configures the links between host A and host B. B may be Wildcard,
@@ -122,6 +127,28 @@ type Link struct {
 type LinkEvent struct {
 	At   time.Duration
 	Link Link
+}
+
+// TrafficFlow declares one greedy cross-traffic flow: a long-lived
+// TCP-like sender between two dedicated hosts (neither may be a peer)
+// that paces to its own delay-based bandwidth estimate with no committed
+// ceiling — it ramps until the bottleneck's queue pushes back. Routed
+// through a shared Bottleneck link group it is the competing load the
+// media flows must share capacity with.
+type TrafficFlow struct {
+	// From and To name the flow's source and sink hosts. They are declared
+	// by the flow itself (fresh virtual hosts); two flows may share them.
+	From, To string
+	// Start is when the flow begins, in virtual time from the run start.
+	Start time.Duration
+	// Duration stops the flow after that much sending time; 0 keeps it
+	// running until the scenario's workload completes.
+	Duration time.Duration
+	// Chunk is the bytes per write (default 512).
+	Chunk int
+	// Rate seeds the flow's bandwidth estimate in bytes/second
+	// (default 32 KiB/s). The estimate is uncapped above it.
+	Rate int64
 }
 
 // ChurnAction is one kind of overlay churn.
@@ -183,6 +210,22 @@ type Expect struct {
 	// byte-exact, but the retransmission delay spikes can legitimately
 	// exceed the Theorem 1 buffering delay and stall playback.
 	AllowStalls bool
+	// FairShare, when > 0, bounds the throughput disparity across served
+	// requesters: the fastest session's goodput divided by the slowest's
+	// must not exceed it. The assertion that flows sharing a bottleneck
+	// actually converged to comparable shares.
+	FairShare float64
+	// MinDowngraded, when > 0, requires at least that many served
+	// requesters to have received downgraded segments — the assertion that
+	// a congestion scenario actually engaged the bitrate ladder.
+	MinDowngraded int
+	// FullQuality lists requesters that must be served entirely at full
+	// quality — the high-priority flows a priority scenario protects.
+	FullQuality []string
+	// WantCongestion requires the run to have produced visible congestion:
+	// at least one playback stall or one bottleneck queue drop. Control
+	// runs (NoAdapt) use it to prove the problem adaptation solves exists.
+	WantCongestion bool
 }
 
 // Spec is one declarative scenario. The zero values of the tuning fields
@@ -214,6 +257,24 @@ type Spec struct {
 	Events []LinkEvent
 	// Churn is the churn schedule.
 	Churn []ChurnEvent
+	// Traffic is the cross-traffic schedule: greedy long-lived flows
+	// competing with the media sessions for link capacity.
+	Traffic []TrafficFlow
+
+	// NoAdapt disables the congestion-aware data plane for the whole run:
+	// suppliers blast segments on the bare class schedule with no pacing,
+	// no bandwidth estimation and no bitrate ladder, and requesters send
+	// no acknowledgments. The control knob congestion scenarios use to
+	// demonstrate what adaptation buys; population-scale specs set it too,
+	// keeping their per-segment message count at the admission-study
+	// minimum.
+	NoAdapt bool
+	// Buffer is extra client-side startup buffering for every requester:
+	// playback continuity is verified at Theorem 1's n·δt plus one
+	// segment-time plus this. Congestion scenarios set a few segment-times
+	// so the queue transient before the bitrate ladder reacts is absorbed
+	// by buffer, the way a real ABR player's startup buffer absorbs it.
+	Buffer time.Duration
 
 	// Discovery selects the peer-discovery substrate. Under BackendChord
 	// no directory server runs: supplying peers form a chord ring and
@@ -296,6 +357,21 @@ func (s Spec) withDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if len(s.Traffic) > 0 {
+		// Copy before defaulting: withDefaults returns a value, and the
+		// caller's slice must not be mutated through the shared backing.
+		tf := make([]TrafficFlow, len(s.Traffic))
+		copy(tf, s.Traffic)
+		for i := range tf {
+			if tf[i].Chunk == 0 {
+				tf[i].Chunk = 512
+			}
+			if tf[i].Rate == 0 {
+				tf[i].Rate = 32 << 10
+			}
+		}
+		s.Traffic = tf
+	}
 	return s
 }
 
@@ -343,6 +419,10 @@ func (s *Spec) hosts() []string {
 			add(ev.Node)
 		}
 	}
+	for _, tf := range s.Traffic {
+		add(tf.From)
+		add(tf.To)
+	}
 	return out
 }
 
@@ -373,6 +453,8 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: duplicate host %q", s.Name, p.ID)
 		case !p.Class.Valid(s.NumClasses):
 			return fmt.Errorf("scenario %s: %s %s has invalid %v for K=%d", s.Name, role, p.ID, p.Class, s.NumClasses)
+		case p.Priority < 0:
+			return fmt.Errorf("scenario %s: %s %s has negative priority %d", s.Name, role, p.ID, p.Priority)
 		}
 		ids[p.ID] = true
 		return nil
@@ -386,6 +468,30 @@ func (s *Spec) Validate() error {
 		if err := addPeer(p, "requester"); err != nil {
 			return err
 		}
+	}
+	// Traffic endpoints are dedicated hosts: flows may share them with each
+	// other, but not with peers or registry servers (a sink co-located with
+	// a node would blur whose bytes crossed the bottleneck).
+	tids := map[string]bool{}
+	for _, tf := range s.Traffic {
+		for _, id := range []string{tf.From, tf.To} {
+			if id == "" || id == Wildcard {
+				return fmt.Errorf("scenario %s: traffic flow has unusable endpoint %q", s.Name, id)
+			}
+			if ids[id] {
+				return fmt.Errorf("scenario %s: traffic endpoint %q collides with a peer or registry host", s.Name, id)
+			}
+			tids[id] = true
+		}
+		if tf.From == tf.To {
+			return fmt.Errorf("scenario %s: traffic flow from %q to itself", s.Name, tf.From)
+		}
+		if tf.Chunk < 0 || tf.Rate < 0 || tf.Start < 0 || tf.Duration < 0 {
+			return fmt.Errorf("scenario %s: traffic flow %s->%s has a negative tuning field", s.Name, tf.From, tf.To)
+		}
+	}
+	for id := range tids {
+		ids[id] = true
 	}
 	// Churn is validated in two passes so slice order never matters: the
 	// schedule's semantics come from the At instants alone.
@@ -499,6 +605,14 @@ func (s *Spec) Validate() error {
 		if !ids[id] {
 			return fmt.Errorf("scenario %s: Expect.MayFail references unknown peer %q", s.Name, id)
 		}
+	}
+	for _, id := range s.Expect.FullQuality {
+		if !ids[id] || tids[id] {
+			return fmt.Errorf("scenario %s: Expect.FullQuality references unknown peer %q", s.Name, id)
+		}
+	}
+	if fs := s.Expect.FairShare; fs != 0 && fs < 1 {
+		return fmt.Errorf("scenario %s: Expect.FairShare %v, want >= 1 (a max/min throughput ratio)", s.Name, fs)
 	}
 	return nil
 }

@@ -358,16 +358,22 @@ func (st Start) appendBody(dst []byte) []byte {
 	dst = append(dst, `,"file_name":`...)
 	dst = appendJSONString(dst, st.FileName)
 	if st.Segments == nil {
-		return append(dst, `,"segments":null}`...)
-	}
-	dst = append(dst, `,"segments":[`...)
-	for i, seg := range st.Segments {
-		if i > 0 {
-			dst = append(dst, ',')
+		dst = append(dst, `,"segments":null`...)
+	} else {
+		dst = append(dst, `,"segments":[`...)
+		for i, seg := range st.Segments {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(seg), 10)
 		}
-		dst = strconv.AppendInt(dst, int64(seg), 10)
+		dst = append(dst, ']')
 	}
-	return append(dst, `]}`...)
+	if st.Priority != 0 {
+		dst = append(dst, `,"priority":`...)
+		dst = strconv.AppendInt(dst, int64(st.Priority), 10)
+	}
+	return append(dst, '}')
 }
 
 func (st *Start) decodeBody(b []byte) bool {
@@ -395,11 +401,16 @@ func (st *Start) decodeBody(b []byte) bool {
 			s.lit(`]`)
 		}
 	}
+	var prio int64
+	if s.peek(`,"priority":`) {
+		s.lit(`,"priority":`)
+		prio = s.num()
+	}
 	s.lit(`}`)
 	if !s.done() {
 		return false
 	}
-	st.RequesterID, st.FileName, st.Segments = id, name, segs
+	st.RequesterID, st.FileName, st.Segments, st.Priority = id, name, segs, int(prio)
 	return true
 }
 
@@ -436,6 +447,10 @@ func (r *StartReply) decodeBody(b []byte) bool {
 func (sg Segment) appendBody(dst []byte) []byte {
 	dst = append(dst, `{"id":`...)
 	dst = strconv.AppendInt(dst, int64(sg.ID), 10)
+	if sg.Quality != 0 {
+		dst = append(dst, `,"quality":`...)
+		dst = strconv.AppendInt(dst, int64(sg.Quality), 10)
+	}
 	if sg.Data == nil {
 		return append(dst, `,"data":null}`...)
 	}
@@ -448,6 +463,11 @@ func (sg *Segment) decodeBody(b []byte) bool {
 	s := jscan{b: b, ok: true}
 	s.lit(`{"id":`)
 	id := s.num()
+	var quality int64
+	if s.peek(`,"quality":`) {
+		s.lit(`,"quality":`)
+		quality = s.num()
+	}
 	var data []byte
 	if s.peek(`,"data":null`) {
 		s.lit(`,"data":null`)
@@ -465,7 +485,29 @@ func (sg *Segment) decodeBody(b []byte) bool {
 	if !s.done() {
 		return false
 	}
-	sg.ID, sg.Data = int(id), data
+	sg.ID, sg.Quality, sg.Data = int(id), int(quality), data
+	return true
+}
+
+func (a Ack) appendBody(dst []byte) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendInt(dst, int64(a.Seq), 10)
+	dst = append(dst, `,"bytes":`...)
+	dst = strconv.AppendInt(dst, int64(a.Bytes), 10)
+	return append(dst, '}')
+}
+
+func (a *Ack) decodeBody(b []byte) bool {
+	s := jscan{b: b, ok: true}
+	s.lit(`{"seq":`)
+	seq := s.num()
+	s.lit(`,"bytes":`)
+	n := s.num()
+	s.lit(`}`)
+	if !s.done() {
+		return false
+	}
+	a.Seq, a.Bytes = int(seq), int(n)
 	return true
 }
 

@@ -30,10 +30,14 @@ func codecCases() []any {
 		Start{RequesterID: "r", FileName: "clip"},
 		Start{RequesterID: "r", FileName: "clip", Segments: []int{}},
 		Start{RequesterID: "r", FileName: "clip", Segments: []int{0, 2, 4}},
+		Start{RequesterID: "r", FileName: "clip", Segments: []int{1, 3}, Priority: 2},
 		StartReply{OK: true},
 		StartReply{OK: false, Reason: "claimed"},
 		Segment{ID: 7},
 		Segment{ID: 7, Data: []byte{1, 2, 3, 0xff}},
+		Segment{ID: 7, Quality: 2, Data: []byte{9, 8}},
+		Ack{Seq: 3, Bytes: 128},
+		Ack{},
 		SessionDone{Sent: 4},
 	}
 }
@@ -84,11 +88,13 @@ func equivalentBody(a, b any) bool {
 	}
 	if sa, ok := a.(Segment); ok {
 		sb := b.(Segment)
-		return sa.ID == sb.ID && len(sa.Data) == 0 && len(sb.Data) == 0
+		return sa.ID == sb.ID && sa.Quality == sb.Quality &&
+			len(sa.Data) == 0 && len(sb.Data) == 0
 	}
 	if sa, ok := a.(Start); ok {
 		sb := b.(Start)
 		return sa.RequesterID == sb.RequesterID && sa.FileName == sb.FileName &&
+			sa.Priority == sb.Priority &&
 			len(sa.Segments) == 0 && len(sb.Segments) == 0
 	}
 	return false

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"p2pstream/internal/clock"
+	"p2pstream/internal/netx"
+)
+
+// echoServer answers lookup requests with a candidates frame, handling
+// maxPerConn exchanges per connection before hanging up (0 = unlimited) —
+// the idle-disconnect shape a persistent client must survive. failWith
+// non-empty makes every request an application-level error reply.
+func echoServer(t *testing.T, v *netx.Virtual, maxPerConn int, failWith string) string {
+	t.Helper()
+	l, err := v.Host("srv").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for n := 0; maxPerConn == 0 || n < maxPerConn; n++ {
+					env, err := Read(conn)
+					if err != nil {
+						return
+					}
+					if failWith != "" {
+						Write(conn, KindError, Error{Message: failWith})
+						continue
+					}
+					var q Lookup
+					if err := env.Decode(&q); err != nil {
+						return
+					}
+					Write(conn, KindCandidates, Candidates{Len: q.M})
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func cacheTestNet(t *testing.T) *netx.Virtual {
+	t.Helper()
+	clk := clock.NewVirtual()
+	stop := clk.AutoRun()
+	t.Cleanup(stop)
+	return netx.NewVirtual(clk, 3)
+}
+
+// TestConnCacheReusesConnection: many exchanges, one dial.
+func TestConnCacheReusesConnection(t *testing.T) {
+	v := cacheTestNet(t)
+	addr := echoServer(t, v, 0, "")
+	cc := NewConnCache(v.Host("cli"))
+	defer cc.Close()
+	for i := 1; i <= 10; i++ {
+		var out Candidates
+		if err := cc.Call(context.Background(), addr, KindLookup, Lookup{M: i}, KindCandidates, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Len != i {
+			t.Fatalf("exchange %d answered %d", i, out.Len)
+		}
+	}
+	if d := v.Dials(); d != 1 {
+		t.Errorf("10 exchanges used %d dials, want 1", d)
+	}
+}
+
+// TestConnCacheReconnects: a server that hangs up after every exchange is
+// invisible to the caller — the cache retries once on a fresh dial.
+func TestConnCacheReconnects(t *testing.T) {
+	v := cacheTestNet(t)
+	addr := echoServer(t, v, 1, "")
+	cc := NewConnCache(v.Host("cli"))
+	defer cc.Close()
+	for i := 1; i <= 5; i++ {
+		var out Candidates
+		if err := cc.Call(context.Background(), addr, KindLookup, Lookup{M: i}, KindCandidates, &out); err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+	}
+	if d := v.Dials(); d != 5 {
+		t.Errorf("5 one-shot exchanges used %d dials, want 5", d)
+	}
+}
+
+// TestConnCacheKeepsConnOnRemoteError: an application-level error reply
+// does not cost the connection.
+func TestConnCacheKeepsConnOnRemoteError(t *testing.T) {
+	v := cacheTestNet(t)
+	addr := echoServer(t, v, 0, "nope")
+	cc := NewConnCache(v.Host("cli"))
+	defer cc.Close()
+	for i := 0; i < 4; i++ {
+		err := cc.Call(context.Background(), addr, KindLookup, Lookup{M: 1}, KindCandidates, nil)
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("exchange %d: err = %v, want RemoteError", i, err)
+		}
+	}
+	if d := v.Dials(); d != 1 {
+		t.Errorf("4 refused exchanges used %d dials, want 1", d)
+	}
+}
+
+// TestConnCacheClose: Close fails future calls and closes the cached
+// connection.
+func TestConnCacheClose(t *testing.T) {
+	v := cacheTestNet(t)
+	addr := echoServer(t, v, 0, "")
+	cc := NewConnCache(v.Host("cli"))
+	if err := cc.Call(context.Background(), addr, KindLookup, Lookup{M: 1}, KindCandidates, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Call(context.Background(), addr, KindLookup, Lookup{M: 1}, KindCandidates, nil); !errors.Is(err, ErrCacheClosed) {
+		t.Errorf("Call after Close = %v, want ErrCacheClosed", err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+// TestConnCacheHonorsContext: cancellation surfaces as ctx.Err and does
+// not wedge the slot for later calls.
+func TestConnCacheHonorsContext(t *testing.T) {
+	v := cacheTestNet(t)
+	addr := echoServer(t, v, 0, "")
+	cc := NewConnCache(v.Host("cli"))
+	defer cc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := cc.Call(ctx, addr, KindLookup, Lookup{M: 1}, KindCandidates, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Call = %v, want context.Canceled", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- cc.Call(context.Background(), addr, KindLookup, Lookup{M: 2}, KindCandidates, nil)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Call after cancelled Call: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slot wedged after cancellation")
+	}
+}

@@ -42,6 +42,7 @@ const (
 	KindStart        Kind = "start"         // requester -> chosen supplier
 	KindStartReply   Kind = "start-reply"   // supplier -> requester
 	KindSegment      Kind = "segment"       // supplier -> requester
+	KindAck          Kind = "ack"           // requester -> supplier (per segment)
 	KindSessionDone  Kind = "session-done"  // supplier -> requester
 	KindError        Kind = "error"         // any -> any
 	KindUnregister   Kind = "unregister"    // supplier -> directory
@@ -133,6 +134,11 @@ type Start struct {
 	RequesterID string `json:"requester_id"`
 	FileName    string `json:"file_name"`
 	Segments    []int  `json:"segments"`
+	// Priority orders competing sessions at a shared bottleneck: higher
+	// values downgrade later (larger sustain window before the ABR ladder
+	// steps down), lower values yield earlier. Zero is the default
+	// priority.
+	Priority int `json:"priority,omitempty"`
 }
 
 // StartReply confirms (or refuses) session participation.
@@ -143,8 +149,20 @@ type StartReply struct {
 
 // Segment carries one media segment.
 type Segment struct {
-	ID   int    `json:"id"`
-	Data []byte `json:"data"`
+	ID int `json:"id"`
+	// Quality is the bitrate-class the payload was encoded at: 0 is full
+	// quality, each step halves the encoded size (the paper's dyadic
+	// ladder applied to the media itself).
+	Quality int    `json:"quality,omitempty"`
+	Data    []byte `json:"data"`
+}
+
+// Ack confirms receipt of one media segment back to its supplier — the
+// feedback the send-side bandwidth estimator runs on. Seq echoes the
+// segment ID; Bytes is the payload size received.
+type Ack struct {
+	Seq   int `json:"seq"`
+	Bytes int `json:"bytes"`
 }
 
 // SessionDone marks the end of a supplier's transmissions.
@@ -239,6 +257,16 @@ type ChordLeaveReply struct{}
 type Error struct {
 	Message string `json:"message"`
 }
+
+// RemoteError is what ReadExpect returns when the peer answered with a
+// KindError frame: an application-level refusal carried over a healthy,
+// still-synchronized connection. Persistent-connection clients keep the
+// connection on a RemoteError and drop it on anything else.
+type RemoteError struct {
+	Message string
+}
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Message }
 
 // Envelope is the frame payload: a kind tag plus the JSON-encoded body.
 type Envelope struct {
@@ -444,7 +472,7 @@ func ReadExpect(r io.Reader, kind Kind, out any) error {
 		if err := json.Unmarshal(env.Body, &e); err != nil {
 			return fmt.Errorf("transport: malformed error message: %w", err)
 		}
-		return fmt.Errorf("transport: remote error: %s", e.Message)
+		return &RemoteError{Message: e.Message}
 	}
 	if env.Kind != kind {
 		return fmt.Errorf("transport: got %s, want %s", env.Kind, kind)

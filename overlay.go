@@ -77,6 +77,10 @@ type overlayConfig struct {
 	netFor     func(hostID string) Network
 	observer   Observer
 	seed       int64
+	noAdapt    bool
+	priority   int
+	codec      media.Codec
+	buffer     time.Duration
 
 	backend overlayBackend
 	dirAddr string
@@ -202,6 +206,52 @@ func WithBackoff(b BackoffConfig) OverlayOption {
 // it (default 1).
 func WithSeed(seed int64) OverlayOption {
 	return func(c *overlayConfig) error { c.seed = seed; return nil }
+}
+
+// WithoutAdaptation disables the congestion-aware data plane: suppliers
+// blast each segment as a single burst on its schedule instead of pacing
+// at the bandwidth estimate and stepping down the bitrate ladder under
+// sustained congestion. Useful as an experiment control; on a shared
+// bottleneck the unadapted plane builds standing queues and stalls.
+func WithoutAdaptation() OverlayOption {
+	return func(c *overlayConfig) error { c.noAdapt = true; return nil }
+}
+
+// WithPriority biases the ABR downgrade decision for sessions requested
+// by this overlay's peers: each priority level doubles how long congestion
+// must sustain before a supplier steps the stream down a bitrate class, so
+// higher-priority flows hold quality while best-effort flows yield first
+// (default 0).
+func WithPriority(p int) OverlayOption {
+	return func(c *overlayConfig) error {
+		if p < 0 {
+			return fmt.Errorf("p2pstream: priority %d is negative", p)
+		}
+		c.priority = p
+		return nil
+	}
+}
+
+// WithCodec supplies the rendition codec the data plane downgrades with
+// (default a perfect transcoder producing exact fractional-size
+// renditions).
+func WithCodec(codec Codec) OverlayOption {
+	return func(c *overlayConfig) error { c.codec = codec; return nil }
+}
+
+// WithStartupBuffer adds client-side startup buffering on top of the
+// Theorem 1 playback deadline: continuity is verified at n·δt plus one
+// segment-time plus this. Sessions expecting congestion set a few
+// segment-times so the queue transient before the bitrate ladder reacts
+// drains from buffer instead of stalling playback (default 0).
+func WithStartupBuffer(d time.Duration) OverlayOption {
+	return func(c *overlayConfig) error {
+		if d < 0 {
+			return fmt.Errorf("p2pstream: startup buffer %v is negative", d)
+		}
+		c.buffer = d
+		return nil
+	}
 }
 
 // NewOverlay builds an overlay for the given media item. Exactly one
@@ -380,20 +430,24 @@ func (o *Overlay) newPeer(ctx context.Context, p OverlayPeer, isSeed bool) (*Nod
 	}
 
 	ncfg := node.Config{
-		ID:         p.ID,
-		Class:      p.Class,
-		NumClasses: o.cfg.numClasses,
-		Policy:     o.cfg.policy,
-		Discovery:  disc,
-		File:       o.cfg.file,
-		M:          o.cfg.m,
-		TOut:       o.cfg.tout,
-		Backoff:    o.cfg.backoff,
-		ListenAddr: p.ListenAddr,
-		Seed:       seed,
-		Clock:      o.cfg.clk,
-		Network:    nw,
-		Observer:   o.cfg.observer,
+		ID:          p.ID,
+		Class:       p.Class,
+		NumClasses:  o.cfg.numClasses,
+		Policy:      o.cfg.policy,
+		Discovery:   disc,
+		File:        o.cfg.file,
+		M:           o.cfg.m,
+		TOut:        o.cfg.tout,
+		Backoff:     o.cfg.backoff,
+		ListenAddr:  p.ListenAddr,
+		Seed:        seed,
+		Clock:       o.cfg.clk,
+		Network:     nw,
+		Observer:    o.cfg.observer,
+		NoAdapt:     o.cfg.noAdapt,
+		Priority:    o.cfg.priority,
+		Codec:       o.cfg.codec,
+		ExtraBuffer: o.cfg.buffer,
 	}
 	var n *Node
 	var err error

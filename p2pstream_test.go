@@ -376,3 +376,133 @@ func TestPublicDeclarativeScenario(t *testing.T) {
 		t.Error("flash-crowd missing from the catalog")
 	}
 }
+
+// TestPublicOverlayCongestion drives the congestion-aware data plane
+// through the public facade: the seed's link is bandwidth-capped below the
+// stream's full-quality wire rate, so the supplier must pace, the estimate
+// converges under the committed rate, and the bitrate ladder steps down —
+// while the startup buffer keeps playback continuous.
+func TestPublicOverlayCongestion(t *testing.T) {
+	ctx := context.Background()
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
+	// The two supplier links share the requester's ingress bottleneck, so
+	// their caps act as one pipe: the combined full-quality wire rate
+	// (~184 KB/s) cannot fit through 140 KiB/s, the combined first-step
+	// rendition (~100 KB/s) can.
+	vnet.SetLink("s1", "r", p2pstream.LinkConfig{Latency: 300 * time.Microsecond, Bandwidth: 140 << 10})
+	vnet.SetLink("s2", "r", p2pstream.LinkConfig{Latency: 300 * time.Microsecond, Bandwidth: 140 << 10})
+
+	dir := p2pstream.NewDirectoryServer(1)
+	l, err := vnet.Host("dir").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dir.Serve(l)
+	t.Cleanup(func() { dir.Close() })
+
+	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 1024, SegmentTime: 8 * time.Millisecond}
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(l.Addr().String()),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithStartupBuffer(32*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ov.Close() })
+	for _, id := range []string{"s1", "s2"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := req.RequestUntilAdmitted(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Report.Continuous() {
+		t.Errorf("playback stalled %d times despite the ABR ladder", report.Report.Stalls)
+	}
+	if report.Downgraded == 0 {
+		t.Error("session on a capped link never downgraded")
+	}
+	if report.MaxQuality == 0 {
+		t.Error("MaxQuality still full despite downgraded segments")
+	}
+
+	// The option constructors validate their domain.
+	if _, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(l.Addr().String()),
+		p2pstream.WithPriority(-1),
+	); err == nil {
+		t.Error("negative priority accepted")
+	}
+	if _, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(l.Addr().String()),
+		p2pstream.WithStartupBuffer(-time.Millisecond),
+	); err == nil {
+		t.Error("negative startup buffer accepted")
+	}
+}
+
+// TestPublicOverlayNoAdaptation: the control plane of the same experiment —
+// WithoutAdaptation restores the burst-on-schedule sender, which on the
+// same capped link either stalls playback or drops at the queue. This is
+// the public-facade version of the scenario suite's NoAdapt control runs.
+func TestPublicOverlayNoAdaptation(t *testing.T) {
+	ctx := context.Background()
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
+	vnet.SetLink("s1", "r", p2pstream.LinkConfig{Latency: 300 * time.Microsecond, Bandwidth: 140 << 10})
+	vnet.SetLink("s2", "r", p2pstream.LinkConfig{Latency: 300 * time.Microsecond, Bandwidth: 140 << 10})
+
+	dir := p2pstream.NewDirectoryServer(1)
+	l, err := vnet.Host("dir").Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dir.Serve(l)
+	t.Cleanup(func() { dir.Close() })
+
+	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 1024, SegmentTime: 8 * time.Millisecond}
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory(l.Addr().String()),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithoutAdaptation(),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ov.Close() })
+	for _, id := range []string{"s1", "s2"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := req.RequestUntilAdmitted(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Downgraded != 0 {
+		t.Errorf("unadapted sender downgraded %d segments", report.Downgraded)
+	}
+	if report.Report.Continuous() {
+		t.Error("burst sender on the capped link played continuously; the congestion control is not being exercised")
+	}
+}

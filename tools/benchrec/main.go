@@ -1,7 +1,7 @@
 // Command benchrec records and gates the virtual-substrate benchmark
 // trajectory. It runs the vnet benchmarks (BenchmarkVnetChunkDelivery,
-// BenchmarkVnetConcurrentHosts, BenchmarkMegacrowd10k — see
-// bench_test.go) and either:
+// BenchmarkPacedChunkDelivery, BenchmarkVnetConcurrentHosts,
+// BenchmarkMegacrowd10k — see bench_test.go) and either:
 //
 //	-record   appends the measured point to BENCH_vnet.json (the
 //	          trajectory: one point per recorded optimization state), or
@@ -11,7 +11,10 @@
 //
 // The micro-benchmarks run on a manually driven clock and measure pure
 // CPU, so they gate tightly; the 10k megacrowd is wall-clock (quiescence
-// waits included) and is recorded un-gated.
+// waits included) and is recorded un-gated. Each micro measurement is the
+// best of three samples — min ns/op and min allocs/op per benchmark — so
+// a scheduler hiccup in one sample neither records an inflated baseline
+// nor fails the gate spuriously.
 //
 // Run from the repository root:
 //
@@ -55,8 +58,11 @@ type Trajectory struct {
 }
 
 const (
-	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkVnetConcurrentHosts)$"
+	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkPacedChunkDelivery|BenchmarkVnetConcurrentHosts)$"
 	macroBenches = "^BenchmarkMegacrowd10k$"
+
+	// microSamples is the best-of count for the gated micro-benchmarks.
+	microSamples = 3
 )
 
 func main() {
@@ -152,15 +158,21 @@ func compare(baseline, measured map[string]Bench, tolerance float64) []string {
 }
 
 // runBenches runs the vnet benchmarks and parses their measurements. The
-// micro-benchmarks use the default 1s benchtime for stable ns/op; the
-// macro flash crowd runs a single iteration (its one op takes seconds).
+// micro-benchmarks use a 1s benchtime for stable ns/op and are sampled
+// three times, keeping the best (minimum) of each metric — both -record
+// and -check see noise-floor numbers, not one unlucky sample. The macro
+// flash crowd runs a single iteration (its one op takes seconds).
 func runBenches(skipMacro bool) (map[string]Bench, error) {
 	out := make(map[string]Bench)
-	micro, err := goBench(microBenches, "1s")
-	if err != nil {
-		return nil, err
+	var samples []map[string]Bench
+	for i := 0; i < microSamples; i++ {
+		micro, err := goBench(microBenches, "1s")
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, micro)
 	}
-	for name, b := range micro {
+	for name, b := range bestOf(samples) {
 		b.Gated = true
 		out[name] = b
 	}
@@ -174,6 +186,38 @@ func runBenches(skipMacro bool) (map[string]Bench, error) {
 		}
 	}
 	return out, nil
+}
+
+// bestOf folds repeated samples of the same benchmark set into one
+// measurement per benchmark: the minimum ns/op and minimum allocs/op
+// across samples. Minimum, not mean: these benchmarks measure pure CPU on
+// a quiet machine, so the floor is the signal and everything above it is
+// interference. A benchmark is kept only if every sample measured it.
+func bestOf(samples []map[string]Bench) map[string]Bench {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make(map[string]Bench)
+	for name, b := range samples[0] {
+		best, ok := b, true
+		for _, s := range samples[1:] {
+			got, present := s[name]
+			if !present {
+				ok = false
+				break
+			}
+			if got.NsPerOp < best.NsPerOp {
+				best.NsPerOp = got.NsPerOp
+			}
+			if got.AllocsPerOp < best.AllocsPerOp {
+				best.AllocsPerOp = got.AllocsPerOp
+			}
+		}
+		if ok {
+			out[name] = best
+		}
+	}
+	return out
 }
 
 func goBench(pattern, benchtime string) (map[string]Bench, error) {

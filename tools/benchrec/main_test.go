@@ -12,6 +12,7 @@ import (
 func TestCompareGate(t *testing.T) {
 	baseline := map[string]Bench{
 		"BenchmarkVnetChunkDelivery":   {NsPerOp: 100, AllocsPerOp: 0, Gated: true},
+		"BenchmarkPacedChunkDelivery":  {NsPerOp: 110, AllocsPerOp: 0, Gated: true},
 		"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0, Gated: true},
 		"BenchmarkMegacrowd10k":        {NsPerOp: 9e9, AllocsPerOp: 5e7, Gated: false},
 	}
@@ -25,6 +26,7 @@ func TestCompareGate(t *testing.T) {
 			name: "within tolerance passes",
 			measured: map[string]Bench{
 				"BenchmarkVnetChunkDelivery":   {NsPerOp: 109, AllocsPerOp: 0},
+				"BenchmarkPacedChunkDelivery":  {NsPerOp: 120, AllocsPerOp: 0},
 				"BenchmarkVnetConcurrentHosts": {NsPerOp: 219, AllocsPerOp: 0},
 				"BenchmarkMegacrowd10k":        {NsPerOp: 9.5e9, AllocsPerOp: 6e7},
 			},
@@ -33,6 +35,7 @@ func TestCompareGate(t *testing.T) {
 			name: "ns/op regression fails",
 			measured: map[string]Bench{
 				"BenchmarkVnetChunkDelivery":   {NsPerOp: 120, AllocsPerOp: 0},
+				"BenchmarkPacedChunkDelivery":  {NsPerOp: 110, AllocsPerOp: 0},
 				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
 			},
 			wantFail: []string{"BenchmarkVnetChunkDelivery", "ns/op"},
@@ -41,6 +44,7 @@ func TestCompareGate(t *testing.T) {
 			name: "any alloc on a zero-alloc baseline fails",
 			measured: map[string]Bench{
 				"BenchmarkVnetChunkDelivery":   {NsPerOp: 100, AllocsPerOp: 1},
+				"BenchmarkPacedChunkDelivery":  {NsPerOp: 110, AllocsPerOp: 0},
 				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
 			},
 			wantFail: []string{"BenchmarkVnetChunkDelivery", "allocs/op"},
@@ -48,6 +52,7 @@ func TestCompareGate(t *testing.T) {
 		{
 			name: "missing gated benchmark fails",
 			measured: map[string]Bench{
+				"BenchmarkPacedChunkDelivery":  {NsPerOp: 110, AllocsPerOp: 0},
 				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
 			},
 			wantFail: []string{"BenchmarkVnetChunkDelivery", "missing"},
@@ -56,6 +61,7 @@ func TestCompareGate(t *testing.T) {
 			name: "un-gated macro benchmark may regress freely",
 			measured: map[string]Bench{
 				"BenchmarkVnetChunkDelivery":   {NsPerOp: 100, AllocsPerOp: 0},
+				"BenchmarkPacedChunkDelivery":  {NsPerOp: 110, AllocsPerOp: 0},
 				"BenchmarkVnetConcurrentHosts": {NsPerOp: 200, AllocsPerOp: 0},
 				"BenchmarkMegacrowd10k":        {NsPerOp: 9e12, AllocsPerOp: 5e9},
 			},
@@ -105,5 +111,41 @@ ok  	p2pstream	12.3s
 	mc := res["BenchmarkMegacrowd10k"]
 	if mc.NsPerOp != 9.034e9 || mc.AllocsPerOp != 400000 {
 		t.Errorf("megacrowd = %+v", mc)
+	}
+}
+
+// TestBestOf: best-of-3 sampling keeps the per-benchmark floor of every
+// metric independently, and drops a benchmark that any sample missed.
+func TestBestOf(t *testing.T) {
+	samples := []map[string]Bench{
+		{
+			"BenchmarkVnetChunkDelivery":  {NsPerOp: 130, AllocsPerOp: 2},
+			"BenchmarkPacedChunkDelivery": {NsPerOp: 150, AllocsPerOp: 0},
+			"BenchmarkFlaky":              {NsPerOp: 50, AllocsPerOp: 0},
+		},
+		{
+			"BenchmarkVnetChunkDelivery":  {NsPerOp: 105, AllocsPerOp: 3},
+			"BenchmarkPacedChunkDelivery": {NsPerOp: 140, AllocsPerOp: 1},
+		},
+		{
+			"BenchmarkVnetChunkDelivery":  {NsPerOp: 118, AllocsPerOp: 0},
+			"BenchmarkPacedChunkDelivery": {NsPerOp: 160, AllocsPerOp: 0},
+			"BenchmarkFlaky":              {NsPerOp: 45, AllocsPerOp: 0},
+		},
+	}
+	got := bestOf(samples)
+	if len(got) != 2 {
+		t.Fatalf("bestOf kept %d benchmarks, want 2 (flaky one dropped): %+v", len(got), got)
+	}
+	// Minima are taken per metric, not per sample: 105 ns/op comes from
+	// sample 2, 0 allocs/op from sample 3.
+	if cd := got["BenchmarkVnetChunkDelivery"]; cd.NsPerOp != 105 || cd.AllocsPerOp != 0 {
+		t.Errorf("chunk delivery best = %+v, want 105 ns/op, 0 allocs/op", cd)
+	}
+	if pd := got["BenchmarkPacedChunkDelivery"]; pd.NsPerOp != 140 || pd.AllocsPerOp != 0 {
+		t.Errorf("paced delivery best = %+v, want 140 ns/op, 0 allocs/op", pd)
+	}
+	if bestOf(nil) != nil {
+		t.Error("bestOf(nil) must be nil")
 	}
 }
