@@ -22,6 +22,7 @@ import (
 	"p2pstream/internal/dac"
 	"p2pstream/internal/experiments"
 	"p2pstream/internal/lookup"
+	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
 	"p2pstream/internal/pacing"
 	"p2pstream/internal/scenario"
@@ -442,3 +443,39 @@ func BenchmarkAblationLookup(b *testing.B) { benchExperiment(b, "ablation-lookup
 // BenchmarkReplication measures the 5-seed replication of the headline
 // DAC-vs-NDAC comparison (ten simulations).
 func BenchmarkReplication(b *testing.B) { benchExperiment(b, "replication") }
+
+// --- multi-object library benchmarks ------------------------------------
+
+// BenchmarkLibraryLookup measures the supplier hot path of the bounded
+// node cache: one Get per op against a 64-object library, rotating
+// through the whole catalog so every op moves an entry to the LRU front.
+// The intrusive list keeps the lookup allocation-free — the gated target
+// is 0 allocs/op, so a session start never feeds the collector.
+func BenchmarkLibraryLookup(b *testing.B) {
+	const objects = 64
+	lib := media.NewLibrary(0)
+	names := make([]string, objects)
+	for i := 0; i < objects; i++ {
+		f := &media.File{
+			Name:         fmt.Sprintf("obj-%02d", i),
+			Segments:     16,
+			SegmentBytes: 256,
+			SegmentTime:  40 * time.Millisecond,
+		}
+		store, err := media.NewStore(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lib.Add(f, store); err != nil {
+			b.Fatal(err)
+		}
+		names[i] = f.Name
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := lib.Get(names[i%objects]); !ok {
+			b.Fatalf("object %s missing", names[i%objects])
+		}
+	}
+}

@@ -57,6 +57,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	segments := flag.Int("segments", 120, "number of media segments")
 	dt := flag.Duration("dt", 50*time.Millisecond, "segment playback time (delta t)")
+	objects := flag.String("objects", "", "comma-separated object names for a multi-object overlay (each an item of -segments segments; empty runs the single default file)")
+	held := flag.String("held", "", "comma-separated objects a multi-object seed holds (empty = all of -objects)")
+	request := flag.String("request", "", "object a multi-object requester streams (empty = the first of -objects)")
+	cacheBudget := flag.Int64("cache-budget", 0, "library byte budget per peer; exceeding it evicts the LRU object (0 = unbounded)")
+	sessionSlots := flag.Int("session-slots", 0, "concurrent supplying sessions per peer across objects (0 = one)")
 	m := flag.Int("m", 8, "candidates probed per request")
 	tout := flag.Duration("tout", 2*time.Second, "idle elevation timeout")
 	attempts := flag.Int("attempts", 10, "max admission attempts before giving up")
@@ -111,11 +116,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	file := &p2pstream.MediaFile{
-		Name:         "popular-video",
-		Segments:     *segments,
-		SegmentBytes: 4096,
-		SegmentTime:  *dt,
+	mediaItem := func(name string) *p2pstream.MediaFile {
+		return &p2pstream.MediaFile{
+			Name:         name,
+			Segments:     *segments,
+			SegmentBytes: 4096,
+			SegmentTime:  *dt,
+		}
+	}
+	var file *p2pstream.MediaFile
+	if names := splitList(*objects); len(names) > 0 {
+		catalog := make([]*p2pstream.MediaFile, len(names))
+		for i, name := range names {
+			catalog[i] = mediaItem(name)
+		}
+		opts = append(opts, p2pstream.WithLibrary(catalog...))
+		if *cacheBudget > 0 {
+			opts = append(opts, p2pstream.WithCacheBudget(*cacheBudget))
+		}
+		if *sessionSlots > 0 {
+			opts = append(opts, p2pstream.WithSessionSlots(*sessionSlots))
+		}
+	} else {
+		file = mediaItem("popular-video")
 	}
 	ov, err := p2pstream.NewOverlay(file, opts...)
 	if err != nil {
@@ -128,6 +151,7 @@ func main() {
 		Class:               p2pstream.Class(*class),
 		ListenAddr:          *listen,
 		DiscoveryListenAddr: *chordListen,
+		Held:                splitList(*held),
 	}
 	var n *p2pstream.Node
 	if *seedPeer {
@@ -148,7 +172,7 @@ func main() {
 		if *timeout > 0 {
 			reqCtx, cancel = context.WithTimeout(ctx, *timeout)
 		}
-		report, err := n.RequestUntilAdmitted(reqCtx, *attempts)
+		report, err := n.RequestUntilAdmitted(reqCtx, *request, *attempts)
 		cancel()
 		switch {
 		case err == nil:

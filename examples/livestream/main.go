@@ -70,7 +70,7 @@ func main() {
 		// session streams, post-session registration.
 		reqCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 		defer cancel()
-		report, err := n.RequestUntilAdmitted(reqCtx, 20)
+		report, err := n.RequestUntilAdmitted(reqCtx, "", 20)
 		if err != nil {
 			log.Fatal(err)
 		}

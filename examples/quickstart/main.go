@@ -101,7 +101,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := req.RequestUntilAdmitted(ctx, 5)
+	report, err := req.RequestUntilAdmitted(ctx, "", 5)
 	if err != nil {
 		log.Fatal(err)
 	}

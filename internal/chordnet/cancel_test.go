@@ -82,7 +82,7 @@ func TestCancelMidCandidates(t *testing.T) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	f.clk.AfterFunc(10*time.Millisecond, cancel)
-	if _, err := r.Candidates(cctx, 4, "r"); !errors.Is(err, context.Canceled) {
+	if _, err := r.Candidates(cctx, "", 4, "r"); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -131,13 +131,22 @@ type Peer struct {
 	// exchange itself at population scale.
 	cache *transport.ConnCache
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	self   transport.ChordContact
-	joined bool
-	closed bool
-	pred   *transport.ChordContact
-	predID uint64
+	mu  sync.Mutex
+	rng *rand.Rand
+	// objects is the set of media objects this peer currently supplies.
+	// Ring membership is per peer, not per object: the first Register
+	// joins, later ones just grow the set (mirrored, sorted, into
+	// self.Objects so contacts carry it), and only withdrawing the last
+	// object leaves the ring. Cached contacts elsewhere lag by up to a
+	// stabilization round; requesters tolerate that staleness because a
+	// probed peer that dropped the object refuses the session and the
+	// admission sweep retries.
+	objects map[string]bool
+	self    transport.ChordContact
+	joined  bool
+	closed  bool
+	pred    *transport.ChordContact
+	predID  uint64
 	// succIDs and fingerIDs cache the ring position of each stored
 	// contact (always in lockstep with succs/fingers), so the routing hot
 	// path — closestPrecedingLocked scans the whole finger table per step
@@ -171,14 +180,15 @@ func New(cfg Config) (*Peer, error) {
 		cfg.MaxHops = defaultMaxHops
 	}
 	p := &Peer{
-		cfg:   cfg,
-		comp:  "chord/" + cfg.ID,
-		clk:   clock.Or(cfg.Clock),
-		net:   netx.Or(cfg.Network),
-		id:    chord.HashKey(cfg.ID),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		self:  transport.ChordContact{Name: cfg.ID, Class: cfg.Class},
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		comp:    "chord/" + cfg.ID,
+		clk:     clock.Or(cfg.Clock),
+		net:     netx.Or(cfg.Network),
+		id:      chord.HashKey(cfg.ID),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		objects: make(map[string]bool),
+		self:    transport.ChordContact{Name: cfg.ID, Class: cfg.Class},
+		conns:   make(map[net.Conn]struct{}),
 	}
 	p.cache = transport.NewConnCache(p.net)
 	p.onWriteErr = func(kind transport.Kind, err error) {
@@ -264,10 +274,14 @@ func (p *Peer) LookupStats() (lookups, hops, sampleRounds int64) {
 }
 
 // Register joins the ring as a supplying peer: reg.Addr is the overlay
-// (probe/session) address carried to candidates. With no bootstrap the
-// peer founds a new singleton ring; otherwise it routes a lookup of its
-// own position to find its successor and splices in, retrying briefly if
-// the routed successor is a stale entry for a crashed peer.
+// (probe/session) address carried to candidates, reg.Object the supplied
+// media object ("" for the single-object default). A peer that is already
+// a member registers further objects without re-joining — the grown set
+// spreads with its contact through the next stabilization round. With no
+// bootstrap the peer founds a new singleton ring; otherwise it routes a
+// lookup of its own position to find its successor and splices in,
+// retrying briefly if the routed successor is a stale entry for a
+// crashed peer.
 func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 	if reg.ID != p.cfg.ID {
 		return fmt.Errorf("chordnet %s: register for foreign id %q", p.cfg.ID, reg.ID)
@@ -281,11 +295,21 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 		p.mu.Unlock()
 		return fmt.Errorf("chordnet %s: not started", p.cfg.ID)
 	case p.joined:
+		if reg.Object != "" && !p.objects[reg.Object] {
+			p.objects[reg.Object] = true
+			p.refreshObjectsLocked()
+			p.mu.Unlock()
+			return nil
+		}
 		p.mu.Unlock()
 		return fmt.Errorf("chordnet %s: already joined", p.cfg.ID)
 	}
 	p.self.NodeAddr = reg.Addr
 	p.self.Class = reg.Class
+	if reg.Object != "" {
+		p.objects[reg.Object] = true
+		p.refreshObjectsLocked()
+	}
 	self := p.self
 	p.mu.Unlock()
 
@@ -349,18 +373,29 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 	return fmt.Errorf("chordnet %s: join failed: %w", p.cfg.ID, lastErr)
 }
 
-// Unregister leaves the ring gracefully: the peer hands its key range to
-// its successor with a chord-leave notice (the successor adopts the
-// leaver's predecessor, the predecessor splices the leaver's successor
-// list in place of the leaver), so the ring is whole the instant the
-// notices land — no staleness window, no stabilization round, no eviction
-// churn. Neighbors that cannot be reached fall back to the crash healing
-// path as before.
-func (p *Peer) Unregister(ctx context.Context, id string) error {
+// Unregister withdraws the peer from one object. While other objects
+// remain the peer stays a ring member with a shrunken object set (cached
+// contacts lag; probed anyway, it refuses the gone object and the sweep
+// retries elsewhere). Withdrawing the last object leaves the ring
+// gracefully: the peer hands its key range to its successor with a
+// chord-leave notice (the successor adopts the leaver's predecessor, the
+// predecessor splices the leaver's successor list in place of the
+// leaver), so the ring is whole the instant the notices land — no
+// staleness window, no stabilization round, no eviction churn. Neighbors
+// that cannot be reached fall back to the crash healing path as before.
+func (p *Peer) Unregister(ctx context.Context, id, object string) error {
 	if id != p.cfg.ID {
 		return fmt.Errorf("chordnet %s: unregister for foreign id %q", p.cfg.ID, id)
 	}
 	p.mu.Lock()
+	if object != "" && p.joined && p.objects[object] && len(p.objects) > 1 {
+		delete(p.objects, object)
+		p.refreshObjectsLocked()
+		p.mu.Unlock()
+		return nil
+	}
+	delete(p.objects, object)
+	p.refreshObjectsLocked()
 	wasJoined := p.joined
 	self := p.self
 	var pred *transport.ChordContact
@@ -402,12 +437,15 @@ func (p *Peer) Unregister(ctx context.Context, id string) error {
 	return ctx.Err()
 }
 
-// Candidates samples up to m distinct supplying peers by routing lookups
-// of random keys — owners are hit proportionally to arc length. Each round
-// issues the missing draws in parallel; with fewer ring members than m the
-// sample simply comes back short, and the admission sweep retries later
-// against a grown ring.
-func (p *Peer) Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error) {
+// Candidates samples up to m distinct peers supplying the given object by
+// routing lookups of random keys — owners are hit proportionally to arc
+// length. Owners whose contact names an object set without the requested
+// object are skipped (an empty set means unknown — such contacts pass,
+// and the probe's own refusal sorts them out). Each round issues the
+// missing draws in parallel; with fewer ring members than m the sample
+// simply comes back short, and the admission sweep retries later against
+// a grown ring.
+func (p *Peer) Candidates(ctx context.Context, object string, m int, exclude string) ([]transport.Candidate, error) {
 	if m <= 0 {
 		return nil, nil
 	}
@@ -440,6 +478,9 @@ func (p *Peer) Candidates(ctx context.Context, m int, exclude string) ([]transpo
 				continue
 			}
 			seen[c.Name] = true
+			if object != "" && len(c.Objects) > 0 && !containsObject(c.Objects, object) {
+				continue
+			}
 			out = append(out, transport.Candidate{ID: c.Name, Addr: c.NodeAddr, Class: c.Class})
 		}
 		if cerr := ctx.Err(); cerr != nil {
@@ -447,6 +488,27 @@ func (p *Peer) Candidates(ctx context.Context, m int, exclude string) ([]transpo
 		}
 	}
 	return out, nil
+}
+
+// containsObject reports whether the sorted object list names the object.
+func containsObject(objects []string, object string) bool {
+	i := sort.SearchStrings(objects, object)
+	return i < len(objects) && objects[i] == object
+}
+
+// refreshObjectsLocked rebuilds self.Objects (sorted, a fresh slice — the
+// old one may be shared with in-flight notices) from the object set.
+func (p *Peer) refreshObjectsLocked() {
+	if len(p.objects) == 0 {
+		p.self.Objects = nil
+		return
+	}
+	out := make([]string, 0, len(p.objects))
+	for o := range p.objects {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	p.self.Objects = out
 }
 
 // Close leaves the ring and shuts the peer down: stabilization stops, the
@@ -773,6 +835,12 @@ func (p *Peer) stabilizeOnce() {
 			// next round notifies it and verifies its pulse).
 			list = append(list, *x)
 		}
+		if reply.Self != nil && reply.Self.Name == s.Name {
+			// The successor answered with its fresh contact: replace our
+			// stored entry, so a post-join change (a grown object set)
+			// reaches the routing answers we serve for it.
+			s = *reply.Self
+		}
 		list = append(list, s)
 		list = append(list, reply.Successors...)
 		p.setSuccessors(list)
@@ -918,9 +986,11 @@ func (p *Peer) adopt(from transport.ChordContact) transport.ChordNotifyReply {
 			p.predID = fromID
 		}
 	}
+	me := p.self
 	return transport.ChordNotifyReply{
 		Predecessor: prev,
 		Successors:  append([]transport.ChordContact(nil), p.succs...),
+		Self:        &me,
 	}
 }
 

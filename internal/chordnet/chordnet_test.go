@@ -260,7 +260,7 @@ func TestCandidatesFromNonMember(t *testing.T) {
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
 
 	r := f.newPeer("req", 1) // never joins: samples via bootstrap key-lookups
-	cands, err := r.Candidates(ctx, 4, "s0")
+	cands, err := r.Candidates(ctx, "", 4, "s0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestCandidatesFromNonMember(t *testing.T) {
 	}
 
 	// A member samples too (the requester-turned-supplier path).
-	cands, err = f.peers["s1"].Candidates(ctx, 3, "s1")
+	cands, err = f.peers["s1"].Candidates(ctx, "", 3, "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestUnregisterLeavesRing(t *testing.T) {
 	}
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
 
-	if err := f.peers["b"].Unregister(ctx, "b"); err != nil {
+	if err := f.peers["b"].Unregister(ctx, "b", ""); err != nil {
 		t.Fatal(err)
 	}
 	if f.peers["b"].Joined() {
@@ -345,7 +345,7 @@ func TestGracefulLeaveClosesStalenessWindow(t *testing.T) {
 		}
 	}
 	left := f2.clk.Now()
-	if err := f2.peers[leaver].Unregister(ctx, leaver); err != nil {
+	if err := f2.peers[leaver].Unregister(ctx, leaver, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -393,7 +393,7 @@ func TestLookupStats(t *testing.T) {
 	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
 
 	r := f.newPeer("req", 1) // non-member: delegated lookups
-	if _, err := r.Candidates(ctx, 3, ""); err != nil {
+	if _, err := r.Candidates(ctx, "", 3, ""); err != nil {
 		t.Fatal(err)
 	}
 	lookups, hops, rounds := r.LookupStats()
@@ -409,7 +409,7 @@ func TestLookupStats(t *testing.T) {
 
 	m := f.peers["s0"]
 	before, _, beforeRounds := m.LookupStats()
-	if _, err := m.Candidates(ctx, 2, "s0"); err != nil {
+	if _, err := m.Candidates(ctx, "", 2, "s0"); err != nil {
 		t.Fatal(err)
 	}
 	after, _, afterRounds := m.LookupStats()
@@ -438,7 +438,7 @@ func TestConfigValidation(t *testing.T) {
 	if err := p.Register(ctx, transport.Register{ID: "other", Addr: "a:1", Class: 1}); err == nil {
 		t.Error("register for a foreign ID accepted")
 	}
-	if err := p.Unregister(ctx, "other"); err == nil {
+	if err := p.Unregister(ctx, "other", ""); err == nil {
 		t.Error("unregister for a foreign ID accepted")
 	}
 }

@@ -1,0 +1,108 @@
+package chordnet
+
+import (
+	"testing"
+
+	"p2pstream/internal/transport"
+)
+
+// registerObject grows a joined member's supplied-object set (the
+// requester-turned-supplier path for one more object).
+func (f *fixture) registerObject(name, object string) {
+	f.t.Helper()
+	p := f.peers[name]
+	err := p.Register(ctx, transport.Register{
+		ID: name, Addr: "overlay-" + name + ":9", Class: 1, Object: object,
+	})
+	if err != nil {
+		f.t.Fatalf("register %s object %s: %v", name, object, err)
+	}
+}
+
+// sampleIDs draws candidates for one object and returns the ID set.
+func (f *fixture) sampleIDs(p *Peer, object string, m int) map[string]bool {
+	f.t.Helper()
+	cands, err := p.Candidates(ctx, object, m, "")
+	if err != nil {
+		f.t.Fatalf("candidates %q: %v", object, err)
+	}
+	ids := map[string]bool{}
+	for _, c := range cands {
+		ids[c.ID] = true
+	}
+	return ids
+}
+
+// TestCandidatesFilterByObject: contacts carry their supplied-object
+// sets, and Candidates skips owners whose set names other objects only.
+// A contact with an empty set is unknown — it passes the filter, and the
+// probe's own refusal sorts it out; filtering is advisory, not a gate.
+func TestCandidatesFilterByObject(t *testing.T) {
+	f := newFixture(t)
+	members := []string{"s0", "s1", "s2", "s3"}
+	for _, m := range members {
+		f.addMember(m, 1)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "stabilization")
+
+	// s0 and s1 supply v1, s1 and s2 supply v2, s3 supplies v3 only.
+	f.registerObject("s0", "v1")
+	f.registerObject("s1", "v1")
+	f.registerObject("s1", "v2")
+	f.registerObject("s2", "v2")
+	f.registerObject("s3", "v3")
+
+	r := f.newPeer("req", 1)
+	allowed := map[string]map[string]bool{
+		"v1": {"s0": true, "s1": true},
+		"v2": {"s1": true, "s2": true},
+		"v3": {"s3": true},
+	}
+	for object, want := range allowed {
+		// Contacts spread object sets through stabilization, and a stale
+		// contact with an empty set passes the filter in the interim; the
+		// converged sample must be exactly the supplier pool, though.
+		f.waitFor(func() bool {
+			ids := f.sampleIDs(r, object, len(members))
+			if len(ids) != len(want) {
+				return false
+			}
+			for id := range want {
+				if !ids[id] {
+					return false
+				}
+			}
+			return true
+		}, "exact supplier pool for "+object)
+	}
+
+	// An unfiltered draw ("" = the single-object default) still samples
+	// the whole ring regardless of object sets.
+	f.waitFor(func() bool {
+		return len(f.sampleIDs(r, "", len(members))) == len(members)
+	}, "unfiltered sample of the whole ring")
+
+	// Withdrawing one object of a multi-object member narrows the filter
+	// without leaving the ring: s1 drops v2, v2's pool shrinks to s2, and
+	// s1 keeps answering for v1.
+	if err := f.peers["s1"].Unregister(ctx, "s1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor(func() bool { return ringHealthy(f.peers, members) }, "ring after partial withdrawal")
+	f.waitFor(func() bool {
+		ids := f.sampleIDs(r, "v2", len(members))
+		return len(ids) == 1 && ids["s2"] && !ids["s1"]
+	}, "v2 pool narrowed to s2")
+	f.waitFor(func() bool {
+		return f.sampleIDs(r, "v1", len(members))["s1"]
+	}, "s1 still supplying v1")
+
+	// A member with an empty object set passes any object filter: unknown
+	// contacts are sampled, not silently dropped.
+	f.addMember("blank", 1)
+	all := append(members, "blank")
+	f.waitFor(func() bool { return ringHealthy(f.peers, all) }, "ring with blank member")
+	f.waitFor(func() bool {
+		return f.sampleIDs(r, "v3", len(all))["blank"]
+	}, "empty-set member passing the v3 filter")
+}

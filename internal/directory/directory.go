@@ -48,10 +48,17 @@ type Server struct {
 	onWriteErr func(transport.Kind, error)
 	stats      struct{ registers, refreshes, unregisters, lookups atomic.Int64 }
 
-	mu    sync.Mutex
-	dir   *lookup.Directory[string]
-	addrs map[string]string // peer ID -> dial address
-	rng   *rand.Rand
+	mu sync.Mutex
+	// dirs holds one supplier registry per media object; the "" key is the
+	// default registry, serving clients that predate multi-object lookups
+	// (their wire frames carry no object field at all).
+	dirs map[string]*lookup.Directory[string]
+	// addrs maps peer ID -> dial address; addrRefs counts how many object
+	// registries hold the peer, so withdrawing one object keeps the address
+	// live for the others.
+	addrs    map[string]string
+	addrRefs map[string]int
+	rng      *rand.Rand
 
 	listener net.Listener
 	conns    map[net.Conn]struct{} // in-flight exchanges (closed on Close)
@@ -63,11 +70,12 @@ type Server struct {
 // sampling for reproducible tests.
 func NewServer(seed int64) *Server {
 	s := &Server{
-		Timeout: defaultTimeout,
-		dir:     lookup.NewDirectory[string](),
-		addrs:   make(map[string]string),
-		rng:     rand.New(rand.NewSource(seed)),
-		conns:   make(map[net.Conn]struct{}),
+		Timeout:  defaultTimeout,
+		dirs:     map[string]*lookup.Directory[string]{"": lookup.NewDirectory[string]()},
+		addrs:    make(map[string]string),
+		addrRefs: make(map[string]int),
+		rng:      rand.New(rand.NewSource(seed)),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.onWriteErr = func(kind transport.Kind, err error) {
 		observe.Emit(s.Observer, observe.Event{
@@ -80,11 +88,28 @@ func NewServer(seed int64) *Server {
 	return s
 }
 
-// Len returns the number of registered suppliers.
+// Len returns the number of registrations across every object registry (a
+// peer supplying two objects counts twice — Len weighs registry size, not
+// peer population).
 func (s *Server) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.dir.Len()
+	n := 0
+	for _, dir := range s.dirs {
+		n += dir.Len()
+	}
+	return n
+}
+
+// ObjectLen returns the number of suppliers registered for one object
+// ("" is the default registry).
+func (s *Server) ObjectLen(object string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dir, ok := s.dirs[object]; ok {
+		return dir.Len()
+	}
+	return 0
 }
 
 // Serve accepts connections until the listener is closed. It always
@@ -201,13 +226,24 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			s.reply(conn, transport.KindRegisterOK, struct{}{})
+		case transport.KindRegisterBatch:
+			var req transport.RegisterBatch
+			if err := env.Decode(&req); err != nil {
+				s.replyError(conn, err)
+				return
+			}
+			if err := s.registerBatch(req); err != nil {
+				s.replyError(conn, err)
+				continue
+			}
+			s.reply(conn, transport.KindRegisterBatchOK, struct{}{})
 		case transport.KindUnregister:
 			var req transport.Unregister
 			if err := env.Decode(&req); err != nil {
 				s.replyError(conn, err)
 				return
 			}
-			s.unregister(req.ID)
+			s.unregister(req.ID, req.Object)
 			s.reply(conn, transport.KindUnregisterOK, struct{}{})
 		case transport.KindLookup:
 			var req transport.Lookup
@@ -234,50 +270,88 @@ func (s *Server) replyError(conn net.Conn, err error) {
 }
 
 func (s *Server) register(req transport.Register) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(req)
+}
+
+// registerBatch registers every entry of one batch frame under a single
+// lock hold — one exchange announces a seed's whole object set (or a
+// whole seed population) instead of one dial per entry. The first failing
+// entry aborts the batch; entries before it stay registered, exactly as
+// if they had been sent individually.
+func (s *Server) registerBatch(req transport.RegisterBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, reg := range req.Regs {
+		if err := s.registerLocked(reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) registerLocked(req transport.Register) error {
 	if req.ID == "" || req.Addr == "" {
 		return errors.New("directory: register needs id and addr")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if req.Refresh && s.dir.Contains(req.ID) {
+	dir, ok := s.dirs[req.Object]
+	if !ok {
+		dir = lookup.NewDirectory[string]()
+		s.dirs[req.Object] = dir
+	}
+	if req.Refresh && dir.Contains(req.ID) {
 		// Lease refresh of a known peer: re-registering is how a supplier
 		// survives a registry shard that crashed and came back empty, so
 		// the newest address and class simply replace the entry.
-		s.dir.Unregister(req.ID)
-		if err := s.dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
+		dir.Unregister(req.ID)
+		if err := dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
 			return err
 		}
 		s.addrs[req.ID] = req.Addr
 		s.stats.refreshes.Add(1)
 		return nil
 	}
-	if err := s.dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
+	if err := dir.Register(lookup.Entry[string]{ID: req.ID, Class: req.Class}); err != nil {
 		return err
 	}
 	s.addrs[req.ID] = req.Addr
+	s.addrRefs[req.ID]++
 	s.stats.registers.Add(1)
 	return nil
 }
 
-func (s *Server) unregister(id string) {
+func (s *Server) unregister(id, object string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.dir.Unregister(id) {
-		delete(s.addrs, id)
-		s.stats.unregisters.Add(1)
+	dir, ok := s.dirs[object]
+	if !ok || !dir.Unregister(id) {
+		return
 	}
+	if s.addrRefs[id]--; s.addrRefs[id] <= 0 {
+		delete(s.addrRefs, id)
+		delete(s.addrs, id)
+	}
+	if dir.Len() == 0 && object != "" {
+		delete(s.dirs, object)
+	}
+	s.stats.unregisters.Add(1)
 }
 
 func (s *Server) lookup(req transport.Lookup) transport.Candidates {
 	s.stats.lookups.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dir, ok := s.dirs[req.Object]
+	if !ok {
+		return transport.Candidates{}
+	}
 	m := req.M
 	if req.Exclude != "" {
 		m++ // oversample so the exclusion still leaves M candidates
 	}
-	entries := s.dir.Sample(m, s.rng)
-	out := transport.Candidates{Len: s.dir.Len()}
+	entries := dir.Sample(m, s.rng)
+	out := transport.Candidates{Len: dir.Len()}
 	for _, e := range entries {
 		if e.ID == req.Exclude {
 			continue
@@ -309,20 +383,32 @@ func NewClientOn(network netx.Network, addr string) *Client {
 	return &Client{net: nw, addr: addr, cache: transport.NewConnCache(nw)}
 }
 
-// Register announces a supplying peer. ctx bounds the exchange.
+// Register announces a supplying peer (reg.Object selects the object
+// registry; "" is the default one). ctx bounds the exchange.
 func (c *Client) Register(ctx context.Context, reg transport.Register) error {
 	return c.call(ctx, transport.KindRegister, reg, transport.KindRegisterOK, nil)
 }
 
-// Unregister removes a supplying peer. ctx bounds the exchange.
-func (c *Client) Unregister(ctx context.Context, id string) error {
-	return c.call(ctx, transport.KindUnregister, transport.Unregister{ID: id}, transport.KindUnregisterOK, nil)
+// RegisterBatch announces many registrations in one exchange — a seed's
+// whole object set, or a whole seed population, without one dial per
+// entry.
+func (c *Client) RegisterBatch(ctx context.Context, regs []transport.Register) error {
+	if len(regs) == 0 {
+		return nil
+	}
+	return c.call(ctx, transport.KindRegisterBatch, transport.RegisterBatch{Regs: regs}, transport.KindRegisterBatchOK, nil)
 }
 
-// Candidates fetches up to m random candidates, excluding the given peer
-// ID — the node.Discovery spelling of Lookup.
-func (c *Client) Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error) {
-	reply, err := c.Lookup(ctx, m, exclude)
+// Unregister withdraws a supplying peer from one object's registry. ctx
+// bounds the exchange.
+func (c *Client) Unregister(ctx context.Context, id, object string) error {
+	return c.call(ctx, transport.KindUnregister, transport.Unregister{ID: id, Object: object}, transport.KindUnregisterOK, nil)
+}
+
+// Candidates fetches up to m random candidates for one object, excluding
+// the given peer ID — the node.Discovery spelling of Lookup.
+func (c *Client) Candidates(ctx context.Context, object string, m int, exclude string) ([]transport.Candidate, error) {
+	reply, err := c.Lookup(ctx, object, m, exclude)
 	if err != nil {
 		return nil, err
 	}
@@ -332,12 +418,12 @@ func (c *Client) Candidates(ctx context.Context, m int, exclude string) ([]trans
 // Close drops the client's persistent connection. Further calls fail.
 func (c *Client) Close() error { return c.cache.Close() }
 
-// Lookup fetches up to m random candidates, excluding the given peer ID.
-// The reply carries the answering registry's total size (Len), which the
-// sharded client's merge uses as its weight.
-func (c *Client) Lookup(ctx context.Context, m int, exclude string) (transport.Candidates, error) {
+// Lookup fetches up to m random candidates for one object, excluding the
+// given peer ID. The reply carries the answering registry's size for that
+// object (Len), which the sharded client's merge uses as its weight.
+func (c *Client) Lookup(ctx context.Context, object string, m int, exclude string) (transport.Candidates, error) {
 	var resp transport.Candidates
-	err := c.call(ctx, transport.KindLookup, transport.Lookup{M: m, Exclude: exclude}, transport.KindCandidates, &resp)
+	err := c.call(ctx, transport.KindLookup, transport.Lookup{M: m, Exclude: exclude, Object: object}, transport.KindCandidates, &resp)
 	if err != nil {
 		return transport.Candidates{}, err
 	}

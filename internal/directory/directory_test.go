@@ -41,21 +41,21 @@ func TestRegisterLookupUnregister(t *testing.T) {
 	if srv.Len() != 4 {
 		t.Fatalf("Len = %d", srv.Len())
 	}
-	cands, err := c.Candidates(ctx, 10, "")
+	cands, err := c.Candidates(ctx, "", 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cands) != 4 {
 		t.Fatalf("Lookup returned %d", len(cands))
 	}
-	if err := c.Unregister(ctx, "a"); err != nil {
+	if err := c.Unregister(ctx, "a", ""); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Len() != 3 {
 		t.Fatalf("Len after unregister = %d", srv.Len())
 	}
 	// Unregistering twice is idempotent at the protocol level.
-	if err := c.Unregister(ctx, "a"); err != nil {
+	if err := c.Unregister(ctx, "a", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -99,7 +99,7 @@ func TestLookupExcludesSelf(t *testing.T) {
 		}
 	}
 	for trial := 0; trial < 20; trial++ {
-		cands, err := c.Candidates(ctx, 2, "me")
+		cands, err := c.Candidates(ctx, "", 2, "me")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestLookupExcludesSelf(t *testing.T) {
 func TestLookupEmptyDirectory(t *testing.T) {
 	ctx := context.Background()
 	addr, _ := startServer(t)
-	cands, err := NewClient(addr).Candidates(ctx, 8, "")
+	cands, err := NewClient(addr).Candidates(ctx, "", 8, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestLookupReturnsAddresses(t *testing.T) {
 	if err := c.Register(ctx, transport.Register{ID: "x", Addr: "10.0.0.1:42", Class: 3}); err != nil {
 		t.Fatal(err)
 	}
-	cands, err := c.Candidates(ctx, 1, "")
+	cands, err := c.Candidates(ctx, "", 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestClientDialFailure(t *testing.T) {
 	if err := c.Register(ctx, transport.Register{ID: "x", Addr: "a", Class: 1}); err == nil {
 		t.Error("dial failure should surface")
 	}
-	if _, err := c.Candidates(ctx, 1, ""); err == nil {
+	if _, err := c.Candidates(ctx, "", 1, ""); err == nil {
 		t.Error("dial failure should surface")
 	}
 }

@@ -52,7 +52,7 @@ func TestServerConcurrentClients(t *testing.T) {
 					errs <- fmt.Errorf("register %s: %w", id, err)
 					return
 				}
-				cands, err := cl.Candidates(ctx, 4, id)
+				cands, err := cl.Candidates(ctx, "", 4, id)
 				if err != nil {
 					errs <- fmt.Errorf("lookup by %s: %w", id, err)
 					return
@@ -68,7 +68,7 @@ func TestServerConcurrentClients(t *testing.T) {
 				// Unregister every other registration so the directory
 				// shrinks and grows while lookups sample it.
 				if i%2 == 0 {
-					if err := cl.Unregister(ctx, id); err != nil {
+					if err := cl.Unregister(ctx, id, ""); err != nil {
 						errs <- fmt.Errorf("unregister %s: %w", id, err)
 						return
 					}
@@ -117,7 +117,7 @@ func TestServerConcurrentSameID(t *testing.T) {
 				// Duplicate registrations are errors by contract; the
 				// point is that the server survives the race unscathed.
 				cl.Register(ctx, transport.Register{ID: "contested", Addr: "contested:1", Class: 1})
-				cl.Unregister(ctx, "contested")
+				cl.Unregister(ctx, "contested", "")
 			}
 		}()
 	}
@@ -127,7 +127,7 @@ func TestServerConcurrentSameID(t *testing.T) {
 	if err := cl.Register(ctx, transport.Register{ID: "contested", Addr: "contested:1", Class: 2}); err != nil {
 		t.Fatalf("final register after the race: %v", err)
 	}
-	cands, err := cl.Candidates(ctx, 1, "")
+	cands, err := cl.Candidates(ctx, "", 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

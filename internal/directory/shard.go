@@ -137,9 +137,13 @@ type ShardedClient struct {
 	refresh time.Duration
 	obs     observe.Observer
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	regs   map[string]transport.Register // live registrations by peer ID
+	mu  sync.Mutex
+	rng *rand.Rand
+	// regs holds live registrations keyed by peer ID + object (regKey): a
+	// peer supplying several objects holds one lease per object, all
+	// routed to the shard owning the peer ID so shard assignment stays a
+	// function of the peer alone.
+	regs   map[string]transport.Register
 	timer  clock.Timer
 	closed bool
 	wg     sync.WaitGroup
@@ -182,6 +186,10 @@ func NewShardedClient(cfg ShardedConfig) (*ShardedClient, error) {
 	return c, nil
 }
 
+// regKey is the lease map key for one (peer, object) registration. The
+// NUL separator cannot appear in either component, so keys never collide.
+func regKey(id, object string) string { return id + "\x00" + object }
+
 // Shards returns the shard count.
 func (c *ShardedClient) Shards() int { return c.ring.Shards() }
 
@@ -203,18 +211,19 @@ func (c *ShardedClient) Register(ctx context.Context, reg transport.Register) er
 		c.mu.Unlock()
 		return fmt.Errorf("directory: sharded client %w", errs.ErrClosed)
 	}
-	c.regs[reg.ID] = reg
+	c.regs[regKey(reg.ID, reg.Object)] = reg
 	c.armRefreshLocked()
 	c.mu.Unlock()
 	return c.shards[c.ring.Owner(reg.ID)].Register(ctx, reg)
 }
 
-// Unregister withdraws the peer: the lease stops and the owning shard is
-// told. An unreachable shard makes the withdrawal behave like a crash —
-// the stale entry lingers until the shard itself goes.
-func (c *ShardedClient) Unregister(ctx context.Context, id string) error {
+// Unregister withdraws the peer from one object's registry: that lease
+// stops (leases for the peer's other objects keep refreshing) and the
+// owning shard is told. An unreachable shard makes the withdrawal behave
+// like a crash — the stale entry lingers until the shard itself goes.
+func (c *ShardedClient) Unregister(ctx context.Context, id, object string) error {
 	c.mu.Lock()
-	delete(c.regs, id)
+	delete(c.regs, regKey(id, object))
 	if len(c.regs) == 0 && c.timer != nil {
 		c.timer.Stop()
 		c.timer = nil
@@ -225,7 +234,7 @@ func (c *ShardedClient) Unregister(ctx context.Context, id string) error {
 	// c.regs after we release (and skip it).
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.shards[c.ring.Owner(id)].Unregister(ctx, id)
+	return c.shards[c.ring.Owner(id)].Unregister(ctx, id, object)
 }
 
 // shardReply is one fan-out leg's outcome.
@@ -252,7 +261,7 @@ type shardReply struct {
 // each shard's allocation is filled from its reply, itself a uniform
 // sample of that registry in random order. Each leg's latency and failure
 // is emitted as a ShardLookup event on the configured Observer.
-func (c *ShardedClient) Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error) {
+func (c *ShardedClient) Candidates(ctx context.Context, object string, m int, exclude string) ([]transport.Candidate, error) {
 	if m <= 0 {
 		return nil, nil
 	}
@@ -264,7 +273,7 @@ func (c *ShardedClient) Candidates(ctx context.Context, m int, exclude string) (
 		go func() {
 			defer wg.Done()
 			start := c.clk.Now()
-			reply, err := c.shards[i].Lookup(ctx, m, exclude)
+			reply, err := c.shards[i].Lookup(ctx, object, m, exclude)
 			replies[i] = shardReply{
 				peers:   reply.Peers,
 				size:    reply.Len,
@@ -416,7 +425,9 @@ func (c *ShardedClient) armRefreshLocked() {
 		for _, r := range c.regs {
 			regs = append(regs, r)
 		}
-		sort.Slice(regs, func(i, j int) bool { return regs[i].ID < regs[j].ID })
+		sort.Slice(regs, func(i, j int) bool {
+			return regKey(regs[i].ID, regs[i].Object) < regKey(regs[j].ID, regs[j].Object)
+		})
 		c.wg.Add(1)
 		c.armRefreshLocked()
 		c.mu.Unlock()
@@ -430,7 +441,7 @@ func (c *ShardedClient) armRefreshLocked() {
 				// lands when the shard returns.
 				c.sendMu.Lock()
 				c.mu.Lock()
-				_, live := c.regs[r.ID]
+				_, live := c.regs[regKey(r.ID, r.Object)]
 				c.mu.Unlock()
 				if live {
 					_ = c.shards[c.ring.Owner(r.ID)].Register(context.Background(), r)

@@ -152,7 +152,7 @@ func TestShardedRegisterRoutesToOwner(t *testing.T) {
 	}
 
 	// Unregister routes to the same shard and stops the lease.
-	if err := c.Unregister(ctx, "sup-0"); err != nil {
+	if err := c.Unregister(ctx, "sup-0", ""); err != nil {
 		t.Fatal(err)
 	}
 	owner := c.OwnerOf("sup-0")
@@ -181,7 +181,7 @@ func TestShardedCandidatesFanout(t *testing.T) {
 		}
 	}
 
-	cands, err := c.Candidates(ctx, 8, "sup-3")
+	cands, err := c.Candidates(ctx, "", 8, "sup-3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestShardedCandidatesFanout(t *testing.T) {
 	}
 
 	// Asking for more than exist returns everyone except the excluded.
-	all, err := c.Candidates(ctx, 50, "sup-3")
+	all, err := c.Candidates(ctx, "", 50, "sup-3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestShardedFailureIsolation(t *testing.T) {
 		}
 	}
 	f.vnet.SetDown("shard1")
-	cands, err := c.Candidates(ctx, 10, "")
+	cands, err := c.Candidates(ctx, "", 10, "")
 	if err != nil {
 		t.Fatalf("lookup with one dead shard: %v", err)
 	}
@@ -242,7 +242,7 @@ func TestShardedFailureIsolation(t *testing.T) {
 
 	f.vnet.SetDown("shard0")
 	f.vnet.SetDown("shard2")
-	if _, err := c.Candidates(ctx, 10, ""); err == nil {
+	if _, err := c.Candidates(ctx, "", 10, ""); err == nil {
 		t.Error("all shards dead, lookup still answered")
 	}
 }
@@ -312,7 +312,7 @@ func TestShardedLeaseRepopulatesRebornShard(t *testing.T) {
 	}
 
 	// Unregister ends the lease: the entry stays gone across refreshes.
-	if err := c.Unregister(ctx, lateID); err != nil {
+	if err := c.Unregister(ctx, lateID, ""); err != nil {
 		t.Fatal(err)
 	}
 	f.clk.Sleep(50 * time.Millisecond)
@@ -411,7 +411,7 @@ func TestShardedSamplingUniformAcrossShardSizes(t *testing.T) {
 	)
 	hits := make(map[string]int, total)
 	for d := 0; d < draws; d++ {
-		cands, err := c.Candidates(ctx, m, "")
+		cands, err := c.Candidates(ctx, "", m, "")
 		if err != nil {
 			t.Fatalf("draw %d: %v", d, err)
 		}

@@ -58,7 +58,7 @@ func TestCancelMidProbe(t *testing.T) {
 	c.clk.AfterFunc(cancelAt, cancel)
 
 	start := c.clk.Now()
-	_, err := req.Request(ctx)
+	_, err := req.Request(ctx, "")
 	elapsed := c.clk.Since(start)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -91,7 +91,7 @@ func TestDeadlineMidProbe(t *testing.T) {
 	defer cancel()
 
 	start := c.clk.Now()
-	_, err := req.Request(ctx)
+	_, err := req.Request(ctx, "")
 	elapsed := c.clk.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
@@ -117,7 +117,7 @@ func TestCancelMidSession(t *testing.T) {
 	defer cancel()
 	c.clk.AfterFunc(40*time.Millisecond, cancel)
 
-	_, err := req.Request(ctx)
+	_, err := req.Request(ctx, "")
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -135,7 +135,7 @@ func TestCancelMidSession(t *testing.T) {
 	}
 	// And they serve a full session for a fresh requester.
 	r2 := c.requester("r2", 1)
-	if _, err := r2.RequestUntilAdmitted(context.Background(), 5); err != nil {
+	if _, err := r2.RequestUntilAdmitted(context.Background(), "", 5); err != nil {
 		t.Fatalf("suppliers unusable after cancelled session: %v", err)
 	}
 }
@@ -156,7 +156,7 @@ func TestCancelBetweenAdmissionAndSessionStart(t *testing.T) {
 	req.testHookAdmitted = cancel // lands exactly in the admission-to-start gap
 
 	start := c.clk.Now()
-	_, err := req.Request(ctx)
+	_, err := req.Request(ctx, "")
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -173,14 +173,14 @@ func TestCancelBetweenAdmissionAndSessionStart(t *testing.T) {
 		if st.Sessions != 0 {
 			t.Errorf("%s counted %d sessions after a cancelled-in-gap request", s.ID(), st.Sessions)
 		}
-		if s.supplier().Busy() {
+		if s.supplier(s.primary).Busy() {
 			t.Errorf("%s left busy: supplier slot leaked", s.ID())
 		}
 	}
 	// The slots are free this very instant: a fresh requester with a live
 	// context is admitted by the same suppliers within one clock step.
 	r2 := c.requester("r2", 1)
-	if _, err := r2.Request(context.Background()); err != nil {
+	if _, err := r2.Request(context.Background(), ""); err != nil {
 		t.Fatalf("suppliers not reusable right after gap cancel: %v", err)
 	}
 }
@@ -198,7 +198,7 @@ func TestCancelMidBackoff(t *testing.T) {
 	// First attempt rejects quickly; backoff is 20ms. Cancel at 5ms lands
 	// either in the first attempt or the first backoff; both must abort.
 	c.clk.AfterFunc(5*time.Millisecond, cancel)
-	_, err := req.RequestUntilAdmitted(ctx, 50)
+	_, err := req.RequestUntilAdmitted(ctx, "", 50)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -215,7 +215,7 @@ func TestCancelLeaksNoGoroutines(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	c.clk.AfterFunc(40*time.Millisecond, cancel)
-	if _, err := req.Request(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := req.Request(ctx, ""); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	cancel()

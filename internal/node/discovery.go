@@ -20,16 +20,29 @@ import (
 // clock.ContextWithTimeout).
 //
 // A node owns its Discovery: Close tears it down with the node.
+//
+// Registrations are per media object: reg.Object ("" is the single-object
+// default) selects the registry, and a peer supplying several objects
+// holds one registration per object, withdrawn independently.
 type Discovery interface {
-	// Register announces the peer as a supplier; reg.Addr is the overlay
-	// address candidates will be probed and streamed from.
+	// Register announces the peer as a supplier of reg.Object; reg.Addr is
+	// the overlay address candidates will be probed and streamed from.
 	Register(ctx context.Context, reg transport.Register) error
-	// Unregister withdraws the peer.
-	Unregister(ctx context.Context, id string) error
-	// Candidates returns up to m distinct candidate suppliers, excluding
-	// the named peer. A short (even empty) sample is not an error: the
-	// admission sweep simply fails and the requester retries.
-	Candidates(ctx context.Context, m int, exclude string) ([]transport.Candidate, error)
+	// Unregister withdraws the peer from one object's registry.
+	Unregister(ctx context.Context, id, object string) error
+	// Candidates returns up to m distinct candidate suppliers of the given
+	// object, excluding the named peer. A short (even empty) sample is not
+	// an error: the admission sweep simply fails and the requester
+	// retries.
+	Candidates(ctx context.Context, object string, m int, exclude string) ([]transport.Candidate, error)
 	// Close releases backend resources (listener, timers); idempotent.
 	Close() error
+}
+
+// BatchRegistrar is implemented by discovery backends that can announce
+// many registrations in one exchange (the centralized directory). Callers
+// with several objects to announce — a seed holding a whole library —
+// should type-assert and batch; the fallback is one Register per object.
+type BatchRegistrar interface {
+	RegisterBatch(ctx context.Context, regs []transport.Register) error
 }

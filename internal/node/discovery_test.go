@@ -25,8 +25,8 @@ func (s *stubDiscovery) Register(context.Context, transport.Register) error {
 	s.registered.Add(1)
 	return nil
 }
-func (s *stubDiscovery) Unregister(context.Context, string) error { return nil }
-func (s *stubDiscovery) Candidates(context.Context, int, string) ([]transport.Candidate, error) {
+func (s *stubDiscovery) Unregister(context.Context, string, string) error { return nil }
+func (s *stubDiscovery) Candidates(context.Context, string, int, string) ([]transport.Candidate, error) {
 	return nil, nil
 }
 func (s *stubDiscovery) Close() error { s.closed.Add(1); return nil }
@@ -94,7 +94,7 @@ func TestRequestUntilAdmittedServedWithoutRegistration(t *testing.T) {
 	}
 	req := c.start(NewRequester(cfg))
 
-	report, err := req.RequestUntilAdmitted(context.Background(), 5)
+	report, err := req.RequestUntilAdmitted(context.Background(), "", 5)
 	if err == nil {
 		t.Fatal("registration failure vanished")
 	}

@@ -29,7 +29,7 @@ func TestSupplierCrashMidSession(t *testing.T) {
 		c.clk.Sleep(25 * time.Millisecond)
 		s1.Close()
 	}()
-	_, err := req.Request(context.Background())
+	_, err := req.Request(context.Background(), "")
 	if err == nil {
 		// Timing race: the session may have finished before the crash on a
 		// very fast machine; treat completion as a skip rather than a fail.
@@ -92,7 +92,7 @@ func TestRequesterAbortCancelsSuppliers(t *testing.T) {
 	}
 	// And they can serve a full session afterwards.
 	req := c.requester("r2", 1)
-	if _, err := req.RequestUntilAdmitted(context.Background(), 5); err != nil {
+	if _, err := req.RequestUntilAdmitted(context.Background(), "", 5); err != nil {
 		t.Fatalf("suppliers unusable after aborted session: %v", err)
 	}
 }
@@ -116,7 +116,7 @@ func TestConcurrentRequesters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = reqs[i].RequestUntilAdmitted(context.Background(), 30)
+			_, errs[i] = reqs[i].RequestUntilAdmitted(context.Background(), "", 30)
 		}()
 	}
 	wg.Wait()
@@ -142,12 +142,19 @@ func TestSupplierMissingSegment(t *testing.T) {
 	// after a partial fill.
 	partial := c.requester("partial", 1)
 	f := testFile()
+	store, err := media.NewStore(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for id := 0; id < 4; id++ {
-		if err := partial.Store().Put(media.SegmentContent(f, media.SegmentID(id))); err != nil {
+		if err := store.Put(media.SegmentContent(f, media.SegmentID(id))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := partial.becomeSupplier(context.Background()); err != nil {
+	if err := partial.lib.Add(f, store); err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.becomeSupplier(context.Background(), f.Name); err != nil {
 		t.Fatal(err)
 	}
 

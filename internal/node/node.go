@@ -64,8 +64,35 @@ type Config struct {
 	// DirectoryAddr is the address of the directory server; required only
 	// when Discovery is nil.
 	DirectoryAddr string
-	// File describes the media item being streamed.
+	// File describes the media item being streamed — the single-object
+	// overlay. Exactly one of File and Objects must be set; with File the
+	// node speaks the legacy wire format (no object field anywhere).
 	File *media.File
+	// Objects is the multi-object catalog: every media object this node
+	// may hold, supply or request, each with a distinct name. Seeds start
+	// holding the objects named by Held (all of them by default);
+	// requesters start empty and request objects by name.
+	Objects []*media.File
+	// Held names the catalog objects a seed starts with. Empty means the
+	// whole catalog. Ignored for requesters.
+	Held []string
+	// CacheBudget bounds the total bytes of completed objects the node
+	// holds (0 = unbounded). When an arriving object would overflow the
+	// budget, the least-recently-used idle object is evicted and its
+	// supplier registration gracefully withdrawn — in-flight sessions
+	// drain first, because the library never evicts a pinned object.
+	CacheBudget int64
+	// SessionSlots is the number of concurrent streaming sessions the node
+	// supplies across all its objects (default 1, the paper's single-
+	// stream supplier). Each session commits one R0/2^Class slot; a probe
+	// arriving while every slot is held is answered DeniedBusy regardless
+	// of which object it asks for.
+	SessionSlots int
+	// Preregistered marks the node's initial supplier registrations as
+	// already announced out of band (the scenario harness batch-registers
+	// whole seed populations in one exchange), so Start skips the
+	// per-object Register round trips. Withdrawals still go to discovery.
+	Preregistered bool
 	// M is the number of candidates probed per admission attempt.
 	M int
 	// TOut is the idle elevation timeout of the supplier role.
@@ -125,13 +152,49 @@ func (c *Config) validate() error {
 	case c.TOut <= 0:
 		return errors.New("node: TOut must be > 0")
 	}
-	if c.File == nil {
-		return errors.New("node: file required")
+	if c.SessionSlots < 0 {
+		return fmt.Errorf("node: SessionSlots=%d, want >= 0", c.SessionSlots)
 	}
-	if err := c.File.Validate(); err != nil {
-		return err
+	if c.File == nil && len(c.Objects) == 0 {
+		return errors.New("node: file or objects required")
+	}
+	if c.File != nil && len(c.Objects) > 0 {
+		return errors.New("node: File and Objects are mutually exclusive")
+	}
+	seen := make(map[string]bool, len(c.Objects))
+	for _, f := range c.catalog() {
+		if f == nil {
+			return errors.New("node: nil object in catalog")
+		}
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("node: duplicate object %q", f.Name)
+		}
+		seen[f.Name] = true
+		if c.CacheBudget > 0 && f.TotalBytes() > c.CacheBudget {
+			return fmt.Errorf("node: object %q (%d bytes) exceeds cache budget %d",
+				f.Name, f.TotalBytes(), c.CacheBudget)
+		}
+	}
+	for _, name := range c.Held {
+		if !seen[name] {
+			return fmt.Errorf("node: held object %q not in catalog", name)
+		}
 	}
 	return c.Backoff.Validate()
+}
+
+// catalog returns the node's object set: Objects, or the single File.
+func (c *Config) catalog() []*media.File {
+	if len(c.Objects) > 0 {
+		return c.Objects
+	}
+	if c.File != nil {
+		return []*media.File{c.File}
+	}
+	return nil
 }
 
 // Stats is an atomic snapshot of a node's protocol counters: readers get
@@ -154,17 +217,39 @@ type Node struct {
 	net  netx.Network
 	disc Discovery
 	comp string // observer component name, precomputed off the hot paths
+	// multi reports multi-object mode (Config.Objects). In single-object
+	// mode every wire frame carries an empty object field — byte-identical
+	// to the pre-multi-object format — and discovery uses the default
+	// registry; in multi-object mode the real object names go on the wire.
+	multi bool
+	// primary is the default object name: the single File's, or the first
+	// catalog entry's (legacy frames with no object field route to it).
+	primary string
+	// files is the catalog by object name.
+	files map[string]*media.File
+	// lib holds the completed objects the node supplies, bounded by
+	// Config.CacheBudget; its eviction callback withdraws the evicted
+	// object's supplier registration.
+	lib *media.Library
+	// slots is the shared outbound session budget across all objects.
+	slots *protocol.Slots
 	// onWriteErr forwards reply-write failures to the observer; built once
 	// at construction so the reply hot path allocates no closure.
 	onWriteErr func(transport.Kind, error)
 
 	writeFails atomic.Int64
 
-	mu     sync.Mutex
-	sup    *protocol.Supplier // nil until the node becomes a supplier
-	store  *media.Store
-	rng    *rand.Rand
-	closed bool
+	mu sync.Mutex
+	// sups holds one admission state machine per supplied object (absent
+	// until the node supplies that object): vectors, idle elevation and
+	// post-session updates are per stream, while the session budget above
+	// is per node.
+	sups map[string]*protocol.Supplier
+	// pending holds partially received stores of in-flight requests, by
+	// object name; a completed store moves into lib.
+	pending map[string]*media.Store
+	rng     *rand.Rand
+	closed  bool
 
 	listener net.Listener
 	conns    map[net.Conn]struct{} // active peer connections (closed on Close)
@@ -177,48 +262,73 @@ type Node struct {
 	testHookAdmitted func()
 }
 
-// NewSeed creates a node that already possesses the complete media file and
-// immediately acts as a supplying peer once started.
+// NewSeed creates a node that already possesses its held objects complete
+// (all catalog objects by default; Config.Held narrows the set) and
+// immediately acts as a supplying peer for each once started.
 func NewSeed(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	store, err := media.NewSeededStore(cfg.File)
+	n, err := newNode(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return newNode(cfg, store), nil
+	held := cfg.Held
+	if len(held) == 0 {
+		for _, f := range cfg.catalog() {
+			held = append(held, f.Name)
+		}
+	}
+	for _, name := range held {
+		f := n.files[name]
+		store, err := media.NewSeededStore(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.lib.Add(f, store); err != nil {
+			return nil, fmt.Errorf("node %s: seeding %s: %w", cfg.ID, name, err)
+		}
+	}
+	return n, nil
 }
 
-// NewRequester creates a node with an empty store; it becomes a supplier
-// after a successful streaming session.
+// NewRequester creates a node holding no objects; it becomes a supplier
+// of an object after a successful streaming session for it.
 func NewRequester(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	store, err := media.NewStore(cfg.File)
-	if err != nil {
-		return nil, err
-	}
-	return newNode(cfg, store), nil
+	return newNode(cfg)
 }
 
-func newNode(cfg Config, store *media.Store) *Node {
+func newNode(cfg Config) (*Node, error) {
 	network := netx.Or(cfg.Network)
 	disc := cfg.Discovery
 	if disc == nil {
 		disc = directory.NewClientOn(network, cfg.DirectoryAddr)
 	}
 	n := &Node{
-		cfg:   cfg,
-		comp:  "node/" + cfg.ID,
-		clk:   clock.Or(cfg.Clock),
-		net:   network,
-		disc:  disc,
-		store: store,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		comp:    "node/" + cfg.ID,
+		clk:     clock.Or(cfg.Clock),
+		net:     network,
+		disc:    disc,
+		multi:   len(cfg.Objects) > 0,
+		files:   make(map[string]*media.File),
+		lib:     media.NewLibrary(cfg.CacheBudget),
+		slots:   protocol.NewSlots(cfg.SessionSlots),
+		sups:    make(map[string]*protocol.Supplier),
+		pending: make(map[string]*media.Store),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		conns:   make(map[net.Conn]struct{}),
 	}
+	for i, f := range cfg.catalog() {
+		if i == 0 {
+			n.primary = f.Name
+		}
+		n.files[f.Name] = f
+	}
+	n.lib.SetOnEvict(n.onEvict)
 	n.onWriteErr = func(kind transport.Kind, err error) {
 		observe.Emit(n.cfg.Observer, observe.Event{
 			Component: n.comp,
@@ -227,7 +337,26 @@ func newNode(cfg Config, store *media.Store) *Node {
 			Err:       err,
 		})
 	}
-	return n
+	return n, nil
+}
+
+// wireObject translates a catalog object name to its wire spelling: the
+// empty string in single-object mode (keeping every frame byte-identical
+// to the legacy format), the name itself in multi-object mode.
+func (n *Node) wireObject(name string) string {
+	if !n.multi {
+		return ""
+	}
+	return name
+}
+
+// objectKey resolves a wire object field to a catalog name: legacy frames
+// carry none and route to the primary object.
+func (n *Node) objectKey(wire string) string {
+	if wire == "" {
+		return n.primary
+	}
+	return wire
 }
 
 // Start begins listening for peer connections. Seeds also register with
@@ -252,8 +381,36 @@ func (n *Node) Start(ctx context.Context) error {
 	n.wg.Add(1)
 	go n.acceptLoop(l)
 
-	if n.store.Complete() {
-		return n.becomeSupplier(ctx)
+	held := n.lib.Names()
+	if len(held) == 0 {
+		return nil
+	}
+	// Announce every held object. A batching backend gets the whole set in
+	// one exchange; otherwise one Register per object. Preregistered seeds
+	// (the harness announced them out of band) only build supplier state.
+	if !n.cfg.Preregistered && len(held) > 1 {
+		if br, ok := n.disc.(BatchRegistrar); ok {
+			regs := make([]transport.Register, 0, len(held))
+			for _, name := range held {
+				regs = append(regs, transport.Register{
+					ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class, Object: n.wireObject(name),
+				})
+			}
+			if err := br.RegisterBatch(ctx, regs); err != nil {
+				return fmt.Errorf("node %s: registering: %w", n.cfg.ID, err)
+			}
+			for _, name := range held {
+				if err := n.addSupplier(name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	for _, name := range held {
+		if err := n.becomeSupplier(ctx, name); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -274,28 +431,60 @@ func (n *Node) ID() string { return n.cfg.ID }
 // Class returns the node's bandwidth class.
 func (n *Node) Class() bandwidth.Class { return n.cfg.Class }
 
-// Supplying reports whether the node currently acts as a supplying peer.
-// A closed node no longer supplies, even if it did before Close.
+// Supplying reports whether the node currently acts as a supplying peer
+// for at least one object. A closed node no longer supplies.
 func (n *Node) Supplying() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return !n.closed && n.sup != nil
+	return !n.closed && len(n.sups) > 0
 }
 
-// Stats returns one consistent snapshot of the node's protocol counters.
+// SupplyingObject reports whether the node currently supplies the named
+// object.
+func (n *Node) SupplyingObject(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.closed && n.sups[name] != nil
+}
+
+// Stats returns one consistent snapshot of the node's protocol counters,
+// summed across its per-object suppliers.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	sup := n.sup
+	sups := make([]*protocol.Supplier, 0, len(n.sups))
+	for _, sup := range n.sups {
+		sups = append(sups, sup)
+	}
 	n.mu.Unlock()
 	st := Stats{WriteFailures: n.writeFails.Load()}
-	if sup != nil {
-		st.Probes, st.Sessions, st.Reminders = sup.Stats()
+	for _, sup := range sups {
+		p, s, r := sup.Stats()
+		st.Probes += p
+		st.Sessions += s
+		st.Reminders += r
 	}
 	return st
 }
 
-// Store exposes the node's segment store (read-only use).
-func (n *Node) Store() *media.Store { return n.store }
+// Store exposes the primary object's segment store (read-only use), or
+// nil when the node holds nothing — the single-object accessor; use
+// StoreOf in multi-object overlays.
+func (n *Node) Store() *media.Store { return n.StoreOf(n.primary) }
+
+// StoreOf returns the named object's segment store: the completed copy in
+// the node's library, or the partial store of an in-flight request. Nil
+// when the node holds neither.
+func (n *Node) StoreOf(name string) *media.Store {
+	if _, s, ok := n.lib.Get(name); ok {
+		return s
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pending[name]
+}
+
+// Library exposes the node's bounded object cache (read-only use).
+func (n *Node) Library() *media.Library { return n.lib }
 
 // WriteFailures counts reply writes that failed mid-exchange (the remote
 // hung up while a reply was in flight). See Config.Observer.
@@ -312,17 +501,20 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	l := n.listener
-	sup := n.sup
+	sups := make(map[string]*protocol.Supplier, len(n.sups))
+	for name, sup := range n.sups {
+		sups[name] = sup
+	}
 	conns := make([]net.Conn, 0, len(n.conns))
 	for conn := range n.conns {
 		conns = append(conns, conn)
 	}
 	n.mu.Unlock()
 
-	if sup != nil {
+	for name, sup := range sups {
 		sup.Close()
 		// Best effort; the discovery backend may already be gone.
-		_ = n.disc.Unregister(context.Background(), n.cfg.ID)
+		_ = n.disc.Unregister(context.Background(), n.cfg.ID, n.wireObject(name))
 	}
 	var err error
 	if l != nil {
@@ -343,33 +535,73 @@ func (n *Node) Close() error {
 	return err
 }
 
-// becomeSupplier creates the shared supplier state machine (which arms the
-// idle elevation timer on the node's clock) and registers the node as a
-// supplying peer.
-func (n *Node) becomeSupplier(ctx context.Context) error {
-	sup, err := protocol.NewSupplier(n.cfg.Class, n.cfg.NumClasses, n.cfg.Policy, n.clk, n.cfg.TOut)
-	if err != nil {
+// becomeSupplier creates the named object's supplier state machine and
+// registers the node as a supplying peer of that object.
+func (n *Node) becomeSupplier(ctx context.Context, name string) error {
+	if err := n.addSupplier(name); err != nil {
 		return err
 	}
-	n.mu.Lock()
-	if n.sup != nil {
-		n.mu.Unlock()
-		sup.Close()
-		return fmt.Errorf("node %s: already supplying", n.cfg.ID)
+	if n.cfg.Preregistered {
+		return nil
 	}
-	n.sup = sup
-	n.mu.Unlock()
-	if err := n.disc.Register(ctx, transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class}); err != nil {
+	reg := transport.Register{ID: n.cfg.ID, Addr: n.Addr(), Class: n.cfg.Class, Object: n.wireObject(name)}
+	if err := n.disc.Register(ctx, reg); err != nil {
 		return fmt.Errorf("node %s: registering: %w", n.cfg.ID, err)
 	}
 	return nil
 }
 
-// supplier returns the supplier state machine, or nil when requesting.
-func (n *Node) supplier() *protocol.Supplier {
+// addSupplier installs the per-object admission state machine (which arms
+// its idle elevation timer on the node's clock) sharing the node's slot
+// budget.
+func (n *Node) addSupplier(name string) error {
+	sup, err := protocol.NewSupplier(n.cfg.Class, n.cfg.NumClasses, n.cfg.Policy, n.clk, n.cfg.TOut)
+	if err != nil {
+		return err
+	}
+	sup.SetSlots(n.slots)
+	n.mu.Lock()
+	if n.sups[name] != nil {
+		n.mu.Unlock()
+		sup.Close()
+		return fmt.Errorf("node %s: already supplying %s", n.cfg.ID, name)
+	}
+	n.sups[name] = sup
+	n.mu.Unlock()
+	return nil
+}
+
+// supplier returns the named object's supplier state machine, or nil.
+func (n *Node) supplier(name string) *protocol.Supplier {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.sup
+	return n.sups[name]
+}
+
+// onEvict is the library's eviction callback: the evicted object's
+// supplier is torn down and its registration gracefully withdrawn. The
+// library never evicts a pinned object, so every in-flight session of the
+// object has already drained; a requester that was just admitted against
+// the stale registration gets a refusal on trigger and retries elsewhere.
+func (n *Node) onEvict(f *media.File) {
+	observe.Emit(n.cfg.Observer, observe.Event{
+		Component: n.comp, Type: observe.ObjectEvicted, Object: f.Name,
+	})
+	n.mu.Lock()
+	sup := n.sups[f.Name]
+	delete(n.sups, f.Name)
+	closed := n.closed
+	n.mu.Unlock()
+	if sup == nil {
+		return
+	}
+	sup.Close()
+	if !closed {
+		_ = n.disc.Unregister(context.Background(), n.cfg.ID, n.wireObject(f.Name))
+	}
+	observe.Emit(n.cfg.Observer, observe.Event{
+		Component: n.comp, Type: observe.SupplierWithdrawn, Object: f.Name,
+	})
 }
 
 // acceptLoop serves incoming peer connections.
@@ -416,7 +648,7 @@ func (n *Node) handleConn(conn net.Conn) {
 }
 
 func (n *Node) handleProbe(conn net.Conn, req transport.Probe) {
-	sup := n.supplier()
+	sup := n.supplier(n.objectKey(req.Object))
 	if sup == nil {
 		n.reply(conn, transport.KindError, transport.Error{Message: "not a supplying peer"})
 		return
@@ -431,24 +663,31 @@ func (n *Node) handleProbe(conn net.Conn, req transport.Probe) {
 
 func (n *Node) handleReminder(conn net.Conn, req transport.Reminder) {
 	kept := false
-	if sup := n.supplier(); sup != nil {
+	if sup := n.supplier(n.objectKey(req.Object)); sup != nil {
 		kept = sup.LeaveReminder(req.Class)
 	}
 	n.reply(conn, transport.KindReminderOK, transport.ReminderReply{Kept: kept})
 }
 
-// handleStart runs the supplier side of a streaming session: it claims the
-// busy state, then transmits its assigned segments on the class schedule —
-// paced and bitrate-adapted by default, as fixed-rate bursts under NoAdapt
-// — and finally applies the post-session vector update.
+// handleStart runs the supplier side of a streaming session: it pins the
+// requested object in the library (so eviction cannot strand this
+// session), claims the busy state, then transmits its assigned segments
+// on the class schedule — paced and bitrate-adapted by default, as
+// fixed-rate bursts under NoAdapt — and finally applies the post-session
+// vector update.
 func (n *Node) handleStart(conn net.Conn, req transport.Start) {
-	sup := n.supplier()
-	if sup == nil {
-		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "not supplying"})
+	file, store, ok := n.lib.Acquire(req.FileName)
+	if !ok {
+		// Not held (never was, or evicted since the requester's lookup):
+		// the refusal is retryable on the requester side, which sweeps
+		// again against fresh candidates.
+		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "unknown file"})
 		return
 	}
-	if req.FileName != n.cfg.File.Name {
-		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "unknown file"})
+	defer n.lib.Release(req.FileName)
+	sup := n.supplier(file.Name)
+	if sup == nil {
+		n.reply(conn, transport.KindStartReply, transport.StartReply{OK: false, Reason: "not supplying"})
 		return
 	}
 	if err := sup.StartSession(); err != nil {
@@ -461,25 +700,25 @@ func (n *Node) handleStart(conn net.Conn, req transport.Start) {
 		return
 	}
 	if n.cfg.NoAdapt {
-		n.streamFixed(conn, req)
+		n.streamFixed(conn, req, file, store)
 		return
 	}
-	n.streamAdaptive(conn, req)
+	n.streamAdaptive(conn, req, file, store)
 }
 
 // streamFixed is the legacy data plane: each assigned segment goes out as
 // one full-quality burst at its protocol deadline, with no feedback.
-func (n *Node) streamFixed(conn net.Conn, req transport.Start) {
+func (n *Node) streamFixed(conn net.Conn, req transport.Start, file *media.File, store *media.Store) {
 	start := n.clk.Now()
 	sent := 0
 	for i, segID := range req.Segments {
 		// Pace against the absolute schedule to avoid drift: transmission
 		// of the i-th assigned segment completes at its protocol deadline.
-		deadline := start.Add(protocol.TransmissionDeadline(i, n.cfg.Class, n.cfg.File.SegmentTime))
+		deadline := start.Add(protocol.TransmissionDeadline(i, n.cfg.Class, file.SegmentTime))
 		if d := deadline.Sub(n.clk.Now()); d > 0 {
 			n.clk.Sleep(d)
 		}
-		seg, ok := n.store.Get(media.SegmentID(segID))
+		seg, ok := store.Get(media.SegmentID(segID))
 		if !ok {
 			n.reply(conn, transport.KindError,
 				transport.Error{Message: fmt.Sprintf("segment %d not held", segID)})

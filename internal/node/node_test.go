@@ -110,7 +110,7 @@ func TestEndToEndSession(t *testing.T) {
 	c.seed("seed2", 1)
 	req := c.requester("peer1", 1) // class 1: seeds favor it, grants are deterministic
 
-	report, err := req.Request(context.Background())
+	report, err := req.Request(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestEndToEndSession(t *testing.T) {
 		t.Error("requester should now be a supplying peer")
 	}
 	// Requesting again after holding the file is an error.
-	if _, err := req.Request(context.Background()); err == nil {
+	if _, err := req.Request(context.Background(), ""); err == nil {
 		t.Error("second Request should fail: file already held")
 	}
 }
@@ -193,7 +193,7 @@ func TestEndToEndSessionRealTCP(t *testing.T) {
 	}
 	t.Cleanup(func() { req.Close() })
 
-	report, err := req.RequestUntilAdmitted(context.Background(), 5)
+	report, err := req.RequestUntilAdmitted(context.Background(), "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestHeterogeneousSession(t *testing.T) {
 	c.seed("s4", 3)
 	req := c.requester("r", 1)
 
-	report, err := req.Request(context.Background())
+	report, err := req.Request(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,12 +241,12 @@ func TestChainedGrowth(t *testing.T) {
 	c.seed("seed2", 1)
 
 	p1 := c.requester("p1", 1)
-	if _, err := p1.Request(context.Background()); err != nil {
+	if _, err := p1.Request(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 	// Now three class-1 suppliers exist; p2 needs two of them.
 	p2 := c.requester("p2", 1)
-	report, err := p2.RequestUntilAdmitted(context.Background(), 5)
+	report, err := p2.RequestUntilAdmitted(context.Background(), "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestRejectionWhenInsufficientBandwidth(t *testing.T) {
 	c := newCluster(t)
 	c.seed("onlyseed", 2) // offers R0/4 < R0: can never admit alone
 	req := c.requester("r", 4)
-	_, err := req.Request(context.Background())
+	_, err := req.Request(context.Background(), "")
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
@@ -283,7 +283,7 @@ func TestRequestUntilAdmittedGivesUp(t *testing.T) {
 	c.seed("onlyseed", 2)
 	req := c.requester("r", 4)
 	start := c.clk.Now()
-	_, err := req.RequestUntilAdmitted(context.Background(), 3)
+	_, err := req.RequestUntilAdmitted(context.Background(), "", 3)
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
@@ -291,7 +291,7 @@ func TestRequestUntilAdmittedGivesUp(t *testing.T) {
 	if elapsed := c.clk.Since(start); elapsed < 60*time.Millisecond {
 		t.Errorf("elapsed %v of virtual time, want >= 60ms of backoff", elapsed)
 	}
-	if _, err := req.RequestUntilAdmitted(context.Background(), 0); err == nil {
+	if _, err := req.RequestUntilAdmitted(context.Background(), "", 0); err == nil {
 		t.Error("maxAttempts 0 should fail")
 	}
 }
@@ -306,7 +306,7 @@ func TestBusySupplierRefusesSecondSession(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := p1.Request(context.Background())
+		_, err := p1.Request(context.Background(), "")
 		done <- err
 	}()
 	// Give the session a moment of virtual time to start, then hit seed1
@@ -436,7 +436,7 @@ func TestStatsCounters(t *testing.T) {
 	s1 := c.seed("seed1", 1)
 	c.seed("seed2", 1)
 	req := c.requester("p", 1)
-	if _, err := req.Request(context.Background()); err != nil {
+	if _, err := req.Request(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 	st := s1.Stats()
@@ -473,7 +473,7 @@ func TestSupplierDownTreatedAsDown(t *testing.T) {
 	l.Close()
 
 	req := c.requester("r", 1)
-	report, err := req.RequestUntilAdmitted(context.Background(), 10)
+	report, err := req.RequestUntilAdmitted(context.Background(), "", 10)
 	if err != nil {
 		t.Fatal(err)
 	}

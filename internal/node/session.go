@@ -54,11 +54,15 @@ type SessionReport struct {
 	MaxQuality media.Quality
 }
 
-// Request performs one admission attempt (paper Section 4.2): look up M
-// candidates and drive the shared protocol.Attempt sweep over the wire —
-// probing high class first until permissions reach exactly R0 — then run
-// the OTS_p2p session. On rejection it leaves reminders on the busy
-// favoring candidates the sweep selected and returns ErrRejected.
+// Request performs one admission attempt for one media object (paper
+// Section 4.2): look up M candidates supplying it and drive the shared
+// protocol.Attempt sweep over the wire — probing high class first until
+// permissions reach exactly R0 — then run the OTS_p2p session. On
+// rejection it leaves reminders on the busy favoring candidates the sweep
+// selected and returns ErrRejected. object "" requests the primary (the
+// single-object default); a completed object joins the node's library,
+// evicting the least-recently-used idle object if the budget overflows,
+// and the node registers as its supplier.
 //
 // ctx cancels or deadlines the whole attempt: the candidate lookup, every
 // probe dial, the session streams and the post-session registration. A
@@ -66,20 +70,42 @@ type SessionReport struct {
 // supplier is triggered, so no supplier slot is claimed; mid-session it
 // closes the streams, which the suppliers observe as a requester hangup
 // and release their slots. The attempt then returns ctx.Err().
-func (n *Node) Request(ctx context.Context) (*SessionReport, error) {
+func (n *Node) Request(ctx context.Context, object string) (*SessionReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	name := n.objectKey(object)
+	file := n.files[name]
+	if file == nil {
+		return nil, fmt.Errorf("node %s: unknown object %q", n.cfg.ID, name)
+	}
 	n.mu.Lock()
 	closed := n.closed
+	store := n.pending[name]
 	n.mu.Unlock()
 	if closed {
 		return nil, fmt.Errorf("node %s: %w", n.cfg.ID, errs.ErrClosed)
 	}
-	if n.store.Complete() {
-		return nil, fmt.Errorf("node %s: already holds the file", n.cfg.ID)
+	if _, _, ok := n.lib.Get(name); ok {
+		return nil, fmt.Errorf("node %s: already holds %s", n.cfg.ID, name)
 	}
-	cands, err := n.disc.Candidates(ctx, n.cfg.M, n.cfg.ID)
+	if store == nil {
+		var err error
+		store, err = media.NewStore(file)
+		if err != nil {
+			return nil, err
+		}
+		n.mu.Lock()
+		// A failed earlier attempt keeps its partial store; reuse it so
+		// retries resume instead of restarting (segments are idempotent).
+		if prev := n.pending[name]; prev != nil {
+			store = prev
+		} else {
+			n.pending[name] = store
+		}
+		n.mu.Unlock()
+	}
+	cands, err := n.disc.Candidates(ctx, n.wireObject(name), n.cfg.M, n.cfg.ID)
 	if err != nil {
 		return nil, fmt.Errorf("node %s: lookup: %w", n.cfg.ID, err)
 	}
@@ -96,7 +122,7 @@ func (n *Node) Request(ctx context.Context) (*SessionReport, error) {
 		if !ok {
 			break
 		}
-		reply, err := n.probe(ctx, cands[idx])
+		reply, err := n.probe(ctx, cands[idx], n.wireObject(name))
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr // cancelled mid-probe
@@ -108,7 +134,7 @@ func (n *Node) Request(ctx context.Context) (*SessionReport, error) {
 		att.Record(idx, reply.Decision, reply.Favors)
 	}
 	if !att.Admitted() {
-		n.leaveReminders(ctx, pick(cands, att.ReminderTargets()))
+		n.leaveReminders(ctx, pick(cands, att.ReminderTargets()), n.wireObject(name))
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
@@ -123,11 +149,20 @@ func (n *Node) Request(ctx context.Context) (*SessionReport, error) {
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
-	report, err := n.runSession(ctx, pick(cands, att.Chosen()))
+	report, err := n.runSession(ctx, file, store, pick(cands, att.Chosen()))
 	if err != nil {
 		return nil, err
 	}
-	if err := n.becomeSupplier(ctx); err != nil {
+	n.mu.Lock()
+	delete(n.pending, name)
+	n.mu.Unlock()
+	if err := n.lib.Add(file, store); err != nil {
+		// The session itself succeeded — the caller has the verified file
+		// — but the node cannot cache it (every resident object is pinned
+		// by a live session right now), so it does not become a supplier.
+		return report, fmt.Errorf("node %s: caching %s: %w", n.cfg.ID, name, err)
+	}
+	if err := n.becomeSupplier(ctx, name); err != nil {
 		return report, fmt.Errorf("node %s: promoting to supplier: %w", n.cfg.ID, err)
 	}
 	return report, nil
@@ -142,17 +177,18 @@ func pick(cands []transport.Candidate, idxs []int) []transport.Candidate {
 	return out
 }
 
-// RequestUntilAdmitted retries Request with the configured backoff until
-// admitted, the context is cancelled, or maxAttempts attempts have failed.
-// Only protocol rejections (ErrRejected, ErrNoSuppliers) are retried;
-// cancellation and hard transport failures surface immediately.
-func (n *Node) RequestUntilAdmitted(ctx context.Context, maxAttempts int) (*SessionReport, error) {
+// RequestUntilAdmitted retries Request for one object with the configured
+// backoff until admitted, the context is cancelled, or maxAttempts
+// attempts have failed. Only protocol rejections (ErrRejected,
+// ErrNoSuppliers) are retried; cancellation and hard transport failures
+// surface immediately.
+func (n *Node) RequestUntilAdmitted(ctx context.Context, object string, maxAttempts int) (*SessionReport, error) {
 	if maxAttempts < 1 {
 		return nil, fmt.Errorf("node %s: maxAttempts %d, want >= 1", n.cfg.ID, maxAttempts)
 	}
 	rejections := 0
 	for attempt := 1; ; attempt++ {
-		report, err := n.Request(ctx)
+		report, err := n.Request(ctx, object)
 		if err == nil {
 			report.Rejections = rejections
 			return report, nil
@@ -183,12 +219,12 @@ func (n *Node) RequestUntilAdmitted(ctx context.Context, maxAttempts int) (*Sess
 	}
 }
 
-// probe asks one candidate for permission. Cancellation aborts the dial
-// and the exchange.
-func (n *Node) probe(ctx context.Context, cand transport.Candidate) (*transport.ProbeReply, error) {
+// probe asks one candidate for permission to stream the given wire
+// object. Cancellation aborts the dial and the exchange.
+func (n *Node) probe(ctx context.Context, cand transport.Candidate, object string) (*transport.ProbeReply, error) {
 	var reply transport.ProbeReply
 	err := transport.Call(ctx, n.net, cand.Addr, transport.KindProbe,
-		transport.Probe{RequesterID: n.cfg.ID, Class: n.cfg.Class},
+		transport.Probe{RequesterID: n.cfg.ID, Class: n.cfg.Class, Object: object},
 		transport.KindProbeReply, &reply)
 	if err != nil {
 		return nil, err
@@ -199,24 +235,25 @@ func (n *Node) probe(ctx context.Context, cand transport.Candidate) (*transport.
 // leaveReminders deposits reminders on the candidates the shared sweep
 // selected (busy favoring candidates, high class first, up to R0). Best
 // effort; a cancelled context stops the round.
-func (n *Node) leaveReminders(ctx context.Context, targets []transport.Candidate) {
+func (n *Node) leaveReminders(ctx context.Context, targets []transport.Candidate, object string) {
 	for _, cand := range targets {
 		if ctx.Err() != nil {
 			return
 		}
 		var reply transport.ReminderReply
 		_ = transport.Call(ctx, n.net, cand.Addr, transport.KindReminder,
-			transport.Reminder{RequesterID: n.cfg.ID, Class: n.cfg.Class},
+			transport.Reminder{RequesterID: n.cfg.ID, Class: n.cfg.Class, Object: object},
 			transport.KindReminderOK, &reply)
 	}
 }
 
 // runSession computes the OTS_p2p assignment (checking the Theorem 1
 // bound), triggers every chosen supplier, and receives the whole file
-// concurrently, recording arrival times for playback verification. Every
-// session connection is guarded by ctx: cancellation closes the streams,
-// aborting the receive goroutines and releasing the suppliers.
-func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*SessionReport, error) {
+// into the given store concurrently, recording arrival times for playback
+// verification. Every session connection is guarded by ctx: cancellation
+// closes the streams, aborting the receive goroutines and releasing the
+// suppliers.
+func (n *Node) runSession(ctx context.Context, file *media.File, store *media.Store, chosen []transport.Candidate) (*SessionReport, error) {
 	suppliers := make([]core.Supplier, len(chosen))
 	byID := make(map[string]transport.Candidate, len(chosen))
 	for i, c := range chosen {
@@ -247,10 +284,10 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 		conns[i] = conn
 		release := netx.Guard(ctx, conn)
 		defer release()
-		segs := assignment.TransmissionList(i, n.cfg.File.Segments)
+		segs := assignment.TransmissionList(i, file.Segments)
 		if err := transport.Write(conn, transport.KindStart, transport.Start{
 			RequesterID: n.cfg.ID,
-			FileName:    n.cfg.File.Name,
+			FileName:    file.Name,
 			Segments:    segs,
 			Priority:    n.cfg.Priority,
 		}); err != nil {
@@ -270,7 +307,7 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 
 	// Receive phase.
 	start := n.clk.Now()
-	arrivals := make([]time.Duration, n.cfg.File.Segments)
+	arrivals := make([]time.Duration, file.Segments)
 	var (
 		arrivalsMu sync.Mutex
 		bytes      int64
@@ -283,7 +320,7 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 	var storeMu sync.Mutex
 	for i := range conns {
 		conn := conns[i]
-		want := len(assignment.TransmissionList(i, n.cfg.File.Segments))
+		want := len(assignment.TransmissionList(i, file.Segments))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -308,11 +345,11 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 					at := n.clk.Since(start)
 					storeMu.Lock()
 					var err error
-					if !n.store.Has(media.SegmentID(seg.ID)) {
+					if !store.Has(media.SegmentID(seg.ID)) {
 						// Idempotent under retries: a session after a failed
 						// one re-receives segments the partial store already
 						// holds (content is deterministic per segment ID).
-						err = n.store.Put(media.Segment{
+						err = store.Put(media.Segment{
 							ID:      media.SegmentID(seg.ID),
 							Quality: media.Quality(seg.Quality),
 							Data:    seg.Data,
@@ -365,18 +402,18 @@ func (n *Node) runSession(ctx context.Context, chosen []transport.Candidate) (*S
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
-	if !n.store.Complete() {
-		return nil, fmt.Errorf("node %s: session ended with %d/%d segments", n.cfg.ID, n.store.Count(), n.cfg.File.Segments)
+	if !store.Complete() {
+		return nil, fmt.Errorf("node %s: session ended with %d/%d segments", n.cfg.ID, store.Count(), file.Segments)
 	}
 
-	theoretical := protocol.TheoreticalDelay(len(chosen), n.cfg.File.SegmentTime)
-	measured, err := media.MinimalDelay(n.cfg.File, arrivals)
+	theoretical := protocol.TheoreticalDelay(len(chosen), file.SegmentTime)
+	measured, err := media.MinimalDelay(file, arrivals)
 	if err != nil {
 		return nil, err
 	}
 	// Allow one segment-time of scheduling jitter, plus any configured
 	// client-side startup buffer, when verifying.
-	playback, err := media.VerifyPlayback(n.cfg.File, arrivals, theoretical+n.cfg.File.SegmentTime+n.cfg.ExtraBuffer)
+	playback, err := media.VerifyPlayback(file, arrivals, theoretical+file.SegmentTime+n.cfg.ExtraBuffer)
 	if err != nil {
 		return nil, err
 	}

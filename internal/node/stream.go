@@ -36,8 +36,7 @@ func (n *Node) codec() media.Codec {
 // the bitrate ladder (halving segment bytes) rather than stalling; the
 // requester's Start.Priority doubles the sustain window per step, so
 // best-effort flows yield first.
-func (n *Node) streamAdaptive(conn net.Conn, req transport.Start) {
-	f := n.cfg.File
+func (n *Node) streamAdaptive(conn net.Conn, req transport.Start, f *media.File, store *media.Store) {
 	committed := int64(f.PlaybackRateBps() / float64(int64(1)<<n.cfg.Class))
 	if committed < 1 {
 		committed = 1
@@ -119,7 +118,7 @@ func (n *Node) streamAdaptive(conn net.Conn, req transport.Start) {
 
 		var data []byte
 		if q == 0 {
-			seg, ok := n.store.Get(media.SegmentID(segID))
+			seg, ok := store.Get(media.SegmentID(segID))
 			if !ok {
 				n.reply(conn, transport.KindError,
 					transport.Error{Message: "segment not held"})

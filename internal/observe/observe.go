@@ -36,6 +36,14 @@ const (
 	// below its committed class offer and the session stepped one bitrate
 	// class down the ladder. Quality carries the class it moved to.
 	BitrateDowngrade
+	// ObjectEvicted: a node's bounded library evicted one media object to
+	// make room for another. Object carries the evicted object's name.
+	ObjectEvicted
+	// SupplierWithdrawn: a node withdrew its supplier registration for one
+	// object — the graceful tail of an eviction (in-flight sessions of the
+	// object drained first; the library never evicts a pinned object).
+	// Object carries the withdrawn object's name.
+	SupplierWithdrawn
 )
 
 func (t Type) String() string {
@@ -52,6 +60,10 @@ func (t Type) String() string {
 		return "probe-served"
 	case BitrateDowngrade:
 		return "bitrate-downgrade"
+	case ObjectEvicted:
+		return "object-evicted"
+	case SupplierWithdrawn:
+		return "supplier-withdrawn"
 	}
 	return "unknown"
 }
@@ -70,6 +82,9 @@ type Event struct {
 	Hops int
 	// Quality is the bitrate class a BitrateDowngrade stepped to.
 	Quality int
+	// Object is the media object of an ObjectEvicted or SupplierWithdrawn
+	// event.
+	Object string
 	// Latency is the elapsed time of a lookup or fan-out leg.
 	Latency time.Duration
 	// Err is the failure, if any.

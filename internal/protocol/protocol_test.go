@@ -258,3 +258,80 @@ func TestSupplierCloseStopsTimer(t *testing.T) {
 		t.Errorf("closed supplier elevated to %d", got)
 	}
 }
+
+// TestSlotsBudget: the shared outbound session budget clamps its capacity
+// to one, counts acquisitions, and never goes negative.
+func TestSlotsBudget(t *testing.T) {
+	s := NewSlots(0)
+	if s.Cap() != 1 {
+		t.Fatalf("Cap() = %d, want clamp to 1", s.Cap())
+	}
+	s = NewSlots(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("budget of 2 refused its first two acquisitions")
+	}
+	if s.Available() || s.TryAcquire() {
+		t.Fatal("exhausted budget still granting")
+	}
+	if got := s.Used(); got != 2 {
+		t.Fatalf("Used() = %d, want 2", got)
+	}
+	s.Release()
+	if !s.Available() || s.Used() != 1 {
+		t.Fatal("release did not free a slot")
+	}
+	s.Release()
+	s.Release() // extra release must not underflow into phantom capacity
+	if s.Used() != 0 {
+		t.Fatalf("Used() = %d after draining, want 0", s.Used())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() || s.TryAcquire() {
+		t.Fatal("capacity changed after an over-release")
+	}
+}
+
+// TestSupplierSharedSlots: two per-object suppliers of one node share one
+// slot. While object A's session holds it, object B's idle stream answers
+// probes DeniedBusy without touching its own dac state — and B's
+// admissions resume the instant A's session ends.
+func TestSupplierSharedSlots(t *testing.T) {
+	var eng sim.Engine
+	clk := clock.ForEngine(&eng)
+	slots := NewSlots(1)
+	newSup := func() *Supplier {
+		sup, err := NewSupplier(1, 4, dac.DAC, clk, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup.SetSlots(slots)
+		return sup
+	}
+	supA, supB := newSup(), newSup()
+	if err := supA.StartSession(); err != nil {
+		t.Fatal(err)
+	}
+	if err := supB.StartSession(); err == nil {
+		t.Fatal("object B claimed a session past the shared budget")
+	}
+	dec, favors := supB.HandleProbe(1, 0)
+	if dec != dac.DeniedBusy || !favors {
+		t.Fatalf("idle stream with no free slot probed = (%v, %v), want (DeniedBusy, true)", dec, favors)
+	}
+	if supB.Busy() {
+		t.Fatal("slot-starved probe marked object B's stream busy")
+	}
+	if err := supA.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	if dec, _ := supB.HandleProbe(1, 0); dec != dac.Granted {
+		t.Fatalf("probe after the slot freed = %v, want Granted", dec)
+	}
+	if err := supB.StartSession(); err != nil {
+		t.Fatalf("object B cannot start after the slot freed: %v", err)
+	}
+	if err := supB.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	supA.Close()
+	supB.Close()
+}

@@ -1,0 +1,65 @@
+package protocol
+
+import "sync"
+
+// Slots is a node's shared outbound session budget: every concurrent
+// streaming session — regardless of which media object it serves —
+// commits one slot of R0/2^c outbound bandwidth, so a class-c node with
+// k slots pledges at most k·R0/2^c upstream. One Slots instance is
+// shared by every per-object Supplier of a node; a Supplier whose own
+// stream is idle but whose node has no slot left answers probes
+// DeniedBusy, exactly as the paper's single-stream supplier does while
+// serving.
+//
+// The default capacity of 1 reproduces the single-object model: at most
+// one session per supplying peer.
+type Slots struct {
+	mu   sync.Mutex
+	cap  int
+	used int
+}
+
+// NewSlots returns a budget of the given capacity (minimum 1).
+func NewSlots(capacity int) *Slots {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Slots{cap: capacity}
+}
+
+// Cap returns the slot capacity.
+func (s *Slots) Cap() int { return s.cap }
+
+// Available reports whether at least one slot is free.
+func (s *Slots) Available() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used < s.cap
+}
+
+// TryAcquire claims one slot, reporting success.
+func (s *Slots) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used >= s.cap {
+		return false
+	}
+	s.used++
+	return true
+}
+
+// Release returns one slot to the budget.
+func (s *Slots) Release() {
+	s.mu.Lock()
+	if s.used > 0 {
+		s.used--
+	}
+	s.mu.Unlock()
+}
+
+// Used returns the number of slots currently held.
+func (s *Slots) Used() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

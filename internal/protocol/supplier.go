@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -22,6 +23,11 @@ import (
 type Supplier struct {
 	clk  clock.Clock
 	tout time.Duration
+	// slots, when non-nil, is the node's shared outbound session budget:
+	// every per-object Supplier of one node consults the same pool, so
+	// slot accounting is per node while the admission vector, idle
+	// elevation and post-session rules above stay per stream.
+	slots *Slots
 
 	mu     sync.Mutex
 	adm    *dac.Supplier
@@ -45,6 +51,15 @@ func NewSupplier(class, numClasses bandwidth.Class, policy dac.Policy, clk clock
 	s.armLocked()
 	s.mu.Unlock()
 	return s, nil
+}
+
+// SetSlots attaches the node's shared session budget. Call before the
+// supplier serves traffic; nil (the default) leaves each stream with the
+// paper's implicit one-session budget enforced by the dac machine alone.
+func (s *Supplier) SetSlots(slots *Slots) {
+	s.mu.Lock()
+	s.slots = slots
+	s.mu.Unlock()
 }
 
 // Class returns the supplier's bandwidth class.
@@ -86,6 +101,14 @@ func (s *Supplier) HandleProbe(reqClass bandwidth.Class, u float64) (dec dac.Dec
 	defer s.mu.Unlock()
 	s.probes++
 	favors = s.adm.Favors(reqClass)
+	if !s.adm.Busy() && s.slots != nil && !s.slots.Available() {
+		// Another object's session holds the node's last outbound slot:
+		// from this stream's perspective the peer is busy. The stream's
+		// own vector state is untouched — no session on this stream will
+		// end to apply a post-session update, and idle elevation keeps
+		// running per stream.
+		return dac.DeniedBusy, favors
+	}
 	return s.adm.HandleProbe(reqClass, u), favors
 }
 
@@ -101,12 +124,19 @@ func (s *Supplier) LeaveReminder(reqClass bandwidth.Class) bool {
 	return kept
 }
 
-// StartSession claims the supplier for one streaming session and suspends
-// the idle elevation timer.
+// StartSession claims the supplier for one streaming session — one slot
+// of the node's shared budget plus this stream's dac state — and
+// suspends the idle elevation timer.
 func (s *Supplier) StartSession() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.slots != nil && !s.slots.TryAcquire() {
+		return fmt.Errorf("protocol: node session budget exhausted")
+	}
 	if err := s.adm.StartSession(); err != nil {
+		if s.slots != nil {
+			s.slots.Release()
+		}
 		return err
 	}
 	if s.timer != nil {
@@ -123,6 +153,9 @@ func (s *Supplier) EndSession() error {
 	defer s.mu.Unlock()
 	if err := s.adm.EndSession(); err != nil {
 		return err
+	}
+	if s.slots != nil {
+		s.slots.Release()
 	}
 	s.sessions++
 	s.armLocked()

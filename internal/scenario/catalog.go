@@ -39,6 +39,8 @@ func Catalog() []Spec {
 		competingMediaFlows(),
 		mediaVsTCPFlows(),
 		priorityFlows(),
+		zipfPopularity(),
+		cacheChurn(),
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
 	"p2pstream/internal/observe"
+	"p2pstream/internal/transport"
 )
 
 // RequestUntilHeld keeps attempting until the node holds the file,
@@ -34,14 +35,14 @@ import (
 // session whose only failure was the post-session directory registration
 // (possible behind a lossy link) counts as served: the node holds the
 // file and supplies locally.
-func RequestUntilHeld(ctx context.Context, clk clock.Clock, n *node.Node, maxAttempts int, bkf dac.BackoffConfig, jitter float64, uniform func() float64, retry time.Duration) (*node.SessionReport, int, error) {
+func RequestUntilHeld(ctx context.Context, clk clock.Clock, n *node.Node, object string, maxAttempts int, bkf dac.BackoffConfig, jitter float64, uniform func() float64, retry time.Duration) (*node.SessionReport, int, error) {
 	if maxAttempts < 1 {
 		return nil, 0, fmt.Errorf("scenario: maxAttempts %d, want >= 1", maxAttempts)
 	}
 	var lastErr error
 	rejections := 0
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		report, err := n.Request(ctx)
+		report, err := n.Request(ctx, object)
 		if err == nil || report != nil {
 			return report, attempt, nil
 		}
@@ -106,6 +107,17 @@ type harness struct {
 	shardLegFails  atomic.Int64
 	shardLatencyNs atomic.Int64
 
+	// Cache-churn aggregates, fed by the ObjectEvicted/SupplierWithdrawn
+	// events every node emits on the harness node observer.
+	evictions   atomic.Int64
+	withdrawals atomic.Int64
+	nodeObs     observe.Observer
+
+	// preregSeeds marks the batched seed-boot path: seeds start with
+	// Preregistered set and the harness announces them all to the
+	// centralized directory in one RegisterBatch round.
+	preregSeeds bool
+
 	mu    sync.Mutex
 	done  bool     // the run is over; late shard rebirths must not leak servers
 	boots []string // chord addresses of the seed ring members
@@ -135,6 +147,41 @@ func (h *harness) observer() observe.Observer {
 			h.shardLegFails.Add(1)
 		}
 	})
+}
+
+// initNodeObserver builds the observer installed on every node,
+// aggregating the cache-churn events (evictions and graceful supplier
+// withdrawals) into the run counters. Built once at harness construction —
+// config() runs concurrently from requester goroutines.
+func (h *harness) initNodeObserver() {
+	h.nodeObs = observe.Func(func(ev observe.Event) {
+		switch ev.Type {
+		case observe.ObjectEvicted:
+			h.evictions.Add(1)
+		case observe.SupplierWithdrawn:
+			h.withdrawals.Add(1)
+		}
+	})
+}
+
+// objectSuppliers snapshots the final per-object supplier registration
+// counts from the live directory registries; nil in single-object mode and
+// under chord discovery (whose census does not split by object).
+func (h *harness) objectSuppliers() map[string]int {
+	if len(h.spec.Objects) == 0 || h.chordBacked() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]int, len(h.spec.Objects))
+	for _, f := range h.spec.Objects {
+		for i, s := range h.shards {
+			if h.shardUp[i] && s != nil {
+				out[f.Name] += s.ObjectLen(f.Name)
+			}
+		}
+	}
+	return out
 }
 
 // shardStats snapshots each live registry shard's server counters (zero
@@ -269,6 +316,11 @@ func (h *harness) bootstraps() []string {
 // sharded directory it builds the peer's consistent-hash sharded client.
 func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, *chordnet.Peer, error) {
 	cfg := h.config(p, seed)
+	if isSeed && h.preregSeeds {
+		// The harness announces every seed in one directory RegisterBatch
+		// round after boot; the node only builds its supplier state.
+		cfg.Preregistered = true
+	}
 	var chordPeer *chordnet.Peer
 	switch {
 	case h.chordBacked():
@@ -362,6 +414,14 @@ func Run(spec Spec) (*Report, error) {
 		net:   vnet,
 		nodes: make(map[string]*node.Node),
 	}
+	h.initNodeObserver()
+	// Batched seed boot: against the single centralized directory, the
+	// whole seed population registers in one RegisterBatch round through
+	// one shared client instead of one dial per seed. Sharded registries
+	// keep per-seed registration — lease re-registration must live in each
+	// seed's own client so a reborn shard is repopulated — and chord has
+	// no directory to batch against.
+	h.preregSeeds = spec.Discovery != BackendChord && spec.shardCount() == 1 && len(spec.Seeds) > 1
 	// Chord discovery needs no directory at all; a scenario may still ask
 	// for one (KeepDirectory) purely to crash it and prove the point. The
 	// directory backend boots shardCount registry shards (1 = the plain
@@ -383,6 +443,7 @@ func Run(spec Spec) (*Report, error) {
 	defer h.closeAll()
 
 	ctx := context.Background()
+	var seedRegs []transport.Register
 	for i, p := range spec.Seeds {
 		n, _, err := h.newNode(p, int64(i+1), true)
 		if err != nil {
@@ -394,7 +455,29 @@ func Run(spec Spec) (*Report, error) {
 		}
 		h.suppliers.Add(1)
 		h.track(p.ID, n)
+		if h.preregSeeds {
+			for _, name := range n.Library().Names() {
+				obj := ""
+				if len(spec.Objects) > 0 {
+					obj = name
+				}
+				seedRegs = append(seedRegs, transport.Register{
+					ID: p.ID, Addr: n.Addr(), Class: p.Class, Object: obj,
+				})
+			}
+		}
 	}
+	if h.preregSeeds {
+		cl := directory.NewClientOn(vnet.Host(DirectoryHost), h.dirAddr)
+		err := cl.RegisterBatch(ctx, seedRegs)
+		cl.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: batch seed registration: %w", spec.Name, err)
+		}
+	}
+	// The dials expended booting the seed population: one batched directory
+	// round instead of one dial per seed when preregSeeds is on.
+	seedBootDials := vnet.Dials()
 
 	// Everything below shares one time zero: the run start, taken after
 	// the seeds have booted. Link events, churn events and workload Start
@@ -468,7 +551,14 @@ func Run(spec Spec) (*Report, error) {
 	elapsed := clk.Since(base)
 
 	stopTraffic()
-	stats := runStats{dials: vnet.Dials(), queueDrops: vnet.QueueDrops()}
+	stats := runStats{
+		dials:         vnet.Dials(),
+		queueDrops:    vnet.QueueDrops(),
+		seedBootDials: seedBootDials,
+		evictions:     h.evictions.Load(),
+		withdrawals:   h.withdrawals.Load(),
+		objSuppliers:  h.objectSuppliers(),
+	}
 	for _, st := range traffic {
 		stats.traffic = append(stats.traffic, st.result(elapsed))
 	}
@@ -526,7 +616,26 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 			return float64((z^(z>>31))>>11) / (1 << 53)
 		}
 	}
-	report, attempts, err := RequestUntilHeld(context.Background(), h.clk, n, h.spec.MaxAttempts, h.spec.Backoff, h.spec.BackoffJitter, uniform, h.spec.Retry)
+	// The request sequence: one object in single-object mode (the empty
+	// name routes to the node's primary), or the peer's declared Objects
+	// in order — requesting past the cache budget is what forces an
+	// eviction mid-run. Attempts accumulate across the sequence; the
+	// recorded session and invariants are the last object's.
+	objects := w.Peer.Objects
+	if len(objects) == 0 {
+		objects = []string{""}
+	}
+	var report *node.SessionReport
+	attempts := 0
+	var rerr error
+	for _, obj := range objects {
+		var a int
+		report, a, rerr = RequestUntilHeld(context.Background(), h.clk, n, obj, h.spec.MaxAttempts, h.spec.Backoff, h.spec.BackoffJitter, uniform, h.spec.Retry)
+		attempts += a
+		if rerr != nil {
+			break
+		}
+	}
 	res.Done = h.clk.Since(base)
 	res.Attempts = attempts
 	if chordPeer != nil {
@@ -535,9 +644,14 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	res.ShardLegs = h.shardLegs.Load()
 	res.ShardLegFails = h.shardLegFails.Load()
 	res.ShardLatency = time.Duration(h.shardLatencyNs.Load())
-	if err != nil {
-		res.Err = err
+	res.Evictions = h.evictions.Load()
+	if rerr != nil {
+		res.Err = rerr
 		return res
+	}
+	file := h.spec.objectFile(objects[len(objects)-1])
+	if len(h.spec.Objects) > 0 {
+		res.Object = file.Name
 	}
 	h.suppliers.Add(1)
 	res.Session = report
@@ -552,8 +666,8 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	if report.Duration > 0 {
 		res.ThroughputBps = float64(report.Bytes) / report.Duration.Seconds()
 	}
-	res.TheoremOK = report.TheoreticalDelay == time.Duration(len(report.Suppliers))*h.spec.File.SegmentTime
-	res.StoreOK = storeExact(n.Store(), h.spec.File)
+	res.TheoremOK = report.TheoreticalDelay == time.Duration(len(report.Suppliers))*file.SegmentTime
+	res.StoreOK = storeExact(n.StoreOf(file.Name), file)
 	res.SupplierLevel = h.supplierLevel()
 	return res
 }
@@ -567,6 +681,10 @@ func (h *harness) config(p Peer, seed int64) node.Config {
 		Policy:        h.spec.Policy,
 		DirectoryAddr: h.dirAddr,
 		File:          h.spec.File,
+		Objects:       h.spec.Objects,
+		Held:          p.Held,
+		CacheBudget:   h.spec.CacheBudget,
+		SessionSlots:  h.spec.SessionSlots,
 		M:             h.spec.M,
 		TOut:          h.spec.TOut,
 		Backoff:       h.spec.Backoff,
@@ -576,6 +694,7 @@ func (h *harness) config(p Peer, seed int64) node.Config {
 		NoAdapt:       h.spec.NoAdapt,
 		Priority:      p.Priority,
 		ExtraBuffer:   h.spec.Buffer,
+		Observer:      h.nodeObs,
 	}
 }
 

@@ -99,14 +99,14 @@ func TestRequestUntilHeldGivesUp(t *testing.T) {
 	}
 	defer req.Close()
 
-	_, attempts, err := RequestUntilHeld(context.Background(), clk, req, 3, dac.BackoffConfig{Base: 5 * time.Millisecond, Factor: 1}, 0, nil, 5*time.Millisecond)
+	_, attempts, err := RequestUntilHeld(context.Background(), clk, req, "", 3, dac.BackoffConfig{Base: 5 * time.Millisecond, Factor: 1}, 0, nil, 5*time.Millisecond)
 	if !errors.Is(err, node.ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
 	if attempts != 3 {
 		t.Errorf("attempts = %d, want the whole budget of 3", attempts)
 	}
-	if _, _, err := RequestUntilHeld(context.Background(), clk, req, 0, dac.BackoffConfig{Base: time.Millisecond, Factor: 1}, 0, nil, time.Millisecond); err == nil {
+	if _, _, err := RequestUntilHeld(context.Background(), clk, req, "", 0, dac.BackoffConfig{Base: time.Millisecond, Factor: 1}, 0, nil, time.Millisecond); err == nil {
 		t.Error("maxAttempts 0 accepted")
 	}
 }

@@ -147,6 +147,12 @@ func TestMegacrowd10k(t *testing.T) {
 	if rep.Dials == 0 || rep.Dials > 330_000 {
 		t.Errorf("megacrowd-10k: %d dials, want (0, 330000] — connection pooling regressed", rep.Dials)
 	}
+	// The 512-seed boot registers through one batched directory round on a
+	// single shared client: one dial, where per-seed registration spent one
+	// dial each. A small slack absorbs harness bookkeeping, not a seed loop.
+	if rep.SeedBootDials == 0 || rep.SeedBootDials > 8 {
+		t.Errorf("megacrowd-10k: %d seed-boot dials, want (0, 8] — batched seed registration regressed", rep.SeedBootDials)
+	}
 }
 
 // TestMegacrowdFull runs the 50k and 100k entries. They take minutes, not

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -16,6 +17,10 @@ import (
 type NodeResult struct {
 	ID    string
 	Class bandwidth.Class
+	// Object is the media object this requester streamed (the last of its
+	// sequence, for a peer declaring several); empty in single-object
+	// runs.
+	Object string
 	// Start and Done are the virtual instants (from the run start) of the
 	// peer's first request and of its completion or abandonment.
 	Start, Done time.Duration
@@ -53,6 +58,10 @@ type NodeResult struct {
 	// registry is not sharded.
 	ShardLegs, ShardLegFails int64
 	ShardLatency             time.Duration
+	// Evictions snapshots the run's cumulative cache-eviction count at
+	// this peer's completion (across all nodes; zero when no library is
+	// bounded).
+	Evictions int64
 	// Downgraded counts segments that arrived below full quality, and
 	// MaxQuality is the deepest bitrate class any of them reached — the
 	// suppliers' ABR ladder as this requester experienced it.
@@ -75,9 +84,13 @@ type TrafficResult struct {
 
 // runStats carries the run-wide substrate counters into the report.
 type runStats struct {
-	dials      int64
-	queueDrops int64
-	traffic    []TrafficResult
+	dials         int64
+	queueDrops    int64
+	seedBootDials int64
+	evictions     int64
+	withdrawals   int64
+	objSuppliers  map[string]int
+	traffic       []TrafficResult
 }
 
 // Report is the outcome of one scenario run.
@@ -102,6 +115,19 @@ type Report struct {
 	// connection-reuse odometer (persistent transport clients keep it far
 	// below one dial per exchange).
 	Dials int64
+	// SeedBootDials counts the dials expended booting the seed population.
+	// Against the single centralized directory the harness registers every
+	// seed in one batched round, so this stays O(1) instead of one dial
+	// per seed.
+	SeedBootDials int64
+	// EvictionTotal and WithdrawalTotal count the run's ObjectEvicted and
+	// SupplierWithdrawn events across all nodes — zero unless a bounded
+	// library actually churned.
+	EvictionTotal, WithdrawalTotal int64
+	// ObjectSuppliers is the final per-object supplier registration count
+	// from the directory registries in multi-object mode; nil otherwise
+	// (the chord census does not split by object).
+	ObjectSuppliers map[string]int
 	// QueueDrops counts chunks tail-dropped at bandwidth-limited link
 	// queues — congestion the data plane failed to avoid.
 	QueueDrops int64
@@ -134,6 +160,10 @@ type Report struct {
 	// quality, and its session goodput in bytes/second.
 	Downgrades *metrics.Series
 	Throughput *metrics.Series
+	// Evictions charts the run's cumulative cache-eviction count at each
+	// completion on the same axis — flat zero unless a bounded library
+	// churned.
+	Evictions *metrics.Series
 
 	// Population-scale distributions over the served requesters (quantiles,
 	// not means — at megacrowd scale the admission story lives in the
@@ -157,27 +187,32 @@ const quantileCheckpoints = 128
 func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int, shardStats []directory.Stats, stats runStats) *Report {
 	sortResults(results)
 	r := &Report{
-		Spec:           spec,
-		Nodes:          results,
-		Elapsed:        elapsed,
-		FinalSuppliers: finalSuppliers,
-		ShardSuppliers: shardSuppliers,
-		ShardStats:     shardStats,
-		Dials:          stats.dials,
-		QueueDrops:     stats.queueDrops,
-		Traffic:        stats.traffic,
-		Admission:      &metrics.Series{Name: "admission_ms"},
-		Tries:          &metrics.Series{Name: "attempts"},
-		Buffering:      &metrics.Series{Name: "buffering_ms"},
-		Suppliers:      &metrics.Series{Name: "suppliers"},
-		LookupHops:     &metrics.Series{Name: "lookup_hops"},
-		SampleRounds:   &metrics.Series{Name: "sample_rounds"},
-		ShardLookupMs:  &metrics.Series{Name: "shard_lookup_ms"},
-		ShardFailures:  &metrics.Series{Name: "shard_failures"},
-		Downgrades:     &metrics.Series{Name: "downgraded"},
-		Throughput:     &metrics.Series{Name: "throughput_bps"},
-		AdmissionDist:  metrics.NewDistribution("admission_ms"),
-		RejectionDist:  metrics.NewDistribution("rejection_rate"),
+		Spec:            spec,
+		Nodes:           results,
+		Elapsed:         elapsed,
+		FinalSuppliers:  finalSuppliers,
+		ShardSuppliers:  shardSuppliers,
+		ShardStats:      shardStats,
+		Dials:           stats.dials,
+		QueueDrops:      stats.queueDrops,
+		SeedBootDials:   stats.seedBootDials,
+		EvictionTotal:   stats.evictions,
+		WithdrawalTotal: stats.withdrawals,
+		ObjectSuppliers: stats.objSuppliers,
+		Traffic:         stats.traffic,
+		Admission:       &metrics.Series{Name: "admission_ms"},
+		Tries:           &metrics.Series{Name: "attempts"},
+		Buffering:       &metrics.Series{Name: "buffering_ms"},
+		Suppliers:       &metrics.Series{Name: "suppliers"},
+		LookupHops:      &metrics.Series{Name: "lookup_hops"},
+		SampleRounds:    &metrics.Series{Name: "sample_rounds"},
+		ShardLookupMs:   &metrics.Series{Name: "shard_lookup_ms"},
+		ShardFailures:   &metrics.Series{Name: "shard_failures"},
+		Downgrades:      &metrics.Series{Name: "downgraded"},
+		Throughput:      &metrics.Series{Name: "throughput_bps"},
+		Evictions:       &metrics.Series{Name: "evictions"},
+		AdmissionDist:   metrics.NewDistribution("admission_ms"),
+		RejectionDist:   metrics.NewDistribution("rejection_rate"),
 	}
 	chord := spec.Discovery == BackendChord
 	sharded := len(shardStats) > 1
@@ -220,6 +255,7 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		}
 		r.Downgrades.Add(n.Done, float64(n.Downgraded))
 		r.Throughput.Add(n.Done, n.ThroughputBps)
+		r.Evictions.Add(n.Done, float64(n.Evictions))
 	}
 	qs := []float64{0.5, 0.9, 0.99}
 	r.AdmissionQuantiles = metrics.QuantileSeries("admission_ms", doneTimes, admissionMs, quantileCheckpoints, qs...)
@@ -280,8 +316,12 @@ func (r *Report) Check() error {
 			return fmt.Errorf("scenario %s: requester %s playback stalled %d times",
 				r.Spec.Name, n.ID, n.Session.Report.Stalls)
 		case !n.TheoremOK:
+			dt := time.Duration(0)
+			if f := r.Spec.objectFile(n.Object); f != nil {
+				dt = f.SegmentTime
+			}
 			return fmt.Errorf("scenario %s: requester %s delay %v violates Theorem 1 (n=%d, δt=%v)",
-				r.Spec.Name, n.ID, n.Session.TheoreticalDelay, len(n.Suppliers), r.Spec.File.SegmentTime)
+				r.Spec.Name, n.ID, n.Session.TheoreticalDelay, len(n.Suppliers), dt)
 		case !n.Supplying:
 			return fmt.Errorf("scenario %s: requester %s served but not supplying", r.Spec.Name, n.ID)
 		}
@@ -292,6 +332,14 @@ func (r *Report) Check() error {
 	if min := r.Spec.Expect.MinAttempts; min > 0 && maxAttempts < min {
 		return fmt.Errorf("scenario %s: max admission attempts %d, expected contention >= %d",
 			r.Spec.Name, maxAttempts, min)
+	}
+	if min := r.Spec.Expect.MinEvictions; min > 0 && r.EvictionTotal < int64(min) {
+		return fmt.Errorf("scenario %s: %d cache evictions, expected >= %d (the bounded libraries never churned)",
+			r.Spec.Name, r.EvictionTotal, min)
+	}
+	if min := r.Spec.Expect.MinWithdrawals; min > 0 && r.WithdrawalTotal < int64(min) {
+		return fmt.Errorf("scenario %s: %d supplier withdrawals, expected >= %d",
+			r.Spec.Name, r.WithdrawalTotal, min)
 	}
 	return r.checkDataPlane()
 }
@@ -397,6 +445,20 @@ func (r *Report) Summary() string {
 				i, st.Registers, st.Refreshes, st.Unregisters, st.Lookups)
 		}
 	}
+	if len(r.ObjectSuppliers) > 0 {
+		names := make([]string, 0, len(r.ObjectSuppliers))
+		for name := range r.ObjectSuppliers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "\n  suppliers by object:")
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, r.ObjectSuppliers[name])
+		}
+	}
+	if r.EvictionTotal > 0 || r.WithdrawalTotal > 0 {
+		fmt.Fprintf(&b, "\n  cache churn: %d evictions, %d supplier withdrawals", r.EvictionTotal, r.WithdrawalTotal)
+	}
 	if mean, ok := meanOf(r.Throughput); ok {
 		downgrades, _ := meanOf(r.Downgrades)
 		fmt.Fprintf(&b, "\n  data plane: mean goodput %.0f B/s, mean %.1f downgraded segments, %d queue drops, %d dials",
@@ -419,7 +481,7 @@ func (r *Report) Summary() string {
 func (r *Report) WriteCSV(w io.Writer) error {
 	return metrics.WriteCSVIn(w, "ms", time.Millisecond,
 		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds,
-		r.ShardLookupMs, r.ShardFailures, r.Downgrades, r.Throughput)
+		r.ShardLookupMs, r.ShardFailures, r.Downgrades, r.Throughput, r.Evictions)
 }
 
 // WriteQuantilesCSV emits the running admission-latency and rejection-rate

@@ -610,13 +610,13 @@ func TestChordDiscoveryMetrics(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want header + %d", len(lines), served)
 	}
 	cols := strings.Split(lines[1], ",")
-	if len(cols) != 11 || cols[5] == "" || cols[6] == "" {
+	if len(cols) != 12 || cols[5] == "" || cols[6] == "" {
 		t.Errorf("chord run CSV should carry discovery-cost values: %q", lines[1])
 	}
-	if len(cols) == 11 && (cols[7] != "" || cols[8] != "") {
+	if len(cols) == 12 && (cols[7] != "" || cols[8] != "") {
 		t.Errorf("chord run CSV should leave the shard columns blank: %q", lines[1])
 	}
-	if len(cols) == 11 && (cols[9] == "" || cols[10] == "") {
+	if len(cols) == 12 && (cols[9] == "" || cols[10] == "") {
 		t.Errorf("chord run CSV should carry data-plane values: %q", lines[1])
 	}
 }
@@ -670,15 +670,15 @@ func TestReportCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), b.String())
 	}
-	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures,downgraded,throughput_bps"; lines[0] != want {
+	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures,downgraded,throughput_bps,evictions"; lines[0] != want {
 		t.Errorf("header = %q, want %q", lines[0], want)
 	}
 	// Directory-backed runs have no routed lookups: the discovery-cost
 	// columns are present but blank, keeping one shared table. The
 	// data-plane columns (downgraded, throughput) always carry values.
 	cols := strings.Split(lines[1], ",")
-	if len(cols) != 11 {
-		t.Fatalf("sample has %d columns, want 11: %q", len(cols), lines[1])
+	if len(cols) != 12 {
+		t.Fatalf("sample has %d columns, want 12: %q", len(cols), lines[1])
 	}
 	for i := 5; i <= 8; i++ {
 		if cols[i] != "" {
@@ -687,6 +687,9 @@ func TestReportCSV(t *testing.T) {
 	}
 	if cols[9] == "" || cols[10] == "" {
 		t.Errorf("sample should carry data-plane values: %q", lines[1])
+	}
+	if cols[11] == "" {
+		t.Errorf("sample should carry the eviction count (zero, not blank): %q", lines[1])
 	}
 	if sum := report.Summary(); !strings.Contains(sum, "csv") || !strings.Contains(sum, "1/1 served") {
 		t.Errorf("summary = %q", sum)

@@ -111,6 +111,15 @@ type Peer struct {
 	// sessions down the bitrate ladder, so under a shared bottleneck the
 	// best-effort (priority-0) flows yield capacity first.
 	Priority int
+	// Objects names the media objects a multi-object requester streams,
+	// in order (each must be declared in Spec.Objects; empty requests the
+	// first catalog object). A sequence longer than the node's cache
+	// budget is how a scenario forces evictions. Ignored for seeds.
+	Objects []string
+	// Held names the objects a multi-object seed initially holds and
+	// supplies (a subset of Spec.Objects; empty means the whole catalog).
+	// Ignored for requesters, which start with nothing.
+	Held []string
 }
 
 // Link configures the links between host A and host B. B may be Wildcard,
@@ -226,6 +235,12 @@ type Expect struct {
 	// at least one playback stall or one bottleneck queue drop. Control
 	// runs (NoAdapt) use it to prove the problem adaptation solves exists.
 	WantCongestion bool
+	// MinEvictions and MinWithdrawals, when > 0, require the run to have
+	// produced at least that many cache evictions / graceful supplier
+	// withdrawals — the assertion that a cache-churn scenario actually
+	// churned its bounded libraries.
+	MinEvictions   int
+	MinWithdrawals int
 }
 
 // Spec is one declarative scenario. The zero values of the tuning fields
@@ -238,8 +253,22 @@ type Spec struct {
 	Stresses string
 
 	// File is the streamed media item; nil selects the 16-segment default
-	// that keeps whole-cluster runs fast.
+	// that keeps whole-cluster runs fast. Mutually exclusive with Objects.
 	File *media.File
+	// Objects selects multi-object mode: the overlay's media catalog.
+	// Every node knows the catalog; seeds hold their Peer.Held subset,
+	// requesters stream their Peer.Objects sequence, and supplier
+	// registration, discovery and admission run independently per object.
+	Objects []*media.File
+	// CacheBudget bounds every node's media library to that many bytes:
+	// caching one more object past the budget evicts the least recently
+	// used unpinned object and withdraws its supplier registration
+	// gracefully. Zero means unbounded. Multi-object mode only.
+	CacheBudget int64
+	// SessionSlots caps each node's concurrent supplying sessions across
+	// all of its objects — the shared out-bound class budget. Zero selects
+	// the single-session default. Multi-object mode only.
+	SessionSlots int
 
 	// Seeds supply the file from the start; Requesters arrive per their
 	// Start offsets (staggered arrivals, flash crowds, pauses are all
@@ -330,7 +359,7 @@ func defaultFile() *media.File {
 // withDefaults returns a copy of the spec with every zero tuning field
 // replaced by its default.
 func (s Spec) withDefaults() Spec {
-	if s.File == nil {
+	if s.File == nil && len(s.Objects) == 0 {
 		s.File = defaultFile()
 	}
 	if s.DefaultLink == (netx.LinkConfig{}) {
@@ -373,6 +402,31 @@ func (s Spec) withDefaults() Spec {
 		s.Traffic = tf
 	}
 	return s
+}
+
+// catalog returns the spec's media catalog: Objects in multi-object mode,
+// the single File otherwise.
+func (s *Spec) catalog() []*media.File {
+	if len(s.Objects) > 0 {
+		return s.Objects
+	}
+	return []*media.File{s.File}
+}
+
+// objectFile resolves a workload object name to its catalog entry; the
+// empty name selects the first catalog object. Nil for undeclared names
+// (Validate rejects those up front).
+func (s *Spec) objectFile(name string) *media.File {
+	cat := s.catalog()
+	if name == "" {
+		return cat[0]
+	}
+	for _, f := range cat {
+		if f != nil && f.Name == name {
+			return f
+		}
+	}
+	return nil
 }
 
 // shardCount returns the effective number of directory registry shards:
@@ -440,6 +494,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.DirectoryShards < 0 {
 		return fmt.Errorf("scenario %s: DirectoryShards %d, want >= 0", s.Name, s.DirectoryShards)
+	}
+	if err := s.validateObjects(); err != nil {
+		return err
 	}
 	ids := map[string]bool{DirectoryHost: true}
 	for i := 1; i < s.shardCount(); i++ {
@@ -613,6 +670,55 @@ func (s *Spec) Validate() error {
 	}
 	if fs := s.Expect.FairShare; fs != 0 && fs < 1 {
 		return fmt.Errorf("scenario %s: Expect.FairShare %v, want >= 1 (a max/min throughput ratio)", s.Name, fs)
+	}
+	return nil
+}
+
+// validateObjects checks the multi-object half of the spec: a well-formed
+// catalog (unique names, each object within the cache budget) and a
+// workload that only references declared objects.
+func (s *Spec) validateObjects() error {
+	if s.CacheBudget < 0 {
+		return fmt.Errorf("scenario %s: CacheBudget %d, want >= 0", s.Name, s.CacheBudget)
+	}
+	if s.SessionSlots < 0 {
+		return fmt.Errorf("scenario %s: SessionSlots %d, want >= 0", s.Name, s.SessionSlots)
+	}
+	declared := map[string]bool{}
+	if len(s.Objects) > 0 {
+		if s.File != nil {
+			return fmt.Errorf("scenario %s: set File or Objects, not both", s.Name)
+		}
+		for _, f := range s.Objects {
+			if f == nil {
+				return fmt.Errorf("scenario %s: nil object in catalog", s.Name)
+			}
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("scenario %s: object %q: %w", s.Name, f.Name, err)
+			}
+			if declared[f.Name] {
+				return fmt.Errorf("scenario %s: duplicate object %q", s.Name, f.Name)
+			}
+			declared[f.Name] = true
+			if s.CacheBudget > 0 && f.TotalBytes() > s.CacheBudget {
+				return fmt.Errorf("scenario %s: object %q (%d bytes) exceeds cache budget %d",
+					s.Name, f.Name, f.TotalBytes(), s.CacheBudget)
+			}
+		}
+	}
+	for _, p := range s.Seeds {
+		for _, name := range p.Held {
+			if !declared[name] {
+				return fmt.Errorf("scenario %s: seed %s holds undeclared object %q", s.Name, p.ID, name)
+			}
+		}
+	}
+	for _, p := range s.Requesters {
+		for _, name := range p.Objects {
+			if name == "" || !declared[name] {
+				return fmt.Errorf("scenario %s: requester %s requests undeclared object %q", s.Name, p.ID, name)
+			}
+		}
 	}
 	return nil
 }

@@ -122,6 +122,10 @@ func (p Probe) appendBody(dst []byte) []byte {
 	dst = appendJSONString(dst, p.RequesterID)
 	dst = append(dst, `,"class":`...)
 	dst = strconv.AppendInt(dst, int64(p.Class), 10)
+	if p.Object != "" {
+		dst = append(dst, `,"object":`...)
+		dst = appendJSONString(dst, p.Object)
+	}
 	return append(dst, '}')
 }
 
@@ -131,11 +135,16 @@ func (p *Probe) decodeBody(b []byte) bool {
 	id := s.str()
 	s.lit(`,"class":`)
 	class := s.num()
+	var object string
+	if s.peek(`,"object":`) {
+		s.lit(`,"object":`)
+		object = s.str()
+	}
 	s.lit(`}`)
 	if !s.done() {
 		return false
 	}
-	p.RequesterID, p.Class = id, bandwidth.Class(class)
+	p.RequesterID, p.Class, p.Object = id, bandwidth.Class(class), object
 	return true
 }
 
@@ -200,6 +209,10 @@ func (l Lookup) appendBody(dst []byte) []byte {
 		dst = append(dst, `,"exclude":`...)
 		dst = appendJSONString(dst, l.Exclude)
 	}
+	if l.Object != "" {
+		dst = append(dst, `,"object":`...)
+		dst = appendJSONString(dst, l.Object)
+	}
 	return append(dst, '}')
 }
 
@@ -207,16 +220,20 @@ func (l *Lookup) decodeBody(b []byte) bool {
 	s := jscan{b: b, ok: true}
 	s.lit(`{"m":`)
 	m := s.num()
-	var exclude string
+	var exclude, object string
 	if s.peek(`,"exclude":`) {
 		s.lit(`,"exclude":`)
 		exclude = s.str()
+	}
+	if s.peek(`,"object":`) {
+		s.lit(`,"object":`)
+		object = s.str()
 	}
 	s.lit(`}`)
 	if !s.done() {
 		return false
 	}
-	l.M, l.Exclude = int(m), exclude
+	l.M, l.Exclude, l.Object = int(m), exclude, object
 	return true
 }
 
@@ -308,6 +325,10 @@ func (r Register) appendBody(dst []byte) []byte {
 	if r.Refresh {
 		dst = append(dst, `,"refresh":true`...)
 	}
+	if r.Object != "" {
+		dst = append(dst, `,"object":`...)
+		dst = appendJSONString(dst, r.Object)
+	}
 	return append(dst, '}')
 }
 
@@ -324,17 +345,26 @@ func (r *Register) decodeBody(b []byte) bool {
 		s.lit(`,"refresh":`)
 		refresh = s.boolean()
 	}
+	var object string
+	if s.peek(`,"object":`) {
+		s.lit(`,"object":`)
+		object = s.str()
+	}
 	s.lit(`}`)
 	if !s.done() {
 		return false
 	}
-	r.ID, r.Addr, r.Class, r.Refresh = id, addr, bandwidth.Class(class), refresh
+	r.ID, r.Addr, r.Class, r.Refresh, r.Object = id, addr, bandwidth.Class(class), refresh, object
 	return true
 }
 
 func (u Unregister) appendBody(dst []byte) []byte {
 	dst = append(dst, `{"id":`...)
 	dst = appendJSONString(dst, u.ID)
+	if u.Object != "" {
+		dst = append(dst, `,"object":`...)
+		dst = appendJSONString(dst, u.Object)
+	}
 	return append(dst, '}')
 }
 
@@ -342,11 +372,16 @@ func (u *Unregister) decodeBody(b []byte) bool {
 	s := jscan{b: b, ok: true}
 	s.lit(`{"id":`)
 	id := s.str()
+	var object string
+	if s.peek(`,"object":`) {
+		s.lit(`,"object":`)
+		object = s.str()
+	}
 	s.lit(`}`)
 	if !s.done() {
 		return false
 	}
-	u.ID = id
+	u.ID, u.Object = id, object
 	return true
 }
 

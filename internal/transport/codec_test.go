@@ -13,20 +13,27 @@ func codecCases() []any {
 	return []any{
 		Probe{RequesterID: "r42", Class: 3},
 		Probe{RequesterID: "", Class: 0},
+		Probe{RequesterID: "r42", Class: 3, Object: "clip-b"},
 		Reminder{RequesterID: "r1", Class: 1},
+		Reminder{RequesterID: "r1", Class: 1, Object: "clip-b"},
 		ProbeReply{Decision: 0, Favors: false},
 		ProbeReply{Decision: 2, Favors: true},
 		ReminderReply{Kept: true},
 		ReminderReply{Kept: false},
 		Lookup{M: 4},
 		Lookup{M: 4, Exclude: "me"},
+		Lookup{M: 4, Object: "clip-b"},
+		Lookup{M: 4, Exclude: "me", Object: "clip-b"},
 		Candidates{},
 		Candidates{Peers: []Candidate{}},
 		Candidates{Peers: []Candidate{{ID: "a", Addr: "a:1", Class: 1}}},
 		Candidates{Peers: []Candidate{{ID: "a", Addr: "a:1", Class: 1}, {ID: "b", Addr: "b:2", Class: 4}}, Len: 512},
 		Register{ID: "s1", Addr: "s1:9", Class: 2},
 		Register{ID: "s1", Addr: "s1:9", Class: 2, Refresh: true},
+		Register{ID: "s1", Addr: "s1:9", Class: 2, Object: "clip-b"},
+		Register{ID: "s1", Addr: "s1:9", Class: 2, Refresh: true, Object: "clip-b"},
 		Unregister{ID: "s1"},
+		Unregister{ID: "s1", Object: "clip-b"},
 		Start{RequesterID: "r", FileName: "clip"},
 		Start{RequesterID: "r", FileName: "clip", Segments: []int{}},
 		Start{RequesterID: "r", FileName: "clip", Segments: []int{0, 2, 4}},

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/binary"
+	"reflect"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -37,8 +38,10 @@ func FuzzChordContactCodec(f *testing.F) {
 		// normalize the inputs identically so equality is exact.
 		contact := ChordContact{
 			Name: utf8Clean(name), Addr: utf8Clean(addr), NodeAddr: utf8Clean(nodeAddr),
-			Class: bandwidth.Class(class),
+			Class: bandwidth.Class(class), Objects: []string{utf8Clean(name), utf8Clean(addr)},
 		}
+		// Objects made ChordContact non-comparable; equality goes deep.
+		same := func(got ChordContact) bool { return reflect.DeepEqual(got, contact) }
 		roundTrip := func(kind Kind, in, out any) {
 			var buf bytes.Buffer
 			if err := Write(&buf, kind, in); err != nil {
@@ -58,23 +61,23 @@ func FuzzChordContactCodec(f *testing.F) {
 
 		var join ChordJoin
 		roundTrip(KindChordJoin, ChordJoin{Peer: contact}, &join)
-		if join.Peer != contact {
+		if !same(join.Peer) {
 			t.Errorf("join peer = %+v, want %+v", join.Peer, contact)
 		}
 
 		var joinReply ChordJoinReply
 		roundTrip(KindChordJoinOK,
 			ChordJoinReply{Predecessor: &contact, Successors: []ChordContact{contact, contact}}, &joinReply)
-		if joinReply.Predecessor == nil || *joinReply.Predecessor != contact {
+		if joinReply.Predecessor == nil || !same(*joinReply.Predecessor) {
 			t.Errorf("join-reply predecessor = %+v, want %+v", joinReply.Predecessor, contact)
 		}
-		if len(joinReply.Successors) != 2 || joinReply.Successors[0] != contact || joinReply.Successors[1] != contact {
+		if len(joinReply.Successors) != 2 || !same(joinReply.Successors[0]) || !same(joinReply.Successors[1]) {
 			t.Errorf("join-reply successors = %+v", joinReply.Successors)
 		}
 
 		var notify ChordNotify
 		roundTrip(KindChordNotify, ChordNotify{Peer: contact}, &notify)
-		if notify.Peer != contact {
+		if !same(notify.Peer) {
 			t.Errorf("notify peer = %+v, want %+v", notify.Peer, contact)
 		}
 
@@ -83,7 +86,7 @@ func FuzzChordContactCodec(f *testing.F) {
 		if notifyReply.Predecessor != nil {
 			t.Errorf("nil predecessor decoded as %+v", notifyReply.Predecessor)
 		}
-		if len(notifyReply.Successors) != 1 || notifyReply.Successors[0] != contact {
+		if len(notifyReply.Successors) != 1 || !same(notifyReply.Successors[0]) {
 			t.Errorf("notify-reply successors = %+v", notifyReply.Successors)
 		}
 
@@ -95,7 +98,7 @@ func FuzzChordContactCodec(f *testing.F) {
 
 		var fr ChordFingerReply
 		roundTrip(KindChordFingerOK, ChordFingerReply{Done: done, Next: contact}, &fr)
-		if fr.Done != done || fr.Next != contact {
+		if fr.Done != done || !same(fr.Next) {
 			t.Errorf("finger-reply = %+v", fr)
 		}
 
@@ -107,15 +110,15 @@ func FuzzChordContactCodec(f *testing.F) {
 
 		var lr ChordLookupReply
 		roundTrip(KindChordLookupOK, ChordLookupReply{Owner: contact, Hops: hops}, &lr)
-		if lr.Owner != contact || lr.Hops != hops {
+		if !same(lr.Owner) || lr.Hops != hops {
 			t.Errorf("lookup-reply = %+v", lr)
 		}
 
 		var leave ChordLeave
 		roundTrip(KindChordLeave,
 			ChordLeave{Peer: contact, Predecessor: &contact, Successors: []ChordContact{contact}}, &leave)
-		if leave.Peer != contact || leave.Predecessor == nil || *leave.Predecessor != contact ||
-			len(leave.Successors) != 1 || leave.Successors[0] != contact {
+		if !same(leave.Peer) || leave.Predecessor == nil || !same(*leave.Predecessor) ||
+			len(leave.Successors) != 1 || !same(leave.Successors[0]) {
 			t.Errorf("leave = %+v", leave)
 		}
 	})

@@ -48,6 +48,11 @@ const (
 	KindUnregister   Kind = "unregister"    // supplier -> directory
 	KindUnregisterOK Kind = "unregister-ok" // directory -> supplier
 
+	// Batch registration (multi-object seeds): one round announces a
+	// peer's whole supplied-object set instead of one dial per object.
+	KindRegisterBatch   Kind = "register-batch"    // supplier -> directory
+	KindRegisterBatchOK Kind = "register-batch-ok" // directory -> supplier
+
 	// Chord discovery kinds (decentralized lookup, paper Section 4.2
 	// footnote 4): ring members maintain successors and fingers and route
 	// key lookups over the same wire substrate the sessions use.
@@ -73,11 +78,24 @@ type Register struct {
 	// the duplicate. Sharded clients re-send registrations periodically so
 	// a registry shard that crashed and returned empty is repopulated.
 	Refresh bool `json:"refresh,omitempty"`
+	// Object names the media object this registration supplies. Empty
+	// selects the directory's default registry — the single-object wire
+	// format, byte-identical to what pre-multi-object peers send.
+	Object string `json:"object,omitempty"`
 }
 
-// Unregister removes a supplying peer from the directory.
+// RegisterBatch announces a peer's whole supplied-object set in one
+// round: one entry per object, typically sharing ID, Addr and Class.
+type RegisterBatch struct {
+	Regs []Register `json:"regs"`
+}
+
+// Unregister removes a supplying peer from the directory. A non-empty
+// Object withdraws only that object's registration (the cache-eviction
+// path); empty withdraws from the default registry.
 type Unregister struct {
-	ID string `json:"id"`
+	ID     string `json:"id"`
+	Object string `json:"object,omitempty"`
 }
 
 // Lookup asks the directory for M random candidate suppliers.
@@ -85,6 +103,9 @@ type Lookup struct {
 	M int `json:"m"`
 	// Exclude names a peer to omit (a requester never probes itself).
 	Exclude string `json:"exclude,omitempty"`
+	// Object restricts the sample to suppliers of that media object;
+	// empty samples the default registry.
+	Object string `json:"object,omitempty"`
 }
 
 // Candidate describes one supplier returned by a lookup.
@@ -103,10 +124,13 @@ type Candidates struct {
 	Len int `json:"len,omitempty"`
 }
 
-// Probe asks a supplier for streaming-service permission.
+// Probe asks a supplier for streaming-service permission. Object routes
+// the probe to the supplier's per-object admission state; empty means
+// the supplier's default (single) object.
 type Probe struct {
 	RequesterID string          `json:"requester_id"`
 	Class       bandwidth.Class `json:"class"`
+	Object      string          `json:"object,omitempty"`
 }
 
 // ProbeReply is the supplier's admission decision.
@@ -121,6 +145,7 @@ type ProbeReply struct {
 type Reminder struct {
 	RequesterID string          `json:"requester_id"`
 	Class       bandwidth.Class `json:"class"`
+	Object      string          `json:"object,omitempty"`
 }
 
 // ReminderReply acknowledges a reminder.
@@ -179,6 +204,13 @@ type ChordContact struct {
 	Addr     string          `json:"addr"`
 	NodeAddr string          `json:"node_addr"`
 	Class    bandwidth.Class `json:"class"`
+	// Objects lists the media objects the member supplies, sorted. Empty
+	// means the set is unknown (a pre-multi-object member, or one that
+	// registered without naming an object): candidate filters must keep
+	// such contacts and let the probe's own refusal sort them out.
+	// Propagated with the contact through join/notify/lookup replies, so
+	// cached copies can lag a peer's latest set by a stabilization round.
+	Objects []string `json:"objects,omitempty"`
 }
 
 // ChordJoin is sent by a joining peer to the ring member it determined to
@@ -203,10 +235,15 @@ type ChordNotify struct {
 
 // ChordNotifyReply returns the receiver's predecessor as of before this
 // notify (the sender adopts it as a closer successor if it lies between
-// them) and the receiver's successor list.
+// them), the receiver's successor list, and the receiver's own fresh
+// contact — the sender replaces its stored successor entry with it, so a
+// contact change after join (a grown supplied-object set, above all)
+// spreads to the peers whose routing answers carry it within one
+// stabilization round instead of never.
 type ChordNotifyReply struct {
 	Predecessor *ChordContact  `json:"predecessor,omitempty"`
 	Successors  []ChordContact `json:"successors"`
+	Self        *ChordContact  `json:"self,omitempty"`
 }
 
 // ChordFingerQuery asks a member for one iterative routing step toward a

@@ -28,7 +28,7 @@ import (
 //	defer ov.Close()
 //	seed, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: "s1", Class: 1})
 //	req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r1", Class: 2})
-//	report, err := req.RequestUntilAdmitted(ctx, 10)
+//	report, err := req.RequestUntilAdmitted(ctx, "", 10)
 //
 // Every peer the overlay creates is started, tracked, and torn down by
 // Close (newest first: requesters before the seeds they stream from).
@@ -66,21 +66,24 @@ const (
 )
 
 type overlayConfig struct {
-	file       *media.File
-	numClasses Class
-	policy     Policy
-	m          int
-	tout       time.Duration
-	backoff    BackoffConfig
-	clk        Clock
-	network    Network
-	netFor     func(hostID string) Network
-	observer   Observer
-	seed       int64
-	noAdapt    bool
-	priority   int
-	codec      media.Codec
-	buffer     time.Duration
+	file         *media.File
+	objects      []*media.File
+	cacheBudget  int64
+	sessionSlots int
+	numClasses   Class
+	policy       Policy
+	m            int
+	tout         time.Duration
+	backoff      BackoffConfig
+	clk          Clock
+	network      Network
+	netFor       func(hostID string) Network
+	observer     Observer
+	seed         int64
+	noAdapt      bool
+	priority     int
+	codec        media.Codec
+	buffer       time.Duration
 
 	backend overlayBackend
 	dirAddr string
@@ -145,6 +148,52 @@ func WithChord(cfg ChordDiscoveryConfig) OverlayOption {
 		}
 		c.backend = backendChord
 		c.chord = cfg
+		return nil
+	}
+}
+
+// WithLibrary selects multi-object mode: the overlay carries the listed
+// media objects instead of the single file handed to NewOverlay (which
+// must then be nil). Every peer knows the full catalog; which objects a
+// peer initially holds is per peer (OverlayPeer.Held — seeds default to
+// the whole catalog), and requesters name the object per request
+// (Node.Request / Node.RequestUntilAdmitted). Supplier registration,
+// candidate discovery and admission run independently per object.
+func WithLibrary(files ...*MediaFile) OverlayOption {
+	return func(c *overlayConfig) error {
+		if len(files) == 0 {
+			return errors.New("p2pstream: WithLibrary needs at least one media object")
+		}
+		c.objects = append([]*media.File(nil), files...)
+		return nil
+	}
+}
+
+// WithCacheBudget bounds each peer's media library to the given number of
+// bytes: when caching one more object would exceed the budget, the least
+// recently used unpinned object is evicted and its supplier registration
+// withdrawn gracefully (in-flight sessions drain first). Zero means
+// unbounded (default).
+func WithCacheBudget(bytes int64) OverlayOption {
+	return func(c *overlayConfig) error {
+		if bytes < 0 {
+			return fmt.Errorf("p2pstream: cache budget %d is negative", bytes)
+		}
+		c.cacheBudget = bytes
+		return nil
+	}
+}
+
+// WithSessionSlots caps how many supplying sessions a peer serves
+// concurrently across all of its objects — the peer's single out-bound
+// class budget shared by every per-object supplier. Zero means the
+// per-class default of one concurrent session (default).
+func WithSessionSlots(k int) OverlayOption {
+	return func(c *overlayConfig) error {
+		if k < 0 {
+			return fmt.Errorf("p2pstream: session slots %d is negative", k)
+		}
+		c.sessionSlots = k
 		return nil
 	}
 }
@@ -256,7 +305,7 @@ func WithStartupBuffer(d time.Duration) OverlayOption {
 
 // NewOverlay builds an overlay for the given media item. Exactly one
 // discovery option (WithDirectory, WithShardedDirectory or WithChord) is
-// required.
+// required. For a multi-object overlay, pass a nil file and WithLibrary.
 func NewOverlay(file *MediaFile, opts ...OverlayOption) (*Overlay, error) {
 	cfg := overlayConfig{
 		file:       file,
@@ -272,8 +321,11 @@ func NewOverlay(file *MediaFile, opts ...OverlayOption) (*Overlay, error) {
 			return nil, err
 		}
 	}
-	if file == nil {
-		return nil, errors.New("p2pstream: overlay needs a media file")
+	if file == nil && len(cfg.objects) == 0 {
+		return nil, errors.New("p2pstream: overlay needs a media file (or WithLibrary)")
+	}
+	if file != nil && len(cfg.objects) > 0 {
+		return nil, errors.New("p2pstream: pass WithLibrary with a nil file, not both")
 	}
 	if cfg.backend == backendNone {
 		return nil, errors.New("p2pstream: overlay needs a discovery backend (WithDirectory, WithShardedDirectory or WithChord)")
@@ -295,6 +347,10 @@ type OverlayPeer struct {
 	DiscoveryListenAddr string
 	// Seed overrides the peer's derived randomness seed when non-zero.
 	Seed int64
+	// Held names the objects a multi-object seed initially holds and
+	// supplies (must be a subset of the WithLibrary catalog; empty means
+	// the whole catalog). Ignored for requesters and single-file overlays.
+	Held []string
 }
 
 // Seed creates, starts and tracks a seed peer: it possesses the complete
@@ -430,24 +486,28 @@ func (o *Overlay) newPeer(ctx context.Context, p OverlayPeer, isSeed bool) (*Nod
 	}
 
 	ncfg := node.Config{
-		ID:          p.ID,
-		Class:       p.Class,
-		NumClasses:  o.cfg.numClasses,
-		Policy:      o.cfg.policy,
-		Discovery:   disc,
-		File:        o.cfg.file,
-		M:           o.cfg.m,
-		TOut:        o.cfg.tout,
-		Backoff:     o.cfg.backoff,
-		ListenAddr:  p.ListenAddr,
-		Seed:        seed,
-		Clock:       o.cfg.clk,
-		Network:     nw,
-		Observer:    o.cfg.observer,
-		NoAdapt:     o.cfg.noAdapt,
-		Priority:    o.cfg.priority,
-		Codec:       o.cfg.codec,
-		ExtraBuffer: o.cfg.buffer,
+		ID:           p.ID,
+		Class:        p.Class,
+		NumClasses:   o.cfg.numClasses,
+		Policy:       o.cfg.policy,
+		Discovery:    disc,
+		File:         o.cfg.file,
+		Objects:      o.cfg.objects,
+		Held:         p.Held,
+		CacheBudget:  o.cfg.cacheBudget,
+		SessionSlots: o.cfg.sessionSlots,
+		M:            o.cfg.m,
+		TOut:         o.cfg.tout,
+		Backoff:      o.cfg.backoff,
+		ListenAddr:   p.ListenAddr,
+		Seed:         seed,
+		Clock:        o.cfg.clk,
+		Network:      nw,
+		Observer:     o.cfg.observer,
+		NoAdapt:      o.cfg.noAdapt,
+		Priority:     o.cfg.priority,
+		Codec:        o.cfg.codec,
+		ExtraBuffer:  o.cfg.buffer,
 	}
 	var n *Node
 	var err error
@@ -518,6 +578,15 @@ const (
 	EventSessionServed = observe.SessionServed
 	// EventProbeServed: the supplier side answered one admission probe.
 	EventProbeServed = observe.ProbeServed
+	// EventBitrateDowngrade: a supplying session stepped one bitrate class
+	// down the ladder under sustained congestion (Quality).
+	EventBitrateDowngrade = observe.BitrateDowngrade
+	// EventObjectEvicted: a node's bounded library evicted one media
+	// object (Object).
+	EventObjectEvicted = observe.ObjectEvicted
+	// EventSupplierWithdrawn: a node withdrew its supplier registration
+	// for one object, the graceful tail of an eviction (Object).
+	EventSupplierWithdrawn = observe.SupplierWithdrawn
 )
 
 // MultiObserver fans events out to several observers (nils skipped).

@@ -46,7 +46,7 @@
 //	defer ov.Close()
 //	seed, _ := ov.Seed(ctx, p2pstream.OverlayPeer{ID: "s1", Class: 1})
 //	req, _ := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r1", Class: 2})
-//	report, _ := req.RequestUntilAdmitted(ctx, 10)
+//	report, _ := req.RequestUntilAdmitted(ctx, "", 10)
 //
 // A minimal assignment:
 //

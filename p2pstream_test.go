@@ -131,7 +131,7 @@ func TestPublicOverlayDirectory(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	report, err := req.RequestUntilAdmitted(ctx, 5)
+	report, err := req.RequestUntilAdmitted(ctx, "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestPublicOverlayChord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := req.RequestUntilAdmitted(ctx, 5)
+	report, err := req.RequestUntilAdmitted(ctx, "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestPublicOverlaySharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := req.RequestUntilAdmitted(ctx, 5)
+	report, err := req.RequestUntilAdmitted(ctx, "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestDeprecatedConstructorsStillWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { req.Close() })
-	if _, err := req.RequestUntilAdmitted(ctx, 5); err != nil {
+	if _, err := req.RequestUntilAdmitted(ctx, "", 5); err != nil {
 		t.Fatal(err)
 	}
 	if !req.Supplying() {
@@ -424,7 +424,7 @@ func TestPublicOverlayCongestion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := req.RequestUntilAdmitted(ctx, 5)
+	report, err := req.RequestUntilAdmitted(ctx, "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -495,7 +495,7 @@ func TestPublicOverlayNoAdaptation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := req.RequestUntilAdmitted(ctx, 5)
+	report, err := req.RequestUntilAdmitted(ctx, "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}

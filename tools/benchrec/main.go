@@ -1,7 +1,8 @@
 // Command benchrec records and gates the virtual-substrate benchmark
 // trajectory. It runs the vnet benchmarks (BenchmarkVnetChunkDelivery,
 // BenchmarkPacedChunkDelivery, BenchmarkVnetConcurrentHosts,
-// BenchmarkMegacrowd10k — see bench_test.go) and either:
+// BenchmarkLibraryLookup, BenchmarkMegacrowd10k — see bench_test.go)
+// and either:
 //
 //	-record   appends the measured point to BENCH_vnet.json (the
 //	          trajectory: one point per recorded optimization state), or
@@ -58,7 +59,7 @@ type Trajectory struct {
 }
 
 const (
-	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkPacedChunkDelivery|BenchmarkVnetConcurrentHosts)$"
+	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkPacedChunkDelivery|BenchmarkVnetConcurrentHosts|BenchmarkLibraryLookup)$"
 	macroBenches = "^BenchmarkMegacrowd10k$"
 
 	// microSamples is the best-of count for the gated micro-benchmarks.
