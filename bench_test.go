@@ -6,6 +6,7 @@
 package p2pstream_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"p2pstream/internal/arrival"
 	"p2pstream/internal/bandwidth"
 	"p2pstream/internal/chord"
+	"p2pstream/internal/chordnet"
 	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
 	"p2pstream/internal/dac"
@@ -27,6 +29,7 @@ import (
 	"p2pstream/internal/pacing"
 	"p2pstream/internal/scenario"
 	"p2pstream/internal/system"
+	"p2pstream/internal/transport"
 )
 
 // benchScale keeps one simulation around 50-100ms so every experiment
@@ -394,6 +397,79 @@ func BenchmarkMegacrowd10k(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChordLookup1k measures one key lookup on a live 1,024-member
+// wire-level chord ring — replicated registrations (K=3), four virtual
+// positions per member — after the ring has stabilized. Setup boots the
+// ring once; each op is one LookupKey from a rotating member, so the
+// figure is the per-lookup routing cost (walk RPCs + record pull) the
+// chord-1k scenario pays per candidate draw. Like the megacrowd macro
+// point its ns/op is wall-clock bound (RPC round trips on the virtual
+// substrate), so tools/benchrec records it without gating it.
+func BenchmarkChordLookup1k(b *testing.B) {
+	const members = 1024
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+	clk := clock.NewVirtual()
+	clk.SetCoalesce(time.Millisecond)
+	stop := clk.AutoRun()
+	defer stop()
+	vnet := netx.NewVirtual(clk, 1)
+	vnet.SetDefaultLink(netx.LinkConfig{Latency: 300 * time.Microsecond})
+
+	peers := make([]*chordnet.Peer, 0, members)
+	var boot []string
+	for i := 0; i < members; i++ {
+		name := fmt.Sprintf("b%d", i)
+		p, err := chordnet.New(chordnet.Config{
+			ID:        name,
+			Class:     bandwidth.Class(1 + i%4),
+			Bootstrap: boot,
+			Network:   vnet.Host(name),
+			Clock:     clk,
+			Seed:      int64(i + 1),
+			// A slow period keeps the four-digit ring's background repair
+			// traffic (members × rounds × notify/replica/finger RPCs) from
+			// dominating the boot and the measurement.
+			Stabilize:    100 * time.Millisecond,
+			Replication:  3,
+			VirtualNodes: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		if err := p.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Register(ctxb, transport.Register{ID: name, Addr: "overlay-" + name + ":9", Class: bandwidth.Class(1 + i%4)}); err != nil {
+			b.Fatalf("register %s: %v", name, err)
+		}
+		if len(boot) < 4 {
+			boot = append(boot, p.Addr())
+		}
+		peers = append(peers, p)
+		// A breather every few joins keeps splices landing on a ring that
+		// has absorbed the previous ones — boot stays a growth, not a pile.
+		if i%16 == 15 {
+			clk.Sleep(10 * time.Millisecond)
+		}
+	}
+	// Let stabilization finish the finger tables (full refresh is
+	// FingerBits/fingersPerRound = 16 rounds at the 100ms period).
+	clk.Sleep(2 * time.Second)
+
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peers[i%members].LookupKey(ctxb, rng.Uint64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ctxb is the benchmarks' background context.
+var ctxb = context.Background()
 
 // --- whole-cluster scenario benchmarks ----------------------------------
 

@@ -35,9 +35,13 @@ func main() {
 		for _, spec := range scenario.Catalog() {
 			fmt.Printf("%-22s [%s] %s\n", spec.Name, spec.Discovery, spec.Stresses)
 		}
-		// The population-scale family: runnable by name, excluded from
-		// -all (the 100k entry takes minutes, not seconds).
+		// The population-scale families: runnable by name, excluded from
+		// -all (the 100k crowd and the 1k chord ring take minutes, not
+		// seconds).
 		for _, spec := range scenario.ScaleCatalog() {
+			fmt.Printf("%-22s [%s] %s\n", spec.Name, spec.Discovery, spec.Stresses)
+		}
+		for _, spec := range scenario.ChordScaleCatalog() {
 			fmt.Printf("%-22s [%s] %s\n", spec.Name, spec.Discovery, spec.Stresses)
 		}
 		return

@@ -48,6 +48,29 @@ func HashKey(key string) uint64 {
 	return z
 }
 
+// VirtualPosition maps virtual node i of the named peer onto the
+// identifier circle. Index 0 is the peer's ring position itself
+// (VirtualPosition(name, 0) == HashKey(name)), so a peer's first virtual
+// position always coincides with the arc it owns topologically; higher
+// indices scatter deterministically across the circle via the same
+// splitmix64 avalanche HashKey uses, which is what flattens per-peer
+// sampling arcs when a member claims several positions.
+func VirtualPosition(name string, i int) uint64 {
+	z := HashKey(name)
+	if i == 0 {
+		return z
+	}
+	// One golden-ratio stride per index, then the avalanche finalizer:
+	// positions of the same peer land independently, not on a tight arc.
+	z += uint64(i) * 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // Peer is one ring member.
 type Peer struct {
 	// Name is the peer's stable name; its hash is the ring position.

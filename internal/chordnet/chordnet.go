@@ -72,6 +72,17 @@ const (
 	// ignore deadlines (virtual time makes them meaningless) and rely on
 	// crash-reset semantics instead.
 	rpcTimeout = 10 * time.Second
+	// maxForwardHops bounds receiver-side forwarding of a registration
+	// record that landed at a stale owner mid-flux: each receiver that does
+	// not own the record's position re-routes it once toward the true
+	// owner, and the hop budget stops ping-pong between peers with
+	// momentarily inconsistent range views.
+	maxForwardHops = 8
+	// resolveAttempts bounds a record resolution: each attempt walks to the
+	// key's topological owner and pulls the answering record; a failed pull
+	// evicts the corpse, dead-lists it, and re-walks — landing on the
+	// successor that holds the replicas.
+	resolveAttempts = 3
 )
 
 // Config parameterizes a chord discovery peer.
@@ -104,6 +115,20 @@ type Config struct {
 	// failures the request/response flow cannot surface (a peer hanging up
 	// mid-reply) and completed key lookups with their routing cost.
 	Observer observe.Observer
+	// Replication is the number of successors each member replicates the
+	// registration records of its key range to (0 disables replication).
+	// With K replicas a crashed owner's records stay answerable: a lookup
+	// whose pull to the owner fails dead-lists it, re-walks, and the
+	// successor answers from its replica — the churn window where live
+	// suppliers are invisible closes.
+	Replication int
+	// VirtualNodes is the number of virtual positions this member claims
+	// on the identifier circle (default 1: just its ring position).
+	// Position i is chord.VirtualPosition(ID, i); each is published as a
+	// registration record to the member that owns it, so random-key
+	// sampling hits members proportionally to V equalized arcs instead of
+	// one arc with a heavy-tailed length.
+	VirtualNodes int
 }
 
 // Peer is one chord discovery endpoint. Create with New, Start it, then
@@ -156,10 +181,21 @@ type Peer struct {
 	fingers    [chord.FingerBits]transport.ChordContact
 	fingerIDs  [chord.FingerBits]uint64
 	nextFinger int
-	listener   net.Listener
-	conns      map[net.Conn]struct{}
-	stabTimer  clock.Timer
-	wg         sync.WaitGroup
+	// store holds replicated registration records by virtual position:
+	// this member's own records (its pos-0 record is always here — the
+	// self-record invariant that makes record answers match topological
+	// answers at V=1), the records of its primary key range (predID, id],
+	// and replicas pushed by the K predecessors replicating to it.
+	store map[uint64]transport.ChordRecord
+	// replVer counts store mutations; pushedVer remembers, per successor
+	// name, the version last pushed there, so stabilization re-replicates
+	// only when something changed (or a fresh successor appears).
+	replVer   int64
+	pushedVer map[string]int64
+	listener  net.Listener
+	conns     map[net.Conn]struct{}
+	stabTimer clock.Timer
+	wg        sync.WaitGroup
 }
 
 // New returns an unstarted chord peer.
@@ -179,6 +215,12 @@ func New(cfg Config) (*Peer, error) {
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = defaultMaxHops
 	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = 1
+	}
+	if cfg.Replication < 0 {
+		cfg.Replication = 0
+	}
 	p := &Peer{
 		cfg:     cfg,
 		comp:    "chord/" + cfg.ID,
@@ -188,6 +230,7 @@ func New(cfg Config) (*Peer, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		objects: make(map[string]bool),
 		self:    transport.ChordContact{Name: cfg.ID, Class: cfg.Class},
+		store:   make(map[uint64]transport.ChordRecord),
 		conns:   make(map[net.Conn]struct{}),
 	}
 	p.cache = transport.NewConnCache(p.net)
@@ -299,6 +342,9 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 			p.objects[reg.Object] = true
 			p.refreshObjectsLocked()
 			p.mu.Unlock()
+			// Re-publish so remote copies of this member's records carry
+			// the grown object set (best effort; cached copies lag anyway).
+			p.publishRecords(ctx)
 			return nil
 		}
 		p.mu.Unlock()
@@ -306,6 +352,10 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 	}
 	p.self.NodeAddr = reg.Addr
 	p.self.Class = reg.Class
+	// Stamp this incarnation: a rejoin (possibly on a new address) carries
+	// a strictly higher epoch, so record upserts and candidate merges
+	// everywhere prefer this contact over stale copies of the old one.
+	p.self.Epoch = p.clk.Now().UnixNano()
 	if reg.Object != "" {
 		p.objects[reg.Object] = true
 		p.refreshObjectsLocked()
@@ -319,6 +369,7 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 		p.pred = nil
 		p.setSuccessorsLocked(nil) // the singleton fallback: self
 		p.mu.Unlock()
+		p.publishRecords(ctx)
 		p.armStabilize()
 		return nil
 	}
@@ -334,7 +385,7 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 				return err
 			}
 		}
-		succ, _, err := p.lookupVia(ctx, p.id)
+		succ, _, err := p.lookupVia(ctx, p.id, true)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
@@ -361,16 +412,123 @@ func (p *Peer) Register(ctx context.Context, reg transport.Register) error {
 		p.mu.Lock()
 		p.joined = true
 		p.setSuccessorsLocked(append([]transport.ChordContact{succ}, reply.Successors...))
+		// Adopt the successor's pre-adoption predecessor as ours: it is
+		// exactly the member preceding us on the ring, which fixes our
+		// primary key range (predID, id] immediately — the range sync
+		// below and the replica pushes both need it. A stale entry heals
+		// through the predecessor pulse like any other corpse.
+		if x := reply.Predecessor; x != nil && x.Name != p.cfg.ID {
+			c := *x
+			p.pred = &c
+			p.predID = chord.HashKey(x.Name)
+		}
 		// Seed every finger with the successor: lookups route correctly
 		// (if slowly) from the first instant; stabilization sharpens them.
 		for j := range p.fingers {
 			p.setFingerLocked(j, succ)
 		}
 		p.mu.Unlock()
+		p.syncRange(ctx, succ)
+		p.publishRecords(ctx)
 		p.armStabilize()
 		return nil
 	}
 	return fmt.Errorf("chordnet %s: join failed: %w", p.cfg.ID, lastErr)
+}
+
+// syncRange pulls the registration records of this peer's primary key
+// range from its successor at join time: the successor owned the range
+// until this instant, so the records settled there migrate to the new
+// owner without waiting for their registrants to re-publish. With no
+// known predecessor the range is over-approximated as (succ, self] —
+// extra copies are harmless (they can never shadow a nearer record) and
+// the owners' replace-pushes garbage-collect them.
+func (p *Peer) syncRange(ctx context.Context, succ transport.ChordContact) {
+	p.mu.Lock()
+	lo := chord.HashKey(succ.Name)
+	if p.pred != nil {
+		lo = p.predID
+	}
+	hi := p.id
+	p.mu.Unlock()
+	if lo == hi {
+		return
+	}
+	var reply transport.ChordReplicaPullReply
+	err := p.call(ctx, succ.Addr, transport.KindChordReplicaPull,
+		transport.ChordReplicaPull{All: true, Lo: lo, Hi: hi},
+		transport.KindChordReplicaPullOK, &reply)
+	if err != nil || len(reply.Records) == 0 {
+		return
+	}
+	p.mu.Lock()
+	changed := false
+	for _, r := range reply.Records {
+		if p.upsertLocked(r) {
+			changed = true
+		}
+	}
+	if changed {
+		p.replVer++
+	}
+	p.mu.Unlock()
+}
+
+// publishRecords installs this member's V virtual-position records in its
+// own store (position 0 — the ring position itself — always lives here)
+// and routes each remotely-owned record to the member owning its
+// position. Best effort: a record whose owner cannot be reached stays
+// answerable from the local copy, and receiver-side forwarding plus the
+// join-time range sync migrate copies that landed at stale owners.
+func (p *Peer) publishRecords(ctx context.Context) {
+	p.mu.Lock()
+	if !p.joined {
+		p.mu.Unlock()
+		return
+	}
+	self := p.self
+	recs := make([]transport.ChordRecord, 0, p.cfg.VirtualNodes)
+	changed := false
+	for i := 0; i < p.cfg.VirtualNodes; i++ {
+		r := transport.ChordRecord{Pos: chord.VirtualPosition(p.cfg.ID, i), Peer: self}
+		if p.upsertLocked(r) {
+			changed = true
+		}
+		// Positions this member owns itself need no routing: pos 0 is its
+		// own ring position, and anything else inside (pred, self] stays
+		// in the local store the upsert above just refreshed.
+		if r.Pos == p.id || (p.pred != nil && chord.InHalfOpen(r.Pos, p.predID, p.id)) {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if changed {
+		p.replVer++
+	}
+	p.mu.Unlock()
+	// Route the remotely-owned records in parallel (bounded): V can be
+	// large, and each record costs one walk plus one push.
+	const publishers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < publishers && w < len(recs); w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(recs); i += publishers {
+				r := recs[i]
+				owner, _, err := p.findOwner(ctx, r.Pos)
+				if err != nil || owner.Name == p.cfg.ID {
+					continue
+				}
+				var reply transport.ChordReplicateReply
+				_ = p.call(ctx, owner.Addr, transport.KindChordReplicate,
+					transport.ChordReplicate{Records: []transport.ChordRecord{r}},
+					transport.KindChordReplicateOK, &reply)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Unregister withdraws the peer from one object. While other objects
@@ -392,10 +550,30 @@ func (p *Peer) Unregister(ctx context.Context, id, object string) error {
 		delete(p.objects, object)
 		p.refreshObjectsLocked()
 		p.mu.Unlock()
+		// Re-publish so remote copies shrink their object set too.
+		p.publishRecords(ctx)
 		return nil
 	}
 	delete(p.objects, object)
 	p.refreshObjectsLocked()
+	var ownRecs []transport.ChordRecord
+	if p.joined {
+		for _, r := range p.store {
+			if r.Peer.Name == p.cfg.ID {
+				ownRecs = append(ownRecs, r)
+			}
+		}
+	}
+	p.mu.Unlock()
+	// Withdraw this member's own records from the owners of its virtual
+	// positions while routing still works (it is still a member); best
+	// effort — a missed withdrawal is a stale record whose probe refusal
+	// the admission sweep already tolerates, and the owners' replace
+	// pushes scrub replicas once the owner's copy is gone.
+	if len(ownRecs) > 0 {
+		p.withdrawRecords(ctx, ownRecs)
+	}
+	p.mu.Lock()
 	wasJoined := p.joined
 	self := p.self
 	var pred *transport.ChordContact
@@ -404,9 +582,20 @@ func (p *Peer) Unregister(ctx context.Context, id, object string) error {
 		pred = &c
 	}
 	succs := append([]transport.ChordContact(nil), p.succs...)
+	// The successor inherits this peer's key range, so the stored records
+	// travel with the leave notice (minus this peer's own, just
+	// withdrawn; receivers drop leaver-named records regardless).
+	var handoff []transport.ChordRecord
+	for _, r := range p.store {
+		if r.Peer.Name != p.cfg.ID {
+			handoff = append(handoff, r)
+		}
+	}
 	p.joined = false
 	p.pred = nil
 	p.succs, p.succIDs = nil, nil
+	p.store = make(map[uint64]transport.ChordRecord)
+	p.pushedVer = nil
 	t := p.stabTimer
 	p.stabTimer = nil
 	p.mu.Unlock()
@@ -419,7 +608,7 @@ func (p *Peer) Unregister(ctx context.Context, id, object string) error {
 	// Hand over: the same full snapshot goes to both neighbors (each uses
 	// the halves that apply), best effort — an unreachable neighbor heals
 	// around us like a crash.
-	notice := transport.ChordLeave{Peer: self, Predecessor: pred, Successors: succs}
+	notice := transport.ChordLeave{Peer: self, Predecessor: pred, Successors: succs, Records: handoff}
 	var reply transport.ChordLeaveReply
 	for _, s := range succs {
 		if s.Name == self.Name {
@@ -449,11 +638,31 @@ func (p *Peer) Candidates(ctx context.Context, object string, m int, exclude str
 	if m <= 0 {
 		return nil, nil
 	}
-	seen := map[string]bool{exclude: true, p.cfg.ID: true}
-	var out []transport.Candidate
-	for round := 0; round < sampleRounds && len(out) < m; round++ {
+	// Contacts merge across rounds by name, newest epoch wins: rounds can
+	// surface different copies of the same member (one from before a
+	// rejoin, one after), and a probe must never dial an address the
+	// member already abandoned. First-seen order is kept so the output is
+	// deterministic under a seeded rng.
+	index := make(map[string]int)
+	var contacts []transport.ChordContact
+	eligible := func(c transport.ChordContact) bool {
+		if c.NodeAddr == "" {
+			return false
+		}
+		return object == "" || len(c.Objects) == 0 || containsObject(c.Objects, object)
+	}
+	countEligible := func() int {
+		n := 0
+		for _, c := range contacts {
+			if eligible(c) {
+				n++
+			}
+		}
+		return n
+	}
+	for round := 0; round < sampleRounds && countEligible() < m; round++ {
 		p.roundCount.Add(1)
-		need := m - len(out)
+		need := m - countEligible()
 		keys := make([]uint64, need)
 		p.mu.Lock()
 		for i := range keys {
@@ -474,18 +683,34 @@ func (p *Peer) Candidates(ctx context.Context, object string, m int, exclude str
 		}
 		wg.Wait()
 		for _, c := range owners {
-			if c == nil || c.NodeAddr == "" || seen[c.Name] {
+			if c == nil || c.Name == "" || c.Name == exclude || c.Name == p.cfg.ID {
 				continue
 			}
-			seen[c.Name] = true
-			if object != "" && len(c.Objects) > 0 && !containsObject(c.Objects, object) {
+			if i, dup := index[c.Name]; dup {
+				if c.Epoch > contacts[i].Epoch {
+					contacts[i] = *c
+				}
 				continue
 			}
-			out = append(out, transport.Candidate{ID: c.Name, Addr: c.NodeAddr, Class: c.Class})
+			index[c.Name] = len(contacts)
+			contacts = append(contacts, *c)
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
+	}
+	out := make([]transport.Candidate, 0, m)
+	for _, c := range contacts {
+		if len(out) == m {
+			break
+		}
+		if !eligible(c) {
+			continue
+		}
+		out = append(out, transport.Candidate{ID: c.Name, Addr: c.NodeAddr, Class: c.Class})
+	}
+	if len(out) == 0 {
+		out = nil
 	}
 	return out, nil
 }
@@ -497,18 +722,32 @@ func containsObject(objects []string, object string) bool {
 }
 
 // refreshObjectsLocked rebuilds self.Objects (sorted, a fresh slice — the
-// old one may be shared with in-flight notices) from the object set.
+// old one may be shared with in-flight notices) from the object set, and
+// refreshes the local copies of this member's own records so record
+// answers served from here carry the latest contact immediately.
 func (p *Peer) refreshObjectsLocked() {
 	if len(p.objects) == 0 {
 		p.self.Objects = nil
-		return
+	} else {
+		out := make([]string, 0, len(p.objects))
+		for o := range p.objects {
+			out = append(out, o)
+		}
+		sort.Strings(out)
+		p.self.Objects = out
 	}
-	out := make([]string, 0, len(p.objects))
-	for o := range p.objects {
-		out = append(out, o)
+	changed := false
+	for i := 0; i < p.cfg.VirtualNodes; i++ {
+		pos := chord.VirtualPosition(p.cfg.ID, i)
+		if r, ok := p.store[pos]; ok && r.Peer.Name == p.cfg.ID {
+			if p.upsertLocked(transport.ChordRecord{Pos: pos, Peer: p.self}) {
+				changed = true
+			}
+		}
 	}
-	sort.Strings(out)
-	p.self.Objects = out
+	if changed {
+		p.replVer++
+	}
 }
 
 // Close leaves the ring and shuts the peer down: stabilization stops, the
@@ -563,9 +802,11 @@ func (p *Peer) bootstraps() []string {
 	return out
 }
 
-// lookup routes one key: members walk the ring themselves, non-members
-// delegate the walk to a bootstrap member. Both paths feed the
-// discovery-cost counters and emit a LookupDone event on the observer.
+// lookup routes one key: members resolve the answering record themselves,
+// non-members delegate to a bootstrap member (which resolves on their
+// behalf). Both paths feed the discovery-cost counters and emit a
+// LookupDone event on the observer; a resolution served by a replica
+// after the owner proved unreachable additionally emits ReplicaAnswered.
 func (p *Peer) lookup(ctx context.Context, key uint64) (transport.ChordContact, error) {
 	p.mu.Lock()
 	joined := p.joined
@@ -573,16 +814,24 @@ func (p *Peer) lookup(ctx context.Context, key uint64) (transport.ChordContact, 
 	start := p.clk.Now()
 	var owner transport.ChordContact
 	var hops int
+	var viaReplica bool
 	var err error
 	if joined {
-		owner, hops, err = p.findOwner(ctx, key)
+		owner, hops, viaReplica, err = p.resolve(ctx, key)
 	} else {
-		owner, hops, err = p.lookupVia(ctx, key)
+		owner, hops, err = p.lookupVia(ctx, key, false)
 	}
 	err = transport.CtxErr(ctx, err)
 	if err == nil {
 		p.lookupCount.Add(1)
 		p.hopCount.Add(int64(hops))
+		if viaReplica {
+			observe.Emit(p.cfg.Observer, observe.Event{
+				Component: p.comp,
+				Type:      observe.ReplicaAnswered,
+				Hops:      hops,
+			})
+		}
 	}
 	observe.Emit(p.cfg.Observer, observe.Event{
 		Component: p.comp,
@@ -595,8 +844,10 @@ func (p *Peer) lookup(ctx context.Context, key uint64) (transport.ChordContact, 
 }
 
 // lookupVia delegates a key lookup to the first answering bootstrap,
-// returning the owner and the hops the routing member expended.
-func (p *Peer) lookupVia(ctx context.Context, key uint64) (transport.ChordContact, int, error) {
+// returning the answer and the hops the routing member expended. topo
+// asks for the key's topological owner (the join path); otherwise the
+// routing member resolves the answering registration record.
+func (p *Peer) lookupVia(ctx context.Context, key uint64, topo bool) (transport.ChordContact, int, error) {
 	boots := p.bootstraps()
 	if len(boots) == 0 {
 		return transport.ChordContact{}, 0, fmt.Errorf("chordnet %s: no bootstrap members", p.cfg.ID)
@@ -604,7 +855,7 @@ func (p *Peer) lookupVia(ctx context.Context, key uint64) (transport.ChordContac
 	var lastErr error
 	for _, addr := range boots {
 		var reply transport.ChordLookupReply
-		err := p.call(ctx, addr, transport.KindChordLookup, transport.ChordLookup{Key: key},
+		err := p.call(ctx, addr, transport.KindChordLookup, transport.ChordLookup{Key: key, Topo: topo},
 			transport.KindChordLookupOK, &reply)
 		if err == nil {
 			return reply.Owner, reply.Hops, nil
@@ -617,34 +868,170 @@ func (p *Peer) lookupVia(ctx context.Context, key uint64) (transport.ChordContac
 	return transport.ChordContact{}, 0, fmt.Errorf("chordnet %s: no bootstrap answered: %w", p.cfg.ID, lastErr)
 }
 
+// resolve answers a key lookup from registration records: walk to the
+// key's topological owner, then pull the best record for the key from it.
+// A failed pull means the owner is a corpse the walk still routes to:
+// evict it, dead-list it, and fail over to the owner's backups (its
+// successors, carried by the walk's final hop) — the replica holders of
+// its range — which answer excluding the dead names. The returned flag
+// reports a replica-served answer (the owner itself did not produce it);
+// the hop count sums the walks.
+func (p *Peer) resolve(ctx context.Context, key uint64) (transport.ChordContact, int, bool, error) {
+	var dead []string
+	deadHas := func(name string) bool {
+		for _, d := range dead {
+			if d == name {
+				return true
+			}
+		}
+		return false
+	}
+	totalHops := 0
+	viaReplica := false
+	var lastErr error
+	for attempt := 0; attempt < resolveAttempts; attempt++ {
+		owner, backups, hops, err := p.findOwnerBackups(ctx, key)
+		totalHops += hops
+		if err != nil {
+			return transport.ChordContact{}, totalHops, false, err
+		}
+		for _, c := range append([]transport.ChordContact{owner}, backups...) {
+			if c.Name == "" || deadHas(c.Name) {
+				viaReplica = true
+				continue
+			}
+			// Re-pull the same contact when the record it answered names a
+			// member this resolution then observes dead: the grown dead list
+			// steers the next pull to the next-best record. Each iteration
+			// either returns or dead-lists a name the pull had not filtered,
+			// so the loop is bounded by the store; the cap guards against a
+			// remote that ignores the dead list.
+			for pulls := 0; pulls < 8; pulls++ {
+				var rec transport.ChordRecord
+				var found bool
+				if c.Name == p.cfg.ID {
+					p.mu.Lock()
+					rec, found = p.bestRecordLocked(key, dead)
+					p.mu.Unlock()
+				} else {
+					var reply transport.ChordReplicaPullReply
+					err := p.call(ctx, c.Addr, transport.KindChordReplicaPull,
+						transport.ChordReplicaPull{Key: key, Dead: dead},
+						transport.KindChordReplicaPullOK, &reply)
+					if err != nil {
+						if cerr := ctx.Err(); cerr != nil {
+							return transport.ChordContact{}, totalHops, false, cerr
+						}
+						p.evict(c)
+						dead = append(dead, c.Name)
+						lastErr = err
+						viaReplica = true
+						break
+					}
+					rec, found = reply.Record, reply.Found
+				}
+				if !found {
+					// Nothing registered in range (a member mid-join answering
+					// before its first publish): the answering member itself
+					// is the legacy answer.
+					return c, totalHops, viaReplica, nil
+				}
+				// A third-party answer is verified reachable before it is
+				// returned: a replica faithfully answers records of members
+				// whose death it has not observed yet, and this resolver may
+				// never have tried the corpse itself (its walk can land past
+				// the crash when another member already evicted it). The
+				// answering member vouches for itself — the pull that just
+				// succeeded is the proof — and self needs no proof.
+				if rec.Peer.Name != c.Name && rec.Peer.Name != p.cfg.ID && rec.Peer.Addr != "" &&
+					!p.contactLive(ctx, rec.Peer) {
+					if cerr := ctx.Err(); cerr != nil {
+						return transport.ChordContact{}, totalHops, false, cerr
+					}
+					p.evict(rec.Peer)
+					dead = append(dead, rec.Peer.Name)
+					lastErr = fmt.Errorf("chordnet %s: record for key %d names unreachable %s", p.cfg.ID, key, rec.Peer.Name)
+					viaReplica = true
+					continue
+				}
+				return rec.Peer, totalHops, viaReplica, nil
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("chordnet %s: no live replica answered key %d", p.cfg.ID, key)
+	}
+	return transport.ChordContact{}, totalHops, false, lastErr
+}
+
+// bestRecordLocked returns the stored record owning the key: the one at
+// the smallest clockwise distance at-or-after it (the circular-successor
+// rule records share with members). Records named in dead are skipped —
+// the caller observed those members unreachable this resolution — without
+// deleting them: the caller's evidence is not this store's.
+func (p *Peer) bestRecordLocked(key uint64, dead []string) (transport.ChordRecord, bool) {
+	var best transport.ChordRecord
+	var bestDist uint64
+	found := false
+scan:
+	for pos, r := range p.store {
+		for _, d := range dead {
+			if r.Peer.Name == d {
+				continue scan
+			}
+		}
+		dist := pos - key // clockwise distance, wrapping mod 2^64
+		if !found || dist < bestDist {
+			best, bestDist, found = r, dist, true
+		}
+	}
+	return best, found
+}
+
+// contactLive probes a contact with a one-hop finger query — any answered
+// RPC is proof of life. Resolve uses it to vet answers that name a member
+// other than the one that served them.
+func (p *Peer) contactLive(ctx context.Context, c transport.ChordContact) bool {
+	var reply transport.ChordFingerReply
+	return p.call(ctx, c.Addr, transport.KindChordFingerQuery,
+		transport.ChordFingerQuery{Key: chord.HashKey(c.Name)},
+		transport.KindChordFingerOK, &reply) == nil
+}
+
 // findOwner iteratively routes a key from this member: one finger-query
 // per hop, restarting from scratch when a hop is dead (after evicting it,
-// so the retry routes around the corpse).
+// so the retry routes around the corpse). The backup list names the
+// owner's successors (its replica holders) as the final hop knew them.
 func (p *Peer) findOwner(ctx context.Context, key uint64) (transport.ChordContact, int, error) {
+	owner, _, hops, err := p.findOwnerBackups(ctx, key)
+	return owner, hops, err
+}
+
+func (p *Peer) findOwnerBackups(ctx context.Context, key uint64) (transport.ChordContact, []transport.ChordContact, int, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		owner, hops, err := p.walk(ctx, key)
+		owner, backups, hops, err := p.walk(ctx, key)
 		if err == nil {
-			return owner, hops, nil
+			return owner, backups, hops, nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return transport.ChordContact{}, 0, cerr
+			return transport.ChordContact{}, nil, 0, cerr
 		}
 		lastErr = err
 	}
-	return transport.ChordContact{}, 0, lastErr
+	return transport.ChordContact{}, nil, 0, lastErr
 }
 
-func (p *Peer) walk(ctx context.Context, key uint64) (transport.ChordContact, int, error) {
-	done, next := p.step(key)
+func (p *Peer) walk(ctx context.Context, key uint64) (transport.ChordContact, []transport.ChordContact, int, error) {
+	done, next, backups := p.step(key)
 	hops := 0
 	for !done {
 		hops++
 		if hops > p.cfg.MaxHops {
-			return transport.ChordContact{}, hops, fmt.Errorf("chordnet %s: routing did not converge", p.cfg.ID)
+			return transport.ChordContact{}, nil, hops, fmt.Errorf("chordnet %s: routing did not converge", p.cfg.ID)
 		}
 		if next.Name == p.cfg.ID {
-			done, next = p.step(key)
+			done, next, backups = p.step(key)
 			continue
 		}
 		var reply transport.ChordFingerReply
@@ -652,16 +1039,17 @@ func (p *Peer) walk(ctx context.Context, key uint64) (transport.ChordContact, in
 			transport.KindChordFingerOK, &reply)
 		if err != nil {
 			p.evict(next)
-			return transport.ChordContact{}, hops, err
+			return transport.ChordContact{}, nil, hops, err
 		}
-		done, next = reply.Done, reply.Next
+		done, next, backups = reply.Done, reply.Next, reply.Backups
 	}
-	return next, hops, nil
+	return next, backups, hops, nil
 }
 
 // step performs one local routing step: done when this member's successor
-// owns the key, otherwise the closest preceding contact to continue from.
-func (p *Peer) step(key uint64) (bool, transport.ChordContact) {
+// owns the key (the further successors ride along as the owner's replica
+// holders), otherwise the closest preceding contact to continue from.
+func (p *Peer) step(key uint64) (bool, transport.ChordContact, []transport.ChordContact) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	succ, succID := p.self, p.id
@@ -669,13 +1057,22 @@ func (p *Peer) step(key uint64) (bool, transport.ChordContact) {
 		succ, succID = p.succs[0], p.succIDs[0]
 	}
 	if succ.Name == p.self.Name || chord.InHalfOpen(key, p.id, succID) {
-		return true, succ
+		return true, succ, p.backupsLocked()
 	}
 	next := p.closestPrecedingLocked(key)
 	if next.Name == p.self.Name {
-		return true, succ
+		return true, succ, p.backupsLocked()
 	}
-	return false, next
+	return false, next, nil
+}
+
+// backupsLocked returns the successors behind the head — the replica
+// holders of the head successor's range, in fail-over order.
+func (p *Peer) backupsLocked() []transport.ChordContact {
+	if len(p.succs) < 2 {
+		return nil
+	}
+	return append([]transport.ChordContact(nil), p.succs[1:]...)
 }
 
 // closestPrecedingLocked returns the furthest known contact strictly
@@ -722,6 +1119,223 @@ func (p *Peer) evict(c transport.ChordContact) {
 	}
 	if p.pred != nil && p.pred.Name == c.Name {
 		p.pred = nil
+	}
+	// A dead member's registration records die with it; dropping them here
+	// keeps corpse contacts out of record answers the moment the failure
+	// is observed (never this peer's own — an RPC failure proves the
+	// remote dead, not us).
+	if c.Name != p.cfg.ID {
+		dropped := false
+		for pos, r := range p.store {
+			if r.Peer.Name == c.Name {
+				delete(p.store, pos)
+				dropped = true
+			}
+		}
+		if dropped {
+			p.replVer++
+		}
+	}
+}
+
+// upsertLocked merges one record into the store: a record loses to a
+// stored copy with a newer epoch (a later incarnation of the member) and
+// a byte-identical copy is a no-op — critical, because replica pushes
+// re-send unchanged records and a no-op must not count as a store
+// mutation (a version bump here would re-trigger pushes ring-wide,
+// forever). Reports whether the store changed.
+func (p *Peer) upsertLocked(rec transport.ChordRecord) bool {
+	if rec.Peer.Name == "" {
+		return false
+	}
+	old, ok := p.store[rec.Pos]
+	if ok {
+		if old.Peer.Epoch > rec.Peer.Epoch {
+			return false
+		}
+		if contactsEqual(old.Peer, rec.Peer) {
+			return false
+		}
+	}
+	p.store[rec.Pos] = rec
+	return true
+}
+
+// contactsEqual compares contacts field by field (ChordContact carries a
+// slice, so == does not apply).
+func contactsEqual(a, b transport.ChordContact) bool {
+	if a.Name != b.Name || a.Addr != b.Addr || a.NodeAddr != b.NodeAddr ||
+		a.Class != b.Class || a.Epoch != b.Epoch || len(a.Objects) != len(b.Objects) {
+		return false
+	}
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// withdrawRecords deletes this member's own records from the owners of
+// its virtual positions (the record-level counterpart of a graceful
+// leave). Best effort; locally-owned positions are cleared by the
+// caller's store reset.
+func (p *Peer) withdrawRecords(ctx context.Context, recs []transport.ChordRecord) {
+	for _, r := range recs {
+		owner, _, err := p.findOwner(ctx, r.Pos)
+		if err != nil || owner.Name == p.cfg.ID {
+			continue
+		}
+		var reply transport.ChordReplicateReply
+		_ = p.call(ctx, owner.Addr, transport.KindChordReplicate,
+			transport.ChordReplicate{Withdraw: true, Records: []transport.ChordRecord{r}},
+			transport.KindChordReplicateOK, &reply)
+	}
+}
+
+// forwardRecords re-routes records that landed here although another
+// member owns their positions (registration mid-flux: the publisher's
+// walk answered a stale owner). Runs on a tracked goroutine — the walk to
+// the true owner must not stall the RPC handler that received the push.
+func (p *Peer) forwardRecords(recs []transport.ChordRecord, hops int) {
+	p.mu.Lock()
+	if p.closed || !p.joined {
+		p.mu.Unlock()
+		return
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		for _, r := range recs {
+			owner, _, err := p.findOwner(context.Background(), r.Pos)
+			if err != nil || owner.Name == p.cfg.ID {
+				continue
+			}
+			var reply transport.ChordReplicateReply
+			_ = p.call(context.Background(), owner.Addr, transport.KindChordReplicate,
+				transport.ChordReplicate{Records: []transport.ChordRecord{r}, Hops: hops},
+				transport.KindChordReplicateOK, &reply)
+		}
+	}()
+}
+
+// applyReplicate is the chord-replicate handler body: withdrawal deletes
+// the named member's records, a replace push mirrors the sender's
+// authoritative view of its primary range, and a plain push upserts —
+// forwarding (once, hop-bounded) any record this member does not own, so
+// registrations that raced a ring change still settle at the true owner.
+func (p *Peer) applyReplicate(req transport.ChordReplicate) {
+	p.mu.Lock()
+	changed := false
+	var fwd []transport.ChordRecord
+	switch {
+	case req.Withdraw:
+		for _, r := range req.Records {
+			if r.Peer.Name == p.cfg.ID {
+				continue // never drop own registration on hearsay
+			}
+			if old, ok := p.store[r.Pos]; ok && old.Peer.Name == r.Peer.Name && old.Peer.Epoch <= r.Peer.Epoch {
+				delete(p.store, r.Pos)
+				changed = true
+			}
+		}
+	case req.Replace:
+		pushed := make(map[uint64]bool, len(req.Records))
+		for _, r := range req.Records {
+			pushed[r.Pos] = true
+		}
+		for pos, old := range p.store {
+			if !pushed[pos] && old.Peer.Name != p.cfg.ID && chord.InHalfOpen(pos, req.Lo, req.Hi) {
+				delete(p.store, pos)
+				changed = true
+			}
+		}
+		for _, r := range req.Records {
+			if p.upsertLocked(r) {
+				changed = true
+			}
+		}
+	default:
+		for _, r := range req.Records {
+			if p.upsertLocked(r) {
+				changed = true
+			}
+			if r.Peer.Name != p.cfg.ID && r.Pos != p.id &&
+				p.pred != nil && !chord.InHalfOpen(r.Pos, p.predID, p.id) {
+				fwd = append(fwd, r)
+			}
+		}
+	}
+	if changed {
+		p.replVer++
+	}
+	p.mu.Unlock()
+	if len(fwd) > 0 && req.Hops < maxForwardHops {
+		p.forwardRecords(fwd, req.Hops+1)
+	}
+}
+
+// pushReplicas replicates this member's primary key range (predID, id] to
+// its first K live successors, version-gated: a successor is pushed only
+// when the store changed since it was last pushed (or it is new to the
+// list). Without a known predecessor the range is undefined — pushing
+// would name the whole circle — so the push waits for the next notify to
+// establish one.
+func (p *Peer) pushReplicas() {
+	p.mu.Lock()
+	k := p.cfg.Replication
+	if k <= 0 || !p.joined || p.pred == nil {
+		p.mu.Unlock()
+		return
+	}
+	lo, hi := p.predID, p.id
+	ver := p.replVer
+	var prims []transport.ChordRecord
+	for pos, r := range p.store {
+		if chord.InHalfOpen(pos, lo, hi) {
+			prims = append(prims, r)
+		}
+	}
+	if p.pushedVer == nil {
+		p.pushedVer = make(map[string]int64)
+	}
+	live := make(map[string]bool, k)
+	var targets []transport.ChordContact
+	for _, s := range p.succs {
+		if s.Name == p.cfg.ID {
+			continue
+		}
+		if len(live) >= k {
+			break
+		}
+		live[s.Name] = true
+		if p.pushedVer[s.Name] < ver {
+			targets = append(targets, s)
+		}
+	}
+	for name := range p.pushedVer {
+		if !live[name] {
+			delete(p.pushedVer, name)
+		}
+	}
+	p.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	req := transport.ChordReplicate{Replace: true, Lo: lo, Hi: hi, Records: prims}
+	for _, s := range targets {
+		var reply transport.ChordReplicateReply
+		if err := p.call(context.Background(), s.Addr, transport.KindChordReplicate, req,
+			transport.KindChordReplicateOK, &reply); err != nil {
+			p.evict(s)
+			continue
+		}
+		p.mu.Lock()
+		if p.pushedVer != nil && p.pushedVer[s.Name] < ver {
+			p.pushedVer[s.Name] = ver
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -862,13 +1476,17 @@ func (p *Peer) stabilizeOnce() {
 		err := p.call(context.Background(), pred.Addr, transport.KindChordFingerQuery, transport.ChordFingerQuery{Key: p.id},
 			transport.KindChordFingerOK, &reply)
 		if err != nil {
-			p.mu.Lock()
-			if p.pred != nil && p.pred.Name == pred.Name {
-				p.pred = nil
-			}
-			p.mu.Unlock()
+			// The predecessor is dead: evict it everywhere (successor
+			// list, fingers, predecessor slot, and its stored records —
+			// this member inherits its arc, and the corpse's records must
+			// not be answered from here).
+			p.evict(*pred)
 		}
 	}
+
+	// Replicate this member's primary range to its K successors (no-op
+	// when nothing changed since the last push).
+	p.pushReplicas()
 
 	for k := 0; k < fingersPerRound; k++ {
 		p.mu.Lock()
@@ -923,19 +1541,61 @@ func (p *Peer) handleConn(conn net.Conn) {
 			if err := env.Decode(&req); err != nil {
 				return
 			}
-			done, next := p.step(req.Key)
-			p.reply(conn, transport.KindChordFingerOK, transport.ChordFingerReply{Done: done, Next: next})
+			done, next, backups := p.step(req.Key)
+			p.reply(conn, transport.KindChordFingerOK, transport.ChordFingerReply{Done: done, Next: next, Backups: backups})
 		case transport.KindChordLookup:
 			var req transport.ChordLookup
 			if err := env.Decode(&req); err != nil {
 				return
 			}
-			owner, hops, err := p.findOwner(context.Background(), req.Key)
+			var owner transport.ChordContact
+			var hops int
+			var err error
+			if req.Topo {
+				owner, hops, err = p.findOwner(context.Background(), req.Key)
+			} else {
+				var viaReplica bool
+				owner, hops, viaReplica, err = p.resolve(context.Background(), req.Key)
+				if err == nil && viaReplica {
+					// The delegating caller is not a member; this routing
+					// member's observer carries the event.
+					observe.Emit(p.cfg.Observer, observe.Event{
+						Component: p.comp,
+						Type:      observe.ReplicaAnswered,
+						Hops:      hops,
+					})
+				}
+			}
 			if err != nil {
 				p.reply(conn, transport.KindError, transport.Error{Message: err.Error()})
 				continue
 			}
 			p.reply(conn, transport.KindChordLookupOK, transport.ChordLookupReply{Owner: owner, Hops: hops})
+		case transport.KindChordReplicate:
+			var req transport.ChordReplicate
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			p.applyReplicate(req)
+			p.reply(conn, transport.KindChordReplicateOK, transport.ChordReplicateReply{})
+		case transport.KindChordReplicaPull:
+			var req transport.ChordReplicaPull
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			var rep transport.ChordReplicaPullReply
+			p.mu.Lock()
+			if req.All {
+				for pos, r := range p.store {
+					if chord.InHalfOpen(pos, req.Lo, req.Hi) {
+						rep.Records = append(rep.Records, r)
+					}
+				}
+			} else {
+				rep.Record, rep.Found = p.bestRecordLocked(req.Key, req.Dead)
+			}
+			p.mu.Unlock()
+			p.reply(conn, transport.KindChordReplicaPullOK, rep)
 		case transport.KindChordJoin:
 			var req transport.ChordJoin
 			if err := env.Decode(&req); err != nil {
@@ -1006,7 +1666,8 @@ func (p *Peer) spliceLeave(req transport.ChordLeave) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.pred != nil && p.pred.Name == leaver {
+	wasPred := p.pred != nil && p.pred.Name == leaver
+	if wasPred {
 		if x := req.Predecessor; x != nil && x.Name != leaver && x.Name != p.self.Name {
 			c := *x
 			p.pred = &c
@@ -1014,6 +1675,30 @@ func (p *Peer) spliceLeave(req transport.ChordLeave) {
 		} else {
 			p.pred = nil
 		}
+	}
+	// Record handover: the leaver's records travel with the notice. The
+	// successor (the peer whose predecessor the leaver was) inherits the
+	// arc, so it adopts them; any records naming the leaver itself are
+	// dropped everywhere — it just withdrew.
+	changed := false
+	if wasPred {
+		for _, r := range req.Records {
+			if r.Peer.Name == leaver {
+				continue
+			}
+			if p.upsertLocked(r) {
+				changed = true
+			}
+		}
+	}
+	for pos, r := range p.store {
+		if r.Peer.Name == leaver {
+			delete(p.store, pos)
+			changed = true
+		}
+	}
+	if changed {
+		p.replVer++
 	}
 	inSuccs := false
 	for _, s := range p.succs {

@@ -11,6 +11,7 @@ import (
 	"p2pstream/internal/chord"
 	"p2pstream/internal/clock"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/transport"
 )
 
@@ -25,6 +26,13 @@ type fixture struct {
 	peers     map[string]*Peer
 	boot      []string      // chord addresses of the founding members
 	stabilize time.Duration // stabilization period (default 10ms)
+	// virtualNodes/replication parameterize every peer created after they
+	// are set (zero: the V=1/K=0 defaults).
+	virtualNodes int
+	replication  int
+	// observer, when non-nil, is installed on every subsequently created
+	// peer (replication tests count ReplicaAnswered events with it).
+	observer observe.Observer
 }
 
 func newFixture(t *testing.T) *fixture {
@@ -57,11 +65,14 @@ func (f *fixture) newPeer(name string, class bandwidth.Class) *Peer {
 	f.t.Helper()
 	p, err := New(Config{
 		ID: name, Class: class,
-		Bootstrap: append([]string(nil), f.boot...),
-		Network:   f.vnet.Host(name),
-		Clock:     f.clk,
-		Seed:      int64(len(f.peers) + 1),
-		Stabilize: f.stabilize,
+		Bootstrap:    append([]string(nil), f.boot...),
+		Network:      f.vnet.Host(name),
+		Clock:        f.clk,
+		Seed:         int64(len(f.peers) + 1),
+		Stabilize:    f.stabilize,
+		VirtualNodes: f.virtualNodes,
+		Replication:  f.replication,
+		Observer:     f.observer,
 	})
 	if err != nil {
 		f.t.Fatalf("new %s: %v", name, err)

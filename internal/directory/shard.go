@@ -214,6 +214,20 @@ func (c *ShardedClient) Register(ctx context.Context, reg transport.Register) er
 	c.regs[regKey(reg.ID, reg.Object)] = reg
 	c.armRefreshLocked()
 	c.mu.Unlock()
+	// The initial send needs the same sendMu + liveness re-check as a lease
+	// refresh: a per-object withdrawal (a cache eviction unregistering the
+	// object) may land between the lease going live above and this send.
+	// Sent anyway, the registration would outlive its withdrawal on a
+	// server that only forgets via unregister — permanently, because the
+	// lease is already gone and no refresh follows to be re-checked.
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.mu.Lock()
+	_, live := c.regs[regKey(reg.ID, reg.Object)]
+	c.mu.Unlock()
+	if !live {
+		return nil
+	}
 	return c.shards[c.ring.Owner(reg.ID)].Register(ctx, reg)
 }
 

@@ -321,6 +321,76 @@ func TestShardedLeaseRepopulatesRebornShard(t *testing.T) {
 	}
 }
 
+// TestShardedEvictionMidInitialRegister pins the race between a
+// registration's initial send and a per-object withdrawal (a cache
+// eviction unregistering the object): the eviction lands after the lease
+// goes live but before the first Register RPC leaves the client. The send
+// must be skipped — sent late, it would re-register the evicted object on
+// a server that only forgets via unregister, permanently, because the
+// lease is already dropped and no refresh follows to correct it. The test
+// parks Register in exactly that window by holding the client's send lock.
+func TestShardedEvictionMidInitialRegister(t *testing.T) {
+	ctx := context.Background()
+	f := newShardFixture(t, 3)
+	c := f.client(1)
+	r := reg("sup-evict")
+	r.Object = "clip"
+	owner := c.OwnerOf(r.ID)
+
+	// Hold the send lock: Register stores its lease, then parks right
+	// before the initial send — the window the eviction lands in.
+	c.sendMu.Lock()
+	regDone := make(chan error, 1)
+	go func() { regDone <- c.Register(ctx, r) }()
+	waitLease := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			c.mu.Lock()
+			_, ok := c.regs[regKey(r.ID, r.Object)]
+			c.mu.Unlock()
+			if ok == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("lease presence never became %v", want)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitLease(true)
+
+	// The eviction: drops the lease immediately, then queues behind the
+	// same send lock for its withdrawal RPC.
+	unregDone := make(chan error, 1)
+	go func() { unregDone <- c.Unregister(ctx, r.ID, r.Object) }()
+	waitLease(false)
+
+	c.sendMu.Unlock()
+	if err := <-regDone; err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := <-unregDone; err != nil {
+		t.Fatalf("unregister: %v", err)
+	}
+
+	// Whichever order the two goroutines won the lock in, the object must
+	// not exist on its owner shard — the initial send saw the dead lease
+	// and skipped. Registers stays 0: the RPC never left the client.
+	if has(f.shards[owner], r.ID) {
+		t.Error("evicted object's registration reached the shard")
+	}
+	if n := f.shards[owner].Stats().Registers; n != 0 {
+		t.Errorf("owner shard counted %d registers, want 0 (initial send not skipped)", n)
+	}
+	// And several refresh intervals later it still doesn't: no stale lease
+	// survived the eviction.
+	f.clk.Sleep(50 * time.Millisecond)
+	if has(f.shards[owner], r.ID) {
+		t.Error("evicted object re-appeared via a stale lease")
+	}
+}
+
 // has reports whether the server's registry contains the peer — via a
 // lookup wide enough to return everyone.
 func has(s *Server, id string) bool {
@@ -361,7 +431,10 @@ func TestShardedClientValidation(t *testing.T) {
 }
 
 // TestShardedSamplingUniformAcrossShardSizes measures the fan-out merge's
-// sampling skew, mirroring chordnet's TestSamplingSkewArcProportional: with
+// sampling skew, mirroring chordnet's TestSamplingSkewArcProportional
+// (which asserts virtual nodes flatten the ring's arc-proportional skew
+// from ~75x to within 2x — both substrates converge on near-uniform
+// supplier sampling): with
 // registry shards of very different sizes (60 suppliers vs 4), every
 // registered supplier must be hit by Candidates at the same rate — the
 // merge weights each shard's reply by the registry size its lookup reply

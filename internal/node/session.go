@@ -13,6 +13,7 @@ import (
 	"p2pstream/internal/errs"
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/protocol"
 	"p2pstream/internal/transport"
 )
@@ -110,6 +111,9 @@ func (n *Node) Request(ctx context.Context, object string) (*SessionReport, erro
 		return nil, fmt.Errorf("node %s: lookup: %w", n.cfg.ID, err)
 	}
 	if len(cands) == 0 {
+		observe.Emit(n.cfg.Observer, observe.Event{
+			Component: n.comp, Type: observe.LookupMiss, Object: name,
+		})
 		return nil, fmt.Errorf("node %s: %w", n.cfg.ID, ErrNoSuppliers)
 	}
 	classes := make([]bandwidth.Class, len(cands))

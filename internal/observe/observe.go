@@ -44,6 +44,15 @@ const (
 	// object drained first; the library never evicts a pinned object).
 	// Object carries the withdrawn object's name.
 	SupplierWithdrawn
+	// ReplicaAnswered: a chord candidate lookup was answered by a replica
+	// after the key's owner proved unreachable — the churn window the
+	// successor-list replication exists to close. Hops carries the routing
+	// hops of the resolving walk.
+	ReplicaAnswered
+	// LookupMiss: a requesting node's candidate discovery returned no
+	// usable supplier (the ErrNoSuppliers path) — the defect signature of
+	// an un-replicated ring during owner churn.
+	LookupMiss
 )
 
 func (t Type) String() string {
@@ -64,6 +73,10 @@ func (t Type) String() string {
 		return "object-evicted"
 	case SupplierWithdrawn:
 		return "supplier-withdrawn"
+	case ReplicaAnswered:
+		return "replica-answered"
+	case LookupMiss:
+		return "lookup-miss"
 	}
 	return "unknown"
 }

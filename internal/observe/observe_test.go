@@ -36,12 +36,14 @@ func TestMulti(t *testing.T) {
 
 func TestTypeStrings(t *testing.T) {
 	for ty, want := range map[Type]string{
-		WriteError:    "write-error",
-		LookupDone:    "lookup-done",
-		ShardLookup:   "shard-lookup",
-		SessionServed: "session-served",
-		ProbeServed:   "probe-served",
-		Type(99):      "unknown",
+		WriteError:      "write-error",
+		LookupDone:      "lookup-done",
+		ShardLookup:     "shard-lookup",
+		SessionServed:   "session-served",
+		ProbeServed:     "probe-served",
+		ReplicaAnswered: "replica-answered",
+		LookupMiss:      "lookup-miss",
+		Type(99):        "unknown",
 	} {
 		if got := ty.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", int(ty), got, want)

@@ -33,6 +33,7 @@ func Catalog() []Spec {
 		decentralizedLookup(),
 		directoryCrash(),
 		chordChurn(),
+		replicatedChurn(),
 		shardedLookup(),
 		shardCrash(),
 		shardRejoin(),
@@ -53,6 +54,11 @@ func ByName(name string) (Spec, bool) {
 		}
 	}
 	for _, s := range ScaleCatalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range ChordScaleCatalog() {
 		if s.Name == name {
 			return s, true
 		}
@@ -320,6 +326,58 @@ func chordChurn() Spec {
 			{At: 600 * time.Millisecond, Action: Join, Node: "n5", Class: 1},
 			{At: 700 * time.Millisecond, Action: Join, Node: "s3", Class: 1},
 		},
+	}
+}
+
+// replicatedChurn is the closed-churn-window scenario: a 64-member chord
+// ring (16 seeds, 48 staggered requesters) with K=3 successor replication
+// and V=4 virtual positions per member loses a seed to a hard crash
+// mid-run. Unreplicated, every lookup routing into the corpse's arc came
+// up empty until stabilization spliced it out — a churn window one
+// stabilization period wide. Replicated, the corpse's records answer from
+// its successors the instant the crash lands: the run must finish with
+// zero lookup misses, and at least one lookup must actually have been
+// served by a replica (the fail-over path ran; it was not just never
+// needed).
+func replicatedChurn() Spec {
+	seeds := make([]Peer, 16)
+	for i := range seeds {
+		seeds[i] = Peer{ID: fmt.Sprintf("rs%d", i), Class: 1}
+	}
+	reqs := make([]Peer, 48)
+	for i := range reqs {
+		reqs[i] = Peer{
+			ID:    fmt.Sprintf("rn%d", i),
+			Class: bandwidth.Class(1 + i%2),
+			Start: time.Duration(i) * 8 * time.Millisecond,
+		}
+	}
+	return Spec{
+		Name:              "replicated-churn",
+		Stresses:          "zero-width churn window: K=3 replicated registrations keep a crashed owner's arc resolvable with no lookup misses",
+		Discovery:         BackendChord,
+		ChordReplication:  3,
+		ChordVirtualNodes: 4,
+		// Slow stabilization keeps the crashed seed spliced into the ring for
+		// several lookup generations: the zero-miss run is the replicas'
+		// doing, not a fast repair round's.
+		ChordStabilize: 150 * time.Millisecond,
+		Seeds:          seeds,
+		Requesters:     reqs,
+		Churn: []ChurnEvent{
+			// A non-founder seed: the ring survives, its arc's records must
+			// answer from replicas while the neighbors still route to it.
+			{At: 120 * time.Millisecond, Action: Crash, Node: "rs7"},
+		},
+		// A short clip over a jitter-free LAN with a coalescing clock: the
+		// scenario studies the discovery plane's churn window, so the data
+		// plane is kept at its wall-clock minimum (this entry runs under
+		// -race -count=2 with the rest of the catalog).
+		File:          &media.File{Name: "clip", Segments: 4, SegmentBytes: 64, SegmentTime: 2 * time.Millisecond},
+		DefaultLink:   netx.LinkConfig{Latency: 300 * time.Microsecond},
+		ClockCoalesce: time.Millisecond,
+		NoAdapt:       true,
+		Expect:        Expect{AllowStalls: true, NoLookupMisses: true, MinReplicaAnswered: 1},
 	}
 }
 

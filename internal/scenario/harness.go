@@ -111,7 +111,13 @@ type harness struct {
 	// events every node emits on the harness node observer.
 	evictions   atomic.Int64
 	withdrawals atomic.Int64
-	nodeObs     observe.Observer
+	// Churn-window aggregates: lookupMisses counts candidate lookups that
+	// came up empty (node LookupMiss events), replicaAnswered counts chord
+	// lookups a replica served after the range's owner failed (chordnet
+	// ReplicaAnswered events).
+	lookupMisses    atomic.Int64
+	replicaAnswered atomic.Int64
+	nodeObs         observe.Observer
 
 	// preregSeeds marks the batched seed-boot path: seeds start with
 	// Preregistered set and the harness announces them all to the
@@ -160,6 +166,10 @@ func (h *harness) initNodeObserver() {
 			h.evictions.Add(1)
 		case observe.SupplierWithdrawn:
 			h.withdrawals.Add(1)
+		case observe.LookupMiss:
+			h.lookupMisses.Add(1)
+		case observe.ReplicaAnswered:
+			h.replicaAnswered.Add(1)
 		}
 	})
 }
@@ -325,13 +335,16 @@ func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, *chordne
 	switch {
 	case h.chordBacked():
 		cp, err := chordnet.New(chordnet.Config{
-			ID:        p.ID,
-			Class:     p.Class,
-			Bootstrap: h.bootstraps(),
-			Network:   h.net.Host(p.ID),
-			Clock:     h.clk,
-			Seed:      seed,
-			Stabilize: h.spec.ChordStabilize,
+			ID:           p.ID,
+			Class:        p.Class,
+			Bootstrap:    h.bootstraps(),
+			Network:      h.net.Host(p.ID),
+			Clock:        h.clk,
+			Seed:         seed,
+			Stabilize:    h.spec.ChordStabilize,
+			Replication:  h.spec.ChordReplication,
+			VirtualNodes: h.spec.ChordVirtualNodes,
+			Observer:     h.nodeObs,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -552,12 +565,14 @@ func Run(spec Spec) (*Report, error) {
 
 	stopTraffic()
 	stats := runStats{
-		dials:         vnet.Dials(),
-		queueDrops:    vnet.QueueDrops(),
-		seedBootDials: seedBootDials,
-		evictions:     h.evictions.Load(),
-		withdrawals:   h.withdrawals.Load(),
-		objSuppliers:  h.objectSuppliers(),
+		dials:           vnet.Dials(),
+		queueDrops:      vnet.QueueDrops(),
+		seedBootDials:   seedBootDials,
+		evictions:       h.evictions.Load(),
+		withdrawals:     h.withdrawals.Load(),
+		lookupMisses:    h.lookupMisses.Load(),
+		replicaAnswered: h.replicaAnswered.Load(),
+		objSuppliers:    h.objectSuppliers(),
 	}
 	for _, st := range traffic {
 		stats.traffic = append(stats.traffic, st.result(elapsed))

@@ -84,13 +84,15 @@ type TrafficResult struct {
 
 // runStats carries the run-wide substrate counters into the report.
 type runStats struct {
-	dials         int64
-	queueDrops    int64
-	seedBootDials int64
-	evictions     int64
-	withdrawals   int64
-	objSuppliers  map[string]int
-	traffic       []TrafficResult
+	dials           int64
+	queueDrops      int64
+	seedBootDials   int64
+	evictions       int64
+	withdrawals     int64
+	lookupMisses    int64
+	replicaAnswered int64
+	objSuppliers    map[string]int
+	traffic         []TrafficResult
 }
 
 // Report is the outcome of one scenario run.
@@ -124,6 +126,12 @@ type Report struct {
 	// SupplierWithdrawn events across all nodes — zero unless a bounded
 	// library actually churned.
 	EvictionTotal, WithdrawalTotal int64
+	// LookupMisses counts candidate lookups that came up empty across all
+	// requesters; ReplicaAnswered counts chord lookups a replica served
+	// after the range's owner failed. Together they are the churn-window
+	// gauge: a replicated ring under owner churn keeps the first at zero by
+	// pushing fail-overs into the second.
+	LookupMisses, ReplicaAnswered int64
 	// ObjectSuppliers is the final per-object supplier registration count
 	// from the directory registries in multi-object mode; nil otherwise
 	// (the chord census does not split by object).
@@ -198,6 +206,8 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		SeedBootDials:   stats.seedBootDials,
 		EvictionTotal:   stats.evictions,
 		WithdrawalTotal: stats.withdrawals,
+		LookupMisses:    stats.lookupMisses,
+		ReplicaAnswered: stats.replicaAnswered,
 		ObjectSuppliers: stats.objSuppliers,
 		Traffic:         stats.traffic,
 		Admission:       &metrics.Series{Name: "admission_ms"},
@@ -341,6 +351,14 @@ func (r *Report) Check() error {
 		return fmt.Errorf("scenario %s: %d supplier withdrawals, expected >= %d",
 			r.Spec.Name, r.WithdrawalTotal, min)
 	}
+	if r.Spec.Expect.NoLookupMisses && r.LookupMisses > 0 {
+		return fmt.Errorf("scenario %s: %d candidate lookups came up empty — the churn window opened",
+			r.Spec.Name, r.LookupMisses)
+	}
+	if min := r.Spec.Expect.MinReplicaAnswered; min > 0 && r.ReplicaAnswered < int64(min) {
+		return fmt.Errorf("scenario %s: %d replica-answered lookups, expected >= %d (the fail-over path never ran)",
+			r.Spec.Name, r.ReplicaAnswered, min)
+	}
 	return r.checkDataPlane()
 }
 
@@ -431,6 +449,9 @@ func (r *Report) Summary() string {
 	if mean, ok := meanOf(r.LookupHops); ok {
 		rounds, _ := meanOf(r.SampleRounds)
 		fmt.Fprintf(&b, "\n  chord discovery cost: mean %.1f hops, %.1f sample rounds per peer", mean, rounds)
+	}
+	if r.ReplicaAnswered > 0 || r.LookupMisses > 0 {
+		fmt.Fprintf(&b, "\n  churn window: %d replica-answered lookups, %d lookup misses", r.ReplicaAnswered, r.LookupMisses)
 	}
 	if len(r.ShardSuppliers) > 1 {
 		fmt.Fprintf(&b, "\n  suppliers by shard: %v", r.ShardSuppliers)

@@ -241,6 +241,16 @@ type Expect struct {
 	// churned its bounded libraries.
 	MinEvictions   int
 	MinWithdrawals int
+	// NoLookupMisses requires that no requester ever came up empty on a
+	// candidate lookup — the replicated-churn assertion that a crashed
+	// owner's range stayed resolvable through its replicas for the whole
+	// run, with no churn window.
+	NoLookupMisses bool
+	// MinReplicaAnswered, when > 0, requires at least that many lookups to
+	// have been answered by a replica rather than the range's owner — the
+	// assertion that a replication scenario actually exercised the
+	// fail-over path.
+	MinReplicaAnswered int
 }
 
 // Spec is one declarative scenario. The zero values of the tuning fields
@@ -326,6 +336,16 @@ type Spec struct {
 	// ChordStabilize overrides the chord stabilization period (zero
 	// selects the chordnet default).
 	ChordStabilize time.Duration
+	// ChordReplication replicates every ring member's registration records
+	// to that many successors (chordnet.Config.Replication): lookups of a
+	// crashed owner's range fail over to the replicas instead of waiting a
+	// stabilization round. Zero keeps the unreplicated legacy behavior.
+	ChordReplication int
+	// ChordVirtualNodes gives every ring member that many virtual
+	// registration positions (chordnet.Config.VirtualNodes), flattening the
+	// arc-proportional sampling skew. Zero selects the single-position
+	// default.
+	ChordVirtualNodes int
 
 	// Protocol and workload tuning; zero values select defaults.
 	NumClasses  bandwidth.Class   // K (default 4)
@@ -494,6 +514,10 @@ func (s *Spec) Validate() error {
 	}
 	if s.DirectoryShards < 0 {
 		return fmt.Errorf("scenario %s: DirectoryShards %d, want >= 0", s.Name, s.DirectoryShards)
+	}
+	if s.ChordReplication < 0 || s.ChordVirtualNodes < 0 {
+		return fmt.Errorf("scenario %s: ChordReplication %d / ChordVirtualNodes %d, want >= 0",
+			s.Name, s.ChordReplication, s.ChordVirtualNodes)
 	}
 	if err := s.validateObjects(); err != nil {
 		return err

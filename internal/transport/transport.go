@@ -66,6 +66,14 @@ const (
 	KindChordLookupOK    Kind = "chord-lookup-ok"    // member -> any peer
 	KindChordLeave       Kind = "chord-leave"        // departing member -> its neighbors
 	KindChordLeaveOK     Kind = "chord-leave-ok"     // neighbor -> departing member
+
+	// Chord replication kinds: registration records spread from each key
+	// range's owner to its successor list, so a crashed owner's records
+	// stay answerable from replicas (the churn window closes).
+	KindChordReplicate     Kind = "chord-replicate"       // owner -> successor (record push)
+	KindChordReplicateOK   Kind = "chord-replicate-ok"    // successor -> owner
+	KindChordReplicaPull   Kind = "chord-replica-pull"    // any peer -> member (record fetch)
+	KindChordReplicaPullOK Kind = "chord-replica-pull-ok" // member -> any peer
 )
 
 // Register announces a supplying peer to the directory.
@@ -211,6 +219,12 @@ type ChordContact struct {
 	// Propagated with the contact through join/notify/lookup replies, so
 	// cached copies can lag a peer's latest set by a stabilization round.
 	Objects []string `json:"objects,omitempty"`
+	// Epoch orders contacts for the same name across rejoins: a member
+	// that leaves and rejoins (possibly on a new address) stamps a higher
+	// epoch, so merges prefer the newest contact and probes never dial an
+	// address the member already abandoned. Zero on contacts from members
+	// predating epochs; any stamped contact beats an unstamped one.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ChordJoin is sent by a joining peer to the ring member it determined to
@@ -255,9 +269,14 @@ type ChordFingerQuery struct {
 // ChordFingerReply answers a routing step: when Done, Next is the key's
 // owner (the receiver's successor); otherwise Next is the receiver's
 // closest finger preceding the key, and the querier continues from there.
+// Backups, on a Done reply, lists the owner's own successors as the
+// receiver knows them — the replica holders of the owner's key range, in
+// fail-over order, so a resolver whose pull finds the owner dead asks
+// them directly instead of re-walking into the same corpse.
 type ChordFingerReply struct {
-	Done bool         `json:"done"`
-	Next ChordContact `json:"next"`
+	Done    bool           `json:"done"`
+	Next    ChordContact   `json:"next"`
+	Backups []ChordContact `json:"backups,omitempty"`
 }
 
 // ChordLookup asks a ring member to route a full key lookup on the
@@ -265,6 +284,11 @@ type ChordFingerReply struct {
 // such as requesting peers sampling candidates before their first session.
 type ChordLookup struct {
 	Key uint64 `json:"key"`
+	// Topo asks for the key's topological owner (the ring member whose
+	// arc covers the key) rather than a registration-record answer; the
+	// join path uses it to find a successor, since a joiner needs the
+	// member at that position, not whoever registered a record near it.
+	Topo bool `json:"topo,omitempty"`
 }
 
 // ChordLookupReply returns the key's owner and the routing hops expended.
@@ -285,10 +309,70 @@ type ChordLeave struct {
 	// Successors is the leaver's successor list, for the predecessor to
 	// splice in.
 	Successors []ChordContact `json:"successors,omitempty"`
+	// Records are the registration records the leaver stored as primary
+	// owner; the successor inherits the leaver's key range, so it adopts
+	// them (minus any naming the leaver itself).
+	Records []ChordRecord `json:"records,omitempty"`
 }
 
 // ChordLeaveReply acknowledges a leave notice.
 type ChordLeaveReply struct{}
+
+// ChordRecord is one replicated registration record: a virtual position on
+// the identifier circle and the contact of the member that claimed it.
+// A member registering with V virtual nodes publishes V such records; the
+// record at the member's own ring position doubles as its liveness anchor.
+type ChordRecord struct {
+	Pos  uint64       `json:"pos"`
+	Peer ChordContact `json:"peer"`
+}
+
+// ChordReplicate pushes registration records to a peer. With Replace set,
+// the receiver mirrors the sender's authoritative view of the circular
+// range (Lo, Hi]: it stores the pushed records and drops any other record
+// in that range (except records naming the receiver itself — a peer's own
+// registration is never deleted on hearsay). Without Replace, the records
+// are upserted individually (the registration path), and a receiver that
+// does not own a record's position forwards it toward the true owner;
+// Hops bounds that forwarding against routing flux.
+// With Withdraw set, the receiver instead deletes its copies of the
+// pushed records (matched by position and registrant name, epoch-gated
+// so a rejoined member's fresher record survives a late withdrawal of
+// the old incarnation).
+type ChordReplicate struct {
+	Replace  bool          `json:"replace,omitempty"`
+	Withdraw bool          `json:"withdraw,omitempty"`
+	Lo       uint64        `json:"lo,omitempty"`
+	Hi       uint64        `json:"hi,omitempty"`
+	Records  []ChordRecord `json:"records"`
+	Hops     int           `json:"hops,omitempty"`
+}
+
+// ChordReplicateReply acknowledges a record push.
+type ChordReplicateReply struct{}
+
+// ChordReplicaPull fetches registration records from a member. With Key
+// set (All false) it asks for the best record answering that key — the
+// lookup path, served by owners and replicas alike. Dead lists member
+// names the puller found unreachable this resolve; the answerer skips
+// their records (without deleting them — the puller's evidence is not
+// the answerer's). With All set it asks for every record in the circular
+// range (Lo, Hi] — the join path, syncing a joiner's inherited range.
+type ChordReplicaPull struct {
+	Key  uint64   `json:"key,omitempty"`
+	Dead []string `json:"dead,omitempty"`
+	All  bool     `json:"all,omitempty"`
+	Lo   uint64   `json:"lo,omitempty"`
+	Hi   uint64   `json:"hi,omitempty"`
+}
+
+// ChordReplicaPullReply answers a record fetch: Found/Record for a keyed
+// pull, Records for a range pull.
+type ChordReplicaPullReply struct {
+	Found   bool          `json:"found,omitempty"`
+	Record  ChordRecord   `json:"record,omitempty"`
+	Records []ChordRecord `json:"records,omitempty"`
+}
 
 // Error reports a protocol failure.
 type Error struct {

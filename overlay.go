@@ -89,6 +89,11 @@ type overlayConfig struct {
 	dirAddr string
 	sharded ShardedDirectoryConfig
 	chord   ChordDiscoveryConfig
+	// chordReplication and chordVirtualNodes override the WithChord
+	// template's Replication and VirtualNodes regardless of option order
+	// (zero = keep the template's value).
+	chordReplication  int
+	chordVirtualNodes int
 }
 
 // OverlayOption configures an Overlay.
@@ -136,11 +141,12 @@ func WithShardedDirectory(cfg ShardedDirectoryConfig) OverlayOption {
 }
 
 // WithChord selects decentralized chord discovery. cfg is a template: its
-// Bootstrap, ListenAddr, Stabilize, Successors and MaxHops apply to every
-// peer, while ID, Class, Network, Clock, Seed and Observer are filled per
-// peer. Seeds created by this overlay automatically become bootstrap
-// members for later peers (the first seed with no bootstrap founds the
-// ring), so a single-process cluster needs no explicit bootstrap at all.
+// Bootstrap, ListenAddr, Stabilize, Successors, MaxHops, Replication and
+// VirtualNodes apply to every peer, while ID, Class, Network, Clock, Seed
+// and Observer are filled per peer. Seeds created by this overlay
+// automatically become bootstrap members for later peers (the first seed
+// with no bootstrap founds the ring), so a single-process cluster needs
+// no explicit bootstrap at all.
 func WithChord(cfg ChordDiscoveryConfig) OverlayOption {
 	return func(c *overlayConfig) error {
 		if c.backend != backendNone {
@@ -148,6 +154,39 @@ func WithChord(cfg ChordDiscoveryConfig) OverlayOption {
 		}
 		c.backend = backendChord
 		c.chord = cfg
+		return nil
+	}
+}
+
+// WithChordReplication sets the chord ring's successor replication degree:
+// every peer's registration records are pushed to the k members after
+// their owner, and lookups fail over to those replicas when the owner is
+// unreachable — closing the churn window a crash otherwise opens until
+// stabilization splices the corpse out. Overrides the WithChord template's
+// Replication field regardless of option order; k = 0 keeps the template's
+// value (the chordnet default).
+func WithChordReplication(k int) OverlayOption {
+	return func(c *overlayConfig) error {
+		if k < 0 {
+			return fmt.Errorf("p2pstream: WithChordReplication(%d): want >= 0", k)
+		}
+		c.chordReplication = k
+		return nil
+	}
+}
+
+// WithChordVirtualNodes sets how many deterministic ring positions each
+// chord member claims (hash(name, i) for i < v): arcs — and with them the
+// random-key sampling probability — equalize as v grows, flattening the
+// supplier-selection skew a single-position ring exhibits. Overrides the
+// WithChord template's VirtualNodes field regardless of option order;
+// v = 0 keeps the template's value (the chordnet default).
+func WithChordVirtualNodes(v int) OverlayOption {
+	return func(c *overlayConfig) error {
+		if v < 0 {
+			return fmt.Errorf("p2pstream: WithChordVirtualNodes(%d): want >= 0", v)
+		}
+		c.chordVirtualNodes = v
 		return nil
 	}
 }
@@ -330,6 +369,9 @@ func NewOverlay(file *MediaFile, opts ...OverlayOption) (*Overlay, error) {
 	if cfg.backend == backendNone {
 		return nil, errors.New("p2pstream: overlay needs a discovery backend (WithDirectory, WithShardedDirectory or WithChord)")
 	}
+	if (cfg.chordReplication > 0 || cfg.chordVirtualNodes > 0) && cfg.backend != backendChord {
+		return nil, errors.New("p2pstream: WithChordReplication/WithChordVirtualNodes need WithChord")
+	}
 	return &Overlay{cfg: cfg}, nil
 }
 
@@ -468,6 +510,12 @@ func (o *Overlay) newPeer(ctx context.Context, p OverlayPeer, isSeed bool) (*Nod
 		ccfg.Clock = o.cfg.clk
 		ccfg.Seed = seed
 		ccfg.Observer = o.cfg.observer
+		if o.cfg.chordReplication > 0 {
+			ccfg.Replication = o.cfg.chordReplication
+		}
+		if o.cfg.chordVirtualNodes > 0 {
+			ccfg.VirtualNodes = o.cfg.chordVirtualNodes
+		}
 		if p.DiscoveryListenAddr != "" {
 			ccfg.ListenAddr = p.DiscoveryListenAddr
 		}
@@ -587,6 +635,13 @@ const (
 	// EventSupplierWithdrawn: a node withdrew its supplier registration
 	// for one object, the graceful tail of an eviction (Object).
 	EventSupplierWithdrawn = observe.SupplierWithdrawn
+	// EventReplicaAnswered: a chord lookup was answered by a replica after
+	// the key's owner proved unreachable — the fail-over path that closes
+	// the churn window (Hops). See WithChordReplication.
+	EventReplicaAnswered = observe.ReplicaAnswered
+	// EventLookupMiss: a node's candidate lookup came back empty — under
+	// replication this means the churn window opened.
+	EventLookupMiss = observe.LookupMiss
 )
 
 // MultiObserver fans events out to several observers (nils skipped).

@@ -2,6 +2,7 @@ package p2pstream_test
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -197,6 +198,100 @@ func TestPublicOverlayChord(t *testing.T) {
 	}
 	if !req.Store().Complete() || !req.Supplying() {
 		t.Error("requester did not finish as a supplying peer")
+	}
+}
+
+// TestPublicOverlayChordReplicated drives the replicated chord ring
+// through the facade: WithChordReplication and WithChordVirtualNodes reach
+// every peer's chordnet config, and when a seed crashes on a
+// slow-stabilizing ring (so no repair round can heal it mid-test), later
+// requesters are still served through the replica fail-over path — the
+// observer sees EventReplicaAnswered and never EventLookupMiss.
+func TestPublicOverlayChordReplicated(t *testing.T) {
+	ctx := context.Background()
+	file := &p2pstream.MediaFile{Name: "v", Segments: 8, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
+
+	// The replication options require the chord backend and reject
+	// negative degrees.
+	if _, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory("dir:1"), p2pstream.WithChordReplication(2),
+	); err == nil {
+		t.Error("WithChordReplication on a directory overlay should fail")
+	}
+	if _, err := p2pstream.NewOverlay(file,
+		p2pstream.WithChord(p2pstream.ChordDiscoveryConfig{}), p2pstream.WithChordVirtualNodes(-1),
+	); err == nil {
+		t.Error("WithChordVirtualNodes(-1) should fail")
+	}
+
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
+
+	var replicaAnswered, lookupMisses atomic.Int64
+	obs := p2pstream.ObserverFunc(func(e p2pstream.ObserverEvent) {
+		switch e.Type {
+		case p2pstream.EventReplicaAnswered:
+			replicaAnswered.Add(1)
+		case p2pstream.EventLookupMiss:
+			lookupMisses.Add(1)
+		}
+	})
+	ov, err := p2pstream.NewOverlay(file,
+		// Stabilization far slower than the test: the crashed seed stays
+		// spliced into the ring throughout, so only replicas can cover it.
+		p2pstream.WithChord(p2pstream.ChordDiscoveryConfig{Stabilize: 2 * time.Second}),
+		p2pstream.WithChordReplication(2),
+		p2pstream.WithChordVirtualNodes(4),
+		p2pstream.WithObserver(obs),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithIdleTimeout(50*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 10 * time.Millisecond, Factor: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ov.Close() })
+	for _, id := range []string{"s1", "s2", "s3", "s4"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r0", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.RequestUntilAdmitted(ctx, "", 8); err != nil {
+		t.Fatal(err)
+	}
+
+	vnet.SetDown("s3")
+	// Several post-crash requesters: each one's candidate sampling draws
+	// random keys, and draws landing in the corpse's arcs must be answered
+	// by its replicas (never come up empty). The loop bounds the run; the
+	// per-peer seeded RNGs make the draws themselves deterministic.
+	for i := 1; i <= 4 && replicaAnswered.Load() == 0; i++ {
+		req, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: fmt.Sprintf("r%d", i), Class: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := req.RequestUntilAdmitted(ctx, "", 8)
+		if err != nil {
+			t.Fatalf("r%d after crash: %v", i, err)
+		}
+		for _, s := range report.Suppliers {
+			if s.ID == "s3" {
+				t.Fatalf("r%d was served by the crashed seed", i)
+			}
+		}
+	}
+	if replicaAnswered.Load() == 0 {
+		t.Error("no lookup was answered by a replica — the fail-over path never ran")
+	}
+	if n := lookupMisses.Load(); n != 0 {
+		t.Errorf("%d candidate lookups came up empty — the churn window opened", n)
 	}
 }
 

@@ -1,8 +1,8 @@
 // Command benchrec records and gates the virtual-substrate benchmark
 // trajectory. It runs the vnet benchmarks (BenchmarkVnetChunkDelivery,
 // BenchmarkPacedChunkDelivery, BenchmarkVnetConcurrentHosts,
-// BenchmarkLibraryLookup, BenchmarkMegacrowd10k — see bench_test.go)
-// and either:
+// BenchmarkLibraryLookup, BenchmarkMegacrowd10k, BenchmarkChordLookup1k —
+// see bench_test.go) and either:
 //
 //	-record   appends the measured point to BENCH_vnet.json (the
 //	          trajectory: one point per recorded optimization state), or
@@ -11,8 +11,9 @@
 //	          regression of any gated benchmark — the CI regression gate.
 //
 // The micro-benchmarks run on a manually driven clock and measure pure
-// CPU, so they gate tightly; the 10k megacrowd is wall-clock (quiescence
-// waits included) and is recorded un-gated. Each micro measurement is the
+// CPU, so they gate tightly; the 10k megacrowd and the 1,024-member chord
+// lookup are wall-clock (quiescence waits and RPC round trips included)
+// and are recorded un-gated. Each micro measurement is the
 // best of three samples — min ns/op and min allocs/op per benchmark — so
 // a scheduler hiccup in one sample neither records an inflated baseline
 // nor fails the gate spuriously.
@@ -60,7 +61,7 @@ type Trajectory struct {
 
 const (
 	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkPacedChunkDelivery|BenchmarkVnetConcurrentHosts|BenchmarkLibraryLookup)$"
-	macroBenches = "^BenchmarkMegacrowd10k$"
+	macroBenches = "^(BenchmarkMegacrowd10k|BenchmarkChordLookup1k)$"
 
 	// microSamples is the best-of count for the gated micro-benchmarks.
 	microSamples = 3
@@ -162,7 +163,7 @@ func compare(baseline, measured map[string]Bench, tolerance float64) []string {
 // micro-benchmarks use a 1s benchtime for stable ns/op and are sampled
 // three times, keeping the best (minimum) of each metric — both -record
 // and -check see noise-floor numbers, not one unlucky sample. The macro
-// flash crowd runs a single iteration (its one op takes seconds).
+// benchmarks run a single iteration each (one op takes seconds).
 func runBenches(skipMacro bool) (map[string]Bench, error) {
 	out := make(map[string]Bench)
 	var samples []map[string]Bench
