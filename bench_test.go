@@ -22,10 +22,12 @@ import (
 	"p2pstream/internal/clock"
 	"p2pstream/internal/core"
 	"p2pstream/internal/dac"
+	"p2pstream/internal/directory"
 	"p2pstream/internal/experiments"
 	"p2pstream/internal/lookup"
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
+	"p2pstream/internal/observe"
 	"p2pstream/internal/pacing"
 	"p2pstream/internal/scenario"
 	"p2pstream/internal/system"
@@ -465,6 +467,85 @@ func BenchmarkChordLookup1k(b *testing.B) {
 		if _, err := peers[i%members].LookupKey(ctxb, rng.Uint64()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEpochFlip measures one resharding epoch flip end to end for a
+// sharded client holding 1,000 registrations: the directory's dir-epoch
+// push, the client's migration plan over every held registration, and the
+// batched re-registration rounds to the new owners — the ~1/3 of keys
+// whose owner changes when the shard set grows 2→3, and their way back on
+// the shrink (iterations alternate grow and shrink so every flip moves
+// keys). Like the other vnet macros its ns/op is wall-clock bound (RPC
+// round trips on the virtual substrate), so tools/benchrec records it
+// without gating allocations.
+func BenchmarkEpochFlip(b *testing.B) {
+	const regs = 1000
+	clk := clock.NewVirtual()
+	clk.SetCoalesce(time.Millisecond)
+	stop := clk.AutoRun()
+	defer stop()
+	vnet := netx.NewVirtual(clk, 1)
+	vnet.SetDefaultLink(netx.LinkConfig{Latency: 300 * time.Microsecond})
+
+	shards := make([]transport.DirShard, 3)
+	servers := make([]*directory.Server, 3)
+	for i := range shards {
+		name := fmt.Sprintf("shard-%d", i)
+		srv := directory.NewServer(int64(i + 1))
+		l, err := vnet.Host(name).Listen(":0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(l)
+		defer srv.Close()
+		servers[i] = srv
+		shards[i] = transport.DirShard{Name: name, Addr: l.Addr().String()}
+	}
+
+	// One ReshardMove event fires per completed migration; the bench gates
+	// each iteration on it.
+	moved := make(chan struct{}, 1)
+	cl, err := directory.NewShardedClient(directory.ShardedConfig{
+		Addrs:       []string{shards[0].Addr, shards[1].Addr},
+		Names:       []string{shards[0].Name, shards[1].Name},
+		Epoch:       1,
+		WatchEpochs: true,
+		Network:     vnet.Host("client"),
+		Clock:       clk,
+		Refresh:     time.Hour, // leases out of the way: flips only
+		Seed:        1,
+		Observer: observe.Func(func(ev observe.Event) {
+			if ev.Type == observe.ReshardMove {
+				moved <- struct{}{}
+			}
+		}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < regs; i++ {
+		id := fmt.Sprintf("p%04d", i)
+		if err := cl.Register(ctxb, transport.Register{ID: id, Addr: id + ":9", Class: 2}); err != nil {
+			b.Fatalf("register %s: %v", id, err)
+		}
+	}
+
+	epoch := int64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch++
+		set := shards
+		if i%2 == 1 {
+			set = shards[:2]
+		}
+		ep := transport.DirEpoch{Epoch: epoch, Shards: set}
+		for _, s := range servers {
+			s.SetEpoch(ep)
+		}
+		<-moved
 	}
 }
 

@@ -12,6 +12,18 @@
 //
 //	p2pdir -listen 127.0.0.1:7000 -shards 3
 //	p2pnode -id peer1 -class 2 -dir-addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// An elastic registry adds an in-process autoscaling controller
+// (internal/reshard): sustained lookup load above the high-water mark
+// spawns a shard on the next port and announces a new resharding epoch,
+// sustained underload drains the coldest spawned shard back out. Peers
+// follow the flips live with p2pnode's -dir-epochs:
+//
+//	p2pdir -listen 127.0.0.1:7000 -autoscale
+//	p2pnode -id peer1 -class 2 -dir-addrs 127.0.0.1:7000 -dir-epochs
+//
+// The initial -shards servers are the stable bootstrap set and are never
+// drained; the controller scales between that floor and -autoscale-max.
 package main
 
 import (
@@ -21,25 +33,36 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"p2pstream/internal/directory"
+	"p2pstream/internal/observe"
+	"p2pstream/internal/reshard"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on (with -shards, the base: shard i adds i to the port)")
+	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on (with -shards or -autoscale, the base: shard i adds i to the port)")
 	shards := flag.Int("shards", 1, "number of registry shards to serve from this process")
 	seed := flag.Int64("seed", 1, "random seed for candidate sampling (shard i adds i)")
+	autoscale := flag.Bool("autoscale", false, "run the elastic registry: an autoscaling controller grows and drains the shard set under lookup load (peers follow with p2pnode -dir-epochs)")
+	asInterval := flag.Duration("autoscale-interval", 2*time.Second, "autoscaler load sampling period")
+	asHigh := flag.Float64("autoscale-high", 50, "mean lookups per shard per interval that, sustained, add a shard")
+	asLow := flag.Float64("autoscale-low", 5, "mean lookups per shard per interval that, sustained, drain the coldest spawned shard")
+	asMax := flag.Int("autoscale-max", 8, "shard count ceiling under -autoscale")
 	flag.Parse()
 
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "p2pdir: -shards %d, want >= 1\n", *shards)
 		os.Exit(2)
 	}
-	// Only a multi-shard run does port arithmetic; a single server takes
-	// -listen verbatim (service names and port 0 keep working).
+	// Shard i listens on the base port + i, so any mode that can run more
+	// than one shard needs an explicit numeric base port; a plain single
+	// server takes -listen verbatim (service names and port 0 keep
+	// working).
 	var host string
 	var port int
-	if *shards > 1 {
+	if *shards > 1 || *autoscale {
 		h, portStr, err := net.SplitHostPort(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2pdir: bad -listen %q: %v\n", *listen, err)
@@ -47,7 +70,7 @@ func main() {
 		}
 		p, err := strconv.Atoi(portStr)
 		if err != nil || p == 0 {
-			fmt.Fprintf(os.Stderr, "p2pdir: -shards needs an explicit numeric base port, got %q\n", portStr)
+			fmt.Fprintf(os.Stderr, "p2pdir: -shards/-autoscale need an explicit numeric base port, got %q\n", portStr)
 			os.Exit(2)
 		}
 		host, port = h, p
@@ -55,11 +78,11 @@ func main() {
 
 	errc := make(chan error, *shards)
 	addrs := make([]string, *shards)
+	servers := make([]*directory.Server, *shards)
 	for i := 0; i < *shards; i++ {
-		i := i
 		srv := directory.NewServer(*seed + int64(i))
 		addr := *listen
-		if *shards > 1 {
+		if *shards > 1 || *autoscale {
 			addr = net.JoinHostPort(host, strconv.Itoa(port+i))
 		}
 		ready := make(chan string, 1)
@@ -71,11 +94,89 @@ func main() {
 			fmt.Fprintf(os.Stderr, "p2pdir: shard %d: %v\n", i, err)
 			os.Exit(1)
 		}
+		servers[i] = srv
 		fmt.Printf("p2pdir: shard %d serving on %s\n", i, addrs[i])
 	}
 	if *shards > 1 {
 		fmt.Printf("p2pdir: peers route with -dir-addrs %s\n", strings.Join(addrs, ","))
 	}
+
+	if *autoscale {
+		if *asMax < *shards {
+			fmt.Fprintf(os.Stderr, "p2pdir: -autoscale-max %d below -shards %d\n", *asMax, *shards)
+			os.Exit(2)
+		}
+		// Spawned shards come and go; a retired one's Serve returns a
+		// closed-listener error that must not take the process down.
+		var retireMu sync.Mutex
+		retired := make(map[*directory.Server]bool)
+		members := make([]reshard.Member, *shards)
+		for i := range members {
+			members[i] = reshard.Member{Name: fmt.Sprintf("shard-%d", i), Addr: addrs[i], Server: servers[i]}
+		}
+		ctrl, err := reshard.New(reshard.Config{
+			Interval:  *asInterval,
+			HighWater: *asHigh,
+			LowWater:  *asLow,
+			MinShards: *shards,
+			// The advertised -dir-addrs bootstrap set must stay live: a
+			// booting peer dials those addresses, so the initial servers
+			// are pinned and only spawned shards ever drain. (Their
+			// ListenAndServe errors stay fatal for the same reason — a
+			// dead bootstrap shard is a process failure, not churn.)
+			Pinned:    *shards,
+			MaxShards: *asMax,
+			Members:   members,
+			Spawn: func(seq int) (reshard.Member, error) {
+				srv := directory.NewServer(*seed + int64(seq))
+				addr := net.JoinHostPort(host, strconv.Itoa(port+seq))
+				ready := make(chan string, 1)
+				serr := make(chan error, 1)
+				go func() { serr <- srv.ListenAndServe(addr, ready) }()
+				select {
+				case a := <-ready:
+					go func() {
+						err := <-serr
+						retireMu.Lock()
+						gone := retired[srv]
+						retireMu.Unlock()
+						if err != nil && !gone {
+							fmt.Fprintf(os.Stderr, "p2pdir: spawned shard on %s: %v\n", a, err)
+						}
+					}()
+					return reshard.Member{Name: fmt.Sprintf("shard-%d", seq), Addr: a, Server: srv}, nil
+				case err := <-serr:
+					return reshard.Member{}, err
+				}
+			},
+			Retire: func(m reshard.Member) {
+				retireMu.Lock()
+				retired[m.Server] = true
+				retireMu.Unlock()
+				m.Server.Close()
+				fmt.Printf("p2pdir: retired %s (%s)\n", m.Name, m.Addr)
+			},
+			Observer: observe.Func(func(ev observe.Event) {
+				switch ev.Type {
+				case observe.EpochFlip:
+					fmt.Printf("p2pdir: epoch %d: %d shards\n", ev.Epoch, ev.Count)
+				case observe.ShardAdded:
+					fmt.Printf("p2pdir: epoch %d: added %s\n", ev.Epoch, ev.Object)
+				case observe.ShardDrained:
+					fmt.Printf("p2pdir: epoch %d: drained %s (retires after grace)\n", ev.Epoch, ev.Object)
+				}
+			}),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2pdir: %v\n", err)
+			os.Exit(2)
+		}
+		defer ctrl.Close()
+		ctrl.Start()
+		fmt.Printf("p2pdir: autoscaling %d..%d shards (high %.3g, low %.3g lookups/shard per %v); peers follow with -dir-addrs %s -dir-epochs\n",
+			*shards, *asMax, *asHigh, *asLow, *asInterval, strings.Join(addrs, ","))
+	}
+
 	if err := <-errc; err != nil {
 		fmt.Fprintf(os.Stderr, "p2pdir: %v\n", err)
 		os.Exit(1)

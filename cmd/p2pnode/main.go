@@ -51,6 +51,7 @@ func main() {
 	discovery := flag.String("discovery", "directory", "discovery backend: directory or chord")
 	dirAddr := flag.String("dir", "127.0.0.1:7000", "directory server address (directory backend)")
 	dirAddrs := flag.String("dir-addrs", "", "comma-separated sharded-directory addresses in shard order (directory backend; overrides -dir)")
+	dirEpochs := flag.Bool("dir-epochs", false, "follow resharding epoch pushes from an elastic directory deployment (p2pdir -autoscale; needs -dir-addrs)")
 	bootstrap := flag.String("chord-bootstrap", "", "comma-separated chord endpoints of ring members (chord backend; empty founds a new ring)")
 	chordListen := flag.String("chord-listen", "127.0.0.1:0", "chord endpoint to listen on (chord backend)")
 	seedPeer := flag.Bool("seed-peer", false, "start with the complete file and supply immediately")
@@ -103,8 +104,17 @@ func main() {
 			// crashed-and-reborn server.
 			addrs := splitList(*dirAddrs)
 			opts = append(opts, p2pstream.WithShardedDirectory(p2pstream.ShardedDirectoryConfig{Addrs: addrs}))
-			fmt.Printf("p2pnode %s: sharded directory, %d shards\n", *id, len(addrs))
+			if *dirEpochs {
+				opts = append(opts, p2pstream.WithShardEpochs())
+				fmt.Printf("p2pnode %s: elastic sharded directory, %d initial shards\n", *id, len(addrs))
+			} else {
+				fmt.Printf("p2pnode %s: sharded directory, %d shards\n", *id, len(addrs))
+			}
 		} else {
+			if *dirEpochs {
+				fmt.Fprintln(os.Stderr, "p2pnode: -dir-epochs needs -dir-addrs (the elastic deployment's initial shard list)")
+				os.Exit(2)
+			}
 			opts = append(opts, p2pstream.WithDirectory(*dirAddr))
 		}
 	case "chord":

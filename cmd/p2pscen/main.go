@@ -99,6 +99,14 @@ func main() {
 				}
 				spec.Churn = kept
 				spec.DirectoryShards = 0
+				// No registry means no resharding controller either: drop an
+				// elastic spec's autoscaler and the expectations that only
+				// its epoch flips can satisfy.
+				spec.Autoscale = nil
+				spec.Expect.MinEpochFlips = 0
+				spec.Expect.MaxFlipConvergence = 0
+				spec.Expect.NoLostRegistrations = false
+				spec.Expect.NoFailedShardLegs = false
 			}
 		}
 		if *shards >= 0 {

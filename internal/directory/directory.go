@@ -64,6 +64,21 @@ type Server struct {
 	conns    map[net.Conn]struct{} // in-flight exchanges (closed on Close)
 	wg       sync.WaitGroup
 	closed   bool
+
+	// epochMu guards the resharding epoch and its watcher set separately
+	// from mu: a SetEpoch push fans writes out to watcher connections and
+	// must not hold the registry lock while it does.
+	epochMu  sync.Mutex
+	epoch    transport.DirEpoch
+	watchers map[*epochWatcher]struct{}
+}
+
+// epochWatcher is one subscribed connection. Its mutex serializes the
+// subscription's immediate reply with concurrent SetEpoch pushes, so two
+// epoch frames never interleave bytes on the wire.
+type epochWatcher struct {
+	conn net.Conn
+	mu   sync.Mutex
 }
 
 // NewServer returns an empty directory server. The seed fixes candidate
@@ -110,6 +125,74 @@ func (s *Server) ObjectLen(object string) int {
 		return dir.Len()
 	}
 	return 0
+}
+
+// Has reports whether the given peer is registered in one object's
+// registry ("" is the default one) — the zero-loss audit hook of the
+// resharding scenarios.
+func (s *Server) Has(id, object string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, ok := s.dirs[object]
+	return ok && dir.Contains(id)
+}
+
+// Epoch returns the resharding epoch the server currently announces
+// (zero value until SetEpoch).
+func (s *Server) Epoch() transport.DirEpoch {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	ep := s.epoch
+	ep.Shards = append([]transport.DirShard(nil), ep.Shards...)
+	return ep
+}
+
+// SetEpoch installs the deployment's resharding epoch and pushes it to
+// every watching client. Epochs are monotonic: a stale announcement
+// (epoch at or below the current one) is dropped, so racing controllers
+// cannot roll a deployment backwards.
+func (s *Server) SetEpoch(ep transport.DirEpoch) {
+	ep.Shards = append([]transport.DirShard(nil), ep.Shards...)
+	s.epochMu.Lock()
+	if ep.Epoch <= s.epoch.Epoch {
+		s.epochMu.Unlock()
+		return
+	}
+	s.epoch = ep
+	ws := make([]*epochWatcher, 0, len(s.watchers))
+	for w := range s.watchers {
+		ws = append(ws, w)
+	}
+	s.epochMu.Unlock()
+	for _, w := range ws {
+		// A failed push means the client hung up; its read loop notices
+		// and drops the watcher, so best effort is enough here.
+		w.mu.Lock()
+		s.reply(w.conn, transport.KindDirEpoch, ep)
+		w.mu.Unlock()
+	}
+}
+
+// addWatcher subscribes one connection to epoch pushes and returns the
+// watcher handle. Registration and the current-epoch snapshot happen
+// under one lock hold, so a concurrent SetEpoch either lands in the
+// snapshot or reaches the watcher as a push — never neither.
+func (s *Server) addWatcher(conn net.Conn) (*epochWatcher, transport.DirEpoch) {
+	w := &epochWatcher{conn: conn}
+	s.epochMu.Lock()
+	if s.watchers == nil {
+		s.watchers = make(map[*epochWatcher]struct{})
+	}
+	s.watchers[w] = struct{}{}
+	ep := s.epoch
+	s.epochMu.Unlock()
+	return w, ep
+}
+
+func (s *Server) removeWatcher(w *epochWatcher) {
+	s.epochMu.Lock()
+	delete(s.watchers, w)
+	s.epochMu.Unlock()
 }
 
 // Serve accepts connections until the listener is closed. It always
@@ -179,8 +262,13 @@ func (s *Server) WriteFailures() int64 { return s.writeFails.Load() }
 // registry, per-shard stats show how the consistent-hash ring spread keys
 // and load across the shard set.
 type Stats struct {
-	// Registers counts first-time registrations; Refreshes counts
-	// lease-style re-registrations of an already-known peer.
+	// Registers counts first-time registrations (including refresh-flagged
+	// arrivals repopulating a shard that lost — or, across a resharding
+	// epoch, never held — the entry); Refreshes counts lease-style
+	// re-registrations of an already-known peer. An autoscaler must not
+	// read Registers as demand: epoch migrations land here too, a feedback
+	// loop that would flip forever (see internal/reshard, which keys load
+	// on Lookups).
 	Registers, Refreshes int64
 	// Unregisters counts withdrawals (of registered peers only).
 	Unregisters int64
@@ -206,8 +294,17 @@ func (s *Server) Stats() Stats {
 // Malformed frames close the connection; application-level refusals
 // (duplicate registration) answer an error frame and keep serving.
 func (s *Server) handle(conn net.Conn) {
+	var watch *epochWatcher
+	defer func() {
+		if watch != nil {
+			s.removeWatcher(watch)
+		}
+	}()
 	for {
-		if s.Timeout > 0 {
+		if s.Timeout > 0 && watch == nil {
+			// Watch connections idle arbitrarily long between pushes by
+			// design; every other connection runs request/response
+			// exchanges under the per-exchange deadline.
 			conn.SetDeadline(time.Now().Add(s.Timeout)) // no-op on virtual conns
 		}
 		env, err := transport.Read(conn)
@@ -252,6 +349,28 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.reply(conn, transport.KindCandidates, s.lookup(req))
+		case transport.KindDirEpochWatch:
+			var req transport.DirEpochWatch
+			if err := env.Decode(&req); err != nil {
+				s.replyError(conn, err)
+				return
+			}
+			if watch == nil {
+				var ep transport.DirEpoch
+				watch, ep = s.addWatcher(conn)
+				conn.SetDeadline(time.Time{}) // pushes idle past any exchange deadline
+				watch.mu.Lock()
+				s.reply(conn, transport.KindDirEpoch, ep)
+				watch.mu.Unlock()
+				continue
+			}
+			// Re-subscription on an already-watching connection: just
+			// re-answer the current epoch. Snapshot before taking the
+			// watcher lock — SetEpoch holds them in the other order.
+			ep := s.Epoch()
+			watch.mu.Lock()
+			s.reply(conn, transport.KindDirEpoch, ep)
+			watch.mu.Unlock()
 		default:
 			s.replyError(conn, fmt.Errorf("directory: unexpected %s", env.Kind))
 			return

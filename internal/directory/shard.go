@@ -14,6 +14,15 @@
 // the lookup — and because registrations are lease-style (periodically
 // re-sent with Register.Refresh), a shard that crashed and returned with
 // an empty registry is repopulated within one refresh interval.
+//
+// The deployment is elastic: rings carry a resharding epoch and an
+// explicit named shard set, and a client with WatchEpochs set subscribes
+// to dir-epoch pushes from its shards. On a flip it re-registers every
+// held registration whose owner moved in one batched round (converging
+// orders of magnitude faster than the lease period) and double-reads
+// candidates from the old and new shard sets for one overlap window, so
+// no lookup misses mid-migration; the old copies are withdrawn when the
+// window closes.
 package directory
 
 import (
@@ -21,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -33,12 +43,16 @@ import (
 	"p2pstream/internal/transport"
 )
 
-// shardReplicas is the number of virtual points each shard owns on the
-// identifier circle. A single point per shard makes arc lengths — and so
-// key load — wildly uneven for small shard counts; spreading each shard
-// over many points flattens the spread (the classic consistent-hashing
-// virtual-node trick).
-const shardReplicas = 16
+// ShardPoints is the canonical number of virtual points each shard owns
+// on the identifier circle. A single point per shard makes arc lengths —
+// and so key load — wildly uneven for small shard counts; spreading each
+// shard over many points flattens the spread (the classic
+// consistent-hashing virtual-node trick).
+const ShardPoints = 16
+
+// maxShardPoints bounds the per-shard point parameter: past a few hundred
+// points the balance gain is noise and the ring build cost dominates.
+const maxShardPoints = 1024
 
 // defaultRefresh is the lease re-registration period of a ShardedClient.
 // Live TCP deployments refresh every few seconds; scenario runs on the
@@ -47,11 +61,15 @@ const defaultRefresh = 2 * time.Second
 
 // ShardRing deterministically maps supplier keys to registry shards by
 // consistent hashing on the chord identifier circle. Every client builds
-// the same ring from the same shard count, so routing needs no
-// coordination service. The zero value is unusable; use NewShardRing.
+// the same ring from the same shard names, so routing needs no
+// coordination service; the epoch number versions the shard set across
+// live resharding. The zero value is unusable; use NewShardRing or
+// NewShardRingOf.
 type ShardRing struct {
-	n      int
-	points []shardPoint // sorted by ring position
+	epoch      int64
+	names      []string
+	pointCount int
+	points     []shardPoint // sorted by ring position
 }
 
 type shardPoint struct {
@@ -59,16 +77,61 @@ type shardPoint struct {
 	shard int
 }
 
-// NewShardRing returns the canonical ring over n shards (numbered 0..n-1).
+// DefaultShardNames returns the canonical shard names of a fixed n-shard
+// deployment: "shard-0" .. "shard-<n-1>".
+func DefaultShardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return names
+}
+
+// NewShardRing returns the canonical epoch-0 ring over n shards
+// (numbered 0..n-1) with the canonical ShardPoints virtual points each.
 func NewShardRing(n int) (*ShardRing, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("directory: shard ring needs >= 1 shard, got %d", n)
 	}
-	r := &ShardRing{n: n, points: make([]shardPoint, 0, n*shardReplicas)}
-	seen := make(map[uint64]bool, n*shardReplicas)
-	for shard := 0; shard < n; shard++ {
-		for rep := 0; rep < shardReplicas; rep++ {
-			pos := chord.HashKey(fmt.Sprintf("shard-%d/%d", shard, rep))
+	return NewShardRingOf(0, DefaultShardNames(n), ShardPoints)
+}
+
+// NewShardRingOf builds the ring of one resharding epoch over an explicit
+// named shard set. Arc placement hashes names (not addresses or indices),
+// so a shard keeps its arcs when its address changes and removing one
+// shard leaves every other shard's points exactly where they were. points
+// is the virtual-point count per shard: every ring of one deployment must
+// be built with the same count (ShardPoints canonically) or rings across
+// an epoch flip stop being comparable — it is validated, not defaulted,
+// to keep that contract explicit.
+func NewShardRingOf(epoch int64, names []string, points int) (*ShardRing, error) {
+	if epoch < 0 {
+		return nil, fmt.Errorf("directory: shard ring epoch must be >= 0, got %d", epoch)
+	}
+	if len(names) < 1 {
+		return nil, errors.New("directory: shard ring needs >= 1 shard name")
+	}
+	if points < 1 || points > maxShardPoints {
+		return nil, fmt.Errorf("directory: shard points must be in [1, %d], got %d", maxShardPoints, points)
+	}
+	r := &ShardRing{
+		epoch:      epoch,
+		names:      append([]string(nil), names...),
+		pointCount: points,
+		points:     make([]shardPoint, 0, len(names)*points),
+	}
+	seen := make(map[uint64]bool, len(names)*points)
+	byName := make(map[string]bool, len(names))
+	for shard, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("directory: shard %d has an empty name", shard)
+		}
+		if byName[name] {
+			return nil, fmt.Errorf("directory: duplicate shard name %q", name)
+		}
+		byName[name] = true
+		for rep := 0; rep < points; rep++ {
+			pos := chord.HashKey(fmt.Sprintf("%s/%d", name, rep))
 			if seen[pos] {
 				continue // astronomically unlikely; first point keeps the arc
 			}
@@ -80,8 +143,18 @@ func NewShardRing(n int) (*ShardRing, error) {
 	return r, nil
 }
 
+// Epoch returns the resharding epoch this ring is valid for.
+func (r *ShardRing) Epoch() int64 { return r.epoch }
+
 // Shards returns the number of shards.
-func (r *ShardRing) Shards() int { return r.n }
+func (r *ShardRing) Shards() int { return len(r.names) }
+
+// Names returns the shard names, in shard order.
+func (r *ShardRing) Names() []string { return append([]string(nil), r.names...) }
+
+// Points returns the virtual-point count per shard the ring was built
+// with.
+func (r *ShardRing) Points() int { return r.pointCount }
 
 // Owner returns the shard that owns key: the shard of the first ring point
 // at or clockwise past chord.HashKey(key), exactly the successor rule of
@@ -109,6 +182,20 @@ type ShardedConfig struct {
 	// of one deployment must list the same addresses in the same order —
 	// the ring maps keys to indices of this slice.
 	Addrs []string
+	// Names are the stable shard names, in shard order (default
+	// DefaultShardNames). Ring arcs hash from names, so every client of
+	// one deployment must agree on them; an elastic deployment's
+	// controller assigns each spawned shard a fresh name for life.
+	Names []string
+	// Epoch is the resharding epoch the client boots into (0 for a static
+	// deployment). A WatchEpochs client adopts newer epochs as its shards
+	// push them.
+	Epoch int64
+	// WatchEpochs subscribes the client to dir-epoch pushes from every
+	// current shard: on a flip it re-registers moved registrations in one
+	// batched round and double-reads candidates from the old and new
+	// shard sets for one refresh interval.
+	WatchEpochs bool
 	// Network provides connections (nil means real TCP).
 	Network netx.Network
 	// Clock schedules lease refreshes and times fan-out legs (nil means
@@ -117,25 +204,45 @@ type ShardedConfig struct {
 	// Refresh is the lease re-registration period (default 2s). Each
 	// refresh re-sends every live registration to its owning shard with
 	// Register.Refresh set, repopulating shards that crashed and returned.
+	// It also sizes the post-flip overlap window.
 	Refresh time.Duration
 	// Seed drives the deterministic down-sampling of merged candidates.
 	Seed int64
 	// Observer, when non-nil, receives one ShardLookup event per fan-out
-	// leg: the shard index, the leg's round-trip latency on Clock, and the
-	// per-shard failure if the leg failed.
+	// leg (the shard index, the leg's round-trip latency on Clock, and the
+	// per-shard failure if the leg failed) and one ReshardMove event per
+	// completed epoch migration.
 	Observer observe.Observer
 }
 
+// shardSet is one epoch's routing state: the ring plus the addresses and
+// pooled clients its shard indices map to. Sets are immutable once
+// published; a flip swaps the whole set.
+type shardSet struct {
+	ring    *ShardRing
+	addrs   []string
+	clients []*Client
+}
+
+// withdrawal is one stale registration copy left on a pre-flip owner,
+// withdrawn when the overlap window closes.
+type withdrawal struct {
+	id, object string
+	addr       string
+	from       *Client
+}
+
 // ShardedClient is the sharded realization of node.Discovery: consistent-
-// hash routing for registrations, all-shard fan-out for candidates, and
-// per-shard failure isolation. Create with NewShardedClient; the owning
+// hash routing for registrations, all-shard fan-out for candidates,
+// per-shard failure isolation, and (with WatchEpochs) live migration
+// across resharding epochs. Create with NewShardedClient; the owning
 // node Closes it.
 type ShardedClient struct {
-	ring    *ShardRing
-	shards  []*Client
-	clk     clock.Clock
-	refresh time.Duration
-	obs     observe.Observer
+	clk      clock.Clock
+	refresh  time.Duration
+	obs      observe.Observer
+	network  netx.Network
+	watching bool
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -143,14 +250,27 @@ type ShardedClient struct {
 	// peer supplying several objects holds one lease per object, all
 	// routed to the shard owning the peer ID so shard assignment stays a
 	// function of the peer alone.
-	regs   map[string]transport.Register
-	timer  clock.Timer
-	closed bool
-	wg     sync.WaitGroup
-	// sendMu serializes lease re-sends with Unregister's withdrawal RPC:
-	// without it, a refresh that snapshotted a registration could re-send
-	// it after the withdrawal landed, re-registering the departed peer on
-	// a server that only ever forgets entries via unregister.
+	regs map[string]transport.Register
+	// cur is the current epoch's shard set; prev is the pre-flip set,
+	// non-nil only during the overlap window (Candidates reads both).
+	cur     *shardSet
+	prev    *shardSet
+	overlap clock.Timer
+	// pending are stale registration copies awaiting withdrawal at the
+	// end of the overlap window; back-to-back flips carry them forward.
+	pending []withdrawal
+	// pool shares one Client per shard address across epochs, so a flip
+	// keeps every unchanged shard's persistent connection.
+	pool    map[string]*Client
+	watches map[string]*epochWatch
+	timer   clock.Timer
+	closed  bool
+	wg      sync.WaitGroup
+	// sendMu serializes lease re-sends, epoch migrations and Unregister's
+	// withdrawal RPC: without it, a refresh or migration batch that
+	// snapshotted a registration could re-send it after the withdrawal
+	// landed, re-registering the departed peer on a server that only ever
+	// forgets entries via unregister.
 	sendMu sync.Mutex
 }
 
@@ -164,7 +284,14 @@ func NewShardedClient(cfg ShardedConfig) (*ShardedClient, error) {
 			return nil, fmt.Errorf("directory: shard %d has an empty address", i)
 		}
 	}
-	ring, err := NewShardRing(len(cfg.Addrs))
+	names := cfg.Names
+	if len(names) == 0 {
+		names = DefaultShardNames(len(cfg.Addrs))
+	}
+	if len(names) != len(cfg.Addrs) {
+		return nil, fmt.Errorf("directory: %d shard names for %d addresses", len(names), len(cfg.Addrs))
+	}
+	ring, err := NewShardRingOf(cfg.Epoch, names, ShardPoints)
 	if err != nil {
 		return nil, err
 	}
@@ -172,29 +299,72 @@ func NewShardedClient(cfg ShardedConfig) (*ShardedClient, error) {
 		cfg.Refresh = defaultRefresh
 	}
 	c := &ShardedClient{
-		ring:    ring,
-		shards:  make([]*Client, len(cfg.Addrs)),
-		clk:     clock.Or(cfg.Clock),
-		refresh: cfg.Refresh,
-		obs:     cfg.Observer,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		regs:    make(map[string]transport.Register),
+		clk:      clock.Or(cfg.Clock),
+		refresh:  cfg.Refresh,
+		obs:      cfg.Observer,
+		network:  netx.Or(cfg.Network),
+		watching: cfg.WatchEpochs,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		regs:     make(map[string]transport.Register),
+		pool:     make(map[string]*Client),
+		watches:  make(map[string]*epochWatch),
 	}
-	for i, a := range cfg.Addrs {
-		c.shards[i] = NewClientOn(cfg.Network, a)
+	c.mu.Lock()
+	c.cur = c.newSetLocked(ring, cfg.Addrs)
+	if c.watching {
+		c.syncWatchesLocked(c.cur)
 	}
+	c.mu.Unlock()
 	return c, nil
+}
+
+// newSetLocked builds one epoch's shard set over the shared client pool.
+func (c *ShardedClient) newSetLocked(ring *ShardRing, addrs []string) *shardSet {
+	set := &shardSet{
+		ring:    ring,
+		addrs:   append([]string(nil), addrs...),
+		clients: make([]*Client, len(addrs)),
+	}
+	for i, a := range addrs {
+		cl, ok := c.pool[a]
+		if !ok {
+			cl = NewClientOn(c.network, a)
+			c.pool[a] = cl
+		}
+		set.clients[i] = cl
+	}
+	return set
 }
 
 // regKey is the lease map key for one (peer, object) registration. The
 // NUL separator cannot appear in either component, so keys never collide.
 func regKey(id, object string) string { return id + "\x00" + object }
 
-// Shards returns the shard count.
-func (c *ShardedClient) Shards() int { return c.ring.Shards() }
+// Shards returns the current shard count.
+func (c *ShardedClient) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.ring.Shards()
+}
 
-// OwnerOf returns the shard index that owns the given peer ID.
-func (c *ShardedClient) OwnerOf(id string) int { return c.ring.Owner(id) }
+// Epoch returns the resharding epoch the client currently routes by.
+func (c *ShardedClient) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.ring.Epoch()
+}
+
+// OwnerOf returns the shard index that currently owns the given peer ID.
+func (c *ShardedClient) OwnerOf(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.ring.Owner(id)
+}
+
+// ownerLocked returns the current owning client for a peer ID.
+func (c *ShardedClient) ownerLocked(id string) *Client {
+	return c.cur.clients[c.cur.ring.Owner(id)]
+}
 
 // Register announces a supplying peer to the shard owning its ID and
 // starts the lease: the registration is re-sent every refresh interval
@@ -224,17 +394,20 @@ func (c *ShardedClient) Register(ctx context.Context, reg transport.Register) er
 	defer c.sendMu.Unlock()
 	c.mu.Lock()
 	_, live := c.regs[regKey(reg.ID, reg.Object)]
+	cl := c.ownerLocked(reg.ID)
 	c.mu.Unlock()
 	if !live {
 		return nil
 	}
-	return c.shards[c.ring.Owner(reg.ID)].Register(ctx, reg)
+	return cl.Register(ctx, reg)
 }
 
 // Unregister withdraws the peer from one object's registry: that lease
 // stops (leases for the peer's other objects keep refreshing) and the
-// owning shard is told. An unreachable shard makes the withdrawal behave
-// like a crash — the stale entry lingers until the shard itself goes.
+// current owning shard is told (a stale pre-flip copy is withdrawn when
+// its overlap window closes). An unreachable shard makes the withdrawal
+// behave like a crash — the stale entry lingers until the shard itself
+// goes.
 func (c *ShardedClient) Unregister(ctx context.Context, id, object string) error {
 	c.mu.Lock()
 	delete(c.regs, regKey(id, object))
@@ -242,13 +415,14 @@ func (c *ShardedClient) Unregister(ctx context.Context, id, object string) error
 		c.timer.Stop()
 		c.timer = nil
 	}
+	cl := c.ownerLocked(id)
 	c.mu.Unlock()
-	// Under sendMu: an in-flight lease refresh either re-sent this
-	// registration already (the withdrawal below wins) or will re-check
-	// c.regs after we release (and skip it).
+	// Under sendMu: an in-flight lease refresh or migration batch either
+	// re-sent this registration already (the withdrawal below wins) or
+	// will re-check c.regs after we release (and skip it).
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.shards[c.ring.Owner(id)].Unregister(ctx, id, object)
+	return cl.Unregister(ctx, id, object)
 }
 
 // shardReply is one fan-out leg's outcome.
@@ -257,6 +431,40 @@ type shardReply struct {
 	size    int // the shard's registry size (the merge weight)
 	err     error
 	latency time.Duration
+}
+
+// lookupLeg is one shard the fan-out queries: its client plus the shard
+// index reported on ShardLookup events.
+type lookupLeg struct {
+	shard  int
+	client *Client
+}
+
+// legsLocked snapshots the fan-out targets: every current shard, plus —
+// during the post-flip overlap window — every pre-flip shard not already
+// covered. Double-reading old and new owners is what keeps a lookup
+// issued between the epoch push and the migration batch landing from
+// missing a supplier.
+func (c *ShardedClient) legsLocked() []lookupLeg {
+	legs := make([]lookupLeg, 0, len(c.cur.clients)+2)
+	seen := make(map[string]bool, len(c.cur.clients)+2)
+	for i, cl := range c.cur.clients {
+		if seen[c.cur.addrs[i]] {
+			continue
+		}
+		seen[c.cur.addrs[i]] = true
+		legs = append(legs, lookupLeg{shard: i, client: cl})
+	}
+	if c.prev != nil {
+		for i, cl := range c.prev.clients {
+			if seen[c.prev.addrs[i]] {
+				continue
+			}
+			seen[c.prev.addrs[i]] = true
+			legs = append(legs, lookupLeg{shard: i, client: cl})
+		}
+	}
+	return legs
 }
 
 // Candidates samples up to m distinct candidates by fanning the lookup out
@@ -279,15 +487,18 @@ func (c *ShardedClient) Candidates(ctx context.Context, object string, m int, ex
 	if m <= 0 {
 		return nil, nil
 	}
-	replies := make([]shardReply, len(c.shards))
+	c.mu.Lock()
+	legs := c.legsLocked()
+	c.mu.Unlock()
+	replies := make([]shardReply, len(legs))
 	var wg sync.WaitGroup
-	for i := range c.shards {
+	for i := range legs {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			start := c.clk.Now()
-			reply, err := c.shards[i].Lookup(ctx, object, m, exclude)
+			reply, err := legs[i].client.Lookup(ctx, object, m, exclude)
 			replies[i] = shardReply{
 				peers:   reply.Peers,
 				size:    reply.Len,
@@ -297,7 +508,7 @@ func (c *ShardedClient) Candidates(ctx context.Context, object string, m int, ex
 			observe.Emit(c.obs, observe.Event{
 				Component: "sharded-directory",
 				Type:      observe.ShardLookup,
-				Shard:     i,
+				Shard:     legs[i].shard,
 				Latency:   replies[i].latency,
 				Err:       err,
 			})
@@ -344,7 +555,7 @@ func (c *ShardedClient) Candidates(ctx context.Context, object string, m int, ex
 		total += p.remain
 		pools = append(pools, p)
 	}
-	if failed == len(c.shards) {
+	if failed == len(legs) {
 		return nil, fmt.Errorf("directory: all %d shards failed: %w: %v", failed, errs.ErrAllShardsDown, lastErr)
 	}
 	merged := 0
@@ -398,9 +609,308 @@ func (c *ShardedClient) Candidates(ctx context.Context, object string, m int, ex
 	return out, nil
 }
 
-// Close stops the lease timer and releases the client. In-flight refresh
-// sends are waited out, then every shard's persistent connection is
-// dropped.
+// applyEpoch adopts one pushed resharding epoch: build the new ring over
+// the pooled clients, swap it in, keep the old set readable for one
+// overlap window, and migrate every registration whose owner moved in
+// one batched round. Stale or malformed epochs are ignored — any shard
+// may push, and pushes may race.
+func (c *ShardedClient) applyEpoch(ep transport.DirEpoch) {
+	if len(ep.Shards) == 0 {
+		return
+	}
+	names := make([]string, len(ep.Shards))
+	addrs := make([]string, len(ep.Shards))
+	for i, sh := range ep.Shards {
+		if sh.Name == "" || sh.Addr == "" {
+			return
+		}
+		names[i], addrs[i] = sh.Name, sh.Addr
+	}
+	c.mu.Lock()
+	if c.closed || ep.Epoch <= c.cur.ring.Epoch() {
+		c.mu.Unlock()
+		return
+	}
+	ring, err := NewShardRingOf(ep.Epoch, names, c.cur.ring.Points())
+	if err != nil {
+		c.mu.Unlock()
+		return
+	}
+	set := c.newSetLocked(ring, addrs)
+	old := c.cur
+	// Plan the migration: every registration whose owning shard address
+	// changed re-registers at its new owner now; the stale copy on the
+	// old owner is withdrawn when the overlap window closes (not before —
+	// a slower client still fanning out over the old set must keep
+	// finding it there).
+	var moved []transport.Register
+	for _, r := range c.regs {
+		from := old.addrs[old.ring.Owner(r.ID)]
+		to := set.addrs[set.ring.Owner(r.ID)]
+		if from == to {
+			continue
+		}
+		moved = append(moved, r)
+		c.pending = append(c.pending, withdrawal{
+			id: r.ID, object: r.Object, addr: from, from: old.clients[old.ring.Owner(r.ID)],
+		})
+	}
+	sort.Slice(moved, func(i, j int) bool {
+		return regKey(moved[i].ID, moved[i].Object) < regKey(moved[j].ID, moved[j].Object)
+	})
+	c.prev = old
+	c.cur = set
+	start := c.clk.Now()
+	if c.overlap != nil {
+		c.overlap.Stop()
+	}
+	c.overlap = c.clk.AfterFunc(c.refresh, func() { c.endOverlap(set) })
+	if c.watching {
+		c.syncWatchesLocked(set)
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go c.migrate(set, moved, start)
+}
+
+// migrate re-registers the moved registrations at their new owners, one
+// RegisterBatch round per destination shard. Each batch re-checks
+// liveness under sendMu immediately before sending, so a concurrent
+// Unregister — or Close — cannot be outrun by a stale batch that would
+// resurrect a withdrawn registration on the new owner.
+func (c *ShardedClient) migrate(set *shardSet, moved []transport.Register, start time.Time) {
+	defer c.wg.Done()
+	count := 0
+	for shard := range set.clients {
+		var batch []transport.Register
+		for _, r := range moved {
+			if set.ring.Owner(r.ID) == shard {
+				batch = append(batch, r)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		c.sendMu.Lock()
+		c.mu.Lock()
+		if c.closed || c.cur != set {
+			c.mu.Unlock()
+			c.sendMu.Unlock()
+			return // shutdown or a newer epoch superseded this migration
+		}
+		live := batch[:0]
+		for _, r := range batch {
+			if _, ok := c.regs[regKey(r.ID, r.Object)]; ok {
+				live = append(live, r)
+			}
+		}
+		c.mu.Unlock()
+		if len(live) > 0 {
+			_ = set.clients[shard].RegisterBatch(context.Background(), live)
+			count += len(live)
+		}
+		c.sendMu.Unlock()
+	}
+	observe.Emit(c.obs, observe.Event{
+		Component: "sharded-directory",
+		Type:      observe.ReshardMove,
+		Epoch:     set.ring.Epoch(),
+		Count:     count,
+		Latency:   c.clk.Since(start),
+	})
+}
+
+// endOverlap closes the post-flip overlap window: the pre-flip shard set
+// stops being read, pending stale copies are withdrawn from their old
+// owners, and clients of shards no longer referenced are released. A
+// newer flip re-arms the window instead (its own endOverlap drains the
+// carried-forward withdrawals).
+func (c *ShardedClient) endOverlap(set *shardSet) {
+	c.mu.Lock()
+	if c.closed || c.cur != set {
+		c.mu.Unlock()
+		return
+	}
+	c.prev = nil
+	pending := c.pending
+	c.pending = nil
+	if len(pending) == 0 {
+		c.gcPoolLocked()
+		c.mu.Unlock()
+		return
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		for _, w := range pending {
+			// Withdraw unconditionally: whether the lease is still live
+			// (the copy moved) or gone (the peer left mid-overlap), the
+			// old owner's copy is stale either way. Best effort — a
+			// drained shard may already be retired.
+			c.sendMu.Lock()
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				c.sendMu.Unlock()
+				return
+			}
+			_ = w.from.Unregister(context.Background(), w.id, w.object)
+			c.sendMu.Unlock()
+		}
+		c.mu.Lock()
+		if !c.closed {
+			c.gcPoolLocked()
+		}
+		c.mu.Unlock()
+	}()
+}
+
+// gcPoolLocked closes and forgets pooled clients for addresses no longer
+// referenced by the current set, the overlap set, or a pending
+// withdrawal — the cleanup tail of a drain flip.
+func (c *ShardedClient) gcPoolLocked() {
+	keep := make(map[string]bool, len(c.pool))
+	for _, a := range c.cur.addrs {
+		keep[a] = true
+	}
+	if c.prev != nil {
+		for _, a := range c.prev.addrs {
+			keep[a] = true
+		}
+	}
+	for _, w := range c.pending {
+		keep[w.addr] = true
+	}
+	for a, cl := range c.pool {
+		if !keep[a] {
+			cl.Close()
+			delete(c.pool, a)
+		}
+	}
+}
+
+// epochWatch is one shard's epoch-subscription loop: a dedicated
+// connection that reads dir-epoch pushes, redialing on failure until
+// halted.
+type epochWatch struct {
+	addr string
+	stop chan struct{}
+
+	mu      sync.Mutex
+	conn    net.Conn
+	stopped bool
+}
+
+// halt stops the watch: the loop exits at its next check, and closing the
+// in-flight connection unblocks a pending read immediately.
+func (w *epochWatch) halt() {
+	w.mu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		close(w.stop)
+		if w.conn != nil {
+			w.conn.Close()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// syncWatchesLocked reconciles the watch loops with one shard set: new
+// addresses gain a subscription, addresses that left the set (a drained
+// shard) lose theirs — so no connection outlives the shard's retirement.
+func (c *ShardedClient) syncWatchesLocked(set *shardSet) {
+	want := make(map[string]bool, len(set.addrs))
+	for _, a := range set.addrs {
+		want[a] = true
+	}
+	for a, w := range c.watches {
+		if !want[a] {
+			w.halt()
+			delete(c.watches, a)
+		}
+	}
+	for _, a := range set.addrs {
+		if _, ok := c.watches[a]; ok {
+			continue
+		}
+		w := &epochWatch{addr: a, stop: make(chan struct{})}
+		c.watches[a] = w
+		c.wg.Add(1)
+		go c.watchLoop(w)
+	}
+}
+
+// watchLoop subscribes one shard for epoch pushes and applies every push
+// it reads, redialing (with a half-refresh backoff on the client's clock)
+// until halted. The subscription reply itself carries the shard's current
+// epoch, so a client that boots mid-flip converges on its first read.
+func (c *ShardedClient) watchLoop(w *epochWatch) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		conn, err := c.network.Dial(w.addr)
+		if err != nil {
+			if !c.watchBackoff(w) {
+				return
+			}
+			continue
+		}
+		w.mu.Lock()
+		if w.stopped {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conn = conn
+		w.mu.Unlock()
+		if err := transport.Write(conn, transport.KindDirEpochWatch, transport.DirEpochWatch{}); err == nil {
+			for {
+				env, err := transport.Read(conn)
+				if err != nil || env.Kind != transport.KindDirEpoch {
+					break
+				}
+				var ep transport.DirEpoch
+				if err := env.Decode(&ep); err != nil {
+					break
+				}
+				c.applyEpoch(ep)
+			}
+		}
+		conn.Close()
+		w.mu.Lock()
+		w.conn = nil
+		w.mu.Unlock()
+		if !c.watchBackoff(w) {
+			return
+		}
+	}
+}
+
+// watchBackoff sleeps half a refresh interval on the client's clock
+// before a redial; false means the watch was halted meanwhile.
+func (c *ShardedClient) watchBackoff(w *epochWatch) bool {
+	fired := make(chan struct{})
+	t := c.clk.AfterFunc(c.refresh/2, func() { close(fired) })
+	select {
+	case <-w.stop:
+		t.Stop()
+		return false
+	case <-fired:
+		return true
+	}
+}
+
+// Close stops the lease timer, the epoch watches and the client. In-flight
+// refresh, migration and withdrawal sends are cancelled, not waited out:
+// every pooled connection is dropped first, so a send stalled against a
+// slow shard errors out instead of pinning shutdown — and the closed flag
+// guarantees nothing re-sends after Close returns.
 func (c *ShardedClient) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -410,14 +920,30 @@ func (c *ShardedClient) Close() error {
 	c.closed = true
 	t := c.timer
 	c.timer = nil
+	ot := c.overlap
+	c.overlap = nil
+	watches := make([]*epochWatch, 0, len(c.watches))
+	for _, w := range c.watches {
+		watches = append(watches, w)
+	}
+	clients := make([]*Client, 0, len(c.pool))
+	for _, cl := range c.pool {
+		clients = append(clients, cl)
+	}
 	c.mu.Unlock()
 	if t != nil {
 		t.Stop()
 	}
-	c.wg.Wait()
-	for _, sc := range c.shards {
-		sc.Close()
+	if ot != nil {
+		ot.Stop()
 	}
+	for _, w := range watches {
+		w.halt()
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+	c.wg.Wait()
 	return nil
 }
 
@@ -450,15 +976,19 @@ func (c *ShardedClient) armRefreshLocked() {
 			for _, r := range regs {
 				// Re-check liveness and send under sendMu, so a concurrent
 				// Unregister cannot land between the check and the send and
-				// leave the peer permanently re-registered. Best effort
-				// beyond that: a dead shard's refresh fails silently and
-				// lands when the shard returns.
+				// leave the peer permanently re-registered. The owner is
+				// re-resolved per send against the current ring, so leases
+				// migrate with epoch flips. Best effort beyond that: a dead
+				// shard's refresh fails silently and lands when the shard
+				// returns.
 				c.sendMu.Lock()
 				c.mu.Lock()
 				_, live := c.regs[regKey(r.ID, r.Object)]
+				closed := c.closed
+				cl := c.ownerLocked(r.ID)
 				c.mu.Unlock()
-				if live {
-					_ = c.shards[c.ring.Owner(r.ID)].Register(context.Background(), r)
+				if live && !closed {
+					_ = cl.Register(context.Background(), r)
 				}
 				c.sendMu.Unlock()
 			}

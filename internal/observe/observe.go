@@ -53,6 +53,25 @@ const (
 	// usable supplier (the ErrNoSuppliers path) — the defect signature of
 	// an un-replicated ring during owner churn.
 	LookupMiss
+	// EpochFlip: the resharding controller flipped the directory
+	// deployment to a new epoch (a shard was added or drained). Epoch
+	// carries the new epoch number, Count the shard count it is valid for.
+	EpochFlip
+	// ShardAdded: the resharding controller spawned a new registry shard
+	// under sustained load. Object carries the shard's stable name, Shard
+	// its index in the new shard set, Epoch the epoch announcing it.
+	ShardAdded
+	// ShardDrained: the resharding controller drained the coldest registry
+	// shard under sustained underload. Object carries the drained shard's
+	// name, Shard its index in the old shard set, Epoch the epoch that
+	// excludes it.
+	ShardDrained
+	// ReshardMove: a sharded client finished migrating its registrations
+	// after an epoch flip — one batched re-registration round to the new
+	// owners. Epoch carries the epoch converged to, Count the number of
+	// registrations that changed owner, Latency the time from receiving
+	// the epoch push to the last batch landing (the flip convergence).
+	ReshardMove
 )
 
 func (t Type) String() string {
@@ -77,6 +96,14 @@ func (t Type) String() string {
 		return "replica-answered"
 	case LookupMiss:
 		return "lookup-miss"
+	case EpochFlip:
+		return "epoch-flip"
+	case ShardAdded:
+		return "shard-added"
+	case ShardDrained:
+		return "shard-drained"
+	case ReshardMove:
+		return "reshard-move"
 	}
 	return "unknown"
 }
@@ -96,8 +123,14 @@ type Event struct {
 	// Quality is the bitrate class a BitrateDowngrade stepped to.
 	Quality int
 	// Object is the media object of an ObjectEvicted or SupplierWithdrawn
-	// event.
+	// event, or the shard name of a ShardAdded or ShardDrained event.
 	Object string
+	// Epoch is the resharding epoch of an EpochFlip, ShardAdded,
+	// ShardDrained or ReshardMove event.
+	Epoch int64
+	// Count is the shard count of an EpochFlip or the moved-registration
+	// count of a ReshardMove.
+	Count int
 	// Latency is the elapsed time of a lookup or fan-out leg.
 	Latency time.Duration
 	// Err is the failure, if any.

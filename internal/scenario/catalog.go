@@ -37,6 +37,8 @@ func Catalog() []Spec {
 		shardedLookup(),
 		shardCrash(),
 		shardRejoin(),
+		reshardFlash(),
+		reshardDrain(),
 		competingMediaFlows(),
 		mediaVsTCPFlows(),
 		priorityFlows(),
@@ -452,6 +454,84 @@ func shardRejoin() Spec {
 		Churn: []ChurnEvent{
 			{At: 80 * time.Millisecond, Action: Crash, Node: ShardHost(2)},
 			{At: 320 * time.Millisecond, Action: Join, Node: ShardHost(2)},
+		},
+	}
+}
+
+// reshardFlash starts the registry as the single centralized server and
+// throws a same-instant flash crowd at it: the autoscaling controller
+// sees the lookup surge, grows the shard set to four live shards within
+// four sampling ticks (each growth a resharding epoch the watching
+// clients migrate across in one batched round), then drains back down as
+// the served crowd's retry storm dies away — the full elastic lifecycle
+// in under a second of protocol time. The acceptance envelope pins the
+// contract: at least three epoch flips, zero lost registrations under
+// the final ring, zero empty lookups, and every migration converging
+// faster than the 40ms lease-refresh period (elasticity beats waiting
+// out a passive lease turnover).
+func reshardFlash() Spec {
+	reqs := make([]Peer, 16)
+	for i := range reqs {
+		class := bandwidth.Class(1)
+		if i%3 == 2 {
+			class = 2
+		}
+		reqs[i] = Peer{ID: fmt.Sprintf("n%d", i), Class: class}
+	}
+	return Spec{
+		Name:     "reshard-flash",
+		Stresses: "live scale-out under a flash crowd: one shard grows to four across resharding epochs with zero lost registrations",
+		Seeds:    []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}, {ID: "s3", Class: 1}},
+		Autoscale: &Autoscale{
+			HighWater: 3,
+			LowWater:  1,
+			Sustain:   1, // a flash crowd is exactly the load spike worth reacting to immediately
+			MaxShards: 4,
+		},
+		Requesters:  reqs,
+		MaxAttempts: 80,
+		// A 16-peer same-instant crowd in a deterministic backoff schedule
+		// re-collides forever (see megacrowd); jitter desynchronizes it.
+		BackoffJitter: 0.5,
+		Expect: Expect{
+			MinAttempts:         2,
+			MinEpochFlips:       3,
+			NoLostRegistrations: true,
+			NoLookupMisses:      true,
+			MaxFlipConvergence:  shardRefresh,
+		},
+	}
+}
+
+// reshardDrain starts three shards under load too light to justify them:
+// the controller drains the coldest shard twice (down to the floor) while
+// sessions are still live, each drained server outliving its flip by the
+// grace period so clients still inside the overlap window read it safely
+// — and late requesters, booting from the controller's current
+// membership, are never routed to a drained shard at all (zero failed
+// fan-out legs for the whole run).
+func reshardDrain() Spec {
+	return Spec{
+		Name:            "reshard-drain",
+		Stresses:        "live scale-in with sessions in flight: three shards drain to one, late arrivals never touch a drained shard",
+		DirectoryShards: 3,
+		Autoscale: &Autoscale{
+			HighWater: 50, // never grow
+			LowWater:  2,
+			MaxShards: 3,
+		},
+		Seeds: []Peer{{ID: "s1", Class: 1}, {ID: "s2", Class: 1}},
+		Requesters: []Peer{
+			{ID: "n0", Class: 1, Start: 0},
+			{ID: "n1", Class: 1, Start: 50 * time.Millisecond},
+			{ID: "n2", Class: 2, Start: 400 * time.Millisecond}, // arrives after the drains
+			{ID: "n3", Class: 1, Start: 480 * time.Millisecond},
+		},
+		Expect: Expect{
+			MinEpochFlips:       2,
+			NoLostRegistrations: true,
+			NoLookupMisses:      true,
+			NoFailedShardLegs:   true,
 		},
 	}
 }

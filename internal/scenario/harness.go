@@ -18,6 +18,7 @@ import (
 	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
 	"p2pstream/internal/observe"
+	"p2pstream/internal/reshard"
 	"p2pstream/internal/transport"
 )
 
@@ -119,6 +120,17 @@ type harness struct {
 	replicaAnswered atomic.Int64
 	nodeObs         observe.Observer
 
+	// Elastic-registry state (spec.Autoscale): the autoscaling controller
+	// plus the run's resharding aggregates, fed by the controller observer
+	// (flips, adds, drains) and the clients' ReshardMove events (migrated
+	// registrations, slowest flip convergence in virtual nanoseconds).
+	ctrl          *reshard.Controller
+	epochFlips    atomic.Int64
+	shardsAdded   atomic.Int64
+	shardsDrained atomic.Int64
+	reshardMoves  atomic.Int64
+	flipConvNs    atomic.Int64
+
 	// preregSeeds marks the batched seed-boot path: seeds start with
 	// Preregistered set and the harness announces them all to the
 	// centralized directory in one RegisterBatch round.
@@ -135,22 +147,52 @@ type harness struct {
 	shards     []*directory.Server
 	shardAddrs []string
 	shardUp    []bool
+	// shardNames holds each slot's stable ring name under an elastic
+	// registry (spawned slots never reuse a drained shard's identity).
+	shardNames []string
 }
 
+// elastic reports whether the registry autoscales (spec.Autoscale).
+func (h *harness) elastic() bool { return h.spec.Autoscale != nil }
+
 // observer returns the harness's aggregating observer for sharded
-// discovery clients (nil when the registry is not sharded).
+// discovery clients (nil when the registry is neither sharded nor
+// elastic — an elastic registry may start from one shard and grow).
 func (h *harness) observer() observe.Observer {
-	if len(h.shards) < 2 {
+	if len(h.shards) < 2 && !h.elastic() {
 		return nil
 	}
 	return observe.Func(func(ev observe.Event) {
-		if ev.Type != observe.ShardLookup {
-			return
+		switch ev.Type {
+		case observe.ShardLookup:
+			h.shardLegs.Add(1)
+			h.shardLatencyNs.Add(int64(ev.Latency))
+			if ev.Err != nil {
+				h.shardLegFails.Add(1)
+			}
+		case observe.ReshardMove:
+			h.reshardMoves.Add(int64(ev.Count))
+			for {
+				old := h.flipConvNs.Load()
+				ns := int64(ev.Latency)
+				if ns <= old || h.flipConvNs.CompareAndSwap(old, ns) {
+					break
+				}
+			}
 		}
-		h.shardLegs.Add(1)
-		h.shardLatencyNs.Add(int64(ev.Latency))
-		if ev.Err != nil {
-			h.shardLegFails.Add(1)
+	})
+}
+
+// ctrlObserver aggregates the autoscaling controller's events.
+func (h *harness) ctrlObserver() observe.Observer {
+	return observe.Func(func(ev observe.Event) {
+		switch ev.Type {
+		case observe.EpochFlip:
+			h.epochFlips.Add(1)
+		case observe.ShardAdded:
+			h.shardsAdded.Add(1)
+		case observe.ShardDrained:
+			h.shardsDrained.Add(1)
 		}
 	})
 }
@@ -312,6 +354,54 @@ func (h *harness) reviveShard(i int) {
 	}
 }
 
+// spawnShard is the elastic registry's scale-out hook: it boots a fresh
+// shard server on ShardHost(seq) under a ring name that never reuses a
+// drained shard's identity. Runs on the controller's flip goroutine
+// mid-run; slot index equals seq because spawns only ever append.
+func (h *harness) spawnShard(seq int) (reshard.Member, error) {
+	name := fmt.Sprintf("shard-%d", seq)
+	srv := directory.NewServer(h.shardSeed(seq, 0))
+	l, err := h.net.Host(ShardHost(seq)).Listen(":0")
+	if err != nil {
+		return reshard.Member{}, fmt.Errorf("spawned shard %d listen: %w", seq, err)
+	}
+	go srv.Serve(l)
+	h.mu.Lock()
+	if h.done {
+		// A flip racing teardown must not leak the server.
+		h.mu.Unlock()
+		srv.Close()
+		return reshard.Member{}, errors.New("scenario: run is over")
+	}
+	for len(h.shards) <= seq {
+		h.shards = append(h.shards, nil)
+		h.shardAddrs = append(h.shardAddrs, "")
+		h.shardUp = append(h.shardUp, false)
+		h.shardNames = append(h.shardNames, "")
+	}
+	h.shards[seq] = srv
+	h.shardAddrs[seq] = l.Addr().String()
+	h.shardUp[seq] = true
+	h.shardNames[seq] = name
+	h.mu.Unlock()
+	return reshard.Member{Name: name, Addr: l.Addr().String(), Server: srv}, nil
+}
+
+// retireShard is the scale-in hook: the controller calls it DrainGrace
+// after the victim's flip (by then every client's overlap window has
+// closed), and the harness marks the slot down and closes the server.
+func (h *harness) retireShard(m reshard.Member) {
+	h.mu.Lock()
+	for i := range h.shards {
+		if h.shards[i] == m.Server {
+			h.shardUp[i] = false
+			h.shards[i] = nil
+		}
+	}
+	h.mu.Unlock()
+	m.Server.Close()
+}
+
 // bootstraps snapshots the seed ring addresses.
 func (h *harness) bootstraps() []string {
 	h.mu.Lock()
@@ -359,6 +449,33 @@ func (h *harness) newNode(p Peer, seed int64, isSeed bool) (*node.Node, *chordne
 			h.boots = append(h.boots, cp.Addr())
 			h.mu.Unlock()
 		}
+	case h.elastic():
+		// The client boots into the controller's current epoch and
+		// membership and subscribes to epoch pushes from every listed
+		// shard; a flip racing the snapshot is caught up on subscription
+		// (the server replies its epoch to every new watcher).
+		epoch, members := h.ctrl.Snapshot()
+		addrs := make([]string, len(members))
+		names := make([]string, len(members))
+		for i, m := range members {
+			addrs[i] = m.Addr
+			names[i] = m.Name
+		}
+		sc, err := directory.NewShardedClient(directory.ShardedConfig{
+			Addrs:       addrs,
+			Names:       names,
+			Epoch:       epoch,
+			WatchEpochs: true,
+			Network:     h.net.Host(p.ID),
+			Clock:       h.clk,
+			Refresh:     shardRefresh,
+			Seed:        seed,
+			Observer:    h.observer(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Discovery = sc
 	case len(h.shards) > 1:
 		// Snapshot the addresses under the lock: a shard rebirth rewrites
 		// its (value-identical) slot concurrently.
@@ -434,7 +551,11 @@ func Run(spec Spec) (*Report, error) {
 	// keep per-seed registration — lease re-registration must live in each
 	// seed's own client so a reborn shard is repopulated — and chord has
 	// no directory to batch against.
-	h.preregSeeds = spec.Discovery != BackendChord && spec.shardCount() == 1 && len(spec.Seeds) > 1
+	// An elastic registry keeps per-seed registration even from one shard:
+	// the seeds' leases must live in their own epoch-watching clients, or
+	// the first flip would strand the batch-announced registrations.
+	h.preregSeeds = spec.Discovery != BackendChord && spec.shardCount() == 1 &&
+		len(spec.Seeds) > 1 && spec.Autoscale == nil
 	// Chord discovery needs no directory at all; a scenario may still ask
 	// for one (KeepDirectory) purely to crash it and prove the point. The
 	// directory backend boots shardCount registry shards (1 = the plain
@@ -444,6 +565,7 @@ func Run(spec Spec) (*Report, error) {
 		h.shards = make([]*directory.Server, n)
 		h.shardAddrs = make([]string, n)
 		h.shardUp = make([]bool, n)
+		h.shardNames = append([]string(nil), directory.DefaultShardNames(n)...)
 		for i := 0; i < n; i++ {
 			if err := h.bootShard(i, 0); err != nil {
 				h.closeShards()
@@ -454,6 +576,33 @@ func Run(spec Spec) (*Report, error) {
 		h.dirAddr = h.shardAddrs[0]
 	}
 	defer h.closeAll()
+	if spec.Autoscale != nil {
+		a := spec.Autoscale
+		members := make([]reshard.Member, spec.shardCount())
+		for i := range members {
+			members[i] = reshard.Member{Name: h.shardNames[i], Addr: h.shardAddrs[i], Server: h.shards[i]}
+		}
+		ctrl, err := reshard.New(reshard.Config{
+			Clock:      clk,
+			Interval:   a.Interval,
+			HighWater:  a.HighWater,
+			LowWater:   a.LowWater,
+			Sustain:    a.Sustain,
+			MinShards:  a.MinShards,
+			MaxShards:  a.MaxShards,
+			DrainGrace: a.DrainGrace,
+			Members:    members,
+			Spawn:      h.spawnShard,
+			Retire:     h.retireShard,
+			Observer:   h.ctrlObserver(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		h.ctrl = ctrl
+		ctrl.Start()
+		defer ctrl.Close()
+	}
 
 	ctx := context.Background()
 	var seedRegs []transport.Register
@@ -564,6 +713,18 @@ func Run(spec Spec) (*Report, error) {
 	elapsed := clk.Since(base)
 
 	stopTraffic()
+	if h.elastic() {
+		// Let trailing flips, migrations and overlap windows settle before
+		// the zero-loss audit reads the final registries: wait until the
+		// epoch holds still across two refresh periods.
+		for i := 0; i < 8; i++ {
+			e := h.ctrl.Epoch()
+			clk.Sleep(2 * shardRefresh)
+			if h.ctrl.Epoch() == e {
+				break
+			}
+		}
+	}
 	stats := runStats{
 		dials:           vnet.Dials(),
 		queueDrops:      vnet.QueueDrops(),
@@ -573,11 +734,66 @@ func Run(spec Spec) (*Report, error) {
 		lookupMisses:    h.lookupMisses.Load(),
 		replicaAnswered: h.replicaAnswered.Load(),
 		objSuppliers:    h.objectSuppliers(),
+		epochFlips:      h.epochFlips.Load(),
+		shardsAdded:     h.shardsAdded.Load(),
+		shardsDrained:   h.shardsDrained.Load(),
+		reshardMoves:    h.reshardMoves.Load(),
+		flipConv:        time.Duration(h.flipConvNs.Load()),
+		shardLegFails:   h.shardLegFails.Load(),
+		lostRegs:        h.lostRegistrations(),
 	}
 	for _, st := range traffic {
 		stats.traffic = append(stats.traffic, st.result(elapsed))
 	}
 	return buildReport(spec, results, elapsed, h.supplierLevel(), h.shardSuppliers(), h.shardStats(), stats), nil
+}
+
+// lostRegistrations audits the elastic registry's zero-loss contract at
+// the end of the run: every live supplier's registration must be present
+// on the shard owning its peer ID under the final epoch's ring. It
+// returns the missing id (or id/object) keys, sorted; nil when the
+// registry is not elastic.
+func (h *harness) lostRegistrations() []string {
+	if !h.elastic() {
+		return nil
+	}
+	epoch, members := h.ctrl.Snapshot()
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = m.Name
+	}
+	ring, err := directory.NewShardRingOf(epoch, names, directory.ShardPoints)
+	if err != nil {
+		return []string{fmt.Sprintf("audit ring: %v", err)}
+	}
+	h.mu.Lock()
+	nodes := make(map[string]*node.Node, len(h.nodes))
+	for id, n := range h.nodes {
+		nodes[id] = n
+	}
+	h.mu.Unlock()
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var lost []string
+	for _, id := range ids {
+		n := nodes[id]
+		owner := members[ring.Owner(id)].Server
+		if len(h.spec.Objects) == 0 {
+			if n.Supplying() && !owner.Has(id, "") {
+				lost = append(lost, id)
+			}
+			continue
+		}
+		for _, f := range h.spec.Objects {
+			if n.SupplyingObject(f.Name) && !owner.Has(id, f.Name) {
+				lost = append(lost, id+"/"+f.Name)
+			}
+		}
+	}
+	return lost
 }
 
 // closeShards shuts every live registry shard down.
@@ -660,6 +876,8 @@ func (h *harness) runRequester(base time.Time, w workItem) NodeResult {
 	res.ShardLegFails = h.shardLegFails.Load()
 	res.ShardLatency = time.Duration(h.shardLatencyNs.Load())
 	res.Evictions = h.evictions.Load()
+	res.EpochFlips = h.epochFlips.Load()
+	res.ReshardMoves = h.reshardMoves.Load()
 	if rerr != nil {
 		res.Err = rerr
 		return res

@@ -62,6 +62,10 @@ type NodeResult struct {
 	// this peer's completion (across all nodes; zero when no library is
 	// bounded).
 	Evictions int64
+	// EpochFlips and ReshardMoves snapshot the elastic registry's
+	// cumulative resharding-epoch flips and migrated registrations at this
+	// peer's completion (zero when the registry is not elastic).
+	EpochFlips, ReshardMoves int64
 	// Downgraded counts segments that arrived below full quality, and
 	// MaxQuality is the deepest bitrate class any of them reached — the
 	// suppliers' ABR ladder as this requester experienced it.
@@ -93,6 +97,13 @@ type runStats struct {
 	replicaAnswered int64
 	objSuppliers    map[string]int
 	traffic         []TrafficResult
+	epochFlips      int64
+	shardsAdded     int64
+	shardsDrained   int64
+	reshardMoves    int64
+	flipConv        time.Duration
+	shardLegFails   int64
+	lostRegs        []string
 }
 
 // Report is the outcome of one scenario run.
@@ -136,6 +147,24 @@ type Report struct {
 	// from the directory registries in multi-object mode; nil otherwise
 	// (the chord census does not split by object).
 	ObjectSuppliers map[string]int
+	// EpochFlips, ShardsAdded and ShardsDrained count the elastic
+	// registry's resharding-epoch flips and membership changes;
+	// ReshardMoves counts the registrations the clients migrated across
+	// those flips. All zero when the registry is not elastic.
+	EpochFlips, ShardsAdded, ShardsDrained, ReshardMoves int64
+	// FlipConvergence is the slowest epoch migration of the run: the
+	// latency from an epoch push reaching a client to its batched
+	// re-registration completing. Zero when no migration ran.
+	FlipConvergence time.Duration
+	// FailedShardLegs is the run's total failed candidate fan-out legs —
+	// the final value of the ShardFailures series plus any legs that
+	// failed after the last completion.
+	FailedShardLegs int64
+	// LostRegistrations lists the live suppliers whose registration the
+	// end-of-run zero-loss audit could not find on the owning shard of the
+	// final epoch's ring (id, or id/object in multi-object mode); nil when
+	// the registry is not elastic or nothing was lost.
+	LostRegistrations []string
 	// QueueDrops counts chunks tail-dropped at bandwidth-limited link
 	// queues — congestion the data plane failed to avoid.
 	QueueDrops int64
@@ -172,6 +201,11 @@ type Report struct {
 	// completion on the same axis — flat zero unless a bounded library
 	// churned.
 	Evictions *metrics.Series
+	// Epochs and Moves chart the elastic registry on the same axis: the
+	// cumulative resharding-epoch flips and migrated registrations at each
+	// completion — flat zero unless the registry autoscaled.
+	Epochs *metrics.Series
+	Moves  *metrics.Series
 
 	// Population-scale distributions over the served requesters (quantiles,
 	// not means — at megacrowd scale the admission story lives in the
@@ -195,37 +229,47 @@ const quantileCheckpoints = 128
 func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSuppliers int, shardSuppliers []int, shardStats []directory.Stats, stats runStats) *Report {
 	sortResults(results)
 	r := &Report{
-		Spec:            spec,
-		Nodes:           results,
-		Elapsed:         elapsed,
-		FinalSuppliers:  finalSuppliers,
-		ShardSuppliers:  shardSuppliers,
-		ShardStats:      shardStats,
-		Dials:           stats.dials,
-		QueueDrops:      stats.queueDrops,
-		SeedBootDials:   stats.seedBootDials,
-		EvictionTotal:   stats.evictions,
-		WithdrawalTotal: stats.withdrawals,
-		LookupMisses:    stats.lookupMisses,
-		ReplicaAnswered: stats.replicaAnswered,
-		ObjectSuppliers: stats.objSuppliers,
-		Traffic:         stats.traffic,
-		Admission:       &metrics.Series{Name: "admission_ms"},
-		Tries:           &metrics.Series{Name: "attempts"},
-		Buffering:       &metrics.Series{Name: "buffering_ms"},
-		Suppliers:       &metrics.Series{Name: "suppliers"},
-		LookupHops:      &metrics.Series{Name: "lookup_hops"},
-		SampleRounds:    &metrics.Series{Name: "sample_rounds"},
-		ShardLookupMs:   &metrics.Series{Name: "shard_lookup_ms"},
-		ShardFailures:   &metrics.Series{Name: "shard_failures"},
-		Downgrades:      &metrics.Series{Name: "downgraded"},
-		Throughput:      &metrics.Series{Name: "throughput_bps"},
-		Evictions:       &metrics.Series{Name: "evictions"},
-		AdmissionDist:   metrics.NewDistribution("admission_ms"),
-		RejectionDist:   metrics.NewDistribution("rejection_rate"),
+		Spec:              spec,
+		Nodes:             results,
+		Elapsed:           elapsed,
+		FinalSuppliers:    finalSuppliers,
+		ShardSuppliers:    shardSuppliers,
+		ShardStats:        shardStats,
+		Dials:             stats.dials,
+		QueueDrops:        stats.queueDrops,
+		SeedBootDials:     stats.seedBootDials,
+		EvictionTotal:     stats.evictions,
+		WithdrawalTotal:   stats.withdrawals,
+		LookupMisses:      stats.lookupMisses,
+		ReplicaAnswered:   stats.replicaAnswered,
+		ObjectSuppliers:   stats.objSuppliers,
+		Traffic:           stats.traffic,
+		EpochFlips:        stats.epochFlips,
+		ShardsAdded:       stats.shardsAdded,
+		ShardsDrained:     stats.shardsDrained,
+		ReshardMoves:      stats.reshardMoves,
+		FlipConvergence:   stats.flipConv,
+		FailedShardLegs:   stats.shardLegFails,
+		LostRegistrations: stats.lostRegs,
+		Admission:         &metrics.Series{Name: "admission_ms"},
+		Tries:             &metrics.Series{Name: "attempts"},
+		Buffering:         &metrics.Series{Name: "buffering_ms"},
+		Suppliers:         &metrics.Series{Name: "suppliers"},
+		LookupHops:        &metrics.Series{Name: "lookup_hops"},
+		SampleRounds:      &metrics.Series{Name: "sample_rounds"},
+		ShardLookupMs:     &metrics.Series{Name: "shard_lookup_ms"},
+		ShardFailures:     &metrics.Series{Name: "shard_failures"},
+		Downgrades:        &metrics.Series{Name: "downgraded"},
+		Throughput:        &metrics.Series{Name: "throughput_bps"},
+		Evictions:         &metrics.Series{Name: "evictions"},
+		Epochs:            &metrics.Series{Name: "epoch_flips"},
+		Moves:             &metrics.Series{Name: "reshard_moves"},
+		AdmissionDist:     metrics.NewDistribution("admission_ms"),
+		RejectionDist:     metrics.NewDistribution("rejection_rate"),
 	}
 	chord := spec.Discovery == BackendChord
 	sharded := len(shardStats) > 1
+	elastic := spec.Autoscale != nil
 	var doneTimes []time.Duration
 	var admissionMs, rejectionRates []float64
 	for _, n := range results {
@@ -266,6 +310,15 @@ func buildReport(spec Spec, results []NodeResult, elapsed time.Duration, finalSu
 		r.Downgrades.Add(n.Done, float64(n.Downgraded))
 		r.Throughput.Add(n.Done, n.ThroughputBps)
 		r.Evictions.Add(n.Done, float64(n.Evictions))
+		if elastic {
+			r.Epochs.Add(n.Done, float64(n.EpochFlips))
+			r.Moves.Add(n.Done, float64(n.ReshardMoves))
+		} else {
+			// Same one-table CSV treatment as the shard columns: a static
+			// registry has no epochs, so the columns stay blank.
+			r.Epochs.AddMissing(n.Done)
+			r.Moves.AddMissing(n.Done)
+		}
 	}
 	qs := []float64{0.5, 0.9, 0.99}
 	r.AdmissionQuantiles = metrics.QuantileSeries("admission_ms", doneTimes, admissionMs, quantileCheckpoints, qs...)
@@ -358,6 +411,27 @@ func (r *Report) Check() error {
 	if min := r.Spec.Expect.MinReplicaAnswered; min > 0 && r.ReplicaAnswered < int64(min) {
 		return fmt.Errorf("scenario %s: %d replica-answered lookups, expected >= %d (the fail-over path never ran)",
 			r.Spec.Name, r.ReplicaAnswered, min)
+	}
+	if min := r.Spec.Expect.MinEpochFlips; min > 0 && r.EpochFlips < int64(min) {
+		return fmt.Errorf("scenario %s: %d epoch flips, expected >= %d (the elastic registry never scaled)",
+			r.Spec.Name, r.EpochFlips, min)
+	}
+	if r.Spec.Expect.NoLostRegistrations && len(r.LostRegistrations) > 0 {
+		return fmt.Errorf("scenario %s: %d registrations lost across resharding epochs: %v",
+			r.Spec.Name, len(r.LostRegistrations), r.LostRegistrations)
+	}
+	if max := r.Spec.Expect.MaxFlipConvergence; max > 0 {
+		if r.ReshardMoves == 0 {
+			return fmt.Errorf("scenario %s: MaxFlipConvergence set but no epoch migration ran", r.Spec.Name)
+		}
+		if r.FlipConvergence > max {
+			return fmt.Errorf("scenario %s: slowest flip convergence %v exceeds %v",
+				r.Spec.Name, r.FlipConvergence, max)
+		}
+	}
+	if r.Spec.Expect.NoFailedShardLegs && r.FailedShardLegs > 0 {
+		return fmt.Errorf("scenario %s: %d candidate fan-out legs failed — a requester reached a drained shard",
+			r.Spec.Name, r.FailedShardLegs)
 	}
 	return r.checkDataPlane()
 }
@@ -460,6 +534,11 @@ func (r *Report) Summary() string {
 		fails, _ := r.ShardFailures.Last()
 		fmt.Fprintf(&b, "\n  shard fan-out: mean %.2fms per leg, %.0f failed legs", mean, fails)
 	}
+	if r.EpochFlips > 0 || r.ReshardMoves > 0 {
+		fmt.Fprintf(&b, "\n  elastic registry: %d epoch flips (%d shards added, %d drained), %d migrated registrations, slowest convergence %v, %d lost",
+			r.EpochFlips, r.ShardsAdded, r.ShardsDrained, r.ReshardMoves,
+			r.FlipConvergence.Round(time.Microsecond), len(r.LostRegistrations))
+	}
 	if len(r.ShardStats) > 1 {
 		for i, st := range r.ShardStats {
 			fmt.Fprintf(&b, "\n  shard %d stats: %d registers, %d refreshes, %d unregisters, %d lookups",
@@ -502,7 +581,8 @@ func (r *Report) Summary() string {
 func (r *Report) WriteCSV(w io.Writer) error {
 	return metrics.WriteCSVIn(w, "ms", time.Millisecond,
 		r.Admission, r.Tries, r.Buffering, r.Suppliers, r.LookupHops, r.SampleRounds,
-		r.ShardLookupMs, r.ShardFailures, r.Downgrades, r.Throughput, r.Evictions)
+		r.ShardLookupMs, r.ShardFailures, r.Downgrades, r.Throughput, r.Evictions,
+		r.Epochs, r.Moves)
 }
 
 // WriteQuantilesCSV emits the running admission-latency and rejection-rate

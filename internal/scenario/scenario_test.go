@@ -505,6 +505,151 @@ func TestShardRejoinDetails(t *testing.T) {
 	}
 }
 
+// TestReshardFlashDetails: the elastic registry's scale-out story. One
+// centralized shard meets a 16-peer flash crowd; the controller grows the
+// ring to four shards within the first sampling ticks, every watching
+// client migrates its registrations across each epoch in a batched round,
+// and after the crowd is absorbed the quiet registry drains back down —
+// with zero lost registrations and zero empty lookups across the whole
+// lifecycle, and every migration converging inside one lease-refresh
+// period.
+func TestReshardFlashDetails(t *testing.T) {
+	spec, ok := ByName("reshard-flash")
+	if !ok {
+		t.Fatal("reshard-flash not in catalog")
+	}
+	if spec.Autoscale == nil || spec.shardCount() != 1 {
+		t.Fatalf("reshard-flash must autoscale from a single shard (Autoscale=%v, shards=%d)",
+			spec.Autoscale, spec.shardCount())
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	if got, want := report.Served(), len(spec.Requesters); got != want {
+		t.Fatalf("served %d of %d requesters", got, want)
+	}
+	all := len(spec.Seeds) + len(spec.Requesters)
+	if report.FinalSuppliers != all {
+		t.Errorf("final suppliers = %d, want %d", report.FinalSuppliers, all)
+	}
+	// The ring must actually have reached four shards: three growth flips
+	// from one shard, each a distinct spawned slot.
+	if report.ShardsAdded < 3 {
+		t.Errorf("controller added %d shards, want >= 3 (the crowd must force the ring to four)", report.ShardsAdded)
+	}
+	if report.EpochFlips != report.ShardsAdded+report.ShardsDrained {
+		t.Errorf("flips = %d, want adds+drains = %d", report.EpochFlips, report.ShardsAdded+report.ShardsDrained)
+	}
+	// Slots are append-only (drained identities are never reused): one
+	// initial shard plus one per add, and the live suppliers all sit on
+	// shards still in the final ring.
+	if got, want := len(report.ShardSuppliers), 1+int(report.ShardsAdded); got != want {
+		t.Fatalf("ShardSuppliers = %v (%d slots), want %d (1 initial + %d added)",
+			report.ShardSuppliers, got, want, report.ShardsAdded)
+	}
+	sum := 0
+	for _, n := range report.ShardSuppliers {
+		sum += n
+	}
+	if sum != report.FinalSuppliers {
+		t.Errorf("shard counts %v sum to %d, FinalSuppliers = %d", report.ShardSuppliers, sum, report.FinalSuppliers)
+	}
+	if report.ReshardMoves == 0 {
+		t.Error("no registrations migrated; every flip should move the held leases")
+	}
+	if report.FlipConvergence <= 0 || report.FlipConvergence >= shardRefresh {
+		t.Errorf("slowest flip convergence = %v, want within (0, %v): elasticity must beat the lease period",
+			report.FlipConvergence, shardRefresh)
+	}
+	if len(report.LostRegistrations) != 0 {
+		t.Errorf("lost registrations: %v", report.LostRegistrations)
+	}
+	if report.FailedShardLegs != 0 {
+		t.Errorf("%d failed fan-out legs, want 0 (clients must never dial a retired shard)", report.FailedShardLegs)
+	}
+	// The elastic counters ride the admission axis: one epoch-flip and one
+	// migration sample per served requester, and the last finisher has
+	// lived through at least the three growth flips.
+	if report.Epochs.Len() != report.Served() || report.Moves.Len() != report.Served() {
+		t.Errorf("Epochs/Moves have %d/%d samples, want one per served requester (%d)",
+			report.Epochs.Len(), report.Moves.Len(), report.Served())
+	}
+	if last, ok := report.Epochs.Last(); !ok || last < 3 {
+		t.Errorf("last requester finished having seen %v flips, want >= 3", last)
+	}
+}
+
+// TestReshardDrainDetails: the scale-in story. Three shards under load too
+// light to justify them drain to the floor while sessions are in flight;
+// the two flips happen early enough that the late arrivals boot straight
+// into the shrunken ring, and no client ever fans out to a drained shard
+// (zero failed legs).
+func TestReshardDrainDetails(t *testing.T) {
+	spec, ok := ByName("reshard-drain")
+	if !ok {
+		t.Fatal("reshard-drain not in catalog")
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("invariants: %v\n%s", err, report.Summary())
+	}
+	if got, want := report.Served(), len(spec.Requesters); got != want {
+		t.Fatalf("served %d of %d requesters", got, want)
+	}
+	// With HighWater unreachably high the controller can only drain: two
+	// flips exactly, from three shards down to the one-shard floor.
+	if report.EpochFlips != 2 || report.ShardsAdded != 0 || report.ShardsDrained != 2 {
+		t.Errorf("flips=%d added=%d drained=%d, want exactly 2 drains and nothing else",
+			report.EpochFlips, report.ShardsAdded, report.ShardsDrained)
+	}
+	if len(report.ShardSuppliers) != 3 {
+		t.Fatalf("ShardSuppliers = %v, want the 3 declared slots", report.ShardSuppliers)
+	}
+	live, sum := 0, 0
+	for _, n := range report.ShardSuppliers {
+		sum += n
+		if n > 0 {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Errorf("suppliers ended on %d shards (%v), want all on the lone survivor", live, report.ShardSuppliers)
+	}
+	if all := len(spec.Seeds) + len(spec.Requesters); sum != all || report.FinalSuppliers != all {
+		t.Errorf("suppliers %v sum to %d, FinalSuppliers = %d, want %d", report.ShardSuppliers, sum, report.FinalSuppliers, all)
+	}
+	if report.ReshardMoves == 0 {
+		t.Error("no registrations migrated; the drained shards held live leases")
+	}
+	if report.FlipConvergence <= 0 || report.FlipConvergence >= shardRefresh {
+		t.Errorf("slowest flip convergence = %v, want within (0, %v)", report.FlipConvergence, shardRefresh)
+	}
+	if len(report.LostRegistrations) != 0 {
+		t.Errorf("lost registrations: %v", report.LostRegistrations)
+	}
+	if report.FailedShardLegs != 0 {
+		t.Errorf("%d failed fan-out legs, want 0: late arrivals must never be routed to a drained shard", report.FailedShardLegs)
+	}
+	// The late arrivals (n2 at 400ms, n3 at 480ms) booted after both
+	// drains and finished with the full flip count on their axis sample.
+	for _, id := range []string{"n2", "n3"} {
+		n := report.Node(id)
+		if n == nil {
+			t.Fatalf("no result for %s", id)
+		}
+		if n.EpochFlips != 2 {
+			t.Errorf("%s finished having seen %d flips, want 2 (it arrived after both drains)", id, n.EpochFlips)
+		}
+	}
+}
+
 // TestCatalogRunsSharded is the tentpole's interface guarantee: any
 // catalog entry runs with DirectoryShards set and no other change —
 // node.Discovery hides the sharding entirely — with every invariant
@@ -512,10 +657,12 @@ func TestShardRejoinDetails(t *testing.T) {
 func TestCatalogRunsSharded(t *testing.T) {
 	for _, spec := range Catalog() {
 		spec := spec
-		if spec.Discovery == BackendChord || spec.DirectoryShards >= 2 {
+		if spec.Discovery == BackendChord || spec.DirectoryShards >= 2 || spec.Autoscale != nil {
 			// Chord entries run no directory (the knob is inert — proven
 			// once by a conformance run with the knob set below); natively
-			// sharded entries already ran sharded in TestCatalogConformance.
+			// sharded entries already ran sharded in TestCatalogConformance;
+			// elastic entries own their shard count (the controller grows
+			// and drains it live, so a fixed three-shard assertion is moot).
 			continue
 		}
 		spec.DirectoryShards = 3
@@ -610,14 +757,17 @@ func TestChordDiscoveryMetrics(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want header + %d", len(lines), served)
 	}
 	cols := strings.Split(lines[1], ",")
-	if len(cols) != 12 || cols[5] == "" || cols[6] == "" {
+	if len(cols) != 14 || cols[5] == "" || cols[6] == "" {
 		t.Errorf("chord run CSV should carry discovery-cost values: %q", lines[1])
 	}
-	if len(cols) == 12 && (cols[7] != "" || cols[8] != "") {
+	if len(cols) == 14 && (cols[7] != "" || cols[8] != "") {
 		t.Errorf("chord run CSV should leave the shard columns blank: %q", lines[1])
 	}
-	if len(cols) == 12 && (cols[9] == "" || cols[10] == "") {
+	if len(cols) == 14 && (cols[9] == "" || cols[10] == "") {
 		t.Errorf("chord run CSV should carry data-plane values: %q", lines[1])
+	}
+	if len(cols) == 14 && (cols[12] != "" || cols[13] != "") {
+		t.Errorf("chord run CSV should leave the elastic-registry columns blank: %q", lines[1])
 	}
 }
 
@@ -670,20 +820,24 @@ func TestReportCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), b.String())
 	}
-	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures,downgraded,throughput_bps,evictions"; lines[0] != want {
+	if want := "ms,admission_ms,attempts,buffering_ms,suppliers,lookup_hops,sample_rounds,shard_lookup_ms,shard_failures,downgraded,throughput_bps,evictions,epoch_flips,reshard_moves"; lines[0] != want {
 		t.Errorf("header = %q, want %q", lines[0], want)
 	}
 	// Directory-backed runs have no routed lookups: the discovery-cost
 	// columns are present but blank, keeping one shared table. The
 	// data-plane columns (downgraded, throughput) always carry values.
 	cols := strings.Split(lines[1], ",")
-	if len(cols) != 12 {
-		t.Fatalf("sample has %d columns, want 12: %q", len(cols), lines[1])
+	if len(cols) != 14 {
+		t.Fatalf("sample has %d columns, want 14: %q", len(cols), lines[1])
 	}
 	for i := 5; i <= 8; i++ {
 		if cols[i] != "" {
 			t.Errorf("unsharded directory-backed sample should leave discovery- and shard-cost column %d blank: %q", i, lines[1])
 		}
+	}
+	// A static registry has no resharding epochs: elastic columns blank.
+	if cols[12] != "" || cols[13] != "" {
+		t.Errorf("static-registry sample should leave the elastic columns blank: %q", lines[1])
 	}
 	if cols[9] == "" || cols[10] == "" {
 		t.Errorf("sample should carry data-plane values: %q", lines[1])

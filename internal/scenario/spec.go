@@ -204,6 +204,44 @@ type ChurnEvent struct {
 	Class bandwidth.Class
 }
 
+// Autoscale turns the sharded registry elastic: the harness runs a
+// reshard.Controller over the directory shards, sampling per-shard load
+// (lookups per interval — the one demand signal an epoch flip's own
+// migration traffic cannot inflate) on the virtual clock and
+// flipping resharding epochs live — growing the shard set under sustained
+// load, draining the coldest shard when load falls away, and retiring
+// drained servers after a grace period. Every node's discovery client
+// watches epoch pushes, migrates its registrations to the new owners in
+// one batched round, and double-reads candidates from the old and new
+// shard sets for one lease-refresh overlap window. Directory backend
+// only; DirectoryShards is the initial shard count (1 starts from the
+// single centralized server) and the spec's shard hosts extend to
+// MaxShards so every shard the controller may spawn has its virtual host
+// from the start. Incompatible with shard-host churn — the controller
+// owns shard lifecycles.
+type Autoscale struct {
+	// Interval is the controller's load-sampling period (default 40ms,
+	// the scenario lease-refresh period).
+	Interval time.Duration
+	// HighWater and LowWater are the mean per-shard load watermarks in
+	// lookups per interval: sustained mean load above HighWater adds a
+	// shard, below LowWater drains the coldest. HighWater must exceed
+	// LowWater (defaults 12 and 2).
+	HighWater, LowWater float64
+	// Sustain is how many consecutive intervals a watermark must hold
+	// before the controller flips (default 2).
+	Sustain int
+	// MinShards and MaxShards bound the live shard count (defaults: 1,
+	// and the initial shard count plus 2). MaxShards also sizes the
+	// spec's shard host set.
+	MinShards, MaxShards int
+	// DrainGrace is how long a drained shard's server outlives its flip
+	// before the harness retires it (default 3 lease-refresh periods; it
+	// must exceed the clients' one-refresh overlap window, during which
+	// they still read the drained shard).
+	DrainGrace time.Duration
+}
+
 // Expect declares a scenario's acceptance envelope, checked by
 // Report.Check on top of the universal invariants.
 type Expect struct {
@@ -251,6 +289,26 @@ type Expect struct {
 	// assertion that a replication scenario actually exercised the
 	// fail-over path.
 	MinReplicaAnswered int
+	// MinEpochFlips, when > 0, requires the autoscaling controller to
+	// have flipped the resharding epoch at least that many times — the
+	// assertion that an elastic scenario actually scaled.
+	MinEpochFlips int
+	// NoLostRegistrations requires the end-of-run zero-loss audit to
+	// pass: every live supplier's registration must be present on the
+	// shard that owns its peer ID under the final epoch's ring. The
+	// elastic-registry assertion that epoch migration dropped nothing.
+	NoLostRegistrations bool
+	// MaxFlipConvergence, when > 0, bounds the slowest epoch migration of
+	// the run (a ReshardMove's latency from epoch push to the batched
+	// re-registration completing) — the reshard-flash assertion that flip
+	// convergence beats the lease-refresh period, so elasticity costs
+	// less than a passive lease turnover. Requires at least one migration
+	// to have run.
+	MaxFlipConvergence time.Duration
+	// NoFailedShardLegs requires that no candidate fan-out leg failed for
+	// the whole run — the scale-in assertion that requesters were never
+	// routed to a drained, retired shard.
+	NoFailedShardLegs bool
 }
 
 // Spec is one declarative scenario. The zero values of the tuning fields
@@ -329,6 +387,11 @@ type Spec struct {
 	// Ignored under BackendChord — a chord overlay runs no directory, and
 	// the KeepDirectory decoy stays a single server.
 	DirectoryShards int
+	// Autoscale, when non-nil, turns the sharded registry elastic: a
+	// reshard.Controller grows and drains the shard set live, flipping
+	// resharding epochs that every node's watching client migrates
+	// across. See the Autoscale type. Directory backend only.
+	Autoscale *Autoscale
 	// KeepDirectory, under BackendChord, additionally boots a directory
 	// server that nothing queries — so a churn event may crash
 	// DirectoryHost mid-run and prove no session depends on it.
@@ -406,6 +469,33 @@ func (s Spec) withDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.Autoscale != nil {
+		// Copy before defaulting: the caller's Autoscale must not be
+		// mutated through the shared pointer.
+		a := *s.Autoscale
+		if a.Interval == 0 {
+			a.Interval = shardRefresh
+		}
+		if a.HighWater == 0 {
+			a.HighWater = 12
+		}
+		if a.LowWater == 0 {
+			a.LowWater = 2
+		}
+		if a.Sustain == 0 {
+			a.Sustain = 2
+		}
+		if a.MinShards == 0 {
+			a.MinShards = 1
+		}
+		if a.MaxShards == 0 {
+			a.MaxShards = s.shardCount() + 2
+		}
+		if a.DrainGrace == 0 {
+			a.DrainGrace = 3 * shardRefresh
+		}
+		s.Autoscale = &a
+	}
 	if len(s.Traffic) > 0 {
 		// Copy before defaulting: withDefaults returns a value, and the
 		// caller's slice must not be mutated through the shared backing.
@@ -465,14 +555,24 @@ func (s *Spec) shardIndex(id string) int {
 	return ShardHostIndex(id, s.shardCount())
 }
 
-// hosts returns every virtual host of the scenario: the directory shards,
-// every peer, and every joining peer (a rejoining peer reuses its old
-// host). Shard hosts are always included so wildcard link rules — "this
-// peer is partitioned from everything" — cover the whole registry.
+// maxShards is the registry's maximum live shard count: the autoscale
+// cap when the registry is elastic, the static shard count otherwise.
+func (s *Spec) maxShards() int {
+	if s.Autoscale != nil && s.Autoscale.MaxShards > s.shardCount() {
+		return s.Autoscale.MaxShards
+	}
+	return s.shardCount()
+}
+
+// hosts returns every virtual host of the scenario: the directory shards
+// (up to the autoscale cap when the registry is elastic), every peer, and
+// every joining peer (a rejoining peer reuses its old host). Shard hosts
+// are always included so wildcard link rules — "this peer is partitioned
+// from everything" — cover the whole registry.
 func (s *Spec) hosts() []string {
 	seen := map[string]bool{}
 	var out []string
-	for i := 0; i < s.shardCount(); i++ {
+	for i := 0; i < s.maxShards(); i++ {
 		seen[ShardHost(i)] = true
 		out = append(out, ShardHost(i))
 	}
@@ -522,8 +622,11 @@ func (s *Spec) Validate() error {
 	if err := s.validateObjects(); err != nil {
 		return err
 	}
+	if err := s.validateAutoscale(); err != nil {
+		return err
+	}
 	ids := map[string]bool{DirectoryHost: true}
-	for i := 1; i < s.shardCount(); i++ {
+	for i := 1; i < s.maxShards(); i++ {
 		ids[ShardHost(i)] = true
 	}
 	addPeer := func(p Peer, role string) error {
@@ -742,6 +845,43 @@ func (s *Spec) validateObjects() error {
 			if name == "" || !declared[name] {
 				return fmt.Errorf("scenario %s: requester %s requests undeclared object %q", s.Name, p.ID, name)
 			}
+		}
+	}
+	return nil
+}
+
+// validateAutoscale checks the elastic-registry half of the spec: a
+// directory-backed run with sane watermarks and bounds, and no churn
+// aimed at shard hosts (the controller owns shard lifecycles).
+func (s *Spec) validateAutoscale() error {
+	a := s.Autoscale
+	if a == nil {
+		return nil
+	}
+	if s.Discovery == BackendChord {
+		return fmt.Errorf("scenario %s: Autoscale requires the directory backend", s.Name)
+	}
+	if a.Interval < 0 || a.Sustain < 0 || a.DrainGrace < 0 {
+		return fmt.Errorf("scenario %s: Autoscale has a negative tuning field", s.Name)
+	}
+	if a.HighWater < 0 || a.LowWater < 0 {
+		return fmt.Errorf("scenario %s: Autoscale watermarks %g/%g, want >= 0", s.Name, a.HighWater, a.LowWater)
+	}
+	if a.HighWater != 0 && a.HighWater <= a.LowWater {
+		return fmt.Errorf("scenario %s: Autoscale HighWater %g must exceed LowWater %g", s.Name, a.HighWater, a.LowWater)
+	}
+	if a.MinShards < 0 || a.MaxShards < 0 {
+		return fmt.Errorf("scenario %s: Autoscale shard bounds %d/%d, want >= 0", s.Name, a.MinShards, a.MaxShards)
+	}
+	if a.MaxShards != 0 && a.MaxShards < s.shardCount() {
+		return fmt.Errorf("scenario %s: Autoscale MaxShards %d below the initial %d shards", s.Name, a.MaxShards, s.shardCount())
+	}
+	if a.MinShards > s.shardCount() {
+		return fmt.Errorf("scenario %s: Autoscale MinShards %d above the initial %d shards", s.Name, a.MinShards, s.shardCount())
+	}
+	for _, ev := range s.Churn {
+		if ShardHostIndex(ev.Node, s.maxShards()) >= 0 {
+			return fmt.Errorf("scenario %s: churn of registry shard %q is not supported under Autoscale (the controller owns shard lifecycles)", s.Name, ev.Node)
 		}
 	}
 	return nil

@@ -74,6 +74,15 @@ const (
 	KindChordReplicateOK   Kind = "chord-replicate-ok"    // successor -> owner
 	KindChordReplicaPull   Kind = "chord-replica-pull"    // any peer -> member (record fetch)
 	KindChordReplicaPullOK Kind = "chord-replica-pull-ok" // member -> any peer
+
+	// Resharding epoch kinds (elastic directory): a client subscribes a
+	// dedicated connection to epoch announcements, and any directory
+	// server pushes "epoch E, shards S" over it whenever the deployment's
+	// shard set changes — the immediate reply to the subscription carries
+	// the current epoch, and later pushes arrive unsolicited on the same
+	// connection.
+	KindDirEpochWatch Kind = "dir-epoch-watch" // client -> directory (subscribe)
+	KindDirEpoch      Kind = "dir-epoch"       // directory -> client (reply + push)
 )
 
 // Register announces a supplying peer to the directory.
@@ -104,6 +113,30 @@ type RegisterBatch struct {
 type Unregister struct {
 	ID     string `json:"id"`
 	Object string `json:"object,omitempty"`
+}
+
+// DirEpochWatch subscribes a connection to resharding-epoch
+// announcements. The connection carries no further requests: the
+// directory answers with the current DirEpoch immediately and pushes a
+// fresh one on every flip until the client hangs up.
+type DirEpochWatch struct{}
+
+// DirShard identifies one registry shard of an epoch's shard set: the
+// stable name whose hash places the shard's arcs on the consistent-hash
+// ring, and the address clients dial. Naming shards (rather than hashing
+// addresses) keeps key placement identical when a shard moves hosts, and
+// keeps rings across epochs comparable point by point.
+type DirShard struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// DirEpoch announces one resharding epoch: a monotonically increasing
+// epoch number and the complete shard set it is valid for. Clients adopt
+// the highest epoch they have seen and ignore stale ones.
+type DirEpoch struct {
+	Epoch  int64      `json:"epoch"`
+	Shards []DirShard `json:"shards"`
 }
 
 // Lookup asks the directory for M random candidate suppliers.

@@ -19,8 +19,9 @@ import (
 // builder that wires nodes, discovery and lifecycle for all three
 // discovery backends — the centralized directory (WithDirectory, one
 // address), the consistent-hash sharded directory (WithDirectory with
-// several addresses, or WithShardedDirectory for full control) and the
-// decentralized wire-level Chord ring (WithChord) — behind one type.
+// several addresses, or WithShardedDirectory for full control; elastic
+// under a resharding controller via WithAutoscale or WithShardEpochs) and
+// the decentralized wire-level Chord ring (WithChord) — behind one type.
 //
 //	ov, err := p2pstream.NewOverlay(file,
 //		p2pstream.WithDirectory("127.0.0.1:7000"),
@@ -88,7 +89,12 @@ type overlayConfig struct {
 	backend overlayBackend
 	dirAddr string
 	sharded ShardedDirectoryConfig
-	chord   ChordDiscoveryConfig
+	// shardEpochs subscribes every sharded client to dir-epoch pushes
+	// (WithShardEpochs); autoscale additionally boots each client from the
+	// controller's live epoch and shard set (WithAutoscale).
+	shardEpochs bool
+	autoscale   *ReshardController
+	chord       ChordDiscoveryConfig
 	// chordReplication and chordVirtualNodes override the WithChord
 	// template's Replication and VirtualNodes regardless of option order
 	// (zero = keep the template's value).
@@ -136,6 +142,37 @@ func WithShardedDirectory(cfg ShardedDirectoryConfig) OverlayOption {
 		}
 		c.backend = backendSharded
 		c.sharded = cfg
+		return nil
+	}
+}
+
+// WithShardEpochs subscribes every sharded directory client this overlay
+// creates to dir-epoch pushes from its shards: when an externally managed
+// elastic deployment (p2pdir -autoscale, or any ReshardController in
+// another process) flips the shard set, each client re-registers its moved
+// registrations in one batched round and double-reads candidates from the
+// old and new shard sets for one lease interval, so no lookup misses
+// mid-migration. Requires the sharded backend (WithDirectory with several
+// addresses, or WithShardedDirectory). Implied by WithAutoscale.
+func WithShardEpochs() OverlayOption {
+	return func(c *overlayConfig) error { c.shardEpochs = true; return nil }
+}
+
+// WithAutoscale attaches a resharding controller (NewReshardController) to
+// the overlay: every peer's sharded directory client boots from the
+// controller's live epoch and shard set — not a fixed address list — and
+// watches for epoch pushes, migrating its registrations as the controller
+// grows and drains the registry. On its own it selects the sharded
+// backend; combine with WithShardedDirectory only to tune the lease
+// period (the controller overrides its Addrs, Names and Epoch per peer).
+// The controller's lifecycle stays with the caller: Start it before
+// creating peers and Close it after the overlay.
+func WithAutoscale(ctrl *ReshardController) OverlayOption {
+	return func(c *overlayConfig) error {
+		if ctrl == nil {
+			return errors.New("p2pstream: WithAutoscale needs a non-nil controller")
+		}
+		c.autoscale = ctrl
 		return nil
 	}
 }
@@ -366,11 +403,20 @@ func NewOverlay(file *MediaFile, opts ...OverlayOption) (*Overlay, error) {
 	if file != nil && len(cfg.objects) > 0 {
 		return nil, errors.New("p2pstream: pass WithLibrary with a nil file, not both")
 	}
+	if cfg.autoscale != nil && cfg.backend == backendNone {
+		cfg.backend = backendSharded
+	}
 	if cfg.backend == backendNone {
-		return nil, errors.New("p2pstream: overlay needs a discovery backend (WithDirectory, WithShardedDirectory or WithChord)")
+		return nil, errors.New("p2pstream: overlay needs a discovery backend (WithDirectory, WithShardedDirectory, WithAutoscale or WithChord)")
 	}
 	if (cfg.chordReplication > 0 || cfg.chordVirtualNodes > 0) && cfg.backend != backendChord {
 		return nil, errors.New("p2pstream: WithChordReplication/WithChordVirtualNodes need WithChord")
+	}
+	if cfg.autoscale != nil && cfg.backend != backendSharded {
+		return nil, errors.New("p2pstream: WithAutoscale needs the sharded directory backend (it selects one when no backend is configured)")
+	}
+	if cfg.shardEpochs && cfg.backend != backendSharded {
+		return nil, errors.New("p2pstream: WithShardEpochs needs the sharded directory backend")
 	}
 	return &Overlay{cfg: cfg}, nil
 }
@@ -492,6 +538,22 @@ func (o *Overlay) newPeer(ctx context.Context, p OverlayPeer, isSeed bool) (*Nod
 		scfg.Clock = o.cfg.clk
 		scfg.Seed = seed
 		scfg.Observer = o.cfg.observer
+		if o.cfg.shardEpochs {
+			scfg.WatchEpochs = true
+		}
+		if ctrl := o.cfg.autoscale; ctrl != nil {
+			// Boot from the controller's live state: a peer created after
+			// a flip must route by the current shard set, not the one the
+			// overlay was configured with.
+			epoch, members := ctrl.Snapshot()
+			addrs := make([]string, len(members))
+			names := make([]string, len(members))
+			for i, m := range members {
+				addrs[i], names[i] = m.Addr, m.Name
+			}
+			scfg.Addrs, scfg.Names, scfg.Epoch = addrs, names, epoch
+			scfg.WatchEpochs = true
+		}
 		sc, err := directory.NewShardedClient(scfg)
 		if err != nil {
 			return nil, err
@@ -642,6 +704,21 @@ const (
 	// EventLookupMiss: a node's candidate lookup came back empty — under
 	// replication this means the churn window opened.
 	EventLookupMiss = observe.LookupMiss
+	// EventEpochFlip: the resharding controller flipped the directory
+	// deployment to a new epoch (Epoch; Count is the new shard count). See
+	// WithAutoscale.
+	EventEpochFlip = observe.EpochFlip
+	// EventShardAdded: the resharding controller spawned a registry shard
+	// under sustained load (Object is the shard's name, Epoch the epoch
+	// announcing it).
+	EventShardAdded = observe.ShardAdded
+	// EventShardDrained: the resharding controller drained the coldest
+	// registry shard under sustained underload (Object, Epoch).
+	EventShardDrained = observe.ShardDrained
+	// EventReshardMove: a sharded client finished migrating its
+	// registrations after an epoch flip (Epoch; Count is how many
+	// registrations changed owner, Latency the flip convergence time).
+	EventReshardMove = observe.ReshardMove
 )
 
 // MultiObserver fans events out to several observers (nils skipped).

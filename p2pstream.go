@@ -74,6 +74,7 @@ import (
 	"p2pstream/internal/media"
 	"p2pstream/internal/netx"
 	"p2pstream/internal/node"
+	"p2pstream/internal/reshard"
 	"p2pstream/internal/scenario"
 	"p2pstream/internal/system"
 )
@@ -273,6 +274,30 @@ type ShardedDirectoryConfig = directory.ShardedConfig
 func NewShardedDirectoryClient(cfg ShardedDirectoryConfig) (*ShardedDirectoryClient, error) {
 	return directory.NewShardedClient(cfg)
 }
+
+// ReshardController is the elastic-directory autoscaling loop: it samples
+// per-shard load (lookups per interval) on the shared clock, spawns a
+// registry shard when mean load sustains above a high-water mark, drains
+// the coldest shard when it sustains below a low-water mark, and announces
+// every change as a resharding epoch that watching sharded clients migrate
+// to with zero lost registrations and zero lookup misses. Attach one to an
+// overlay with WithAutoscale; Start arms it, Close stops it.
+type ReshardController = reshard.Controller
+
+// ReshardConfig parameterizes a resharding controller: the sampling
+// interval, the load watermarks, the initial shard membership, and the
+// Spawn/Retire hooks through which the deployment boots and tears down
+// shard servers.
+type ReshardConfig = reshard.Config
+
+// ReshardMember is one registry shard under a resharding controller: its
+// stable ring name, the address clients dial, and the server whose stats
+// feed the load loop.
+type ReshardMember = reshard.Member
+
+// NewReshardController validates cfg and returns an idle controller; arm
+// the sampling loop with Start and stop it with Close.
+func NewReshardController(cfg ReshardConfig) (*ReshardController, error) { return reshard.New(cfg) }
 
 // ChordDiscovery is the decentralized Discovery backend: a wire-level
 // Chord ring member (internal/chordnet) that joins on Register, maintains

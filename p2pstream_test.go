@@ -3,6 +3,7 @@ package p2pstream_test
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -385,6 +386,169 @@ func TestPublicOverlaySharded(t *testing.T) {
 	}
 	if scen.ShardLookupMs.Len() == 0 {
 		t.Error("sharded scenario recorded no shard fan-out latency samples")
+	}
+}
+
+// TestPublicOverlayElastic drives the elastic directory through the
+// facade: a resharding controller attached with WithAutoscale grows the
+// registry from one shard to two under a requester's lookup load, every
+// peer's sharded client migrates across the flip, and a peer created
+// after the flip boots straight into the new epoch — zero lookup misses
+// throughout.
+func TestPublicOverlayElastic(t *testing.T) {
+	ctx := context.Background()
+	clk := p2pstream.NewVirtualClock()
+	t.Cleanup(clk.AutoRun())
+	vnet := p2pstream.NewVirtualNetwork(clk, 1)
+	vnet.SetDefaultLink(p2pstream.LinkConfig{Latency: 300 * time.Microsecond})
+
+	var srvMu sync.Mutex
+	var servers []*p2pstream.DirectoryServer
+	t.Cleanup(func() {
+		srvMu.Lock()
+		defer srvMu.Unlock()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	spawn := func(seq int) (p2pstream.ReshardMember, error) {
+		name := fmt.Sprintf("shard-%d", seq)
+		srv := p2pstream.NewDirectoryServer(int64(seq + 1))
+		l, err := vnet.Host(name).Listen(":0")
+		if err != nil {
+			return p2pstream.ReshardMember{}, err
+		}
+		go srv.Serve(l)
+		srvMu.Lock()
+		servers = append(servers, srv)
+		srvMu.Unlock()
+		return p2pstream.ReshardMember{Name: name, Addr: l.Addr().String(), Server: srv}, nil
+	}
+	first, err := spawn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flips, added, moves, misses atomic.Int64
+	obs := p2pstream.ObserverFunc(func(ev p2pstream.ObserverEvent) {
+		switch ev.Type {
+		case p2pstream.EventEpochFlip:
+			flips.Add(1)
+		case p2pstream.EventShardAdded:
+			added.Add(1)
+		case p2pstream.EventReshardMove:
+			moves.Add(1)
+		case p2pstream.EventLookupMiss:
+			misses.Add(1)
+		}
+	})
+	ctrl, err := p2pstream.NewReshardController(p2pstream.ReshardConfig{
+		Clock:     clk,
+		Interval:  20 * time.Millisecond,
+		HighWater: 0.5,
+		LowWater:  0,
+		Sustain:   1,
+		MaxShards: 2,
+		Members:   []p2pstream.ReshardMember{first},
+		Spawn:     spawn,
+		Observer:  obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+
+	file := &p2pstream.MediaFile{Name: "v", Segments: 16, SegmentBytes: 64, SegmentTime: 4 * time.Millisecond}
+	ov, err := p2pstream.NewOverlay(file,
+		p2pstream.WithAutoscale(ctrl),
+		p2pstream.WithClock(clk),
+		p2pstream.WithNetworkFor(func(id string) p2pstream.Network { return vnet.Host(id) }),
+		p2pstream.WithObserver(obs),
+		p2pstream.WithIdleTimeout(50*time.Millisecond),
+		p2pstream.WithBackoff(p2pstream.BackoffConfig{Base: 20 * time.Millisecond, Factor: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ov.Close() })
+	ctrl.Start()
+
+	for _, id := range []string{"s1", "s2"} {
+		if _, err := ov.Seed(ctx, p2pstream.OverlayPeer{ID: id, Class: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r1", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.RequestUntilAdmitted(ctx, "", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// r1's lookups put the single shard over the high-water mark; the next
+	// sampling tick must spawn shard-1 and flip the epoch.
+	deadline := time.Now().Add(10 * time.Second)
+	for ctrl.Flips() < 1 || moves.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller never flipped: flips=%d moves=%d", ctrl.Flips(), moves.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if epoch, members := ctrl.Snapshot(); epoch < 2 || len(members) != 2 {
+		t.Fatalf("post-flip snapshot epoch=%d shards=%d, want epoch >= 2 with 2 shards", epoch, len(members))
+	}
+	if flips.Load() < 1 || added.Load() < 1 {
+		t.Errorf("observer saw %d flips and %d shard-adds, want >= 1 each", flips.Load(), added.Load())
+	}
+
+	// A peer created after the flip boots from the controller's live
+	// snapshot and must still find both seeds on the grown shard set.
+	r2, err := ov.Requester(ctx, p2pstream.OverlayPeer{ID: "r2", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := r2.RequestUntilAdmitted(ctx, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suppliers) < 2 {
+		t.Errorf("post-flip requester served by %d suppliers, want >= 2", len(report.Suppliers))
+	}
+	if got := misses.Load(); got != 0 {
+		t.Errorf("observer saw %d lookup misses across the flip, want 0", got)
+	}
+}
+
+// TestPublicOverlayElasticOptionErrors pins the elastic options' misuse
+// errors: WithAutoscale rejects a nil controller, and both elastic options
+// require the sharded directory backend.
+func TestPublicOverlayElasticOptionErrors(t *testing.T) {
+	file := &p2pstream.MediaFile{Name: "v", Segments: 4, SegmentBytes: 16, SegmentTime: time.Millisecond}
+	if _, err := p2pstream.NewOverlay(file, p2pstream.WithAutoscale(nil)); err == nil {
+		t.Error("WithAutoscale(nil) built an overlay, want error")
+	}
+	if _, err := p2pstream.NewOverlay(file,
+		p2pstream.WithDirectory("127.0.0.1:7000"),
+		p2pstream.WithShardEpochs(),
+	); err == nil {
+		t.Error("WithShardEpochs over the centralized directory built an overlay, want error")
+	}
+	srv := p2pstream.NewDirectoryServer(1)
+	defer srv.Close()
+	ctrl, err := p2pstream.NewReshardController(p2pstream.ReshardConfig{
+		Interval:  time.Second,
+		HighWater: 1,
+		Members:   []p2pstream.ReshardMember{{Name: "shard-0", Addr: "127.0.0.1:7000", Server: srv}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if _, err := p2pstream.NewOverlay(file,
+		p2pstream.WithChord(p2pstream.ChordDiscoveryConfig{}),
+		p2pstream.WithAutoscale(ctrl),
+	); err == nil {
+		t.Error("WithAutoscale over chord discovery built an overlay, want error")
 	}
 }
 

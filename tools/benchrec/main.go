@@ -1,8 +1,8 @@
 // Command benchrec records and gates the virtual-substrate benchmark
 // trajectory. It runs the vnet benchmarks (BenchmarkVnetChunkDelivery,
 // BenchmarkPacedChunkDelivery, BenchmarkVnetConcurrentHosts,
-// BenchmarkLibraryLookup, BenchmarkMegacrowd10k, BenchmarkChordLookup1k —
-// see bench_test.go) and either:
+// BenchmarkLibraryLookup, BenchmarkMegacrowd10k, BenchmarkChordLookup1k,
+// BenchmarkEpochFlip — see bench_test.go) and either:
 //
 //	-record   appends the measured point to BENCH_vnet.json (the
 //	          trajectory: one point per recorded optimization state), or
@@ -11,9 +11,10 @@
 //	          regression of any gated benchmark — the CI regression gate.
 //
 // The micro-benchmarks run on a manually driven clock and measure pure
-// CPU, so they gate tightly; the 10k megacrowd and the 1,024-member chord
-// lookup are wall-clock (quiescence waits and RPC round trips included)
-// and are recorded un-gated. Each micro measurement is the
+// CPU, so they gate tightly; the 10k megacrowd, the 1,024-member chord
+// lookup and the 1,000-registration epoch flip are wall-clock (quiescence
+// waits and RPC round trips included) and are recorded un-gated. Each
+// micro measurement is the
 // best of three samples — min ns/op and min allocs/op per benchmark — so
 // a scheduler hiccup in one sample neither records an inflated baseline
 // nor fails the gate spuriously.
@@ -61,7 +62,7 @@ type Trajectory struct {
 
 const (
 	microBenches = "^(BenchmarkVnetChunkDelivery|BenchmarkPacedChunkDelivery|BenchmarkVnetConcurrentHosts|BenchmarkLibraryLookup)$"
-	macroBenches = "^(BenchmarkMegacrowd10k|BenchmarkChordLookup1k)$"
+	macroBenches = "^(BenchmarkMegacrowd10k|BenchmarkChordLookup1k|BenchmarkEpochFlip)$"
 
 	// microSamples is the best-of count for the gated micro-benchmarks.
 	microSamples = 3
